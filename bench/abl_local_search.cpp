@@ -1,0 +1,85 @@
+// Ablation — why the local search must be SYSTEMATIC.
+//
+// The paper dismisses random walks globally (infinite expected hitting time
+// on Z^2) but its algorithms also rely on the local search primitive being
+// a spiral: a t-step spiral visits Theta(t) distinct nodes and covers the
+// full ball of radius sqrt(t)/2, while a t-step random walk visits only
+// Theta(t/log t) distinct nodes spread over a radius-sqrt(t) blob it
+// revisits constantly.
+//
+// Table: A_k vs A_k-with-random-walk-local-search, same schedule, same
+// budgets, D x k sweep — the per-phase hit probability collapse shows up
+// as a large multiplicative inflation of phi that GROWS with scale
+// (log-factor coverage loss compounding with the wasted retries).
+#include <exception>
+
+#include "baselines/ablation_variants.h"
+#include "core/known_k.h"
+#include "exp_common.h"
+
+namespace ants::bench {
+namespace {
+
+int run(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const ExpOptions opt = parse_common(cli, 120);
+  cli.finish();
+
+  banner("ABL: spiral vs random-walk local search (same budgets)",
+         "expect: replacing the spiral with an equal-budget random walk "
+         "inflates phi by a factor that grows with scale");
+
+  util::Table table({"D", "k", "spiral phi", "rw-local phi", "inflation",
+                     "spiral success", "rw success"});
+
+  struct Cell {
+    std::int64_t d;
+    std::int64_t k;
+  };
+  const std::vector<Cell> cells =
+      opt.full ? std::vector<Cell>{{16, 4}, {32, 4}, {32, 16}, {64, 16},
+                                   {64, 64}, {128, 64}}
+               : std::vector<Cell>{{16, 4}, {32, 4}, {32, 16}, {64, 16}};
+
+  for (const auto& [d, k] : cells) {
+    sim::RunConfig config;
+    config.trials = opt.trials;
+    config.seed = rng::mix_seed(opt.seed,
+                                static_cast<std::uint64_t>(d * 1000 + k));
+    config.time_cap = 512 * (d + d * d / k);
+
+    const core::KnownKStrategy spiral(k);
+    const baselines::KnownKRandomLocalStrategy rw(k);
+    const sim::RunStats rs_spiral = sim::run_trials(
+        spiral, static_cast<int>(k), d, opt.placement, config);
+    const sim::RunStats rs_rw =
+        sim::run_trials(rw, static_cast<int>(k), d, opt.placement, config);
+
+    table.add_row({fmt0(double(d)), fmt0(double(k)),
+                   fmt2(rs_spiral.median_competitiveness),
+                   fmt2(rs_rw.median_competitiveness),
+                   fmt2(rs_rw.median_competitiveness /
+                        rs_spiral.median_competitiveness),
+                   fmt3(rs_spiral.success_rate), fmt3(rs_rw.success_rate)});
+  }
+  emit(table, opt);
+
+  std::cout << "\nreading: same trip schedule, same step budgets, only the "
+            << "local-search pattern differs — and the random-walk variant "
+            << "pays a multiplicative penalty that widens as D grows. "
+            << "Systematic coverage is not an implementation detail: the "
+            << "paper's O(D + D^2/k) depends on phase budgets translating "
+            << "1:1 into covered area, which only a space-filling pattern "
+            << "like the spiral delivers.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace ants::bench
+
+int main(int argc, char** argv) try {
+  return ants::bench::run(argc, argv);
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

@@ -1,0 +1,68 @@
+// Shared scaffolding for the experiment harnesses (bench/exp_*).
+//
+// Each experiment binary prints the table(s) EXPERIMENTS.md records for its
+// paper claim. Flags common to all: --trials, --seed, --full (bigger
+// sweeps), --csv=path (machine-readable copy of the main table),
+// --placement=axis|diagonal|ring.
+#pragma once
+
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/placement.h"
+#include "sim/runner.h"
+#include "util/cli.h"
+#include "util/csv.h"
+#include "util/format.h"
+#include "util/table.h"
+
+namespace ants::bench {
+
+struct ExpOptions {
+  std::int64_t trials = 0;
+  std::uint64_t seed = 0;
+  bool full = false;
+  std::string csv_path;
+  sim::Placement placement;
+  std::string placement_name;
+};
+
+/// Parses the common flags; `default_trials` applies to the quick (default)
+/// mode, 4x that in --full mode unless --trials overrides.
+inline ExpOptions parse_common(util::Cli& cli, std::int64_t default_trials) {
+  ExpOptions opt;
+  opt.full = cli.get_bool("full", false);
+  opt.trials = cli.get_int("trials", opt.full ? 4 * default_trials
+                                              : default_trials);
+  opt.seed = static_cast<std::uint64_t>(cli.get_int("seed", 0xA27553ACULL));
+  opt.csv_path = cli.get_string("csv", "");
+  opt.placement_name = cli.get_string("placement", "ring");
+  opt.placement = sim::placement_by_name(opt.placement_name);
+  return opt;
+}
+
+/// Prints the table and optionally mirrors it to --csv.
+inline void emit(const util::Table& table, const ExpOptions& opt) {
+  table.print(std::cout);
+  if (!opt.csv_path.empty()) {
+    util::CsvWriter csv(opt.csv_path, table.header());
+    for (std::size_t i = 0; i < table.rows(); ++i) csv.add_row(table.row(i));
+    std::cout << "(csv written to " << opt.csv_path << ")\n";
+  }
+}
+
+inline std::string fmt0(double v) { return util::fmt_fixed(v, 0); }
+inline std::string fmt1(double v) { return util::fmt_fixed(v, 1); }
+inline std::string fmt2(double v) { return util::fmt_fixed(v, 2); }
+inline std::string fmt3(double v) { return util::fmt_fixed(v, 3); }
+
+inline void banner(const std::string& title, const std::string& claim) {
+  std::cout << "==================================================\n"
+            << title << "\n" << claim << "\n"
+            << "==================================================\n\n";
+}
+
+}  // namespace ants::bench

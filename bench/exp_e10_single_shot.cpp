@@ -1,0 +1,130 @@
+// E10 — section 5's "constant probability" remark, measured.
+//
+// Paper claim: demanding only constant success probability (instead of a
+// bounded EXPECTED time) lets each algorithm drop one loop. The single-sweep
+// variants run every phase once; a missed phase is gone forever.
+//
+// Table 1: success probability within budget c*(D + D^2/k) as c grows —
+//          both variants find the treasure with constant probability once c
+//          clears the algorithm's competitiveness constant; the sweep gets
+//          there at SMALLER c (no budget re-spent on covered scales) and
+//          both converge to 1, the sweep via ever-pricier late phases.
+// Table 2: time quantiles — the sweep's conditional times are fine, but its
+//          tail (p95 and the censored mean) is much heavier than A_k's:
+//          dropping the loop trades the bounded expectation away.
+#include <exception>
+
+#include "core/known_k.h"
+#include "core/single_shot.h"
+#include "core/uniform.h"
+#include "exp_common.h"
+
+namespace ants::bench {
+namespace {
+
+int run(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const ExpOptions opt = parse_common(cli, 400);
+  const std::int64_t d = cli.get_int("distance", opt.full ? 96 : 48);
+  const std::int64_t k = cli.get_int("agents", 16);
+  cli.finish();
+
+  banner("E10: single-sweep constant-probability variants (section 5 remark)",
+         "expect: success within c*(D + D^2/k) is a constant < 1 for small "
+         "c; the full algorithms' repetition buys certainty; sweep tails are "
+         "heavier");
+
+  const double optimal = static_cast<double>(d) +
+                         static_cast<double>(d) * static_cast<double>(d) /
+                             static_cast<double>(k);
+
+  const core::KnownKStrategy full_k(k);
+  const core::SingleSweepKnownK sweep_k(k);
+  const core::UniformStrategy full_u(0.5);
+  const core::SingleSweepUniform sweep_u(0.5);
+
+  // --- Table 1: success probability vs budget multiplier -------------------
+  {
+    util::Table table({"strategy", "c (budget = c*(D+D^2/k))", "success rate",
+                       "mean T | found"});
+    // The uniform family pays an extra polylog(k) factor on top of the
+    // optimal budget, so probe it at proportionally larger multipliers.
+    const std::vector<double> cs_known{4, 8, 16, 32, 64};
+    const std::vector<double> cs_uniform{16, 64, 128, 256, 512};
+    const std::vector<std::pair<const sim::Strategy*, const std::vector<double>*>>
+        plan{{&full_k, &cs_known},
+             {&sweep_k, &cs_known},
+             {&full_u, &cs_uniform},
+             {&sweep_u, &cs_uniform}};
+    for (const auto& [s, cs] : plan) {
+      for (const double c : *cs) {
+        sim::RunConfig config;
+        config.trials = opt.trials;
+        config.seed = rng::mix_seed(opt.seed, static_cast<std::uint64_t>(c));
+        config.time_cap = static_cast<sim::Time>(c * optimal);
+        const sim::RunStats rs = sim::run_trials(
+            *s, static_cast<int>(k), d, opt.placement, config);
+        // Mean over the found trials only (censoring-free).
+        double found_sum = 0;
+        std::int64_t found_n = 0;
+        for (const double t : rs.times) {
+          if (t < static_cast<double>(config.time_cap)) {
+            found_sum += t;
+            ++found_n;
+          }
+        }
+        table.add_row({s->name(), fmt0(c), fmt3(rs.success_rate),
+                       found_n > 0 ? fmt0(found_sum /
+                                          static_cast<double>(found_n))
+                                   : "-"});
+      }
+    }
+    emit(table, opt);
+    std::cout << "\nreading: the sweeps reach constant success probability "
+              << "at SMALLER budgets than their full counterparts — dropping "
+              << "the outer loop means no budget is spent re-running scales "
+              << "already covered — exactly the section 5 trade: constant "
+              << "probability, one loop cheaper. Both families converge to 1 "
+              << "as c grows; the uniform pair needs c inflated by its "
+              << "polylog(k) competitiveness, which is why its column uses "
+              << "larger multipliers.\n\n";
+  }
+
+  // --- Table 2: tail comparison under a generous cap ------------------------
+  {
+    util::Table table({"strategy", "median T", "q75 T", "q95 T",
+                       "censored mean", "success rate"});
+    for (const sim::Strategy* s :
+         {static_cast<const sim::Strategy*>(&full_k),
+          static_cast<const sim::Strategy*>(&sweep_k)}) {
+      sim::RunConfig config;
+      config.trials = opt.trials;
+      config.seed = rng::mix_seed(opt.seed, 0x7A11);
+      config.time_cap = static_cast<sim::Time>(512 * optimal);
+      const sim::RunStats rs =
+          sim::run_trials(*s, static_cast<int>(k), d, opt.placement, config);
+      table.add_row({s->name(), fmt0(rs.time.median), fmt0(rs.time.q75),
+                     fmt0(rs.time.q95), fmt0(rs.time.mean),
+                     fmt3(rs.success_rate)});
+    }
+    emit(table, opt);
+    std::cout << "\nreading: the sweep's median is BETTER (it reaches the "
+              << "treasure's scale in one pass), but its q95 crosses above "
+              << "the full algorithm's: a missed phase can only be retried "
+              << "at 4x the cost, so the tail thickens toward a divergent "
+              << "expectation. The full A_k buys its bounded E[T] precisely "
+              << "by re-running cheap early phases — the loop the sweep "
+              << "dropped.\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ants::bench
+
+int main(int argc, char** argv) try {
+  return ants::bench::run(argc, argv);
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

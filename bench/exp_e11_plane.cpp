@@ -1,0 +1,137 @@
+// E11 — the paper's grid reduction, validated (section 2, first paragraph).
+//
+// Paper claim: "Each agent has a bounded field of view of say eps > 0,
+// hence, for simplicity, we can assume that the agents are actually walking
+// on the integer two-dimensional infinite grid." That is a modeling step,
+// not a theorem — so we check it: run the SAME algorithms on the continuous
+// plane (unit speed, sight radius eps = 1, Archimedean sweeps) and on the
+// grid, same D and k, and compare.
+//
+// Table: known-k and harmonic, D x k sweep — the plane/grid mean-time ratio
+// must stay inside a fixed constant band across the sweep (no drift with D
+// or k), which is exactly what "reduction up to constants" means.
+#include <cmath>
+#include <exception>
+
+#include "core/harmonic.h"
+#include "core/known_k.h"
+#include "exp_common.h"
+#include "plane/engine.h"
+#include "plane/strategies.h"
+
+namespace ants::bench {
+namespace {
+
+struct PlaneStats {
+  double mean = 0;
+  double success = 0;
+};
+
+PlaneStats run_plane(const plane::PlaneStrategy& strategy, int k, double d,
+                     std::int64_t trials, std::uint64_t seed, double cap) {
+  double sum = 0;
+  int found = 0;
+  for (std::int64_t t = 0; t < trials; ++t) {
+    const rng::Rng trial(rng::mix_seed(seed, static_cast<std::uint64_t>(t)));
+    rng::Rng placement = trial.child(0xFACADE);
+    const plane::Vec2 treasure = plane::unit(placement.angle()) * d;
+    plane::PlaneEngineConfig config;
+    config.time_cap = cap;
+    const auto r = plane::run_plane_search(strategy, k, treasure, trial,
+                                           config);
+    sum += r.time;
+    found += r.found;
+  }
+  return {sum / static_cast<double>(trials),
+          static_cast<double>(found) / static_cast<double>(trials)};
+}
+
+int run(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const ExpOptions opt = parse_common(cli, 80);
+  cli.finish();
+
+  banner("E11: continuous plane vs grid — the section 2 reduction",
+         "expect: plane/grid mean-time ratio constant across D and k for "
+         "the same algorithm (reduction exact up to constants)");
+
+  util::Table table({"algorithm", "D", "k", "grid mean T", "plane mean T",
+                     "ratio", "grid success", "plane success"});
+
+  const std::vector<std::int64_t> ds =
+      opt.full ? std::vector<std::int64_t>{16, 32, 64, 128}
+               : std::vector<std::int64_t>{16, 32, 64};
+  const std::vector<std::int64_t> ks{4, 32};
+
+  for (const std::int64_t d : ds) {
+    for (const std::int64_t k : ks) {
+      sim::RunConfig config;
+      config.trials = opt.trials;
+      config.seed = rng::mix_seed(
+          opt.seed, static_cast<std::uint64_t>(d * 1000 + k));
+      const double dd = static_cast<double>(d);
+      const double cap = 256 * (dd + dd * dd / static_cast<double>(k));
+      config.time_cap = static_cast<sim::Time>(cap);
+
+      const core::KnownKStrategy grid_strategy(k);
+      const sim::RunStats grid = sim::run_trials(
+          grid_strategy, static_cast<int>(k), d, opt.placement, config);
+
+      const plane::PlaneKnownKStrategy plane_strategy(k);
+      const PlaneStats pl = run_plane(plane_strategy, static_cast<int>(k),
+                                      dd, opt.trials, config.seed, cap);
+
+      table.add_row({"known-k", fmt0(dd), fmt0(double(k)),
+                     fmt0(grid.time.mean), fmt0(pl.mean),
+                     fmt2(pl.mean / grid.time.mean), fmt3(grid.success_rate),
+                     fmt3(pl.success)});
+    }
+  }
+
+  // Harmonic at fixed delta on both substrates.
+  const double delta = 0.5;
+  for (const std::int64_t d : ds) {
+    const auto k = static_cast<std::int64_t>(
+        8 * std::ceil(std::pow(static_cast<double>(d), delta)));
+    sim::RunConfig config;
+    config.trials = opt.trials;
+    config.seed = rng::mix_seed(opt.seed,
+                                static_cast<std::uint64_t>(d * 7 + 1));
+    const double dd = static_cast<double>(d);
+    const double cap =
+        64 * (dd + std::pow(dd, 2.0 + delta) / static_cast<double>(k));
+    config.time_cap = static_cast<sim::Time>(cap);
+
+    const core::HarmonicStrategy grid_strategy(delta);
+    const sim::RunStats grid = sim::run_trials(
+        grid_strategy, static_cast<int>(k), d, opt.placement, config);
+
+    const plane::PlaneHarmonicStrategy plane_strategy(delta);
+    const PlaneStats pl = run_plane(plane_strategy, static_cast<int>(k), dd,
+                                    opt.trials, config.seed, cap);
+
+    table.add_row({"harmonic(0.5)", fmt0(dd), fmt0(double(k)),
+                   fmt0(grid.time.mean), fmt0(pl.mean),
+                   fmt2(pl.mean / grid.time.mean), fmt3(grid.success_rate),
+                   fmt3(pl.success)});
+  }
+
+  emit(table, opt);
+  std::cout << "\nreading: the ratio column sits in a narrow constant band "
+            << "for each algorithm family with no trend in D or k — the "
+            << "continuous model and its grid discretization are the same "
+            << "theory up to the constants the paper absorbs into O(.). "
+            << "(Constants differ between families: Euclidean vs L1 metric, "
+            << "pi r^2 vs 2r^2 ball sizes, spiral pitch vs lattice coils.)\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace ants::bench
+
+int main(int argc, char** argv) try {
+  return ants::bench::run(argc, argv);
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

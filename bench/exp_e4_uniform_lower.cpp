@@ -1,0 +1,174 @@
+// E4 — Theorem 4.1: no uniform search algorithm is O(log k)-competitive.
+//
+// The impossibility is asymptotic (the gap between log k and log^(1+eps) k
+// opens at log log k speed, invisible at any simulable k), so this
+// experiment reproduces the PROOF'S MECHANISM quantitatively:
+//
+// (a) Visitation accounting at the proof's radii. If a uniform algorithm
+//     were phi-competitive, then for every i, running it with k_i = 2^i
+//     agents must cover each node of B(D_i), D_i = sqrt(T k_i / phi(k_i)),
+//     with probability 1/2 by time 2T; averaging over the k_i identical
+//     agents, ONE agent must visit >= |S_i|/(2 k_i) ~ T/phi(k_i) distinct
+//     nodes of the annulus S_i = B(D_i) \ B(D_{i-1}) by 2T. Crucially a
+//     uniform agent's trajectory law does not depend on k, so ONE trajectory
+//     must satisfy ALL the bounds simultaneously. We instrument
+//     A_uniform(eps) at its own measured phi and print measured vs
+//     predicted visits per annulus: ratios are flat-ish across annuli.
+//
+// (b) The budget contradiction. Summing (a): one agent must spend
+//     Sum_i T/phi(2^i) distinct visits by time 2T, i.e.
+//     Sum_{i<=log(T)/2} 1/phi(2^i) <= 2. For phi = C log2 k the left side
+//     is ~ln(log2(T)/2)/C, which GROWS with T — so C must grow with T and
+//     O(log k)-competitiveness is impossible. The table prints the budget
+//     utilization for increasing T using the calibration constant C
+//     measured from the algorithm itself, alongside the measured fraction
+//     of the 2T budget the instrumented agent actually spends, and the
+//     crossing horizon T* where a log-competitive algorithm would violate
+//     its own budget.
+#include <cmath>
+#include <exception>
+
+#include "core/competitive.h"
+#include "core/uniform.h"
+#include "exp_common.h"
+#include "sim/metrics.h"
+#include "sim/runner.h"
+#include "sim/visitation.h"
+
+namespace ants::bench {
+namespace {
+
+int run(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const ExpOptions opt = parse_common(cli, 60);
+  const double eps = cli.get_double("eps", 0.3);
+  cli.finish();
+
+  banner("E4: impossibility of O(log k)-competitive uniform search "
+         "(Theorem 4.1)",
+         "reproduces the proof: (a) one agent owes ~T/phi(k_i) distinct "
+         "visits to EVERY annulus S_i simultaneously; (b) summing annuli "
+         "overruns the 2T visit budget unless phi outgrows log k");
+
+  // --- calibrate phi(k) = C * log2(k)^(1+eps) for this algorithm --------
+  const core::UniformStrategy strategy(eps);
+  double c0 = 0;
+  {
+    const std::int64_t d_cal = 32;
+    const std::int64_t k_cal = 64;
+    sim::RunConfig config;
+    config.trials = std::max<std::int64_t>(opt.trials / 2, 30);
+    config.seed = rng::mix_seed(opt.seed, 1);
+    const auto rs = sim::run_trials(strategy, static_cast<int>(k_cal), d_cal,
+                                    opt.placement, config);
+    c0 = rs.mean_competitiveness /
+         std::pow(std::log2(static_cast<double>(k_cal)), 1.0 + eps);
+  }
+  const auto phi = [&](double k) {
+    const double l = std::max(1.0, std::log2(k));
+    return c0 * std::pow(l, 1.0 + eps);
+  };
+  std::cout << "calibration: A_uniform(eps=" << fmt2(eps)
+            << ") measured phi(k) ~ " << fmt2(c0)
+            << " * log2(k)^" << fmt2(1.0 + eps) << "\n\n";
+
+  // --- part (a): per-annulus visitation at the proof's radii ------------
+  const int log_t = opt.full ? 22 : 20;
+  const auto t_horizon = static_cast<double>(sim::Time{1} << log_t);
+  const sim::Time horizon = sim::Time{2} << log_t;  // 2T
+
+  std::vector<std::int64_t> radii;
+  std::vector<int> annulus_i;
+  std::int64_t prev = 0;
+  for (int i = 2; i <= log_t / 2; ++i) {
+    const double k_i = std::pow(2.0, i);
+    const auto d_i = static_cast<std::int64_t>(
+        std::sqrt(t_horizon * k_i / phi(k_i)));
+    if (d_i <= prev) continue;  // first couple of radii may invert; skip
+    radii.push_back(d_i);
+    annulus_i.push_back(i);
+    prev = d_i;
+  }
+
+  const std::int64_t reps = std::max<std::int64_t>(4, opt.trials / 15);
+  std::vector<double> measured(radii.size(), 0.0);
+  double total_distinct = 0;
+  for (std::int64_t rep = 0; rep < reps; ++rep) {
+    rng::Rng rng(rng::mix_seed(opt.seed, 555 + static_cast<std::uint64_t>(rep)));
+    const auto report = sim::record_visitation(
+        strategy, sim::AgentContext{0, 1}, rng, horizon, radii);
+    for (std::size_t a = 0; a < radii.size(); ++a) {
+      measured[a] += static_cast<double>(report.distinct[a]) /
+                     static_cast<double>(reps);
+    }
+    total_distinct += static_cast<double>(report.total_distinct) /
+                      static_cast<double>(reps);
+  }
+
+  util::Table visits({"i", "k_i", "D_i", "annulus |S_i|/2k_i (predicted)",
+                      "measured distinct visits", "measured/predicted"});
+  for (std::size_t a = 1; a < radii.size(); ++a) {
+    const double k_i = std::pow(2.0, annulus_i[a]);
+    const double size_si =
+        2.0 * (static_cast<double>(radii[a]) * static_cast<double>(radii[a]) -
+               static_cast<double>(radii[a - 1]) *
+                   static_cast<double>(radii[a - 1]));
+    const double predicted = size_si / (2.0 * k_i);
+    visits.add_row({fmt0(double(annulus_i[a])), fmt0(k_i),
+                    fmt0(double(radii[a])), fmt0(predicted),
+                    fmt0(measured[a]), fmt2(measured[a] / predicted)});
+  }
+  std::cout << "one agent, horizon 2T = " << horizon << ", averaged over "
+            << reps << " runs, radii D_i = sqrt(T k_i / phi(k_i)):\n";
+  emit(visits, opt);
+  std::cout << "\nreading: measured visits per annulus stay within a "
+            << "constant factor of the proof's T/phi(k_i) demand across "
+            << "scales — one uniform trajectory really is paying every "
+            << "annulus its share simultaneously.\n\n";
+
+  // --- part (b): the budget contradiction -------------------------------
+  // For an O(log k)-competitive algorithm (phi = C log2 k with C set by the
+  // calibration point so it matches the measured algorithm where we can
+  // see it), the proof demands Sum_{i=2}^{log2(T)/2} 1/(C i) <= 2 of every
+  // agent's visit budget. That utilization grows like ln(log T); print it
+  // with the measured budget use of the instrumented agent for scale.
+  const double c_log = c0;  // C for the hypothetical phi = C log2 k
+  util::Table budget({"horizon T", "required Sum T/phi(2^i) (phi=C log2 k)",
+                      "fraction of 2T budget", "measured agent visits / 2T"});
+  for (int lt = 14; lt <= 30; lt += 4) {
+    const double t = std::pow(2.0, lt);
+    double required = 0;
+    for (int i = 2; i <= lt / 2; ++i) required += t / (c_log * i);
+    const std::string meas =
+        lt == log_t ? fmt2(total_distinct / (2.0 * t)) : "-";
+    budget.add_row({"2^" + fmt0(lt), fmt0(required),
+                    fmt2(required / (2.0 * t)), meas});
+  }
+  emit(budget, opt);
+  // Where would phi = C log2 k first violate its own budget? Solve
+  // ln(log2(T)/2) / (2C) = 1.
+  const double crossing_log2_t = 2.0 * std::exp(2.0 * c_log);
+  std::cout << "\ncrossing horizon: with C = " << fmt2(c_log)
+            << ", the budget is first violated near T ~ 2^(" << fmt0(
+                   crossing_log2_t)
+            << ") — far beyond simulation, which is exactly why the paper "
+            << "needs a proof (and why the empirical gap between log k and "
+            << "log^(1+eps) k is invisible at feasible k).\n";
+  std::cout << "\nreading: the required fraction of the 2T budget GROWS "
+            << "without bound as T grows (column 3 ~ ln log T / C) — for "
+            << "any constant C it eventually exceeds 1, the contradiction "
+            << "at the heart of Theorem 4.1. A uniform algorithm escapes "
+            << "only if phi outgrows C log k, e.g. the log^(1+eps) k of "
+            << "Theorem 3.3 whose sum converges.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace ants::bench
+
+int main(int argc, char** argv) try {
+  return ants::bench::run(argc, argv);
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

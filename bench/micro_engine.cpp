@@ -1,0 +1,72 @@
+// Microbenchmarks for the simulation engine: cost of a full collaborative
+// trial at experiment scale. The headline number — a D=256, k=64 known-k
+// trial in microseconds — is what makes the E1-E8 sweeps laptop-scale
+// (stepping the same trial would cost ~D^2/k * k = 65536+ node visits).
+#include <benchmark/benchmark.h>
+
+#include "baselines/sector_sweep.h"
+#include "core/harmonic.h"
+#include "core/known_k.h"
+#include "core/uniform.h"
+#include "sim/engine.h"
+
+namespace {
+
+void BM_TrialKnownK(benchmark::State& state) {
+  const auto k = static_cast<int>(state.range(0));
+  const std::int64_t d = state.range(1);
+  const ants::core::KnownKStrategy strategy(k);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    ants::rng::Rng trial(++seed);
+    const auto r = ants::sim::run_search(strategy, k, {d, 0}, trial);
+    benchmark::DoNotOptimize(r.time);
+  }
+}
+BENCHMARK(BM_TrialKnownK)
+    ->Args({1, 64})
+    ->Args({16, 64})
+    ->Args({64, 256})
+    ->Args({256, 1024});
+
+void BM_TrialUniform(benchmark::State& state) {
+  const auto k = static_cast<int>(state.range(0));
+  const ants::core::UniformStrategy strategy(0.5);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    ants::rng::Rng trial(++seed);
+    const auto r = ants::sim::run_search(strategy, k, {64, 0}, trial);
+    benchmark::DoNotOptimize(r.time);
+  }
+}
+BENCHMARK(BM_TrialUniform)->Arg(1)->Arg(16)->Arg(256);
+
+void BM_TrialHarmonic(benchmark::State& state) {
+  const auto k = static_cast<int>(state.range(0));
+  const ants::core::HarmonicStrategy strategy(0.5);
+  std::uint64_t seed = 0;
+  ants::sim::EngineConfig config;
+  config.time_cap = ants::sim::Time{1} << 32;  // censor heavy-tail stragglers
+  for (auto _ : state) {
+    ants::rng::Rng trial(++seed);
+    const auto r = ants::sim::run_search(strategy, k, {64, 0}, trial, config);
+    benchmark::DoNotOptimize(r.time);
+  }
+}
+BENCHMARK(BM_TrialHarmonic)->Arg(16)->Arg(256);
+
+void BM_TrialSectorSweep(benchmark::State& state) {
+  const auto k = static_cast<int>(state.range(0));
+  const ants::baselines::SectorSweepStrategy strategy;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    ants::rng::Rng trial(++seed);
+    const auto r = ants::sim::run_search(strategy, k, {128, 0}, trial);
+    benchmark::DoNotOptimize(r.time);
+  }
+}
+BENCHMARK(BM_TrialSectorSweep)->Arg(4)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// Central-place foraging scenario from the paper's introduction.
+//
+// A colony's surroundings contain several food patches at different
+// distances. Central-place foraging theory (and the paper's cost measure)
+// says nearby patches should be found first — the whole point of evaluating
+// search time as a function of D. This example runs one strategy against a
+// menu of patches and reports the expected discovery time and discovery
+// order, demonstrating the "nearer is found sooner" property and how it
+// sharpens as the colony grows.
+//
+//   ./ant_colony_foraging [--k=64] [--delta=0.5] [--trials=60]
+#include <algorithm>
+#include <cstdio>
+#include <exception>
+#include <iostream>
+#include <vector>
+
+#include "core/harmonic.h"
+#include "sim/metrics.h"
+#include "sim/runner.h"
+#include "util/cli.h"
+#include "util/format.h"
+#include "util/table.h"
+
+namespace {
+
+struct Patch {
+  const char* label;
+  std::int64_t distance;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  ants::util::Cli cli(argc, argv);
+  const int k = static_cast<int>(cli.get_int("k", 64));
+  const double delta = cli.get_double("delta", 0.5);
+  const std::int64_t trials = cli.get_int("trials", 60);
+  cli.finish();
+
+  const std::vector<Patch> patches{
+      {"crumbs by the nest", 4},   {"seed pile", 12},
+      {"fallen fig", 32},          {"dead beetle", 64},
+      {"neighbor's picnic", 128},
+  };
+
+  const ants::core::HarmonicStrategy strategy(delta);
+  std::printf("colony of %d ants, %s, %lld trials per patch\n\n", k,
+              strategy.name().c_str(), static_cast<long long>(trials));
+
+  ants::util::Table table({"patch", "distance D", "median time", "mean time",
+                           "optimal D+D^2/k", "slowdown vs optimal"});
+
+  std::vector<double> medians;
+  for (const Patch& patch : patches) {
+    ants::sim::RunConfig config;
+    config.trials = trials;
+    config.seed = 1000 + static_cast<std::uint64_t>(patch.distance);
+    config.time_cap = 1 << 24;
+    const ants::sim::RunStats rs = ants::sim::run_trials(
+        strategy, k, patch.distance, ants::sim::uniform_ring_placement(),
+        config);
+    medians.push_back(rs.time.median);
+    char buf[4][64];
+    std::snprintf(buf[0], sizeof(buf[0]), "%lld",
+                  static_cast<long long>(patch.distance));
+    std::snprintf(buf[1], sizeof(buf[1]), "%.0f", rs.time.median);
+    std::snprintf(buf[2], sizeof(buf[2]), "%.0f", rs.time.mean);
+    std::snprintf(buf[3], sizeof(buf[3]), "%.0f",
+                  ants::sim::optimal_time(patch.distance, k));
+    table.add_row({patch.label, buf[0], buf[1], buf[2], buf[3],
+                   ants::util::fmt_fixed(rs.median_competitiveness, 2)});
+  }
+  table.print(std::cout);
+
+  const bool ordered = std::is_sorted(medians.begin(), medians.end());
+  std::printf(
+      "\ndiscovery order follows distance: %s — central-place foraging "
+      "finds nearby food first.\n",
+      ordered ? "YES" : "no (increase --trials; medians are noisy)");
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

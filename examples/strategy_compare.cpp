@@ -1,0 +1,99 @@
+// Side-by-side comparison of every search strategy in the library on one
+// instance (k agents, treasure uniform on the distance-D ring).
+//
+//   ./strategy_compare [--k=16] [--distance=32] [--trials=60]
+#include <cstdio>
+#include <exception>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "baselines/biased_walk.h"
+#include "baselines/levy.h"
+#include "baselines/random_walk.h"
+#include "baselines/sector_sweep.h"
+#include "baselines/spiral_single.h"
+#include "core/harmonic.h"
+#include "core/known_k.h"
+#include "core/uniform.h"
+#include "sim/metrics.h"
+#include "sim/runner.h"
+#include "util/cli.h"
+#include "util/format.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) try {
+  ants::util::Cli cli(argc, argv);
+  const int k = static_cast<int>(cli.get_int("k", 16));
+  const std::int64_t distance = cli.get_int("distance", 32);
+  const std::int64_t trials = cli.get_int("trials", 60);
+  cli.finish();
+
+  ants::sim::RunConfig config;
+  config.trials = trials;
+  config.seed = 2024;
+  config.time_cap = 1 << 22;
+
+  std::printf("k = %d agents, D = %lld, %lld trials, cap %lld steps\n\n", k,
+              static_cast<long long>(distance), static_cast<long long>(trials),
+              static_cast<long long>(config.time_cap));
+
+  ants::util::Table table({"strategy", "success", "median time", "mean time",
+                           "competitiveness", "uses k?"});
+
+  const auto add = [&](const ants::sim::RunStats& rs, const std::string& name,
+                       const char* uses_k) {
+    table.add_row({name, ants::util::fmt_fixed(100.0 * rs.success_rate, 0) + "%",
+                   ants::util::fmt_fixed(rs.time.median, 0),
+                   ants::util::fmt_fixed(rs.time.mean, 0),
+                   ants::util::fmt_fixed(rs.mean_competitiveness, 2), uses_k});
+  };
+
+  const ants::sim::Placement placement = ants::sim::uniform_ring_placement();
+
+  // Paper algorithms.
+  const ants::core::KnownKStrategy known(k);
+  add(ants::sim::run_trials(known, k, distance, placement, config),
+      known.name(), "yes (exact)");
+  const ants::core::UniformStrategy uniform(0.5);
+  add(ants::sim::run_trials(uniform, k, distance, placement, config),
+      uniform.name(), "no");
+  const ants::core::HarmonicStrategy harmonic(0.5);
+  add(ants::sim::run_trials(harmonic, k, distance, placement, config),
+      harmonic.name(), "no");
+
+  // Coordinated / deterministic baselines.
+  const ants::baselines::SectorSweepStrategy sweep;
+  add(ants::sim::run_trials(sweep, k, distance, placement, config),
+      sweep.name(), "yes (+ids)");
+  const ants::baselines::SpiralSingleStrategy spiral;
+  add(ants::sim::run_trials(spiral, k, distance, placement, config),
+      spiral.name(), "no (det.)");
+
+  // Biologically-motivated baselines.
+  const ants::baselines::LevyStrategy levy(2.0, /*loop=*/false);
+  add(ants::sim::run_trials(levy, k, distance, placement, config),
+      levy.name(), "no");
+
+  // Step-level walks need a much smaller cap to finish; censoring applies.
+  ants::sim::RunConfig walk_config = config;
+  walk_config.time_cap = 200000;
+  const ants::baselines::RandomWalkStrategy rw;
+  add(ants::sim::run_step_trials(rw, k, distance, placement, walk_config),
+      rw.name(), "no");
+  const ants::baselines::BiasedWalkStrategy biased(0.3, 0.8);
+  add(ants::sim::run_step_trials(biased, k, distance, placement, walk_config),
+      biased.name(), "no");
+
+  table.print(std::cout);
+  std::printf(
+      "\noptimal order for this instance: D + D^2/k = %.0f steps.\n"
+      "walk baselines are censored at %lld steps; their success rates show "
+      "the blow-up.\n",
+      ants::sim::optimal_time(distance, k),
+      static_cast<long long>(walk_config.time_cap));
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

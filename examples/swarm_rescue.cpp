@@ -1,0 +1,82 @@
+// Search-and-rescue swarm with unreliable fleet size: why UNIFORM
+// algorithms matter.
+//
+// A rescue coordinator launches a nominal fleet of drones from a base to
+// find a casualty at unknown distance, but some fraction fails on launch.
+// A strategy tuned to the nominal fleet size (the paper's A_k with k set to
+// nominal) silently degrades when fewer drones actually fly, while the
+// uniform algorithm (no knowledge of k) and the harmonic algorithm degrade
+// gracefully — exactly the trade-off Theorems 3.1/3.3 quantify.
+//
+//   ./swarm_rescue [--nominal=64] [--distance=48] [--trials=60]
+#include <cstdio>
+#include <exception>
+#include <iostream>
+#include <vector>
+
+#include "core/harmonic.h"
+#include "core/known_k.h"
+#include "core/uniform.h"
+#include "sim/metrics.h"
+#include "sim/runner.h"
+#include "util/cli.h"
+#include "util/format.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) try {
+  ants::util::Cli cli(argc, argv);
+  const int nominal = static_cast<int>(cli.get_int("nominal", 64));
+  const std::int64_t distance = cli.get_int("distance", 48);
+  const std::int64_t trials = cli.get_int("trials", 60);
+  cli.finish();
+
+  // The known-k strategy is tuned to the NOMINAL fleet; the uniform and
+  // harmonic strategies need no tuning at all.
+  const ants::core::KnownKStrategy tuned(nominal);
+  const ants::core::UniformStrategy uniform(0.5);
+  const ants::core::HarmonicStrategy harmonic(0.5);
+
+  std::printf(
+      "rescue base: nominal fleet %d drones, casualty at distance %lld\n\n",
+      nominal, static_cast<long long>(distance));
+
+  ants::util::Table table({"surviving drones", "tuned-to-nominal (median)",
+                           "uniform (median)", "harmonic (median)",
+                           "optimal order"});
+
+  for (const double survival : {1.0, 0.5, 0.25, 0.125}) {
+    const int k = std::max(1, static_cast<int>(nominal * survival));
+    ants::sim::RunConfig config;
+    config.trials = trials;
+    config.seed = 7 + static_cast<std::uint64_t>(k);
+    config.time_cap = 1 << 24;
+
+    const auto run = [&](const ants::sim::Strategy& s) {
+      return ants::sim::run_trials(s, k, distance,
+                                   ants::sim::uniform_ring_placement(),
+                                   config);
+    };
+    const auto rs_tuned = run(tuned);
+    const auto rs_uniform = run(uniform);
+    const auto rs_harmonic = run(harmonic);
+
+    char label[64];
+    std::snprintf(label, sizeof(label), "%d of %d", k, nominal);
+    table.add_row({label, ants::util::fmt_fixed(rs_tuned.time.median, 0),
+                   ants::util::fmt_fixed(rs_uniform.time.median, 0),
+                   ants::util::fmt_fixed(rs_harmonic.time.median, 0),
+                   ants::util::fmt_fixed(
+                       ants::sim::optimal_time(distance, k), 0)});
+  }
+  table.print(std::cout);
+
+  std::printf(
+      "\nreading: with the full fleet the tuned strategy wins (Theorem 3.1);"
+      "\nas drones fail, its fixed spiral budgets under-search each phase,"
+      "\nwhile the uniform strategy keeps its O(log^(1+eps) k) promise for"
+      "\nwhatever k actually flies (Theorem 3.3).\n");
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

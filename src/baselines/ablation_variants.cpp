@@ -1,0 +1,136 @@
+#include "baselines/ablation_variants.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "core/known_k.h"
+#include "grid/ball.h"
+#include "util/sat.h"
+
+namespace ants::baselines {
+
+namespace {
+
+/// Materializes a `steps`-long simple random walk as successive positions
+/// starting AFTER `from` (FollowPath convention).
+std::vector<grid::Point> random_walk_steps(rng::Rng& rng, grid::Point from,
+                                           sim::Time steps) {
+  std::vector<grid::Point> path;
+  path.reserve(static_cast<std::size_t>(steps));
+  grid::Point pos = from;
+  for (sim::Time t = 0; t < steps; ++t) {
+    pos = pos + grid::kDirections[rng.direction4()];
+    path.push_back(pos);
+  }
+  return path;
+}
+
+// A_k's schedule via a borrowed KnownKStrategy; local search is a
+// materialized random walk instead of a spiral.
+class RandomLocalProgram final : public sim::AgentProgram {
+ public:
+  explicit RandomLocalProgram(std::int64_t k_belief) : schedule_(k_belief) {}
+
+  sim::Op next(rng::Rng& rng) override {
+    switch (step_) {
+      case Step::kGoTo: {
+        step_ = Step::kLocal;
+        const std::int64_t radius = schedule_.ball_radius(i_);
+        target_ = grid::uniform_ball_point(rng, radius);
+        return sim::GoTo{target_};
+      }
+      case Step::kLocal: {
+        step_ = Step::kReturn;
+        // Same step budget as the spiral would get; capped to keep the
+        // materialized path affordable (the ablation is run at small i).
+        const sim::Time budget =
+            std::min<sim::Time>(schedule_.spiral_budget(i_), 1 << 22);
+        return sim::FollowPath{random_walk_steps(rng, target_, budget)};
+      }
+      default:
+        step_ = Step::kGoTo;
+        if (i_ < j_) {
+          ++i_;
+        } else {
+          ++j_;
+          i_ = 1;
+        }
+        return sim::ReturnToSource{};
+    }
+  }
+
+ private:
+  enum class Step { kGoTo, kLocal, kReturn };
+
+  core::KnownKStrategy schedule_;
+  grid::Point target_{};
+  int j_ = 1;
+  int i_ = 1;
+  Step step_ = Step::kGoTo;
+};
+
+// A_k minus the ReturnToSource op.
+class NoReturnProgram final : public sim::AgentProgram {
+ public:
+  explicit NoReturnProgram(std::int64_t k_belief) : schedule_(k_belief) {}
+
+  sim::Op next(rng::Rng& rng) override {
+    if (go_phase_) {
+      go_phase_ = false;
+      const std::int64_t radius = schedule_.ball_radius(i_);
+      return sim::GoTo{grid::uniform_ball_point(rng, radius)};
+    }
+    go_phase_ = true;
+    const sim::Time budget = schedule_.spiral_budget(i_);
+    if (i_ < j_) {
+      ++i_;
+    } else {
+      ++j_;
+      i_ = 1;
+    }
+    return sim::SpiralFor{budget};
+  }
+
+ private:
+  core::KnownKStrategy schedule_;
+  bool go_phase_ = true;
+  int j_ = 1;
+  int i_ = 1;
+};
+
+}  // namespace
+
+KnownKRandomLocalStrategy::KnownKRandomLocalStrategy(std::int64_t k_belief)
+    : k_belief_(k_belief) {
+  if (k_belief < 1) {
+    throw std::invalid_argument("KnownKRandomLocal: k_belief >= 1");
+  }
+}
+
+std::string KnownKRandomLocalStrategy::name() const {
+  return "known-k-rw-local(k=" + std::to_string(k_belief_) + ")";
+}
+
+std::unique_ptr<sim::AgentProgram> KnownKRandomLocalStrategy::make_program(
+    sim::AgentContext /*ctx*/) const {
+  return std::make_unique<RandomLocalProgram>(k_belief_);
+}
+
+KnownKNoReturnStrategy::KnownKNoReturnStrategy(std::int64_t k_belief)
+    : k_belief_(k_belief) {
+  if (k_belief < 1) {
+    throw std::invalid_argument("KnownKNoReturn: k_belief >= 1");
+  }
+}
+
+std::string KnownKNoReturnStrategy::name() const {
+  return "known-k-no-return(k=" + std::to_string(k_belief_) + ")";
+}
+
+std::unique_ptr<sim::AgentProgram> KnownKNoReturnStrategy::make_program(
+    sim::AgentContext /*ctx*/) const {
+  return std::make_unique<NoReturnProgram>(k_belief_);
+}
+
+}  // namespace ants::baselines

@@ -1,0 +1,77 @@
+#include "baselines/biased_walk.h"
+
+#include "util/format.h"
+
+#include <stdexcept>
+
+namespace ants::baselines {
+
+namespace {
+
+class BiasedWalkProgram final : public sim::StepProgram {
+ public:
+  BiasedWalkProgram(double outward_bias, double persistence)
+      : outward_bias_(outward_bias), persistence_(persistence) {}
+
+  grid::Point step(rng::Rng& rng, grid::Point current) override {
+    if (has_last_ && rng.bernoulli(persistence_)) {
+      return current + grid::kDirections[last_dir_];
+    }
+
+    // Weight each move by whether it increases or decreases the distance
+    // from the nest; lateral moves keep weight 1.
+    const std::int64_t here = grid::l1_norm(current);
+    double weight[4];
+    double total = 0;
+    for (int d = 0; d < 4; ++d) {
+      const std::int64_t there = grid::l1_norm(current + grid::kDirections[d]);
+      weight[d] = there > here ? 1.0 + outward_bias_
+                  : there < here ? 1.0 - outward_bias_
+                                 : 1.0;
+      total += weight[d];
+    }
+
+    double u = rng.uniform_unit() * total;
+    int dir = 3;
+    for (int d = 0; d < 4; ++d) {
+      if (u < weight[d]) {
+        dir = d;
+        break;
+      }
+      u -= weight[d];
+    }
+    last_dir_ = dir;
+    has_last_ = true;
+    return current + grid::kDirections[dir];
+  }
+
+ private:
+  double outward_bias_;
+  double persistence_;
+  int last_dir_ = 0;
+  bool has_last_ = false;
+};
+
+}  // namespace
+
+BiasedWalkStrategy::BiasedWalkStrategy(double outward_bias, double persistence)
+    : outward_bias_(outward_bias), persistence_(persistence) {
+  if (!(outward_bias >= 0.0 && outward_bias < 1.0)) {
+    throw std::invalid_argument("BiasedWalk: outward_bias in [0, 1)");
+  }
+  if (!(persistence >= 0.0 && persistence < 1.0)) {
+    throw std::invalid_argument("BiasedWalk: persistence in [0, 1)");
+  }
+}
+
+std::string BiasedWalkStrategy::name() const {
+  return "biased-walk(b=" + util::fmt_param(outward_bias_) +
+         ",p=" + util::fmt_param(persistence_) + ")";
+}
+
+std::unique_ptr<sim::StepProgram> BiasedWalkStrategy::make_program(
+    sim::AgentContext /*ctx*/) const {
+  return std::make_unique<BiasedWalkProgram>(outward_bias_, persistence_);
+}
+
+}  // namespace ants::baselines

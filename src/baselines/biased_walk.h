@@ -1,0 +1,40 @@
+// Outward-biased correlated random walk: the synthetic stand-in for the
+// Harkness-Maroudas desert-ant model [24] the paper cites (their 1985 model
+// is specified only loosely; see DESIGN.md section 3.5). Two behavioral
+// knobs:
+//
+//   outward_bias  in [0, 1): extra weight on moves that increase the
+//                 distance from the nest (drift away from the origin);
+//   persistence   in [0, 1): probability of repeating the previous move
+//                 regardless of bias (directional correlation — "compass-
+//                 directed vector flight").
+//
+// With both zero this degenerates to the simple random walk. The model
+// produces the two-part trajectories the paper's section 6 describes
+// (straight outward runs + local tortuosity) without any treasure knowledge.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "sim/step_engine.h"
+
+namespace ants::baselines {
+
+class BiasedWalkStrategy final : public sim::StepStrategy {
+ public:
+  BiasedWalkStrategy(double outward_bias, double persistence);
+
+  std::string name() const override;
+  std::unique_ptr<sim::StepProgram> make_program(
+      sim::AgentContext ctx) const override;
+
+  double outward_bias() const noexcept { return outward_bias_; }
+  double persistence() const noexcept { return persistence_; }
+
+ private:
+  double outward_bias_;
+  double persistence_;
+};
+
+}  // namespace ants::baselines

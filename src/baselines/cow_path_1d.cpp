@@ -1,0 +1,44 @@
+#include "baselines/cow_path_1d.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace ants::baselines {
+
+CowPathResult cow_path_doubling(std::int64_t target, bool first_right) {
+  if (target == 0) throw std::invalid_argument("cow-path: target != 0");
+
+  CowPathResult result;
+  std::int64_t probe = 1;
+  bool right = first_right;
+  for (;;) {
+    // Walk `probe` in the current direction, checking whether the target
+    // lies within this excursion, then return to the origin.
+    const bool target_right = target > 0;
+    const std::int64_t dist = target_right ? target : -target;
+    if (right == target_right && dist <= probe) {
+      result.steps += dist;
+      result.competitive_ratio =
+          static_cast<double>(result.steps) / static_cast<double>(dist);
+      return result;
+    }
+    result.steps += 2 * probe;  // out and back
+    ++result.turns;
+    right = !right;
+    assert(probe <= (std::int64_t{1} << 61));
+    probe *= 2;
+  }
+}
+
+double cow_path_worst_ratio(std::int64_t max_distance) {
+  if (max_distance < 1) throw std::invalid_argument("cow-path: max_distance");
+  double worst = 0;
+  for (std::int64_t d = 1; d <= max_distance; ++d) {
+    worst = std::max(worst, cow_path_doubling(d).competitive_ratio);
+    worst = std::max(worst, cow_path_doubling(-d).competitive_ratio);
+  }
+  return worst;
+}
+
+}  // namespace ants::baselines

@@ -1,0 +1,30 @@
+// The classical one-dimensional cow-path problem (linear search), the
+// problem the paper generalizes: a single searcher on the integer line looks
+// for a target at unknown signed position; the doubling ("zig-zag") strategy
+// of Baeza-Yates, Culberson and Rawlins [7] is 9-competitive and optimal
+// among deterministic strategies.
+//
+// Included as the historical root baseline: tests pin the competitive ratio
+// at 9, and E8 contrasts the 1D ratio with the 2D generalization's bounds.
+#pragma once
+
+#include <cstdint>
+
+namespace ants::baselines {
+
+struct CowPathResult {
+  std::int64_t steps = 0;        ///< total edge traversals until the target
+  std::int64_t turns = 0;        ///< direction reversals made
+  double competitive_ratio = 0;  ///< steps / |target|
+};
+
+/// Runs the deterministic doubling strategy from the origin: probe 1 to the
+/// right, 2 to the left, 4 to the right, ... (each probe returns to the
+/// origin first). `target` != 0; `first_right` selects the initial side.
+CowPathResult cow_path_doubling(std::int64_t target, bool first_right = true);
+
+/// Worst-case competitive ratio of the doubling strategy over all targets
+/// with |target| <= max_distance (exhaustive; for tests and tables).
+double cow_path_worst_ratio(std::int64_t max_distance);
+
+}  // namespace ants::baselines

@@ -1,0 +1,90 @@
+#include "baselines/levy.h"
+
+#include "util/format.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/sat.h"
+
+namespace ants::baselines {
+
+namespace {
+
+// Flights are truncated at a huge-but-finite length so coordinates stay
+// comfortably inside int64 (a 2^40-step flight already exceeds every
+// experiment horizon).
+constexpr double kMaxFlight = 1099511627776.0;  // 2^40
+
+class LevyProgram final : public sim::AgentProgram {
+ public:
+  explicit LevyProgram(const LevyStrategy& strategy) : strategy_(strategy) {}
+
+  sim::Op next(rng::Rng& rng) override {
+    switch (step_) {
+      case Step::kFly: {
+        // Pareto(1, mu-1) gives the flight-length tail P(L > x) = x^-(mu-1),
+        // i.e. density ~ x^-mu.
+        double len = rng.pareto(1.0, strategy_.mu() - 1.0);
+        if (len > kMaxFlight) len = kMaxFlight;
+        const double theta = rng.angle();
+        const auto dx =
+            static_cast<std::int64_t>(std::llround(len * std::cos(theta)));
+        const auto dy =
+            static_cast<std::int64_t>(std::llround(len * std::sin(theta)));
+        target_ = anchor_ + grid::Point{dx, dy};
+        if (strategy_.scan_time() > 0) {
+          step_ = Step::kScan;
+        } else if (strategy_.loop()) {
+          step_ = Step::kReturn;
+        } else {
+          anchor_ = target_;  // chain flights endpoint-to-endpoint
+        }
+        return sim::GoTo{target_};
+      }
+      case Step::kScan:
+        if (strategy_.loop()) {
+          step_ = Step::kReturn;
+        } else {
+          step_ = Step::kFly;
+          anchor_ = target_;
+        }
+        return sim::SpiralFor{strategy_.scan_time()};
+      default:  // kReturn
+        step_ = Step::kFly;
+        anchor_ = grid::kOrigin;
+        return sim::ReturnToSource{};
+    }
+  }
+
+ private:
+  enum class Step { kFly, kScan, kReturn };
+
+  const LevyStrategy& strategy_;
+  grid::Point anchor_ = grid::kOrigin;  // where the next flight starts
+  grid::Point target_ = grid::kOrigin;
+  Step step_ = Step::kFly;
+};
+
+}  // namespace
+
+LevyStrategy::LevyStrategy(double mu, bool loop, sim::Time scan_time)
+    : mu_(mu), loop_(loop), scan_time_(scan_time) {
+  if (!(mu > 1.0 && mu <= 3.0)) {
+    throw std::invalid_argument("Levy: mu in (1, 3]");
+  }
+  if (scan_time < 0) throw std::invalid_argument("Levy: scan_time >= 0");
+}
+
+std::string LevyStrategy::name() const {
+  return std::string("levy(mu=") + util::fmt_param(mu_) +
+         (loop_ ? ",loop" : ",free") +
+         (scan_time_ > 0 ? ",scan=" + std::to_string(scan_time_) : "") + ")";
+}
+
+std::unique_ptr<sim::AgentProgram> LevyStrategy::make_program(
+    sim::AgentContext /*ctx*/) const {
+  return std::make_unique<LevyProgram>(*this);
+}
+
+}  // namespace ants::baselines

@@ -1,0 +1,44 @@
+// Levy-flight searchers (Reynolds [46, 47]): straight ballistic flights
+// whose lengths follow a power law p(l) ~ l^-mu, mu in (1, 3], in uniformly
+// random directions. Reynolds argues mu -> 1 (long straight lines) is
+// optimal for COOPERATIVE foragers because straightness decorrelates
+// overlapping searchers; E7 compares the family against the paper's
+// algorithms.
+//
+// Two variants:
+//   free  flights chain endpoint-to-endpoint (classic Levy search);
+//   loop  every flight starts and ends at the nest ("Levy loops",
+//         Reynolds' central-place variant [47]).
+// An optional local scan spirals for scan_time steps after each flight
+// (intermittent search).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sim/program.h"
+#include "sim/types.h"
+
+namespace ants::baselines {
+
+class LevyStrategy final : public sim::Strategy {
+ public:
+  /// mu in (1, 3]; loop selects the central-place variant; scan_time >= 0.
+  LevyStrategy(double mu, bool loop, sim::Time scan_time = 0);
+
+  std::string name() const override;
+  std::unique_ptr<sim::AgentProgram> make_program(
+      sim::AgentContext ctx) const override;
+
+  double mu() const noexcept { return mu_; }
+  bool loop() const noexcept { return loop_; }
+  sim::Time scan_time() const noexcept { return scan_time_; }
+
+ private:
+  double mu_;
+  bool loop_;
+  sim::Time scan_time_;
+};
+
+}  // namespace ants::baselines

@@ -1,0 +1,21 @@
+#include "baselines/random_walk.h"
+
+namespace ants::baselines {
+
+namespace {
+
+class RandomWalkProgram final : public sim::StepProgram {
+ public:
+  grid::Point step(rng::Rng& rng, grid::Point current) override {
+    return current + grid::kDirections[rng.direction4()];
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<sim::StepProgram> RandomWalkStrategy::make_program(
+    sim::AgentContext /*ctx*/) const {
+  return std::make_unique<RandomWalkProgram>();
+}
+
+}  // namespace ants::baselines

@@ -1,0 +1,24 @@
+// k independent simple random walkers — the natural memoryless baseline the
+// paper dismisses: on the infinite grid Z^2 the expected hitting time of a
+// node is INFINITE even at distance 1 (the walk is null-recurrent), and
+// experiment E7 shows exactly that blow-up empirically. Runs under the
+// step-level engine with a finite cap.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "sim/step_engine.h"
+
+namespace ants::baselines {
+
+class RandomWalkStrategy final : public sim::StepStrategy {
+ public:
+  RandomWalkStrategy() = default;
+
+  std::string name() const override { return "random-walk"; }
+  std::unique_ptr<sim::StepProgram> make_program(
+      sim::AgentContext ctx) const override;
+};
+
+}  // namespace ants::baselines

@@ -1,0 +1,76 @@
+#include "baselines/sector_sweep.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "grid/spiral.h"
+
+namespace ants::baselines {
+
+namespace {
+
+class SectorSweepProgram final : public sim::AgentProgram {
+ public:
+  explicit SectorSweepProgram(sim::AgentContext ctx)
+      : index_(ctx.agent_index), k_(ctx.k) {}
+
+  sim::Op next(rng::Rng& /*rng*/) override {
+    // Alternate "walk to the arc's entry node" and "follow the arc"; rings
+    // with an empty arc for this agent are skipped.
+    for (;;) {
+      if (pending_entry_) {
+        pending_entry_ = false;
+        return sim::GoTo{arc_.front()};
+      }
+      if (!arc_.empty()) {
+        std::vector<grid::Point> steps(arc_.begin() + 1, arc_.end());
+        arc_.clear();
+        if (!steps.empty()) return sim::FollowPath{std::move(steps)};
+        continue;  // single-node arc: the GoTo already covered it
+      }
+      build_next_arc();
+    }
+  }
+
+ private:
+  void build_next_arc() {
+    // Agent `index_` owns ring-r spiral offsets [floor(8r*i/k),
+    // floor(8r*(i+1)/k)); the floor partition tiles [0, 8r) exactly across
+    // agents. Offsets are positions along the square spiral's ring
+    // traversal, so consecutive arc nodes are grid-adjacent.
+    for (;;) {
+      ++ring_;
+      const std::int64_t ring_nodes = 8 * ring_;
+      const std::int64_t lo = ring_nodes * index_ / k_;
+      const std::int64_t hi = ring_nodes * (index_ + 1) / k_;
+      if (hi <= lo) continue;  // empty arc on this ring
+
+      const std::int64_t base = (2 * ring_ - 1) * (2 * ring_ - 1);
+      arc_.clear();
+      arc_.reserve(static_cast<std::size_t>(hi - lo));
+      for (std::int64_t m = lo; m < hi; ++m) {
+        arc_.push_back(grid::spiral_point(base + m));
+      }
+      // Boustrophedon: sweep odd rings forward, even rings backward, so the
+      // next arc's entry is near this arc's exit.
+      if (ring_ % 2 == 0) std::reverse(arc_.begin(), arc_.end());
+      pending_entry_ = true;
+      return;
+    }
+  }
+
+  int index_;
+  int k_;
+  std::int64_t ring_ = 0;
+  bool pending_entry_ = false;
+  std::vector<grid::Point> arc_;
+};
+
+}  // namespace
+
+std::unique_ptr<sim::AgentProgram> SectorSweepStrategy::make_program(
+    sim::AgentContext ctx) const {
+  return std::make_unique<SectorSweepProgram>(ctx);
+}
+
+}  // namespace ants::baselines

@@ -1,0 +1,34 @@
+// Coordinated sector sweep: the "with coordination" upper baseline.
+//
+// The paper proves agents that KNOW k can reach O(D + D^2/k) even without
+// communication (Theorem 3.1, randomized). This deterministic baseline shows
+// what explicit coordination buys: agent i of k owns the angular sector
+// [i/k, (i+1)/k) of every square (Chebyshev) ring and sweeps its arcs
+// boustrophedon, ring by ring outward. Every node of ring r is covered by
+// exactly one agent, arcs are unit-step connected (they are runs of the
+// square spiral's ring traversal), and transitions between consecutive rings
+// cost O(r/k + 1) short walks, so covering B(D) takes O(D^2/k + D) steps —
+// the optimal order, deterministically.
+//
+// This is the one strategy that legitimately reads AgentContext: both the
+// agent index and k (it models centralized assignment, the contrast class to
+// everything in the paper).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "sim/program.h"
+
+namespace ants::baselines {
+
+class SectorSweepStrategy final : public sim::Strategy {
+ public:
+  SectorSweepStrategy() = default;
+
+  std::string name() const override { return "sector-sweep"; }
+  std::unique_ptr<sim::AgentProgram> make_program(
+      sim::AgentContext ctx) const override;
+};
+
+}  // namespace ants::baselines

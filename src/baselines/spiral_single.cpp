@@ -1,0 +1,25 @@
+#include "baselines/spiral_single.h"
+
+#include "util/sat.h"
+
+namespace ants::baselines {
+
+namespace {
+
+class SpiralSingleProgram final : public sim::AgentProgram {
+ public:
+  sim::Op next(rng::Rng& /*rng*/) override {
+    // One maximal spiral; its duration saturates the clock, so the engine
+    // resolves the whole run from this single segment's closed form.
+    return sim::SpiralFor{util::kTimeCap};
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<sim::AgentProgram> SpiralSingleStrategy::make_program(
+    sim::AgentContext /*ctx*/) const {
+  return std::make_unique<SpiralSingleProgram>();
+}
+
+}  // namespace ants::baselines

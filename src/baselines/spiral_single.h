@@ -1,0 +1,27 @@
+// The single-agent square spiral: the two-dimensional cow-path solution
+// Baeza-Yates et al. [7] proved optimal (up to lower-order terms) for one
+// searcher with unknown D — time Theta(D^2).
+//
+// As a k-agent strategy it is also the degenerate "identical deterministic
+// agents" baseline: all k agents trace the same spiral, so the speed-up is
+// exactly 1 — the paper's point that deterministic identical agents cannot
+// collaborate without coordination or randomness (E8 shows the flat line).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "sim/program.h"
+
+namespace ants::baselines {
+
+class SpiralSingleStrategy final : public sim::Strategy {
+ public:
+  SpiralSingleStrategy() = default;
+
+  std::string name() const override { return "spiral"; }
+  std::unique_ptr<sim::AgentProgram> make_program(
+      sim::AgentContext ctx) const override;
+};
+
+}  // namespace ants::baselines

@@ -1,0 +1,79 @@
+#include "core/approx_k.h"
+
+#include "util/format.h"
+
+#include <cmath>
+#include <optional>
+#include <stdexcept>
+
+namespace ants::core {
+
+namespace {
+
+// Each agent owns a KnownK program constructed from its private estimate;
+// the wrapper forwards ops, so an ApproxK agent is exactly an A_{k_a/rho}
+// agent as the corollary prescribes. The estimate is the agent's input,
+// drawn lazily from its private stream so that log-uniform assignments vary
+// across trials yet stay reproducible.
+class ApproxKProgram final : public sim::AgentProgram {
+ public:
+  explicit ApproxKProgram(const ApproxKStrategy& outer) : outer_(outer) {}
+
+  sim::Op next(rng::Rng& rng) override {
+    if (!inner_) {
+      inner_strategy_.emplace(
+          outer_.parameter_for_estimate(outer_.draw_estimate(rng)));
+      inner_ = inner_strategy_->make_program(sim::AgentContext{});
+    }
+    return inner_->next(rng);
+  }
+
+ private:
+  const ApproxKStrategy& outer_;
+  std::optional<KnownKStrategy> inner_strategy_;
+  std::unique_ptr<sim::AgentProgram> inner_;
+};
+
+}  // namespace
+
+ApproxKStrategy::ApproxKStrategy(std::int64_t k_true, double rho,
+                                 ApproxMode mode)
+    : k_true_(k_true), rho_(rho), mode_(mode) {
+  if (k_true < 1) throw std::invalid_argument("ApproxK: k_true >= 1");
+  if (!(rho >= 1.0)) throw std::invalid_argument("ApproxK: rho >= 1");
+}
+
+std::string ApproxKStrategy::name() const {
+  const char* mode = mode_ == ApproxMode::kUnder  ? "under"
+                     : mode_ == ApproxMode::kOver ? "over"
+                                                  : "loguniform";
+  return "approx-k(rho=" + util::fmt_param(rho_) + "," + mode + ")";
+}
+
+std::int64_t ApproxKStrategy::parameter_for_estimate(double k_a) const noexcept {
+  const double parameter = k_a / rho_;
+  return parameter < 1.0 ? 1 : static_cast<std::int64_t>(parameter);
+}
+
+double ApproxKStrategy::draw_estimate(rng::Rng& rng) const {
+  const auto k = static_cast<double>(k_true_);
+  switch (mode_) {
+    case ApproxMode::kUnder:
+      return k / rho_;
+    case ApproxMode::kOver:
+      return k * rho_;
+    case ApproxMode::kLogUniform: {
+      const double lo = std::log(k / rho_);
+      const double hi = std::log(k * rho_);
+      return std::exp(rng.uniform_real(lo, hi));
+    }
+  }
+  return k;  // unreachable
+}
+
+std::unique_ptr<sim::AgentProgram> ApproxKStrategy::make_program(
+    sim::AgentContext /*ctx*/) const {
+  return std::make_unique<ApproxKProgram>(*this);
+}
+
+}  // namespace ants::core

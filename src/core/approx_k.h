@@ -1,0 +1,51 @@
+// Corollary 3.2: searching with a rho-approximation of k.
+//
+// Each agent a receives an input k_a with k/rho <= k_a <= k*rho and runs
+// Algorithm A_k with parameter k_a / rho (so its parameter is always <= k,
+// inflating spiral budgets by at most rho^2); the corollary shows the
+// expected running time grows by at most a rho^2 factor, i.e. the algorithm
+// is O(1)-competitive for constant rho.
+//
+// The strategy models how the adversary (or nature) assigns the estimates:
+//   kUnder      every agent receives k/rho (worst case, longest spirals)
+//   kOver       every agent receives k*rho
+//   kLogUniform each agent draws k_a log-uniformly from [k/rho, k*rho]
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/known_k.h"
+#include "sim/program.h"
+
+namespace ants::core {
+
+enum class ApproxMode { kUnder, kOver, kLogUniform };
+
+class ApproxKStrategy final : public sim::Strategy {
+ public:
+  /// `k_true` is the real agent count the estimates bracket; rho >= 1.
+  ApproxKStrategy(std::int64_t k_true, double rho, ApproxMode mode);
+
+  std::string name() const override;
+  std::unique_ptr<sim::AgentProgram> make_program(
+      sim::AgentContext ctx) const override;
+
+  /// The A_k parameter (k_a / rho, clamped to >= 1) an agent would use for a
+  /// given estimate; exposed for tests.
+  std::int64_t parameter_for_estimate(double k_a) const noexcept;
+
+  /// Draws one agent's estimate k_a per the mode (consumes rng only in the
+  /// log-uniform mode).
+  double draw_estimate(rng::Rng& rng) const;
+
+  double rho() const noexcept { return rho_; }
+
+ private:
+  std::int64_t k_true_;
+  double rho_;
+  ApproxMode mode_;
+};
+
+}  // namespace ants::core

@@ -1,0 +1,67 @@
+#include "core/harmonic.h"
+
+#include "util/format.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "grid/ball.h"
+#include "util/sat.h"
+
+namespace ants::core {
+
+namespace {
+
+class HarmonicProgram final : public sim::AgentProgram {
+ public:
+  explicit HarmonicProgram(const HarmonicStrategy& strategy)
+      : strategy_(strategy) {}
+
+  sim::Op next(rng::Rng& rng) override {
+    switch (step_) {
+      case Step::kGoTo: {
+        step_ = Step::kSpiral;
+        radius_ = strategy_.radius_law().sample(rng);
+        return sim::GoTo{grid::uniform_ring_point(rng, radius_)};
+      }
+      case Step::kSpiral:
+        step_ = Step::kReturn;
+        return sim::SpiralFor{strategy_.spiral_budget(radius_)};
+      default:
+        step_ = Step::kGoTo;
+        return sim::ReturnToSource{};
+    }
+  }
+
+ private:
+  enum class Step { kGoTo, kSpiral, kReturn };
+
+  const HarmonicStrategy& strategy_;
+  std::int64_t radius_ = 1;
+  Step step_ = Step::kGoTo;
+};
+
+}  // namespace
+
+HarmonicStrategy::HarmonicStrategy(double delta)
+    : delta_(delta), law_(1.0 + delta) {
+  if (!(delta > 0.0)) throw std::invalid_argument("Harmonic: delta > 0");
+}
+
+std::string HarmonicStrategy::name() const {
+  return "harmonic(delta=" + util::fmt_param(delta_) + ")";
+}
+
+std::unique_ptr<sim::AgentProgram> HarmonicStrategy::make_program(
+    sim::AgentContext /*ctx*/) const {
+  // Uniform algorithm: identical program for every agent, no use of ctx.k.
+  return std::make_unique<HarmonicProgram>(*this);
+}
+
+sim::Time HarmonicStrategy::spiral_budget(std::int64_t radius) const noexcept {
+  const double t = std::pow(static_cast<double>(radius), 2.0 + delta_);
+  const std::int64_t budget = util::sat_from_double(t);
+  return budget < 1 ? 1 : budget;
+}
+
+}  // namespace ants::core

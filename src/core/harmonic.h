@@ -1,0 +1,49 @@
+// Algorithm 2 of the paper: the harmonic search algorithm (Theorem 5.1).
+//
+// Each agent repeats three actions forever:
+//   1. go to a node u with probability p(u) = c / d(u)^(2+delta)
+//   2. spiral-search for t(u) = d(u)^(2+delta) time
+//   3. return to the source
+//
+// Decomposed by radius, step 1 samples the L1 radius r with
+// P(r) ∝ ring_size(r) * r^-(2+delta) = 4 r^-(1+delta) and then picks a node
+// uniformly on that ring (rng/power_law.h does the radius draw exactly).
+//
+// Theorem 5.1 (delta in (0, 0.8]): for every eps > 0 there is an alpha such
+// that if k > alpha * D^delta, then with probability >= 1 - eps the search
+// takes O(D + D^(2+delta)/k) time. Trip costs are heavy-tailed with infinite
+// mean, so experiments report quantiles and success probabilities.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "rng/power_law.h"
+#include "sim/program.h"
+#include "sim/types.h"
+
+namespace ants::core {
+
+class HarmonicStrategy final : public sim::Strategy {
+ public:
+  /// The paper analyzes delta in (0, 0.8]; any delta > 0 is accepted (the
+  /// upper limit only tightens constants in the proof).
+  explicit HarmonicStrategy(double delta);
+
+  std::string name() const override;
+  std::unique_ptr<sim::AgentProgram> make_program(
+      sim::AgentContext ctx) const override;
+
+  double delta() const noexcept { return delta_; }
+  const rng::DiscretePowerLaw& radius_law() const noexcept { return law_; }
+
+  /// Spiral budget t(u) = d(u)^(2+delta), saturated at 2^62.
+  sim::Time spiral_budget(std::int64_t radius) const noexcept;
+
+ private:
+  double delta_;
+  rng::DiscretePowerLaw law_;
+};
+
+}  // namespace ants::core

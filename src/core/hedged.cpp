@@ -1,0 +1,109 @@
+#include "core/hedged.h"
+
+#include "util/format.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/params.h"
+#include "grid/ball.h"
+#include "util/sat.h"
+
+namespace ants::core {
+
+namespace {
+
+class HedgedProgram final : public sim::AgentProgram {
+ public:
+  explicit HedgedProgram(const HedgedApproxStrategy& strategy)
+      : strategy_(strategy) {}
+
+  sim::Op next(rng::Rng& rng) override {
+    switch (step_) {
+      case Step::kGoTo: {
+        step_ = Step::kSpiral;
+        return sim::GoTo{
+            grid::uniform_ball_point(rng, strategy_.ball_radius(i_))};
+      }
+      case Step::kSpiral: {
+        step_ = Step::kReturn;
+        const int j = strategy_.candidate_exponents()[candidate_];
+        return sim::SpiralFor{strategy_.spiral_budget(i_, j)};
+      }
+      default:
+        step_ = Step::kGoTo;
+        advance();
+        return sim::ReturnToSource{};
+    }
+  }
+
+ private:
+  enum class Step { kGoTo, kSpiral, kReturn };
+
+  void advance() {
+    // Innermost: candidate guesses; then phases i in [1, stage]; then
+    // unbounded stages — exactly A_k's schedule with a candidate loop
+    // spliced in.
+    if (candidate_ + 1 < strategy_.candidate_exponents().size()) {
+      ++candidate_;
+      return;
+    }
+    candidate_ = 0;
+    if (i_ < stage_) {
+      ++i_;
+      return;
+    }
+    i_ = 1;
+    ++stage_;
+  }
+
+  const HedgedApproxStrategy& strategy_;
+  int stage_ = 1;
+  int i_ = 1;
+  std::size_t candidate_ = 0;
+  Step step_ = Step::kGoTo;
+};
+
+}  // namespace
+
+HedgedApproxStrategy::HedgedApproxStrategy(double k_estimate, double eps)
+    : k_estimate_(k_estimate), eps_(eps) {
+  if (!(k_estimate >= 1.0)) {
+    throw std::invalid_argument("Hedged: k_estimate >= 1");
+  }
+  if (!(eps >= 0.0 && eps <= 1.0)) {
+    throw std::invalid_argument("Hedged: eps in [0, 1]");
+  }
+  const double log_k = std::log2(k_estimate);
+  const int j_hi = static_cast<int>(std::ceil(log_k));
+  const int j_lo =
+      std::max(0, static_cast<int>(std::floor((1.0 - eps) * log_k)));
+  for (int j = j_lo; j <= j_hi; ++j) candidates_.push_back(j);
+}
+
+std::string HedgedApproxStrategy::name() const {
+  return "hedged(k~=" + std::to_string(static_cast<long long>(k_estimate_)) +
+         ",eps=" + util::fmt_param(eps_) + ")";
+}
+
+std::unique_ptr<sim::AgentProgram> HedgedApproxStrategy::make_program(
+    sim::AgentContext /*ctx*/) const {
+  return std::make_unique<HedgedProgram>(*this);
+}
+
+std::int64_t HedgedApproxStrategy::ball_radius(int phase_i) const noexcept {
+  return util::pow2(std::min(phase_i, kMaxRadiusExponent));
+}
+
+sim::Time HedgedApproxStrategy::spiral_budget(int phase_i,
+                                              int candidate_exponent) const
+    noexcept {
+  // A_k's t_i = 2^(2i+2)/k with k = 2^j: 2^(2i+2-j), clamped/saturated.
+  const int exponent = 2 * phase_i + 2 - candidate_exponent;
+  if (exponent <= 0) return 1;
+  if (exponent >= 62) return util::kTimeCap;
+  return util::pow2(exponent);
+}
+
+}  // namespace ants::core

@@ -1,0 +1,51 @@
+// Hedged search under one-sided k^eps-approximate knowledge (the upper-bound
+// companion to Theorem 4.2).
+//
+// Setting (paper, section 4.2): each agent receives an estimate k~ with
+// k~^(1-eps) <= k <= k~, i.e. the true k lies somewhere in a window of
+// eps * log2(k~) octaves below the estimate. Theorem 4.2 proves ANY
+// algorithm in this setting is Omega(eps * log k)-competitive.
+//
+// This strategy shows the bound is achievable (up to constants) by hedging:
+// it runs the A_k phase schedule simultaneously for every candidate
+// k_c = 2^j with j in [floor((1-eps) log2 k~), ceil(log2 k~)] — the
+// candidate matching the true k gives the Theorem 3.1 guarantee, while
+// cycling through all |candidates| = Theta(eps log k~) of them dilutes time
+// by exactly that factor. Together with the paper's lower bound this pins
+// the competitiveness of the estimate regime at Theta(eps log k).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/program.h"
+#include "sim/types.h"
+
+namespace ants::core {
+
+class HedgedApproxStrategy final : public sim::Strategy {
+ public:
+  /// k_estimate >= 1 is the one-sided estimate k~; eps in [0, 1].
+  HedgedApproxStrategy(double k_estimate, double eps);
+
+  std::string name() const override;
+  std::unique_ptr<sim::AgentProgram> make_program(
+      sim::AgentContext ctx) const override;
+
+  /// Candidate exponents j (k_c = 2^j) in cycling order; never empty.
+  const std::vector<int>& candidate_exponents() const noexcept {
+    return candidates_;
+  }
+
+  std::int64_t ball_radius(int phase_i) const noexcept;
+  sim::Time spiral_budget(int phase_i, int candidate_exponent) const noexcept;
+
+ private:
+  double k_estimate_;
+  double eps_;
+  std::vector<int> candidates_;
+};
+
+}  // namespace ants::core

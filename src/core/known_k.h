@@ -1,0 +1,45 @@
+// Algorithm 3 of the paper (Appendix A): the non-uniform algorithm A_k.
+//
+//   for stage j = 1, 2, ...:
+//     for phase i = 1..j:
+//       go to a node u chosen uniformly at random in B(2^i)
+//       spiral-search for t_i = 2^(2i+2) / k time
+//       return to the source
+//
+// Theorem 3.1: with agents knowing k, E[T] = O(D + D^2/k) — asymptotically
+// optimal. The k the STRATEGY is constructed with is the agents' belief;
+// experiments about approximate knowledge deliberately construct it with a
+// value different from the true agent count.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sim/program.h"
+
+namespace ants::core {
+
+class KnownKStrategy final : public sim::Strategy {
+ public:
+  /// `k_belief` >= 1: the number of agents each agent assumes.
+  explicit KnownKStrategy(std::int64_t k_belief);
+
+  std::string name() const override;
+  std::unique_ptr<sim::AgentProgram> make_program(
+      sim::AgentContext ctx) const override;
+
+  std::int64_t k_belief() const noexcept { return k_belief_; }
+
+  /// Spiral budget of phase i: max(1, 2^(2i+2)/k), saturated. Exposed so
+  /// tests can pin the schedule against the paper's pseudocode.
+  sim::Time spiral_budget(int phase_i) const noexcept;
+
+  /// Ball radius of phase i: min(2^i, 2^30).
+  std::int64_t ball_radius(int phase_i) const noexcept;
+
+ private:
+  std::int64_t k_belief_;
+};
+
+}  // namespace ants::core

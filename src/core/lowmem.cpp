@@ -1,0 +1,228 @@
+#include "core/lowmem.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/params.h"
+#include "core/uniform.h"
+#include "grid/ball.h"
+#include "util/format.h"
+#include "util/sat.h"
+
+namespace ants::core {
+
+namespace {
+
+/// Exponents up to this are simulated flip by flip (mean 2^13 flips at the
+/// threshold); larger ones use the O(1) renewal-decomposition sampler below.
+constexpr int kExactCounterExponent = 12;
+
+}  // namespace
+
+std::int64_t randomized_counter_steps(rng::Rng& rng, int exponent,
+                                      std::int64_t cap) {
+  if (exponent < 0) throw std::invalid_argument("counter: exponent >= 0");
+  if (cap < 0) throw std::invalid_argument("counter: cap >= 0");
+  if (exponent == 0) return 0;
+
+  if (exponent <= kExactCounterExponent) {
+    std::int64_t steps = 0;
+    int run = 0;  // the agent's entire mutable state: O(log exponent) bits
+    while (run < exponent) {
+      if (steps >= cap) return cap;
+      ++steps;
+      run = rng.coin() ? run + 1 : 0;
+    }
+    return steps;
+  }
+
+  // The AGENT flips one coin per step; the SIMULATOR must not, or a single
+  // l = 30 draw would cost 2^31 flips. Renewal decomposition of the waiting
+  // time T_l for l consecutive heads: each failed attempt is a head-run of
+  // length J < l followed by a tail (cost J + 1 flips, J truncated
+  // geometric on [0, l-1]), the final success costs l flips, and the number
+  // of failed attempts N is Geometric(2^-l). So
+  //     T_l = l + N + sum_{i=1..N} J_i.
+  // N is sampled exactly (it carries virtually all the variance: sd(N) ~
+  // 2^l while sd(sum J) ~ 2^(l/2)); the J-sum is replaced by its CLT normal
+  // with the exact truncated-geometric moments. The approximation error is
+  // O(2^(l/2)) on a Theta(2^l) quantity — invisible to every consumer, and
+  // the distributional tests cover both regimes.
+  const double p = std::exp2(-exponent);  // success probability per attempt
+  const std::int64_t n = rng.geometric(p);
+  double mu = 0, second = 0;  // E[J], E[J^2] of the truncated geometric
+  {
+    const double norm = 1.0 - std::exp2(-exponent);
+    for (int j = 0; j < exponent && j < 64; ++j) {
+      const double pj = std::exp2(-(j + 1)) / norm;
+      mu += j * pj;
+      second += static_cast<double>(j) * j * pj;
+    }
+  }
+  const double nd = static_cast<double>(n);
+  const double mean = static_cast<double>(exponent) + nd + nd * mu;
+  const double var = nd * std::max(0.0, second - mu * mu);
+  const double t = mean + std::sqrt(var) * rng.normal();
+  const double lo = static_cast<double>(exponent);
+  const double hi = static_cast<double>(cap);
+  return static_cast<std::int64_t>(std::llround(std::clamp(t, lo, hi)));
+}
+
+namespace {
+
+/// Counter draw scaled to mean ~2^exponent (the raw counter's mean is
+/// 2^(exponent+1) - 2), clamped to [1, limit].
+std::int64_t counter_scaled(rng::Rng& rng, int exponent, std::int64_t limit) {
+  const std::int64_t cap =
+      util::sat_mul(2, limit);  // raw cap so steps/2 <= limit
+  const std::int64_t raw = randomized_counter_steps(rng, exponent, cap);
+  return std::clamp<std::int64_t>(raw / 2, 1, limit);
+}
+
+// Algorithm 1's triple loop with counters instead of registers.
+class LowMemUniformProgram final : public sim::AgentProgram {
+ public:
+  explicit LowMemUniformProgram(const LowMemUniformStrategy& strategy)
+      : strategy_(strategy) {}
+
+  sim::Op next(rng::Rng& rng) override {
+    switch (step_) {
+      case Step::kGoTo: {
+        step_ = Step::kSpiral;
+        const std::int64_t radius = counter_scaled(
+            rng, strategy_.walk_exponent(i_, j_), kMaxBallRadius);
+        return sim::GoTo{grid::uniform_ring_point(rng, radius)};
+      }
+      case Step::kSpiral: {
+        step_ = Step::kReturn;
+        const std::int64_t budget = counter_scaled(
+            rng, strategy_.spiral_exponent(i_, j_), util::kTimeCap);
+        return sim::SpiralFor{budget};
+      }
+      default:
+        step_ = Step::kGoTo;
+        advance();
+        return sim::ReturnToSource{};
+    }
+  }
+
+ private:
+  enum class Step { kGoTo, kSpiral, kReturn };
+
+  void advance() {
+    if (j_ < i_) {
+      ++j_;
+      return;
+    }
+    j_ = 0;
+    if (i_ < l_) {
+      ++i_;
+      return;
+    }
+    i_ = 0;
+    ++l_;
+  }
+
+  const LowMemUniformStrategy& strategy_;
+  int l_ = 0;
+  int i_ = 0;
+  int j_ = 0;
+  Step step_ = Step::kGoTo;
+};
+
+// Algorithm 2 with a coin-flip power law and counter-based trip lengths.
+class LowMemHarmonicProgram final : public sim::AgentProgram {
+ public:
+  explicit LowMemHarmonicProgram(double delta) : continue_p_(std::exp2(-delta)),
+                                                 delta_(delta) {}
+
+  sim::Op next(rng::Rng& rng) override {
+    switch (step_) {
+      case Step::kGoTo: {
+        step_ = Step::kSpiral;
+        // Dyadic power law: P(scale >= l) = 2^(-delta l) matches the mass
+        // the harmonic density p(u) ~ d^-(2+delta) puts at distance ~2^l
+        // (the ~2^(2l) nodes there each get ~2^(-(2+delta) l)).
+        scale_ = 0;
+        while (scale_ < kMaxRadiusExponent && rng.uniform_unit() < continue_p_) {
+          ++scale_;
+        }
+        const std::int64_t radius =
+            counter_scaled(rng, scale_, kMaxBallRadius);
+        return sim::GoTo{grid::uniform_ring_point(rng, radius)};
+      }
+      case Step::kSpiral: {
+        step_ = Step::kReturn;
+        // t(u) = d(u)^(2+delta) becomes a counter at exponent
+        // ceil((2+delta) * scale): the agent re-uses the 5-bit scale it
+        // drew, never the exact realized distance.
+        const int exponent = static_cast<int>(
+            std::ceil((2.0 + delta_) * static_cast<double>(scale_)));
+        const std::int64_t budget =
+            counter_scaled(rng, std::min(exponent, 62), util::kTimeCap);
+        return sim::SpiralFor{budget};
+      }
+      default:
+        step_ = Step::kGoTo;
+        return sim::ReturnToSource{};
+    }
+  }
+
+ private:
+  enum class Step { kGoTo, kSpiral, kReturn };
+
+  double continue_p_;
+  double delta_;
+  int scale_ = 0;  // the drawn dyadic scale: <= 5 bits
+  Step step_ = Step::kGoTo;
+};
+
+}  // namespace
+
+LowMemUniformStrategy::LowMemUniformStrategy(double eps) : eps_(eps) {
+  if (!(eps >= 0.0)) throw std::invalid_argument("LowMemUniform: eps >= 0");
+}
+
+std::string LowMemUniformStrategy::name() const {
+  return "lowmem-uniform(eps=" + util::fmt_param(eps_) + ")";
+}
+
+std::unique_ptr<sim::AgentProgram> LowMemUniformStrategy::make_program(
+    sim::AgentContext /*ctx*/) const {
+  return std::make_unique<LowMemUniformProgram>(*this);
+}
+
+int LowMemUniformStrategy::walk_exponent(int stage_i, int phase_j) const
+    noexcept {
+  // round(log2(D_ij)) with D_ij the exact Algorithm 1 radius; >= 0.
+  const UniformStrategy exact(eps_);
+  const double d = static_cast<double>(exact.ball_radius(stage_i, phase_j));
+  return std::max(0, static_cast<int>(std::lround(std::log2(d))));
+}
+
+int LowMemUniformStrategy::spiral_exponent(int stage_i, int phase_j) const
+    noexcept {
+  const UniformStrategy exact(eps_);
+  const double t = static_cast<double>(exact.spiral_budget(stage_i, phase_j));
+  return std::max(0, static_cast<int>(std::lround(std::log2(t))));
+}
+
+LowMemHarmonicStrategy::LowMemHarmonicStrategy(double delta) : delta_(delta) {
+  if (!(delta > 0.0)) throw std::invalid_argument("LowMemHarmonic: delta > 0");
+}
+
+std::string LowMemHarmonicStrategy::name() const {
+  return "lowmem-harmonic(delta=" + util::fmt_param(delta_) + ")";
+}
+
+std::unique_ptr<sim::AgentProgram> LowMemHarmonicStrategy::make_program(
+    sim::AgentContext /*ctx*/) const {
+  return std::make_unique<LowMemHarmonicProgram>(delta_);
+}
+
+double LowMemHarmonicStrategy::scale_continue_probability() const noexcept {
+  return std::exp2(-delta_);
+}
+
+}  // namespace ants::core

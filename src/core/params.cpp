@@ -1,0 +1,13 @@
+#include "core/params.h"
+
+#include <cmath>
+
+namespace ants::core {
+
+std::int64_t clamp_radius(double r) noexcept {
+  if (!(r >= 1.0)) return 1;  // also catches NaN
+  if (r >= static_cast<double>(kMaxBallRadius)) return kMaxBallRadius;
+  return static_cast<std::int64_t>(r);
+}
+
+}  // namespace ants::core

@@ -1,0 +1,25 @@
+// Shared numeric guard rails for the core algorithms.
+#pragma once
+
+#include <cstdint>
+
+#include "util/math.h"
+
+namespace ants::core {
+
+/// Ball radii used for "go to a uniform node of B(r)" are capped at 2^30.
+///
+/// Rationale: |B(r)| = 2r^2 + 2r + 1 must fit in int64 for exact uniform
+/// sampling (2^30 gives ~2^61). Reaching a phase with radius 2^30 requires
+/// the agent to have already walked >= 2^30 steps, three orders of magnitude
+/// beyond any experiment horizon in this repository, so the cap is
+/// unobservable; it exists to make the implementation total rather than to
+/// change the algorithm.
+inline constexpr int kMaxRadiusExponent = 30;
+inline constexpr std::int64_t kMaxBallRadius =
+    std::int64_t{1} << kMaxRadiusExponent;
+
+/// Clamp a real-valued radius into [1, kMaxBallRadius].
+std::int64_t clamp_radius(double r) noexcept;
+
+}  // namespace ants::core

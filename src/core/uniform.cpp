@@ -1,0 +1,104 @@
+#include "core/uniform.h"
+
+#include "util/format.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/params.h"
+#include "grid/ball.h"
+#include "util/sat.h"
+
+namespace ants::core {
+
+namespace {
+
+class UniformProgram final : public sim::AgentProgram {
+ public:
+  explicit UniformProgram(const UniformStrategy& strategy)
+      : strategy_(strategy) {}
+
+  sim::Op next(rng::Rng& rng) override {
+    switch (step_) {
+      case Step::kGoTo: {
+        step_ = Step::kSpiral;
+        const std::int64_t radius = strategy_.ball_radius(i_, j_);
+        return sim::GoTo{grid::uniform_ball_point(rng, radius)};
+      }
+      case Step::kSpiral:
+        step_ = Step::kReturn;
+        return sim::SpiralFor{strategy_.spiral_budget(i_, j_)};
+      default:
+        step_ = Step::kGoTo;
+        advance();
+        return sim::ReturnToSource{};
+    }
+  }
+
+ private:
+  enum class Step { kGoTo, kSpiral, kReturn };
+
+  void advance() {
+    // Innermost to outermost: phase j in [0, i], stage i in [0, l],
+    // big-stage l unbounded.
+    if (j_ < i_) {
+      ++j_;
+      return;
+    }
+    j_ = 0;
+    if (i_ < l_) {
+      ++i_;
+      return;
+    }
+    i_ = 0;
+    ++l_;
+  }
+
+  const UniformStrategy& strategy_;
+  int l_ = 0;  // big-stage
+  int i_ = 0;  // stage
+  int j_ = 0;  // phase
+  Step step_ = Step::kGoTo;
+};
+
+/// j^(1+eps) with the paper's j = 0 fixed up to 1.
+double phase_divisor(int j, double eps) noexcept {
+  const double jj = j < 1 ? 1.0 : static_cast<double>(j);
+  return std::pow(jj, 1.0 + eps);
+}
+
+}  // namespace
+
+UniformStrategy::UniformStrategy(double eps) : eps_(eps) {
+  if (!(eps >= 0.0)) throw std::invalid_argument("Uniform: eps >= 0");
+}
+
+std::string UniformStrategy::name() const {
+  return "uniform(eps=" + util::fmt_param(eps_) + ")";
+}
+
+std::unique_ptr<sim::AgentProgram> UniformStrategy::make_program(
+    sim::AgentContext /*ctx*/) const {
+  // Uniform algorithm: identical program for every agent, no use of ctx.k.
+  return std::make_unique<UniformProgram>(*this);
+}
+
+std::int64_t UniformStrategy::ball_radius(int stage_i, int phase_j) const
+    noexcept {
+  // D_ij = sqrt(2^(i+j) / j^(1+eps)); exact enough in double for all
+  // reachable stages (2^(i+j) <= 2^120 is far beyond any horizon anyway).
+  const double d = std::sqrt(std::ldexp(1.0, stage_i + phase_j) /
+                             phase_divisor(phase_j, eps_));
+  return clamp_radius(d);
+}
+
+sim::Time UniformStrategy::spiral_budget(int stage_i, int phase_j) const
+    noexcept {
+  // t_ij = 2^(i+2) / j^(1+eps), clamped to >= 1 and saturated above.
+  const double t =
+      std::ldexp(1.0, stage_i + 2) / phase_divisor(phase_j, eps_);
+  const std::int64_t budget = util::sat_from_double(t);
+  return budget < 1 ? 1 : budget;
+}
+
+}  // namespace ants::core

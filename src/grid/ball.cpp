@@ -1,0 +1,51 @@
+#include "grid/ball.h"
+
+#include <cassert>
+
+#include "grid/ring.h"
+#include "util/math.h"
+
+namespace ants::grid {
+
+std::int64_t ball_radius_for_index(std::int64_t idx) noexcept {
+  assert(idx >= 0);
+  if (idx == 0) return 0;
+  // Radius q owns indices [ball_size(q-1), ball_size(q)). Solve
+  // 2q^2 + 2q + 1 > idx >= 2(q-1)^2 + 2(q-1) + 1 with an isqrt estimate and
+  // an exact fixup (the estimate is within one either way).
+  std::int64_t q = (util::isqrt(2 * idx) + 1) / 2;
+  while (q > 0 && ball_size(q - 1) > idx) --q;
+  while (ball_size(q) <= idx) ++q;
+  return q;
+}
+
+Point ball_point([[maybe_unused]] std::int64_t r, std::int64_t idx) noexcept {
+  assert(r >= 0);
+  assert(idx >= 0 && idx < ball_size(r));
+  const std::int64_t q = ball_radius_for_index(idx);
+  const std::int64_t base = q == 0 ? 0 : ball_size(q - 1);
+  return ring_point(q, idx - base);
+}
+
+std::int64_t ball_index(Point p) noexcept {
+  const std::int64_t q = l1_norm(p);
+  const std::int64_t base = q == 0 ? 0 : ball_size(q - 1);
+  return base + ring_index(p);
+}
+
+Point uniform_ball_point(rng::Rng& rng, std::int64_t r) {
+  assert(r >= 0);
+  const auto idx = static_cast<std::int64_t>(
+      rng.uniform_u64(static_cast<std::uint64_t>(ball_size(r))));
+  return ball_point(r, idx);
+}
+
+Point uniform_ring_point(rng::Rng& rng, std::int64_t r) {
+  assert(r >= 0);
+  if (r == 0) return kOrigin;
+  const auto m = static_cast<std::int64_t>(
+      rng.uniform_u64(static_cast<std::uint64_t>(ring_size(r))));
+  return ring_point(r, m);
+}
+
+}  // namespace ants::grid

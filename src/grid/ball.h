@@ -1,0 +1,38 @@
+// The L1 ball B(r) = { u : d(s,u) <= r } centered at the origin.
+//
+// ball_point/ball_index give a bijection [0, ball_size(r)) <-> B(r)
+// (enumerated by increasing radius, then counterclockwise within the ring),
+// which yields exact O(1) uniform sampling: every "go to a node chosen
+// uniformly at random in B(r)" step of Algorithms 1 and 3 draws one integer.
+#pragma once
+
+#include <cstdint>
+
+#include "grid/point.h"
+#include "rng/rng.h"
+
+namespace ants::grid {
+
+/// |B(r)| = 2r^2 + 2r + 1.
+constexpr std::int64_t ball_size(std::int64_t r) noexcept {
+  return 2 * r * r + 2 * r + 1;
+}
+
+/// idx-th node of B(r) in (radius, ring index) order; idx in [0, ball_size).
+Point ball_point(std::int64_t r, std::int64_t idx) noexcept;
+
+/// Inverse of ball_point (independent of r; the index within any ball
+/// containing p).
+std::int64_t ball_index(Point p) noexcept;
+
+/// Uniform node of B(r).
+Point uniform_ball_point(rng::Rng& rng, std::int64_t r);
+
+/// Uniform node of the ring of radius exactly r.
+Point uniform_ring_point(rng::Rng& rng, std::int64_t r);
+
+/// Largest q with ball_size(q) <= idx... i.e. the radius of the idx-th node;
+/// exposed for tests.
+std::int64_t ball_radius_for_index(std::int64_t idx) noexcept;
+
+}  // namespace ants::grid

@@ -1,0 +1,79 @@
+// Lattice points of the agents' world Z^2.
+//
+// Distances in the paper are hop (L1) distances; the spiral uses Chebyshev
+// (L-infinity) rings internally. Coordinates are int64: experiments use
+// |coord| <= 2^20, but the harmonic algorithm's heavy-tailed trips can
+// legitimately target radii ~2^45, which still leaves headroom for every
+// arithmetic operation done here.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "util/math.h"
+
+namespace ants::grid {
+
+struct Point {
+  std::int64_t x = 0;
+  std::int64_t y = 0;
+
+  friend constexpr bool operator==(Point a, Point b) noexcept {
+    return a.x == b.x && a.y == b.y;
+  }
+  friend constexpr bool operator!=(Point a, Point b) noexcept {
+    return !(a == b);
+  }
+  friend constexpr Point operator+(Point a, Point b) noexcept {
+    return {a.x + b.x, a.y + b.y};
+  }
+  friend constexpr Point operator-(Point a, Point b) noexcept {
+    return {a.x - b.x, a.y - b.y};
+  }
+};
+
+/// The origin doubles as the source node s in every simulation.
+inline constexpr Point kOrigin{0, 0};
+
+/// L1 (hop) norm — the paper's d(u).
+constexpr std::int64_t l1_norm(Point p) noexcept {
+  return util::iabs(p.x) + util::iabs(p.y);
+}
+
+/// L1 (hop) distance — the paper's d(u, v).
+constexpr std::int64_t l1_dist(Point a, Point b) noexcept {
+  return l1_norm(a - b);
+}
+
+/// Chebyshev norm: ring index of the square spiral.
+constexpr std::int64_t linf_norm(Point p) noexcept {
+  const std::int64_t ax = util::iabs(p.x);
+  const std::int64_t ay = util::iabs(p.y);
+  return ax > ay ? ax : ay;
+}
+
+/// True iff a and b are joined by a grid edge.
+constexpr bool adjacent(Point a, Point b) noexcept {
+  return l1_dist(a, b) == 1;
+}
+
+/// The four axis directions, indexed by Rng::direction4().
+inline constexpr Point kDirections[4] = {{1, 0}, {0, 1}, {-1, 0}, {0, -1}};
+
+/// 64-bit key for hashing; callers must keep |coords| < 2^31 (all recorded
+/// visit sets do — recording is only used within bounded time horizons).
+constexpr std::uint64_t pack(Point p) noexcept {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.x)) << 32) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.y));
+}
+
+struct PointHash {
+  std::size_t operator()(Point p) const noexcept {
+    std::uint64_t z = pack(p) + 0x9E3779B97F4A7C15ULL;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return static_cast<std::size_t>(z ^ (z >> 31));
+  }
+};
+
+}  // namespace ants::grid

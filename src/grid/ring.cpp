@@ -1,0 +1,36 @@
+#include "grid/ring.h"
+
+#include <cassert>
+
+namespace ants::grid {
+
+Point ring_point(std::int64_t r, std::int64_t m) noexcept {
+  assert(r >= 0);
+  assert(m >= 0 && m < ring_size(r));
+  if (r == 0) return kOrigin;
+  const std::int64_t q = m / r;  // quadrant
+  const std::int64_t t = m % r;  // offset within quadrant
+  switch (q) {
+    case 0:
+      return {r - t, t};  // east -> north edge
+    case 1:
+      return {-t, r - t};  // north -> west edge
+    case 2:
+      return {-(r - t), -t};  // west -> south edge
+    default:
+      return {t, -(r - t)};  // south -> east edge
+  }
+}
+
+std::int64_t ring_index(Point p) noexcept {
+  const std::int64_t r = l1_norm(p);
+  if (r == 0) return 0;
+  // Determine quadrant by the same boundaries ring_point uses: quadrant q
+  // owns its starting corner, e.g. (r, 0) is q0/t0, (0, r) is q1/t0.
+  if (p.x > 0 && p.y >= 0) return 0 * r + p.y;           // t = y
+  if (p.x <= 0 && p.y > 0) return 1 * r + (-p.x);        // t = -x
+  if (p.x < 0 && p.y <= 0) return 2 * r + (-p.y);        // t = -y
+  return 3 * r + p.x;                                    // t = x
+}
+
+}  // namespace ants::grid

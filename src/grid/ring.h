@@ -1,0 +1,25 @@
+// The L1 ring (diamond) of radius r: all nodes at hop distance exactly r
+// from the origin. ring_point/ring_index are exact inverses, giving O(1)
+// uniform sampling on rings (the harmonic algorithm picks a node uniformly
+// on the ring of its power-law radius).
+#pragma once
+
+#include <cstdint>
+
+#include "grid/point.h"
+
+namespace ants::grid {
+
+/// Number of nodes at L1 distance exactly r (1 for r = 0, else 4r).
+constexpr std::int64_t ring_size(std::int64_t r) noexcept {
+  return r == 0 ? 1 : 4 * r;
+}
+
+/// m-th node of the ring of radius r, m in [0, ring_size(r)).
+/// Enumeration starts at (r, 0) and proceeds counterclockwise.
+Point ring_point(std::int64_t r, std::int64_t m) noexcept;
+
+/// Inverse of ring_point: the index of p on its own ring (radius l1_norm(p)).
+std::int64_t ring_index(Point p) noexcept;
+
+}  // namespace ants::grid

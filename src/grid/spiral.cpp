@@ -1,0 +1,62 @@
+#include "grid/spiral.h"
+
+#include <cassert>
+
+#include "util/math.h"
+
+namespace ants::grid {
+
+Point spiral_point(std::int64_t n) noexcept {
+  assert(n >= 0);
+  if (n == 0) return kOrigin;
+  // Ring r owns indices [(2r-1)^2, (2r+1)^2 - 1]; the isqrt estimate for r
+  // is exact because (2r-1)^2 <= n implies isqrt(n) in [2r-1, 2r].
+  const std::int64_t r = (util::isqrt(n) + 1) / 2;
+  const std::int64_t offset = n - (2 * r - 1) * (2 * r - 1);
+  const std::int64_t side = offset / (2 * r);
+  const std::int64_t pos = offset % (2 * r);
+  switch (side) {
+    case 0:
+      return {r, -r + 1 + pos};  // east side, going up
+    case 1:
+      return {r - 1 - pos, r};  // north side, going west
+    case 2:
+      return {-r, r - 1 - pos};  // west side, going down
+    default:
+      return {-r + 1 + pos, -r};  // south side, going east
+  }
+}
+
+std::int64_t spiral_index(Point p) noexcept {
+  const std::int64_t r = linf_norm(p);
+  if (r == 0) return 0;
+  if (r > kMaxSpiralRadius) return kSpiralIndexOverflow;
+  const std::int64_t base = (2 * r - 1) * (2 * r - 1);
+  // Side ownership mirrors spiral_point: corners belong to the side that
+  // reaches them last, e.g. (r, r) ends side 0 and (r, -r) ends side 3.
+  std::int64_t side = 0;
+  std::int64_t pos = 0;
+  if (p.x == r && p.y > -r) {
+    side = 0;
+    pos = p.y + r - 1;
+  } else if (p.y == r) {
+    side = 1;
+    pos = r - 1 - p.x;
+  } else if (p.x == -r) {
+    side = 2;
+    pos = r - 1 - p.y;
+  } else {  // p.y == -r
+    side = 3;
+    pos = p.x + r - 1;
+  }
+  return base + side * 2 * r + pos;
+}
+
+std::int64_t spiral_coverage_radius(std::int64_t t) noexcept {
+  assert(t >= 0);
+  // Max r with (2r+1)^2 - 1 <= t.
+  const std::int64_t s = util::isqrt(t + 1);
+  return s >= 1 ? (s - 1) / 2 : 0;
+}
+
+}  // namespace ants::grid

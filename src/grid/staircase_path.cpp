@@ -1,0 +1,55 @@
+#include "grid/staircase_path.h"
+
+#include <cassert>
+
+#include "util/math.h"
+
+namespace ants::grid {
+
+StaircasePath::StaircasePath(Point from, Point to) noexcept
+    : from_(from), to_(to) {
+  // Canonical orientation: the lexicographically smaller endpoint anchors the
+  // rounding, so (a -> b) and (b -> a) traverse exactly the same cell set
+  // (one forwards, one backwards). Without this the midpoint tie-break would
+  // pick mirrored staircases for the two directions.
+  reversed_ = (to.x < from.x) || (to.x == from.x && to.y < from.y);
+  anchor_ = reversed_ ? to : from;
+  const Point other = reversed_ ? from : to;
+  dx_abs_ = other.x - anchor_.x;  // >= 0 by choice of anchor
+  dy_abs_ = util::iabs(other.y - anchor_.y);
+  sy_ = util::sign(other.y - anchor_.y);
+  len_ = dx_abs_ + dy_abs_;
+}
+
+std::int64_t StaircasePath::x_moves(std::int64_t t) const noexcept {
+  if (len_ == 0) return 0;
+  // floor((2 t |dx| + L) / 2L); the numerator can reach ~2^92 for the
+  // harmonic algorithm's far trips, so widen to 128 bits.
+  const __int128_t num =
+      static_cast<__int128_t>(2) * t * dx_abs_ + static_cast<__int128_t>(len_);
+  return static_cast<std::int64_t>(num / (2 * static_cast<__int128_t>(len_)));
+}
+
+Point StaircasePath::at(std::int64_t t) const noexcept {
+  assert(t >= 0 && t <= len_);
+  const std::int64_t tc = reversed_ ? len_ - t : t;
+  const std::int64_t xm = x_moves(tc);
+  return {anchor_.x + xm, anchor_.y + sy_ * (tc - xm)};
+}
+
+std::optional<std::int64_t> StaircasePath::index_of(Point p) const noexcept {
+  const std::int64_t du = p.x - anchor_.x;
+  const std::int64_t dv = p.y - anchor_.y;
+  // p must lie inside the (sign-oriented) bounding box of the move.
+  if (du < 0 || du > dx_abs_) return std::nullopt;
+  if (sy_ >= 0 ? (dv < 0 || dv > dy_abs_) : (dv > 0 || -dv > dy_abs_)) {
+    return std::nullopt;
+  }
+  const std::int64_t u = du;
+  const std::int64_t v = util::iabs(dv);
+  const std::int64_t tc = u + v;  // the only canonical time p could be visited
+  if (x_moves(tc) != u) return std::nullopt;
+  return reversed_ ? len_ - tc : tc;
+}
+
+}  // namespace ants::grid

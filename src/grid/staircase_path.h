@@ -1,0 +1,58 @@
+// Digital straight line ("staircase") between two lattice points.
+//
+// This is the concrete realization of the paper's atomic procedure (2),
+// "walk in a straight line to a prescribed distance": a monotone lattice
+// path of exactly L1-distance unit steps that stays within half a cell of
+// the Euclidean segment. Membership of a node on the path — the treasure-hit
+// test — is O(1) closed-form arithmetic rather than an O(L) scan, which is
+// what lets the engine simulate D ~ 2^13 walks in constant time.
+//
+// Definition: with |dx| >= 0 horizontal and |dy| >= 0 vertical budget and
+// L = |dx| + |dy|, after t steps the path has made
+//     X(t) = floor((2t|dx| + L) / 2L)
+// horizontal moves and t - X(t) vertical ones (rounding-midpoint Bresenham).
+// X is monotone with unit increments, X(0) = 0 and X(L) = |dx|, so each of
+// the L+1 visited points is distinct and consecutive points are adjacent.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "grid/point.h"
+
+namespace ants::grid {
+
+class StaircasePath {
+ public:
+  StaircasePath(Point from, Point to) noexcept;
+
+  Point from() const noexcept { return from_; }
+  Point to() const noexcept { return to_; }
+
+  /// Number of edges traversed (= L1 distance); the path visits length()+1
+  /// nodes at times 0..length().
+  std::int64_t length() const noexcept { return len_; }
+
+  /// Position after t steps, t in [0, length()].
+  Point at(std::int64_t t) const noexcept;
+
+  /// If p lies on the path, the unique time at which it is visited.
+  std::optional<std::int64_t> index_of(Point p) const noexcept;
+
+ private:
+  /// Horizontal moves completed after t canonical steps (from anchor_).
+  std::int64_t x_moves(std::int64_t t) const noexcept;
+
+  Point from_;
+  Point to_;
+  // Internal canonical form: anchored at the lexicographically smaller
+  // endpoint so that (a -> b) and (b -> a) cover the same cell set.
+  Point anchor_;
+  bool reversed_;
+  std::int64_t dx_abs_;
+  std::int64_t dy_abs_;
+  std::int64_t sy_;  // sign of (other - anchor).y
+  std::int64_t len_;
+};
+
+}  // namespace ants::grid

@@ -1,0 +1,114 @@
+#include "plane/engine.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace ants::plane {
+
+namespace {
+
+Move realize(const PlaneOp& op, Vec2 current, double pitch) {
+  struct Visitor {
+    Vec2 current;
+    double pitch;
+
+    Move operator()(const GoToPoint& go) const {
+      return LineMove{current, go.target};
+    }
+    Move operator()(const SpiralSweep& sp) const {
+      return SpiralMove{current, pitch, sp.duration};
+    }
+    Move operator()(const ReturnHome&) const {
+      return LineMove{current, kPlaneOrigin};
+    }
+  };
+  return std::visit(Visitor{current, pitch}, op);
+}
+
+}  // namespace
+
+PlaneSearchResult run_plane_search(const PlaneStrategy& strategy, int k,
+                                   Vec2 treasure, const rng::Rng& trial_rng,
+                                   const PlaneEngineConfig& config) {
+  if (k < 1) throw std::invalid_argument("run_plane_search: need k >= 1");
+  if (!(config.sight_radius > 0)) {
+    throw std::invalid_argument("run_plane_search: sight_radius > 0");
+  }
+
+  PlaneSearchResult result;
+  if (distance(treasure, kPlaneOrigin) <= config.sight_radius) {
+    result.found = true;
+    result.time = 0;
+    result.finder = 0;
+    return result;
+  }
+
+  // Interleaved min-clock sweep, exactly as the grid engine (see
+  // sim/engine.cpp for why interleaving rather than agent-at-a-time).
+  struct AgentState {
+    std::unique_ptr<PlaneAgentProgram> program;
+    rng::Rng rng;
+    Vec2 pos = kPlaneOrigin;
+    Time clock = 0;
+    std::int64_t segments = 0;
+  };
+  std::vector<AgentState> agents;
+  agents.reserve(static_cast<std::size_t>(k));
+  for (int a = 0; a < k; ++a) {
+    agents.push_back(AgentState{strategy.make_program(a, k),
+                                trial_rng.child(static_cast<std::uint64_t>(a)),
+                                kPlaneOrigin, 0, 0});
+  }
+
+  using Entry = std::pair<Time, int>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
+  for (int a = 0; a < k; ++a) queue.emplace(0.0, a);
+
+  Time best = kPlaneNever;
+  int finder = -1;
+
+  while (!queue.empty()) {
+    const auto [clock, a] = queue.top();
+    queue.pop();
+    const Time bound = std::min(config.time_cap, best);
+    if (clock >= bound) break;
+
+    AgentState& agent = agents[static_cast<std::size_t>(a)];
+    if (++agent.segments > config.max_segments_per_agent) {
+      throw std::runtime_error(
+          "plane engine: agent exceeded segment budget without terminating");
+    }
+    ++result.segments;
+
+    const Move move =
+        realize(agent.program->next(agent.rng), agent.pos,
+                config.spiral_pitch);
+    if (const auto hit =
+            first_sighting(move, treasure, config.sight_radius)) {
+      const Time when = agent.clock + *hit;
+      if (when <= config.time_cap && when < best) {
+        best = when;
+        finder = a;
+      }
+    }
+    agent.clock += move_duration(move);
+    agent.pos = move_end(move);
+    queue.emplace(agent.clock, a);
+  }
+
+  if (best != kPlaneNever) {
+    result.found = true;
+    result.time = best;
+    result.finder = finder;
+  } else {
+    result.found = false;
+    result.time = config.time_cap;
+    result.finder = -1;
+  }
+  return result;
+}
+
+}  // namespace ants::plane

@@ -1,0 +1,67 @@
+// The continuous-plane collaborative-search engine.
+//
+// Mirrors sim/engine.h on R^2: k identical agents start at the origin, move
+// at unit speed, and the search ends when one of them comes within the
+// sight radius eps of the treasure. The paper's grid model is the
+// discretization of THIS model ("each agent has a bounded field of view of
+// say eps > 0, hence ... the integer two-dimensional infinite grid");
+// running both and comparing (tests + experiment E11) validates that
+// reduction quantitatively.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "plane/segment.h"
+#include "rng/rng.h"
+
+namespace ants::plane {
+
+inline constexpr Time kPlaneNever = 1e300;
+
+/// High-level continuous ops, realized into Moves from the current position.
+struct GoToPoint {
+  Vec2 target;
+};
+struct SpiralSweep {
+  Time duration = 0;  ///< arc-length budget around the current position
+};
+struct ReturnHome {};
+
+using PlaneOp = std::variant<GoToPoint, SpiralSweep, ReturnHome>;
+
+class PlaneAgentProgram {
+ public:
+  virtual ~PlaneAgentProgram() = default;
+  virtual PlaneOp next(rng::Rng& rng) = 0;
+};
+
+class PlaneStrategy {
+ public:
+  virtual ~PlaneStrategy() = default;
+  virtual std::string name() const = 0;
+  /// Uniform strategies must ignore k (same contract as the grid model).
+  virtual std::unique_ptr<PlaneAgentProgram> make_program(int agent_index,
+                                                          int k) const = 0;
+};
+
+struct PlaneEngineConfig {
+  double sight_radius = 1.0;  ///< the paper's eps
+  double spiral_pitch = 1.0;  ///< <= 2 * sight_radius for gap-free coverage
+  Time time_cap = kPlaneNever;
+  std::int64_t max_segments_per_agent = 50'000'000;
+};
+
+struct PlaneSearchResult {
+  Time time = kPlaneNever;
+  bool found = false;
+  int finder = -1;
+  std::int64_t segments = 0;
+};
+
+/// One collaborative continuous search; agent a uses trial_rng.child(a).
+PlaneSearchResult run_plane_search(const PlaneStrategy& strategy, int k,
+                                   Vec2 treasure, const rng::Rng& trial_rng,
+                                   const PlaneEngineConfig& config = {});
+
+}  // namespace ants::plane

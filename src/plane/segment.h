@@ -1,0 +1,65 @@
+// Continuous motion segments with closed-form / numeric first-sighting
+// detection.
+//
+// The continuous agent moves at unit speed and SEES the treasure as soon as
+// it comes within the sight radius eps (the paper's "bounded field of view
+// of say eps > 0"). Two motion primitives cover the paper's navigation
+// procedures on R^2:
+//
+//   LineMove    straight segment; first sighting is the smaller root of a
+//               quadratic (exact, O(1)).
+//   SpiralMove  Archimedean spiral r = a*theta around a center, pitch
+//               2*pi*a <= 2*eps so successive coils leave no blind ring;
+//               first sighting is located by walking the O(1) candidate
+//               coil passes near the treasure's angle and bisecting the
+//               earliest entry into the sight disk (numeric, validated
+//               against dense path sampling in tests).
+//
+// Durations and hit offsets are arc lengths == travel times (unit speed).
+#pragma once
+
+#include <optional>
+#include <variant>
+
+#include "plane/vec2.h"
+
+namespace ants::plane {
+
+using Time = double;
+
+struct LineMove {
+  Vec2 from;
+  Vec2 to;
+};
+
+struct SpiralMove {
+  Vec2 center;
+  double pitch = 2.0;    ///< radial gap between successive coils
+  Time duration = 0;     ///< arc-length budget
+};
+
+using Move = std::variant<LineMove, SpiralMove>;
+
+/// Travel time of the move (arc length; unit speed).
+Time move_duration(const Move& move) noexcept;
+
+/// Position when the move completes.
+Vec2 move_end(const Move& move) noexcept;
+
+/// Earliest time offset in [0, duration] at which the mover comes within
+/// `eps` of `target`, if any.
+std::optional<Time> first_sighting(const Move& move, Vec2 target, double eps);
+
+// --- Archimedean spiral math (exposed for tests) ---------------------------
+
+/// Arc length of r = a*theta from angle 0 to theta (>= 0).
+double spiral_arc_length(double a, double theta) noexcept;
+
+/// Inverse of spiral_arc_length: the angle reached after arc length s >= 0
+/// (Newton, converges in a handful of iterations).
+double spiral_theta_for_arc(double a, double s) noexcept;
+
+/// Point of the spiral around `center` at angle theta.
+Vec2 spiral_point_at(Vec2 center, double a, double theta) noexcept;
+
+}  // namespace ants::plane

@@ -1,0 +1,206 @@
+#include "plane/strategies.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/format.h"
+
+namespace ants::plane {
+
+namespace {
+
+/// Uniform point of the disk of radius r around the origin.
+Vec2 uniform_disk_point(rng::Rng& rng, double r) {
+  const double rad = r * std::sqrt(rng.uniform_unit());
+  return unit(rng.angle()) * rad;
+}
+
+// Stage/phase double loop of A_k, continuous trips.
+class PlaneKnownKProgram final : public PlaneAgentProgram {
+ public:
+  explicit PlaneKnownKProgram(const PlaneKnownKStrategy& strategy)
+      : strategy_(strategy) {}
+
+  PlaneOp next(rng::Rng& rng) override {
+    switch (step_) {
+      case Step::kGoTo: {
+        step_ = Step::kSpiral;
+        return GoToPoint{uniform_disk_point(rng, strategy_.disk_radius(i_))};
+      }
+      case Step::kSpiral:
+        step_ = Step::kReturn;
+        return SpiralSweep{strategy_.sweep_budget(i_)};
+      default:
+        step_ = Step::kGoTo;
+        if (i_ < j_) {
+          ++i_;
+        } else {
+          ++j_;
+          i_ = 1;
+        }
+        return ReturnHome{};
+    }
+  }
+
+ private:
+  enum class Step { kGoTo, kSpiral, kReturn };
+
+  const PlaneKnownKStrategy& strategy_;
+  int j_ = 1;
+  int i_ = 1;
+  Step step_ = Step::kGoTo;
+};
+
+// Three-step harmonic loop, continuous trips.
+class PlaneHarmonicProgram final : public PlaneAgentProgram {
+ public:
+  explicit PlaneHarmonicProgram(double delta) : delta_(delta) {}
+
+  PlaneOp next(rng::Rng& rng) override {
+    switch (step_) {
+      case Step::kGoTo: {
+        step_ = Step::kSpiral;
+        // Radial density ~ r^-(1+delta) on [1, inf): Pareto(1, delta).
+        // Clamp so a single astronomically far trip cannot stall a trial.
+        radius_ = std::min(rng.pareto(1.0, delta_), 1e9);
+        return GoToPoint{unit(rng.angle()) * radius_};
+      }
+      case Step::kSpiral: {
+        step_ = Step::kReturn;
+        const double budget = std::pow(radius_, 2.0 + delta_);
+        return SpiralSweep{std::min(budget, 1e18)};
+      }
+      default:
+        step_ = Step::kGoTo;
+        return ReturnHome{};
+    }
+  }
+
+ private:
+  enum class Step { kGoTo, kSpiral, kReturn };
+
+  double delta_;
+  double radius_ = 1.0;
+  Step step_ = Step::kGoTo;
+};
+
+// Algorithm 1's triple loop, continuous trips.
+class PlaneUniformProgram final : public PlaneAgentProgram {
+ public:
+  explicit PlaneUniformProgram(const PlaneUniformStrategy& strategy)
+      : strategy_(strategy) {}
+
+  PlaneOp next(rng::Rng& rng) override {
+    switch (step_) {
+      case Step::kGoTo: {
+        step_ = Step::kSpiral;
+        return GoToPoint{
+            uniform_disk_point(rng, strategy_.disk_radius(i_, j_))};
+      }
+      case Step::kSpiral:
+        step_ = Step::kReturn;
+        return SpiralSweep{strategy_.sweep_budget(i_, j_)};
+      default:
+        step_ = Step::kGoTo;
+        advance();
+        return ReturnHome{};
+    }
+  }
+
+ private:
+  enum class Step { kGoTo, kSpiral, kReturn };
+
+  void advance() {
+    if (j_ < i_) {
+      ++j_;
+      return;
+    }
+    j_ = 0;
+    if (i_ < l_) {
+      ++i_;
+      return;
+    }
+    i_ = 0;
+    ++l_;
+  }
+
+  const PlaneUniformStrategy& strategy_;
+  int l_ = 0;
+  int i_ = 0;
+  int j_ = 0;
+  Step step_ = Step::kGoTo;
+};
+
+}  // namespace
+
+PlaneKnownKStrategy::PlaneKnownKStrategy(std::int64_t k_belief)
+    : k_belief_(k_belief) {
+  if (k_belief < 1) {
+    throw std::invalid_argument("PlaneKnownK: k_belief >= 1");
+  }
+}
+
+std::string PlaneKnownKStrategy::name() const {
+  return "plane-known-k(k=" + std::to_string(k_belief_) + ")";
+}
+
+std::unique_ptr<PlaneAgentProgram> PlaneKnownKStrategy::make_program(
+    int /*agent_index*/, int /*k*/) const {
+  return std::make_unique<PlaneKnownKProgram>(*this);
+}
+
+double PlaneKnownKStrategy::disk_radius(int phase_i) const noexcept {
+  return std::ldexp(1.0, std::min(phase_i, 60));
+}
+
+Time PlaneKnownKStrategy::sweep_budget(int phase_i) const noexcept {
+  // Same 2^(2i+2)/k schedule as the grid A_k; arc length on the plane.
+  const double t = std::ldexp(1.0, std::min(2 * phase_i + 2, 120)) /
+                   static_cast<double>(k_belief_);
+  return std::max(1.0, t);
+}
+
+PlaneHarmonicStrategy::PlaneHarmonicStrategy(double delta) : delta_(delta) {
+  if (!(delta > 0)) throw std::invalid_argument("PlaneHarmonic: delta > 0");
+}
+
+std::string PlaneHarmonicStrategy::name() const {
+  return "plane-harmonic(delta=" + util::fmt_param(delta_) + ")";
+}
+
+std::unique_ptr<PlaneAgentProgram> PlaneHarmonicStrategy::make_program(
+    int /*agent_index*/, int /*k*/) const {
+  return std::make_unique<PlaneHarmonicProgram>(delta_);
+}
+
+PlaneUniformStrategy::PlaneUniformStrategy(double eps) : eps_(eps) {
+  if (!(eps >= 0)) throw std::invalid_argument("PlaneUniform: eps >= 0");
+}
+
+std::string PlaneUniformStrategy::name() const {
+  return "plane-uniform(eps=" + util::fmt_param(eps_) + ")";
+}
+
+std::unique_ptr<PlaneAgentProgram> PlaneUniformStrategy::make_program(
+    int /*agent_index*/, int /*k*/) const {
+  return std::make_unique<PlaneUniformProgram>(*this);
+}
+
+double PlaneUniformStrategy::disk_radius(int stage_i, int phase_j) const
+    noexcept {
+  const double divisor =
+      std::pow(phase_j < 1 ? 1.0 : static_cast<double>(phase_j), 1.0 + eps_);
+  return std::sqrt(std::ldexp(1.0, std::min(stage_i + phase_j, 120)) /
+                   divisor);
+}
+
+Time PlaneUniformStrategy::sweep_budget(int stage_i, int phase_j) const
+    noexcept {
+  const double divisor =
+      std::pow(phase_j < 1 ? 1.0 : static_cast<double>(phase_j), 1.0 + eps_);
+  return std::max(1.0,
+                  std::ldexp(1.0, std::min(stage_i + 2, 120)) / divisor);
+}
+
+}  // namespace ants::plane

@@ -1,0 +1,81 @@
+// Continuous-plane ports of the paper's algorithms.
+//
+// Identical trip structure to the grid versions (go somewhere random, local
+// spiral sweep, return home), with the discrete draws replaced by their
+// continuous analogues:
+//
+//   * uniform node of B(r)        -> uniform point of the disk of radius r
+//                                    (r*sqrt(U), uniform angle)
+//   * harmonic node weight
+//     p(u) ~ 1/d(u)^(2+delta)     -> radial density ~ r^-(1+delta) on
+//                                    [1, inf), i.e. a Pareto(1, delta) draw
+//   * spiral search of length t   -> Archimedean spiral sweep of arc
+//                                    length t (pitch fixed by the engine)
+//
+// Used by tests and experiment E11 to validate the paper's grid reduction:
+// the same theorem shapes must appear in both models.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "plane/engine.h"
+
+namespace ants::plane {
+
+/// A_k on the plane (Theorem 3.1 trip schedule).
+class PlaneKnownKStrategy final : public PlaneStrategy {
+ public:
+  explicit PlaneKnownKStrategy(std::int64_t k_belief);
+
+  std::string name() const override;
+  std::unique_ptr<PlaneAgentProgram> make_program(int agent_index,
+                                                  int k) const override;
+
+  std::int64_t k_belief() const noexcept { return k_belief_; }
+
+  double disk_radius(int phase_i) const noexcept;
+  Time sweep_budget(int phase_i) const noexcept;
+
+ private:
+  std::int64_t k_belief_;
+};
+
+/// Algorithm 2 on the plane (Theorem 5.1): Pareto trips, d^(2+delta) sweeps.
+class PlaneHarmonicStrategy final : public PlaneStrategy {
+ public:
+  explicit PlaneHarmonicStrategy(double delta);
+
+  std::string name() const override;
+  std::unique_ptr<PlaneAgentProgram> make_program(int agent_index,
+                                                  int k) const override;
+
+  double delta() const noexcept { return delta_; }
+
+ private:
+  double delta_;
+};
+
+/// Algorithm 1 on the plane (Theorem 3.3): the uniform algorithm's
+/// big-stage / stage / phase triple loop with disk trips and spiral sweeps.
+class PlaneUniformStrategy final : public PlaneStrategy {
+ public:
+  explicit PlaneUniformStrategy(double eps);
+
+  std::string name() const override;
+  std::unique_ptr<PlaneAgentProgram> make_program(int agent_index,
+                                                  int k) const override;
+
+  double eps() const noexcept { return eps_; }
+
+  /// D_ij = sqrt(2^(i+j) / max(j,1)^(1+eps)) — the paper's closed form.
+  double disk_radius(int stage_i, int phase_j) const noexcept;
+  /// t_ij = 2^(i+2) / max(j,1)^(1+eps).
+  Time sweep_budget(int stage_i, int phase_j) const noexcept;
+
+ private:
+  double eps_;
+};
+
+}  // namespace ants::plane

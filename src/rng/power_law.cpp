@@ -1,0 +1,108 @@
+#include "rng/power_law.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace ants::rng {
+
+namespace {
+
+// Octaves at or below this many terms are summed exactly.
+constexpr std::int64_t kExactTermLimit = std::int64_t{1} << 18;
+
+}  // namespace
+
+DiscretePowerLaw::DiscretePowerLaw(double exponent, std::int64_t r_max)
+    : exponent_(exponent), r_max_(r_max) {
+  if (!(exponent > 1.0)) {
+    throw std::invalid_argument("power-law exponent must exceed 1");
+  }
+  if (r_max < 1) throw std::invalid_argument("power-law r_max must be >= 1");
+
+  for (std::int64_t lo = 1; lo <= r_max_; lo <<= 1) {
+    const std::int64_t hi = std::min(r_max_ + 1, lo << 1);  // [lo, hi)
+    const double w = (hi - lo) <= kExactTermLimit
+                         ? octave_weight_exact(lo, hi)
+                         : octave_weight_integral(lo, hi);
+    total_ += w;
+    octave_lo_.push_back(lo);
+    cum_weight_.push_back(total_);
+  }
+}
+
+double DiscretePowerLaw::octave_weight_exact(std::int64_t lo,
+                                             std::int64_t hi) const {
+  // Sum small-to-large magnitudes... terms are decreasing in r, so iterate
+  // from hi-1 down to lo to add the tiny ones first (better rounding).
+  double w = 0;
+  for (std::int64_t r = hi - 1; r >= lo; --r) {
+    w += std::pow(static_cast<double>(r), -exponent_);
+  }
+  return w;
+}
+
+double DiscretePowerLaw::octave_weight_integral(std::int64_t lo,
+                                                std::int64_t hi) const {
+  // Euler-Maclaurin: sum_{r=lo}^{hi-1} f(r)
+  //   ~ int_lo^hi f + (f(lo) - f(hi))/2 + (f'(hi) - f'(lo))/12,
+  // with f(x) = x^-e, f' = -e x^-(e+1). For lo >= 2^18 the next term is
+  // O(lo^-(e+3)), i.e. < 1e-12 relative.
+  const double e = exponent_;
+  const auto f = [e](double x) { return std::pow(x, -e); };
+  const auto fp = [e](double x) { return -e * std::pow(x, -(e + 1)); };
+  const auto a = static_cast<double>(lo);
+  const auto b = static_cast<double>(hi);
+  const double integral = (std::pow(a, 1 - e) - std::pow(b, 1 - e)) / (e - 1);
+  return integral + (f(a) - f(b)) / 2 + (fp(b) - fp(a)) / 12;
+}
+
+std::int64_t DiscretePowerLaw::sample(Rng& rng) const {
+  // Octave by inversion over the cumulative weights.
+  const double u = rng.uniform_unit() * total_;
+  const auto it = std::lower_bound(cum_weight_.begin(), cum_weight_.end(), u);
+  const std::size_t o = it == cum_weight_.end()
+                            ? cum_weight_.size() - 1
+                            : static_cast<std::size_t>(it - cum_weight_.begin());
+  const std::int64_t lo = octave_lo_[o];
+  const std::int64_t hi = std::min(r_max_ + 1, lo << 1);
+
+  // Radius inside the octave by rejection: proposal uniform on [lo, hi),
+  // acceptance (lo/r)^e in (2^-e, 1]. Expected iterations < 2^e.
+  for (;;) {
+    const std::int64_t r = lo + static_cast<std::int64_t>(rng.uniform_u64(
+                                    static_cast<std::uint64_t>(hi - lo)));
+    const double accept = std::pow(static_cast<double>(lo) / r, exponent_);
+    if (rng.uniform_unit() < accept) return r;
+  }
+}
+
+double DiscretePowerLaw::pmf(std::int64_t r) const {
+  if (r < 1 || r > r_max_) return 0;
+  return std::pow(static_cast<double>(r), -exponent_) / total_;
+}
+
+double DiscretePowerLaw::cdf(std::int64_t r) const {
+  if (r < 1) return 0;
+  r = std::min(r, r_max_);
+  double acc = 0;
+  // Whole octaves below r from the precomputed table, partial octave exactly.
+  std::size_t o = 0;
+  while (o < octave_lo_.size()) {
+    const std::int64_t lo = octave_lo_[o];
+    const std::int64_t hi = std::min(r_max_ + 1, lo << 1);
+    if (hi - 1 <= r) {
+      acc = cum_weight_[o];
+      ++o;
+    } else {
+      for (std::int64_t q = lo; q <= r; ++q) {
+        acc += std::pow(static_cast<double>(q), -exponent_);
+      }
+      break;
+    }
+  }
+  return acc / total_;
+}
+
+}  // namespace ants::rng

@@ -1,0 +1,57 @@
+// Discrete power-law radius sampler: P(r) proportional to r^(-exponent) on
+// r in [1, r_max].
+//
+// This is the distance distribution of the harmonic algorithm (Alg. 2 of the
+// paper): p(u) = c / d(u)^(2+delta) over nodes u, and the L1 ring at radius r
+// carries 4r nodes, so the radius law is P(r) proportional to r^(-(1+delta)).
+//
+// Sampling is exact (up to IEEE rounding in the octave weights): radii are
+// grouped into octaves [2^o, 2^(o+1)); an octave is drawn by inversion over
+// precomputed weights, then the radius inside the octave by uniform proposal
+// + rejection with acceptance (2^o / r)^exponent, which is >= 2^-exponent.
+// Octave weights are exact sums for octaves with <= 2^18 terms and
+// Euler-Maclaurin-corrected integrals beyond (relative error < 1e-12 there).
+//
+// The truncation at r_max (default 2^45) is a simulation artifact, not a
+// model change: a trip to radius r costs >= r steps, so every truncated
+// sample lies beyond any experiment's time bound; see DESIGN.md section 3.4.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rng/rng.h"
+
+namespace ants::rng {
+
+class DiscretePowerLaw {
+ public:
+  /// exponent > 1 so the untruncated series converges; r_max >= 1.
+  explicit DiscretePowerLaw(double exponent,
+                            std::int64_t r_max = std::int64_t{1} << 45);
+
+  std::int64_t sample(Rng& rng) const;
+
+  /// Normalized mass of radius r (0 outside [1, r_max]).
+  double pmf(std::int64_t r) const;
+
+  /// P(X <= r); exact summation, O(min(r, 2^18) + #octaves). Test helper.
+  double cdf(std::int64_t r) const;
+
+  double exponent() const { return exponent_; }
+  std::int64_t r_max() const { return r_max_; }
+  /// Unnormalized total weight sum_{r=1}^{r_max} r^-exponent.
+  double total_weight() const { return total_; }
+
+ private:
+  double octave_weight_exact(std::int64_t lo, std::int64_t hi) const;
+  double octave_weight_integral(std::int64_t lo, std::int64_t hi) const;
+
+  double exponent_;
+  std::int64_t r_max_;
+  std::vector<std::int64_t> octave_lo_;  // first radius of each octave
+  std::vector<double> cum_weight_;       // inclusive cumulative octave weights
+  double total_ = 0;
+};
+
+}  // namespace ants::rng

@@ -1,0 +1,77 @@
+#include "rng/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace ants::rng {
+
+std::uint64_t Rng::uniform_u64(std::uint64_t n) noexcept {
+  assert(n >= 1);
+  // Lemire's multiply-shift rejection method: unbiased and branch-light.
+  std::uint64_t x = bits();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = (0 - n) % n;
+    while (lo < threshold) {
+      x = bits();
+      m = static_cast<__uint128_t>(x) * n;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  assert(lo <= hi);
+  const auto span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  // span == 0 means the full 64-bit range [INT64_MIN, INT64_MAX].
+  const std::uint64_t draw = span == 0 ? bits() : uniform_u64(span);
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) + draw);
+}
+
+double Rng::uniform_unit() noexcept {
+  return static_cast<double>(bits() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform_real(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform_unit();
+}
+
+double Rng::uniform_positive_unit() noexcept {
+  // (bits >> 11) + 1 is in [1, 2^53], so the result is in (0, 1].
+  return static_cast<double>((bits() >> 11) + 1) * 0x1.0p-53;
+}
+
+double Rng::angle() noexcept {
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  return kTwoPi * uniform_unit();
+}
+
+double Rng::exponential(double lambda) noexcept {
+  assert(lambda > 0);
+  return -std::log(uniform_positive_unit()) / lambda;
+}
+
+double Rng::pareto(double xm, double alpha) noexcept {
+  assert(xm > 0 && alpha > 0);
+  return xm / std::pow(uniform_positive_unit(), 1.0 / alpha);
+}
+
+std::int64_t Rng::geometric(double p) noexcept {
+  assert(p > 0 && p <= 1);
+  if (p >= 1.0) return 0;
+  const double u = uniform_positive_unit();
+  return static_cast<std::int64_t>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+double Rng::normal() noexcept {
+  // Box-Muller; the sine twin is discarded to keep the generator stateless.
+  const double u = uniform_positive_unit();
+  const double v = uniform_unit();
+  return std::sqrt(-2.0 * std::log(u)) *
+         std::cos(6.283185307179586476925286766559 * v);
+}
+
+}  // namespace ants::rng

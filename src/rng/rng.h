@@ -1,0 +1,77 @@
+// Rng: the single randomness facade handed to agent programs and samplers.
+//
+// Wraps xoshiro256** with the handful of exact distributions the paper's
+// algorithms need: unbounded uniform integers (Lemire rejection, no modulo
+// bias), uniform reals, fair coins/directions, exponentials and Pareto
+// variates for the baselines. Child streams (per agent, per trial) are
+// derived with mix_seed so that every entity owns an independent,
+// reproducible stream.
+#pragma once
+
+#include <cstdint>
+
+#include "rng/splitmix64.h"
+#include "rng/xoshiro256ss.h"
+
+namespace ants::rng {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept : gen_(seed), seed_(seed) {}
+
+  std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Raw 64 random bits.
+  std::uint64_t bits() noexcept { return gen_(); }
+
+  /// Uniform integer in [0, n), n >= 1. Unbiased (rejection sampling).
+  std::uint64_t uniform_u64(std::uint64_t n) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform_unit() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi) noexcept;
+
+  /// Uniform double in (0, 1]; safe as a log() argument.
+  double uniform_positive_unit() noexcept;
+
+  /// Fair coin.
+  bool coin() noexcept { return (bits() & 1ULL) != 0; }
+
+  /// Bernoulli(p).
+  bool bernoulli(double p) noexcept { return uniform_unit() < p; }
+
+  /// Uniform in {0,1,2,3}: the four grid directions (+x,+y,-x,-y).
+  int direction4() noexcept { return static_cast<int>(bits() >> 62); }
+
+  /// Uniform angle in [0, 2*pi).
+  double angle() noexcept;
+
+  /// Exponential with rate lambda > 0.
+  double exponential(double lambda) noexcept;
+
+  /// Pareto with scale xm > 0 and shape alpha > 0:
+  /// P(X > x) = (xm/x)^alpha for x >= xm. Heavy-tailed Levy step lengths.
+  double pareto(double xm, double alpha) noexcept;
+
+  /// Geometric: number of failures before first success, p in (0, 1].
+  std::int64_t geometric(double p) noexcept;
+
+  /// Standard normal N(0, 1) (Box-Muller; one fresh pair per call).
+  double normal() noexcept;
+
+  /// Independent child stream identified by `index` (agent id, trial id...).
+  Rng child(std::uint64_t index) const noexcept {
+    return Rng(mix_seed(seed_, index));
+  }
+
+ private:
+  Xoshiro256ss gen_;
+  std::uint64_t seed_;
+};
+
+}  // namespace ants::rng

@@ -1,0 +1,45 @@
+// SplitMix64 (Steele, Lea, Flood 2014): a tiny, statistically solid 64-bit
+// generator. Used here (a) to expand user seeds into xoshiro state and
+// (b) to derive independent per-trial / per-agent seed streams by mixing
+// (master_seed, index) pairs, which is what makes Monte-Carlo runs
+// reproducible regardless of thread count.
+#pragma once
+
+#include <cstdint>
+
+namespace ants::rng {
+
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t operator()() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept { return ~0ULL; }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Stateless mix of two words; the canonical way this library derives child
+/// seeds: seed_for(trial) = mix(master, trial), seed_for(agent within trial)
+/// = mix(trial_seed, agent_index). Passing the same pair always yields the
+/// same stream, and distinct pairs yield (statistically) independent ones.
+constexpr std::uint64_t mix_seed(std::uint64_t a, std::uint64_t b) noexcept {
+  SplitMix64 sm(a ^ (0x9E3779B97F4A7C15ULL + (b << 6) + (b >> 2)));
+  sm();
+  std::uint64_t out = sm();
+  // One more scramble so (a,b) and (b,a) diverge decisively.
+  SplitMix64 sm2(out + b);
+  return sm2();
+}
+
+}  // namespace ants::rng

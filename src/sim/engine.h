@@ -1,0 +1,48 @@
+// The collaborative-search engine.
+//
+// Simulates k identical non-communicating agents, all starting at the source
+// (origin) at time 0, until the first one visits the treasure. Because
+// agents never interact, the run outcome is min over agents of each agent's
+// private first-hit time; the engine exploits this by processing agents one
+// at a time under a shrinking time bound (the best hit found so far, or the
+// cap), so the cost of a trial is the number of SEGMENTS realized within the
+// bound — polylogarithmic in D for the paper's algorithms — never the number
+// of grid steps.
+//
+// Determinism: agent a of a trial draws from trial_rng.child(a), so results
+// are identical regardless of evaluation order or thread count.
+#pragma once
+
+#include "rng/rng.h"
+#include "sim/program.h"
+#include "sim/segment.h"
+#include "sim/types.h"
+
+namespace ants::sim {
+
+struct EngineConfig {
+  /// Hard stop: hits strictly later than time_cap count as "not found".
+  Time time_cap = kNeverTime;
+  /// Safety valve against non-terminating strategies: throws
+  /// std::runtime_error if a single agent realizes this many segments
+  /// without either hitting the treasure or exceeding the bound.
+  std::int64_t max_segments_per_agent = 50'000'000;
+};
+
+/// Realizes an op into a concrete segment given the agent's position.
+Segment realize(const Op& op, grid::Point current, grid::Point source);
+
+/// Runs one collaborative search trial.
+SearchResult run_search(const Strategy& strategy, int k, grid::Point treasure,
+                        const rng::Rng& trial_rng,
+                        const EngineConfig& config = {});
+
+/// First-hit time of a single agent's program under `bound` (exposed for
+/// tests and the visitation tooling). Returns kNeverTime if the agent does
+/// not hit at or before the bound.
+Time single_agent_hit_time(AgentProgram& program, rng::Rng& rng,
+                           grid::Point treasure, grid::Point source,
+                           Time bound, std::int64_t max_segments,
+                           std::int64_t* segments_out = nullptr);
+
+}  // namespace ants::sim

@@ -1,0 +1,32 @@
+#include "sim/metrics.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace ants::sim {
+
+double optimal_time(std::int64_t distance, std::int64_t k) noexcept {
+  assert(distance >= 1 && k >= 1);
+  const auto d = static_cast<double>(distance);
+  return d + d * d / static_cast<double>(k);
+}
+
+double competitiveness(double measured_time, std::int64_t distance,
+                       std::int64_t k) noexcept {
+  return measured_time / optimal_time(distance, k);
+}
+
+double speedup(double time_single, double time_k) noexcept {
+  assert(time_k > 0);
+  return time_single / time_k;
+}
+
+double log_power(std::int64_t k, double power) noexcept {
+  assert(k >= 1);
+  const double l = std::log2(static_cast<double>(k));
+  // log2(1) = 0 would zero every comparison column; clamp to 1 as the
+  // asymptotic expressions are only meaningful for k >= 2 anyway.
+  return std::pow(l < 1.0 ? 1.0 : l, power);
+}
+
+}  // namespace ants::sim

@@ -1,0 +1,29 @@
+// Derived performance measures: the paper's yardsticks.
+//
+// Everything the experiments report is phrased against the universal lower
+// bound Omega(D + D^2/k) (paper, section 2): an algorithm's competitiveness
+// phi(k) is its expected time divided by (D + D^2/k), and its speed-up is
+// T(1)/T(k).
+#pragma once
+
+#include <cstdint>
+
+namespace ants::sim {
+
+/// The optimal-order baseline D + D^2/k as a double (exact for all
+/// experiment magnitudes; doubles carry 53 bits).
+double optimal_time(std::int64_t distance, std::int64_t k) noexcept;
+
+/// Competitiveness of a measured (mean) running time.
+double competitiveness(double measured_time, std::int64_t distance,
+                       std::int64_t k) noexcept;
+
+/// Speed-up of a k-agent time against the single-agent time.
+double speedup(double time_single, double time_k) noexcept;
+
+/// log2(k)^power — the comparison curves for Theorems 3.3/4.1/4.2 tables
+/// (natural choice of base: k is swept in powers of two; any base shifts
+/// curves by a constant factor, which competitiveness plots ignore).
+double log_power(std::int64_t k, double power) noexcept;
+
+}  // namespace ants::sim

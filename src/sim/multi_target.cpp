@@ -1,0 +1,119 @@
+#include "sim/multi_target.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+#include <utility>
+
+#include "util/sat.h"
+
+namespace ants::sim {
+
+MultiSearchResult run_search_multi(const Strategy& strategy, int k,
+                                   const std::vector<grid::Point>& targets,
+                                   const rng::Rng& trial_rng,
+                                   const EngineConfig& config,
+                                   bool collect_all) {
+  if (k < 1) throw std::invalid_argument("run_search_multi: need k >= 1");
+  if (targets.empty()) {
+    throw std::invalid_argument("run_search_multi: need >= 1 target");
+  }
+  if (collect_all && config.time_cap == kNeverTime) {
+    throw std::invalid_argument(
+        "run_search_multi: collect-all requires a finite time_cap");
+  }
+
+  MultiSearchResult result;
+  result.target_times.assign(targets.size(), kNeverTime);
+
+  // Targets at the source are discovered at t = 0 by agent 0.
+  for (std::size_t ti = 0; ti < targets.size(); ++ti) {
+    if (targets[ti] == grid::kOrigin) {
+      result.target_times[ti] = 0;
+      if (result.first_target < 0) {
+        result.found = true;
+        result.first_time = 0;
+        result.finder = 0;
+        result.first_target = static_cast<int>(ti);
+      }
+    }
+  }
+  if (result.found && !collect_all) return result;
+
+  // Interleaved min-clock sweep as in run_search; the only differences are
+  // the per-segment loop over targets and, in collect-all mode, a bound
+  // that never shrinks below the cap.
+  struct AgentState {
+    std::unique_ptr<AgentProgram> program;
+    rng::Rng rng;
+    grid::Point pos = grid::kOrigin;
+    Time clock = 0;
+    std::int64_t segments = 0;
+  };
+  std::vector<AgentState> agents;
+  agents.reserve(static_cast<std::size_t>(k));
+  for (int a = 0; a < k; ++a) {
+    agents.push_back(AgentState{
+        strategy.make_program(AgentContext{a, k}),
+        trial_rng.child(static_cast<std::uint64_t>(a)), grid::kOrigin, 0, 0});
+  }
+
+  using Entry = std::pair<Time, int>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
+  for (int a = 0; a < k; ++a) queue.emplace(0, a);
+
+  Time best = kNeverTime;
+  int finder = -1;
+  int first_target = result.first_target;  // may be 0-at-origin already
+  if (first_target >= 0) best = 0;
+
+  while (!queue.empty()) {
+    const auto [clock, a] = queue.top();
+    queue.pop();
+    // First-of-set: the race ends at the earliest hit. Collect-all: run
+    // every agent to the cap regardless of what has been found.
+    const Time bound =
+        collect_all
+            ? config.time_cap
+            : std::min(config.time_cap,
+                       best == kNeverTime ? best : best - 1);
+    if (clock > bound) break;
+
+    AgentState& agent = agents[static_cast<std::size_t>(a)];
+    if (++agent.segments > config.max_segments_per_agent) {
+      throw std::runtime_error(
+          "multi-target engine: agent exceeded segment budget");
+    }
+
+    const Segment seg =
+        realize(agent.program->next(agent.rng), agent.pos, grid::kOrigin);
+    for (std::size_t ti = 0; ti < targets.size(); ++ti) {
+      const auto hit = hit_offset(seg, targets[ti]);
+      if (!hit) continue;
+      const Time when = util::sat_add(agent.clock, *hit);
+      if (when > config.time_cap) continue;
+      if (when < result.target_times[ti]) result.target_times[ti] = when;
+      if (when < best || (when == best && a < finder)) {
+        best = when;
+        finder = a;
+        first_target = static_cast<int>(ti);
+      }
+    }
+    agent.clock = util::sat_add(agent.clock, duration(seg));
+    agent.pos = end_position(seg);
+    queue.emplace(agent.clock, a);
+  }
+
+  if (best != kNeverTime) {
+    result.found = true;
+    result.first_time = best;
+    result.finder = finder;
+    result.first_target = first_target;
+  } else {
+    result.found = false;
+    result.first_time = config.time_cap;
+  }
+  return result;
+}
+
+}  // namespace ants::sim

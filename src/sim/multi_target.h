@@ -1,0 +1,48 @@
+// Multiple treasures: the paper's foraging motivation, executable.
+//
+// The introduction motivates the whole problem with central place foraging:
+// "a strong preference to locate nearby food sources before those that are
+// further away". With a single treasure that preference is invisible — so
+// this module runs the SAME non-communicating agents against a SET of
+// target nodes (food patches) and reports which patch is discovered first
+// and when each patch is discovered.
+//
+// Two modes:
+//   * first-of-set (collect_all = false): the run ends at the first visit
+//     of any target — the foraging race. O(#targets) per segment.
+//   * collect-all  (collect_all = true): agents run to the time cap and
+//     the first-visit time of EVERY target is recorded — the discovery
+//     schedule, from which nearest-first orderings are computed.
+//
+// Used by examples/patchy_foraging.cpp and tests.
+#pragma once
+
+#include <vector>
+
+#include "rng/rng.h"
+#include "sim/engine.h"
+#include "sim/program.h"
+#include "sim/types.h"
+
+namespace ants::sim {
+
+struct MultiSearchResult {
+  Time first_time = kNeverTime;  ///< first visit of any target (or cap)
+  bool found = false;            ///< some target visited within the cap
+  int finder = -1;               ///< agent that made the first discovery
+  int first_target = -1;         ///< index of the first-discovered target
+  /// Per-target first-visit times (kNeverTime when not reached within the
+  /// cap). In first-of-set mode only the winning entry is guaranteed to be
+  /// meaningful; collect-all mode fills every entry exactly.
+  std::vector<Time> target_times;
+};
+
+/// Collaborative search against a set of targets. In collect-all mode
+/// config.time_cap must be finite (agents otherwise never stop).
+MultiSearchResult run_search_multi(const Strategy& strategy, int k,
+                                   const std::vector<grid::Point>& targets,
+                                   const rng::Rng& trial_rng,
+                                   const EngineConfig& config = {},
+                                   bool collect_all = false);
+
+}  // namespace ants::sim

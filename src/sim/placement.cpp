@@ -1,0 +1,51 @@
+#include "sim/placement.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "grid/ball.h"
+#include "grid/ring.h"
+
+namespace ants::sim {
+
+Placement axis_placement() {
+  return [](rng::Rng&, std::int64_t d) -> grid::Point {
+    assert(d >= 1);
+    return {d, 0};
+  };
+}
+
+Placement diagonal_placement() {
+  return [](rng::Rng&, std::int64_t d) -> grid::Point {
+    assert(d >= 1);
+    return {(d + 1) / 2, d / 2};
+  };
+}
+
+Placement uniform_ring_placement() {
+  return [](rng::Rng& rng, std::int64_t d) -> grid::Point {
+    assert(d >= 1);
+    return grid::uniform_ring_point(rng, d);
+  };
+}
+
+Placement ring_fraction_placement(double fraction) {
+  if (fraction < 0 || fraction >= 1) {
+    throw std::invalid_argument("ring fraction must be in [0, 1)");
+  }
+  return [fraction](rng::Rng&, std::int64_t d) -> grid::Point {
+    assert(d >= 1);
+    const auto m = static_cast<std::int64_t>(
+        fraction * static_cast<double>(grid::ring_size(d)));
+    return grid::ring_point(d, m);
+  };
+}
+
+Placement placement_by_name(const std::string& name) {
+  if (name == "axis") return axis_placement();
+  if (name == "diagonal") return diagonal_placement();
+  if (name == "ring") return uniform_ring_placement();
+  throw std::invalid_argument("unknown placement: " + name);
+}
+
+}  // namespace ants::sim

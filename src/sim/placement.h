@@ -1,0 +1,39 @@
+// Adversarial treasure placement policies.
+//
+// The paper's adversary fixes the treasure at an arbitrary node at distance
+// D. Monte-Carlo experiments either pin it (axis/diagonal, worst-ish
+// anisotropy probes) or redraw it uniformly on the distance-D ring every
+// trial — the natural randomized adversary for rotation-invariant
+// strategies. Experiment harnesses can also sweep `ring_fraction` placements
+// to hunt for angular soft spots.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "grid/point.h"
+#include "rng/rng.h"
+
+namespace ants::sim {
+
+/// Draws the treasure node for a trial, given the adversary distance D >= 1.
+using Placement =
+    std::function<grid::Point(rng::Rng& rng, std::int64_t distance)>;
+
+/// Treasure pinned on the +x axis: (D, 0).
+Placement axis_placement();
+
+/// Treasure pinned on the diagonal: (ceil(D/2), floor(D/2)).
+Placement diagonal_placement();
+
+/// Treasure drawn uniformly from the L1 ring of radius D each trial.
+Placement uniform_ring_placement();
+
+/// Treasure pinned at the given fraction f in [0,1) around the ring
+/// (f = 0 is (D,0), f = 0.25 is (0,D), ...).
+Placement ring_fraction_placement(double fraction);
+
+/// Placement by name ("axis" | "diagonal" | "ring") for CLI flags.
+Placement placement_by_name(const std::string& name);
+
+}  // namespace ants::sim

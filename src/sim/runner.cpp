@@ -1,0 +1,130 @@
+#include "sim/runner.h"
+
+#include <atomic>
+#include <stdexcept>
+
+#include "rng/splitmix64.h"
+#include "sim/metrics.h"
+#include "util/thread_pool.h"
+
+namespace ants::sim {
+
+namespace {
+
+RunStats aggregate(std::vector<double> times, std::int64_t found,
+                   std::int64_t distance, int k) {
+  RunStats rs;
+  rs.distance = distance;
+  rs.k = k;
+  rs.success_rate =
+      times.empty() ? 0.0
+                    : static_cast<double>(found) /
+                          static_cast<double>(times.size());
+  rs.time = stats::Summary::from(times);
+  rs.mean_competitiveness = competitiveness(rs.time.mean, distance, k);
+  rs.median_competitiveness = competitiveness(rs.time.median, distance, k);
+  rs.times = std::move(times);
+  return rs;
+}
+
+}  // namespace
+
+RunStats run_trials(const Strategy& strategy, int k, std::int64_t distance,
+                    const Placement& placement, const RunConfig& config) {
+  if (config.trials < 1) throw std::invalid_argument("run_trials: trials");
+  if (distance < 1) throw std::invalid_argument("run_trials: distance");
+
+  std::vector<double> times(static_cast<std::size_t>(config.trials));
+  std::atomic<std::int64_t> found{0};
+
+  EngineConfig engine_config;
+  engine_config.time_cap = config.time_cap;
+
+  util::parallel_for(
+      static_cast<std::size_t>(config.trials),
+      [&](std::size_t trial) {
+        rng::Rng trial_rng(rng::mix_seed(config.seed, trial));
+        const grid::Point treasure = placement(trial_rng, distance);
+        const SearchResult r =
+            run_search(strategy, k, treasure, trial_rng, engine_config);
+        times[trial] = static_cast<double>(r.time);
+        if (r.found) found.fetch_add(1, std::memory_order_relaxed);
+      },
+      config.threads);
+
+  return aggregate(std::move(times), found.load(), distance, k);
+}
+
+AsyncRunStats run_async_trials(const Strategy& strategy, int k,
+                               std::int64_t distance,
+                               const Placement& placement,
+                               const StartSchedule& schedule,
+                               const CrashModel& crashes,
+                               const RunConfig& config) {
+  if (config.trials < 1) {
+    throw std::invalid_argument("run_async_trials: trials");
+  }
+  if (distance < 1) throw std::invalid_argument("run_async_trials: distance");
+
+  const auto n = static_cast<std::size_t>(config.trials);
+  std::vector<double> times(n);
+  std::vector<double> from_last(n);
+  std::vector<double> crashed(n);
+  std::vector<double> last_starts(n);
+  std::atomic<std::int64_t> found{0};
+
+  EngineConfig engine_config;
+  engine_config.time_cap = config.time_cap;
+
+  util::parallel_for(
+      n,
+      [&](std::size_t trial) {
+        rng::Rng trial_rng(rng::mix_seed(config.seed, trial));
+        const grid::Point treasure = placement(trial_rng, distance);
+        const AsyncSearchResult r = run_search_async(
+            strategy, k, treasure, trial_rng, schedule, crashes,
+            engine_config);
+        times[trial] = static_cast<double>(r.base.time);
+        from_last[trial] = static_cast<double>(r.from_last_start);
+        crashed[trial] = static_cast<double>(r.crashed);
+        last_starts[trial] = static_cast<double>(r.last_start);
+        if (r.base.found) found.fetch_add(1, std::memory_order_relaxed);
+      },
+      config.threads);
+
+  AsyncRunStats rs;
+  rs.base = aggregate(std::move(times), found.load(), distance, k);
+  rs.from_last_start = stats::Summary::from(from_last);
+  rs.mean_crashed = stats::Summary::from(crashed).mean;
+  rs.mean_last_start = stats::Summary::from(last_starts).mean;
+  return rs;
+}
+
+RunStats run_step_trials(const StepStrategy& strategy, int k,
+                         std::int64_t distance, const Placement& placement,
+                         const RunConfig& config) {
+  if (config.trials < 1) throw std::invalid_argument("run_step_trials: trials");
+  if (distance < 1) throw std::invalid_argument("run_step_trials: distance");
+  if (config.time_cap == kNeverTime) {
+    throw std::invalid_argument("run_step_trials: finite time_cap required");
+  }
+
+  std::vector<double> times(static_cast<std::size_t>(config.trials));
+  std::atomic<std::int64_t> found{0};
+
+  util::parallel_for(
+      static_cast<std::size_t>(config.trials),
+      [&](std::size_t trial) {
+        rng::Rng trial_rng(rng::mix_seed(config.seed, trial));
+        const grid::Point treasure = placement(trial_rng, distance);
+        const SearchResult r = run_step_search(strategy, k, treasure,
+                                               trial_rng, config.time_cap);
+        times[trial] = static_cast<double>(r.time);
+        if (r.found) found.fetch_add(1, std::memory_order_relaxed);
+      },
+      config.threads);
+
+  return aggregate(std::move(times), found.load(), distance, k);
+}
+
+}  // namespace ants::sim

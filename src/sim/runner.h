@@ -1,0 +1,67 @@
+// Monte-Carlo runner: repeats collaborative-search trials across threads and
+// aggregates the statistics the experiment tables need.
+//
+// Reproducibility contract: trial i of a run with master seed S uses
+// rng seed mix(S, i) for both placement and the engine, so a result is a
+// pure function of (strategy, k, D, placement, trials, S) — thread count
+// and scheduling cannot change it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/async_engine.h"
+#include "sim/engine.h"
+#include "sim/placement.h"
+#include "sim/step_engine.h"
+#include "sim/types.h"
+#include "stats/summary.h"
+
+namespace ants::sim {
+
+struct RunConfig {
+  std::int64_t trials = 200;
+  std::uint64_t seed = 0x5EEDF00DULL;
+  Time time_cap = kNeverTime;  ///< per-trial cap (censored if exceeded)
+  unsigned threads = 0;        ///< 0 = hardware concurrency
+};
+
+struct RunStats {
+  stats::Summary time;          ///< search times, censored at the cap
+  double success_rate = 1.0;    ///< fraction of trials that found it in time
+  double mean_competitiveness = 0;  ///< mean time / (D + D^2/k)
+  double median_competitiveness = 0;
+  std::int64_t distance = 0;
+  std::int64_t k = 0;
+  std::vector<double> times;    ///< raw per-trial times (censored)
+};
+
+/// Segment-level strategies (all paper algorithms + coordinated baselines).
+RunStats run_trials(const Strategy& strategy, int k, std::int64_t distance,
+                    const Placement& placement, const RunConfig& config);
+
+/// Step-level strategies (random-walk family). config.time_cap must be
+/// finite.
+RunStats run_step_trials(const StepStrategy& strategy, int k,
+                         std::int64_t distance, const Placement& placement,
+                         const RunConfig& config);
+
+/// Aggregates for asynchronous-start / crash-prone runs (experiment E9).
+struct AsyncRunStats {
+  RunStats base;                  ///< times measured from t = 0
+  stats::Summary from_last_start; ///< times measured from the last start
+  double mean_crashed = 0;        ///< mean number of crashed agents per trial
+  double mean_last_start = 0;     ///< mean of the trial's latest start delay
+};
+
+/// Monte-Carlo wrapper around run_search_async; same reproducibility
+/// contract as run_trials (a result is a pure function of the arguments and
+/// config.seed, independent of thread count).
+AsyncRunStats run_async_trials(const Strategy& strategy, int k,
+                               std::int64_t distance,
+                               const Placement& placement,
+                               const StartSchedule& schedule,
+                               const CrashModel& crashes,
+                               const RunConfig& config);
+
+}  // namespace ants::sim

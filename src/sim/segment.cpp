@@ -1,0 +1,68 @@
+#include "sim/segment.h"
+
+#include <cassert>
+
+namespace ants::sim {
+
+namespace {
+
+struct DurationVisitor {
+  Time operator()(const WalkSegment& w) const noexcept {
+    return w.path.length();
+  }
+  Time operator()(const SpiralSegment& s) const noexcept { return s.duration; }
+  Time operator()(const PathSegment& p) const noexcept {
+    return static_cast<Time>(p.steps.size());
+  }
+};
+
+struct EndVisitor {
+  grid::Point operator()(const WalkSegment& w) const noexcept {
+    return w.path.to();
+  }
+  grid::Point operator()(const SpiralSegment& s) const noexcept {
+    return s.center + grid::spiral_point(s.duration);
+  }
+  grid::Point operator()(const PathSegment& p) const noexcept {
+    return p.steps.empty() ? p.start : p.steps.back();
+  }
+};
+
+struct HitVisitor {
+  grid::Point target;
+
+  std::optional<Time> operator()(const WalkSegment& w) const noexcept {
+    return w.path.index_of(target);
+  }
+
+  std::optional<Time> operator()(const SpiralSegment& s) const noexcept {
+    const std::int64_t idx = grid::spiral_index(target - s.center);
+    if (idx > s.duration) return std::nullopt;
+    return idx;
+  }
+
+  std::optional<Time> operator()(const PathSegment& p) const noexcept {
+    if (p.start == target) return 0;
+    for (std::size_t i = 0; i < p.steps.size(); ++i) {
+      if (p.steps[i] == target) return static_cast<Time>(i + 1);
+    }
+    return std::nullopt;
+  }
+};
+
+}  // namespace
+
+Time duration(const Segment& seg) noexcept {
+  return std::visit(DurationVisitor{}, seg);
+}
+
+grid::Point end_position(const Segment& seg) noexcept {
+  return std::visit(EndVisitor{}, seg);
+}
+
+std::optional<Time> hit_offset(const Segment& seg,
+                               grid::Point target) noexcept {
+  return std::visit(HitVisitor{target}, seg);
+}
+
+}  // namespace ants::sim

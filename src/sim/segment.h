@@ -1,0 +1,92 @@
+// Segments: the engine's unit of simulated motion.
+//
+// A segment is a concrete realized movement with a known start position,
+// duration, end position, and — crucially — a closed-form answer to "does
+// this movement visit node tau, and after how many steps?". The three kinds
+// map onto the paper's atomic navigation procedures:
+//
+//   WalkSegment    straight-line walk (procedures 2 and 4) — O(1) hit test
+//   SpiralSegment  spiral search (procedure 3)             — O(1) hit test
+//   PathSegment    explicit unit-step path (baselines)     — O(len) hit test
+//
+// Hit offsets are relative to the segment start; a segment of duration d
+// occupies offsets [0, d] (offset 0 is the start node, shared with the
+// previous segment's end — taking minima makes the overlap harmless).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "grid/point.h"
+#include "grid/spiral.h"
+#include "grid/staircase_path.h"
+#include "sim/types.h"
+
+namespace ants::sim {
+
+struct WalkSegment {
+  grid::StaircasePath path;
+
+  explicit WalkSegment(grid::Point from, grid::Point to) : path(from, to) {}
+};
+
+struct SpiralSegment {
+  grid::Point center;
+  Time duration = 0;  ///< visits spiral indices 0..duration
+};
+
+struct PathSegment {
+  grid::Point start;
+  /// Successive positions after each unit step; positions[i] is occupied at
+  /// offset i+1. Every hop must be grid-adjacent (checked in debug builds).
+  std::vector<grid::Point> steps;
+};
+
+// SpiralSegment first: it is an aggregate, keeping Segment
+// default-constructible even though WalkSegment is not.
+using Segment = std::variant<SpiralSegment, WalkSegment, PathSegment>;
+
+/// Number of time steps the segment takes.
+Time duration(const Segment& seg) noexcept;
+
+/// Position when the segment completes.
+grid::Point end_position(const Segment& seg) noexcept;
+
+/// First offset (0-based, <= duration) at which `target` is visited.
+std::optional<Time> hit_offset(const Segment& seg, grid::Point target) noexcept;
+
+/// Enumerates (position, offset) pairs for offsets in [0, min(duration,
+/// max_offset)], in visit order. Used by the brute-force cross-checks, the
+/// visitation recorder, and trajectory dumps; the analytic engine never
+/// calls this.
+template <typename Fn>
+void for_each_visit(const Segment& seg, Time max_offset, Fn&& fn) {
+  struct Visitor {
+    Time max_offset;
+    Fn& fn;
+    void operator()(const WalkSegment& w) const {
+      const Time last = std::min(max_offset, w.path.length());
+      for (Time t = 0; t <= last; ++t) fn(w.path.at(t), t);
+    }
+    void operator()(const SpiralSegment& s) const {
+      const Time last = std::min(max_offset, s.duration);
+      for (Time t = 0; t <= last; ++t) {
+        fn(s.center + grid::spiral_point(t), t);
+      }
+    }
+    void operator()(const PathSegment& p) const {
+      fn(p.start, 0);
+      const Time last =
+          std::min<Time>(max_offset, static_cast<Time>(p.steps.size()));
+      for (Time t = 1; t <= last; ++t) {
+        fn(p.steps[static_cast<std::size_t>(t - 1)], t);
+      }
+    }
+  };
+  std::visit(Visitor{max_offset, fn}, seg);
+}
+
+}  // namespace ants::sim

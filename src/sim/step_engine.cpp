@@ -1,0 +1,61 @@
+#include "sim/step_engine.h"
+
+#include <cassert>
+#include <stdexcept>
+#include <vector>
+
+namespace ants::sim {
+
+SearchResult run_step_search(const StepStrategy& strategy, int k,
+                             grid::Point treasure, const rng::Rng& trial_rng,
+                             Time time_cap) {
+  if (k < 1) throw std::invalid_argument("run_step_search: need k >= 1");
+  if (time_cap == kNeverTime) {
+    // Random-walk-style strategies have infinite expected hitting time on
+    // Z^2 (see the paper's related-work discussion); an uncapped run is a
+    // programming error.
+    throw std::invalid_argument("run_step_search: finite time_cap required");
+  }
+
+  SearchResult result;
+
+  if (treasure == grid::kOrigin) {
+    result.found = true;
+    result.time = 0;
+    result.finder = 0;
+    return result;
+  }
+
+  std::vector<std::unique_ptr<StepProgram>> programs;
+  std::vector<rng::Rng> rngs;
+  std::vector<grid::Point> pos(static_cast<std::size_t>(k), grid::kOrigin);
+  programs.reserve(static_cast<std::size_t>(k));
+  rngs.reserve(static_cast<std::size_t>(k));
+  for (int a = 0; a < k; ++a) {
+    programs.push_back(strategy.make_program(AgentContext{a, k}));
+    rngs.push_back(trial_rng.child(static_cast<std::uint64_t>(a)));
+  }
+
+  for (Time t = 1; t <= time_cap; ++t) {
+    for (int a = 0; a < k; ++a) {
+      const auto ia = static_cast<std::size_t>(a);
+      const grid::Point next = programs[ia]->step(rngs[ia], pos[ia]);
+      assert(grid::l1_dist(next, pos[ia]) <= 1);
+      pos[ia] = next;
+      if (next == treasure) {
+        result.found = true;
+        result.time = t;
+        result.finder = a;
+        result.segments = t * k;
+        return result;
+      }
+    }
+  }
+
+  result.found = false;
+  result.time = time_cap;
+  result.segments = time_cap * k;
+  return result;
+}
+
+}  // namespace ants::sim

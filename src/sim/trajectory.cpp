@@ -1,0 +1,65 @@
+#include "sim/trajectory.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/engine.h"
+#include "sim/segment.h"
+
+namespace ants::sim {
+
+std::vector<TimedPoint> trace_program(const Strategy& strategy,
+                                      AgentContext ctx, rng::Rng& rng,
+                                      Time horizon) {
+  if (horizon < 0) throw std::invalid_argument("trace: negative horizon");
+
+  std::vector<TimedPoint> trace;
+  trace.reserve(static_cast<std::size_t>(std::min<Time>(horizon + 1, 1 << 20)));
+
+  const auto program = strategy.make_program(ctx);
+  grid::Point pos = grid::kOrigin;
+  Time clock = 0;
+  trace.push_back({pos, 0});
+  int consecutive_stalls = 0;
+
+  while (clock < horizon) {
+    const Segment seg = realize(program->next(rng), pos, grid::kOrigin);
+    const Time budget = horizon - clock;
+    for_each_visit(seg, budget, [&](grid::Point p, Time offset) {
+      if (offset == 0) return;  // shared with the previous segment's end
+      trace.push_back({p, clock + offset});
+    });
+    clock += std::min(budget, duration(seg));
+    pos = end_position(seg);
+    if (duration(seg) == 0) {
+      if (++consecutive_stalls > 1000) break;
+    } else {
+      consecutive_stalls = 0;
+    }
+  }
+  return trace;
+}
+
+std::string render_trace(const std::vector<TimedPoint>& trace,
+                         std::int64_t extent, grid::Point treasure) {
+  if (extent < 1) throw std::invalid_argument("render: extent >= 1");
+  const std::int64_t side = 2 * extent + 1;
+  std::string canvas(static_cast<std::size_t>(side * (side + 1)), ' ');
+  for (std::int64_t row = 0; row < side; ++row) {
+    canvas[static_cast<std::size_t>(row * (side + 1) + side)] = '\n';
+  }
+
+  const auto plot = [&](grid::Point p, char ch) {
+    const std::int64_t col = p.x + extent;
+    const std::int64_t row = extent - p.y;  // +y up
+    if (col < 0 || col >= side || row < 0 || row >= side) return;
+    canvas[static_cast<std::size_t>(row * (side + 1) + col)] = ch;
+  };
+
+  for (const auto& tp : trace) plot(tp.position, '#');
+  plot(treasure, 'T');
+  plot(grid::kOrigin, 'S');
+  return canvas;
+}
+
+}  // namespace ants::sim

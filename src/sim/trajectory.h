@@ -1,0 +1,40 @@
+// Trajectory tracing: materializes an agent's full step-by-step path.
+//
+// Only for visualization, examples, and tests (the engine never materializes
+// paths). Also provides an ASCII rendering used by the trajectory_dump
+// example to eyeball search patterns — the paper's section 6 describes
+// desert-ant trajectories as "a long straight path ... and a second more
+// tortuous path within a small confined area"; the renders make the
+// harmonic algorithm's matching structure visible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "grid/point.h"
+#include "rng/rng.h"
+#include "sim/program.h"
+#include "sim/types.h"
+
+namespace ants::sim {
+
+struct TimedPoint {
+  grid::Point position;
+  Time time = 0;
+};
+
+/// Runs one agent program for `horizon` steps and returns every visited
+/// (position, time), in order, starting with the source at time 0.
+std::vector<TimedPoint> trace_program(const Strategy& strategy,
+                                      AgentContext ctx, rng::Rng& rng,
+                                      Time horizon);
+
+/// Renders the trace into a character raster of the window
+/// [-extent, extent]^2: source 'S', treasure 'T' (if inside), visited '#',
+/// with one text row per y (top = +extent). Cells outside the window are
+/// dropped.
+std::string render_trace(const std::vector<TimedPoint>& trace,
+                         std::int64_t extent, grid::Point treasure);
+
+}  // namespace ants::sim

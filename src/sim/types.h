@@ -1,0 +1,35 @@
+// Shared simulation vocabulary: discrete time, agent identity, outcomes.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace ants::sim {
+
+/// Discrete simulation time: one unit per edge traversal (paper section 2).
+using Time = std::int64_t;
+
+/// "Never": larger than any saturated duration (durations cap at 2^62).
+inline constexpr Time kNeverTime = std::numeric_limits<Time>::max();
+
+/// Context handed to a strategy when instantiating one agent's program.
+///
+/// `k` is the true number of agents in the run. UNIFORM algorithms must not
+/// read it (the whole point of the paper's section 3.2) — it exists for the
+/// explicitly coordinated baselines (sector sweep) and for non-uniform
+/// algorithms whose knowledge of k is the experiment's subject. Tests assert
+/// that uniform strategies produce identical op streams for any k.
+struct AgentContext {
+  int agent_index = 0;
+  int k = 1;
+};
+
+/// Result of one collaborative search run.
+struct SearchResult {
+  Time time = kNeverTime;     ///< first visit of the treasure (or cap)
+  bool found = false;         ///< true iff some agent reached the treasure
+  int finder = -1;            ///< index of the first agent to reach it
+  std::int64_t segments = 0;  ///< total segments realized (cost accounting)
+};
+
+}  // namespace ants::sim

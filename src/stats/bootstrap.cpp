@@ -1,0 +1,61 @@
+#include "stats/bootstrap.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "stats/summary.h"
+
+namespace ants::stats {
+
+BootstrapCI bootstrap_ci(
+    const std::vector<double>& samples,
+    const std::function<double(const std::vector<double>&)>& statistic,
+    rng::Rng& rng, int iterations, double alpha) {
+  if (samples.empty()) throw std::invalid_argument("bootstrap: no samples");
+  if (iterations < 1) throw std::invalid_argument("bootstrap: iterations");
+
+  BootstrapCI ci;
+  ci.point = statistic(samples);
+
+  std::vector<double> stats;
+  stats.reserve(static_cast<std::size_t>(iterations));
+  std::vector<double> resample(samples.size());
+  for (int it = 0; it < iterations; ++it) {
+    for (auto& v : resample) {
+      v = samples[rng.uniform_u64(samples.size())];
+    }
+    stats.push_back(statistic(resample));
+  }
+  std::sort(stats.begin(), stats.end());
+  ci.lo = quantile_sorted(stats, alpha / 2);
+  ci.hi = quantile_sorted(stats, 1 - alpha / 2);
+  return ci;
+}
+
+namespace {
+
+double mean_of(const std::vector<double>& v) {
+  double s = 0;
+  for (const double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double median_of(const std::vector<double>& v) {
+  std::vector<double> copy = v;
+  std::sort(copy.begin(), copy.end());
+  return quantile_sorted(copy, 0.5);
+}
+
+}  // namespace
+
+BootstrapCI bootstrap_mean(const std::vector<double>& samples, rng::Rng& rng,
+                           int iterations, double alpha) {
+  return bootstrap_ci(samples, mean_of, rng, iterations, alpha);
+}
+
+BootstrapCI bootstrap_median(const std::vector<double>& samples, rng::Rng& rng,
+                             int iterations, double alpha) {
+  return bootstrap_ci(samples, median_of, rng, iterations, alpha);
+}
+
+}  // namespace ants::stats

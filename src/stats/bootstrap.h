@@ -1,0 +1,37 @@
+// Percentile-bootstrap confidence intervals.
+//
+// Normal-approximation CIs are misleading for the library's heavy-tailed
+// search-time distributions; the experiment harnesses bootstrap medians and
+// means instead when they need honest uncertainty bands.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "rng/rng.h"
+
+namespace ants::stats {
+
+struct BootstrapCI {
+  double point = 0;  ///< statistic on the original sample
+  double lo = 0;     ///< lower percentile bound
+  double hi = 0;     ///< upper percentile bound
+};
+
+/// Generic percentile bootstrap: resamples `samples` with replacement
+/// `iterations` times and returns the [alpha/2, 1-alpha/2] percentiles of
+/// the statistic. The statistic receives the resampled vector.
+BootstrapCI bootstrap_ci(
+    const std::vector<double>& samples,
+    const std::function<double(const std::vector<double>&)>& statistic,
+    rng::Rng& rng, int iterations = 1000, double alpha = 0.05);
+
+/// Bootstrap CI of the mean.
+BootstrapCI bootstrap_mean(const std::vector<double>& samples, rng::Rng& rng,
+                           int iterations = 1000, double alpha = 0.05);
+
+/// Bootstrap CI of the median.
+BootstrapCI bootstrap_median(const std::vector<double>& samples, rng::Rng& rng,
+                             int iterations = 1000, double alpha = 0.05);
+
+}  // namespace ants::stats

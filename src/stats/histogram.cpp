@@ -1,0 +1,77 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ants::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)) {
+  if (!(hi > lo)) throw std::invalid_argument("histogram needs hi > lo");
+  if (bins == 0) throw std::invalid_argument("histogram needs >= 1 bin");
+  counts_.assign(bins, 0);
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    ++counts_.front();
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    ++counts_.back();
+    return;
+  }
+  const auto bin = std::min(
+      counts_.size() - 1, static_cast<std::size_t>((x - lo_) / width_));
+  ++counts_[bin];
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  return lo_ + width_ * static_cast<double>(bin);
+}
+
+double Histogram::bin_hi(std::size_t bin) const {
+  return lo_ + width_ * static_cast<double>(bin + 1);
+}
+
+std::string Histogram::render(std::size_t max_width) const {
+  std::uint64_t peak = 1;
+  for (const auto c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char label[64];
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    std::snprintf(label, sizeof(label), "[%10.1f, %10.1f) %8llu ", bin_lo(b),
+                  bin_hi(b), static_cast<unsigned long long>(counts_[b]));
+    out += label;
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(counts_[b]) / static_cast<double>(peak) *
+        static_cast<double>(max_width));
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+void Log2Histogram::add(double x) noexcept {
+  ++total_;
+  std::size_t bucket = 0;
+  if (x >= 1) {
+    bucket = static_cast<std::size_t>(std::floor(std::log2(x)));
+  }
+  if (bucket >= counts_.size()) counts_.resize(bucket + 1, 0);
+  ++counts_[bucket];
+}
+
+std::size_t Log2Histogram::max_bucket() const noexcept {
+  return counts_.empty() ? 0 : counts_.size() - 1;
+}
+
+std::uint64_t Log2Histogram::count(std::size_t bucket) const noexcept {
+  return bucket < counts_.size() ? counts_[bucket] : 0;
+}
+
+}  // namespace ants::stats

@@ -1,0 +1,54 @@
+// Fixed-bin histograms (linear or base-2 logarithmic) used by the
+// trajectory/visitation analyses and the distribution tests.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ants::stats {
+
+/// Linear histogram over [lo, hi) with `bins` equal-width bins; values
+/// outside the range land in saturated edge bins and are counted separately.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+
+  std::size_t bins() const noexcept { return counts_.size(); }
+  std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::uint64_t total() const noexcept { return total_; }
+  std::uint64_t underflow() const noexcept { return underflow_; }
+  std::uint64_t overflow() const noexcept { return overflow_; }
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+
+  /// Plain-text rendering with proportional bars (for examples).
+  std::string render(std::size_t max_width = 50) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+};
+
+/// Histogram over power-of-two buckets [2^i, 2^(i+1)); bucket(0) also counts
+/// values < 1. Natural for dyadic-annulus visitation accounting.
+class Log2Histogram {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t max_bucket() const noexcept;
+  std::uint64_t count(std::size_t bucket) const noexcept;
+  std::uint64_t total() const noexcept { return total_; }
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace ants::stats

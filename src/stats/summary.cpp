@@ -1,0 +1,64 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ants::stats {
+
+void Accumulator::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::variance() const noexcept {
+  return n_ >= 2 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double Accumulator::stddev() const noexcept { return std::sqrt(variance()); }
+
+double Accumulator::std_error() const noexcept {
+  return n_ >= 1 ? stddev() / std::sqrt(static_cast<double>(n_)) : 0.0;
+}
+
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  assert(!sorted.empty());
+  assert(q >= 0.0 && q <= 1.0);
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary Summary::from(std::vector<double> samples) {
+  Summary s;
+  s.n = samples.size();
+  if (samples.empty()) return s;
+
+  Accumulator acc;
+  for (const double x : samples) acc.add(x);
+  s.mean = acc.mean();
+  s.stddev = acc.stddev();
+  s.std_error = acc.std_error();
+  s.min = acc.min();
+  s.max = acc.max();
+
+  std::sort(samples.begin(), samples.end());
+  s.median = quantile_sorted(samples, 0.5);
+  s.q25 = quantile_sorted(samples, 0.25);
+  s.q75 = quantile_sorted(samples, 0.75);
+  s.q95 = quantile_sorted(samples, 0.95);
+  return s;
+}
+
+}  // namespace ants::stats

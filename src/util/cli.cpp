@@ -1,0 +1,118 @@
+#include "util/cli.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace ants::util {
+
+namespace {
+
+bool looks_like_flag(const std::string& s) {
+  return s.size() > 2 && s[0] == '-' && s[1] == '-';
+}
+
+// "-5" / "-0.3" are values for the preceding flag, not flags themselves.
+bool looks_like_negative_number(const std::string& s) {
+  return s.size() >= 2 && s[0] == '-' &&
+         (std::isdigit(static_cast<unsigned char>(s[1])) != 0 || s[1] == '.');
+}
+
+}  // namespace
+
+Cli::Cli(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!looks_like_flag(arg)) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < argc && !looks_like_flag(argv[i + 1]) &&
+               (argv[i + 1][0] != '-' ||
+                looks_like_negative_number(argv[i + 1]))) {
+      flags_[body] = argv[++i];
+    } else {
+      flags_[body] = "true";
+    }
+  }
+}
+
+std::string Cli::get_string(const std::string& name, const std::string& def) {
+  recognized_.insert(name);
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? def : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& name, std::int64_t def) {
+  recognized_.insert(name);
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& name, double def) {
+  recognized_.insert(name);
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Cli::get_bool(const std::string& name, bool def) {
+  recognized_.insert(name);
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  return it->second != "false" && it->second != "0";
+}
+
+std::vector<std::int64_t> Cli::get_int_list(const std::string& name,
+                                            std::vector<std::int64_t> def) {
+  recognized_.insert(name);
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  std::vector<std::int64_t> out;
+  std::stringstream ss(it->second);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (!tok.empty()) out.push_back(std::strtoll(tok.c_str(), nullptr, 10));
+  }
+  return out;
+}
+
+std::vector<double> Cli::get_double_list(const std::string& name,
+                                         std::vector<double> def) {
+  recognized_.insert(name);
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  std::vector<double> out;
+  std::stringstream ss(it->second);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (!tok.empty()) out.push_back(std::strtod(tok.c_str(), nullptr));
+  }
+  return out;
+}
+
+bool Cli::has(const std::string& name) const {
+  return flags_.count(name) != 0;
+}
+
+void Cli::finish() const {
+  std::string unknown;
+  for (const auto& [name, value] : flags_) {
+    if (recognized_.count(name) == 0) {
+      if (!unknown.empty()) unknown += ", ";
+      unknown += "--" + name;
+    }
+  }
+  if (!unknown.empty()) {
+    throw std::invalid_argument("unknown flag(s): " + unknown);
+  }
+}
+
+}  // namespace ants::util

@@ -1,0 +1,51 @@
+#include "util/csv.h"
+
+#include <stdexcept>
+
+#include "util/format.h"
+
+namespace ants::util {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), cols_(header.size()) {
+  if (!out_) throw std::runtime_error("cannot open CSV file: " + path);
+  if (header.empty()) throw std::invalid_argument("CSV needs >= 1 column");
+  std::string line;
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i) line += ",";
+    line += escape(header[i]);
+  }
+  out_ << line << "\n";
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  if (cells.size() != cols_) throw std::invalid_argument("CSV row width");
+  std::string line;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) line += ",";
+    line += escape(cells[i]);
+  }
+  out_ << line << "\n";
+  ++rows_;
+}
+
+void CsvWriter::add_row_numeric(const std::vector<double>& cells) {
+  std::vector<std::string> row;
+  row.reserve(cells.size());
+  for (const double v : cells) row.push_back(fmt_compact(v));
+  add_row(row);
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (const char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace ants::util

@@ -1,0 +1,31 @@
+// CSV writer for experiment results (optional --csv=path output of benches),
+// so series can be re-plotted without re-running sweeps.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace ants::util {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row immediately.
+  /// Throws std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  void add_row(const std::vector<std::string>& cells);
+  void add_row_numeric(const std::vector<double>& cells);
+
+  /// Number of data rows written so far (excluding the header).
+  std::size_t rows() const { return rows_; }
+
+ private:
+  static std::string escape(const std::string& cell);
+
+  std::ofstream out_;
+  std::size_t cols_ = 0;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace ants::util

@@ -1,0 +1,38 @@
+// Small numeric formatting helpers for table/CSV output.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace ants::util {
+
+/// Fixed-point with `prec` decimals.
+inline std::string fmt_fixed(double v, int prec = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+/// Shortest faithful rendering for algorithm parameters in names/labels
+/// ("%g": 0.5 stays "0.5", not "0.500000").
+inline std::string fmt_param(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+/// Engineering-friendly: integers below 10^6 verbatim, otherwise 3 significant
+/// digits with scientific notation.
+inline std::string fmt_compact(double v) {
+  char buf[64];
+  if (v == static_cast<long long>(v) && v > -1e6 && v < 1e6) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else if (v >= 1e6 || v <= -1e6) {
+    std::snprintf(buf, sizeof(buf), "%.3g", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+  }
+  return buf;
+}
+
+}  // namespace ants::util

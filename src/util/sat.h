@@ -1,0 +1,43 @@
+// Saturating 64-bit arithmetic.
+//
+// Simulation clocks and durations are int64 "steps". A few algorithm
+// parameters (notably the harmonic algorithm's spiral budget d^(2+delta))
+// have heavy-tailed distributions whose rare samples exceed 2^62 steps.
+// Rather than widen every clock to 128 bits, durations saturate at kTimeCap;
+// any value at the cap is far beyond every experiment's time bound, so
+// saturation never changes which agent finds the treasure first.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace ants::util {
+
+/// All saturating results are clamped to this cap (2^62). Chosen below
+/// INT64_MAX so that adding two capped values cannot overflow.
+inline constexpr std::int64_t kTimeCap = std::int64_t{1} << 62;
+
+constexpr std::int64_t sat_add(std::int64_t a, std::int64_t b) noexcept {
+  if (a >= kTimeCap || b >= kTimeCap) return kTimeCap;
+  const std::int64_t s = a + b;  // |a|,|b| < 2^62 so no signed overflow
+  return s > kTimeCap ? kTimeCap : s;
+}
+
+constexpr std::int64_t sat_mul(std::int64_t a, std::int64_t b) noexcept {
+  if (a == 0 || b == 0) return 0;
+  if (a >= kTimeCap || b >= kTimeCap) return kTimeCap;
+  if (a > kTimeCap / b) return kTimeCap;
+  return a * b;
+}
+
+/// Saturating conversion from double (used for fractional powers like
+/// d^(2+delta)). NaN maps to the cap: a nonsensical duration must never
+/// masquerade as "instant".
+inline std::int64_t sat_from_double(double v) noexcept {
+  if (std::isnan(v)) return kTimeCap;
+  if (v <= 0) return 0;
+  if (v >= static_cast<double>(kTimeCap)) return kTimeCap;
+  return static_cast<std::int64_t>(v);
+}
+
+}  // namespace ants::util

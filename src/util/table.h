@@ -1,0 +1,36 @@
+// Aligned plain-text / markdown table printer used by every experiment
+// harness, so the bench binaries print the rows EXPERIMENTS.md records.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ants::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; the row must have exactly as many cells as headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with fmt_compact.
+  void add_row_numeric(const std::vector<double>& cells);
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t cols() const { return headers_.size(); }
+  const std::vector<std::string>& header() const { return headers_; }
+  const std::vector<std::string>& row(std::size_t i) const { return rows_[i]; }
+
+  /// Space-aligned rendering with a rule under the header.
+  void print(std::ostream& os) const;
+  /// GitHub-flavored markdown rendering (for EXPERIMENTS.md).
+  void print_markdown(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ants::util

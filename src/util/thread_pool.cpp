@@ -1,0 +1,58 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ants::util {
+
+unsigned default_thread_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  unsigned threads) {
+  if (n == 0) return;
+  if (threads == 0) threads = default_thread_count();
+  threads = static_cast<unsigned>(
+      std::min<std::size_t>(threads, n));
+
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  // Dynamic chunking via a shared counter: trials have wildly uneven cost
+  // (heavy-tailed search times), so static partitioning would leave threads
+  // idle behind one unlucky chunk.
+  std::atomic<std::size_t> next{0};
+
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        body(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads - 1);
+  for (unsigned t = 0; t + 1 < threads; ++t) pool.emplace_back(worker);
+  worker();
+  for (auto& th : pool) th.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace ants::util

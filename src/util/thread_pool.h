@@ -1,0 +1,24 @@
+// Static-partition parallel_for used by the Monte-Carlo runner.
+//
+// Trials are embarrassingly parallel and individually cheap-to-medium; a
+// work-stealing queue would be over-engineering. Each invocation spawns
+// (threads-1) workers plus the calling thread, splits [0, n) into contiguous
+// chunks, and joins. Determinism: the mapping from trial index to RNG seed is
+// fixed by the caller, so results are identical for any thread count.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace ants::util {
+
+/// Runs body(i) for every i in [0, n), using up to `threads` OS threads
+/// (0 = hardware concurrency). Exceptions thrown by `body` propagate to the
+/// caller (the first one captured wins; remaining work is still joined).
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  unsigned threads = 0);
+
+/// Hardware concurrency with a sane floor of 1.
+unsigned default_thread_count();
+
+}  // namespace ants::util

@@ -1,0 +1,121 @@
+#include "baselines/ablation_variants.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <variant>
+
+#include "core/known_k.h"
+#include "grid/point.h"
+#include "sim/placement.h"
+#include "sim/runner.h"
+
+namespace ants::baselines {
+namespace {
+
+using sim::FollowPath;
+using sim::GoTo;
+using sim::Op;
+using sim::ReturnToSource;
+using sim::SpiralFor;
+
+TEST(RandomLocal, RejectsBadK) {
+  EXPECT_THROW(KnownKRandomLocalStrategy(0), std::invalid_argument);
+  EXPECT_THROW(KnownKNoReturnStrategy(-1), std::invalid_argument);
+}
+
+TEST(RandomLocal, OpCycleIsGoWalkReturn) {
+  const KnownKRandomLocalStrategy strategy(4);
+  const auto program = strategy.make_program(sim::AgentContext{});
+  rng::Rng rng(1);
+  for (int trip = 0; trip < 8; ++trip) {
+    ASSERT_TRUE(std::holds_alternative<GoTo>(program->next(rng)));
+    ASSERT_TRUE(std::holds_alternative<FollowPath>(program->next(rng)));
+    ASSERT_TRUE(std::holds_alternative<ReturnToSource>(program->next(rng)));
+  }
+}
+
+TEST(RandomLocal, WalkBudgetMatchesSpiralSchedule) {
+  // The random walk must receive exactly A_k's per-phase step budget.
+  const KnownKRandomLocalStrategy strategy(2);
+  const core::KnownKStrategy reference(2);
+  const auto program = strategy.make_program(sim::AgentContext{});
+  rng::Rng rng(2);
+  // Stage 1 phase 1, stage 2 phases 1,2, stage 3 phases 1,2,3.
+  const int phases[] = {1, 1, 2, 1, 2, 3};
+  for (const int i : phases) {
+    (void)program->next(rng);  // GoTo
+    const Op walk = program->next(rng);
+    EXPECT_EQ(static_cast<sim::Time>(std::get<FollowPath>(walk).steps.size()),
+              reference.spiral_budget(i));
+    (void)program->next(rng);  // Return
+  }
+}
+
+TEST(RandomLocal, WalkStepsAreAdjacentAndAnchored) {
+  const KnownKRandomLocalStrategy strategy(1);
+  const auto program = strategy.make_program(sim::AgentContext{});
+  rng::Rng rng(3);
+  const Op go = program->next(rng);
+  const grid::Point anchor = std::get<GoTo>(go).target;
+  const Op walk = program->next(rng);
+  const auto& steps = std::get<FollowPath>(walk).steps;
+  ASSERT_FALSE(steps.empty());
+  EXPECT_TRUE(grid::adjacent(anchor, steps.front()));
+  for (std::size_t i = 1; i < steps.size(); ++i) {
+    ASSERT_TRUE(grid::adjacent(steps[i - 1], steps[i])) << i;
+  }
+}
+
+TEST(NoReturn, OpCycleAlternatesGoSpiral) {
+  const KnownKNoReturnStrategy strategy(4);
+  const auto program = strategy.make_program(sim::AgentContext{});
+  rng::Rng rng(4);
+  for (int trip = 0; trip < 10; ++trip) {
+    ASSERT_TRUE(std::holds_alternative<GoTo>(program->next(rng)));
+    ASSERT_TRUE(std::holds_alternative<SpiralFor>(program->next(rng)));
+  }
+}
+
+TEST(NoReturn, SpiralBudgetsFollowAkSchedule) {
+  const KnownKNoReturnStrategy strategy(1);
+  const core::KnownKStrategy reference(1);
+  const auto program = strategy.make_program(sim::AgentContext{});
+  rng::Rng rng(5);
+  const int phases[] = {1, 1, 2, 1, 2, 3, 1};
+  for (const int i : phases) {
+    (void)program->next(rng);  // GoTo
+    EXPECT_EQ(std::get<SpiralFor>(program->next(rng)).duration,
+              reference.spiral_budget(i));
+  }
+}
+
+TEST(NoReturn, StillFindsTreasure) {
+  const KnownKNoReturnStrategy strategy(8);
+  sim::RunConfig config;
+  config.trials = 100;
+  config.seed = 6;
+  config.time_cap = 1 << 18;
+  const sim::RunStats rs =
+      sim::run_trials(strategy, 8, 16, sim::uniform_ring_placement(), config);
+  EXPECT_GT(rs.success_rate, 0.95);
+}
+
+TEST(RandomLocal, SpiralBeatsRandomWalkLocalSearch) {
+  // The ablation's headline at test scale: same budgets, systematic local
+  // search wins by a clear multiple.
+  sim::RunConfig config;
+  config.trials = 80;
+  config.seed = 7;
+  config.time_cap = 1 << 18;
+  const core::KnownKStrategy spiral(4);
+  const KnownKRandomLocalStrategy rw(4);
+  const sim::RunStats rs_spiral =
+      sim::run_trials(spiral, 4, 24, sim::uniform_ring_placement(), config);
+  const sim::RunStats rs_rw =
+      sim::run_trials(rw, 4, 24, sim::uniform_ring_placement(), config);
+  EXPECT_GT(rs_rw.time.median, 1.5 * rs_spiral.time.median);
+}
+
+}  // namespace
+}  // namespace ants::baselines

@@ -1,0 +1,137 @@
+#include "core/harmonic.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <variant>
+
+#include "sim/runner.h"
+#include "util/sat.h"
+
+namespace ants::core {
+namespace {
+
+using sim::GoTo;
+using sim::Op;
+using sim::ReturnToSource;
+using sim::SpiralFor;
+
+TEST(Harmonic, RejectsBadDelta) {
+  EXPECT_THROW(HarmonicStrategy(0.0), std::invalid_argument);
+  EXPECT_THROW(HarmonicStrategy(-0.5), std::invalid_argument);
+  EXPECT_NO_THROW(HarmonicStrategy(0.2));
+  EXPECT_NO_THROW(HarmonicStrategy(0.8));
+}
+
+TEST(Harmonic, RadiusLawHasExponentOnePlusDelta) {
+  const HarmonicStrategy s(0.6);
+  EXPECT_DOUBLE_EQ(s.radius_law().exponent(), 1.6);
+}
+
+TEST(Harmonic, SpiralBudgetIsRadiusPower) {
+  const HarmonicStrategy s(0.5);
+  EXPECT_EQ(s.spiral_budget(1), 1);
+  EXPECT_EQ(s.spiral_budget(4), static_cast<sim::Time>(std::pow(4.0, 2.5)));
+  EXPECT_EQ(s.spiral_budget(100),
+            static_cast<sim::Time>(std::pow(100.0, 2.5)));
+  // Saturation for huge radii.
+  EXPECT_EQ(s.spiral_budget(std::int64_t{1} << 40), util::kTimeCap);
+}
+
+TEST(Harmonic, TripStructure) {
+  const HarmonicStrategy s(0.5);
+  const auto program = s.make_program(sim::AgentContext{});
+  rng::Rng rng(31);
+  for (int trip = 0; trip < 50; ++trip) {
+    const Op go = program->next(rng);
+    ASSERT_TRUE(std::holds_alternative<GoTo>(go));
+    const std::int64_t r = grid::l1_norm(std::get<GoTo>(go).target);
+    EXPECT_GE(r, 1);
+
+    const Op sp = program->next(rng);
+    ASSERT_TRUE(std::holds_alternative<SpiralFor>(sp));
+    // Budget must equal d(u)^(2+delta) for the trip's own u.
+    EXPECT_EQ(std::get<SpiralFor>(sp).duration, s.spiral_budget(r));
+
+    ASSERT_TRUE(
+        std::holds_alternative<ReturnToSource>(program->next(rng)));
+  }
+}
+
+TEST(Harmonic, RadiusFrequenciesFollowPowerLaw) {
+  const HarmonicStrategy s(0.8);
+  const auto program = s.make_program(sim::AgentContext{});
+  rng::Rng rng(32);
+  std::map<std::int64_t, int> counts;
+  const int trips = 60000;
+  for (int trip = 0; trip < trips; ++trip) {
+    const Op go = program->next(rng);
+    ++counts[grid::l1_norm(std::get<GoTo>(go).target)];
+    (void)program->next(rng);
+    (void)program->next(rng);
+  }
+  // P(r) proportional to r^-1.8: check r=1 vs r=2 ratio ~ 2^1.8 ~ 3.48.
+  ASSERT_GT(counts[1], 1000);
+  ASSERT_GT(counts[2], 100);
+  const double ratio =
+      static_cast<double>(counts[1]) / static_cast<double>(counts[2]);
+  EXPECT_NEAR(ratio, std::pow(2.0, 1.8), 0.4);
+}
+
+TEST(Harmonic, TargetUniformOnItsRing) {
+  // Conditioned on radius 2 (4*2 = 8 nodes), targets should be uniform.
+  const HarmonicStrategy s(0.5);
+  const auto program = s.make_program(sim::AgentContext{});
+  rng::Rng rng(33);
+  std::map<std::pair<std::int64_t, std::int64_t>, int> counts;
+  int r2_trips = 0;
+  for (int trip = 0; trip < 120000 && r2_trips < 8000; ++trip) {
+    const Op go = program->next(rng);
+    const grid::Point u = std::get<GoTo>(go).target;
+    if (grid::l1_norm(u) == 2) {
+      ++counts[{u.x, u.y}];
+      ++r2_trips;
+    }
+    (void)program->next(rng);
+    (void)program->next(rng);
+  }
+  ASSERT_EQ(counts.size(), 8u);
+  for (const auto& [xy, c] : counts) {
+    EXPECT_NEAR(c, r2_trips / 8.0, 5 * std::sqrt(r2_trips / 8.0))
+        << xy.first << "," << xy.second;
+  }
+}
+
+TEST(Harmonic, IdenticalForAllAgents) {
+  const HarmonicStrategy s(0.4);
+  const auto p0 = s.make_program(sim::AgentContext{0, 1});
+  const auto p1 = s.make_program(sim::AgentContext{7, 512});
+  rng::Rng ra(77), rb(77);
+  for (int i = 0; i < 60; ++i) {
+    const Op a = p0->next(ra);
+    const Op b = p1->next(rb);
+    ASSERT_EQ(a.index(), b.index());
+    if (const auto* go = std::get_if<GoTo>(&a)) {
+      EXPECT_EQ(go->target, std::get<GoTo>(b).target);
+    }
+  }
+}
+
+TEST(Harmonic, ManyAgentsFindNearbyTreasureFast) {
+  // Theorem 5.1 regime: k = 32 >> alpha * D^delta for D = 4. Success within
+  // a generous cap should be overwhelming, and the median time small.
+  const HarmonicStrategy strategy(0.5);
+  sim::RunConfig config;
+  config.trials = 150;
+  config.seed = 41;
+  config.time_cap = 1 << 14;
+  const sim::RunStats rs =
+      sim::run_trials(strategy, 32, 4, sim::uniform_ring_placement(), config);
+  EXPECT_GT(rs.success_rate, 0.95);
+  EXPECT_LT(rs.time.median, 512.0);
+}
+
+}  // namespace
+}  // namespace ants::core

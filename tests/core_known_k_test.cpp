@@ -1,0 +1,141 @@
+#include "core/known_k.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <variant>
+#include <vector>
+
+#include "core/params.h"
+#include "sim/engine.h"
+#include "sim/placement.h"
+#include "sim/runner.h"
+#include "util/math.h"
+#include "util/sat.h"
+
+namespace ants::core {
+namespace {
+
+using sim::GoTo;
+using sim::Op;
+using sim::ReturnToSource;
+using sim::SpiralFor;
+
+TEST(KnownK, RejectsBadK) {
+  EXPECT_THROW(KnownKStrategy(0), std::invalid_argument);
+  EXPECT_THROW(KnownKStrategy(-3), std::invalid_argument);
+  EXPECT_NO_THROW(KnownKStrategy(1));
+}
+
+TEST(KnownK, SpiralBudgetMatchesPaper) {
+  // t_i = 2^(2i+2) / k.
+  const KnownKStrategy s4(4);
+  EXPECT_EQ(s4.spiral_budget(1), util::pow2(4) / 4);
+  EXPECT_EQ(s4.spiral_budget(3), util::pow2(8) / 4);
+  EXPECT_EQ(s4.spiral_budget(10), util::pow2(22) / 4);
+
+  const KnownKStrategy s1(1);
+  EXPECT_EQ(s1.spiral_budget(5), util::pow2(12));
+
+  // Clamped to >= 1 when k exceeds 2^(2i+2).
+  const KnownKStrategy huge(1 << 20);
+  EXPECT_EQ(huge.spiral_budget(1), 1);
+
+  // Saturates instead of overflowing for unreachably large phases.
+  EXPECT_EQ(s1.spiral_budget(31), util::kTimeCap);
+}
+
+TEST(KnownK, BallRadiusDoublesThenCaps) {
+  const KnownKStrategy s(2);
+  EXPECT_EQ(s.ball_radius(1), 2);
+  EXPECT_EQ(s.ball_radius(10), 1024);
+  EXPECT_EQ(s.ball_radius(kMaxRadiusExponent + 5), kMaxBallRadius);
+}
+
+TEST(KnownK, OpStreamFollowsTripCycle) {
+  const KnownKStrategy strategy(2);
+  const auto program = strategy.make_program(sim::AgentContext{});
+  rng::Rng rng(11);
+  for (int trip = 0; trip < 30; ++trip) {
+    const Op go = program->next(rng);
+    ASSERT_TRUE(std::holds_alternative<GoTo>(go)) << trip;
+    const Op sp = program->next(rng);
+    ASSERT_TRUE(std::holds_alternative<SpiralFor>(sp)) << trip;
+    const Op ret = program->next(rng);
+    ASSERT_TRUE(std::holds_alternative<ReturnToSource>(ret)) << trip;
+  }
+}
+
+TEST(KnownK, StageScheduleVisitsPhasesInOrder) {
+  // Stage j runs phases i = 1..j, so the sequence of spiral budgets for k=1
+  // is 2^4; 2^4, 2^6; 2^4, 2^6, 2^8; ...
+  const KnownKStrategy strategy(1);
+  const auto program = strategy.make_program(sim::AgentContext{});
+  rng::Rng rng(12);
+  std::vector<sim::Time> budgets;
+  for (int trip = 0; trip < 10; ++trip) {
+    (void)program->next(rng);  // GoTo
+    const Op sp = program->next(rng);
+    budgets.push_back(std::get<SpiralFor>(sp).duration);
+    (void)program->next(rng);  // Return
+  }
+  const std::vector<sim::Time> expected{
+      util::pow2(4),                                              // j=1
+      util::pow2(4), util::pow2(6),                               // j=2
+      util::pow2(4), util::pow2(6), util::pow2(8),                // j=3
+      util::pow2(4), util::pow2(6), util::pow2(8), util::pow2(10)  // j=4
+  };
+  EXPECT_EQ(budgets, expected);
+}
+
+TEST(KnownK, GoToTargetsStayInPhaseBall) {
+  const KnownKStrategy strategy(4);
+  const auto program = strategy.make_program(sim::AgentContext{});
+  rng::Rng rng(13);
+  // Phase radii follow the stage schedule: stage 1 phase 1 -> B(2),
+  // stage 2 phases 1,2 -> B(2), B(4), ...
+  const std::vector<std::int64_t> radii{2, 2, 4, 2, 4, 8, 2, 4, 8, 16};
+  for (const std::int64_t radius : radii) {
+    const Op go = program->next(rng);
+    EXPECT_LE(grid::l1_norm(std::get<GoTo>(go).target), radius);
+    (void)program->next(rng);
+    (void)program->next(rng);
+  }
+}
+
+TEST(KnownK, IdenticalProgramsForAllAgents) {
+  // The paper's agents are identical: with the same randomness the op
+  // stream must not depend on the agent index or on k in the context.
+  const KnownKStrategy strategy(8);
+  const auto p0 = strategy.make_program(sim::AgentContext{0, 1});
+  const auto p1 = strategy.make_program(sim::AgentContext{5, 1024});
+  rng::Rng r0(99), r1(99);
+  for (int i = 0; i < 60; ++i) {
+    const Op a = p0->next(r0);
+    const Op b = p1->next(r1);
+    ASSERT_EQ(a.index(), b.index());
+    if (const auto* go = std::get_if<GoTo>(&a)) {
+      EXPECT_EQ(go->target, std::get<GoTo>(b).target);
+    } else if (const auto* sp = std::get_if<SpiralFor>(&a)) {
+      EXPECT_EQ(sp->duration, std::get<SpiralFor>(b).duration);
+    }
+  }
+}
+
+TEST(KnownK, FindsTreasureQuicklyAtSmallScale) {
+  // Theorem 3.1 sanity at tiny scale: k = 4, D = 8; expected time should be
+  // within a small constant of D + D^2/k = 24 (generous factor 40 to stay
+  // flake-free).
+  const KnownKStrategy strategy(4);
+  sim::RunConfig config;
+  config.trials = 120;
+  config.seed = 77;
+  const sim::RunStats rs =
+      sim::run_trials(strategy, 4, 8, sim::uniform_ring_placement(), config);
+  EXPECT_EQ(rs.success_rate, 1.0);
+  EXPECT_LT(rs.mean_competitiveness, 40.0);
+  EXPECT_GT(rs.time.mean, 0.0);
+}
+
+}  // namespace
+}  // namespace ants::core

@@ -1,0 +1,185 @@
+#include "core/single_shot.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <variant>
+#include <vector>
+
+#include "core/known_k.h"
+#include "core/uniform.h"
+#include "sim/engine.h"
+#include "sim/placement.h"
+#include "sim/runner.h"
+#include "util/math.h"
+
+namespace ants::core {
+namespace {
+
+using sim::GoTo;
+using sim::Op;
+using sim::ReturnToSource;
+using sim::SpiralFor;
+
+TEST(SingleSweepKnownK, RejectsBadK) {
+  EXPECT_THROW(SingleSweepKnownK(0), std::invalid_argument);
+  EXPECT_NO_THROW(SingleSweepKnownK(1));
+}
+
+TEST(SingleSweepKnownK, ScheduleMatchesAkClosedForms) {
+  // The single sweep reuses A_k's per-phase schedule exactly; only the
+  // iteration ORDER differs. Pin both against the full algorithm.
+  const SingleSweepKnownK sweep(8);
+  const KnownKStrategy full(8);
+  for (int i = 1; i <= 30; ++i) {
+    EXPECT_EQ(sweep.spiral_budget(i), full.spiral_budget(i)) << i;
+    EXPECT_EQ(sweep.ball_radius(i), full.ball_radius(i)) << i;
+  }
+}
+
+TEST(SingleSweepKnownK, EachPhaseRunsExactlyOnce) {
+  // Spiral budgets must be strictly increasing — 2^4/k, 2^6/k, 2^8/k, ... —
+  // unlike A_k whose stages restart at phase 1.
+  const SingleSweepKnownK strategy(1);
+  const auto program = strategy.make_program(sim::AgentContext{});
+  rng::Rng rng(21);
+  std::vector<sim::Time> budgets;
+  for (int trip = 0; trip < 12; ++trip) {
+    (void)program->next(rng);  // GoTo
+    budgets.push_back(std::get<SpiralFor>(program->next(rng)).duration);
+    (void)program->next(rng);  // Return
+  }
+  for (std::size_t t = 0; t < budgets.size(); ++t) {
+    EXPECT_EQ(budgets[t], util::pow2(2 * (static_cast<int>(t) + 1) + 2)) << t;
+  }
+}
+
+TEST(SingleSweepKnownK, GoToTargetsTrackDoublingBalls) {
+  const SingleSweepKnownK strategy(4);
+  const auto program = strategy.make_program(sim::AgentContext{});
+  rng::Rng rng(22);
+  for (int i = 1; i <= 12; ++i) {
+    const Op go = program->next(rng);
+    ASSERT_TRUE(std::holds_alternative<GoTo>(go));
+    EXPECT_LE(grid::l1_norm(std::get<GoTo>(go).target), util::pow2(i)) << i;
+    (void)program->next(rng);
+    (void)program->next(rng);
+  }
+}
+
+TEST(SingleSweepKnownK, IdenticalProgramsForAllAgents) {
+  const SingleSweepKnownK strategy(8);
+  const auto p0 = strategy.make_program(sim::AgentContext{0, 1});
+  const auto p1 = strategy.make_program(sim::AgentContext{3, 512});
+  rng::Rng r0(5), r1(5);
+  for (int i = 0; i < 45; ++i) {
+    const Op a = p0->next(r0);
+    const Op b = p1->next(r1);
+    ASSERT_EQ(a.index(), b.index());
+    if (const auto* go = std::get_if<GoTo>(&a)) {
+      EXPECT_EQ(go->target, std::get<GoTo>(b).target);
+    }
+  }
+}
+
+TEST(SingleSweepUniform, ScheduleMatchesUniformClosedForms) {
+  const SingleSweepUniform sweep(0.3);
+  const UniformStrategy full(0.3);
+  for (int i = 0; i <= 20; ++i) {
+    for (int j = 0; j <= i; ++j) {
+      EXPECT_EQ(sweep.ball_radius(i, j), full.ball_radius(i, j));
+      EXPECT_EQ(sweep.spiral_budget(i, j), full.spiral_budget(i, j));
+    }
+  }
+}
+
+TEST(SingleSweepUniform, StagesNeverRepeat) {
+  // Stage i contributes i+1 phases; the phase-j sequence must be
+  // 0; 0,1; 0,1,2; ... with stage i strictly advancing (never resetting to
+  // stage 0 as the big-stage loop of Algorithm 1 would).
+  const SingleSweepUniform strategy(0.5);
+  const auto program = strategy.make_program(sim::AgentContext{});
+  rng::Rng rng(31);
+  std::vector<sim::Time> budgets;
+  for (int trip = 0; trip < 15; ++trip) {
+    (void)program->next(rng);
+    budgets.push_back(std::get<SpiralFor>(program->next(rng)).duration);
+    (void)program->next(rng);
+  }
+  std::vector<sim::Time> expected;
+  for (int i = 0; expected.size() < budgets.size(); ++i) {
+    for (int j = 0; j <= i && expected.size() < budgets.size(); ++j) {
+      expected.push_back(strategy.spiral_budget(i, j));
+    }
+  }
+  EXPECT_EQ(budgets, expected);
+}
+
+TEST(SingleSweepKnownK, ConstantSuccessProbabilityWithinOptimalBudget) {
+  // Section 5 remark: within c*(D + D^2/k), the sweep succeeds with
+  // constant probability — not with certainty. At k = 16, D = 32 the
+  // optimal budget is 96; give 8x that and expect a success rate clearly
+  // inside (0, 1): bounded away from both failure and certainty.
+  const SingleSweepKnownK strategy(16);
+  sim::RunConfig config;
+  config.trials = 300;
+  config.seed = 4242;
+  config.time_cap = 8 * (32 + 32 * 32 / 16);
+  const sim::RunStats rs = sim::run_trials(strategy, 16, 32,
+                                           sim::uniform_ring_placement(),
+                                           config);
+  EXPECT_GT(rs.success_rate, 0.35);
+  EXPECT_LT(rs.success_rate, 0.9995);
+}
+
+TEST(SingleSweepKnownK, SucceedsEventuallyWithGenerousCap) {
+  // Later phases keep hitting with ~constant probability, so a cap a few
+  // doublings past the optimum pushes success close to 1.
+  const SingleSweepKnownK strategy(8);
+  sim::RunConfig config;
+  config.trials = 200;
+  config.seed = 911;
+  config.time_cap = 4096 * (16 + 16 * 16 / 8);
+  const sim::RunStats rs =
+      sim::run_trials(strategy, 8, 16, sim::uniform_ring_placement(), config);
+  EXPECT_GT(rs.success_rate, 0.95);
+}
+
+TEST(SingleSweepUniform, FindsWithConstantProbabilityUniformly) {
+  // The uniform sweep too: within a polylog-inflated budget, constant
+  // success probability without knowing k.
+  const SingleSweepUniform strategy(0.5);
+  sim::RunConfig config;
+  config.trials = 200;
+  config.seed = 515;
+  config.time_cap = 64 * (16 + 16 * 16 / 4);
+  const sim::RunStats rs =
+      sim::run_trials(strategy, 4, 16, sim::uniform_ring_placement(), config);
+  EXPECT_GT(rs.success_rate, 0.35);
+}
+
+TEST(SingleSweep, SweepIsNoSlowerPerPhaseButLessReliableThanFull) {
+  // Head-to-head under the same tight budget: the full A_k re-runs early
+  // phases (certainty), the sweep spends the same budget pushing further
+  // out (constant probability). Under a TIGHT cap the sweep's success rate
+  // must not collapse relative to the full algorithm's.
+  const std::int64_t k = 8, d = 24;
+  sim::RunConfig config;
+  config.trials = 250;
+  config.seed = 626;
+  // E1 measures phi ~ 6-8 for A_k, so anything below ~8x optimal censors
+  // most trials; 16x leaves both variants comfortably above the floor.
+  config.time_cap = 16 * (d + d * d / k);
+
+  const SingleSweepKnownK sweep(k);
+  const KnownKStrategy full(k);
+  const sim::RunStats rs_sweep = sim::run_trials(
+      sweep, static_cast<int>(k), d, sim::uniform_ring_placement(), config);
+  const sim::RunStats rs_full = sim::run_trials(
+      full, static_cast<int>(k), d, sim::uniform_ring_placement(), config);
+  EXPECT_GT(rs_sweep.success_rate, 0.25);
+  EXPECT_GT(rs_full.success_rate, 0.25);
+}
+
+}  // namespace
+}  // namespace ants::core

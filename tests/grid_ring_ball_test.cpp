@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "grid/ball.h"
+#include "grid/ring.h"
+#include "rng/rng.h"
+
+namespace ants::grid {
+namespace {
+
+TEST(Ring, SizeFormula) {
+  EXPECT_EQ(ring_size(0), 1);
+  EXPECT_EQ(ring_size(1), 4);
+  EXPECT_EQ(ring_size(5), 20);
+  EXPECT_EQ(ring_size(1000), 4000);
+}
+
+TEST(Ring, PointsLieOnRing) {
+  for (std::int64_t r = 1; r <= 40; ++r) {
+    for (std::int64_t m = 0; m < ring_size(r); ++m) {
+      EXPECT_EQ(l1_norm(ring_point(r, m)), r) << r << "," << m;
+    }
+  }
+}
+
+TEST(Ring, EnumerationIsBijective) {
+  for (std::int64_t r = 1; r <= 40; ++r) {
+    std::set<std::pair<std::int64_t, std::int64_t>> seen;
+    for (std::int64_t m = 0; m < ring_size(r); ++m) {
+      const Point p = ring_point(r, m);
+      seen.insert({p.x, p.y});
+    }
+    EXPECT_EQ(static_cast<std::int64_t>(seen.size()), ring_size(r)) << r;
+  }
+}
+
+TEST(Ring, IndexInvertsPoint) {
+  for (std::int64_t r = 1; r <= 64; ++r) {
+    for (std::int64_t m = 0; m < ring_size(r); ++m) {
+      EXPECT_EQ(ring_index(ring_point(r, m)), m) << r << "," << m;
+    }
+  }
+  EXPECT_EQ(ring_index(kOrigin), 0);
+}
+
+TEST(Ring, CardinalAnchors) {
+  EXPECT_EQ(ring_point(7, 0), (Point{7, 0}));
+  EXPECT_EQ(ring_point(7, 7), (Point{0, 7}));
+  EXPECT_EQ(ring_point(7, 14), (Point{-7, 0}));
+  EXPECT_EQ(ring_point(7, 21), (Point{0, -7}));
+}
+
+TEST(Ball, SizeFormula) {
+  EXPECT_EQ(ball_size(0), 1);
+  EXPECT_EQ(ball_size(1), 5);
+  EXPECT_EQ(ball_size(2), 13);
+  // |B(r)| = 1 + sum_{q=1..r} 4q.
+  std::int64_t acc = 1;
+  for (std::int64_t r = 1; r <= 200; ++r) {
+    acc += 4 * r;
+    EXPECT_EQ(ball_size(r), acc) << r;
+  }
+}
+
+TEST(Ball, RadiusForIndexExactSweep) {
+  std::int64_t expected_radius = 0;
+  for (std::int64_t idx = 0; idx < ball_size(60); ++idx) {
+    if (idx >= ball_size(expected_radius)) ++expected_radius;
+    ASSERT_EQ(ball_radius_for_index(idx), expected_radius) << idx;
+  }
+}
+
+TEST(Ball, PointIndexBijection) {
+  const std::int64_t r = 25;
+  std::set<std::pair<std::int64_t, std::int64_t>> seen;
+  for (std::int64_t idx = 0; idx < ball_size(r); ++idx) {
+    const Point p = ball_point(r, idx);
+    EXPECT_LE(l1_norm(p), r);
+    EXPECT_EQ(ball_index(p), idx);
+    seen.insert({p.x, p.y});
+  }
+  EXPECT_EQ(static_cast<std::int64_t>(seen.size()), ball_size(r));
+}
+
+TEST(Ball, EnumerationOrderedByRadius) {
+  std::int64_t prev_radius = 0;
+  for (std::int64_t idx = 0; idx < ball_size(30); ++idx) {
+    const std::int64_t radius = l1_norm(ball_point(30, idx));
+    EXPECT_GE(radius, prev_radius);
+    prev_radius = radius;
+  }
+}
+
+class BallSamplingTest : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(BallSamplingTest, UniformOverBall) {
+  const std::int64_t r = GetParam();
+  rng::Rng rng(2024 + static_cast<std::uint64_t>(r));
+  const std::int64_t cells = ball_size(r);
+  const int per_cell = 200;
+  const int n = static_cast<int>(cells) * per_cell;
+  std::map<std::int64_t, int> counts;
+  for (int i = 0; i < n; ++i) {
+    const Point p = uniform_ball_point(rng, r);
+    ASSERT_LE(l1_norm(p), r);
+    ++counts[ball_index(p)];
+  }
+  // Every cell hit, and no cell wildly off the per_cell expectation
+  // (5-sigma with sigma ~ sqrt(per_cell)).
+  EXPECT_EQ(static_cast<std::int64_t>(counts.size()), cells);
+  for (const auto& [idx, c] : counts) {
+    EXPECT_NEAR(c, per_cell, 5 * 15) << idx;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Radii, BallSamplingTest,
+                         ::testing::Values<std::int64_t>(1, 2, 5, 9));
+
+TEST(BallSampling, RingSamplerStaysOnRing) {
+  rng::Rng rng(77);
+  for (std::int64_t r : {1, 3, 17, 1000}) {
+    for (int i = 0; i < 500; ++i) {
+      EXPECT_EQ(l1_norm(uniform_ring_point(rng, r)), r);
+    }
+  }
+  EXPECT_EQ(uniform_ring_point(rng, 0), kOrigin);
+}
+
+TEST(BallSampling, LargeRadiusDoesNotOverflow) {
+  rng::Rng rng(78);
+  const std::int64_t r = std::int64_t{1} << 30;
+  for (int i = 0; i < 100; ++i) {
+    const Point p = uniform_ball_point(rng, r);
+    EXPECT_LE(l1_norm(p), r);
+  }
+}
+
+}  // namespace
+}  // namespace ants::grid

@@ -1,0 +1,146 @@
+#include "grid/spiral.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <iterator>
+#include <set>
+
+#include "util/math.h"
+
+namespace ants::grid {
+namespace {
+
+TEST(Spiral, FirstPointsMatchLayout) {
+  // Hand-computed prefix per the documented convention.
+  const Point expected[] = {
+      {0, 0},                              // 0
+      {1, 0},  {1, 1},                     // ring 1, east side up
+      {0, 1},  {-1, 1},                    // north side west
+      {-1, 0}, {-1, -1},                   // west side down
+      {0, -1}, {1, -1},                    // south side east
+      {2, -1}, {2, 0},  {2, 1}, {2, 2},    // ring 2 east side
+  };
+  for (std::size_t n = 0; n < std::size(expected); ++n) {
+    EXPECT_EQ(spiral_point(static_cast<std::int64_t>(n)), expected[n]) << n;
+  }
+}
+
+TEST(Spiral, ConsecutivePointsAdjacent) {
+  Point prev = spiral_point(0);
+  for (std::int64_t n = 1; n <= 200000; ++n) {
+    const Point p = spiral_point(n);
+    ASSERT_TRUE(adjacent(prev, p)) << "at n=" << n;
+    prev = p;
+  }
+}
+
+TEST(Spiral, IndexInvertsPointMillionSweep) {
+  for (std::int64_t n = 0; n <= 1000000; ++n) {
+    ASSERT_EQ(spiral_index(spiral_point(n)), n) << n;
+  }
+}
+
+TEST(Spiral, PointInvertsIndexOverWindow) {
+  for (std::int64_t x = -60; x <= 60; ++x) {
+    for (std::int64_t y = -60; y <= 60; ++y) {
+      const Point p{x, y};
+      ASSERT_EQ(spiral_point(spiral_index(p)), p) << x << "," << y;
+    }
+  }
+}
+
+TEST(Spiral, RingBoundaries) {
+  for (std::int64_t r = 1; r <= 500; ++r) {
+    const std::int64_t first = (2 * r - 1) * (2 * r - 1);
+    const std::int64_t last = (2 * r + 1) * (2 * r + 1) - 1;
+    EXPECT_EQ(spiral_point(first), (Point{r, -r + 1})) << r;
+    EXPECT_EQ(spiral_point(last), (Point{r, -r})) << r;
+    EXPECT_EQ(linf_norm(spiral_point(first - 1)), r - 1) << r;
+    EXPECT_EQ(linf_norm(spiral_point(last + 1)), r + 1) << r;
+  }
+}
+
+TEST(Spiral, EnumerationIsBijectiveOnPrefix) {
+  std::set<std::pair<std::int64_t, std::int64_t>> seen;
+  const std::int64_t n = spiral_length_for_radius(40) + 1;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const Point p = spiral_point(i);
+    ASSERT_TRUE(seen.insert({p.x, p.y}).second) << i;
+  }
+  EXPECT_EQ(static_cast<std::int64_t>(seen.size()), n);
+}
+
+TEST(Spiral, LengthForRadiusCoversExactly) {
+  for (std::int64_t r = 0; r <= 60; ++r) {
+    const std::int64_t t = spiral_length_for_radius(r);
+    // After t steps (indices 0..t) the full Chebyshev ball of radius r is
+    // visited...
+    std::set<std::pair<std::int64_t, std::int64_t>> seen;
+    for (std::int64_t i = 0; i <= t; ++i) {
+      const Point p = spiral_point(i);
+      if (linf_norm(p) <= r) seen.insert({p.x, p.y});
+    }
+    EXPECT_EQ(static_cast<std::int64_t>(seen.size()), (2 * r + 1) * (2 * r + 1))
+        << r;
+    // ...and not one step earlier.
+    if (r >= 1) {
+      EXPECT_EQ(linf_norm(spiral_point(t)), r);
+    }
+  }
+}
+
+TEST(Spiral, CoverageRadiusInvertsLength) {
+  for (std::int64_t r = 0; r <= 1000; ++r) {
+    EXPECT_EQ(spiral_coverage_radius(spiral_length_for_radius(r)), r) << r;
+    if (r >= 1) {
+      EXPECT_EQ(spiral_coverage_radius(spiral_length_for_radius(r) - 1), r - 1)
+          << r;
+    }
+  }
+}
+
+TEST(Spiral, CoverageRadiusMonotone) {
+  std::int64_t prev = 0;
+  for (std::int64_t t = 0; t <= 20000; ++t) {
+    const std::int64_t r = spiral_coverage_radius(t);
+    EXPECT_GE(r, prev);
+    EXPECT_LE(r - prev, 1);
+    prev = r;
+  }
+}
+
+TEST(Spiral, CoverageRadiusIsSqrtOverTwo) {
+  // The paper assumes coverage radius sqrt(t)/2; ours is sqrt(t)/2 - O(1)
+  // with the O(1) deficit strictly below 2 cells. Check the exact additive
+  // band (a ratio test would be vacuous at small t where the deficit is a
+  // visible fraction of the radius).
+  for (std::int64_t t = 1; t <= 1000000; t = t * 3 + 1) {
+    const double half_sqrt = std::sqrt(static_cast<double>(t)) / 2;
+    const auto r = static_cast<double>(spiral_coverage_radius(t));
+    EXPECT_GE(r, half_sqrt - 2.0) << t;
+    EXPECT_LE(r, half_sqrt) << t;
+  }
+}
+
+TEST(Spiral, FarPointsReturnOverflowSentinel) {
+  const Point far{kMaxSpiralRadius + 1, 0};
+  EXPECT_EQ(spiral_index(far), kSpiralIndexOverflow);
+  const Point farther{std::int64_t{1} << 45, std::int64_t{1} << 44};
+  EXPECT_EQ(spiral_index(farther), kSpiralIndexOverflow);
+  // At the boundary the index is still exact and fits.
+  const Point edge{kMaxSpiralRadius, 0};
+  EXPECT_LT(spiral_index(edge), kSpiralIndexOverflow);
+  EXPECT_EQ(spiral_point(spiral_index(edge)), edge);
+}
+
+TEST(Spiral, HugeIndexStillConsistent) {
+  // Round-trip near 2^60 (far beyond any realizable duration's use of
+  // spiral_point for end positions).
+  const std::int64_t n = (std::int64_t{1} << 60) + 987654321;
+  const Point p = spiral_point(n);
+  EXPECT_EQ(spiral_index(p), n);
+}
+
+}  // namespace
+}  // namespace ants::grid

@@ -1,0 +1,155 @@
+#include "grid/staircase_path.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "rng/rng.h"
+
+namespace ants::grid {
+namespace {
+
+void check_path_invariants(Point a, Point b) {
+  const StaircasePath path(a, b);
+  ASSERT_EQ(path.length(), l1_dist(a, b));
+  ASSERT_EQ(path.at(0), a);
+  ASSERT_EQ(path.at(path.length()), b);
+
+  std::set<std::pair<std::int64_t, std::int64_t>> seen;
+  Point prev = a;
+  for (std::int64_t t = 0; t <= path.length(); ++t) {
+    const Point p = path.at(t);
+    if (t > 0) {
+      ASSERT_TRUE(adjacent(prev, p))
+          << "jump at t=" << t << " from (" << prev.x << "," << prev.y
+          << ") to (" << p.x << "," << p.y << ")";
+    }
+    ASSERT_TRUE(seen.insert({p.x, p.y}).second) << "revisit at t=" << t;
+    // index_of must invert at().
+    const auto idx = path.index_of(p);
+    ASSERT_TRUE(idx.has_value());
+    ASSERT_EQ(*idx, t);
+    prev = p;
+  }
+}
+
+TEST(Staircase, AxisAlignedPaths) {
+  check_path_invariants({0, 0}, {10, 0});
+  check_path_invariants({0, 0}, {-10, 0});
+  check_path_invariants({0, 0}, {0, 10});
+  check_path_invariants({0, 0}, {0, -10});
+  check_path_invariants({5, 5}, {5, 5});  // degenerate zero-length
+}
+
+TEST(Staircase, DiagonalPaths) {
+  check_path_invariants({0, 0}, {7, 7});
+  check_path_invariants({0, 0}, {-7, 7});
+  check_path_invariants({3, -2}, {-4, 5});
+}
+
+TEST(Staircase, SkewedPaths) {
+  check_path_invariants({0, 0}, {13, 3});
+  check_path_invariants({0, 0}, {3, 13});
+  check_path_invariants({0, 0}, {-13, 2});
+  check_path_invariants({0, 0}, {1, -17});
+  check_path_invariants({100, -50}, {-3, 11});
+}
+
+TEST(Staircase, ZeroLengthPath) {
+  const StaircasePath path({4, 4}, {4, 4});
+  EXPECT_EQ(path.length(), 0);
+  EXPECT_EQ(path.at(0), (Point{4, 4}));
+  EXPECT_EQ(path.index_of({4, 4}).value(), 0);
+  EXPECT_FALSE(path.index_of({4, 5}).has_value());
+}
+
+TEST(Staircase, OffPathPointsRejected) {
+  const StaircasePath path({0, 0}, {10, 4});
+  // Outside bounding box:
+  EXPECT_FALSE(path.index_of({-1, 0}).has_value());
+  EXPECT_FALSE(path.index_of({11, 4}).has_value());
+  EXPECT_FALSE(path.index_of({5, 5}).has_value());
+  EXPECT_FALSE(path.index_of({5, -1}).has_value());
+  // Inside the box but off the staircase: count how many box points are on
+  // the path — must be exactly length+1.
+  std::int64_t on = 0;
+  for (std::int64_t x = 0; x <= 10; ++x) {
+    for (std::int64_t y = 0; y <= 4; ++y) {
+      on += path.index_of({x, y}).has_value() ? 1 : 0;
+    }
+  }
+  EXPECT_EQ(on, path.length() + 1);
+}
+
+TEST(Staircase, StaysWithinHalfCellOfEuclideanSegment) {
+  // The digital line property: at every step, |y * dx - x * dy| <= max(dx,dy).
+  const Point b{17, 5};
+  const StaircasePath path({0, 0}, b);
+  for (std::int64_t t = 0; t <= path.length(); ++t) {
+    const Point p = path.at(t);
+    EXPECT_LE(std::abs(p.y * b.x - p.x * b.y), std::max(b.x, b.y)) << t;
+  }
+}
+
+TEST(Staircase, LongPathMembershipIsExact) {
+  // O(1) membership on a path far too long to materialize.
+  const Point far{std::int64_t{1} << 40, (std::int64_t{1} << 40) + 12345};
+  const StaircasePath path({0, 0}, far);
+  EXPECT_EQ(path.length(), l1_norm(far));
+  EXPECT_EQ(path.index_of({0, 0}).value(), 0);
+  EXPECT_EQ(path.index_of(far).value(), path.length());
+  // A midpoint that the digital line passes through:
+  const Point mid = path.at(path.length() / 2);
+  EXPECT_EQ(path.index_of(mid).value(), path.length() / 2);
+  EXPECT_FALSE(path.index_of({far.x, 0}).has_value() &&
+               far.y != 0);  // corner of the bounding box, not on the line
+}
+
+struct RandomPathCase {
+  std::uint64_t seed;
+};
+
+class StaircasePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StaircasePropertyTest, RandomEndpointsKeepInvariants) {
+  rng::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 1);
+  for (int iter = 0; iter < 50; ++iter) {
+    const Point a{rng.uniform_int(-60, 60), rng.uniform_int(-60, 60)};
+    const Point b{rng.uniform_int(-60, 60), rng.uniform_int(-60, 60)};
+    check_path_invariants(a, b);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StaircasePropertyTest, ::testing::Range(0, 8));
+
+TEST(Staircase, ReverseVisitsSameNodeSet) {
+  // A digital segment is a set of cells: traversing it b -> a must cover
+  // exactly the cells of a -> b (the path is anchored at a canonical
+  // endpoint, so the midpoint tie-break cannot mirror under reversal).
+  rng::Rng rng(4242);
+  for (int iter = 0; iter < 200; ++iter) {
+    const Point a{rng.uniform_int(-40, 40), rng.uniform_int(-40, 40)};
+    const Point b{rng.uniform_int(-40, 40), rng.uniform_int(-40, 40)};
+    const StaircasePath fwd(a, b), rev(b, a);
+    ASSERT_EQ(fwd.length(), rev.length());
+    std::set<std::pair<std::int64_t, std::int64_t>> f, r;
+    for (std::int64_t t = 0; t <= fwd.length(); ++t) {
+      const Point pf = fwd.at(t), pr = rev.at(t);
+      f.insert({pf.x, pf.y});
+      r.insert({pr.x, pr.y});
+    }
+    ASSERT_EQ(f, r) << "a=(" << a.x << "," << a.y << ") b=(" << b.x << ","
+                    << b.y << ")";
+    // Reversal also flips visit times: rev.at(t) == fwd.at(len - t).
+    for (std::int64_t t = 0; t <= fwd.length(); ++t) {
+      ASSERT_EQ(rev.at(t), fwd.at(fwd.length() - t));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ants::grid

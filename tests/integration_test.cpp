@@ -1,0 +1,186 @@
+// Small-scale statistical reproductions of the paper's claims, with
+// generous tolerances so they are deterministic-in-practice under the fixed
+// seeds. The full-scale versions live in bench/exp_* (E1-E8).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "baselines/random_walk.h"
+#include "baselines/sector_sweep.h"
+#include "baselines/spiral_single.h"
+#include "core/approx_k.h"
+#include "core/harmonic.h"
+#include "core/known_k.h"
+#include "core/uniform.h"
+#include "sim/metrics.h"
+#include "sim/runner.h"
+
+namespace ants {
+namespace {
+
+sim::RunConfig quick_config(std::int64_t trials, std::uint64_t seed,
+                            sim::Time cap = sim::kNeverTime) {
+  sim::RunConfig config;
+  config.trials = trials;
+  config.seed = seed;
+  config.time_cap = cap;
+  return config;
+}
+
+TEST(Integration, KnownKIsConstantCompetitiveAcrossKAndD) {
+  // Theorem 3.1: phi should stay bounded by a constant as k and D vary.
+  double max_phi = 0;
+  for (const std::int64_t d : {8, 16, 32}) {
+    for (const int k : {1, 4, 16}) {
+      const core::KnownKStrategy strategy(k);
+      const auto rs = sim::run_trials(strategy, k, d,
+                                      sim::uniform_ring_placement(),
+                                      quick_config(100, 1234));
+      EXPECT_EQ(rs.success_rate, 1.0);
+      max_phi = std::max(max_phi, rs.mean_competitiveness);
+    }
+  }
+  // The constant is ~10-20 with our spiral constants; 60 is a safe ceiling
+  // that would still catch any super-constant growth at these scales.
+  EXPECT_LT(max_phi, 60.0);
+}
+
+TEST(Integration, KnownKBeatsSingleAgentByNearK) {
+  // Speed-up sanity: k = 16 agents should be at least 4x faster than one
+  // agent at D = 32 (ideal would be ~16x on the D^2 term).
+  const std::int64_t d = 32;
+  const core::KnownKStrategy s1(1);
+  const core::KnownKStrategy s16(16);
+  const auto r1 = sim::run_trials(s1, 1, d, sim::uniform_ring_placement(),
+                                  quick_config(80, 7));
+  const auto r16 = sim::run_trials(s16, 16, d, sim::uniform_ring_placement(),
+                                   quick_config(80, 7));
+  EXPECT_GT(sim::speedup(r1.time.mean, r16.time.mean), 4.0);
+}
+
+TEST(Integration, ApproxKPenaltyBoundedByRhoSquared) {
+  // Corollary 3.2: under-estimates inflate time by <= rho^2 (asymptotically);
+  // allow slack for constants at small scale.
+  const std::int64_t d = 16;
+  const int k = 8;
+  const auto exact = sim::run_trials(core::KnownKStrategy(k), k, d,
+                                     sim::uniform_ring_placement(),
+                                     quick_config(150, 9));
+  const auto rho2 = sim::run_trials(
+      core::ApproxKStrategy(k, 2.0, core::ApproxMode::kUnder), k, d,
+      sim::uniform_ring_placement(), quick_config(150, 9));
+  EXPECT_LT(rho2.time.mean, 8.0 * exact.time.mean);
+}
+
+TEST(Integration, UniformCompetitivenessGrowsSlowly) {
+  // Theorem 3.3 flavor: phi(k) for A_uniform(0.5) grows, but by far less
+  // than linearly in k: phi(64)/phi(1) should be well under 64.
+  const std::int64_t d = 24;
+  const core::UniformStrategy strategy(0.5);
+  const auto r1 = sim::run_trials(strategy, 1, d,
+                                  sim::uniform_ring_placement(),
+                                  quick_config(60, 11));
+  const auto r64 = sim::run_trials(strategy, 64, d,
+                                   sim::uniform_ring_placement(),
+                                   quick_config(60, 11));
+  EXPECT_EQ(r64.success_rate, 1.0);
+  const double growth =
+      r64.mean_competitiveness / r1.mean_competitiveness;
+  EXPECT_LT(growth, 24.0);
+  // And the uniform algorithm pays SOMETHING relative to known-k.
+  const auto known = sim::run_trials(core::KnownKStrategy(64), 64, d,
+                                     sim::uniform_ring_placement(),
+                                     quick_config(60, 11));
+  EXPECT_GT(r64.time.mean, known.time.mean);
+}
+
+TEST(Integration, HarmonicSucceedsInTheoremRegime) {
+  // Theorem 5.1 regime k > alpha D^delta: high success within the
+  // O(D + D^(2+delta)/k) budget (x32 constant slack).
+  const double delta = 0.5;
+  const std::int64_t d = 16;
+  const int k = 64;  // alpha*D^0.5 = 4*alpha; 64 is deep in the regime
+  const double budget =
+      32.0 * (d + std::pow(static_cast<double>(d), 2.0 + delta) / k);
+  const core::HarmonicStrategy strategy(delta);
+  const auto rs = sim::run_trials(strategy, k, d,
+                                  sim::uniform_ring_placement(),
+                                  quick_config(200, 13,
+                                               static_cast<sim::Time>(budget)));
+  EXPECT_GT(rs.success_rate, 0.9);
+}
+
+TEST(Integration, HarmonicDegradesGracefullyBelowRegime) {
+  // With k = 1 << alpha D^delta the same budget should fail often — the
+  // theorem's condition is not vacuous.
+  const double delta = 0.5;
+  const std::int64_t d = 16;
+  const double budget =
+      32.0 * (d + std::pow(static_cast<double>(d), 2.0 + delta) / 64.0);
+  const core::HarmonicStrategy strategy(delta);
+  const auto rs = sim::run_trials(strategy, 1, d,
+                                  sim::uniform_ring_placement(),
+                                  quick_config(200, 15,
+                                               static_cast<sim::Time>(budget)));
+  EXPECT_LT(rs.success_rate, 0.8);
+}
+
+TEST(Integration, UniversalLowerBoundHoldsForAllStrategies) {
+  // Omega(D + D^2/k): no strategy can beat optimal_time (allowing Monte-
+  // Carlo fuzz of a few percent... in fact nothing should even come close).
+  const std::int64_t d = 24;
+  const int k = 8;
+  const double floor_time = 0.5 * sim::optimal_time(d, k);
+
+  const core::KnownKStrategy known(k);
+  const baselines::SectorSweepStrategy sweep;
+  for (const sim::Strategy* s :
+       std::vector<const sim::Strategy*>{&known, &sweep}) {
+    const auto rs = sim::run_trials(*s, k, d, sim::uniform_ring_placement(),
+                                    quick_config(100, 17));
+    EXPECT_GT(rs.time.mean, floor_time) << s->name();
+  }
+}
+
+TEST(Integration, RandomWalkBlowsUpWithDistance) {
+  // The paper's motivation for spiral-based strategies: random-walk search
+  // times explode super-quadratically on Z^2 (infinite expectation in the
+  // limit). Compare censored means at D=2 vs D=8 with the same cap.
+  const baselines::RandomWalkStrategy rw;
+  const sim::Time cap = 40000;
+  const auto near = sim::run_step_trials(rw, 4, 2, sim::axis_placement(),
+                                         quick_config(60, 19, cap));
+  const auto far = sim::run_step_trials(rw, 4, 8, sim::axis_placement(),
+                                        quick_config(60, 19, cap));
+  EXPECT_GT(far.time.mean, 4.0 * near.time.mean);
+  EXPECT_LT(far.success_rate, near.success_rate + 0.01);
+}
+
+TEST(Integration, SpiralSingleMatchesThetaD2) {
+  // Baeza-Yates: single-spiral time ~ 2 D^2 on the ring (hit at the ring's
+  // spiral index). Check the D^2 scaling empirically.
+  const baselines::SpiralSingleStrategy spiral;
+  const auto r8 = sim::run_trials(spiral, 1, 8, sim::uniform_ring_placement(),
+                                  quick_config(200, 21));
+  const auto r16 = sim::run_trials(spiral, 1, 16,
+                                   sim::uniform_ring_placement(),
+                                   quick_config(200, 21));
+  const double scaling = r16.time.mean / r8.time.mean;
+  EXPECT_GT(scaling, 3.0);
+  EXPECT_LT(scaling, 5.0);
+}
+
+TEST(Integration, SectorSweepNearOptimalDeterministically) {
+  const baselines::SectorSweepStrategy sweep;
+  for (const int k : {2, 8}) {
+    const auto rs = sim::run_trials(sweep, k, 32,
+                                    sim::uniform_ring_placement(),
+                                    quick_config(60, 23));
+    EXPECT_EQ(rs.success_rate, 1.0);
+    EXPECT_LT(rs.mean_competitiveness, 30.0) << k;
+  }
+}
+
+}  // namespace
+}  // namespace ants

@@ -1,0 +1,175 @@
+#include "plane/strategies.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <variant>
+
+#include "core/uniform.h"
+#include "plane/engine.h"
+#include "rng/rng.h"
+
+namespace ants::plane {
+namespace {
+
+// ---------------------------------------------------------------------------
+// PlaneKnownK.
+// ---------------------------------------------------------------------------
+
+TEST(PlaneKnownK, RejectsBadK) {
+  EXPECT_THROW(PlaneKnownKStrategy(0), std::invalid_argument);
+  EXPECT_NO_THROW(PlaneKnownKStrategy(1));
+}
+
+TEST(PlaneKnownK, ScheduleMatchesGridAk) {
+  // Disk radius 2^i and sweep budget 2^(2i+2)/k — the grid schedule's
+  // closed forms carried over verbatim.
+  const PlaneKnownKStrategy s(4);
+  for (int i = 1; i <= 20; ++i) {
+    EXPECT_DOUBLE_EQ(s.disk_radius(i), std::ldexp(1.0, i));
+    EXPECT_DOUBLE_EQ(s.sweep_budget(i), std::ldexp(1.0, 2 * i + 2) / 4.0);
+  }
+}
+
+TEST(PlaneKnownK, TripsStayInPhaseDisk) {
+  const PlaneKnownKStrategy s(2);
+  const auto program = s.make_program(0, 2);
+  rng::Rng rng(11);
+  const double radii[] = {2, 2, 4, 2, 4, 8};
+  for (const double r : radii) {
+    const PlaneOp go = program->next(rng);
+    ASSERT_TRUE(std::holds_alternative<GoToPoint>(go));
+    EXPECT_LE(std::get<GoToPoint>(go).target.norm(), r + 1e-9);
+    (void)program->next(rng);
+    (void)program->next(rng);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PlaneHarmonic.
+// ---------------------------------------------------------------------------
+
+TEST(PlaneHarmonic, RejectsNonPositiveDelta) {
+  EXPECT_THROW(PlaneHarmonicStrategy(0.0), std::invalid_argument);
+  EXPECT_NO_THROW(PlaneHarmonicStrategy(0.5));
+}
+
+TEST(PlaneHarmonic, TripRadiiAreParetoTail) {
+  // P(R > r) = r^-delta for the Pareto(1, delta) radial draw: check the
+  // empirical survival at r = 4 for delta = 1 (expected 1/4).
+  const PlaneHarmonicStrategy s(1.0);
+  const auto program = s.make_program(0, 1);
+  rng::Rng rng(22);
+  int beyond = 0;
+  const int n = 8000;
+  for (int i = 0; i < n; ++i) {
+    const PlaneOp go = program->next(rng);
+    beyond += (std::get<GoToPoint>(go).target.norm() > 4.0);
+    (void)program->next(rng);
+    (void)program->next(rng);
+  }
+  EXPECT_NEAR(static_cast<double>(beyond) / n, 0.25, 0.03);
+}
+
+TEST(PlaneHarmonic, SweepBudgetIsRadiusPower) {
+  const PlaneHarmonicStrategy s(0.5);
+  const auto program = s.make_program(0, 1);
+  rng::Rng rng(33);
+  for (int trip = 0; trip < 200; ++trip) {
+    const PlaneOp go = program->next(rng);
+    const double r = std::get<GoToPoint>(go).target.norm();
+    const PlaneOp sweep = program->next(rng);
+    const double budget = std::get<SpiralSweep>(sweep).duration;
+    EXPECT_NEAR(budget, std::min(std::pow(r, 2.5), 1e18), 1e-6 * budget);
+    (void)program->next(rng);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PlaneUniform.
+// ---------------------------------------------------------------------------
+
+TEST(PlaneUniform, RejectsNegativeEps) {
+  EXPECT_THROW(PlaneUniformStrategy(-0.5), std::invalid_argument);
+  EXPECT_NO_THROW(PlaneUniformStrategy(0.0));
+}
+
+TEST(PlaneUniform, ClosedFormsMatchGridUniform) {
+  // The grid UniformStrategy computes the same D_ij and t_ij (integerized);
+  // the plane version must agree within rounding.
+  const PlaneUniformStrategy plane_s(0.4);
+  const core::UniformStrategy grid_s(0.4);
+  for (int i = 0; i <= 18; ++i) {
+    for (int j = 0; j <= i; ++j) {
+      const auto grid_r = static_cast<double>(grid_s.ball_radius(i, j));
+      EXPECT_NEAR(plane_s.disk_radius(i, j), grid_r, 1.0 + 0.01 * grid_r)
+          << i << "," << j;
+      const auto grid_t = static_cast<double>(grid_s.spiral_budget(i, j));
+      EXPECT_NEAR(plane_s.sweep_budget(i, j), grid_t, 1.0 + 0.01 * grid_t)
+          << i << "," << j;
+    }
+  }
+}
+
+TEST(PlaneUniform, IsUniformIgnoresK) {
+  const PlaneUniformStrategy s(0.5);
+  const auto p0 = s.make_program(0, 1);
+  const auto p1 = s.make_program(7, 9999);
+  rng::Rng r0(44), r1(44);
+  for (int i = 0; i < 36; ++i) {
+    const PlaneOp a = p0->next(r0);
+    const PlaneOp b = p1->next(r1);
+    ASSERT_EQ(a.index(), b.index());
+    if (const auto* go = std::get_if<GoToPoint>(&a)) {
+      EXPECT_EQ(go->target, std::get<GoToPoint>(b).target);
+    } else if (const auto* sw = std::get_if<SpiralSweep>(&a)) {
+      EXPECT_EQ(sw->duration, std::get<SpiralSweep>(b).duration);
+    }
+  }
+}
+
+TEST(PlaneUniform, FindsTreasureSmallScale) {
+  const PlaneUniformStrategy s(0.5);
+  int found = 0;
+  const int trials = 40;
+  for (int t = 0; t < trials; ++t) {
+    const rng::Rng trial(static_cast<std::uint64_t>(t) * 131 + 7);
+    rng::Rng placement = trial.child(0xFACADE);
+    const Vec2 treasure = unit(placement.angle()) * 12.0;
+    PlaneEngineConfig config;
+    config.time_cap = 1 << 20;
+    const auto r = run_plane_search(s, 4, treasure, trial, config);
+    found += r.found;
+  }
+  EXPECT_GT(static_cast<double>(found) / trials, 0.9);
+}
+
+// ---------------------------------------------------------------------------
+// Pitch/coverage property sweep (TEST_P): any pitch <= 2*eps leaves no
+// blind ring, so a long-enough sweep must sight every target within reach.
+// ---------------------------------------------------------------------------
+
+class PitchCoverageTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PitchCoverageTest, SweepSightsEverythingWithinReach) {
+  const double pitch = GetParam();
+  const double eps = 1.0;
+  const SpiralMove sp{{0, 0}, pitch, 3000.0};
+  const double a = pitch / 6.283185307179586;
+  const double theta_end = spiral_theta_for_arc(a, sp.duration);
+  const double reach = a * theta_end - pitch - eps;  // margin of one coil
+  rng::Rng rng(1234 + static_cast<std::uint64_t>(pitch * 100));
+  for (int iter = 0; iter < 60; ++iter) {
+    const double r = rng.uniform_real(0.0, reach);
+    const Vec2 target = unit(rng.angle()) * r;
+    EXPECT_TRUE(first_sighting(Move{sp}, target, eps).has_value())
+        << "pitch=" << pitch << " r=" << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Pitches, PitchCoverageTest,
+                         ::testing::Values(0.5, 1.0, 1.5, 2.0));
+
+}  // namespace
+}  // namespace ants::plane

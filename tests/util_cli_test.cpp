@@ -1,0 +1,109 @@
+#include "util/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace ants::util {
+namespace {
+
+Cli make_cli(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return Cli(static_cast<int>(args.size()), args.data());
+}
+
+TEST(Cli, EqualsForm) {
+  Cli cli = make_cli({"--trials=500", "--eps=0.25", "--name=axis"});
+  EXPECT_EQ(cli.get_int("trials", 0), 500);
+  EXPECT_DOUBLE_EQ(cli.get_double("eps", 0), 0.25);
+  EXPECT_EQ(cli.get_string("name", ""), "axis");
+  cli.finish();
+}
+
+TEST(Cli, SpaceForm) {
+  Cli cli = make_cli({"--trials", "300", "--name", "ring"});
+  EXPECT_EQ(cli.get_int("trials", 0), 300);
+  EXPECT_EQ(cli.get_string("name", ""), "ring");
+  cli.finish();
+}
+
+TEST(Cli, BareBooleans) {
+  Cli cli = make_cli({"--quick", "--csv=out.csv"});
+  EXPECT_TRUE(cli.get_bool("quick", false));
+  EXPECT_FALSE(cli.get_bool("full", false));
+  EXPECT_EQ(cli.get_string("csv", ""), "out.csv");
+  cli.finish();
+}
+
+TEST(Cli, BooleanExplicitFalse) {
+  Cli cli = make_cli({"--verbose=false", "--color=0"});
+  EXPECT_FALSE(cli.get_bool("verbose", true));
+  EXPECT_FALSE(cli.get_bool("color", true));
+  cli.finish();
+}
+
+TEST(Cli, Defaults) {
+  Cli cli = make_cli({});
+  EXPECT_EQ(cli.get_int("trials", 123), 123);
+  EXPECT_DOUBLE_EQ(cli.get_double("eps", 0.5), 0.5);
+  EXPECT_EQ(cli.get_string("mode", "axis"), "axis");
+  cli.finish();
+}
+
+TEST(Cli, IntList) {
+  Cli cli = make_cli({"--ks=1,4,16,64"});
+  const auto ks = cli.get_int_list("ks", {});
+  ASSERT_EQ(ks.size(), 4u);
+  EXPECT_EQ(ks[0], 1);
+  EXPECT_EQ(ks[3], 64);
+  cli.finish();
+}
+
+TEST(Cli, DoubleList) {
+  Cli cli = make_cli({"--eps=0.1,0.3,1.0"});
+  const auto eps = cli.get_double_list("eps", {});
+  ASSERT_EQ(eps.size(), 3u);
+  EXPECT_DOUBLE_EQ(eps[1], 0.3);
+  cli.finish();
+}
+
+TEST(Cli, ListDefaultsPassThrough) {
+  Cli cli = make_cli({});
+  const auto ks = cli.get_int_list("ks", {2, 8});
+  ASSERT_EQ(ks.size(), 2u);
+  EXPECT_EQ(ks[1], 8);
+  cli.finish();
+}
+
+TEST(Cli, PositionalArguments) {
+  Cli cli = make_cli({"alpha", "--x=1", "beta"});
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "alpha");
+  EXPECT_EQ(cli.positional()[1], "beta");
+  cli.get_int("x", 0);
+  cli.finish();
+}
+
+TEST(Cli, UnknownFlagRejected) {
+  Cli cli = make_cli({"--trials=10", "--tyop=5"});
+  cli.get_int("trials", 0);
+  EXPECT_THROW(cli.finish(), std::invalid_argument);
+}
+
+TEST(Cli, NegativeNumberIsValueNotFlag) {
+  Cli cli = make_cli({"--offset", "-5"});
+  EXPECT_EQ(cli.get_int("offset", 0), -5);
+  cli.finish();
+}
+
+TEST(Cli, HasDetectsPresence) {
+  Cli cli = make_cli({"--quick"});
+  EXPECT_TRUE(cli.has("quick"));
+  EXPECT_FALSE(cli.has("full"));
+  cli.get_bool("quick", false);
+  cli.finish();
+}
+
+}  // namespace
+}  // namespace ants::util
