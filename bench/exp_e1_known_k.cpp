@@ -9,11 +9,14 @@
 // every strategy (we also show the coordinated sector sweep cannot go below
 // the same floor). A final log-log fit extracts the empirical exponents of
 // T in D (at k=1) and in k (at the largest D): ~2 and ~-1.
+//
+// Runs on the scenario subsystem: the sweep is a declarative spec executed
+// by scenario::run_sweep, which schedules trials across all (k, D) cells at
+// once instead of serializing on per-cell barriers.
 #include <exception>
 
-#include "baselines/sector_sweep.h"
-#include "core/known_k.h"
 #include "exp_common.h"
+#include "scenario/sweep.h"
 #include "sim/metrics.h"
 #include "stats/regression.h"
 
@@ -36,20 +39,31 @@ int run(int argc, char** argv) {
       opt.full ? std::vector<std::int64_t>{1, 4, 16, 64, 256, 1024}
                : std::vector<std::int64_t>{1, 4, 16, 64, 256};
 
+  scenario::ScenarioSpec spec;
+  spec.name = "e1-known-k";
+  spec.strategies = {"known-k"};  // k_belief defaults to the cell's true k
+  spec.ks = ks;
+  spec.distances = ds;
+  spec.trials = opt.trials;
+  spec.seed = opt.seed;
+  spec.placement = opt.placement_name;
+  const std::vector<scenario::CellResult> results = scenario::run_sweep(spec);
+  // Cell (ki, di) of the single-strategy sweep.
+  const auto cell = [&](std::size_t ki, std::size_t di) -> const sim::RunStats& {
+    return results[ki * ds.size() + di].stats;
+  };
+
   util::Table table(
       {"D", "k", "mean T", "ci95", "median T", "D+D^2/k", "phi"});
   double phi_min = 1e300, phi_max = 0;
   std::vector<double> d_axis, t_vs_d;  // k = 1 scaling
   std::vector<double> k_axis, t_vs_k;  // largest D scaling
 
-  for (const std::int64_t d : ds) {
-    for (const std::int64_t k : ks) {
-      const core::KnownKStrategy strategy(k);
-      sim::RunConfig config;
-      config.trials = opt.trials;
-      config.seed = rng::mix_seed(opt.seed, static_cast<std::uint64_t>(d * 131 + k));
-      const sim::RunStats rs = sim::run_trials(
-          strategy, static_cast<int>(k), d, opt.placement, config);
+  for (std::size_t di = 0; di < ds.size(); ++di) {
+    for (std::size_t ki = 0; ki < ks.size(); ++ki) {
+      const std::int64_t d = ds[di];
+      const std::int64_t k = ks[ki];
+      const sim::RunStats& rs = cell(ki, di);
       const double phi = rs.mean_competitiveness;
       phi_min = std::min(phi_min, phi);
       phi_max = std::max(phi_max, phi);
@@ -80,16 +94,18 @@ int run(int argc, char** argv) {
 
   // Lower-bound side: even the fully coordinated deterministic baseline
   // obeys the same floor.
-  const baselines::SectorSweepStrategy sweep;
-  sim::RunConfig config;
-  config.trials = opt.trials;
-  config.seed = rng::mix_seed(opt.seed, 999);
-  const std::int64_t d = ds.back() / 2;
-  const int k = 16;
-  const sim::RunStats rs = sim::run_trials(sweep, k, d, opt.placement, config);
+  scenario::ScenarioSpec floor_spec;
+  floor_spec.name = "e1-floor";
+  floor_spec.strategies = {"sector-sweep"};
+  floor_spec.ks = {16};
+  floor_spec.distances = {ds.back() / 2};
+  floor_spec.trials = opt.trials;
+  floor_spec.seed = opt.seed;
+  floor_spec.placement = opt.placement_name;
+  const sim::RunStats floor_rs = scenario::run_sweep(floor_spec)[0].stats;
   std::cout << "\nlower-bound floor check (sector sweep, full coordination): "
-            << "phi = " << fmt2(rs.mean_competitiveness)
-            << " at D=" << d << ", k=" << k
+            << "phi = " << fmt2(floor_rs.mean_competitiveness)
+            << " at D=" << ds.back() / 2 << ", k=" << 16
             << "  (Omega(D + D^2/k): cannot drop below a positive constant)\n";
   return 0;
 }

@@ -6,11 +6,17 @@
 // Reproduction: sweep k for several eps at fixed D; report phi(k), the
 // normalized column phi / log2(k)^(1+eps) (expected bounded), and fit the
 // exponent p in phi ~ (log k)^p (expected <= 1 + eps).
+//
+// Runs on the scenario subsystem: one spec lists every uniform(eps=...)
+// variant, and the sweep scheduler runs all (eps, k) cells concurrently —
+// with paired instances per k, since cell seeds do not depend on the
+// strategy.
+#include <cstdio>
 #include <exception>
 
 #include "core/competitive.h"
-#include "core/uniform.h"
 #include "exp_common.h"
+#include "scenario/sweep.h"
 #include "sim/metrics.h"
 
 namespace ants::bench {
@@ -32,20 +38,36 @@ int run(int argc, char** argv) {
       opt.full ? std::vector<std::int64_t>{1, 4, 16, 64, 256, 1024, 4096}
                : std::vector<std::int64_t>{1, 4, 16, 64, 256, 1024};
 
+  scenario::ScenarioSpec spec;
+  spec.name = "e3-uniform";
+  for (const double eps : epss) {
+    // %.17g round-trips the double exactly, so the strategy runs with the
+    // same eps the normalization/fit columns use (%g would truncate).
+    char eps_text[32];
+    std::snprintf(eps_text, sizeof(eps_text), "%.17g", eps);
+    spec.strategies.push_back("uniform(eps=" + std::string(eps_text) + ")");
+  }
+  spec.ks = ks;
+  spec.distances = {d};
+  spec.trials = opt.trials;
+  spec.seed = opt.seed;
+  spec.placement = opt.placement_name;
+  const std::vector<scenario::CellResult> results = scenario::run_sweep(spec);
+  // Cell (ei, ki) of the single-distance sweep.
+  const auto cell = [&](std::size_t ei, std::size_t ki) -> const sim::RunStats& {
+    return results[ei * ks.size() + ki].stats;
+  };
+
   util::Table table({"eps", "k", "mean T", "phi",
                      "phi/log2(k)^(1+eps)", "fitted exponent"});
 
-  for (const double eps : epss) {
-    const core::UniformStrategy strategy(eps);
+  for (std::size_t ei = 0; ei < epss.size(); ++ei) {
+    const double eps = epss[ei];
     std::vector<core::CompetitivePoint> curve;
     std::vector<std::vector<std::string>> rows;
-    for (const std::int64_t k : ks) {
-      sim::RunConfig config;
-      config.trials = opt.trials;
-      config.seed = rng::mix_seed(
-          opt.seed, static_cast<std::uint64_t>(k * 31 + eps * 1000));
-      const sim::RunStats rs = sim::run_trials(
-          strategy, static_cast<int>(k), d, opt.placement, config);
+    for (std::size_t ki = 0; ki < ks.size(); ++ki) {
+      const std::int64_t k = ks[ki];
+      const sim::RunStats& rs = cell(ei, ki);
       const double phi = rs.mean_competitiveness;
       curve.push_back({k, phi});
       rows.push_back({fmt2(eps), fmt0(double(k)), fmt0(rs.time.mean),

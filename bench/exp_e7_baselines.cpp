@@ -10,18 +10,14 @@
 //   * the paper's algorithms + the coordinated sweep for reference.
 //
 // All strategies run on identical instances (same placements, same seeds)
-// with the same censoring cap.
+// with the same censoring cap — guaranteed structurally by the scenario
+// subsystem, whose cell seeds depend on (k, D) but never on the strategy.
+// The whole landscape is ONE declarative spec; the sweep scheduler overlaps
+// the slow step-level walkers with the fast segment-level algorithms.
 #include <exception>
-#include <memory>
 
-#include "baselines/biased_walk.h"
-#include "baselines/levy.h"
-#include "baselines/random_walk.h"
-#include "baselines/sector_sweep.h"
-#include "core/harmonic.h"
-#include "core/known_k.h"
-#include "core/uniform.h"
 #include "exp_common.h"
+#include "scenario/sweep.h"
 #include "sim/metrics.h"
 
 namespace ants::bench {
@@ -43,50 +39,34 @@ int run(int argc, char** argv) {
                : std::vector<std::int64_t>{2, 4, 8, 16};
   const sim::Time walk_cap = opt.full ? 400000 : 120000;
 
+  scenario::ScenarioSpec spec;
+  spec.name = "e7-baselines";
+  spec.strategies = {
+      "random-walk",
+      "biased-walk(bias=0.3, persistence=0.8)",
+      "levy(mu=1.5, loop=false)",
+      "levy(mu=2, loop=true, scan=32)",
+      "harmonic(delta=0.5)",
+      "uniform(eps=0.5)",
+      "known-k",      // k_belief defaults to the true k
+      "sector-sweep",
+  };
+  spec.ks = {k};
+  spec.distances = ds;
+  spec.trials = opt.trials;
+  spec.seed = opt.seed;
+  spec.placement = opt.placement_name;
+  spec.time_cap = walk_cap;  // same cap for fairness
+
   util::Table table({"strategy", "D", "success", "median T", "mean T",
                      "T/(D+D^2/k)"});
-
-  const auto add_segment = [&](const sim::Strategy& s, std::int64_t d) {
-    sim::RunConfig config;
-    config.trials = opt.trials;
-    config.seed = rng::mix_seed(opt.seed, static_cast<std::uint64_t>(d));
-    config.time_cap = walk_cap;  // same cap for fairness
-    const sim::RunStats rs =
-        sim::run_trials(s, k, d, opt.placement, config);
-    table.add_row({s.name(), fmt0(double(d)), fmt2(rs.success_rate),
-                   fmt0(rs.time.median), fmt0(rs.time.mean),
-                   fmt2(rs.mean_competitiveness)});
-  };
-  const auto add_step = [&](const sim::StepStrategy& s, std::int64_t d) {
-    sim::RunConfig config;
-    config.trials = opt.trials;
-    config.seed = rng::mix_seed(opt.seed, static_cast<std::uint64_t>(d));
-    config.time_cap = walk_cap;
-    const sim::RunStats rs =
-        sim::run_step_trials(s, k, d, opt.placement, config);
-    table.add_row({s.name(), fmt0(double(d)), fmt2(rs.success_rate),
-                   fmt0(rs.time.median), fmt0(rs.time.mean),
-                   fmt2(rs.mean_competitiveness)});
-  };
-
-  const baselines::RandomWalkStrategy random_walk;
-  const baselines::BiasedWalkStrategy biased(0.3, 0.8);
-  const baselines::LevyStrategy levy_free(1.5, /*loop=*/false);
-  const baselines::LevyStrategy levy_loop(2.0, /*loop=*/true, /*scan=*/32);
-  const core::HarmonicStrategy harmonic(0.5);
-  const core::UniformStrategy uniform(0.5);
-  const core::KnownKStrategy known(k);
-  const baselines::SectorSweepStrategy sweep;
-
-  for (const std::int64_t d : ds) add_step(random_walk, d);
-  for (const std::int64_t d : ds) add_step(biased, d);
-  for (const std::int64_t d : ds) add_segment(levy_free, d);
-  for (const std::int64_t d : ds) add_segment(levy_loop, d);
-  for (const std::int64_t d : ds) add_segment(harmonic, d);
-  for (const std::int64_t d : ds) add_segment(uniform, d);
-  for (const std::int64_t d : ds) add_segment(known, d);
-  for (const std::int64_t d : ds) add_segment(sweep, d);
-
+  // Flatten order is strategy-major then D — exactly the table's row order.
+  for (const scenario::CellResult& r : scenario::run_sweep(spec)) {
+    table.add_row({r.cell.strategy_name, fmt0(double(r.cell.distance)),
+                   fmt2(r.stats.success_rate), fmt0(r.stats.time.median),
+                   fmt0(r.stats.time.mean),
+                   fmt2(r.stats.mean_competitiveness)});
+  }
   emit(table, opt);
 
   std::cout << "\nreading: the random walk's censored mean grows much "

@@ -1,0 +1,187 @@
+// Registration of every strategy shipped in src/core and src/baselines.
+//
+// Static-initializer self-registration is fragile under static linking (the
+// linker may drop a translation unit whose only effect is a global ctor), so
+// the registry pulls this function in lazily from Registry::instance()
+// instead — same one-name-one-entry contract, no --whole-archive tricks.
+// tests/scenario_registry_test.cpp asserts this list stays complete.
+#include "baselines/ablation_variants.h"
+#include "baselines/biased_walk.h"
+#include "baselines/levy.h"
+#include "baselines/random_walk.h"
+#include "baselines/sector_sweep.h"
+#include "baselines/spiral_single.h"
+#include "core/approx_k.h"
+#include "core/harmonic.h"
+#include "core/hedged.h"
+#include "core/known_k.h"
+#include "core/lowmem.h"
+#include "core/single_shot.h"
+#include "core/uniform.h"
+#include "scenario/registry.h"
+
+#include <stdexcept>
+
+namespace ants::scenario {
+
+namespace {
+
+BuiltStrategy segment(std::unique_ptr<sim::Strategy> s) {
+  BuiltStrategy b;
+  b.segment = std::move(s);
+  return b;
+}
+
+BuiltStrategy step(std::unique_ptr<sim::StepStrategy> s) {
+  BuiltStrategy b;
+  b.step = std::move(s);
+  return b;
+}
+
+core::ApproxMode approx_mode(const std::string& mode) {
+  if (mode == "under") return core::ApproxMode::kUnder;
+  if (mode == "over") return core::ApproxMode::kOver;
+  if (mode == "log-uniform") return core::ApproxMode::kLogUniform;
+  throw std::invalid_argument(
+      "approx-k: mode must be under|over|log-uniform, got '" + mode + "'");
+}
+
+}  // namespace
+
+void register_builtin_strategies(Registry& r) {
+  // --- paper algorithms (src/core) ---
+  r.add({"known-k",
+         "Algorithm A_k (Theorem 3.1): optimal O(D + D^2/k) with k known",
+         {{"k_belief", ParamType::kInt, "$k", "agent count each agent assumes"}},
+         [](const Params& p, const BuildContext&) {
+           return segment(
+               std::make_unique<core::KnownKStrategy>(p.get_int("k_belief")));
+         }});
+  r.add({"uniform",
+         "Algorithm A_uniform (Theorem 3.3): O(log^(1+eps) k)-competitive, "
+         "no knowledge of k",
+         {{"eps", ParamType::kDouble, "0.5", "schedule exponent, eps >= 0"}},
+         [](const Params& p, const BuildContext&) {
+           return segment(
+               std::make_unique<core::UniformStrategy>(p.get_double("eps")));
+         }});
+  r.add({"harmonic",
+         "Algorithm 2 (Theorem 5.1): heavy-tailed trip lengths, "
+         "O(D + D^(2+delta)/k) whp",
+         {{"delta", ParamType::kDouble, "0.5", "tail exponent, delta > 0"}},
+         [](const Params& p, const BuildContext&) {
+           return segment(std::make_unique<core::HarmonicStrategy>(
+               p.get_double("delta")));
+         }});
+  r.add({"approx-k",
+         "Corollary 3.2: A_k under a rho-approximation of k",
+         {{"k_true", ParamType::kInt, "$k", "real agent count the estimates bracket"},
+          {"rho", ParamType::kDouble, "2", "approximation factor, rho >= 1"},
+          {"mode", ParamType::kString, "log-uniform",
+           "estimate model: under|over|log-uniform"}},
+         [](const Params& p, const BuildContext&) {
+           return segment(std::make_unique<core::ApproxKStrategy>(
+               p.get_int("k_true"), p.get_double("rho"),
+               approx_mode(p.get_string("mode"))));
+         }});
+  r.add({"hedged",
+         "Hedged search under one-sided k^eps-approximate knowledge "
+         "(Theorem 4.2 companion)",
+         {{"k_estimate", ParamType::kDouble, "$k", "one-sided estimate k~"},
+          {"eps", ParamType::kDouble, "0.5", "estimate looseness, in [0, 1]"}},
+         [](const Params& p, const BuildContext&) {
+           return segment(std::make_unique<core::HedgedApproxStrategy>(
+               p.get_double("k_estimate"), p.get_double("eps")));
+         }});
+  r.add({"lowmem-uniform",
+         "Algorithm 1 on coin-flip arithmetic (section 6 memory remark)",
+         {{"eps", ParamType::kDouble, "0.5", "schedule exponent, eps >= 0"}},
+         [](const Params& p, const BuildContext&) {
+           return segment(std::make_unique<core::LowMemUniformStrategy>(
+               p.get_double("eps")));
+         }});
+  r.add({"lowmem-harmonic",
+         "Algorithm 2 on coin-flip arithmetic (section 6 memory remark)",
+         {{"delta", ParamType::kDouble, "0.5", "tail exponent, delta > 0"}},
+         [](const Params& p, const BuildContext&) {
+           return segment(std::make_unique<core::LowMemHarmonicStrategy>(
+               p.get_double("delta")));
+         }});
+  r.add({"sweep-known-k",
+         "Single-sweep A_k (section 5 remark): constant success probability, "
+         "divergent expectation",
+         {{"k_belief", ParamType::kInt, "$k", "agent count each agent assumes"}},
+         [](const Params& p, const BuildContext&) {
+           return segment(std::make_unique<core::SingleSweepKnownK>(
+               p.get_int("k_belief")));
+         }});
+  r.add({"sweep-uniform",
+         "Single-sweep A_uniform (section 5 remark)",
+         {{"eps", ParamType::kDouble, "0.5", "schedule exponent, eps >= 0"}},
+         [](const Params& p, const BuildContext&) {
+           return segment(std::make_unique<core::SingleSweepUniform>(
+               p.get_double("eps")));
+         }});
+
+  // --- baselines (src/baselines) ---
+  r.add({"sector-sweep",
+         "Coordinated deterministic sector sweep: the with-coordination "
+         "reference",
+         {},
+         [](const Params&, const BuildContext&) {
+           return segment(std::make_unique<baselines::SectorSweepStrategy>());
+         }});
+  r.add({"spiral",
+         "Single-agent square spiral (Baeza-Yates cow-path in 2D); "
+         "speed-up 1 for any k",
+         {},
+         [](const Params&, const BuildContext&) {
+           return segment(std::make_unique<baselines::SpiralSingleStrategy>());
+         }});
+  r.add({"levy",
+         "Levy-flight searchers (Reynolds): power-law ballistic flights",
+         {{"mu", ParamType::kDouble, "1.5", "tail exponent, mu in (1, 3]"},
+          {"loop", ParamType::kBool, "false", "central-place variant"},
+          {"scan", ParamType::kInt, "0", "spiral scan time after each flight"}},
+         [](const Params& p, const BuildContext&) {
+           return segment(std::make_unique<baselines::LevyStrategy>(
+               p.get_double("mu"), p.get_bool("loop"),
+               static_cast<sim::Time>(p.get_int("scan"))));
+         }});
+  r.add({"random-walk",
+         "k independent simple random walkers (step-level; needs a finite "
+         "time cap)",
+         {},
+         [](const Params&, const BuildContext&) {
+           return step(std::make_unique<baselines::RandomWalkStrategy>());
+         }});
+  r.add({"biased-walk",
+         "Outward-biased correlated walk (Harkness-Maroudas stand-in; "
+         "step-level, needs a finite time cap)",
+         {{"bias", ParamType::kDouble, "0.3", "outward bias, in [0, 1)"},
+          {"persistence", ParamType::kDouble, "0.8",
+           "repeat-previous-move probability, in [0, 1)"}},
+         [](const Params& p, const BuildContext&) {
+           return step(std::make_unique<baselines::BiasedWalkStrategy>(
+               p.get_double("bias"), p.get_double("persistence")));
+         }});
+
+  // --- ablation variants ---
+  r.add({"known-k-rw-local",
+         "A_k with random-walk local search of equal budget (ablation)",
+         {{"k_belief", ParamType::kInt, "$k", "agent count each agent assumes"}},
+         [](const Params& p, const BuildContext&) {
+           return segment(
+               std::make_unique<baselines::KnownKRandomLocalStrategy>(
+                   p.get_int("k_belief")));
+         }});
+  r.add({"known-k-no-return",
+         "A_k without the return-to-source leg (ablation)",
+         {{"k_belief", ParamType::kInt, "$k", "agent count each agent assumes"}},
+         [](const Params& p, const BuildContext&) {
+           return segment(std::make_unique<baselines::KnownKNoReturnStrategy>(
+               p.get_int("k_belief")));
+         }});
+}
+
+}  // namespace ants::scenario

@@ -1,0 +1,221 @@
+#include "scenario/registry.h"
+
+#include <stdexcept>
+
+#include "scenario/text.h"
+
+namespace ants::scenario {
+
+namespace {
+
+using detail::bad;
+using detail::trim;
+using detail::valid_name;
+
+std::int64_t parse_int(const std::string& name, const std::string& value) {
+  return detail::parse_int64("parameter '" + name + "'", value);
+}
+
+double parse_double(const std::string& name, const std::string& value) {
+  return detail::parse_double("parameter '" + name + "'", value);
+}
+
+bool parse_bool(const std::string& name, const std::string& value) {
+  if (value == "true" || value == "1" || value == "yes") return true;
+  if (value == "false" || value == "0" || value == "no") return false;
+  bad("parameter '" + name + "': '" + value + "' is not a boolean");
+}
+
+/// Type-checks a raw value so errors surface at spec-validation time, not
+/// inside a factory mid-sweep.
+void check_type(const ParamSpec& spec, const std::string& value) {
+  switch (spec.type) {
+    case ParamType::kInt:
+      parse_int(spec.name, value);
+      break;
+    case ParamType::kDouble:
+      parse_double(spec.name, value);
+      break;
+    case ParamType::kBool:
+      parse_bool(spec.name, value);
+      break;
+    case ParamType::kString:
+      break;
+  }
+}
+
+}  // namespace
+
+const char* param_type_name(ParamType type) noexcept {
+  switch (type) {
+    case ParamType::kInt: return "int";
+    case ParamType::kDouble: return "double";
+    case ParamType::kBool: return "bool";
+    case ParamType::kString: return "string";
+  }
+  return "?";
+}
+
+std::string BuiltStrategy::display_name() const {
+  if (segment) return segment->name();
+  if (step) return step->name();
+  return "<empty>";
+}
+
+std::int64_t Params::get_int(const std::string& name) const {
+  return parse_int(name, get_string(name));
+}
+
+double Params::get_double(const std::string& name) const {
+  return parse_double(name, get_string(name));
+}
+
+bool Params::get_bool(const std::string& name) const {
+  return parse_bool(name, get_string(name));
+}
+
+const std::string& Params::get_string(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) {
+    bad("parameter '" + name + "' was never declared in the entry's spec");
+  }
+  return it->second;
+}
+
+std::string StrategySpec::canonical() const {
+  if (params.empty()) return name;
+  std::string out = name + "(";
+  bool first = true;
+  for (const auto& [key, value] : params) {  // std::map: keys already sorted
+    if (!first) out += ",";
+    first = false;
+    out += key + "=" + value;
+  }
+  out += ")";
+  return out;
+}
+
+StrategySpec parse_strategy_spec(const std::string& text) {
+  const std::string s = trim(text);
+  StrategySpec spec;
+  const std::size_t paren = s.find('(');
+  if (paren == std::string::npos) {
+    spec.name = s;
+    if (!valid_name(spec.name)) bad("bad strategy spec: '" + text + "'");
+    return spec;
+  }
+  spec.name = trim(s.substr(0, paren));
+  if (!valid_name(spec.name)) bad("bad strategy spec: '" + text + "'");
+  if (s.back() != ')') {
+    bad("strategy spec '" + text + "': missing closing ')'");
+  }
+  const std::string body = s.substr(paren + 1, s.size() - paren - 2);
+  if (trim(body).empty()) return spec;
+
+  std::size_t start = 0;
+  while (start <= body.size()) {
+    std::size_t comma = body.find(',', start);
+    if (comma == std::string::npos) comma = body.size();
+    const std::string pair = trim(body.substr(start, comma - start));
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      bad("strategy spec '" + text + "': expected key=value, got '" + pair +
+          "'");
+    }
+    const std::string key = trim(pair.substr(0, eq));
+    const std::string value = trim(pair.substr(eq + 1));
+    if (!valid_name(key)) {
+      bad("strategy spec '" + text + "': bad parameter name '" + key + "'");
+    }
+    if (value.empty()) {
+      bad("strategy spec '" + text + "': empty value for '" + key + "'");
+    }
+    if (!spec.params.emplace(key, value).second) {
+      bad("strategy spec '" + text + "': duplicate parameter '" + key + "'");
+    }
+    start = comma + 1;
+  }
+  return spec;
+}
+
+// Defined in builtin.cpp; registers every strategy shipped with the repo.
+void register_builtin_strategies(Registry& registry);
+
+Registry& Registry::instance() {
+  static Registry* registry = [] {
+    auto* r = new Registry();
+    register_builtin_strategies(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void Registry::add(StrategyEntry entry) {
+  if (!valid_name(entry.name)) {
+    bad("registry: bad strategy name '" + entry.name + "'");
+  }
+  if (!entry.factory) bad("registry: '" + entry.name + "' has no factory");
+  const std::string name = entry.name;
+  if (!entries_.emplace(name, std::move(entry)).second) {
+    bad("registry: duplicate strategy '" + name + "'");
+  }
+}
+
+const StrategyEntry* Registry::find(const std::string& name) const {
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Registry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;
+}
+
+BuiltStrategy Registry::make(const std::string& spec_text,
+                             const BuildContext& ctx) const {
+  return make(parse_strategy_spec(spec_text), ctx);
+}
+
+BuiltStrategy Registry::make(const StrategySpec& spec,
+                             const BuildContext& ctx) const {
+  const StrategyEntry* entry = find(spec.name);
+  if (entry == nullptr) {
+    std::string known;
+    for (const auto& name : names()) {
+      if (!known.empty()) known += ", ";
+      known += name;
+    }
+    bad("unknown strategy '" + spec.name + "' (registered: " + known + ")");
+  }
+
+  Params params;
+  for (const ParamSpec& ps : entry->params) {
+    std::string value;
+    const auto given = spec.params.find(ps.name);
+    if (given != spec.params.end()) {
+      value = given->second;
+    } else if (ps.default_value == "$k") {
+      value = std::to_string(ctx.k);
+    } else {
+      value = ps.default_value;
+    }
+    check_type(ps, value);
+    params.values_.emplace(ps.name, std::move(value));
+  }
+  for (const auto& [key, value] : spec.params) {
+    if (params.values_.find(key) == params.values_.end()) {
+      bad("strategy '" + spec.name + "' has no parameter '" + key + "'");
+    }
+  }
+
+  BuiltStrategy built = entry->factory(params, ctx);
+  if (!built.segment == !built.step) {
+    throw std::logic_error("registry: factory for '" + spec.name +
+                           "' must set exactly one of segment/step");
+  }
+  return built;
+}
+
+}  // namespace ants::scenario

@@ -1,0 +1,133 @@
+// Strategy registry: every search algorithm in the repository, constructible
+// by string name.
+//
+// The registry is the glue between the declarative scenario layer and the
+// concrete strategy classes in src/core and src/baselines. Each entry pairs
+// a stable string name ("uniform", "known-k", "levy", ...) with a typed
+// parameter spec and a factory, so an experiment can say
+//
+//     uniform(eps=0.3)
+//     known-k(k_belief=16)
+//     levy(mu=2, loop=true, scan=32)
+//
+// and get back a ready-to-run strategy. Both strategy families are covered:
+// segment-level sim::Strategy (the paper algorithms and coordinated
+// baselines) and step-level sim::StepStrategy (the random-walk family).
+//
+// Parameter defaults may be the literal "$k", which resolves to the cell's
+// true agent count at build time — the natural default for known-k and its
+// relatives, whose belief equals the truth unless an experiment says
+// otherwise.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/program.h"
+#include "sim/step_engine.h"
+
+namespace ants::scenario {
+
+enum class ParamType { kInt, kDouble, kBool, kString };
+
+/// One declared strategy parameter: name, type, default (as written in a
+/// spec string; "$k" = the cell's agent count), one-line doc.
+struct ParamSpec {
+  std::string name;
+  ParamType type = ParamType::kDouble;
+  std::string default_value;
+  std::string doc;
+};
+
+/// Raw key=value pairs as parsed from a strategy spec string.
+using ParamMap = std::map<std::string, std::string>;
+
+/// Cell-level facts a factory may consult (today: the true agent count,
+/// needed to resolve "$k" defaults).
+struct BuildContext {
+  int k = 1;
+};
+
+/// A constructed strategy: exactly one of the two pointers is set.
+struct BuiltStrategy {
+  std::unique_ptr<sim::Strategy> segment;
+  std::unique_ptr<sim::StepStrategy> step;
+
+  bool is_step() const noexcept { return step != nullptr; }
+  /// Display name of whichever strategy is held.
+  std::string display_name() const;
+};
+
+/// Validated, default-filled parameter values handed to a factory. Typed
+/// getters throw std::invalid_argument on malformed values, naming the
+/// offending parameter.
+class Params {
+ public:
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+  const std::string& get_string(const std::string& name) const;
+
+ private:
+  friend class Registry;
+  std::map<std::string, std::string> values_;
+};
+
+struct StrategyEntry {
+  std::string name;     ///< registry key, e.g. "uniform"
+  std::string summary;  ///< one line for `search_lab list`
+  std::vector<ParamSpec> params;
+  std::function<BuiltStrategy(const Params&, const BuildContext&)> factory;
+};
+
+/// Parsed form of a strategy spec string "name(key=value, ...)".
+struct StrategySpec {
+  std::string name;
+  ParamMap params;
+
+  /// Stable re-serialization: name(key=value,...) with keys sorted. Used
+  /// for cache keys and spec canonicalization.
+  std::string canonical() const;
+};
+
+/// Parses "name" or "name(key=value, key=value)". Throws
+/// std::invalid_argument on grammar errors. Does NOT validate the name or
+/// keys against the registry — Registry::make does.
+StrategySpec parse_strategy_spec(const std::string& text);
+
+class Registry {
+ public:
+  /// The process-wide registry; built-in strategies are registered on first
+  /// access (see builtin.cpp).
+  static Registry& instance();
+
+  /// Registers an entry; throws std::invalid_argument on a duplicate name.
+  void add(StrategyEntry entry);
+
+  /// Entry by name, or nullptr.
+  const StrategyEntry* find(const std::string& name) const;
+
+  /// All registered names, sorted.
+  std::vector<std::string> names() const;
+
+  /// Parses `spec_text`, validates every given key against the entry's
+  /// parameter spec, fills defaults (resolving "$k" from `ctx`), and
+  /// invokes the factory. Throws std::invalid_argument on unknown
+  /// strategies, unknown or malformed parameters.
+  BuiltStrategy make(const std::string& spec_text,
+                     const BuildContext& ctx) const;
+  BuiltStrategy make(const StrategySpec& spec, const BuildContext& ctx) const;
+
+ private:
+  Registry() = default;
+  std::map<std::string, StrategyEntry> entries_;
+};
+
+/// Human-readable type name ("int" | "double" | "bool" | "string").
+const char* param_type_name(ParamType type) noexcept;
+
+}  // namespace ants::scenario

@@ -1,0 +1,305 @@
+#include "scenario/sink.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <stdexcept>
+
+#include "sim/metrics.h"
+#include "util/format.h"
+
+namespace ants::scenario {
+
+namespace {
+
+std::string fmt(double v) { return util::fmt_compact(v); }
+
+using ValueFn = std::string (*)(const ScenarioSpec&, const CellResult&);
+
+struct Column {
+  const char* name;
+  ValueFn value;
+};
+
+const Column kColumns[] = {
+    {"strategy",
+     [](const ScenarioSpec&, const CellResult& r) {
+       return r.cell.strategy_name;
+     }},
+    {"spec",
+     [](const ScenarioSpec&, const CellResult& r) {
+       return r.cell.strategy_spec;
+     }},
+    {"k",
+     [](const ScenarioSpec&, const CellResult& r) {
+       return std::to_string(r.cell.k);
+     }},
+    {"D",
+     [](const ScenarioSpec&, const CellResult& r) {
+       return std::to_string(r.cell.distance);
+     }},
+    {"placement",
+     [](const ScenarioSpec& spec, const CellResult&) {
+       return spec.placement;
+     }},
+    {"trials",
+     [](const ScenarioSpec& spec, const CellResult&) {
+       return std::to_string(spec.trials);
+     }},
+    {"seed",
+     [](const ScenarioSpec&, const CellResult& r) {
+       return std::to_string(r.cell.seed);
+     }},
+    {"success",
+     [](const ScenarioSpec&, const CellResult& r) {
+       return util::fmt_fixed(r.stats.success_rate, 4);
+     }},
+    {"mean_time",
+     [](const ScenarioSpec&, const CellResult& r) {
+       return fmt(r.stats.time.mean);
+     }},
+    {"median_time",
+     [](const ScenarioSpec&, const CellResult& r) {
+       return fmt(r.stats.time.median);
+     }},
+    {"ci95",
+     [](const ScenarioSpec&, const CellResult& r) {
+       return fmt(r.stats.time.ci95_half());
+     }},
+    {"stddev",
+     [](const ScenarioSpec&, const CellResult& r) {
+       return fmt(r.stats.time.stddev);
+     }},
+    {"min_time",
+     [](const ScenarioSpec&, const CellResult& r) {
+       return fmt(r.stats.time.min);
+     }},
+    {"max_time",
+     [](const ScenarioSpec&, const CellResult& r) {
+       return fmt(r.stats.time.max);
+     }},
+    {"q25_time",
+     [](const ScenarioSpec&, const CellResult& r) {
+       return fmt(r.stats.time.q25);
+     }},
+    {"q75_time",
+     [](const ScenarioSpec&, const CellResult& r) {
+       return fmt(r.stats.time.q75);
+     }},
+    {"q95_time",
+     [](const ScenarioSpec&, const CellResult& r) {
+       return fmt(r.stats.time.q95);
+     }},
+    {"phi_mean",
+     [](const ScenarioSpec&, const CellResult& r) {
+       return fmt(r.stats.mean_competitiveness);
+     }},
+    {"phi_median",
+     [](const ScenarioSpec&, const CellResult& r) {
+       return fmt(r.stats.median_competitiveness);
+     }},
+    {"optimal",
+     [](const ScenarioSpec&, const CellResult& r) {
+       return fmt(sim::optimal_time(r.cell.distance, r.cell.k));
+     }},
+    {"cached",
+     [](const ScenarioSpec&, const CellResult& r) {
+       return std::string(r.from_cache ? "1" : "0");
+     }},
+};
+
+const Column* find_column(const std::string& name) {
+  for (const Column& column : kColumns) {
+    if (name == column.name) return &column;
+  }
+  return nullptr;
+}
+
+std::string fmt_exact(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);  // round-trips any double
+  return buf;
+}
+
+}  // namespace
+
+std::vector<std::string> all_columns() {
+  std::vector<std::string> out;
+  for (const Column& column : kColumns) out.push_back(column.name);
+  return out;
+}
+
+std::vector<std::string> default_columns() {
+  return {"strategy",  "k",    "D",         "trials",   "success",
+          "mean_time", "ci95", "median_time", "phi_mean", "phi_median"};
+}
+
+bool is_known_column(const std::string& column) {
+  return find_column(column) != nullptr;
+}
+
+std::string column_value(const std::string& column, const ScenarioSpec& spec,
+                         const CellResult& result) {
+  const Column* c = find_column(column);
+  if (c == nullptr) {
+    throw std::invalid_argument("unknown result column '" + column + "'");
+  }
+  return c->value(spec, result);
+}
+
+void CsvSink::begin(const std::vector<std::string>& columns) {
+  writer_ = std::make_unique<util::CsvWriter>(path_, columns);
+}
+
+void CsvSink::row(const std::vector<std::string>& cells) {
+  writer_->add_row(cells);
+}
+
+void JsonlSink::begin(const std::vector<std::string>& columns) {
+  columns_ = columns;
+  out_ = std::make_unique<std::ofstream>(path_);
+  if (!*out_) throw std::runtime_error("cannot open JSONL file: " + path_);
+}
+
+void JsonlSink::row(const std::vector<std::string>& cells) {
+  std::string line = "{";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) line += ",";
+    line += "\"" + columns_[i] + "\":";
+    char* end = nullptr;
+    std::strtod(cells[i].c_str(), &end);
+    const bool numeric =
+        !cells[i].empty() && end == cells[i].c_str() + cells[i].size();
+    if (numeric) {
+      line += cells[i];
+    } else {
+      line += '"';
+      for (const char ch : cells[i]) {
+        if (ch == '"' || ch == '\\') line += '\\';
+        line += ch;
+      }
+      line += '"';
+    }
+  }
+  line += "}";
+  *out_ << line << "\n";
+}
+
+void TableSink::begin(const std::vector<std::string>& columns) {
+  table_ = std::make_unique<util::Table>(columns);
+}
+
+void TableSink::row(const std::vector<std::string>& cells) {
+  table_->add_row(cells);
+}
+
+void TableSink::end() { table_->print(os_); }
+
+void emit_results(const ScenarioSpec& spec,
+                  const std::vector<CellResult>& results,
+                  const std::vector<ResultSink*>& sinks) {
+  const std::vector<std::string> columns =
+      spec.columns.empty() ? default_columns() : spec.columns;
+  for (ResultSink* sink : sinks) sink->begin(columns);
+  for (const CellResult& result : results) {
+    std::vector<std::string> cells;
+    cells.reserve(columns.size());
+    for (const std::string& column : columns) {
+      cells.push_back(column_value(column, spec, result));
+    }
+    for (ResultSink* sink : sinks) sink->row(cells);
+  }
+  for (ResultSink* sink : sinks) sink->end();
+}
+
+// --- per-cell result cache -------------------------------------------------
+
+namespace {
+
+std::string cache_path(const std::string& dir, std::uint64_t hash) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "%016llx.cell",
+                static_cast<unsigned long long>(hash));
+  return dir + "/" + name;
+}
+
+}  // namespace
+
+bool cache_load(const std::string& dir, std::uint64_t hash,
+                sim::RunStats* stats) {
+  std::ifstream in(cache_path(dir, hash));
+  if (!in) return false;
+
+  std::map<std::string, std::string> fields;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) return false;
+    fields[line.substr(0, eq)] = line.substr(eq + 1);
+  }
+
+  const auto get = [&](const char* key, double* out) {
+    const auto it = fields.find(key);
+    if (it == fields.end()) return false;
+    char* end = nullptr;
+    *out = std::strtod(it->second.c_str(), &end);
+    return !it->second.empty() && end == it->second.c_str() + it->second.size();
+  };
+
+  sim::RunStats rs;
+  double n = 0, distance = 0, k = 0;
+  const bool ok =
+      get("n", &n) && get("distance", &distance) && get("k", &k) &&
+      get("success_rate", &rs.success_rate) && get("mean", &rs.time.mean) &&
+      get("stddev", &rs.time.stddev) && get("std_error", &rs.time.std_error) &&
+      get("min", &rs.time.min) && get("max", &rs.time.max) &&
+      get("median", &rs.time.median) && get("q25", &rs.time.q25) &&
+      get("q75", &rs.time.q75) && get("q95", &rs.time.q95) &&
+      get("phi_mean", &rs.mean_competitiveness) &&
+      get("phi_median", &rs.median_competitiveness);
+  if (!ok) return false;
+  rs.time.n = static_cast<std::size_t>(n);
+  rs.distance = static_cast<std::int64_t>(distance);
+  rs.k = static_cast<std::int64_t>(k);
+  *stats = std::move(rs);
+  return true;
+}
+
+void cache_store(const std::string& dir, std::uint64_t hash,
+                 const sim::RunStats& stats) {
+  std::filesystem::create_directories(dir);
+  const std::string path = cache_path(dir, hash);
+  // Write-then-rename so a crashed run never leaves a torn entry behind.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp);
+    if (!out) throw std::runtime_error("cannot write cache entry: " + tmp);
+    out << "n=" << stats.time.n << "\n"
+        << "distance=" << stats.distance << "\n"
+        << "k=" << stats.k << "\n"
+        << "success_rate=" << fmt_exact(stats.success_rate) << "\n"
+        << "mean=" << fmt_exact(stats.time.mean) << "\n"
+        << "stddev=" << fmt_exact(stats.time.stddev) << "\n"
+        << "std_error=" << fmt_exact(stats.time.std_error) << "\n"
+        << "min=" << fmt_exact(stats.time.min) << "\n"
+        << "max=" << fmt_exact(stats.time.max) << "\n"
+        << "median=" << fmt_exact(stats.time.median) << "\n"
+        << "q25=" << fmt_exact(stats.time.q25) << "\n"
+        << "q75=" << fmt_exact(stats.time.q75) << "\n"
+        << "q95=" << fmt_exact(stats.time.q95) << "\n"
+        << "phi_mean=" << fmt_exact(stats.mean_competitiveness) << "\n"
+        << "phi_median=" << fmt_exact(stats.median_competitiveness) << "\n";
+    out.flush();
+    if (!out.good()) {  // e.g. disk full: a short write must never publish
+      out.close();
+      std::filesystem::remove(tmp);
+      throw std::runtime_error("failed writing cache entry: " + tmp);
+    }
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+}  // namespace ants::scenario

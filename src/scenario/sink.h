@@ -1,0 +1,100 @@
+// Result sinks: where a finished sweep's numbers go.
+//
+// The sweep scheduler produces CellResults; this layer turns them into
+// rows — an aligned stdout table, a CSV file, a JSON-lines file, or any
+// combination — under a named-column model so a spec can choose exactly the
+// columns its table needs. Also home of the per-cell result cache: cell
+// aggregates keyed by the cell's spec hash, so re-running a spec recomputes
+// only the cells whose definition changed.
+#pragma once
+
+#include <fstream>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "scenario/sweep.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace ants::scenario {
+
+/// All selectable column names, in display order.
+std::vector<std::string> all_columns();
+
+/// The columns used when a spec names none.
+std::vector<std::string> default_columns();
+
+bool is_known_column(const std::string& column);
+
+/// Renders one cell of the output row. Throws std::invalid_argument on an
+/// unknown column name.
+std::string column_value(const std::string& column, const ScenarioSpec& spec,
+                         const CellResult& result);
+
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+  virtual void begin(const std::vector<std::string>& columns) = 0;
+  virtual void row(const std::vector<std::string>& cells) = 0;
+  virtual void end() {}
+};
+
+/// CSV file via util::CsvWriter.
+class CsvSink final : public ResultSink {
+ public:
+  explicit CsvSink(std::string path) : path_(std::move(path)) {}
+  void begin(const std::vector<std::string>& columns) override;
+  void row(const std::vector<std::string>& cells) override;
+
+ private:
+  std::string path_;
+  std::unique_ptr<util::CsvWriter> writer_;
+};
+
+/// JSON-lines file: one flat object per cell; numeric-looking values are
+/// emitted unquoted.
+class JsonlSink final : public ResultSink {
+ public:
+  explicit JsonlSink(std::string path) : path_(std::move(path)) {}
+  void begin(const std::vector<std::string>& columns) override;
+  void row(const std::vector<std::string>& cells) override;
+
+ private:
+  std::string path_;
+  std::vector<std::string> columns_;
+  std::unique_ptr<std::ofstream> out_;
+};
+
+/// Aligned table on an ostream, printed at end().
+class TableSink final : public ResultSink {
+ public:
+  explicit TableSink(std::ostream& os) : os_(os) {}
+  void begin(const std::vector<std::string>& columns) override;
+  void row(const std::vector<std::string>& cells) override;
+  void end() override;
+
+ private:
+  std::ostream& os_;
+  std::unique_ptr<util::Table> table_;
+};
+
+/// Streams every result through every sink using the spec's columns (or the
+/// defaults when the spec names none).
+void emit_results(const ScenarioSpec& spec,
+                  const std::vector<CellResult>& results,
+                  const std::vector<ResultSink*>& sinks);
+
+// --- per-cell result cache -------------------------------------------------
+
+/// Loads cached aggregates for a cell hash; false if absent or unreadable.
+/// Loaded stats carry aggregates only (stats.times stays empty).
+bool cache_load(const std::string& dir, std::uint64_t hash,
+                sim::RunStats* stats);
+
+/// Stores a cell's aggregates (creates `dir` if needed).
+void cache_store(const std::string& dir, std::uint64_t hash,
+                 const sim::RunStats& stats);
+
+}  // namespace ants::scenario

@@ -1,0 +1,389 @@
+#include "scenario/spec.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "scenario/registry.h"
+#include "scenario/sink.h"
+#include "scenario/text.h"
+#include "sim/placement.h"
+
+namespace ants::scenario {
+
+namespace {
+
+using detail::bad;
+using detail::split_top_level;
+using detail::trim;
+
+std::int64_t to_int(const std::string& context, const std::string& value) {
+  return detail::parse_int64(context, value);
+}
+
+std::uint64_t to_uint(const std::string& context, const std::string& value) {
+  return detail::parse_uint64(context, value);
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON-line parser: one flat object per line, values limited to
+// strings, numbers, booleans, and arrays of strings/numbers — exactly what a
+// flat ScenarioSpec needs. No external dependency, fails loudly.
+
+struct JsonValue {
+  enum class Kind { kString, kNumber, kBool, kArray } kind = Kind::kString;
+  std::string string;                ///< kString: text; kNumber: raw token
+  bool boolean = false;
+  std::vector<JsonValue> array;
+};
+
+class JsonLineParser {
+ public:
+  explicit JsonLineParser(const std::string& text) : s_(text) {}
+
+  std::vector<std::pair<std::string, JsonValue>> parse_object() {
+    std::vector<std::pair<std::string, JsonValue>> out;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      finish();
+      return out;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      out.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      const char ch = next();
+      if (ch == '}') break;
+      if (ch != ',') bad(where() + ": expected ',' or '}'");
+    }
+    finish();
+    return out;
+  }
+
+ private:
+  JsonValue parse_value() {
+    skip_ws();
+    JsonValue v;
+    const char ch = peek();
+    if (ch == '"') {
+      v.kind = JsonValue::Kind::kString;
+      v.string = parse_string();
+    } else if (ch == '[') {
+      ++pos_;
+      v.kind = JsonValue::Kind::kArray;
+      skip_ws();
+      if (peek() == ']') {
+        ++pos_;
+        return v;
+      }
+      for (;;) {
+        v.array.push_back(parse_value());
+        skip_ws();
+        const char c = next();
+        if (c == ']') break;
+        if (c != ',') bad(where() + ": expected ',' or ']'");
+      }
+    } else if (ch == 't' || ch == 'f') {
+      v.kind = JsonValue::Kind::kBool;
+      const std::string word = ch == 't' ? "true" : "false";
+      if (s_.compare(pos_, word.size(), word) != 0) {
+        bad(where() + ": bad literal");
+      }
+      pos_ += word.size();
+      v.boolean = ch == 't';
+    } else if (ch == '-' || std::isdigit(static_cast<unsigned char>(ch))) {
+      v.kind = JsonValue::Kind::kNumber;
+      const std::size_t start = pos_;
+      while (pos_ < s_.size() &&
+             (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+              s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+              s_[pos_] == 'e' || s_[pos_] == 'E')) {
+        ++pos_;
+      }
+      v.string = s_.substr(start, pos_ - start);
+    } else {
+      bad(where() + ": unsupported JSON value");
+    }
+    return v;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char ch = s_[pos_++];
+      if (ch == '\\') {
+        if (pos_ >= s_.size()) bad(where() + ": dangling escape");
+        const char esc = s_[pos_++];
+        switch (esc) {
+          case '"': ch = '"'; break;
+          case '\\': ch = '\\'; break;
+          case '/': ch = '/'; break;
+          case 'n': ch = '\n'; break;
+          case 't': ch = '\t'; break;
+          default: bad(where() + ": unsupported escape \\" + esc);
+        }
+      }
+      out += ch;
+    }
+    expect('"');
+    return out;
+  }
+
+  void finish() {
+    skip_ws();
+    if (pos_ != s_.size()) bad(where() + ": trailing characters");
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    if (pos_ >= s_.size()) bad(where() + ": unexpected end of line");
+    return s_[pos_];
+  }
+  char next() {
+    const char ch = peek();
+    ++pos_;
+    return ch;
+  }
+  void expect(char want) {
+    skip_ws();
+    if (next() != want) {
+      bad(where() + ": expected '" + std::string(1, want) + "'");
+    }
+  }
+  std::string where() const {
+    return "JSON scenario, column " + std::to_string(pos_ + 1);
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+std::string json_scalar_to_text(const std::string& context,
+                                const JsonValue& v) {
+  switch (v.kind) {
+    case JsonValue::Kind::kString:
+    case JsonValue::Kind::kNumber:
+      return v.string;
+    case JsonValue::Kind::kBool:
+      return v.boolean ? "true" : "false";
+    case JsonValue::Kind::kArray:
+      break;
+  }
+  bad(context + ": expected a scalar");
+}
+
+// ---------------------------------------------------------------------------
+// Shared field assignment: both on-disk forms funnel into key/value(s).
+
+void assign_field(ScenarioSpec& spec, const std::string& key,
+                  const std::string& value,
+                  const std::vector<std::string>& list) {
+  if (key == "name") {
+    spec.name = value;
+  } else if (key == "strategies") {
+    spec.strategies = list;
+  } else if (key == "ks") {
+    spec.ks.clear();
+    for (const auto& piece : list) spec.ks.push_back(to_int("ks", piece));
+  } else if (key == "distances" || key == "ds") {
+    spec.distances.clear();
+    for (const auto& piece : list)
+      spec.distances.push_back(to_int("distances", piece));
+  } else if (key == "placement") {
+    spec.placement = value;
+  } else if (key == "trials") {
+    spec.trials = to_int("trials", value);
+  } else if (key == "seed") {
+    spec.seed = to_uint("seed", value);
+  } else if (key == "time_cap") {
+    spec.time_cap = to_int("time_cap", value);
+  } else if (key == "columns") {
+    spec.columns = list;
+  } else {
+    bad("unknown scenario key '" + key + "'");
+  }
+}
+
+ScenarioSpec spec_from_json_line(const std::string& line) {
+  ScenarioSpec spec;
+  JsonLineParser parser(line);
+  for (const auto& [key, value] : parser.parse_object()) {
+    std::vector<std::string> list;
+    std::string scalar;
+    if (value.kind == JsonValue::Kind::kArray) {
+      for (const JsonValue& item : value.array)
+        list.push_back(json_scalar_to_text(key, item));
+    } else {
+      scalar = json_scalar_to_text(key, value);
+      list = {scalar};
+    }
+    assign_field(spec, key, scalar, list);
+  }
+  return spec;
+}
+
+}  // namespace
+
+std::uint64_t hash_text(const std::string& text) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  for (const char ch : text) {
+    h ^= static_cast<unsigned char>(ch);
+    h *= 0x100000001b3ULL;  // FNV prime
+  }
+  return h;
+}
+
+void ScenarioSpec::validate() const {
+  if (strategies.empty()) bad("scenario '" + name + "': no strategies");
+  if (ks.empty()) bad("scenario '" + name + "': empty k grid");
+  if (distances.empty()) bad("scenario '" + name + "': empty distance grid");
+  if (trials < 1) bad("scenario '" + name + "': trials must be >= 1");
+  if (time_cap < 0) bad("scenario '" + name + "': time_cap must be >= 0");
+  for (const std::int64_t k : ks) {
+    // The engines take k as int; reject rather than silently truncate.
+    if (k < 1 || k > std::numeric_limits<int>::max()) {
+      bad("scenario '" + name + "': k must be in [1, " +
+          std::to_string(std::numeric_limits<int>::max()) + "]");
+    }
+  }
+  for (const std::int64_t d : distances) {
+    if (d < 1) bad("scenario '" + name + "': distance must be >= 1");
+  }
+  sim::placement_by_name(placement);  // throws on unknown names
+  // Building each strategy (at the grid's first k) surfaces unknown names,
+  // unknown/malformed parameters, and constructor range errors up front
+  // rather than mid-sweep.
+  const BuildContext ctx{static_cast<int>(ks.front())};
+  for (const std::string& s : strategies) {
+    const BuiltStrategy built = Registry::instance().make(s, ctx);
+    if (built.is_step() && time_cap == 0) {
+      bad("scenario '" + name + "': step-level strategy '" + s +
+          "' requires a finite time_cap");
+    }
+  }
+  for (const std::string& column : columns) {
+    if (!is_known_column(column)) {
+      bad("scenario '" + name + "': unknown column '" + column + "'");
+    }
+  }
+}
+
+std::string ScenarioSpec::canonical() const {
+  const auto join = [](const std::vector<std::string>& items) {
+    std::string out;
+    for (const auto& item : items) {
+      if (!out.empty()) out += ", ";
+      out += item;
+    }
+    return out;
+  };
+  std::vector<std::string> strategy_texts, k_texts, d_texts;
+  for (const auto& s : strategies)
+    strategy_texts.push_back(parse_strategy_spec(s).canonical());
+  for (const auto k : ks) k_texts.push_back(std::to_string(k));
+  for (const auto d : distances) d_texts.push_back(std::to_string(d));
+
+  std::ostringstream out;
+  out << "name = " << name << "\n"
+      << "strategies = " << join(strategy_texts) << "\n"
+      << "ks = " << join(k_texts) << "\n"
+      << "distances = " << join(d_texts) << "\n"
+      << "placement = " << placement << "\n"
+      << "trials = " << trials << "\n"
+      << "seed = " << seed << "\n"
+      << "time_cap = " << time_cap << "\n";
+  if (!columns.empty()) out << "columns = " << join(columns) << "\n";
+  return out.str();
+}
+
+std::vector<ScenarioSpec> parse_spec_text(const std::string& text) {
+  std::vector<ScenarioSpec> out;
+  ScenarioSpec current;
+  bool in_block = false;
+  int line_number = 0;
+
+  const auto flush = [&] {
+    if (in_block) out.push_back(current);
+    current = ScenarioSpec{};
+    in_block = false;
+  };
+
+  std::istringstream lines(text);
+  std::string raw;
+  while (std::getline(lines, raw)) {
+    ++line_number;
+    const std::string line = trim(raw);
+    try {
+      if (line.empty()) {
+        flush();
+        continue;
+      }
+      if (line[0] == '#') continue;
+      if (line[0] == '{') {
+        flush();
+        out.push_back(spec_from_json_line(line));
+        continue;
+      }
+      const std::size_t eq = line.find('=');
+      if (eq == std::string::npos) {
+        bad("expected 'key = value' or a JSON object");
+      }
+      const std::string key = trim(line.substr(0, eq));
+      const std::string value = trim(line.substr(eq + 1));
+      assign_field(current, key, value, split_top_level(value, ','));
+      in_block = true;
+    } catch (const std::invalid_argument& e) {
+      bad("scenario spec line " + std::to_string(line_number) + ": " +
+          e.what());
+    }
+  }
+  flush();
+  return out;
+}
+
+std::vector<ScenarioSpec> parse_spec_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) bad("cannot open scenario spec file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_spec_text(buffer.str());
+}
+
+ScenarioSpec spec_from_cli(util::Cli& cli) {
+  ScenarioSpec spec;
+  spec.name = cli.get_string("scenario-name", spec.name);
+  const std::string strategies = cli.get_string("strategies", "");
+  if (!strategies.empty()) {
+    // ';' separation never collides with parameter lists; plain ',' works
+    // too because the split respects parentheses.
+    spec.strategies = split_top_level(
+        strategies, strategies.find(';') != std::string::npos ? ';' : ',');
+  }
+  spec.ks = cli.get_int_list("ks", spec.ks);
+  spec.distances = cli.get_int_list("ds", spec.distances);
+  spec.placement = cli.get_string("placement", spec.placement);
+  spec.trials = cli.get_int("trials", spec.trials);
+  // Parsed as uint64 like the spec-file forms — get_int would reject the
+  // upper half of the seed space.
+  spec.seed = detail::parse_uint64(
+      "seed", cli.get_string("seed", std::to_string(spec.seed)));
+  spec.time_cap = cli.get_int("time-cap", spec.time_cap);
+  const std::string columns = cli.get_string("columns", "");
+  if (!columns.empty()) spec.columns = split_top_level(columns, ',');
+  return spec;
+}
+
+}  // namespace ants::scenario

@@ -1,0 +1,79 @@
+// Declarative scenario specs: an experiment as data instead of a main().
+//
+// A spec names the strategies to run (registry spec strings), the k- and
+// D-grids, the placement adversary, trial count, master seed, optional time
+// cap, and the output columns. Flattened by the sweep scheduler into
+// (strategy, k, D) cells, it fully determines every number in the output:
+// results are a pure function of (spec, seed), independent of thread count.
+//
+// Two on-disk forms, mixable in one file:
+//
+//   text blocks — "key = value" lines, '#' comments, blank-line separated:
+//
+//       name       = quick-look
+//       strategies = uniform(eps=0.5), known-k
+//       ks         = 1, 4, 16
+//       distances  = 16, 32, 64
+//       trials     = 100
+//
+//   JSON lines — any line whose first character is '{' is parsed as one
+//   flat JSON object per scenario:
+//
+//       {"name": "quick", "strategies": ["uniform(eps=0.5)"], "ks": [1, 4]}
+//
+// Unknown keys are an error in both forms (typos fail loudly, matching the
+// util::Cli philosophy).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.h"
+#include "util/cli.h"
+
+namespace ants::scenario {
+
+struct ScenarioSpec {
+  std::string name = "sweep";
+  std::vector<std::string> strategies;  ///< registry spec strings
+  std::vector<std::int64_t> ks = {1, 4, 16};
+  std::vector<std::int64_t> distances = {16, 32, 64};
+  std::string placement = "ring";  ///< sim::placement_by_name key
+  std::int64_t trials = 100;
+  std::uint64_t seed = 0xA27553ACULL;
+  /// Per-trial cap; 0 = uncapped (sim::kNeverTime). Step-level strategies
+  /// require a finite cap.
+  sim::Time time_cap = 0;
+  /// Output columns (see sink.h); empty = the sink's default set.
+  std::vector<std::string> columns;
+
+  /// The cap as the simulator wants it.
+  sim::Time effective_time_cap() const noexcept {
+    return time_cap == 0 ? sim::kNeverTime : time_cap;
+  }
+
+  /// Throws std::invalid_argument on an unrunnable spec (empty strategy
+  /// list, non-positive grids or trials, unknown placement or strategy,
+  /// malformed strategy spec, unknown column).
+  void validate() const;
+
+  /// Stable text-form serialization (round-trips through parse_spec_text);
+  /// also the basis of cell cache keys.
+  std::string canonical() const;
+};
+
+/// Parses a spec file / text buffer into one spec per scenario block.
+/// Throws std::invalid_argument with a line-numbered message on errors.
+std::vector<ScenarioSpec> parse_spec_text(const std::string& text);
+std::vector<ScenarioSpec> parse_spec_file(const std::string& path);
+
+/// Builds one spec from CLI flags: --strategies (';'- or top-level-','
+/// separated), --ks, --ds, --trials, --seed, --placement, --time-cap,
+/// --columns, --scenario-name. Flags not given keep the defaults above.
+ScenarioSpec spec_from_cli(util::Cli& cli);
+
+/// FNV-1a over `text` — the stable string hash the cell cache keys use.
+std::uint64_t hash_text(const std::string& text) noexcept;
+
+}  // namespace ants::scenario

@@ -1,0 +1,152 @@
+#include "scenario/sweep.h"
+
+#include <atomic>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "rng/splitmix64.h"
+#include "scenario/registry.h"
+#include "scenario/sink.h"
+#include "sim/engine.h"
+#include "sim/placement.h"
+#include "sim/step_engine.h"
+#include "util/thread_pool.h"
+
+namespace ants::scenario {
+
+namespace {
+
+/// Bump when the cell execution or cache format changes in any way that
+/// invalidates previously cached aggregates.
+constexpr int kCellFormatVersion = 1;
+
+std::uint64_t cell_hash(const ScenarioSpec& spec, const std::string& strategy,
+                        std::int64_t k, std::int64_t distance) {
+  std::ostringstream key;
+  key << "v" << kCellFormatVersion << "|" << strategy << "|k=" << k
+      << "|d=" << distance << "|placement=" << spec.placement
+      << "|trials=" << spec.trials << "|seed=" << spec.seed
+      << "|cap=" << spec.time_cap;
+  return hash_text(key.str());
+}
+
+}  // namespace
+
+std::vector<Cell> flatten(const ScenarioSpec& spec) {
+  spec.validate();
+  std::vector<Cell> cells;
+  cells.reserve(spec.strategies.size() * spec.ks.size() *
+                spec.distances.size());
+  for (std::size_t si = 0; si < spec.strategies.size(); ++si) {
+    const StrategySpec parsed = parse_strategy_spec(spec.strategies[si]);
+    const std::string canonical = parsed.canonical();
+    for (const std::int64_t k : spec.ks) {
+      // The display name can depend on k ("$k" defaults), the distance
+      // cannot — build once per (strategy, k).
+      const BuildContext ctx{static_cast<int>(k)};
+      const std::string display =
+          Registry::instance().make(parsed, ctx).display_name();
+      for (const std::int64_t d : spec.distances) {
+        Cell cell;
+        cell.strategy_index = si;
+        cell.strategy_spec = canonical;
+        cell.strategy_name = display;
+        cell.k = k;
+        cell.distance = d;
+        cell.seed = rng::mix_seed(
+            spec.seed, rng::mix_seed(static_cast<std::uint64_t>(k),
+                                     static_cast<std::uint64_t>(d)));
+        cell.hash = cell_hash(spec, canonical, k, d);
+        cells.push_back(std::move(cell));
+      }
+    }
+  }
+  return cells;
+}
+
+std::vector<CellResult> run_sweep(const ScenarioSpec& spec,
+                                  const SweepOptions& opt) {
+  const std::vector<Cell> cells = flatten(spec);
+  const auto n_cells = cells.size();
+  const auto trials = static_cast<std::size_t>(spec.trials);
+
+  std::vector<CellResult> results(n_cells);
+  for (std::size_t i = 0; i < n_cells; ++i) results[i].cell = cells[i];
+
+  // Cache pass: cells whose aggregates are already on disk never re-run.
+  std::vector<std::size_t> pending;
+  for (std::size_t i = 0; i < n_cells; ++i) {
+    if (!opt.cache_dir.empty() &&
+        cache_load(opt.cache_dir, cells[i].hash, &results[i].stats)) {
+      results[i].from_cache = true;
+    } else {
+      pending.push_back(i);
+    }
+  }
+  if (pending.empty()) return results;
+
+  // Strategies are built once per (strategy, k) — cells along the distance
+  // grid share the object — and read-only shared across scheduler threads,
+  // same as sim::run_trials shares its strategy.
+  std::map<std::pair<std::size_t, std::int64_t>, BuiltStrategy> by_sk;
+  std::vector<const BuiltStrategy*> built(n_cells, nullptr);
+  for (const std::size_t i : pending) {
+    const auto key = std::make_pair(cells[i].strategy_index, cells[i].k);
+    auto it = by_sk.find(key);
+    if (it == by_sk.end()) {
+      it = by_sk
+               .emplace(key, Registry::instance().make(
+                                 cells[i].strategy_spec,
+                                 BuildContext{static_cast<int>(cells[i].k)}))
+               .first;
+    }
+    built[i] = &it->second;
+  }
+
+  const sim::Placement placement = sim::placement_by_name(spec.placement);
+  sim::EngineConfig engine_config;
+  engine_config.time_cap = spec.effective_time_cap();
+
+  std::vector<std::vector<double>> times(n_cells);
+  for (const std::size_t i : pending) times[i].resize(trials);
+  std::vector<std::atomic<std::int64_t>> found(n_cells);
+
+  // The flat work list is every trial of every pending cell — cells overlap
+  // instead of serializing on per-cell barriers. The (cell, trial) mapping
+  // is index arithmetic, not a materialized pair vector: huge sweeps must
+  // not pay O(cells * trials) memory before any work runs.
+  util::parallel_for(
+      pending.size() * trials,
+      [&](std::size_t item) {
+        const std::size_t ci = pending[item / trials];
+        const std::size_t trial = item % trials;
+        const Cell& cell = cells[ci];
+        rng::Rng trial_rng(rng::mix_seed(cell.seed, trial));
+        const grid::Point treasure = placement(trial_rng, cell.distance);
+        sim::SearchResult r;
+        if (built[ci]->is_step()) {
+          r = sim::run_step_search(*built[ci]->step,
+                                   static_cast<int>(cell.k), treasure,
+                                   trial_rng, engine_config.time_cap);
+        } else {
+          r = sim::run_search(*built[ci]->segment, static_cast<int>(cell.k),
+                              treasure, trial_rng, engine_config);
+        }
+        times[ci][trial] = static_cast<double>(r.time);
+        if (r.found) found[ci].fetch_add(1, std::memory_order_relaxed);
+      },
+      opt.threads);
+
+  for (const std::size_t i : pending) {
+    results[i].stats =
+        sim::make_run_stats(std::move(times[i]), found[i].load(),
+                            cells[i].distance, static_cast<int>(cells[i].k));
+    if (!opt.cache_dir.empty()) {
+      cache_store(opt.cache_dir, cells[i].hash, results[i].stats);
+    }
+  }
+  return results;
+}
+
+}  // namespace ants::scenario

@@ -1,0 +1,66 @@
+// Sweep scheduler: flattens a ScenarioSpec into (strategy, k, D) cells and
+// runs every trial of every cell through ONE util::parallel_for.
+//
+// Scheduling across cells matters because per-cell parallelism (the
+// sim::run_trials path) serializes a sweep on one barrier per cell: a grid
+// of small-trial cells leaves most cores idle at every join. Here the work
+// list is all (cell, trial) pairs, so a long-running cell's trials overlap
+// the next cells' instead of gating them.
+//
+// Reproducibility contract (inherited from sim/runner.h and test-enforced):
+// trial t of a cell uses rng seed mix(cell_seed, t), where
+//
+//     cell_seed = mix(spec.seed, mix(k, distance))
+//
+// is a pure function of the spec's master seed and the cell's grid point —
+// deliberately NOT of the strategy, so every strategy at the same (k, D)
+// faces identical treasure placements (paired instances, the E7 fairness
+// requirement). Results are therefore a pure function of (spec, seed),
+// independent of thread count and scheduling order, and each cell's stats
+// equal sim::run_trials(strategy, k, D, placement, {trials, cell_seed,
+// time_cap}) exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/spec.h"
+#include "sim/runner.h"
+
+namespace ants::scenario {
+
+/// One unit of the flattened sweep.
+struct Cell {
+  std::size_t strategy_index = 0;  ///< into spec.strategies
+  std::string strategy_spec;       ///< canonical registry spec string
+  std::string strategy_name;       ///< display name of the built strategy
+  std::int64_t k = 1;
+  std::int64_t distance = 1;
+  std::uint64_t seed = 0;  ///< derived cell seed (see header comment)
+  std::uint64_t hash = 0;  ///< cache key over the cell + run parameters
+};
+
+struct CellResult {
+  Cell cell;
+  sim::RunStats stats;
+  bool from_cache = false;
+};
+
+struct SweepOptions {
+  unsigned threads = 0;   ///< scheduler thread count; 0 = hardware
+  std::string cache_dir;  ///< non-empty enables the per-cell result cache
+};
+
+/// The cells of a spec in deterministic order: strategies outermost, then
+/// ks, then distances — cell (si, ki, di) lands at index
+/// (si * ks.size() + ki) * distances.size() + di. Validates the spec.
+std::vector<Cell> flatten(const ScenarioSpec& spec);
+
+/// Runs the whole sweep; the result vector parallels flatten(spec). Cached
+/// cells (when opt.cache_dir is set and holds a matching entry) carry
+/// aggregate stats only (stats.times is empty) and from_cache = true.
+std::vector<CellResult> run_sweep(const ScenarioSpec& spec,
+                                  const SweepOptions& opt = {});
+
+}  // namespace ants::scenario

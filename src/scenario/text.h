@@ -1,0 +1,100 @@
+// Internal text utilities shared by the scenario parsers (registry.cpp,
+// spec.cpp). Not part of the subsystem's public surface.
+#pragma once
+
+#include <cctype>
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ants::scenario::detail {
+
+[[noreturn]] inline void bad(const std::string& what) {
+  throw std::invalid_argument(what);
+}
+
+inline std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+/// [A-Za-z0-9_-]+ — strategy names, parameter keys.
+inline bool valid_name(const std::string& s) {
+  if (s.empty()) return false;
+  for (const char ch : s) {
+    if (!std::isalnum(static_cast<unsigned char>(ch)) && ch != '-' &&
+        ch != '_') {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Full-consumption integer parse; rejects trailing junk AND out-of-range
+/// values ('99999999999999999999' is an error, not a silent clamp).
+inline std::int64_t parse_int64(const std::string& context,
+                                const std::string& value) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(value.c_str(), &end, 10);
+  if (value.empty() || end != value.c_str() + value.size()) {
+    bad(context + ": '" + value + "' is not an integer");
+  }
+  if (errno == ERANGE) bad(context + ": '" + value + "' is out of range");
+  return v;
+}
+
+inline std::uint64_t parse_uint64(const std::string& context,
+                                  const std::string& value) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+  if (value.empty() || value[0] == '-' ||
+      end != value.c_str() + value.size()) {
+    bad(context + ": '" + value + "' is not an unsigned integer");
+  }
+  if (errno == ERANGE) bad(context + ": '" + value + "' is out of range");
+  return v;
+}
+
+inline double parse_double(const std::string& context,
+                           const std::string& value) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  if (value.empty() || end != value.c_str() + value.size()) {
+    bad(context + ": '" + value + "' is not a number");
+  }
+  if (errno == ERANGE) bad(context + ": '" + value + "' is out of range");
+  return v;
+}
+
+/// Splits on `sep` at parenthesis depth 0, so strategy spec strings with
+/// embedded commas — "levy(mu=2, loop=true)" — survive list syntax.
+inline std::vector<std::string> split_top_level(const std::string& s,
+                                                char sep) {
+  std::vector<std::string> out;
+  std::string current;
+  int depth = 0;
+  for (const char ch : s) {
+    if (ch == '(') ++depth;
+    if (ch == ')') --depth;
+    if (ch == sep && depth == 0) {
+      const std::string piece = trim(current);
+      if (!piece.empty()) out.push_back(piece);
+      current.clear();
+    } else {
+      current += ch;
+    }
+  }
+  const std::string piece = trim(current);
+  if (!piece.empty()) out.push_back(piece);
+  return out;
+}
+
+}  // namespace ants::scenario::detail

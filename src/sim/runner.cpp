@@ -9,10 +9,8 @@
 
 namespace ants::sim {
 
-namespace {
-
-RunStats aggregate(std::vector<double> times, std::int64_t found,
-                   std::int64_t distance, int k) {
+RunStats make_run_stats(std::vector<double> times, std::int64_t found,
+                        std::int64_t distance, int k) {
   RunStats rs;
   rs.distance = distance;
   rs.k = k;
@@ -26,8 +24,6 @@ RunStats aggregate(std::vector<double> times, std::int64_t found,
   rs.times = std::move(times);
   return rs;
 }
-
-}  // namespace
 
 RunStats run_trials(const Strategy& strategy, int k, std::int64_t distance,
                     const Placement& placement, const RunConfig& config) {
@@ -52,7 +48,7 @@ RunStats run_trials(const Strategy& strategy, int k, std::int64_t distance,
       },
       config.threads);
 
-  return aggregate(std::move(times), found.load(), distance, k);
+  return make_run_stats(std::move(times), found.load(), distance, k);
 }
 
 AsyncRunStats run_async_trials(const Strategy& strategy, int k,
@@ -93,7 +89,7 @@ AsyncRunStats run_async_trials(const Strategy& strategy, int k,
       config.threads);
 
   AsyncRunStats rs;
-  rs.base = aggregate(std::move(times), found.load(), distance, k);
+  rs.base = make_run_stats(std::move(times), found.load(), distance, k);
   rs.from_last_start = stats::Summary::from(from_last);
   rs.mean_crashed = stats::Summary::from(crashed).mean;
   rs.mean_last_start = stats::Summary::from(last_starts).mean;
@@ -124,7 +120,7 @@ RunStats run_step_trials(const StepStrategy& strategy, int k,
       },
       config.threads);
 
-  return aggregate(std::move(times), found.load(), distance, k);
+  return make_run_stats(std::move(times), found.load(), distance, k);
 }
 
 }  // namespace ants::sim

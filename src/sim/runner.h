@@ -36,6 +36,12 @@ struct RunStats {
   std::vector<double> times;    ///< raw per-trial times (censored)
 };
 
+/// Builds RunStats from raw per-trial times. Shared by run_trials and the
+/// scenario sweep scheduler (which owns its own trial loop so it can
+/// schedule across sweep cells); both must aggregate identically.
+RunStats make_run_stats(std::vector<double> times, std::int64_t found,
+                        std::int64_t distance, int k);
+
 /// Segment-level strategies (all paper algorithms + coordinated baselines).
 RunStats run_trials(const Strategy& strategy, int k, std::int64_t distance,
                     const Placement& placement, const RunConfig& config);

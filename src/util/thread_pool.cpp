@@ -16,7 +16,14 @@ unsigned default_thread_count() {
 
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
                   unsigned threads) {
+  // Trivial work runs inline before anything else is even computed: no
+  // hardware_concurrency query, no thread spawn/join. Sweep schedulers call
+  // this per cell, so the n <= 1 path must stay free.
   if (n == 0) return;
+  if (n == 1) {
+    body(0);
+    return;
+  }
   if (threads == 0) threads = default_thread_count();
   threads = static_cast<unsigned>(
       std::min<std::size_t>(threads, n));

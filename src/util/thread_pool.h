@@ -13,8 +13,10 @@
 namespace ants::util {
 
 /// Runs body(i) for every i in [0, n), using up to `threads` OS threads
-/// (0 = hardware concurrency). Exceptions thrown by `body` propagate to the
-/// caller (the first one captured wins; remaining work is still joined).
+/// (0 = hardware concurrency). n <= 1 or an effective thread count of 1
+/// runs inline and spawns nothing. Exceptions thrown by `body` propagate to
+/// the caller (the first one captured wins; remaining work is still
+/// joined).
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
                   unsigned threads = 0);
 

@@ -1,0 +1,203 @@
+#include "scenario/spec.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "scenario/sink.h"
+#include "util/cli.h"
+
+namespace ants::scenario {
+namespace {
+
+TEST(SpecParse, TextBlockForm) {
+  const auto specs = parse_spec_text(
+      "# a comment\n"
+      "name       = quick\n"
+      "strategies = uniform(eps=0.5), known-k\n"
+      "ks         = 1, 4, 16\n"
+      "distances  = 16, 32\n"
+      "placement  = axis\n"
+      "trials     = 50\n"
+      "seed       = 12345\n"
+      "time_cap   = 1000\n");
+  ASSERT_EQ(specs.size(), 1u);
+  const ScenarioSpec& spec = specs[0];
+  EXPECT_EQ(spec.name, "quick");
+  EXPECT_EQ(spec.strategies,
+            (std::vector<std::string>{"uniform(eps=0.5)", "known-k"}));
+  EXPECT_EQ(spec.ks, (std::vector<std::int64_t>{1, 4, 16}));
+  EXPECT_EQ(spec.distances, (std::vector<std::int64_t>{16, 32}));
+  EXPECT_EQ(spec.placement, "axis");
+  EXPECT_EQ(spec.trials, 50);
+  EXPECT_EQ(spec.seed, 12345u);
+  EXPECT_EQ(spec.time_cap, 1000);
+}
+
+TEST(SpecParse, StrategyListSplitsAtTopLevelCommasOnly) {
+  const auto specs = parse_spec_text(
+      "strategies = levy(mu=2, loop=true, scan=32), known-k(k_belief=4)\n");
+  ASSERT_EQ(specs.size(), 1u);
+  EXPECT_EQ(specs[0].strategies,
+            (std::vector<std::string>{"levy(mu=2, loop=true, scan=32)",
+                                      "known-k(k_belief=4)"}));
+}
+
+TEST(SpecParse, BlankLinesSeparateScenarios) {
+  const auto specs = parse_spec_text(
+      "name = first\nstrategies = uniform\n"
+      "\n"
+      "name = second\nstrategies = known-k\ntrials = 7\n");
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[0].name, "first");
+  EXPECT_EQ(specs[1].name, "second");
+  EXPECT_EQ(specs[1].trials, 7);
+}
+
+TEST(SpecParse, JsonLineForm) {
+  const auto specs = parse_spec_text(
+      "{\"name\": \"j\", \"strategies\": [\"uniform(eps=0.3)\", \"spiral\"], "
+      "\"ks\": [1, 4], \"distances\": [8], \"trials\": 20, \"seed\": 99, "
+      "\"placement\": \"diagonal\", \"time_cap\": 500}\n");
+  ASSERT_EQ(specs.size(), 1u);
+  const ScenarioSpec& spec = specs[0];
+  EXPECT_EQ(spec.name, "j");
+  EXPECT_EQ(spec.strategies,
+            (std::vector<std::string>{"uniform(eps=0.3)", "spiral"}));
+  EXPECT_EQ(spec.ks, (std::vector<std::int64_t>{1, 4}));
+  EXPECT_EQ(spec.distances, (std::vector<std::int64_t>{8}));
+  EXPECT_EQ(spec.trials, 20);
+  EXPECT_EQ(spec.seed, 99u);
+  EXPECT_EQ(spec.placement, "diagonal");
+  EXPECT_EQ(spec.time_cap, 500);
+}
+
+TEST(SpecParse, MixedTextAndJsonScenarios) {
+  const auto specs = parse_spec_text(
+      "name = text-block\nstrategies = uniform\n"
+      "\n"
+      "{\"name\": \"json-block\", \"strategies\": [\"known-k\"]}\n");
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[0].name, "text-block");
+  EXPECT_EQ(specs[1].name, "json-block");
+}
+
+TEST(SpecParse, ErrorsCarryLineNumbers) {
+  try {
+    parse_spec_text("name = x\nbogus_key = 1\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+  EXPECT_THROW(parse_spec_text("ks = 1, banana\n"), std::invalid_argument);
+  EXPECT_THROW(parse_spec_text("{\"name\": \"x\", }\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_spec_text("no equals sign here\n"),
+               std::invalid_argument);
+}
+
+TEST(SpecCanonical, RoundTripsThroughTheTextParser) {
+  ScenarioSpec spec;
+  spec.name = "round-trip";
+  spec.strategies = {"levy(scan=32, mu=2)", "known-k"};
+  spec.ks = {1, 8};
+  spec.distances = {16};
+  spec.placement = "axis";
+  spec.trials = 33;
+  spec.seed = 777;
+  spec.time_cap = 250;
+  spec.columns = {"strategy", "k", "mean_time"};
+
+  const auto reparsed = parse_spec_text(spec.canonical());
+  ASSERT_EQ(reparsed.size(), 1u);
+  // Canonical form normalizes strategy specs (sorted params, no spaces),
+  // so compare canonical-to-canonical.
+  EXPECT_EQ(reparsed[0].canonical(), spec.canonical());
+  EXPECT_EQ(reparsed[0].ks, spec.ks);
+  EXPECT_EQ(reparsed[0].seed, spec.seed);
+  EXPECT_EQ(reparsed[0].columns, spec.columns);
+}
+
+TEST(SpecValidate, AcceptsADefaultSpecWithStrategies) {
+  ScenarioSpec spec;
+  spec.strategies = {"uniform"};
+  EXPECT_NO_THROW(spec.validate());
+}
+
+TEST(SpecValidate, RejectsBadSpecs) {
+  ScenarioSpec empty;
+  EXPECT_THROW(empty.validate(), std::invalid_argument);  // no strategies
+
+  ScenarioSpec unknown;
+  unknown.strategies = {"definitely-not-registered"};
+  EXPECT_THROW(unknown.validate(), std::invalid_argument);
+
+  ScenarioSpec bad_placement;
+  bad_placement.strategies = {"uniform"};
+  bad_placement.placement = "hexagon";
+  EXPECT_THROW(bad_placement.validate(), std::invalid_argument);
+
+  ScenarioSpec bad_trials;
+  bad_trials.strategies = {"uniform"};
+  bad_trials.trials = 0;
+  EXPECT_THROW(bad_trials.validate(), std::invalid_argument);
+
+  ScenarioSpec bad_column;
+  bad_column.strategies = {"uniform"};
+  bad_column.columns = {"strategy", "not_a_column"};
+  EXPECT_THROW(bad_column.validate(), std::invalid_argument);
+
+  // Step-level strategies demand a finite cap.
+  ScenarioSpec uncapped_walk;
+  uncapped_walk.strategies = {"random-walk"};
+  EXPECT_THROW(uncapped_walk.validate(), std::invalid_argument);
+  uncapped_walk.time_cap = 1000;
+  EXPECT_NO_THROW(uncapped_walk.validate());
+}
+
+TEST(SpecFromCli, BuildsASpecFromFlags) {
+  std::vector<const char*> args = {
+      "prog",
+      "--strategies=uniform(eps=0.5); levy(mu=2, loop=true)",
+      "--ks=1,8",
+      "--ds=4,32",
+      "--trials=12",
+      "--seed=42",
+      "--placement=axis",
+      "--time-cap=9000",
+      "--columns=strategy,k,mean_time"};
+  util::Cli cli(static_cast<int>(args.size()), args.data());
+  const ScenarioSpec spec = spec_from_cli(cli);
+  cli.finish();
+  EXPECT_EQ(spec.strategies,
+            (std::vector<std::string>{"uniform(eps=0.5)",
+                                      "levy(mu=2, loop=true)"}));
+  EXPECT_EQ(spec.ks, (std::vector<std::int64_t>{1, 8}));
+  EXPECT_EQ(spec.distances, (std::vector<std::int64_t>{4, 32}));
+  EXPECT_EQ(spec.trials, 12);
+  EXPECT_EQ(spec.seed, 42u);
+  EXPECT_EQ(spec.placement, "axis");
+  EXPECT_EQ(spec.time_cap, 9000);
+  EXPECT_EQ(spec.columns,
+            (std::vector<std::string>{"strategy", "k", "mean_time"}));
+}
+
+TEST(Columns, KnownAndDefaultColumnSetsAgree) {
+  for (const std::string& column : default_columns()) {
+    EXPECT_TRUE(is_known_column(column)) << column;
+  }
+  for (const std::string& column : all_columns()) {
+    EXPECT_TRUE(is_known_column(column)) << column;
+  }
+  EXPECT_FALSE(is_known_column("made_up"));
+}
+
+TEST(HashText, StableAndDiscriminating) {
+  EXPECT_EQ(hash_text("abc"), hash_text("abc"));
+  EXPECT_NE(hash_text("abc"), hash_text("abd"));
+  EXPECT_NE(hash_text(""), hash_text("a"));
+}
+
+}  // namespace
+}  // namespace ants::scenario

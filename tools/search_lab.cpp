@@ -1,0 +1,162 @@
+// search_lab — the unified scenario driver: one binary that runs any
+// declarative sweep over the registered strategies.
+//
+//   search_lab list
+//       Lists every registered strategy with its parameter spec.
+//
+//   search_lab run --spec=FILE [output/scheduler flags]
+//   search_lab run --strategies='uniform(eps=0.5); known-k' --ks=1,4,16
+//                  --ds=16,32 --trials=100 [--seed=N] [--placement=ring]
+//                  [--time-cap=T] [--columns=a,b,c] [output/scheduler flags]
+//       Runs every scenario in FILE (text or JSON-lines form, see
+//       docs/scenarios.md), or a single scenario assembled from flags.
+//
+// Output/scheduler flags:
+//   --csv=PATH       write rows as CSV (scenario i > 1 gets PATH.i)
+//   --jsonl=PATH     write rows as JSON lines (same suffix rule)
+//   --quiet          suppress the stdout table
+//   --threads=N      scheduler threads (0 = hardware concurrency)
+//   --cache-dir=DIR  per-cell result cache; re-runs recompute only changed
+//                    cells
+#include <cstdio>
+#include <exception>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "scenario/registry.h"
+#include "scenario/sink.h"
+#include "scenario/spec.h"
+#include "scenario/sweep.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+namespace ants {
+namespace {
+
+int run_list() {
+  const scenario::Registry& registry = scenario::Registry::instance();
+  for (const std::string& name : registry.names()) {
+    const scenario::StrategyEntry* entry = registry.find(name);
+    std::cout << name << "\n    " << entry->summary << "\n";
+    for (const scenario::ParamSpec& p : entry->params) {
+      std::cout << "    " << p.name << " ("
+                << scenario::param_type_name(p.type)
+                << ", default " << p.default_value << "): " << p.doc << "\n";
+    }
+    std::cout << "\n";
+  }
+  std::cout << registry.names().size() << " strategies registered.\n";
+  return 0;
+}
+
+/// PATH for the first scenario, PATH.2, PATH.3, ... for the rest, so a
+/// multi-scenario file never silently overwrites its own output.
+std::string indexed_path(const std::string& path, std::size_t index) {
+  if (index == 0) return path;
+  return path + "." + std::to_string(index + 1);
+}
+
+int run_specs(util::Cli& cli) {
+  const std::string spec_path = cli.get_string("spec", "");
+  const std::string csv_path = cli.get_string("csv", "");
+  const std::string jsonl_path = cli.get_string("jsonl", "");
+  const bool quiet = cli.get_bool("quiet", false);
+
+  scenario::SweepOptions sweep_opt;
+  sweep_opt.threads = static_cast<unsigned>(cli.get_int("threads", 0));
+  sweep_opt.cache_dir = cli.get_string("cache-dir", "");
+
+  std::vector<scenario::ScenarioSpec> specs;
+  if (!spec_path.empty()) {
+    // Sweep-building flags are deliberately NOT consumed here, so mixing
+    // --spec with e.g. --trials fails loudly in finish() instead of being
+    // silently ignored.
+    specs = scenario::parse_spec_file(spec_path);
+    if (specs.empty()) {
+      std::cerr << "error: " << spec_path << " contains no scenarios\n";
+      return 1;
+    }
+  } else {
+    specs.push_back(scenario::spec_from_cli(cli));
+  }
+  cli.finish();
+
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const scenario::ScenarioSpec& spec = specs[i];
+    // run_sweep validates via flatten(); no separate validate() call here.
+    if (!quiet) {
+      std::cout << "scenario '" << spec.name << "': "
+                << spec.strategies.size() << " strategies x "
+                << spec.ks.size() << " ks x " << spec.distances.size()
+                << " distances, " << spec.trials << " trials/cell\n";
+    }
+    const std::vector<scenario::CellResult> results =
+        scenario::run_sweep(spec, sweep_opt);
+
+    std::vector<scenario::ResultSink*> sinks;
+    scenario::TableSink table(std::cout);
+    if (!quiet) sinks.push_back(&table);
+    std::unique_ptr<scenario::CsvSink> csv;
+    if (!csv_path.empty()) {
+      csv = std::make_unique<scenario::CsvSink>(indexed_path(csv_path, i));
+      sinks.push_back(csv.get());
+    }
+    std::unique_ptr<scenario::JsonlSink> jsonl;
+    if (!jsonl_path.empty()) {
+      jsonl =
+          std::make_unique<scenario::JsonlSink>(indexed_path(jsonl_path, i));
+      sinks.push_back(jsonl.get());
+    }
+    emit_results(spec, results, sinks);
+
+    if (!quiet) {
+      std::size_t cached = 0;
+      for (const auto& r : results) cached += r.from_cache ? 1 : 0;
+      if (cached > 0) {
+        std::cout << "(" << cached << "/" << results.size()
+                  << " cells served from cache)\n";
+      }
+      if (!csv_path.empty()) {
+        std::cout << "(csv written to " << indexed_path(csv_path, i) << ")\n";
+      }
+      if (!jsonl_path.empty()) {
+        std::cout << "(jsonl written to " << indexed_path(jsonl_path, i)
+                  << ")\n";
+      }
+      if (i + 1 < specs.size()) std::cout << "\n";
+    }
+  }
+  return 0;
+}
+
+int usage() {
+  std::cerr << "usage: search_lab list\n"
+            << "       search_lab run --spec=FILE [flags]\n"
+            << "       search_lab run --strategies='a; b(x=1)' --ks=... "
+               "--ds=... [flags]\n"
+            << "see docs/scenarios.md for the spec format and flag list\n";
+  return 2;
+}
+
+int run(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  if (cli.positional().size() != 1) return usage();
+  const std::string& command = cli.positional()[0];
+  if (command == "list") {
+    cli.finish();
+    return run_list();
+  }
+  if (command == "run") return run_specs(cli);
+  return usage();
+}
+
+}  // namespace
+}  // namespace ants
+
+int main(int argc, char** argv) try {
+  return ants::run(argc, argv);
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}
