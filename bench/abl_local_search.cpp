@@ -11,10 +11,10 @@
 // budgets, D x k sweep — the per-phase hit probability collapse shows up
 // as a large multiplicative inflation of phi that GROWS with scale
 // (log-factor coverage loss compounding with the wasted retries).
+// Runs on the scenario subsystem: each (D, k) is one paired two-strategy
+// spec, so both variants face identical treasure placements.
 #include <exception>
 
-#include "baselines/ablation_variants.h"
-#include "core/known_k.h"
 #include "exp_common.h"
 
 namespace ants::bench {
@@ -42,18 +42,17 @@ int run(int argc, char** argv) {
                : std::vector<Cell>{{16, 4}, {32, 4}, {32, 16}, {64, 16}};
 
   for (const auto& [d, k] : cells) {
-    sim::RunConfig config;
-    config.trials = opt.trials;
-    config.seed = rng::mix_seed(opt.seed,
-                                static_cast<std::uint64_t>(d * 1000 + k));
-    config.time_cap = 512 * (d + d * d / k);
-
-    const core::KnownKStrategy spiral(k);
-    const baselines::KnownKRandomLocalStrategy rw(k);
-    const sim::RunStats rs_spiral = sim::run_trials(
-        spiral, static_cast<int>(k), d, opt.placement, config);
-    const sim::RunStats rs_rw =
-        sim::run_trials(rw, static_cast<int>(k), d, opt.placement, config);
+    scenario::ScenarioSpec pair_spec = spec(opt, "abl-local-search");
+    pair_spec.strategies = {"known-k", "known-k-rw-local"};
+    pair_spec.ks = {k};
+    pair_spec.distances = {d};
+    pair_spec.seed = rng::mix_seed(opt.seed,
+                                   static_cast<std::uint64_t>(d * 1000 + k));
+    pair_spec.time_cap = 512 * (d + d * d / k);
+    const std::vector<scenario::CellResult> results =
+        scenario::run_sweep(pair_spec);
+    const sim::RunStats& rs_spiral = results[0].stats;
+    const sim::RunStats& rs_rw = results[1].stats;
 
     table.add_row({fmt0(double(d)), fmt0(double(k)),
                    fmt2(rs_spiral.median_competitiveness),

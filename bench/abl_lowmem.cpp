@@ -11,11 +11,11 @@
 //          column (not grow with k), or the memory claim would be hollow.
 // Table 2: harmonic algorithm, exact power-law draw vs dyadic coin-flip
 //          power law — success probability within the theorem budget.
+// Runs on the scenario subsystem: exact and lowmem variants share each spec
+// (paired instances), and Table 1's whole k-sweep is one scheduler pass.
+#include <cmath>
 #include <exception>
 
-#include "core/harmonic.h"
-#include "core/lowmem.h"
-#include "core/uniform.h"
 #include "exp_common.h"
 
 namespace ants::bench {
@@ -39,18 +39,21 @@ int run(int argc, char** argv) {
     const std::vector<std::int64_t> ks =
         opt.full ? std::vector<std::int64_t>{2, 8, 32, 128, 512}
                  : std::vector<std::int64_t>{2, 8, 32, 128};
-    const core::UniformStrategy exact(0.5);
-    const core::LowMemUniformStrategy lowmem(0.5);
-    for (const std::int64_t k : ks) {
-      sim::RunConfig config;
-      config.trials = opt.trials;
-      config.seed = rng::mix_seed(opt.seed, static_cast<std::uint64_t>(k));
-      config.time_cap = 1 << 22;
-      const sim::RunStats rs_exact = sim::run_trials(
-          exact, static_cast<int>(k), d, opt.placement, config);
-      const sim::RunStats rs_low = sim::run_trials(
-          lowmem, static_cast<int>(k), d, opt.placement, config);
-      table.add_row({fmt0(double(k)), fmt2(rs_exact.median_competitiveness),
+    // The cap is k-independent, so the whole k-sweep is ONE spec: all
+    // (variant, k) cells overlap in the scheduler, paired per k.
+    scenario::ScenarioSpec sweep = spec(opt, "abl-lowmem-uniform");
+    sweep.strategies = {"uniform(eps=0.5)", "lowmem-uniform(eps=0.5)"};
+    sweep.ks = ks;
+    sweep.distances = {d};
+    sweep.time_cap = 1 << 22;
+    const std::vector<scenario::CellResult> results =
+        scenario::run_sweep(sweep);
+    // Flatten order: strategy-major, then k.
+    for (std::size_t ki = 0; ki < ks.size(); ++ki) {
+      const sim::RunStats& rs_exact = results[ki].stats;
+      const sim::RunStats& rs_low = results[ks.size() + ki].stats;
+      table.add_row({fmt0(double(ks[ki])),
+                     fmt2(rs_exact.median_competitiveness),
                      fmt2(rs_low.median_competitiveness),
                      fmt2(rs_low.median_competitiveness /
                           rs_exact.median_competitiveness),
@@ -73,24 +76,26 @@ int run(int argc, char** argv) {
                        "exact median T", "lowmem median T"});
     const std::vector<double> deltas{0.3, 0.5, 0.8};
     for (const double delta : deltas) {
-      const core::HarmonicStrategy exact(delta);
-      const core::LowMemHarmonicStrategy lowmem(delta);
       const std::int64_t k = 4 * static_cast<std::int64_t>(
           std::ceil(std::pow(static_cast<double>(d), delta)));
-      sim::RunConfig config;
-      config.trials = opt.trials;
-      config.seed = rng::mix_seed(opt.seed,
-                                  static_cast<std::uint64_t>(delta * 100));
       const double budget =
           static_cast<double>(d) +
           std::pow(static_cast<double>(d), 2.0 + delta) /
               static_cast<double>(k);
-      config.time_cap = static_cast<sim::Time>(32 * budget);
-      const sim::RunStats rs_exact = sim::run_trials(
-          exact, static_cast<int>(k), d, opt.placement, config);
-      const sim::RunStats rs_low = sim::run_trials(
-          lowmem, static_cast<int>(k), d, opt.placement, config);
-      table.add_row({util::fmt_param(delta), fmt0(double(k)),
+      const std::string delta_text = util::fmt_param(delta);
+      scenario::ScenarioSpec pair_spec = spec(opt, "abl-lowmem-harmonic");
+      pair_spec.strategies = {"harmonic(delta=" + delta_text + ")",
+                              "lowmem-harmonic(delta=" + delta_text + ")"};
+      pair_spec.ks = {k};
+      pair_spec.distances = {d};
+      pair_spec.seed = rng::mix_seed(opt.seed,
+                                     static_cast<std::uint64_t>(delta * 100));
+      pair_spec.time_cap = static_cast<sim::Time>(32 * budget);
+      const std::vector<scenario::CellResult> results =
+          scenario::run_sweep(pair_spec);
+      const sim::RunStats& rs_exact = results[0].stats;
+      const sim::RunStats& rs_low = results[1].stats;
+      table.add_row({delta_text, fmt0(double(k)),
                      fmt3(rs_exact.success_rate), fmt3(rs_low.success_rate),
                      fmt0(rs_exact.time.median), fmt0(rs_low.time.median)});
     }

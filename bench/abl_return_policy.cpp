@@ -14,10 +14,10 @@
 // HURT (the schedule's per-phase hit analysis assumes trips start at the
 // source). The point of the ablation is that "return home" is not what the
 // algorithm's optimality hinges on.
+// Runs on the scenario subsystem: each (D, k) is one paired two-strategy
+// spec, so both variants face identical treasure placements.
 #include <exception>
 
-#include "baselines/ablation_variants.h"
-#include "core/known_k.h"
 #include "exp_common.h"
 
 namespace ants::bench {
@@ -45,18 +45,17 @@ int run(int argc, char** argv) {
                : std::vector<Cell>{{16, 4}, {32, 8}, {64, 16}, {128, 32}};
 
   for (const auto& [d, k] : cells) {
-    sim::RunConfig config;
-    config.trials = opt.trials;
-    config.seed = rng::mix_seed(opt.seed,
-                                static_cast<std::uint64_t>(d * 31 + k));
-    config.time_cap = 512 * (d + d * d / k);
-
-    const core::KnownKStrategy with_return(k);
-    const baselines::KnownKNoReturnStrategy no_return(k);
-    const sim::RunStats rs_with = sim::run_trials(
-        with_return, static_cast<int>(k), d, opt.placement, config);
-    const sim::RunStats rs_without = sim::run_trials(
-        no_return, static_cast<int>(k), d, opt.placement, config);
+    scenario::ScenarioSpec pair_spec = spec(opt, "abl-return-policy");
+    pair_spec.strategies = {"known-k", "known-k-no-return"};
+    pair_spec.ks = {k};
+    pair_spec.distances = {d};
+    pair_spec.seed = rng::mix_seed(opt.seed,
+                                   static_cast<std::uint64_t>(d * 31 + k));
+    pair_spec.time_cap = 512 * (d + d * d / k);
+    const std::vector<scenario::CellResult> results =
+        scenario::run_sweep(pair_spec);
+    const sim::RunStats& rs_with = results[0].stats;
+    const sim::RunStats& rs_without = results[1].stats;
 
     table.add_row({fmt0(double(d)), fmt0(double(k)),
                    fmt2(rs_with.median_competitiveness),

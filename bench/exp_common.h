@@ -3,7 +3,12 @@
 // Each experiment binary prints the table(s) EXPERIMENTS.md records for its
 // paper claim. Flags common to all: --trials, --seed, --full (bigger
 // sweeps), --csv=path (machine-readable copy of the main table),
-// --placement=axis|diagonal|ring.
+// --placement=axis|diagonal|ring|ring-fraction(f=...).
+//
+// Every harness runs its Monte-Carlo trials through the scenario subsystem
+// (scenario::run_sweep): the experiment is a declarative spec, the tables
+// are formatting on top of CellResults. `spec()` seeds a ScenarioSpec with
+// the common flags so a harness only fills in strategies and grids.
 #pragma once
 
 #include <iostream>
@@ -12,8 +17,7 @@
 #include <string>
 #include <vector>
 
-#include "sim/placement.h"
-#include "sim/runner.h"
+#include "scenario/sweep.h"
 #include "util/cli.h"
 #include "util/csv.h"
 #include "util/format.h"
@@ -26,7 +30,6 @@ struct ExpOptions {
   std::uint64_t seed = 0;
   bool full = false;
   std::string csv_path;
-  sim::Placement placement;
   std::string placement_name;
 };
 
@@ -40,8 +43,18 @@ inline ExpOptions parse_common(util::Cli& cli, std::int64_t default_trials) {
   opt.seed = static_cast<std::uint64_t>(cli.get_int("seed", 0xA27553ACULL));
   opt.csv_path = cli.get_string("csv", "");
   opt.placement_name = cli.get_string("placement", "ring");
-  opt.placement = sim::placement_by_name(opt.placement_name);
   return opt;
+}
+
+/// A ScenarioSpec pre-filled from the common flags; the harness sets
+/// strategies, grids, and (when the claim needs one) the time cap.
+inline scenario::ScenarioSpec spec(const ExpOptions& opt, std::string name) {
+  scenario::ScenarioSpec s;
+  s.name = std::move(name);
+  s.trials = opt.trials;
+  s.seed = opt.seed;
+  s.placements = {opt.placement_name};
+  return s;
 }
 
 /// Prints the table and optionally mirrors it to --csv.

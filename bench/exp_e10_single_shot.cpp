@@ -12,11 +12,13 @@
 // Table 2: time quantiles — the sweep's conditional times are fine, but its
 //          tail (p95 and the censored mean) is much heavier than A_k's:
 //          dropping the loop trades the bounded expectation away.
+//
+// Runs on the scenario subsystem: each budget multiplier c is one
+// two-strategy spec (full vs sweep variant, paired instances), with the
+// budget as the spec's time_cap.
 #include <exception>
+#include <utility>
 
-#include "core/known_k.h"
-#include "core/single_shot.h"
-#include "core/uniform.h"
 #include "exp_common.h"
 
 namespace ants::bench {
@@ -38,10 +40,10 @@ int run(int argc, char** argv) {
                          static_cast<double>(d) * static_cast<double>(d) /
                              static_cast<double>(k);
 
-  const core::KnownKStrategy full_k(k);
-  const core::SingleSweepKnownK sweep_k(k);
-  const core::UniformStrategy full_u(0.5);
-  const core::SingleSweepUniform sweep_u(0.5);
+  const std::string full_k = "known-k";
+  const std::string sweep_k = "sweep-known-k";
+  const std::string full_u = "uniform(eps=0.5)";
+  const std::string sweep_u = "sweep-uniform(eps=0.5)";
 
   // --- Table 1: success probability vs budget multiplier -------------------
   {
@@ -51,33 +53,52 @@ int run(int argc, char** argv) {
     // optimal budget, so probe it at proportionally larger multipliers.
     const std::vector<double> cs_known{4, 8, 16, 32, 64};
     const std::vector<double> cs_uniform{16, 64, 128, 256, 512};
-    const std::vector<std::pair<const sim::Strategy*, const std::vector<double>*>>
-        plan{{&full_k, &cs_known},
-             {&sweep_k, &cs_known},
-             {&full_u, &cs_uniform},
-             {&sweep_u, &cs_uniform}};
-    for (const auto& [s, cs] : plan) {
+    const std::vector<std::pair<std::vector<std::string>,
+                                const std::vector<double>*>>
+        plan{{{full_k, sweep_k}, &cs_known},
+             {{full_u, sweep_u}, &cs_uniform}};
+
+    // Row order matches the original harness: strategy-major, then c — so
+    // collect per-strategy rows first.
+    std::vector<std::pair<std::string, std::vector<std::vector<std::string>>>>
+        by_strategy;
+    for (const auto& [pair_strategies, cs] : plan) {
+      std::vector<std::vector<std::string>> rows_full, rows_sweep;
       for (const double c : *cs) {
-        sim::RunConfig config;
-        config.trials = opt.trials;
-        config.seed = rng::mix_seed(opt.seed, static_cast<std::uint64_t>(c));
-        config.time_cap = static_cast<sim::Time>(c * optimal);
-        const sim::RunStats rs = sim::run_trials(
-            *s, static_cast<int>(k), d, opt.placement, config);
-        // Mean over the found trials only (censoring-free).
-        double found_sum = 0;
-        std::int64_t found_n = 0;
-        for (const double t : rs.times) {
-          if (t < static_cast<double>(config.time_cap)) {
-            found_sum += t;
-            ++found_n;
+        scenario::ScenarioSpec budget_spec = spec(opt, "e10-budget");
+        budget_spec.strategies = pair_strategies;
+        budget_spec.ks = {k};
+        budget_spec.distances = {d};
+        budget_spec.seed =
+            rng::mix_seed(opt.seed, static_cast<std::uint64_t>(c));
+        budget_spec.time_cap = static_cast<sim::Time>(c * optimal);
+        const std::vector<scenario::CellResult> results =
+            scenario::run_sweep(budget_spec);
+        for (std::size_t si = 0; si < results.size(); ++si) {
+          const sim::RunStats& rs = results[si].stats;
+          // Mean over the found trials only (censoring-free).
+          double found_sum = 0;
+          std::int64_t found_n = 0;
+          for (const double t : rs.times) {
+            if (t < static_cast<double>(budget_spec.time_cap)) {
+              found_sum += t;
+              ++found_n;
+            }
           }
+          std::vector<std::string> row = {
+              results[si].cell.strategy_name, fmt0(c),
+              fmt3(rs.success_rate),
+              found_n > 0
+                  ? fmt0(found_sum / static_cast<double>(found_n))
+                  : "-"};
+          (si == 0 ? rows_full : rows_sweep).push_back(std::move(row));
         }
-        table.add_row({s->name(), fmt0(c), fmt3(rs.success_rate),
-                       found_n > 0 ? fmt0(found_sum /
-                                          static_cast<double>(found_n))
-                                   : "-"});
       }
+      by_strategy.emplace_back(pair_strategies[0], std::move(rows_full));
+      by_strategy.emplace_back(pair_strategies[1], std::move(rows_sweep));
+    }
+    for (const auto& [name, rows] : by_strategy) {
+      for (const auto& row : rows) table.add_row(row);
     }
     emit(table, opt);
     std::cout << "\nreading: the sweeps reach constant success probability "
@@ -94,18 +115,17 @@ int run(int argc, char** argv) {
   {
     util::Table table({"strategy", "median T", "q75 T", "q95 T",
                        "censored mean", "success rate"});
-    for (const sim::Strategy* s :
-         {static_cast<const sim::Strategy*>(&full_k),
-          static_cast<const sim::Strategy*>(&sweep_k)}) {
-      sim::RunConfig config;
-      config.trials = opt.trials;
-      config.seed = rng::mix_seed(opt.seed, 0x7A11);
-      config.time_cap = static_cast<sim::Time>(512 * optimal);
-      const sim::RunStats rs =
-          sim::run_trials(*s, static_cast<int>(k), d, opt.placement, config);
-      table.add_row({s->name(), fmt0(rs.time.median), fmt0(rs.time.q75),
-                     fmt0(rs.time.q95), fmt0(rs.time.mean),
-                     fmt3(rs.success_rate)});
+    scenario::ScenarioSpec tail_spec = spec(opt, "e10-tails");
+    tail_spec.strategies = {full_k, sweep_k};
+    tail_spec.ks = {k};
+    tail_spec.distances = {d};
+    tail_spec.seed = rng::mix_seed(opt.seed, 0x7A11);
+    tail_spec.time_cap = static_cast<sim::Time>(512 * optimal);
+    for (const scenario::CellResult& r : scenario::run_sweep(tail_spec)) {
+      const sim::RunStats& rs = r.stats;
+      table.add_row({r.cell.strategy_name, fmt0(rs.time.median),
+                     fmt0(rs.time.q75), fmt0(rs.time.q95),
+                     fmt0(rs.time.mean), fmt3(rs.success_rate)});
     }
     emit(table, opt);
     std::cout << "\nreading: the sweep's median is BETTER (it reaches the "

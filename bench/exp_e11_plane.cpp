@@ -10,41 +10,19 @@
 // Table: known-k and harmonic, D x k sweep — the plane/grid mean-time ratio
 // must stay inside a fixed constant band across the sweep (no drift with D
 // or k), which is exactly what "reduction up to constants" means.
+//
+// Runs on the scenario subsystem: each (D, k) is ONE two-strategy spec
+// pairing the grid strategy with its plane-level registry twin
+// (plane-known-k / plane-harmonic), so both substrates face the same trial
+// seeds and the ratio column is a paired comparison.
 #include <cmath>
+#include <cstdio>
 #include <exception>
 
-#include "core/harmonic.h"
-#include "core/known_k.h"
 #include "exp_common.h"
-#include "plane/engine.h"
-#include "plane/strategies.h"
 
 namespace ants::bench {
 namespace {
-
-struct PlaneStats {
-  double mean = 0;
-  double success = 0;
-};
-
-PlaneStats run_plane(const plane::PlaneStrategy& strategy, int k, double d,
-                     std::int64_t trials, std::uint64_t seed, double cap) {
-  double sum = 0;
-  int found = 0;
-  for (std::int64_t t = 0; t < trials; ++t) {
-    const rng::Rng trial(rng::mix_seed(seed, static_cast<std::uint64_t>(t)));
-    rng::Rng placement = trial.child(0xFACADE);
-    const plane::Vec2 treasure = plane::unit(placement.angle()) * d;
-    plane::PlaneEngineConfig config;
-    config.time_cap = cap;
-    const auto r = plane::run_plane_search(strategy, k, treasure, trial,
-                                           config);
-    sum += r.time;
-    found += r.found;
-  }
-  return {sum / static_cast<double>(trials),
-          static_cast<double>(found) / static_cast<double>(trials)};
-}
 
 int run(int argc, char** argv) {
   util::Cli cli(argc, argv);
@@ -63,57 +41,59 @@ int run(int argc, char** argv) {
                : std::vector<std::int64_t>{16, 32, 64};
   const std::vector<std::int64_t> ks{4, 32};
 
+  // One paired (grid, plane) spec per cell; the cap follows the cell's own
+  // optimum, so it is per-spec.
+  const auto run_pair = [&](const std::string& grid_strategy,
+                            const std::string& plane_strategy,
+                            std::int64_t d, std::int64_t k, double cap,
+                            std::uint64_t seed) {
+    scenario::ScenarioSpec pair_spec = spec(opt, "e11-plane");
+    pair_spec.strategies = {grid_strategy, plane_strategy};
+    pair_spec.ks = {k};
+    pair_spec.distances = {d};
+    pair_spec.seed = seed;
+    pair_spec.time_cap = static_cast<sim::Time>(cap);
+    return scenario::run_sweep(pair_spec);
+  };
+
   for (const std::int64_t d : ds) {
     for (const std::int64_t k : ks) {
-      sim::RunConfig config;
-      config.trials = opt.trials;
-      config.seed = rng::mix_seed(
-          opt.seed, static_cast<std::uint64_t>(d * 1000 + k));
       const double dd = static_cast<double>(d);
       const double cap = 256 * (dd + dd * dd / static_cast<double>(k));
-      config.time_cap = static_cast<sim::Time>(cap);
-
-      const core::KnownKStrategy grid_strategy(k);
-      const sim::RunStats grid = sim::run_trials(
-          grid_strategy, static_cast<int>(k), d, opt.placement, config);
-
-      const plane::PlaneKnownKStrategy plane_strategy(k);
-      const PlaneStats pl = run_plane(plane_strategy, static_cast<int>(k),
-                                      dd, opt.trials, config.seed, cap);
+      const auto results = run_pair(
+          "known-k", "plane-known-k", d, k, cap,
+          rng::mix_seed(opt.seed, static_cast<std::uint64_t>(d * 1000 + k)));
+      const sim::RunStats& grid = results[0].stats;
+      const sim::RunStats& pl = results[1].stats;
 
       table.add_row({"known-k", fmt0(dd), fmt0(double(k)),
-                     fmt0(grid.time.mean), fmt0(pl.mean),
-                     fmt2(pl.mean / grid.time.mean), fmt3(grid.success_rate),
-                     fmt3(pl.success)});
+                     fmt0(grid.time.mean), fmt0(pl.time.mean),
+                     fmt2(pl.time.mean / grid.time.mean),
+                     fmt3(grid.success_rate), fmt3(pl.success_rate)});
     }
   }
 
   // Harmonic at fixed delta on both substrates.
   const double delta = 0.5;
+  const std::string delta_text = util::fmt_exact(delta);
   for (const std::int64_t d : ds) {
     const auto k = static_cast<std::int64_t>(
         8 * std::ceil(std::pow(static_cast<double>(d), delta)));
-    sim::RunConfig config;
-    config.trials = opt.trials;
-    config.seed = rng::mix_seed(opt.seed,
-                                static_cast<std::uint64_t>(d * 7 + 1));
     const double dd = static_cast<double>(d);
     const double cap =
         64 * (dd + std::pow(dd, 2.0 + delta) / static_cast<double>(k));
-    config.time_cap = static_cast<sim::Time>(cap);
+    const auto results = run_pair(
+        "harmonic(delta=" + delta_text + ")",
+        "plane-harmonic(delta=" + delta_text + ")", d, k, cap,
+        rng::mix_seed(opt.seed, static_cast<std::uint64_t>(d * 7 + 1)));
+    const sim::RunStats& grid = results[0].stats;
+    const sim::RunStats& pl = results[1].stats;
 
-    const core::HarmonicStrategy grid_strategy(delta);
-    const sim::RunStats grid = sim::run_trials(
-        grid_strategy, static_cast<int>(k), d, opt.placement, config);
-
-    const plane::PlaneHarmonicStrategy plane_strategy(delta);
-    const PlaneStats pl = run_plane(plane_strategy, static_cast<int>(k), dd,
-                                    opt.trials, config.seed, cap);
-
-    table.add_row({"harmonic(0.5)", fmt0(dd), fmt0(double(k)),
-                   fmt0(grid.time.mean), fmt0(pl.mean),
-                   fmt2(pl.mean / grid.time.mean), fmt3(grid.success_rate),
-                   fmt3(pl.success)});
+    table.add_row({"harmonic(" + fmt1(delta) + ")", fmt0(dd),
+                   fmt0(double(k)),
+                   fmt0(grid.time.mean), fmt0(pl.time.mean),
+                   fmt2(pl.time.mean / grid.time.mean),
+                   fmt3(grid.success_rate), fmt3(pl.success_rate)});
   }
 
   emit(table, opt);

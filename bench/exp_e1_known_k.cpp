@@ -46,7 +46,7 @@ int run(int argc, char** argv) {
   spec.distances = ds;
   spec.trials = opt.trials;
   spec.seed = opt.seed;
-  spec.placement = opt.placement_name;
+  spec.placements = {opt.placement_name};
   const std::vector<scenario::CellResult> results = scenario::run_sweep(spec);
   // Cell (ki, di) of the single-strategy sweep.
   const auto cell = [&](std::size_t ki, std::size_t di) -> const sim::RunStats& {
@@ -101,7 +101,7 @@ int run(int argc, char** argv) {
   floor_spec.distances = {ds.back() / 2};
   floor_spec.trials = opt.trials;
   floor_spec.seed = opt.seed;
-  floor_spec.placement = opt.placement_name;
+  floor_spec.placements = {opt.placement_name};
   const sim::RunStats floor_rs = scenario::run_sweep(floor_spec)[0].stats;
   std::cout << "\nlower-bound floor check (sector sweep, full coordination): "
             << "phi = " << fmt2(floor_rs.mean_competitiveness)

@@ -8,10 +8,13 @@
 // across a k sweep at fixed D. Expect each rho-row's phi to be flat in k
 // (still O(1)-competitive) and the penalty ratio phi(rho)/phi(1) to grow no
 // faster than ~rho^2.
+//
+// Runs on the scenario subsystem: ONE spec lists known-k plus every
+// approx-k(rho) variant, so all (rho, k) cells share paired instances (cell
+// seeds are strategy-independent) and the penalty column compares each rho
+// against the exact-knowledge run on the very same treasures.
 #include <exception>
 
-#include "core/approx_k.h"
-#include "core/known_k.h"
 #include "exp_common.h"
 
 namespace ants::bench {
@@ -31,37 +34,36 @@ int run(int argc, char** argv) {
                : std::vector<std::int64_t>{4, 16, 64, 256};
   const std::vector<double> rhos{1.0, 2.0, 4.0, 8.0};
 
+  // Strategy 0 is the exact-knowledge baseline; strategy 1+i is rho[1+i].
+  // rho = 1 degenerates to exact knowledge, so it reuses strategy 0's rows.
+  scenario::ScenarioSpec sweep = spec(opt, "e2-approx-k");
+  sweep.strategies = {"known-k"};
+  for (std::size_t ri = 1; ri < rhos.size(); ++ri) {
+    sweep.strategies.push_back("approx-k(rho=" + fmt0(rhos[ri]) +
+                               ", mode=under)");
+  }
+  sweep.ks = ks;
+  sweep.distances = {d};
+  const std::vector<scenario::CellResult> results =
+      scenario::run_sweep(sweep);
+  // Flatten order: strategy-major, then k (single distance, single
+  // placement).
+  const auto phi = [&](std::size_t si, std::size_t ki) {
+    return results[si * ks.size() + ki].stats.mean_competitiveness;
+  };
+  const auto mean_t = [&](std::size_t si, std::size_t ki) {
+    return results[si * ks.size() + ki].stats.time.mean;
+  };
+
   util::Table table({"rho", "k", "mean T", "phi", "penalty vs rho=1",
                      "rho^2 bound"});
-
-  for (const double rho : rhos) {
-    double phi_rho1_at_k = 0;
-    for (const std::int64_t k : ks) {
-      sim::RunConfig config;
-      config.trials = opt.trials;
-      config.seed = rng::mix_seed(
-          opt.seed, static_cast<std::uint64_t>(k * 1000 + rho * 10));
-
-      // rho = 1 degenerates to exact knowledge.
-      std::unique_ptr<sim::Strategy> strategy;
-      if (rho == 1.0) {
-        strategy = std::make_unique<core::KnownKStrategy>(k);
-      } else {
-        strategy = std::make_unique<core::ApproxKStrategy>(
-            k, rho, core::ApproxMode::kUnder);
-      }
-      const sim::RunStats rs = sim::run_trials(
-          *strategy, static_cast<int>(k), d, opt.placement, config);
-
-      // Compare against the exact-knowledge run with the SAME seed.
-      const core::KnownKStrategy exact(k);
-      const sim::RunStats rs_exact = sim::run_trials(
-          exact, static_cast<int>(k), d, opt.placement, config);
-      phi_rho1_at_k = rs_exact.mean_competitiveness;
-
-      table.add_row({fmt0(rho), fmt0(double(k)), fmt0(rs.time.mean),
-                     fmt2(rs.mean_competitiveness),
-                     fmt2(rs.mean_competitiveness / phi_rho1_at_k),
+  for (std::size_t ri = 0; ri < rhos.size(); ++ri) {
+    const double rho = rhos[ri];
+    // Strategy index ri: index 0 (known-k) doubles as the rho=1 row.
+    const std::size_t si = ri;
+    for (std::size_t ki = 0; ki < ks.size(); ++ki) {
+      table.add_row({fmt0(rho), fmt0(double(ks[ki])), fmt0(mean_t(si, ki)),
+                     fmt2(phi(si, ki)), fmt2(phi(si, ki) / phi(0, ki)),
                      fmt0(rho * rho)});
     }
   }

@@ -41,17 +41,15 @@ int run(int argc, char** argv) {
   scenario::ScenarioSpec spec;
   spec.name = "e3-uniform";
   for (const double eps : epss) {
-    // %.17g round-trips the double exactly, so the strategy runs with the
-    // same eps the normalization/fit columns use (%g would truncate).
-    char eps_text[32];
-    std::snprintf(eps_text, sizeof(eps_text), "%.17g", eps);
-    spec.strategies.push_back("uniform(eps=" + std::string(eps_text) + ")");
+    // Exact round-trip, so the strategy runs with the same eps the
+    // normalization/fit columns use (%g would truncate).
+    spec.strategies.push_back("uniform(eps=" + util::fmt_exact(eps) + ")");
   }
   spec.ks = ks;
   spec.distances = {d};
   spec.trials = opt.trials;
   spec.seed = opt.seed;
-  spec.placement = opt.placement_name;
+  spec.placements = {opt.placement_name};
   const std::vector<scenario::CellResult> results = scenario::run_sweep(spec);
   // Cell (ei, ki) of the single-distance sweep.
   const auto cell = [&](std::size_t ei, std::size_t ki) -> const sim::RunStats& {

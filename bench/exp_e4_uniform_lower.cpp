@@ -26,13 +26,13 @@
 //     crossing horizon T* where a log-competitive algorithm would violate
 //     its own budget.
 #include <cmath>
+#include <cstdio>
 #include <exception>
 
 #include "core/competitive.h"
 #include "core/uniform.h"
 #include "exp_common.h"
 #include "sim/metrics.h"
-#include "sim/runner.h"
 #include "sim/visitation.h"
 
 namespace ants::bench {
@@ -51,16 +51,18 @@ int run(int argc, char** argv) {
          "overruns the 2T visit budget unless phi outgrows log k");
 
   // --- calibrate phi(k) = C * log2(k)^(1+eps) for this algorithm --------
+  // One-cell scenario through the sweep engine (same path as E1/E3/E7).
   const core::UniformStrategy strategy(eps);
   double c0 = 0;
   {
     const std::int64_t d_cal = 32;
     const std::int64_t k_cal = 64;
-    sim::RunConfig config;
-    config.trials = std::max<std::int64_t>(opt.trials / 2, 30);
-    config.seed = rng::mix_seed(opt.seed, 1);
-    const auto rs = sim::run_trials(strategy, static_cast<int>(k_cal), d_cal,
-                                    opt.placement, config);
+    scenario::ScenarioSpec cal = spec(opt, "e4-calibration");
+    cal.strategies = {"uniform(eps=" + util::fmt_exact(eps) + ")"};
+    cal.ks = {k_cal};
+    cal.distances = {d_cal};
+    cal.trials = std::max<std::int64_t>(opt.trials / 2, 30);
+    const auto rs = scenario::run_sweep(cal)[0].stats;
     c0 = rs.mean_competitiveness /
          std::pow(std::log2(static_cast<double>(k_cal)), 1.0 + eps);
   }

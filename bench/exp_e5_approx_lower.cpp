@@ -21,10 +21,9 @@
 // bracket Theorem 4.2: no algorithm beats Omega(eps log k), and hedging
 // achieves that order.
 #include <cmath>
+#include <cstdio>
 #include <exception>
 
-#include "core/hedged.h"
-#include "core/known_k.h"
 #include "exp_common.h"
 #include "sim/metrics.h"
 
@@ -55,21 +54,25 @@ int run(int argc, char** argv) {
           1.0, std::pow(static_cast<double>(kt), 1.0 - eps)));
       const std::int64_t d = 4 * kt;  // theorem regime: k <= D
 
-      sim::RunConfig config;
-      config.trials = opt.trials;
-      config.seed = rng::mix_seed(
+      // Both algorithms in one two-strategy scenario: paired instances via
+      // the strategy-independent cell seed. The naive row is A_{k~} run
+      // blind (k_belief pinned at the estimate, not the true k).
+      scenario::ScenarioSpec cell = spec(opt, "e5-approx-lower");
+      cell.strategies = {
+          "known-k(k_belief=" + std::to_string(kt) + ")",
+          "hedged(k_estimate=" + std::to_string(kt) +
+              ", eps=" + util::fmt_exact(eps) + ")"};
+      cell.ks = {true_k};
+      cell.distances = {d};
+      cell.seed = rng::mix_seed(
           opt.seed, static_cast<std::uint64_t>(kt * 100 + eps * 17));
       // Cap far above anything the hedged strategy needs, so only the naive
       // schedule's pathological trials censor (reported via medians anyway).
-      config.time_cap = sim::Time{1} << 36;
-
-      const core::KnownKStrategy naive(kt);  // trusts the estimate blindly
-      const sim::RunStats rs_naive = sim::run_trials(
-          naive, static_cast<int>(true_k), d, opt.placement, config);
-
-      const core::HedgedApproxStrategy hedged(static_cast<double>(kt), eps);
-      const sim::RunStats rs_hedged = sim::run_trials(
-          hedged, static_cast<int>(true_k), d, opt.placement, config);
+      cell.time_cap = sim::Time{1} << 36;
+      const std::vector<scenario::CellResult> results =
+          scenario::run_sweep(cell);
+      const sim::RunStats& rs_naive = results[0].stats;
+      const sim::RunStats& rs_hedged = results[1].stats;
 
       const double target =
           std::max(1.0, eps * std::log2(static_cast<double>(kt)));

@@ -13,9 +13,9 @@
 //       meaningless: single-trip costs are heavy-tailed with infinite
 //       expectation, see DESIGN.md 3.4).
 #include <cmath>
+#include <cstdio>
 #include <exception>
 
-#include "core/harmonic.h"
 #include "exp_common.h"
 #include "sim/metrics.h"
 
@@ -39,7 +39,7 @@ int run(int argc, char** argv) {
                      "median T", "q95 T"});
 
   for (const double delta : deltas) {
-    const core::HarmonicStrategy strategy(delta);
+    const std::string delta_text = util::fmt_exact(delta);
     const double d_delta = std::pow(static_cast<double>(d), delta);
     for (double mult = 0.25; mult <= 16.0; mult *= 4.0) {
       const int k = std::max(1, static_cast<int>(mult * d_delta));
@@ -47,13 +47,16 @@ int run(int argc, char** argv) {
           budget_factor *
           (static_cast<double>(d) +
            std::pow(static_cast<double>(d), 2.0 + delta) / k);
-      sim::RunConfig config;
-      config.trials = opt.trials;
-      config.seed = rng::mix_seed(
+      // One cell per (delta, mult): the theorem ties the censoring budget
+      // to the cell's own (k, D), so the cap is per-spec.
+      scenario::ScenarioSpec cell = spec(opt, "e6-harmonic");
+      cell.strategies = {"harmonic(delta=" + delta_text + ")"};
+      cell.ks = {k};
+      cell.distances = {d};
+      cell.seed = rng::mix_seed(
           opt.seed, static_cast<std::uint64_t>(k * 37 + delta * 1001));
-      config.time_cap = static_cast<sim::Time>(budget);
-      const sim::RunStats rs =
-          sim::run_trials(strategy, k, d, opt.placement, config);
+      cell.time_cap = static_cast<sim::Time>(budget);
+      const sim::RunStats rs = scenario::run_sweep(cell)[0].stats;
       table.add_row({fmt2(delta), fmt0(double(k)), fmt2(mult),
                      fmt0(budget), fmt2(rs.success_rate),
                      fmt0(rs.time.median), fmt0(rs.time.q95)});

@@ -55,7 +55,7 @@ int run(int argc, char** argv) {
   spec.distances = ds;
   spec.trials = opt.trials;
   spec.seed = opt.seed;
-  spec.placement = opt.placement_name;
+  spec.placements = {opt.placement_name};
   spec.time_cap = walk_cap;  // same cap for fairness
 
   util::Table table({"strategy", "D", "success", "median T", "mean T",

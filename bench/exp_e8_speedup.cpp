@@ -11,23 +11,17 @@
 //   sector sweep   ~k (coordination reference);
 //   spiral         exactly 1 — identical deterministic agents cannot share
 //                  work, the paper's case for randomization.
+//
+// Runs on the scenario subsystem: one five-strategy spec per k (known-k is
+// re-tuned per k, as the paper's non-uniform model prescribes), with paired
+// instances across strategies at every k.
 #include <exception>
 
-#include "baselines/sector_sweep.h"
-#include "baselines/spiral_single.h"
-#include "core/harmonic.h"
-#include "core/known_k.h"
-#include "core/uniform.h"
 #include "exp_common.h"
 #include "sim/metrics.h"
 
 namespace ants::bench {
 namespace {
-
-struct Curve {
-  std::string label;
-  std::vector<double> value;  // per k, the measured time statistic
-};
 
 int run(int argc, char** argv) {
   util::Cli cli(argc, argv);
@@ -47,34 +41,26 @@ int run(int argc, char** argv) {
                      "sector-sweep", "spiral", "ideal k"});
 
   // Median-based speed-ups: robust to the harmonic algorithm's heavy tail.
-  const core::UniformStrategy uniform(0.5);
-  const core::HarmonicStrategy harmonic(0.5);
-  const baselines::SectorSweepStrategy sweep;
-  const baselines::SpiralSingleStrategy spiral;
-
   std::vector<double> base(5, 0.0);
   for (const std::int64_t k : ks) {
-    sim::RunConfig config;
-    config.trials = opt.trials;
-    config.seed = rng::mix_seed(opt.seed, static_cast<std::uint64_t>(k));
-    config.time_cap = sim::Time{1} << 40;
+    scenario::ScenarioSpec sweep = spec(opt, "e8-speedup");
+    sweep.strategies = {"known-k", "uniform(eps=0.5)", "harmonic(delta=0.5)",
+                        "sector-sweep", "spiral"};
+    sweep.ks = {k};
+    sweep.distances = {d};
+    sweep.seed = rng::mix_seed(opt.seed, static_cast<std::uint64_t>(k));
+    sweep.time_cap = sim::Time{1} << 40;
+    const std::vector<scenario::CellResult> results =
+        scenario::run_sweep(sweep);
 
-    const core::KnownKStrategy known(k);  // re-tuned per k, as the paper's
-                                          // non-uniform model prescribes
-    const auto run_one = [&](const sim::Strategy& s) {
-      return sim::run_trials(s, static_cast<int>(k), d, opt.placement, config)
-          .time.median;
-    };
-    const double t_known = run_one(known);
-    const double t_uniform = run_one(uniform);
-    const double t_harmonic = run_one(harmonic);
-    const double t_sweep = run_one(sweep);
-    const double t_spiral = run_one(spiral);
-
-    if (k == 1) base = {t_known, t_uniform, t_harmonic, t_sweep, t_spiral};
-    table.add_row({fmt0(double(k)), fmt2(base[0] / t_known),
-                   fmt2(base[1] / t_uniform), fmt2(base[2] / t_harmonic),
-                   fmt2(base[3] / t_sweep), fmt2(base[4] / t_spiral),
+    std::vector<double> medians(results.size());
+    for (std::size_t si = 0; si < results.size(); ++si) {
+      medians[si] = results[si].stats.time.median;
+    }
+    if (k == 1) base = medians;
+    table.add_row({fmt0(double(k)), fmt2(base[0] / medians[0]),
+                   fmt2(base[1] / medians[1]), fmt2(base[2] / medians[2]),
+                   fmt2(base[3] / medians[3]), fmt2(base[4] / medians[4]),
                    fmt0(double(k))});
   }
   emit(table, opt);

@@ -15,14 +15,17 @@
 //          T-from-last-start stays within a constant of the synchronous run.
 // Table 2: DoA crash rate sweep — phi computed against the survivor count
 //          stays flat while phi against nominal k inflates like 1/(1-p).
+//
+// Runs on the scenario subsystem: each schedule/crash variant is the SAME
+// declarative spec with a different `schedule=` / `crash=` field, and the
+// sweep engine surfaces from-last-start times and crash counts as cell
+// aggregates. Specs at the same k share their master seed, so every
+// schedule faces identical treasure placements.
 #include <exception>
-#include <memory>
+#include <string>
 
-#include "core/harmonic.h"
-#include "core/known_k.h"
-#include "core/uniform.h"
 #include "exp_common.h"
-#include "sim/async_engine.h"
+#include "util/format.h"
 
 namespace ants::bench {
 namespace {
@@ -41,43 +44,49 @@ int run(int argc, char** argv) {
       opt.full ? std::vector<std::int64_t>{8, 32, 128, 512}
                : std::vector<std::int64_t>{8, 32, 128};
 
+  // One-cell known-k scenario at (k, d) under the given schedule/crash.
+  const auto run_cell = [&](std::int64_t k, const std::string& schedule,
+                            const std::string& crash, sim::Time time_cap,
+                            std::uint64_t seed) {
+    scenario::ScenarioSpec cell = spec(opt, "e9-async-crash");
+    cell.strategies = {"known-k"};
+    cell.ks = {k};
+    cell.distances = {d};
+    cell.schedule = schedule;
+    cell.crash = crash;
+    cell.time_cap = time_cap;
+    cell.seed = seed;
+    return scenario::run_sweep(cell)[0];
+  };
+
   // --- Table 1: start schedules --------------------------------------------
   {
     util::Table table({"schedule", "k", "last start", "mean T (abs)",
                        "mean T from last", "sync mean T", "ratio"});
-    const core::KnownKStrategy* dummy = nullptr;
-    (void)dummy;
     for (const std::int64_t k : ks) {
-      sim::RunConfig config;
-      config.trials = opt.trials;
-      config.seed = rng::mix_seed(opt.seed, static_cast<std::uint64_t>(k));
+      const std::uint64_t seed =
+          rng::mix_seed(opt.seed, static_cast<std::uint64_t>(k));
 
-      const core::KnownKStrategy strategy(k);
-      const sim::SyncStart sync;
-      const sim::NoCrash immortal;
-      const sim::AsyncRunStats sync_rs = sim::run_async_trials(
-          strategy, static_cast<int>(k), d, opt.placement, sync, immortal,
-          config);
+      // Under sync starts the last start is t = 0, so T-from-last-start IS
+      // the absolute T (and the cell runs the plain engine, whose times the
+      // async path reproduces exactly — the conformance tests' contract).
+      const scenario::CellResult sync_rs = run_cell(k, "sync", "none", 0,
+                                                    seed);
+      const std::vector<std::string> schedules = {
+          "staggered(gap=4)",
+          "uniform-start(max=" + std::to_string(4 * d) + ")"};
 
-      const std::vector<std::unique_ptr<sim::StartSchedule>> schedules = [&] {
-        std::vector<std::unique_ptr<sim::StartSchedule>> v;
-        v.push_back(std::make_unique<sim::StaggeredStart>(4));
-        v.push_back(std::make_unique<sim::UniformRandomStart>(4 * d));
-        return v;
-      }();
-
-      table.add_row({"sync", fmt0(double(k)), "0", fmt0(sync_rs.base.time.mean),
-                     fmt0(sync_rs.from_last_start.mean),
-                     fmt0(sync_rs.base.time.mean), "1.00"});
-      for (const auto& sched : schedules) {
-        const sim::AsyncRunStats rs = sim::run_async_trials(
-            strategy, static_cast<int>(k), d, opt.placement, *sched, immortal,
-            config);
+      table.add_row({"sync", fmt0(double(k)), "0",
+                     fmt0(sync_rs.stats.time.mean),
+                     fmt0(sync_rs.stats.time.mean),
+                     fmt0(sync_rs.stats.time.mean), "1.00"});
+      for (const std::string& sched : schedules) {
+        const scenario::CellResult rs = run_cell(k, sched, "none", 0, seed);
         table.add_row(
-            {sched->name(), fmt0(double(k)), fmt0(rs.mean_last_start),
-             fmt0(rs.base.time.mean), fmt0(rs.from_last_start.mean),
-             fmt0(sync_rs.base.time.mean),
-             fmt2(rs.from_last_start.mean / sync_rs.base.time.mean)});
+            {sched, fmt0(double(k)), fmt0(rs.mean_last_start),
+             fmt0(rs.stats.time.mean), fmt0(rs.from_last_start.mean),
+             fmt0(sync_rs.stats.time.mean),
+             fmt2(rs.from_last_start.mean / sync_rs.stats.time.mean)});
       }
     }
     emit(table, opt);
@@ -95,31 +104,24 @@ int run(int argc, char** argv) {
     const std::vector<double> ps{0.0, 0.25, 0.5, 0.75};
     for (const std::int64_t k : ks) {
       for (const double p : ps) {
-        sim::RunConfig config;
-        config.trials = opt.trials;
-        config.seed = rng::mix_seed(
+        const std::uint64_t seed = rng::mix_seed(
             opt.seed, static_cast<std::uint64_t>(k * 100 + p * 10 + 1));
         // Cap: DoA can kill everyone at small k; censor those trials.
-        config.time_cap = 64 * (d + d * d);
+        const sim::Time cap = 64 * (d + d * d);
+        const scenario::CellResult rs =
+            run_cell(k, "sync", "doa(p=" + util::fmt_param(p) + ")", cap,
+                     seed);
 
-        const core::KnownKStrategy strategy(k);
-        const sim::SyncStart sync;
-        const sim::DoaCrash doa(p);
-        const sim::AsyncRunStats rs = sim::run_async_trials(
-            strategy, static_cast<int>(k), d, opt.placement, sync, doa,
-            config);
-
-        const double survivors =
-            static_cast<double>(k) - rs.mean_crashed;
+        const double survivors = static_cast<double>(k) - rs.mean_crashed;
         const double dd = static_cast<double>(d);
         const double phi_nominal =
-            rs.base.time.mean / (dd + dd * dd / static_cast<double>(k));
+            rs.stats.time.mean / (dd + dd * dd / static_cast<double>(k));
         const double phi_survivors =
             survivors >= 1
-                ? rs.base.time.mean / (dd + dd * dd / survivors)
+                ? rs.stats.time.mean / (dd + dd * dd / survivors)
                 : 0.0;
-        table.add_row({strategy.name(), fmt0(double(k)), fmt2(p),
-                       fmt1(survivors), fmt0(rs.base.time.mean),
+        table.add_row({rs.cell.strategy_name, fmt0(double(k)), fmt2(p),
+                       fmt1(survivors), fmt0(rs.stats.time.mean),
                        fmt2(phi_nominal), fmt2(phi_survivors)});
       }
     }

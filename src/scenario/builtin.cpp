@@ -18,6 +18,7 @@
 #include "core/lowmem.h"
 #include "core/single_shot.h"
 #include "core/uniform.h"
+#include "plane/strategies.h"
 #include "scenario/registry.h"
 
 #include <stdexcept>
@@ -35,6 +36,12 @@ BuiltStrategy segment(std::unique_ptr<sim::Strategy> s) {
 BuiltStrategy step(std::unique_ptr<sim::StepStrategy> s) {
   BuiltStrategy b;
   b.step = std::move(s);
+  return b;
+}
+
+BuiltStrategy plane_built(std::unique_ptr<plane::PlaneStrategy> s) {
+  BuiltStrategy b;
+  b.plane = std::move(s);
   return b;
 }
 
@@ -164,6 +171,30 @@ void register_builtin_strategies(Registry& r) {
          [](const Params& p, const BuildContext&) {
            return step(std::make_unique<baselines::BiasedWalkStrategy>(
                p.get_double("bias"), p.get_double("persistence")));
+         }});
+
+  // --- continuous-plane ports (src/plane, experiment E11) ---
+  r.add({"plane-known-k",
+         "A_k on the continuous plane (unit speed, sight radius 1); needs a "
+         "finite time cap",
+         {{"k_belief", ParamType::kInt, "$k", "agent count each agent assumes"}},
+         [](const Params& p, const BuildContext&) {
+           return plane_built(std::make_unique<plane::PlaneKnownKStrategy>(
+               p.get_int("k_belief")));
+         }});
+  r.add({"plane-uniform",
+         "Algorithm 1 on the continuous plane; needs a finite time cap",
+         {{"eps", ParamType::kDouble, "0.5", "schedule exponent, eps >= 0"}},
+         [](const Params& p, const BuildContext&) {
+           return plane_built(std::make_unique<plane::PlaneUniformStrategy>(
+               p.get_double("eps")));
+         }});
+  r.add({"plane-harmonic",
+         "Algorithm 2 on the continuous plane; needs a finite time cap",
+         {{"delta", ParamType::kDouble, "0.5", "tail exponent, delta > 0"}},
+         [](const Params& p, const BuildContext&) {
+           return plane_built(std::make_unique<plane::PlaneHarmonicStrategy>(
+               p.get_double("delta")));
          }});
 
   // --- ablation variants ---

@@ -1,0 +1,215 @@
+#include "scenario/environment.h"
+
+#include <cmath>
+
+#include "scenario/text.h"
+
+namespace ants::scenario {
+
+namespace {
+
+using detail::bad;
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Validates `spec` against `entries` (axis registry), fills defaults, and
+/// returns the declared parameter values in declaration order. Shared
+/// front-end of every factory and canonicalizer below.
+struct ResolvedEnv {
+  const EnvEntry* entry = nullptr;
+  std::vector<std::string> values;  ///< parallels entry->params
+};
+
+ResolvedEnv resolve(const char* axis, const std::vector<EnvEntry>& entries,
+                    const StrategySpec& spec) {
+  ResolvedEnv out;
+  for (const EnvEntry& entry : entries) {
+    if (entry.name == spec.name) {
+      out.entry = &entry;
+      break;
+    }
+  }
+  if (out.entry == nullptr) {
+    std::string known;
+    for (const EnvEntry& entry : entries) {
+      if (!known.empty()) known += ", ";
+      known += entry.name;
+    }
+    bad(std::string("unknown ") + axis + " '" + spec.name +
+        "' (known: " + known + ")");
+  }
+  for (const auto& [key, value] : spec.params) {
+    bool declared = false;
+    for (const ParamSpec& ps : out.entry->params) declared |= ps.name == key;
+    if (!declared) {
+      bad(std::string(axis) + " '" + spec.name + "' has no parameter '" +
+          key + "'");
+    }
+  }
+  for (const ParamSpec& ps : out.entry->params) {
+    const auto given = spec.params.find(ps.name);
+    const std::string value =
+        given != spec.params.end() ? given->second : ps.default_value;
+    // Type-check now so errors surface at validation time, not mid-sweep.
+    const std::string context =
+        std::string(axis) + " '" + spec.name + "' parameter '" + ps.name + "'";
+    switch (ps.type) {
+      case ParamType::kInt:
+        detail::parse_int64(context, value);
+        break;
+      case ParamType::kDouble:
+        detail::parse_double(context, value);
+        break;
+      case ParamType::kBool:
+      case ParamType::kString:
+        break;
+    }
+    out.values.push_back(value);
+  }
+  return out;
+}
+
+ResolvedEnv resolve(const char* axis, const std::vector<EnvEntry>& entries,
+                    const std::string& text) {
+  return resolve(axis, entries, parse_strategy_spec(text));
+}
+
+std::string canonical(const char* axis, const std::vector<EnvEntry>& entries,
+                      const std::string& text) {
+  const StrategySpec spec = parse_strategy_spec(text);
+  (void)resolve(axis, entries, spec);  // validate; construction checks ranges
+  return spec.canonical();
+}
+
+double as_double(const ResolvedEnv& env, std::size_t i) {
+  return detail::parse_double(env.entry->params[i].name, env.values[i]);
+}
+
+std::int64_t as_int(const ResolvedEnv& env, std::size_t i) {
+  return detail::parse_int64(env.entry->params[i].name, env.values[i]);
+}
+
+}  // namespace
+
+const std::vector<EnvEntry>& placement_entries() {
+  static const std::vector<EnvEntry> entries = {
+      {"ring",
+       "treasure drawn uniformly from the L1 ring of radius D each trial",
+       {}},
+      {"axis", "treasure pinned on the +x axis: (D, 0)", {}},
+      {"diagonal", "treasure pinned on the diagonal: (ceil(D/2), floor(D/2))",
+       {}},
+      {"ring-fraction",
+       "treasure pinned at fraction f around the ring (f=0 is (D,0), "
+       "f=0.25 is (0,D))",
+       {{"f", ParamType::kDouble, "0", "ring fraction, in [0, 1)"}}},
+  };
+  return entries;
+}
+
+const std::vector<EnvEntry>& schedule_entries() {
+  static const std::vector<EnvEntry> entries = {
+      {"sync", "everybody starts at t = 0 (the paper's base model)", {}},
+      {"staggered",
+       "agent a starts at a*gap: the adversarial drip release",
+       {{"gap", ParamType::kInt, "1", "delay between consecutive starts, "
+                                      ">= 0"}}},
+      {"uniform-start",
+       "each agent independently starts at Uniform{0, ..., max}",
+       {{"max", ParamType::kInt, "0", "largest possible delay, >= 0"}}},
+  };
+  return entries;
+}
+
+const std::vector<EnvEntry>& crash_entries() {
+  static const std::vector<EnvEntry> entries = {
+      {"none", "immortal agents (the paper's base model)", {}},
+      {"doa",
+       "dead on arrival with probability p per agent: survivors are a "
+       "Binomial(k, 1-p) party",
+       {{"p", ParamType::kDouble, "0", "death probability, in [0, 1]"}}},
+      {"exp-life",
+       "independent Exponential(mean) active-time lifetimes: memoryless "
+       "attrition",
+       {{"mean", ParamType::kDouble, "1", "mean lifetime, > 0"}}},
+      {"fixed-life",
+       "every agent halts after exactly t active time units",
+       {{"t", ParamType::kInt, "0", "lifetime, >= 0"}}},
+  };
+  return entries;
+}
+
+std::string canonical_placement_spec(const std::string& text) {
+  const std::string out = canonical("placement", placement_entries(), text);
+  (void)make_placement(out);  // surfaces range errors (f outside [0,1))
+  return out;
+}
+
+std::string canonical_schedule_spec(const std::string& text) {
+  const std::string out = canonical("schedule", schedule_entries(), text);
+  (void)make_schedule(out);
+  return out;
+}
+
+std::string canonical_crash_spec(const std::string& text) {
+  const std::string out = canonical("crash", crash_entries(), text);
+  (void)make_crash(out);
+  return out;
+}
+
+sim::Placement make_placement(const std::string& text) {
+  const ResolvedEnv env = resolve("placement", placement_entries(), text);
+  const std::string& name = env.entry->name;
+  if (name == "ring") return sim::uniform_ring_placement();
+  if (name == "axis") return sim::axis_placement();
+  if (name == "diagonal") return sim::diagonal_placement();
+  return sim::ring_fraction_placement(as_double(env, 0));
+}
+
+std::unique_ptr<sim::StartSchedule> make_schedule(const std::string& text) {
+  const ResolvedEnv env = resolve("schedule", schedule_entries(), text);
+  const std::string& name = env.entry->name;
+  if (name == "sync") return std::make_unique<sim::SyncStart>();
+  if (name == "staggered") {
+    return std::make_unique<sim::StaggeredStart>(as_int(env, 0));
+  }
+  return std::make_unique<sim::UniformRandomStart>(as_int(env, 0));
+}
+
+std::unique_ptr<sim::CrashModel> make_crash(const std::string& text) {
+  const ResolvedEnv env = resolve("crash", crash_entries(), text);
+  const std::string& name = env.entry->name;
+  if (name == "none") return std::make_unique<sim::NoCrash>();
+  if (name == "doa") return std::make_unique<sim::DoaCrash>(as_double(env, 0));
+  if (name == "exp-life") {
+    return std::make_unique<sim::ExponentialLifetime>(as_double(env, 0));
+  }
+  return std::make_unique<sim::FixedLifetime>(as_int(env, 0));
+}
+
+std::function<double(rng::Rng&)> make_plane_angle(const std::string& text) {
+  const ResolvedEnv env = resolve("placement", placement_entries(), text);
+  const std::string& name = env.entry->name;
+  if (name == "ring") return [](rng::Rng& rng) { return rng.angle(); };
+  double angle = 0.0;
+  if (name == "diagonal") {
+    angle = kPi / 4.0;
+  } else if (name == "ring-fraction") {
+    const double f = as_double(env, 0);
+    if (f < 0 || f >= 1) {
+      bad("placement 'ring-fraction': f must be in [0, 1)");
+    }
+    angle = 2.0 * kPi * f;
+  }
+  return [angle](rng::Rng&) { return angle; };
+}
+
+bool is_sync_schedule(const std::string& text) {
+  return parse_strategy_spec(text).name == "sync";
+}
+
+bool is_no_crash(const std::string& text) {
+  return parse_strategy_spec(text).name == "none";
+}
+
+}  // namespace ants::scenario

@@ -1,0 +1,69 @@
+// Declarative environment axes: placement, start schedule, crash model.
+//
+// The scenario layer describes strategies as "name(key=value, ...)" spec
+// strings; this module extends the same grammar to the three environment
+// knobs an experiment can turn:
+//
+//   placement   where the adversary puts the treasure — a sweepable axis
+//               ("ring", "axis", "ring-fraction(f=0.25)", ...), so angular
+//               soft-spot hunts are a grid like k and D;
+//   schedule    per-agent start delays ("sync", "staggered(gap=4)",
+//               "uniform-start(max=256)") — the paper's section 2
+//               asynchrony remark as a spec field;
+//   crash       per-agent fail-stop lifetimes ("none", "doa(p=0.25)",
+//               "exp-life(mean=1000)", "fixed-life(t=500)") — the
+//               robustness axis of experiment E9.
+//
+// Each axis has a small registry (name + typed params + factory) mirroring
+// the strategy registry, so `search_lab list` can print every sweepable
+// parameter and spec validation fails loudly on typos.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "scenario/registry.h"
+#include "sim/async_engine.h"
+#include "sim/placement.h"
+
+namespace ants::scenario {
+
+/// One registered environment policy: name, one-line doc, typed params.
+struct EnvEntry {
+  std::string name;
+  std::string summary;
+  std::vector<ParamSpec> params;
+};
+
+const std::vector<EnvEntry>& placement_entries();
+const std::vector<EnvEntry>& schedule_entries();
+const std::vector<EnvEntry>& crash_entries();
+
+/// Parse + validate against the axis registry + re-serialize stably (sorted
+/// params, no spaces). Throws std::invalid_argument on unknown names,
+/// unknown/malformed parameters, or out-of-range values. The canonical
+/// string is what cells carry and what cache keys hash.
+std::string canonical_placement_spec(const std::string& text);
+std::string canonical_schedule_spec(const std::string& text);
+std::string canonical_crash_spec(const std::string& text);
+
+/// Factories. Accept raw or canonical spec text.
+sim::Placement make_placement(const std::string& text);
+std::unique_ptr<sim::StartSchedule> make_schedule(const std::string& text);
+std::unique_ptr<sim::CrashModel> make_crash(const std::string& text);
+
+/// Treasure direction for continuous-plane cells, compiled once per
+/// placement: the returned callable yields the angle (radians) for one
+/// trial. "ring" draws uniformly from the trial rng; the deterministic
+/// policies ("axis", "diagonal", "ring-fraction") ignore it.
+std::function<double(rng::Rng&)> make_plane_angle(const std::string& text);
+
+/// True when the canonical schedule/crash pair is the paper's base model
+/// (synchronous starts, immortal agents) — such cells run the plain engine;
+/// anything else routes through sim::run_search_async.
+bool is_sync_schedule(const std::string& text);
+bool is_no_crash(const std::string& text);
+
+}  // namespace ants::scenario

@@ -59,6 +59,7 @@ const char* param_type_name(ParamType type) noexcept {
 std::string BuiltStrategy::display_name() const {
   if (segment) return segment->name();
   if (step) return step->name();
+  if (plane) return plane->name();
   return "<empty>";
 }
 
@@ -211,9 +212,11 @@ BuiltStrategy Registry::make(const StrategySpec& spec,
   }
 
   BuiltStrategy built = entry->factory(params, ctx);
-  if (!built.segment == !built.step) {
+  const int set = (built.segment != nullptr) + (built.step != nullptr) +
+                  (built.plane != nullptr);
+  if (set != 1) {
     throw std::logic_error("registry: factory for '" + spec.name +
-                           "' must set exactly one of segment/step");
+                           "' must set exactly one of segment/step/plane");
   }
   return built;
 }

@@ -10,9 +10,10 @@
 //     known-k(k_belief=16)
 //     levy(mu=2, loop=true, scan=32)
 //
-// and get back a ready-to-run strategy. Both strategy families are covered:
-// segment-level sim::Strategy (the paper algorithms and coordinated
-// baselines) and step-level sim::StepStrategy (the random-walk family).
+// and get back a ready-to-run strategy. All three strategy families are
+// covered: segment-level sim::Strategy (the paper algorithms and coordinated
+// baselines), step-level sim::StepStrategy (the random-walk family), and
+// plane::PlaneStrategy (the continuous-plane ports behind experiment E11).
 //
 // Parameter defaults may be the literal "$k", which resolves to the cell's
 // true agent count at build time — the natural default for known-k and its
@@ -27,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "plane/engine.h"
 #include "sim/program.h"
 #include "sim/step_engine.h"
 
@@ -52,12 +54,17 @@ struct BuildContext {
   int k = 1;
 };
 
-/// A constructed strategy: exactly one of the two pointers is set.
+/// A constructed strategy: exactly one of the three pointers is set.
+/// `segment` and `step` run on the grid engines; `plane` runs on the
+/// continuous-plane engine (the section 2 substrate the grid discretizes),
+/// so grid-vs-plane comparisons (experiment E11) are one sweep.
 struct BuiltStrategy {
   std::unique_ptr<sim::Strategy> segment;
   std::unique_ptr<sim::StepStrategy> step;
+  std::unique_ptr<plane::PlaneStrategy> plane;
 
   bool is_step() const noexcept { return step != nullptr; }
+  bool is_plane() const noexcept { return plane != nullptr; }
   /// Display name of whichever strategy is held.
   std::string display_name() const;
 };

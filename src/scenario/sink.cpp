@@ -8,6 +8,7 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "scenario/registry.h"
 #include "sim/metrics.h"
 #include "util/format.h"
 
@@ -42,8 +43,16 @@ const Column kColumns[] = {
        return std::to_string(r.cell.distance);
      }},
     {"placement",
+     [](const ScenarioSpec&, const CellResult& r) {
+       return r.cell.placement_spec;
+     }},
+    {"schedule",
      [](const ScenarioSpec& spec, const CellResult&) {
-       return spec.placement;
+       return parse_strategy_spec(spec.schedule).canonical();
+     }},
+    {"crash",
+     [](const ScenarioSpec& spec, const CellResult&) {
+       return parse_strategy_spec(spec.crash).canonical();
      }},
     {"trials",
      [](const ScenarioSpec& spec, const CellResult&) {
@@ -105,6 +114,26 @@ const Column kColumns[] = {
      [](const ScenarioSpec&, const CellResult& r) {
        return fmt(sim::optimal_time(r.cell.distance, r.cell.k));
      }},
+    {"from_last_mean",
+     [](const ScenarioSpec&, const CellResult& r) {
+       return fmt(r.from_last_start.mean);
+     }},
+    {"from_last_median",
+     [](const ScenarioSpec&, const CellResult& r) {
+       return fmt(r.from_last_start.median);
+     }},
+    {"mean_crashed",
+     [](const ScenarioSpec&, const CellResult& r) {
+       return fmt(r.mean_crashed);
+     }},
+    {"survivors",
+     [](const ScenarioSpec&, const CellResult& r) {
+       return fmt(static_cast<double>(r.cell.k) - r.mean_crashed);
+     }},
+    {"mean_last_start",
+     [](const ScenarioSpec&, const CellResult& r) {
+       return fmt(r.mean_last_start);
+     }},
     {"cached",
      [](const ScenarioSpec&, const CellResult& r) {
        return std::string(r.from_cache ? "1" : "0");
@@ -118,11 +147,7 @@ const Column* find_column(const std::string& name) {
   return nullptr;
 }
 
-std::string fmt_exact(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);  // round-trips any double
-  return buf;
-}
+using util::fmt_exact;  // cache records must round-trip every double
 
 }  // namespace
 
@@ -229,7 +254,7 @@ std::string cache_path(const std::string& dir, std::uint64_t hash) {
 }  // namespace
 
 bool cache_load(const std::string& dir, std::uint64_t hash,
-                sim::RunStats* stats) {
+                CellResult* result) {
   std::ifstream in(cache_path(dir, hash));
   if (!in) return false;
 
@@ -250,7 +275,8 @@ bool cache_load(const std::string& dir, std::uint64_t hash,
   };
 
   sim::RunStats rs;
-  double n = 0, distance = 0, k = 0;
+  stats::Summary from_last;
+  double n = 0, distance = 0, k = 0, mean_crashed = 0, mean_last_start = 0;
   const bool ok =
       get("n", &n) && get("distance", &distance) && get("k", &k) &&
       get("success_rate", &rs.success_rate) && get("mean", &rs.time.mean) &&
@@ -259,17 +285,25 @@ bool cache_load(const std::string& dir, std::uint64_t hash,
       get("median", &rs.time.median) && get("q25", &rs.time.q25) &&
       get("q75", &rs.time.q75) && get("q95", &rs.time.q95) &&
       get("phi_mean", &rs.mean_competitiveness) &&
-      get("phi_median", &rs.median_competitiveness);
+      get("phi_median", &rs.median_competitiveness) &&
+      get("from_last_mean", &from_last.mean) &&
+      get("from_last_median", &from_last.median) &&
+      get("mean_crashed", &mean_crashed) &&
+      get("mean_last_start", &mean_last_start);
   if (!ok) return false;
   rs.time.n = static_cast<std::size_t>(n);
   rs.distance = static_cast<std::int64_t>(distance);
   rs.k = static_cast<std::int64_t>(k);
-  *stats = std::move(rs);
+  result->stats = std::move(rs);
+  result->from_last_start = from_last;
+  result->mean_crashed = mean_crashed;
+  result->mean_last_start = mean_last_start;
   return true;
 }
 
 void cache_store(const std::string& dir, std::uint64_t hash,
-                 const sim::RunStats& stats) {
+                 const CellResult& result) {
+  const sim::RunStats& stats = result.stats;
   std::filesystem::create_directories(dir);
   const std::string path = cache_path(dir, hash);
   // Write-then-rename so a crashed run never leaves a torn entry behind.
@@ -291,7 +325,12 @@ void cache_store(const std::string& dir, std::uint64_t hash,
         << "q75=" << fmt_exact(stats.time.q75) << "\n"
         << "q95=" << fmt_exact(stats.time.q95) << "\n"
         << "phi_mean=" << fmt_exact(stats.mean_competitiveness) << "\n"
-        << "phi_median=" << fmt_exact(stats.median_competitiveness) << "\n";
+        << "phi_median=" << fmt_exact(stats.median_competitiveness) << "\n"
+        << "from_last_mean=" << fmt_exact(result.from_last_start.mean) << "\n"
+        << "from_last_median=" << fmt_exact(result.from_last_start.median)
+        << "\n"
+        << "mean_crashed=" << fmt_exact(result.mean_crashed) << "\n"
+        << "mean_last_start=" << fmt_exact(result.mean_last_start) << "\n";
     out.flush();
     if (!out.good()) {  // e.g. disk full: a short write must never publish
       out.close();

@@ -88,13 +88,15 @@ void emit_results(const ScenarioSpec& spec,
 
 // --- per-cell result cache -------------------------------------------------
 
-/// Loads cached aggregates for a cell hash; false if absent or unreadable.
-/// Loaded stats carry aggregates only (stats.times stays empty).
+/// Loads cached aggregates for a cell hash into `result` (which keeps its
+/// Cell); false if absent or unreadable. Loaded stats carry aggregates only
+/// (stats.times stays empty); the async extras (from_last_start mean/median,
+/// mean_crashed, mean_last_start) round-trip.
 bool cache_load(const std::string& dir, std::uint64_t hash,
-                sim::RunStats* stats);
+                CellResult* result);
 
 /// Stores a cell's aggregates (creates `dir` if needed).
 void cache_store(const std::string& dir, std::uint64_t hash,
-                 const sim::RunStats& stats);
+                 const CellResult& result);
 
 }  // namespace ants::scenario

@@ -7,10 +7,10 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "scenario/environment.h"
 #include "scenario/registry.h"
 #include "scenario/sink.h"
 #include "scenario/text.h"
-#include "sim/placement.h"
 
 namespace ants::scenario {
 
@@ -202,8 +202,12 @@ void assign_field(ScenarioSpec& spec, const std::string& key,
     spec.distances.clear();
     for (const auto& piece : list)
       spec.distances.push_back(to_int("distances", piece));
-  } else if (key == "placement") {
-    spec.placement = value;
+  } else if (key == "placement" || key == "placements") {
+    spec.placements = list;
+  } else if (key == "schedule") {
+    spec.schedule = value;
+  } else if (key == "crash") {
+    spec.crash = value;
   } else if (key == "trials") {
     spec.trials = to_int("trials", value);
   } else if (key == "seed") {
@@ -262,7 +266,13 @@ void ScenarioSpec::validate() const {
   for (const std::int64_t d : distances) {
     if (d < 1) bad("scenario '" + name + "': distance must be >= 1");
   }
-  sim::placement_by_name(placement);  // throws on unknown names
+  if (placements.empty()) bad("scenario '" + name + "': empty placement grid");
+  // Canonicalizing surfaces unknown names, unknown/malformed parameters,
+  // and range errors up front rather than mid-sweep.
+  for (const std::string& p : placements) (void)canonical_placement_spec(p);
+  (void)canonical_schedule_spec(schedule);
+  (void)canonical_crash_spec(crash);
+  const bool async = is_async();
   // Building each strategy (at the grid's first k) surfaces unknown names,
   // unknown/malformed parameters, and constructor range errors up front
   // rather than mid-sweep.
@@ -272,6 +282,15 @@ void ScenarioSpec::validate() const {
     if (built.is_step() && time_cap == 0) {
       bad("scenario '" + name + "': step-level strategy '" + s +
           "' requires a finite time_cap");
+    }
+    if (built.is_plane() && time_cap == 0) {
+      bad("scenario '" + name + "': plane-level strategy '" + s +
+          "' requires a finite time_cap");
+    }
+    if (async && !built.segment) {
+      bad("scenario '" + name + "': strategy '" + s +
+          "' cannot run under schedule/crash variants (only segment-level "
+          "strategies support the async engine)");
     }
   }
   for (const std::string& column : columns) {
@@ -290,23 +309,31 @@ std::string ScenarioSpec::canonical() const {
     }
     return out;
   };
-  std::vector<std::string> strategy_texts, k_texts, d_texts;
+  std::vector<std::string> strategy_texts, k_texts, d_texts, p_texts;
   for (const auto& s : strategies)
     strategy_texts.push_back(parse_strategy_spec(s).canonical());
   for (const auto k : ks) k_texts.push_back(std::to_string(k));
   for (const auto d : distances) d_texts.push_back(std::to_string(d));
+  for (const auto& p : placements)
+    p_texts.push_back(parse_strategy_spec(p).canonical());
 
   std::ostringstream out;
   out << "name = " << name << "\n"
       << "strategies = " << join(strategy_texts) << "\n"
       << "ks = " << join(k_texts) << "\n"
       << "distances = " << join(d_texts) << "\n"
-      << "placement = " << placement << "\n"
+      << "placements = " << join(p_texts) << "\n"
+      << "schedule = " << parse_strategy_spec(schedule).canonical() << "\n"
+      << "crash = " << parse_strategy_spec(crash).canonical() << "\n"
       << "trials = " << trials << "\n"
       << "seed = " << seed << "\n"
       << "time_cap = " << time_cap << "\n";
   if (!columns.empty()) out << "columns = " << join(columns) << "\n";
   return out.str();
+}
+
+bool ScenarioSpec::is_async() const {
+  return !is_sync_schedule(schedule) || !is_no_crash(crash);
 }
 
 std::vector<ScenarioSpec> parse_spec_text(const std::string& text) {
@@ -374,7 +401,12 @@ ScenarioSpec spec_from_cli(util::Cli& cli) {
   }
   spec.ks = cli.get_int_list("ks", spec.ks);
   spec.distances = cli.get_int_list("ds", spec.distances);
-  spec.placement = cli.get_string("placement", spec.placement);
+  const std::string placements = cli.get_string("placement", "");
+  if (!placements.empty()) {
+    spec.placements = split_top_level(placements, ',');
+  }
+  spec.schedule = cli.get_string("schedule", spec.schedule);
+  spec.crash = cli.get_string("crash", spec.crash);
   spec.trials = cli.get_int("trials", spec.trials);
   // Parsed as uint64 like the spec-file forms — get_int would reject the
   // upper half of the seed space.

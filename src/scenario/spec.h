@@ -1,10 +1,12 @@
 // Declarative scenario specs: an experiment as data instead of a main().
 //
-// A spec names the strategies to run (registry spec strings), the k- and
-// D-grids, the placement adversary, trial count, master seed, optional time
+// A spec names the strategies to run (registry spec strings), the k-, D-,
+// and placement grids, the start schedule and crash model (async/crash
+// variants of the paper's model), trial count, master seed, optional time
 // cap, and the output columns. Flattened by the sweep scheduler into
-// (strategy, k, D) cells, it fully determines every number in the output:
-// results are a pure function of (spec, seed), independent of thread count.
+// (strategy, k, D, placement) cells, it fully determines every number in
+// the output: results are a pure function of (spec, seed), independent of
+// thread count.
 //
 // Two on-disk forms, mixable in one file:
 //
@@ -39,7 +41,15 @@ struct ScenarioSpec {
   std::vector<std::string> strategies;  ///< registry spec strings
   std::vector<std::int64_t> ks = {1, 4, 16};
   std::vector<std::int64_t> distances = {16, 32, 64};
-  std::string placement = "ring";  ///< sim::placement_by_name key
+  /// Placement policy specs (environment.h) — a sweep axis like ks and
+  /// distances, so e.g. a ring-fraction grid probes angular soft spots.
+  std::vector<std::string> placements = {"ring"};
+  /// Start-schedule spec ("sync", "staggered(gap=4)", ...). Anything but
+  /// sync routes cells through sim::run_async_trials.
+  std::string schedule = "sync";
+  /// Crash-model spec ("none", "doa(p=0.25)", ...). Anything but none
+  /// routes cells through sim::run_async_trials.
+  std::string crash = "none";
   std::int64_t trials = 100;
   std::uint64_t seed = 0xA27553ACULL;
   /// Per-trial cap; 0 = uncapped (sim::kNeverTime). Step-level strategies
@@ -52,6 +62,10 @@ struct ScenarioSpec {
   sim::Time effective_time_cap() const noexcept {
     return time_cap == 0 ? sim::kNeverTime : time_cap;
   }
+
+  /// True when schedule/crash leave the paper's base model — such specs run
+  /// every cell through sim::run_search_async.
+  bool is_async() const;
 
   /// Throws std::invalid_argument on an unrunnable spec (empty strategy
   /// list, non-positive grids or trials, unknown placement or strategy,
@@ -69,8 +83,9 @@ std::vector<ScenarioSpec> parse_spec_text(const std::string& text);
 std::vector<ScenarioSpec> parse_spec_file(const std::string& path);
 
 /// Builds one spec from CLI flags: --strategies (';'- or top-level-','
-/// separated), --ks, --ds, --trials, --seed, --placement, --time-cap,
-/// --columns, --scenario-name. Flags not given keep the defaults above.
+/// separated), --ks, --ds, --trials, --seed, --placement (list), --schedule,
+/// --crash, --time-cap, --columns, --scenario-name. Flags not given keep the
+/// defaults above.
 ScenarioSpec spec_from_cli(util::Cli& cli);
 
 /// FNV-1a over `text` — the stable string hash the cell cache keys use.

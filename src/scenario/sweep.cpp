@@ -1,15 +1,18 @@
 #include "scenario/sweep.h"
 
 #include <atomic>
+#include <iostream>
 #include <map>
+#include <mutex>
 #include <sstream>
 #include <utility>
 
+#include "plane/strategies.h"
 #include "rng/splitmix64.h"
+#include "scenario/environment.h"
 #include "scenario/registry.h"
 #include "scenario/sink.h"
 #include "sim/engine.h"
-#include "sim/placement.h"
 #include "sim/step_engine.h"
 #include "util/thread_pool.h"
 
@@ -18,14 +21,20 @@ namespace ants::scenario {
 namespace {
 
 /// Bump when the cell execution or cache format changes in any way that
-/// invalidates previously cached aggregates.
-constexpr int kCellFormatVersion = 1;
+/// invalidates previously cached aggregates. v2: placement became a
+/// per-cell axis, schedule/crash joined the key, async aggregates joined
+/// the cache record.
+constexpr int kCellFormatVersion = 2;
 
 std::uint64_t cell_hash(const ScenarioSpec& spec, const std::string& strategy,
-                        std::int64_t k, std::int64_t distance) {
+                        std::int64_t k, std::int64_t distance,
+                        const std::string& placement,
+                        const std::string& schedule,
+                        const std::string& crash) {
   std::ostringstream key;
   key << "v" << kCellFormatVersion << "|" << strategy << "|k=" << k
-      << "|d=" << distance << "|placement=" << spec.placement
+      << "|d=" << distance << "|placement=" << placement
+      << "|schedule=" << schedule << "|crash=" << crash
       << "|trials=" << spec.trials << "|seed=" << spec.seed
       << "|cap=" << spec.time_cap;
   return hash_text(key.str());
@@ -35,30 +44,42 @@ std::uint64_t cell_hash(const ScenarioSpec& spec, const std::string& strategy,
 
 std::vector<Cell> flatten(const ScenarioSpec& spec) {
   spec.validate();
+  const std::string schedule = canonical_schedule_spec(spec.schedule);
+  const std::string crash = canonical_crash_spec(spec.crash);
+  std::vector<std::string> placements;
+  for (const std::string& p : spec.placements) {
+    placements.push_back(canonical_placement_spec(p));
+  }
+
   std::vector<Cell> cells;
   cells.reserve(spec.strategies.size() * spec.ks.size() *
-                spec.distances.size());
+                spec.distances.size() * placements.size());
   for (std::size_t si = 0; si < spec.strategies.size(); ++si) {
     const StrategySpec parsed = parse_strategy_spec(spec.strategies[si]);
     const std::string canonical = parsed.canonical();
     for (const std::int64_t k : spec.ks) {
-      // The display name can depend on k ("$k" defaults), the distance
-      // cannot — build once per (strategy, k).
+      // The display name can depend on k ("$k" defaults), the distance and
+      // placement cannot — build once per (strategy, k).
       const BuildContext ctx{static_cast<int>(k)};
       const std::string display =
           Registry::instance().make(parsed, ctx).display_name();
       for (const std::int64_t d : spec.distances) {
-        Cell cell;
-        cell.strategy_index = si;
-        cell.strategy_spec = canonical;
-        cell.strategy_name = display;
-        cell.k = k;
-        cell.distance = d;
-        cell.seed = rng::mix_seed(
-            spec.seed, rng::mix_seed(static_cast<std::uint64_t>(k),
-                                     static_cast<std::uint64_t>(d)));
-        cell.hash = cell_hash(spec, canonical, k, d);
-        cells.push_back(std::move(cell));
+        for (std::size_t pi = 0; pi < placements.size(); ++pi) {
+          Cell cell;
+          cell.strategy_index = si;
+          cell.strategy_spec = canonical;
+          cell.strategy_name = display;
+          cell.placement_index = pi;
+          cell.placement_spec = placements[pi];
+          cell.k = k;
+          cell.distance = d;
+          cell.seed = rng::mix_seed(
+              spec.seed, rng::mix_seed(static_cast<std::uint64_t>(k),
+                                       static_cast<std::uint64_t>(d)));
+          cell.hash = cell_hash(spec, canonical, k, d, placements[pi],
+                                schedule, crash);
+          cells.push_back(std::move(cell));
+        }
       }
     }
   }
@@ -70,6 +91,23 @@ std::vector<CellResult> run_sweep(const ScenarioSpec& spec,
   const std::vector<Cell> cells = flatten(spec);
   const auto n_cells = cells.size();
   const auto trials = static_cast<std::size_t>(spec.trials);
+  const bool async = spec.is_async();
+
+  std::mutex progress_mutex;
+  std::size_t completed = 0;
+  std::ostream* progress_out =
+      opt.progress_stream != nullptr ? opt.progress_stream : &std::cerr;
+  const auto report_cell = [&](const Cell& cell, const char* how) {
+    if (!opt.progress) return;
+    // Count under the print lock so the [n/N] indices are monotone in the
+    // output even when cells finish simultaneously.
+    const std::lock_guard<std::mutex> lock(progress_mutex);
+    *progress_out << "progress: [" << ++completed << "/" << n_cells << "] "
+                  << spec.name << " " << cell.strategy_name
+                  << " k=" << cell.k << " D=" << cell.distance
+                  << " placement=" << cell.placement_spec << " " << how
+                  << "\n";
+  };
 
   std::vector<CellResult> results(n_cells);
   for (std::size_t i = 0; i < n_cells; ++i) results[i].cell = cells[i];
@@ -78,8 +116,9 @@ std::vector<CellResult> run_sweep(const ScenarioSpec& spec,
   std::vector<std::size_t> pending;
   for (std::size_t i = 0; i < n_cells; ++i) {
     if (!opt.cache_dir.empty() &&
-        cache_load(opt.cache_dir, cells[i].hash, &results[i].stats)) {
+        cache_load(opt.cache_dir, cells[i].hash, &results[i])) {
       results[i].from_cache = true;
+      report_cell(cells[i], "cached");
     } else {
       pending.push_back(i);
     }
@@ -87,8 +126,8 @@ std::vector<CellResult> run_sweep(const ScenarioSpec& spec,
   if (pending.empty()) return results;
 
   // Strategies are built once per (strategy, k) — cells along the distance
-  // grid share the object — and read-only shared across scheduler threads,
-  // same as sim::run_trials shares its strategy.
+  // and placement grids share the object — and read-only shared across
+  // scheduler threads, same as sim::run_trials shares its strategy.
   std::map<std::pair<std::size_t, std::int64_t>, BuiltStrategy> by_sk;
   std::vector<const BuiltStrategy*> built(n_cells, nullptr);
   for (const std::size_t i : pending) {
@@ -104,13 +143,52 @@ std::vector<CellResult> run_sweep(const ScenarioSpec& spec,
     built[i] = &it->second;
   }
 
-  const sim::Placement placement = sim::placement_by_name(spec.placement);
+  // Placement policies, schedule, and crash model are stateless draws from
+  // the trial rng — one shared instance per spec is thread-safe. The
+  // plane-side angle policy is compiled here too, not re-parsed per trial.
+  std::vector<sim::Placement> placements(spec.placements.size());
+  std::vector<std::function<double(rng::Rng&)>> plane_angles(
+      spec.placements.size());
+  for (const std::size_t i : pending) {
+    const Cell& cell = cells[i];
+    if (built[i]->is_plane()) {
+      if (!plane_angles[cell.placement_index]) {
+        plane_angles[cell.placement_index] =
+            make_plane_angle(cell.placement_spec);
+      }
+    } else if (!placements[cell.placement_index]) {
+      placements[cell.placement_index] = make_placement(cell.placement_spec);
+    }
+  }
+  const std::unique_ptr<sim::StartSchedule> schedule =
+      async ? make_schedule(spec.schedule) : nullptr;
+  const std::unique_ptr<sim::CrashModel> crashes =
+      async ? make_crash(spec.crash) : nullptr;
+
   sim::EngineConfig engine_config;
   engine_config.time_cap = spec.effective_time_cap();
+  plane::PlaneEngineConfig plane_config;
+  plane_config.time_cap = spec.time_cap == 0
+                              ? plane::kPlaneNever
+                              : static_cast<plane::Time>(spec.time_cap);
 
   std::vector<std::vector<double>> times(n_cells);
-  for (const std::size_t i : pending) times[i].resize(trials);
+  std::vector<std::vector<double>> from_last(async ? n_cells : 0);
+  std::vector<std::vector<double>> crashed(async ? n_cells : 0);
+  std::vector<std::vector<double>> last_starts(async ? n_cells : 0);
+  for (const std::size_t i : pending) {
+    times[i].resize(trials);
+    if (async) {
+      from_last[i].resize(trials);
+      crashed[i].resize(trials);
+      last_starts[i].resize(trials);
+    }
+  }
   std::vector<std::atomic<std::int64_t>> found(n_cells);
+  std::vector<std::atomic<std::int64_t>> remaining(n_cells);
+  for (const std::size_t i : pending) {
+    remaining[i].store(static_cast<std::int64_t>(trials));
+  }
 
   // The flat work list is every trial of every pending cell — cells overlap
   // instead of serializing on per-cell barriers. The (cell, trial) mapping
@@ -123,18 +201,42 @@ std::vector<CellResult> run_sweep(const ScenarioSpec& spec,
         const std::size_t trial = item % trials;
         const Cell& cell = cells[ci];
         rng::Rng trial_rng(rng::mix_seed(cell.seed, trial));
-        const grid::Point treasure = placement(trial_rng, cell.distance);
-        sim::SearchResult r;
-        if (built[ci]->is_step()) {
-          r = sim::run_step_search(*built[ci]->step,
-                                   static_cast<int>(cell.k), treasure,
-                                   trial_rng, engine_config.time_cap);
+        if (built[ci]->is_plane()) {
+          const double angle = plane_angles[cell.placement_index](trial_rng);
+          const plane::Vec2 treasure =
+              plane::unit(angle) * static_cast<double>(cell.distance);
+          const plane::PlaneSearchResult r = plane::run_plane_search(
+              *built[ci]->plane, static_cast<int>(cell.k), treasure,
+              trial_rng, plane_config);
+          times[ci][trial] = r.time;
+          if (r.found) found[ci].fetch_add(1, std::memory_order_relaxed);
         } else {
-          r = sim::run_search(*built[ci]->segment, static_cast<int>(cell.k),
-                              treasure, trial_rng, engine_config);
+          const grid::Point treasure =
+              placements[cell.placement_index](trial_rng, cell.distance);
+          sim::SearchResult r;
+          if (async) {
+            const sim::AsyncSearchResult ar = sim::run_search_async(
+                *built[ci]->segment, static_cast<int>(cell.k), treasure,
+                trial_rng, *schedule, *crashes, engine_config);
+            r = ar.base;
+            from_last[ci][trial] = static_cast<double>(ar.from_last_start);
+            crashed[ci][trial] = static_cast<double>(ar.crashed);
+            last_starts[ci][trial] = static_cast<double>(ar.last_start);
+          } else if (built[ci]->is_step()) {
+            r = sim::run_step_search(*built[ci]->step,
+                                     static_cast<int>(cell.k), treasure,
+                                     trial_rng, engine_config.time_cap);
+          } else {
+            r = sim::run_search(*built[ci]->segment,
+                                static_cast<int>(cell.k), treasure,
+                                trial_rng, engine_config);
+          }
+          times[ci][trial] = static_cast<double>(r.time);
+          if (r.found) found[ci].fetch_add(1, std::memory_order_relaxed);
         }
-        times[ci][trial] = static_cast<double>(r.time);
-        if (r.found) found[ci].fetch_add(1, std::memory_order_relaxed);
+        if (remaining[ci].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          report_cell(cell, "done");
+        }
       },
       opt.threads);
 
@@ -142,8 +244,13 @@ std::vector<CellResult> run_sweep(const ScenarioSpec& spec,
     results[i].stats =
         sim::make_run_stats(std::move(times[i]), found[i].load(),
                             cells[i].distance, static_cast<int>(cells[i].k));
+    if (async) {
+      results[i].from_last_start = stats::Summary::from(from_last[i]);
+      results[i].mean_crashed = stats::Summary::from(crashed[i]).mean;
+      results[i].mean_last_start = stats::Summary::from(last_starts[i]).mean;
+    }
     if (!opt.cache_dir.empty()) {
-      cache_store(opt.cache_dir, cells[i].hash, results[i].stats);
+      cache_store(opt.cache_dir, cells[i].hash, results[i]);
     }
   }
   return results;

@@ -1,5 +1,5 @@
-// Sweep scheduler: flattens a ScenarioSpec into (strategy, k, D) cells and
-// runs every trial of every cell through ONE util::parallel_for.
+// Sweep scheduler: flattens a ScenarioSpec into (strategy, k, D, placement)
+// cells and runs every trial of every cell through ONE util::parallel_for.
 //
 // Scheduling across cells matters because per-cell parallelism (the
 // sim::run_trials path) serializes a sweep on one barrier per cell: a grid
@@ -7,21 +7,30 @@
 // list is all (cell, trial) pairs, so a long-running cell's trials overlap
 // the next cells' instead of gating them.
 //
+// Cells route through the engine their strategy and environment need:
+// segment-level strategies under the base model run sim::run_search,
+// spec-level schedule/crash variants run sim::run_search_async (surfacing
+// from-last-start times and crash counts), step-level strategies run the
+// lock-step engine, and plane-level strategies run the continuous-plane
+// engine with the placement translated to a treasure angle.
+//
 // Reproducibility contract (inherited from sim/runner.h and test-enforced):
 // trial t of a cell uses rng seed mix(cell_seed, t), where
 //
 //     cell_seed = mix(spec.seed, mix(k, distance))
 //
-// is a pure function of the spec's master seed and the cell's grid point —
-// deliberately NOT of the strategy, so every strategy at the same (k, D)
-// faces identical treasure placements (paired instances, the E7 fairness
-// requirement). Results are therefore a pure function of (spec, seed),
-// independent of thread count and scheduling order, and each cell's stats
-// equal sim::run_trials(strategy, k, D, placement, {trials, cell_seed,
-// time_cap}) exactly.
+// is a pure function of the spec's master seed and the cell's (k, D) grid
+// point — deliberately NOT of the strategy or the placement policy, so every
+// strategy at the same (k, D) faces identical treasure placements (paired
+// instances, the E7 fairness requirement) and placement policies are probed
+// on the same trial randomness. Results are therefore a pure function of
+// (spec, seed), independent of thread count and scheduling order, and each
+// cell's stats equal the matching sim::run_trials / run_async_trials /
+// run_step_trials call at the cell's derived seed.
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -32,9 +41,11 @@ namespace ants::scenario {
 
 /// One unit of the flattened sweep.
 struct Cell {
-  std::size_t strategy_index = 0;  ///< into spec.strategies
-  std::string strategy_spec;       ///< canonical registry spec string
-  std::string strategy_name;       ///< display name of the built strategy
+  std::size_t strategy_index = 0;   ///< into spec.strategies
+  std::string strategy_spec;        ///< canonical registry spec string
+  std::string strategy_name;        ///< display name of the built strategy
+  std::size_t placement_index = 0;  ///< into spec.placements
+  std::string placement_spec;       ///< canonical placement spec string
   std::int64_t k = 1;
   std::int64_t distance = 1;
   std::uint64_t seed = 0;  ///< derived cell seed (see header comment)
@@ -44,17 +55,28 @@ struct Cell {
 struct CellResult {
   Cell cell;
   sim::RunStats stats;
+  /// Async-run extras (zero for base-model cells): search times measured
+  /// from the trial's last start, mean crashed agents per trial, and the
+  /// mean of the trial's latest start delay.
+  stats::Summary from_last_start;
+  double mean_crashed = 0;
+  double mean_last_start = 0;
   bool from_cache = false;
 };
 
 struct SweepOptions {
   unsigned threads = 0;   ///< scheduler thread count; 0 = hardware
   std::string cache_dir;  ///< non-empty enables the per-cell result cache
+  /// Per-cell completion lines as the sweep runs. Diagnostics only: output
+  /// rows are unaffected (test-enforced).
+  bool progress = false;
+  std::ostream* progress_stream = nullptr;  ///< nullptr = std::cerr
 };
 
 /// The cells of a spec in deterministic order: strategies outermost, then
-/// ks, then distances — cell (si, ki, di) lands at index
-/// (si * ks.size() + ki) * distances.size() + di. Validates the spec.
+/// ks, then distances, then placements — cell (si, ki, di, pi) lands at
+/// index ((si * ks.size() + ki) * distances.size() + di) * placements.size()
+/// + pi. Validates the spec.
 std::vector<Cell> flatten(const ScenarioSpec& spec);
 
 /// Runs the whole sweep; the result vector parallels flatten(spec). Cached

@@ -41,11 +41,4 @@ Placement ring_fraction_placement(double fraction) {
   };
 }
 
-Placement placement_by_name(const std::string& name) {
-  if (name == "axis") return axis_placement();
-  if (name == "diagonal") return diagonal_placement();
-  if (name == "ring") return uniform_ring_placement();
-  throw std::invalid_argument("unknown placement: " + name);
-}
-
 }  // namespace ants::sim

@@ -33,7 +33,8 @@ Placement uniform_ring_placement();
 /// (f = 0 is (D,0), f = 0.25 is (0,D), ...).
 Placement ring_fraction_placement(double fraction);
 
-/// Placement by name ("axis" | "diagonal" | "ring") for CLI flags.
-Placement placement_by_name(const std::string& name);
+// Name-based construction lives in scenario::make_placement (the placement
+// axis registry in src/scenario/environment.h), which also covers the
+// sweepable ring-fraction parameters — one registry, no divergent copies.
 
 }  // namespace ants::sim

@@ -21,6 +21,15 @@ inline std::string fmt_param(double v) {
   return buf;
 }
 
+/// Exact round-trip rendering ("%.17g"): parsing the result recovers the
+/// identical double. For embedding parameters in spec strings and for cache
+/// records, where any truncation would silently change the computation.
+inline std::string fmt_exact(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
 /// Engineering-friendly: integers below 10^6 verbatim, otherwise 3 significant
 /// digits with scientific notation.
 inline std::string fmt_compact(double v) {

@@ -1,0 +1,29 @@
+# Runs `search_lab run --spec=SPEC --csv=OUT --quiet` and byte-compares OUT
+# against GOLDEN. Invoked by CTest (see the golden_* tests in the root
+# CMakeLists); keeps the binary-level path under the same regression pin as
+# the library-level scenario_golden_test.
+#
+#   cmake -DSEARCH_LAB=<bin> -DSPEC=<spec> -DGOLDEN=<csv> -DOUT=<csv>
+#         -P run_golden.cmake
+foreach(var SEARCH_LAB SPEC GOLDEN OUT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_golden.cmake: missing -D${var}=")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${SEARCH_LAB} run --spec=${SPEC} --csv=${OUT} --quiet
+  RESULT_VARIABLE run_result)
+if(NOT run_result EQUAL 0)
+  message(FATAL_ERROR "search_lab failed (${run_result}) on ${SPEC}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT} ${GOLDEN}
+  RESULT_VARIABLE diff_result)
+if(NOT diff_result EQUAL 0)
+  message(FATAL_ERROR
+          "golden mismatch: ${OUT} differs from ${GOLDEN} — a behavior "
+          "change reached the experiment tables; regenerate the golden only "
+          "if the change is intentional")
+endif()

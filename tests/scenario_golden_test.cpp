@@ -1,0 +1,75 @@
+// Golden-output regression tests: the pinned specs under tests/golden/ must
+// reproduce their checked-in CSVs byte-for-byte, through the same
+// parse-spec -> run_sweep -> CsvSink path `search_lab run --csv` uses. (A
+// CTest-level twin drives the actual search_lab binary over the same files
+// via tests/golden/run_golden.cmake.)
+//
+// These goldens pin the full numeric surface: spec parsing, cell seeding,
+// engine trajectories, aggregation, and column formatting. A diff here means
+// a behavior change that silently rewrites every experiment table — bump the
+// goldens ONLY for an intentional, understood change.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "scenario/sink.h"
+#include "scenario/spec.h"
+#include "scenario/sweep.h"
+
+#ifndef ANTS_SOURCE_DIR
+#error "ANTS_SOURCE_DIR must point at the repository root"
+#endif
+
+namespace ants::scenario {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void check_golden(const std::string& stem, unsigned threads) {
+  const std::string dir = std::string(ANTS_SOURCE_DIR) + "/tests/golden/";
+  const std::vector<ScenarioSpec> specs = parse_spec_file(dir + stem +
+                                                          ".spec");
+  ASSERT_EQ(specs.size(), 1u);
+
+  SweepOptions opt;
+  opt.threads = threads;
+  const std::vector<CellResult> results = run_sweep(specs[0], opt);
+
+  const std::string out_path = ::testing::TempDir() + "ants_golden_" + stem +
+                               "_" + std::to_string(threads) + ".csv";
+  {
+    // Scoped so the CSV writer flushes and closes before the comparison.
+    CsvSink csv(out_path);
+    std::vector<ResultSink*> sinks = {&csv};
+    emit_results(specs[0], results, sinks);
+  }
+
+  EXPECT_EQ(read_file(out_path), read_file(dir + stem + ".golden.csv"))
+      << "golden mismatch for " << stem << " at threads=" << threads;
+}
+
+TEST(Golden, SyncSpecReproducesByteForByte) {
+  check_golden("sync", 1);
+  check_golden("sync", 5);
+}
+
+TEST(Golden, AsyncCrashSpecReproducesByteForByte) {
+  check_golden("async_crash", 1);
+  check_golden("async_crash", 5);
+}
+
+TEST(Golden, PlacementSweepSpecReproducesByteForByte) {
+  check_golden("placement_sweep", 1);
+  check_golden("placement_sweep", 5);
+}
+
+}  // namespace
+}  // namespace ants::scenario

@@ -13,7 +13,8 @@ const char* kExpectedNames[] = {
     "approx-k",        "biased-walk",     "harmonic",
     "hedged",          "known-k",         "known-k-no-return",
     "known-k-rw-local", "levy",           "lowmem-harmonic",
-    "lowmem-uniform",  "random-walk",     "sector-sweep",
+    "lowmem-uniform",  "plane-harmonic",  "plane-known-k",
+    "plane-uniform",   "random-walk",     "sector-sweep",
     "spiral",          "sweep-known-k",   "sweep-uniform",
     "uniform",
 };
@@ -31,7 +32,8 @@ TEST(Registry, EveryStrategyConstructibleWithDefaults) {
     SCOPED_TRACE(name);
     const BuiltStrategy built =
         Registry::instance().make(name, BuildContext{4});
-    EXPECT_TRUE(built.segment != nullptr || built.step != nullptr);
+    EXPECT_TRUE(built.segment != nullptr || built.step != nullptr ||
+                built.plane != nullptr);
     EXPECT_FALSE(built.display_name().empty());
   }
 }
@@ -41,6 +43,14 @@ TEST(Registry, StepStrategiesAreMarkedAsStep) {
   EXPECT_TRUE(Registry::instance().make("biased-walk", {}).is_step());
   EXPECT_FALSE(Registry::instance().make("uniform", {}).is_step());
   EXPECT_FALSE(Registry::instance().make("sector-sweep", {}).is_step());
+}
+
+TEST(Registry, PlaneStrategiesAreMarkedAsPlane) {
+  EXPECT_TRUE(Registry::instance().make("plane-known-k", {}).is_plane());
+  EXPECT_TRUE(Registry::instance().make("plane-harmonic", {}).is_plane());
+  EXPECT_TRUE(Registry::instance().make("plane-uniform", {}).is_plane());
+  EXPECT_FALSE(Registry::instance().make("known-k", {}).is_plane());
+  EXPECT_FALSE(Registry::instance().make("random-walk", {}).is_plane());
 }
 
 TEST(Registry, DollarKDefaultResolvesToCellK) {

@@ -19,6 +19,8 @@ TEST(SpecParse, TextBlockForm) {
       "ks         = 1, 4, 16\n"
       "distances  = 16, 32\n"
       "placement  = axis\n"
+      "schedule   = staggered(gap=4)\n"
+      "crash      = doa(p=0.25)\n"
       "trials     = 50\n"
       "seed       = 12345\n"
       "time_cap   = 1000\n");
@@ -29,10 +31,24 @@ TEST(SpecParse, TextBlockForm) {
             (std::vector<std::string>{"uniform(eps=0.5)", "known-k"}));
   EXPECT_EQ(spec.ks, (std::vector<std::int64_t>{1, 4, 16}));
   EXPECT_EQ(spec.distances, (std::vector<std::int64_t>{16, 32}));
-  EXPECT_EQ(spec.placement, "axis");
+  EXPECT_EQ(spec.placements, (std::vector<std::string>{"axis"}));
+  EXPECT_EQ(spec.schedule, "staggered(gap=4)");
+  EXPECT_EQ(spec.crash, "doa(p=0.25)");
+  EXPECT_TRUE(spec.is_async());
   EXPECT_EQ(spec.trials, 50);
   EXPECT_EQ(spec.seed, 12345u);
   EXPECT_EQ(spec.time_cap, 1000);
+}
+
+TEST(SpecParse, PlacementListIsASweepAxis) {
+  const auto specs = parse_spec_text(
+      "strategies = known-k\n"
+      "placements = axis, ring-fraction(f=0.25), ring\n");
+  ASSERT_EQ(specs.size(), 1u);
+  EXPECT_EQ(specs[0].placements,
+            (std::vector<std::string>{"axis", "ring-fraction(f=0.25)",
+                                      "ring"}));
+  EXPECT_FALSE(specs[0].is_async());
 }
 
 TEST(SpecParse, StrategyListSplitsAtTopLevelCommasOnly) {
@@ -69,7 +85,7 @@ TEST(SpecParse, JsonLineForm) {
   EXPECT_EQ(spec.distances, (std::vector<std::int64_t>{8}));
   EXPECT_EQ(spec.trials, 20);
   EXPECT_EQ(spec.seed, 99u);
-  EXPECT_EQ(spec.placement, "diagonal");
+  EXPECT_EQ(spec.placements, (std::vector<std::string>{"diagonal"}));
   EXPECT_EQ(spec.time_cap, 500);
 }
 
@@ -103,7 +119,9 @@ TEST(SpecCanonical, RoundTripsThroughTheTextParser) {
   spec.strategies = {"levy(scan=32, mu=2)", "known-k"};
   spec.ks = {1, 8};
   spec.distances = {16};
-  spec.placement = "axis";
+  spec.placements = {"axis", "ring-fraction(f=0.5)"};
+  spec.schedule = "staggered( gap=4 )";
+  spec.crash = "doa(p=0.25)";
   spec.trials = 33;
   spec.seed = 777;
   spec.time_cap = 250;
@@ -135,8 +153,42 @@ TEST(SpecValidate, RejectsBadSpecs) {
 
   ScenarioSpec bad_placement;
   bad_placement.strategies = {"uniform"};
-  bad_placement.placement = "hexagon";
+  bad_placement.placements = {"hexagon"};
   EXPECT_THROW(bad_placement.validate(), std::invalid_argument);
+
+  ScenarioSpec bad_fraction;
+  bad_fraction.strategies = {"uniform"};
+  bad_fraction.placements = {"ring-fraction(f=1.5)"};
+  EXPECT_THROW(bad_fraction.validate(), std::invalid_argument);
+
+  ScenarioSpec bad_schedule;
+  bad_schedule.strategies = {"uniform"};
+  bad_schedule.schedule = "staggered(delay=4)";  // parameter is 'gap'
+  EXPECT_THROW(bad_schedule.validate(), std::invalid_argument);
+
+  ScenarioSpec bad_crash;
+  bad_crash.strategies = {"uniform"};
+  bad_crash.crash = "doa(p=1.5)";
+  EXPECT_THROW(bad_crash.validate(), std::invalid_argument);
+
+  // Schedule/crash variants run the async engine, which needs segment-level
+  // strategies.
+  ScenarioSpec async_step;
+  async_step.strategies = {"random-walk"};
+  async_step.time_cap = 1000;
+  async_step.schedule = "staggered(gap=4)";
+  EXPECT_THROW(async_step.validate(), std::invalid_argument);
+  async_step.schedule = "sync";
+  EXPECT_NO_THROW(async_step.validate());
+  async_step.crash = "doa(p=0.5)";
+  EXPECT_THROW(async_step.validate(), std::invalid_argument);
+
+  // Plane-level strategies demand a finite cap (like step-level ones).
+  ScenarioSpec uncapped_plane;
+  uncapped_plane.strategies = {"plane-known-k"};
+  EXPECT_THROW(uncapped_plane.validate(), std::invalid_argument);
+  uncapped_plane.time_cap = 100000;
+  EXPECT_NO_THROW(uncapped_plane.validate());
 
   ScenarioSpec bad_trials;
   bad_trials.strategies = {"uniform"};
@@ -164,7 +216,9 @@ TEST(SpecFromCli, BuildsASpecFromFlags) {
       "--ds=4,32",
       "--trials=12",
       "--seed=42",
-      "--placement=axis",
+      "--placement=axis,ring-fraction(f=0.25)",
+      "--schedule=uniform-start(max=64)",
+      "--crash=exp-life(mean=500)",
       "--time-cap=9000",
       "--columns=strategy,k,mean_time"};
   util::Cli cli(static_cast<int>(args.size()), args.data());
@@ -177,7 +231,10 @@ TEST(SpecFromCli, BuildsASpecFromFlags) {
   EXPECT_EQ(spec.distances, (std::vector<std::int64_t>{4, 32}));
   EXPECT_EQ(spec.trials, 12);
   EXPECT_EQ(spec.seed, 42u);
-  EXPECT_EQ(spec.placement, "axis");
+  EXPECT_EQ(spec.placements,
+            (std::vector<std::string>{"axis", "ring-fraction(f=0.25)"}));
+  EXPECT_EQ(spec.schedule, "uniform-start(max=64)");
+  EXPECT_EQ(spec.crash, "exp-life(mean=500)");
   EXPECT_EQ(spec.time_cap, 9000);
   EXPECT_EQ(spec.columns,
             (std::vector<std::string>{"strategy", "k", "mean_time"}));

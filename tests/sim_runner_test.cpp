@@ -131,13 +131,9 @@ TEST(Placement, Shapes) {
   EXPECT_EQ(ring_fraction_placement(0.0)(rng, 10), (grid::Point{10, 0}));
 }
 
-TEST(Placement, ByName) {
-  rng::Rng rng(2);
-  EXPECT_EQ(placement_by_name("axis")(rng, 4), (grid::Point{4, 0}));
-  EXPECT_EQ(grid::l1_norm(placement_by_name("ring")(rng, 4)), 4);
-  EXPECT_EQ(grid::l1_norm(placement_by_name("diagonal")(rng, 4)), 4);
-  EXPECT_THROW(placement_by_name("bogus"), std::invalid_argument);
+TEST(Placement, RangeErrorsAreLoud) {
   EXPECT_THROW(ring_fraction_placement(1.5), std::invalid_argument);
+  EXPECT_THROW(ring_fraction_placement(-0.1), std::invalid_argument);
 }
 
 TEST(Metrics, OptimalTimeAndSpeedup) {

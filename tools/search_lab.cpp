@@ -6,7 +6,8 @@
 //
 //   search_lab run --spec=FILE [output/scheduler flags]
 //   search_lab run --strategies='uniform(eps=0.5); known-k' --ks=1,4,16
-//                  --ds=16,32 --trials=100 [--seed=N] [--placement=ring]
+//                  --ds=16,32 --trials=100 [--seed=N] [--placement=ring,axis]
+//                  [--schedule=staggered(gap=4)] [--crash=doa(p=0.25)]
 //                  [--time-cap=T] [--columns=a,b,c] [output/scheduler flags]
 //       Runs every scenario in FILE (text or JSON-lines form, see
 //       docs/scenarios.md), or a single scenario assembled from flags.
@@ -18,12 +19,14 @@
 //   --threads=N      scheduler threads (0 = hardware concurrency)
 //   --cache-dir=DIR  per-cell result cache; re-runs recompute only changed
 //                    cells
+//   --progress       per-cell completion lines on stderr (rows unaffected)
 #include <cstdio>
 #include <exception>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "scenario/environment.h"
 #include "scenario/registry.h"
 #include "scenario/sink.h"
 #include "scenario/spec.h"
@@ -34,19 +37,47 @@
 namespace ants {
 namespace {
 
+void print_params(const std::vector<scenario::ParamSpec>& params) {
+  for (const scenario::ParamSpec& p : params) {
+    std::cout << "    " << p.name << " (" << scenario::param_type_name(p.type)
+              << ", default " << p.default_value << "): " << p.doc << "\n";
+  }
+}
+
+const char* engine_kind(const scenario::BuiltStrategy& built) {
+  if (built.is_step()) return "step-level";
+  if (built.is_plane()) return "plane-level";
+  return "segment-level";
+}
+
 int run_list() {
   const scenario::Registry& registry = scenario::Registry::instance();
   for (const std::string& name : registry.names()) {
     const scenario::StrategyEntry* entry = registry.find(name);
-    std::cout << name << "\n    " << entry->summary << "\n";
-    for (const scenario::ParamSpec& p : entry->params) {
-      std::cout << "    " << p.name << " ("
-                << scenario::param_type_name(p.type)
-                << ", default " << p.default_value << "): " << p.doc << "\n";
-    }
+    const scenario::BuiltStrategy built =
+        registry.make(name, scenario::BuildContext{1});
+    std::cout << name << " [" << engine_kind(built) << "]\n    "
+              << entry->summary << "\n";
+    print_params(entry->params);
     std::cout << "\n";
   }
-  std::cout << registry.names().size() << " strategies registered.\n";
+  std::cout << registry.names().size() << " strategies registered.\n\n";
+
+  const auto print_axis = [](const char* title, const char* spec_key,
+                             const std::vector<scenario::EnvEntry>& entries) {
+    std::cout << "--- " << title << " (spec key: " << spec_key << ") ---\n";
+    for (const scenario::EnvEntry& entry : entries) {
+      std::cout << entry.name << "\n    " << entry.summary << "\n";
+      print_params(entry.params);
+    }
+    std::cout << "\n";
+  };
+  print_axis("placements — sweepable axis", "placements",
+             scenario::placement_entries());
+  print_axis("start schedules — async variants", "schedule",
+             scenario::schedule_entries());
+  print_axis("crash models — fail-stop variants", "crash",
+             scenario::crash_entries());
   return 0;
 }
 
@@ -66,6 +97,7 @@ int run_specs(util::Cli& cli) {
   scenario::SweepOptions sweep_opt;
   sweep_opt.threads = static_cast<unsigned>(cli.get_int("threads", 0));
   sweep_opt.cache_dir = cli.get_string("cache-dir", "");
+  sweep_opt.progress = cli.get_bool("progress", false);
 
   std::vector<scenario::ScenarioSpec> specs;
   if (!spec_path.empty()) {
@@ -89,7 +121,12 @@ int run_specs(util::Cli& cli) {
       std::cout << "scenario '" << spec.name << "': "
                 << spec.strategies.size() << " strategies x "
                 << spec.ks.size() << " ks x " << spec.distances.size()
-                << " distances, " << spec.trials << " trials/cell\n";
+                << " distances";
+      if (spec.placements.size() > 1) {
+        std::cout << " x " << spec.placements.size() << " placements";
+      }
+      if (spec.is_async()) std::cout << " [async]";
+      std::cout << ", " << spec.trials << " trials/cell\n";
     }
     const std::vector<scenario::CellResult> results =
         scenario::run_sweep(spec, sweep_opt);
