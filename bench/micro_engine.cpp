@@ -2,13 +2,23 @@
 // trial at experiment scale. The headline number — a D=256, k=64 known-k
 // trial in microseconds — is what makes the E1-E8 sweeps laptop-scale
 // (stepping the same trial would cost ~D^2/k * k = 65536+ node visits).
+//
+// The BM_Unified* group covers the environment-aware executor
+// (sim::run_trial): its sync path must stay at parity with the historical
+// run_search numbers (it IS the same sweep), and the environment draw,
+// async, multi-target, and lock-step costs get their own counters.
+// bench/baseline_engine.json pins a reference run of this harness;
+// tools/bench_compare.py diffs a fresh run against it (the CI
+// benchmark-smoke job does both).
 #include <benchmark/benchmark.h>
 
+#include "baselines/random_walk.h"
 #include "baselines/sector_sweep.h"
 #include "core/harmonic.h"
 #include "core/known_k.h"
 #include "core/uniform.h"
 #include "sim/engine.h"
+#include "sim/trial.h"
 
 namespace {
 
@@ -66,6 +76,94 @@ void BM_TrialSectorSweep(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TrialSectorSweep)->Arg(4)->Arg(64);
+
+// --- the unified environment-aware executor --------------------------------
+
+// Environment draw alone: two child streams + k delays + k lifetimes.
+void BM_UnifiedDrawEnvironment(benchmark::State& state) {
+  const auto k = static_cast<int>(state.range(0));
+  const ants::sim::StaggeredStart schedule(4);
+  const ants::sim::DoaCrash crashes(0.25);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    ants::rng::Rng trial(++seed);
+    const auto env = ants::sim::draw_environment(k, {{64, 0}}, schedule,
+                                                 crashes, trial);
+    benchmark::DoNotOptimize(env.starts.data());
+  }
+}
+BENCHMARK(BM_UnifiedDrawEnvironment)->Arg(16)->Arg(256);
+
+// Sync single-target trial through run_trial: must track BM_TrialKnownK
+// (the wrapper indirection is the only difference).
+void BM_UnifiedTrialSync(benchmark::State& state) {
+  const auto k = static_cast<int>(state.range(0));
+  const std::int64_t d = state.range(1);
+  const ants::core::KnownKStrategy strategy(k);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    ants::rng::Rng trial(++seed);
+    const auto r = ants::sim::run_trial(
+        strategy, k, ants::sim::single_target_environment({d, 0}), trial);
+    benchmark::DoNotOptimize(r.time);
+  }
+}
+BENCHMARK(BM_UnifiedTrialSync)->Args({16, 64})->Args({64, 256});
+
+// Full async/crash trial: environment draw + segment backend with
+// starts/lifetimes live.
+void BM_UnifiedTrialAsync(benchmark::State& state) {
+  const auto k = static_cast<int>(state.range(0));
+  const std::int64_t d = state.range(1);
+  const ants::core::KnownKStrategy strategy(k);
+  const ants::sim::StaggeredStart schedule(4);
+  const ants::sim::DoaCrash crashes(0.25);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    ants::rng::Rng trial(++seed);
+    const auto env = ants::sim::draw_environment(k, {{d, 0}}, schedule,
+                                                 crashes, trial);
+    const auto r = ants::sim::run_trial(strategy, k, env, trial);
+    benchmark::DoNotOptimize(r.time);
+  }
+}
+BENCHMARK(BM_UnifiedTrialAsync)->Args({16, 64})->Args({64, 256});
+
+// Multi-target race: per-segment cost scales with the target count.
+void BM_UnifiedTrialMultiTarget(benchmark::State& state) {
+  const auto n_targets = state.range(0);
+  const ants::core::KnownKStrategy strategy(16);
+  ants::sim::TrialEnvironment env;
+  for (std::int64_t i = 0; i < n_targets; ++i) {
+    env.targets.push_back({64 - 2 * i, 2 * i});
+  }
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    ants::rng::Rng trial(++seed);
+    const auto r = ants::sim::run_trial(strategy, 16, env, trial);
+    benchmark::DoNotOptimize(r.time);
+  }
+}
+BENCHMARK(BM_UnifiedTrialMultiTarget)->Arg(2)->Arg(8);
+
+// Lock-step backend under an environment (the step-async capability).
+void BM_UnifiedTrialStepAsync(benchmark::State& state) {
+  const auto k = static_cast<int>(state.range(0));
+  const ants::baselines::RandomWalkStrategy strategy;
+  const ants::sim::StaggeredStart schedule(2);
+  const ants::sim::FixedLifetime crashes(2000);
+  ants::sim::EngineConfig config;
+  config.time_cap = 4000;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    ants::rng::Rng trial(++seed);
+    const auto env = ants::sim::draw_environment(k, {{4, 0}}, schedule,
+                                                 crashes, trial);
+    const auto r = ants::sim::run_trial(strategy, k, env, trial, config);
+    benchmark::DoNotOptimize(r.time);
+  }
+}
+BENCHMARK(BM_UnifiedTrialStepAsync)->Arg(4)->Arg(16);
 
 }  // namespace
 

@@ -1,5 +1,6 @@
 #include "scenario/environment.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "scenario/text.h"
@@ -117,6 +118,11 @@ const std::vector<EnvEntry>& schedule_entries() {
       {"uniform-start",
        "each agent independently starts at Uniform{0, ..., max}",
        {{"max", ParamType::kInt, "0", "largest possible delay, >= 0"}}},
+      {"fixed",
+       "explicit per-agent start delays (the adversarial schedules used in "
+       "tests); the delay count must equal every k in the sweep grid",
+       {{"delays", ParamType::kString, "0",
+         "';'-separated non-negative delays, one per agent"}}},
   };
   return entries;
 }
@@ -139,6 +145,26 @@ const std::vector<EnvEntry>& crash_entries() {
   return entries;
 }
 
+const std::vector<EnvEntry>& target_entries() {
+  static const std::vector<EnvEntry> entries = {
+      {"single",
+       "one treasure at distance D from the placement policy (the paper's "
+       "base model)",
+       {}},
+      {"pair",
+       "two treasures: a near patch at max(1, round(near*D)) and a far one "
+       "at D, both placed by the placement policy — the foraging race of "
+       "the paper's introduction",
+       {{"near", ParamType::kDouble, "0.5",
+         "near-patch distance as a fraction of D, in (0, 1]"}}},
+      {"ring-set",
+       "n independent placement draws at distance D (patchy food on the "
+       "ring)",
+       {{"n", ParamType::kInt, "2", "number of targets, >= 1"}}},
+  };
+  return entries;
+}
+
 std::string canonical_placement_spec(const std::string& text) {
   const std::string out = canonical("placement", placement_entries(), text);
   (void)make_placement(out);  // surfaces range errors (f outside [0,1))
@@ -157,6 +183,12 @@ std::string canonical_crash_spec(const std::string& text) {
   return out;
 }
 
+std::string canonical_targets_spec(const std::string& text) {
+  const std::string out = canonical("targets", target_entries(), text);
+  (void)make_targets(out, sim::axis_placement());  // surfaces range errors
+  return out;
+}
+
 sim::Placement make_placement(const std::string& text) {
   const ResolvedEnv env = resolve("placement", placement_entries(), text);
   const std::string& name = env.entry->name;
@@ -166,6 +198,20 @@ sim::Placement make_placement(const std::string& text) {
   return sim::ring_fraction_placement(as_double(env, 0));
 }
 
+namespace {
+
+/// Parses the "fixed" schedule's ';'-separated delay list.
+std::vector<sim::Time> parse_delay_list(const std::string& value) {
+  std::vector<sim::Time> delays;
+  for (const std::string& piece : detail::split_top_level(value, ';')) {
+    delays.push_back(detail::parse_int64("schedule 'fixed' delays", piece));
+  }
+  if (delays.empty()) bad("schedule 'fixed': delays list is empty");
+  return delays;
+}
+
+}  // namespace
+
 std::unique_ptr<sim::StartSchedule> make_schedule(const std::string& text) {
   const ResolvedEnv env = resolve("schedule", schedule_entries(), text);
   const std::string& name = env.entry->name;
@@ -173,7 +219,16 @@ std::unique_ptr<sim::StartSchedule> make_schedule(const std::string& text) {
   if (name == "staggered") {
     return std::make_unique<sim::StaggeredStart>(as_int(env, 0));
   }
+  if (name == "fixed") {
+    return std::make_unique<sim::FixedStart>(parse_delay_list(env.values[0]));
+  }
   return std::make_unique<sim::UniformRandomStart>(as_int(env, 0));
+}
+
+std::size_t fixed_schedule_delay_count(const std::string& text) {
+  const ResolvedEnv env = resolve("schedule", schedule_entries(), text);
+  if (env.entry->name != "fixed") return 0;
+  return parse_delay_list(env.values[0]).size();
 }
 
 std::unique_ptr<sim::CrashModel> make_crash(const std::string& text) {
@@ -185,6 +240,39 @@ std::unique_ptr<sim::CrashModel> make_crash(const std::string& text) {
     return std::make_unique<sim::ExponentialLifetime>(as_double(env, 0));
   }
   return std::make_unique<sim::FixedLifetime>(as_int(env, 0));
+}
+
+sim::TargetDraw make_targets(const std::string& text,
+                             const sim::Placement& placement) {
+  const ResolvedEnv env = resolve("targets", target_entries(), text);
+  const std::string& name = env.entry->name;
+  if (name == "single") return sim::single_target(placement);
+  if (name == "pair") {
+    const double near = as_double(env, 0);
+    if (!(near > 0) || near > 1) {
+      bad("targets 'pair': near must be in (0, 1]");
+    }
+    return [near, placement](rng::Rng& rng, std::int64_t distance) {
+      const auto near_d = std::max<std::int64_t>(
+          1, std::llround(near * static_cast<double>(distance)));
+      // Target 0 is the NEAR patch, so first_target == 0 means the foraging
+      // preference held; both directions come from the placement policy.
+      std::vector<grid::Point> targets;
+      targets.push_back(placement(rng, near_d));
+      targets.push_back(placement(rng, distance));
+      return targets;
+    };
+  }
+  const std::int64_t n = as_int(env, 0);
+  if (n < 1) bad("targets 'ring-set': n must be >= 1");
+  return [n, placement](rng::Rng& rng, std::int64_t distance) {
+    std::vector<grid::Point> targets;
+    targets.reserve(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+      targets.push_back(placement(rng, distance));
+    }
+    return targets;
+  };
 }
 
 std::function<double(rng::Rng&)> make_plane_angle(const std::string& text) {
@@ -210,6 +298,10 @@ bool is_sync_schedule(const std::string& text) {
 
 bool is_no_crash(const std::string& text) {
   return parse_strategy_spec(text).name == "none";
+}
+
+bool is_single_targets(const std::string& text) {
+  return parse_strategy_spec(text).name == "single";
 }
 
 }  // namespace ants::scenario

@@ -1,18 +1,24 @@
-// Declarative environment axes: placement, start schedule, crash model.
+// Declarative environment axes: placement, start schedule, crash model,
+// target set.
 //
 // The scenario layer describes strategies as "name(key=value, ...)" spec
-// strings; this module extends the same grammar to the three environment
+// strings; this module extends the same grammar to the four environment
 // knobs an experiment can turn:
 //
-//   placement   where the adversary puts the treasure — a sweepable axis
+//   placement   where the adversary puts each target — a sweepable axis
 //               ("ring", "axis", "ring-fraction(f=0.25)", ...), so angular
 //               soft-spot hunts are a grid like k and D;
 //   schedule    per-agent start delays ("sync", "staggered(gap=4)",
-//               "uniform-start(max=256)") — the paper's section 2
-//               asynchrony remark as a spec field;
+//               "uniform-start(max=256)", "fixed(delays=0;5;10)") — the
+//               paper's section 2 asynchrony remark as a spec field;
 //   crash       per-agent fail-stop lifetimes ("none", "doa(p=0.25)",
 //               "exp-life(mean=1000)", "fixed-life(t=500)") — the
-//               robustness axis of experiment E9.
+//               robustness axis of experiment E9;
+//   targets     how many treasures the trial races for and where —
+//               a sweepable axis ("single", "pair(near=0.5)",
+//               "ring-set(n=3)") composing WITH the placement policy, so
+//               the paper's foraging motivation (find nearby food first)
+//               is an ordinary sweep with a `first_target` column.
 //
 // Each axis has a small registry (name + typed params + factory) mirroring
 // the strategy registry, so `search_lab list` can print every sweepable
@@ -27,6 +33,7 @@
 #include "scenario/registry.h"
 #include "sim/async_engine.h"
 #include "sim/placement.h"
+#include "sim/trial.h"
 
 namespace ants::scenario {
 
@@ -40,6 +47,7 @@ struct EnvEntry {
 const std::vector<EnvEntry>& placement_entries();
 const std::vector<EnvEntry>& schedule_entries();
 const std::vector<EnvEntry>& crash_entries();
+const std::vector<EnvEntry>& target_entries();
 
 /// Parse + validate against the axis registry + re-serialize stably (sorted
 /// params, no spaces). Throws std::invalid_argument on unknown names,
@@ -48,11 +56,24 @@ const std::vector<EnvEntry>& crash_entries();
 std::string canonical_placement_spec(const std::string& text);
 std::string canonical_schedule_spec(const std::string& text);
 std::string canonical_crash_spec(const std::string& text);
+std::string canonical_targets_spec(const std::string& text);
 
 /// Factories. Accept raw or canonical spec text.
 sim::Placement make_placement(const std::string& text);
 std::unique_ptr<sim::StartSchedule> make_schedule(const std::string& text);
 std::unique_ptr<sim::CrashModel> make_crash(const std::string& text);
+
+/// Compiles a target-set spec against a placement policy: the policy picks
+/// each target's direction, the target spec picks how many targets and at
+/// which distances. "single" is exactly one placement draw — byte-identical
+/// to the classic single-treasure path.
+sim::TargetDraw make_targets(const std::string& text,
+                             const sim::Placement& placement);
+
+/// For a "fixed" schedule, the number of per-agent delays it carries
+/// (validation must match it against every k in the sweep grid); 0 for
+/// every other schedule.
+std::size_t fixed_schedule_delay_count(const std::string& text);
 
 /// Treasure direction for continuous-plane cells, compiled once per
 /// placement: the returned callable yields the angle (radians) for one
@@ -60,10 +81,13 @@ std::unique_ptr<sim::CrashModel> make_crash(const std::string& text);
 /// policies ("axis", "diagonal", "ring-fraction") ignore it.
 std::function<double(rng::Rng&)> make_plane_angle(const std::string& text);
 
-/// True when the canonical schedule/crash pair is the paper's base model
-/// (synchronous starts, immortal agents) — such cells run the plain engine;
-/// anything else routes through sim::run_search_async.
+/// True when the schedule/crash/targets field is the paper's base model
+/// (synchronous starts, immortal agents, one treasure). Every cell runs the
+/// same unified executor either way; these predicates only gate which
+/// aggregate columns are meaningful and what the plane engine (which has no
+/// environment port) accepts.
 bool is_sync_schedule(const std::string& text);
 bool is_no_crash(const std::string& text);
+bool is_single_targets(const std::string& text);
 
 }  // namespace ants::scenario

@@ -46,6 +46,10 @@ const Column kColumns[] = {
      [](const ScenarioSpec&, const CellResult& r) {
        return r.cell.placement_spec;
      }},
+    {"targets",
+     [](const ScenarioSpec&, const CellResult& r) {
+       return r.cell.targets_spec;
+     }},
     {"schedule",
      [](const ScenarioSpec& spec, const CellResult&) {
        return parse_strategy_spec(spec.schedule).canonical();
@@ -133,6 +137,10 @@ const Column kColumns[] = {
     {"mean_last_start",
      [](const ScenarioSpec&, const CellResult& r) {
        return fmt(r.mean_last_start);
+     }},
+    {"first_target",
+     [](const ScenarioSpec&, const CellResult& r) {
+       return fmt(r.mean_first_target);
      }},
     {"cached",
      [](const ScenarioSpec&, const CellResult& r) {
@@ -277,6 +285,7 @@ bool cache_load(const std::string& dir, std::uint64_t hash,
   sim::RunStats rs;
   stats::Summary from_last;
   double n = 0, distance = 0, k = 0, mean_crashed = 0, mean_last_start = 0;
+  double mean_first_target = -1;
   const bool ok =
       get("n", &n) && get("distance", &distance) && get("k", &k) &&
       get("success_rate", &rs.success_rate) && get("mean", &rs.time.mean) &&
@@ -289,7 +298,8 @@ bool cache_load(const std::string& dir, std::uint64_t hash,
       get("from_last_mean", &from_last.mean) &&
       get("from_last_median", &from_last.median) &&
       get("mean_crashed", &mean_crashed) &&
-      get("mean_last_start", &mean_last_start);
+      get("mean_last_start", &mean_last_start) &&
+      get("mean_first_target", &mean_first_target);
   if (!ok) return false;
   rs.time.n = static_cast<std::size_t>(n);
   rs.distance = static_cast<std::int64_t>(distance);
@@ -298,6 +308,7 @@ bool cache_load(const std::string& dir, std::uint64_t hash,
   result->from_last_start = from_last;
   result->mean_crashed = mean_crashed;
   result->mean_last_start = mean_last_start;
+  result->mean_first_target = mean_first_target;
   return true;
 }
 
@@ -330,7 +341,9 @@ void cache_store(const std::string& dir, std::uint64_t hash,
         << "from_last_median=" << fmt_exact(result.from_last_start.median)
         << "\n"
         << "mean_crashed=" << fmt_exact(result.mean_crashed) << "\n"
-        << "mean_last_start=" << fmt_exact(result.mean_last_start) << "\n";
+        << "mean_last_start=" << fmt_exact(result.mean_last_start) << "\n"
+        << "mean_first_target=" << fmt_exact(result.mean_first_target)
+        << "\n";
     out.flush();
     if (!out.good()) {  // e.g. disk full: a short write must never publish
       out.close();

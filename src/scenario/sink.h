@@ -90,8 +90,9 @@ void emit_results(const ScenarioSpec& spec,
 
 /// Loads cached aggregates for a cell hash into `result` (which keeps its
 /// Cell); false if absent or unreadable. Loaded stats carry aggregates only
-/// (stats.times stays empty); the async extras (from_last_start mean/median,
-/// mean_crashed, mean_last_start) round-trip.
+/// (stats.times stays empty); the environment extras (from_last_start
+/// mean/median, mean_crashed, mean_last_start, mean_first_target)
+/// round-trip.
 bool cache_load(const std::string& dir, std::uint64_t hash,
                 CellResult* result);
 

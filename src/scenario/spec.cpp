@@ -204,6 +204,8 @@ void assign_field(ScenarioSpec& spec, const std::string& key,
       spec.distances.push_back(to_int("distances", piece));
   } else if (key == "placement" || key == "placements") {
     spec.placements = list;
+  } else if (key == "targets") {
+    spec.targets = list;
   } else if (key == "schedule") {
     spec.schedule = value;
   } else if (key == "crash") {
@@ -267,12 +269,27 @@ void ScenarioSpec::validate() const {
     if (d < 1) bad("scenario '" + name + "': distance must be >= 1");
   }
   if (placements.empty()) bad("scenario '" + name + "': empty placement grid");
+  if (targets.empty()) bad("scenario '" + name + "': empty targets grid");
   // Canonicalizing surfaces unknown names, unknown/malformed parameters,
   // and range errors up front rather than mid-sweep.
   for (const std::string& p : placements) (void)canonical_placement_spec(p);
+  for (const std::string& t : targets) (void)canonical_targets_spec(t);
   (void)canonical_schedule_spec(schedule);
   (void)canonical_crash_spec(crash);
+  // A fixed schedule carries one delay per agent; every k in the grid must
+  // match it, or FixedStart would throw mid-sweep.
+  if (const std::size_t delays = fixed_schedule_delay_count(schedule);
+      delays > 0) {
+    for (const std::int64_t k : ks) {
+      if (static_cast<std::size_t>(k) != delays) {
+        bad("scenario '" + name + "': fixed schedule has " +
+            std::to_string(delays) + " delays but the grid contains k=" +
+            std::to_string(k));
+      }
+    }
+  }
   const bool async = is_async();
+  const bool multi = is_multi_target();
   // Building each strategy (at the grid's first k) surfaces unknown names,
   // unknown/malformed parameters, and constructor range errors up front
   // rather than mid-sweep.
@@ -287,10 +304,17 @@ void ScenarioSpec::validate() const {
       bad("scenario '" + name + "': plane-level strategy '" + s +
           "' requires a finite time_cap");
     }
-    if (async && !built.segment) {
-      bad("scenario '" + name + "': strategy '" + s +
-          "' cannot run under schedule/crash variants (only segment-level "
-          "strategies support the async engine)");
+    // The unified executor gives every grid strategy the full environment;
+    // only the continuous-plane engine has no port for these axes.
+    if (async && built.is_plane()) {
+      bad("scenario '" + name + "': plane-level strategy '" + s +
+          "' cannot run under schedule/crash variants (the plane engine "
+          "has no environment port)");
+    }
+    if (multi && built.is_plane()) {
+      bad("scenario '" + name + "': plane-level strategy '" + s +
+          "' cannot run multi-target specs (the plane engine has no "
+          "environment port)");
     }
   }
   for (const std::string& column : columns) {
@@ -309,13 +333,15 @@ std::string ScenarioSpec::canonical() const {
     }
     return out;
   };
-  std::vector<std::string> strategy_texts, k_texts, d_texts, p_texts;
+  std::vector<std::string> strategy_texts, k_texts, d_texts, p_texts, t_texts;
   for (const auto& s : strategies)
     strategy_texts.push_back(parse_strategy_spec(s).canonical());
   for (const auto k : ks) k_texts.push_back(std::to_string(k));
   for (const auto d : distances) d_texts.push_back(std::to_string(d));
   for (const auto& p : placements)
     p_texts.push_back(parse_strategy_spec(p).canonical());
+  for (const auto& t : targets)
+    t_texts.push_back(parse_strategy_spec(t).canonical());
 
   std::ostringstream out;
   out << "name = " << name << "\n"
@@ -323,6 +349,7 @@ std::string ScenarioSpec::canonical() const {
       << "ks = " << join(k_texts) << "\n"
       << "distances = " << join(d_texts) << "\n"
       << "placements = " << join(p_texts) << "\n"
+      << "targets = " << join(t_texts) << "\n"
       << "schedule = " << parse_strategy_spec(schedule).canonical() << "\n"
       << "crash = " << parse_strategy_spec(crash).canonical() << "\n"
       << "trials = " << trials << "\n"
@@ -334,6 +361,13 @@ std::string ScenarioSpec::canonical() const {
 
 bool ScenarioSpec::is_async() const {
   return !is_sync_schedule(schedule) || !is_no_crash(crash);
+}
+
+bool ScenarioSpec::is_multi_target() const {
+  for (const std::string& t : targets) {
+    if (!is_single_targets(t)) return true;
+  }
+  return false;
 }
 
 std::vector<ScenarioSpec> parse_spec_text(const std::string& text) {
@@ -404,6 +438,10 @@ ScenarioSpec spec_from_cli(util::Cli& cli) {
   const std::string placements = cli.get_string("placement", "");
   if (!placements.empty()) {
     spec.placements = split_top_level(placements, ',');
+  }
+  const std::string targets = cli.get_string("targets", "");
+  if (!targets.empty()) {
+    spec.targets = split_top_level(targets, ',');
   }
   spec.schedule = cli.get_string("schedule", spec.schedule);
   spec.crash = cli.get_string("crash", spec.crash);

@@ -1,12 +1,12 @@
 // Declarative scenario specs: an experiment as data instead of a main().
 //
 // A spec names the strategies to run (registry spec strings), the k-, D-,
-// and placement grids, the start schedule and crash model (async/crash
-// variants of the paper's model), trial count, master seed, optional time
-// cap, and the output columns. Flattened by the sweep scheduler into
-// (strategy, k, D, placement) cells, it fully determines every number in
-// the output: results are a pure function of (spec, seed), independent of
-// thread count.
+// placement, and target-set grids, the start schedule and crash model
+// (async/crash variants of the paper's model), trial count, master seed,
+// optional time cap, and the output columns. Flattened by the sweep
+// scheduler into (strategy, k, D, placement, targets) cells, it fully
+// determines every number in the output: results are a pure function of
+// (spec, seed), independent of thread count.
 //
 // Two on-disk forms, mixable in one file:
 //
@@ -44,11 +44,16 @@ struct ScenarioSpec {
   /// Placement policy specs (environment.h) — a sweep axis like ks and
   /// distances, so e.g. a ring-fraction grid probes angular soft spots.
   std::vector<std::string> placements = {"ring"};
-  /// Start-schedule spec ("sync", "staggered(gap=4)", ...). Anything but
-  /// sync routes cells through sim::run_async_trials.
+  /// Target-set specs ("single", "pair(near=0.5)", "ring-set(n=3)") — a
+  /// sweep axis composing with the placement policy; non-single sets race
+  /// first-of-set and surface the `first_target` column.
+  std::vector<std::string> targets = {"single"};
+  /// Start-schedule spec ("sync", "staggered(gap=4)",
+  /// "fixed(delays=0;5;10)", ...). Applies to segment- AND step-level
+  /// strategies through the unified executor.
   std::string schedule = "sync";
-  /// Crash-model spec ("none", "doa(p=0.25)", ...). Anything but none
-  /// routes cells through sim::run_async_trials.
+  /// Crash-model spec ("none", "doa(p=0.25)", ...). Applies to segment-
+  /// and step-level strategies through the unified executor.
   std::string crash = "none";
   std::int64_t trials = 100;
   std::uint64_t seed = 0xA27553ACULL;
@@ -63,9 +68,13 @@ struct ScenarioSpec {
     return time_cap == 0 ? sim::kNeverTime : time_cap;
   }
 
-  /// True when schedule/crash leave the paper's base model — such specs run
-  /// every cell through sim::run_search_async.
+  /// True when schedule/crash leave the paper's base model — such specs
+  /// surface the async aggregate columns (from_last_*, mean_crashed, ...).
   bool is_async() const;
+
+  /// True when any target-set spec is not "single" — such specs surface the
+  /// first_target column meaningfully.
+  bool is_multi_target() const;
 
   /// Throws std::invalid_argument on an unrunnable spec (empty strategy
   /// list, non-positive grids or trials, unknown placement or strategy,
@@ -83,9 +92,9 @@ std::vector<ScenarioSpec> parse_spec_text(const std::string& text);
 std::vector<ScenarioSpec> parse_spec_file(const std::string& path);
 
 /// Builds one spec from CLI flags: --strategies (';'- or top-level-','
-/// separated), --ks, --ds, --trials, --seed, --placement (list), --schedule,
-/// --crash, --time-cap, --columns, --scenario-name. Flags not given keep the
-/// defaults above.
+/// separated), --ks, --ds, --trials, --seed, --placement (list), --targets
+/// (list), --schedule, --crash, --time-cap, --columns, --scenario-name.
+/// Flags not given keep the defaults above.
 ScenarioSpec spec_from_cli(util::Cli& cli);
 
 /// FNV-1a over `text` — the stable string hash the cell cache keys use.

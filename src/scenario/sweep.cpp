@@ -12,8 +12,7 @@
 #include "scenario/environment.h"
 #include "scenario/registry.h"
 #include "scenario/sink.h"
-#include "sim/engine.h"
-#include "sim/step_engine.h"
+#include "sim/trial.h"
 #include "util/thread_pool.h"
 
 namespace ants::scenario {
@@ -21,22 +20,22 @@ namespace ants::scenario {
 namespace {
 
 /// Bump when the cell execution or cache format changes in any way that
-/// invalidates previously cached aggregates. v2: placement became a
-/// per-cell axis, schedule/crash joined the key, async aggregates joined
-/// the cache record.
-constexpr int kCellFormatVersion = 2;
+/// invalidates previously cached aggregates. v3: the target set became a
+/// per-cell axis and mean_first_target joined the cache record.
+constexpr int kCellFormatVersion = 3;
 
 std::uint64_t cell_hash(const ScenarioSpec& spec, const std::string& strategy,
                         std::int64_t k, std::int64_t distance,
                         const std::string& placement,
+                        const std::string& targets,
                         const std::string& schedule,
                         const std::string& crash) {
   std::ostringstream key;
   key << "v" << kCellFormatVersion << "|" << strategy << "|k=" << k
       << "|d=" << distance << "|placement=" << placement
-      << "|schedule=" << schedule << "|crash=" << crash
-      << "|trials=" << spec.trials << "|seed=" << spec.seed
-      << "|cap=" << spec.time_cap;
+      << "|targets=" << targets << "|schedule=" << schedule
+      << "|crash=" << crash << "|trials=" << spec.trials
+      << "|seed=" << spec.seed << "|cap=" << spec.time_cap;
   return hash_text(key.str());
 }
 
@@ -50,35 +49,43 @@ std::vector<Cell> flatten(const ScenarioSpec& spec) {
   for (const std::string& p : spec.placements) {
     placements.push_back(canonical_placement_spec(p));
   }
+  std::vector<std::string> targets;
+  for (const std::string& t : spec.targets) {
+    targets.push_back(canonical_targets_spec(t));
+  }
 
   std::vector<Cell> cells;
   cells.reserve(spec.strategies.size() * spec.ks.size() *
-                spec.distances.size() * placements.size());
+                spec.distances.size() * placements.size() * targets.size());
   for (std::size_t si = 0; si < spec.strategies.size(); ++si) {
     const StrategySpec parsed = parse_strategy_spec(spec.strategies[si]);
     const std::string canonical = parsed.canonical();
     for (const std::int64_t k : spec.ks) {
-      // The display name can depend on k ("$k" defaults), the distance and
-      // placement cannot — build once per (strategy, k).
+      // The display name can depend on k ("$k" defaults), the distance,
+      // placement, and targets cannot — build once per (strategy, k).
       const BuildContext ctx{static_cast<int>(k)};
       const std::string display =
           Registry::instance().make(parsed, ctx).display_name();
       for (const std::int64_t d : spec.distances) {
         for (std::size_t pi = 0; pi < placements.size(); ++pi) {
-          Cell cell;
-          cell.strategy_index = si;
-          cell.strategy_spec = canonical;
-          cell.strategy_name = display;
-          cell.placement_index = pi;
-          cell.placement_spec = placements[pi];
-          cell.k = k;
-          cell.distance = d;
-          cell.seed = rng::mix_seed(
-              spec.seed, rng::mix_seed(static_cast<std::uint64_t>(k),
-                                       static_cast<std::uint64_t>(d)));
-          cell.hash = cell_hash(spec, canonical, k, d, placements[pi],
-                                schedule, crash);
-          cells.push_back(std::move(cell));
+          for (std::size_t ti = 0; ti < targets.size(); ++ti) {
+            Cell cell;
+            cell.strategy_index = si;
+            cell.strategy_spec = canonical;
+            cell.strategy_name = display;
+            cell.placement_index = pi;
+            cell.placement_spec = placements[pi];
+            cell.targets_index = ti;
+            cell.targets_spec = targets[ti];
+            cell.k = k;
+            cell.distance = d;
+            cell.seed = rng::mix_seed(
+                spec.seed, rng::mix_seed(static_cast<std::uint64_t>(k),
+                                         static_cast<std::uint64_t>(d)));
+            cell.hash = cell_hash(spec, canonical, k, d, placements[pi],
+                                  targets[ti], schedule, crash);
+            cells.push_back(std::move(cell));
+          }
         }
       }
     }
@@ -143,10 +150,16 @@ std::vector<CellResult> run_sweep(const ScenarioSpec& spec,
     built[i] = &it->second;
   }
 
-  // Placement policies, schedule, and crash model are stateless draws from
-  // the trial rng — one shared instance per spec is thread-safe. The
-  // plane-side angle policy is compiled here too, not re-parsed per trial.
+  // Placement policies, target-set draws, schedule, and crash model are
+  // stateless draws from the trial rng — one shared instance per spec is
+  // thread-safe. Target draws compose the placement policy with the cell's
+  // target-set spec, so they are compiled per (placement, targets) pair.
+  // The plane-side angle policy is compiled here too, not re-parsed per
+  // trial.
+  const std::size_t n_targets = spec.targets.size();
   std::vector<sim::Placement> placements(spec.placements.size());
+  std::vector<sim::TargetDraw> target_draws(spec.placements.size() *
+                                            n_targets);
   std::vector<std::function<double(rng::Rng&)>> plane_angles(
       spec.placements.size());
   for (const std::size_t i : pending) {
@@ -156,14 +169,21 @@ std::vector<CellResult> run_sweep(const ScenarioSpec& spec,
         plane_angles[cell.placement_index] =
             make_plane_angle(cell.placement_spec);
       }
-    } else if (!placements[cell.placement_index]) {
+      continue;
+    }
+    if (!placements[cell.placement_index]) {
       placements[cell.placement_index] = make_placement(cell.placement_spec);
+    }
+    const std::size_t di = cell.placement_index * n_targets +
+                           cell.targets_index;
+    if (!target_draws[di]) {
+      target_draws[di] =
+          make_targets(cell.targets_spec, placements[cell.placement_index]);
     }
   }
   const std::unique_ptr<sim::StartSchedule> schedule =
-      async ? make_schedule(spec.schedule) : nullptr;
-  const std::unique_ptr<sim::CrashModel> crashes =
-      async ? make_crash(spec.crash) : nullptr;
+      make_schedule(spec.schedule);
+  const std::unique_ptr<sim::CrashModel> crashes = make_crash(spec.crash);
 
   sim::EngineConfig engine_config;
   engine_config.time_cap = spec.effective_time_cap();
@@ -185,6 +205,7 @@ std::vector<CellResult> run_sweep(const ScenarioSpec& spec,
     }
   }
   std::vector<std::atomic<std::int64_t>> found(n_cells);
+  std::vector<std::atomic<std::int64_t>> first_target_sum(n_cells);
   std::vector<std::atomic<std::int64_t>> remaining(n_cells);
   for (const std::size_t i : pending) {
     remaining[i].store(static_cast<std::int64_t>(trials));
@@ -209,30 +230,43 @@ std::vector<CellResult> run_sweep(const ScenarioSpec& spec,
               *built[ci]->plane, static_cast<int>(cell.k), treasure,
               trial_rng, plane_config);
           times[ci][trial] = r.time;
-          if (r.found) found[ci].fetch_add(1, std::memory_order_relaxed);
-        } else {
-          const grid::Point treasure =
-              placements[cell.placement_index](trial_rng, cell.distance);
-          sim::SearchResult r;
-          if (async) {
-            const sim::AsyncSearchResult ar = sim::run_search_async(
-                *built[ci]->segment, static_cast<int>(cell.k), treasure,
-                trial_rng, *schedule, *crashes, engine_config);
-            r = ar.base;
-            from_last[ci][trial] = static_cast<double>(ar.from_last_start);
-            crashed[ci][trial] = static_cast<double>(ar.crashed);
-            last_starts[ci][trial] = static_cast<double>(ar.last_start);
-          } else if (built[ci]->is_step()) {
-            r = sim::run_step_search(*built[ci]->step,
-                                     static_cast<int>(cell.k), treasure,
-                                     trial_rng, engine_config.time_cap);
-          } else {
-            r = sim::run_search(*built[ci]->segment,
-                                static_cast<int>(cell.k), treasure,
-                                trial_rng, engine_config);
+          if (r.found) {
+            found[ci].fetch_add(1, std::memory_order_relaxed);
+            // The plane engine races a single treasure: target index 0.
           }
+        } else {
+          // THE executor call site: every grid cell — any strategy family,
+          // any schedule/crash/targets combination — runs the unified
+          // sim::run_trial under its per-trial environment. Base-model
+          // specs take the executor's empty-starts/lifetimes fast path
+          // instead of drawing all-zero/immortal vectors every trial: the
+          // sync hot path must not pay for axes it does not use.
+          sim::TrialEnvironment env;
+          env.targets = target_draws[cell.placement_index * n_targets +
+                                     cell.targets_index](trial_rng,
+                                                         cell.distance);
+          if (async) {
+            env = sim::draw_environment(static_cast<int>(cell.k),
+                                        std::move(env.targets), *schedule,
+                                        *crashes, trial_rng);
+          }
+          sim::TrialStrategy strategy;
+          strategy.segment = built[ci]->segment.get();
+          strategy.step = built[ci]->step.get();
+          const sim::TrialResult r =
+              sim::run_trial(strategy, static_cast<int>(cell.k), env,
+                             trial_rng, engine_config);
           times[ci][trial] = static_cast<double>(r.time);
-          if (r.found) found[ci].fetch_add(1, std::memory_order_relaxed);
+          if (async) {
+            from_last[ci][trial] = static_cast<double>(r.from_last_start);
+            crashed[ci][trial] = static_cast<double>(r.crashed);
+            last_starts[ci][trial] = static_cast<double>(r.last_start);
+          }
+          if (r.found) {
+            found[ci].fetch_add(1, std::memory_order_relaxed);
+            first_target_sum[ci].fetch_add(r.first_target,
+                                           std::memory_order_relaxed);
+          }
         }
         if (remaining[ci].fetch_sub(1, std::memory_order_acq_rel) == 1) {
           report_cell(cell, "done");
@@ -249,6 +283,11 @@ std::vector<CellResult> run_sweep(const ScenarioSpec& spec,
       results[i].mean_crashed = stats::Summary::from(crashed[i]).mean;
       results[i].mean_last_start = stats::Summary::from(last_starts[i]).mean;
     }
+    results[i].mean_first_target =
+        found[i].load() > 0
+            ? static_cast<double>(first_target_sum[i].load()) /
+                  static_cast<double>(found[i].load())
+            : -1.0;
     if (!opt.cache_dir.empty()) {
       cache_store(opt.cache_dir, cells[i].hash, results[i]);
     }

@@ -1,5 +1,6 @@
-// Sweep scheduler: flattens a ScenarioSpec into (strategy, k, D, placement)
-// cells and runs every trial of every cell through ONE util::parallel_for.
+// Sweep scheduler: flattens a ScenarioSpec into (strategy, k, D, placement,
+// targets) cells and runs every trial of every cell through ONE
+// util::parallel_for.
 //
 // Scheduling across cells matters because per-cell parallelism (the
 // sim::run_trials path) serializes a sweep on one barrier per cell: a grid
@@ -7,12 +8,12 @@
 // list is all (cell, trial) pairs, so a long-running cell's trials overlap
 // the next cells' instead of gating them.
 //
-// Cells route through the engine their strategy and environment need:
-// segment-level strategies under the base model run sim::run_search,
-// spec-level schedule/crash variants run sim::run_search_async (surfacing
-// from-last-start times and crash counts), step-level strategies run the
-// lock-step engine, and plane-level strategies run the continuous-plane
-// engine with the placement translated to a treasure angle.
+// Every grid cell — segment- or step-level, base model or schedule/crash
+// variant, one target or many — executes through the SAME call site: the
+// unified sim::run_trial under a per-trial TrialEnvironment drawn from the
+// cell's schedule/crash/targets specs. Only plane-level strategies run a
+// different engine (the continuous plane has no environment port), with the
+// placement translated to a treasure angle.
 //
 // Reproducibility contract (inherited from sim/runner.h and test-enforced):
 // trial t of a cell uses rng seed mix(cell_seed, t), where
@@ -20,13 +21,13 @@
 //     cell_seed = mix(spec.seed, mix(k, distance))
 //
 // is a pure function of the spec's master seed and the cell's (k, D) grid
-// point — deliberately NOT of the strategy or the placement policy, so every
-// strategy at the same (k, D) faces identical treasure placements (paired
-// instances, the E7 fairness requirement) and placement policies are probed
-// on the same trial randomness. Results are therefore a pure function of
-// (spec, seed), independent of thread count and scheduling order, and each
-// cell's stats equal the matching sim::run_trials / run_async_trials /
-// run_step_trials call at the cell's derived seed.
+// point — deliberately NOT of the strategy, the placement policy, or the
+// target-set policy, so every strategy at the same (k, D) faces identical
+// treasure placements (paired instances, the E7 fairness requirement) and
+// placement/target policies are probed on the same trial randomness.
+// Results are therefore a pure function of (spec, seed), independent of
+// thread count and scheduling order, and each cell's stats equal the
+// matching sim::run_env_trials call at the cell's derived seed.
 #pragma once
 
 #include <cstdint>
@@ -46,6 +47,8 @@ struct Cell {
   std::string strategy_name;        ///< display name of the built strategy
   std::size_t placement_index = 0;  ///< into spec.placements
   std::string placement_spec;       ///< canonical placement spec string
+  std::size_t targets_index = 0;    ///< into spec.targets
+  std::string targets_spec;         ///< canonical target-set spec string
   std::int64_t k = 1;
   std::int64_t distance = 1;
   std::uint64_t seed = 0;  ///< derived cell seed (see header comment)
@@ -61,6 +64,9 @@ struct CellResult {
   stats::Summary from_last_start;
   double mean_crashed = 0;
   double mean_last_start = 0;
+  /// Mean winning-target index over FOUND trials (-1 when nothing was
+  /// found); 0 for single-target cells.
+  double mean_first_target = -1;
   bool from_cache = false;
 };
 
@@ -74,9 +80,10 @@ struct SweepOptions {
 };
 
 /// The cells of a spec in deterministic order: strategies outermost, then
-/// ks, then distances, then placements — cell (si, ki, di, pi) lands at
-/// index ((si * ks.size() + ki) * distances.size() + di) * placements.size()
-/// + pi. Validates the spec.
+/// ks, then distances, then placements, then targets — cell
+/// (si, ki, di, pi, ti) lands at index
+/// (((si * ks.size() + ki) * distances.size() + di) * placements.size() +
+/// pi) * targets.size() + ti. Validates the spec.
 std::vector<Cell> flatten(const ScenarioSpec& spec);
 
 /// Runs the whole sweep; the result vector parallels flatten(spec). Cached

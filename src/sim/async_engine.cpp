@@ -1,24 +1,13 @@
 #include "sim/async_engine.h"
 
-#include <algorithm>
-#include <queue>
 #include <stdexcept>
 #include <utility>
 
+#include "sim/trial.h"
 #include "util/format.h"
 #include "util/sat.h"
 
 namespace ants::sim {
-
-namespace {
-
-// Child-stream tags for the trial rng. Agent programs use child(a) with
-// a in [0, k); these constants are far outside any realistic k and distinct
-// from each other, so the three stream families never collide.
-constexpr std::uint64_t kScheduleStream = 0x5C4ED11E00000001ULL;
-constexpr std::uint64_t kCrashStream = 0xC7A5400000000002ULL;
-
-}  // namespace
 
 std::vector<Time> SyncStart::draw(int k, rng::Rng&) const {
   return std::vector<Time>(static_cast<std::size_t>(k), 0);
@@ -118,117 +107,16 @@ std::vector<Time> FixedLifetime::draw_lifetimes(int k, rng::Rng&) const {
   return std::vector<Time>(static_cast<std::size_t>(k), lifetime_);
 }
 
-AsyncSearchResult run_search_async(const Strategy& strategy, int k,
-                                   grid::Point treasure,
-                                   const rng::Rng& trial_rng,
-                                   const StartSchedule& schedule,
-                                   const CrashModel& crashes,
-                                   const EngineConfig& config) {
+TrialResult run_search_async(const Strategy& strategy, int k,
+                             grid::Point treasure, const rng::Rng& trial_rng,
+                             const StartSchedule& schedule,
+                             const CrashModel& crashes,
+                             const EngineConfig& config) {
   if (k < 1) throw std::invalid_argument("run_search_async: need k >= 1");
-
-  rng::Rng sched_rng = trial_rng.child(kScheduleStream);
-  rng::Rng crash_rng = trial_rng.child(kCrashStream);
-  const std::vector<Time> starts = schedule.draw(k, sched_rng);
-  const std::vector<Time> lifetimes = crashes.draw_lifetimes(k, crash_rng);
-
-  AsyncSearchResult result;
-  result.last_start = *std::max_element(starts.begin(), starts.end());
-
-  // The source node itself needs no movement: any agent that ever starts
-  // finds a treasure placed at the source the moment it wakes up.
-  if (treasure == grid::kOrigin) {
-    const auto first =
-        std::min_element(starts.begin(), starts.end()) - starts.begin();
-    result.base.found = true;
-    result.base.time = starts[static_cast<std::size_t>(first)];
-    result.base.finder = static_cast<int>(first);
-    result.from_last_start = 0;
-    return result;
-  }
-
-  // Same interleaved min-heap sweep as run_search (see engine.cpp for the
-  // rationale), with two differences: an agent's heap key is its ABSOLUTE
-  // clock start + elapsed, and an agent whose elapsed time reaches its
-  // lifetime is retired instead of re-enqueued.
-  struct AgentState {
-    std::unique_ptr<AgentProgram> program;
-    rng::Rng rng;
-    grid::Point pos = grid::kOrigin;
-    Time elapsed = 0;  ///< active time in the agent's own program
-    std::int64_t segments = 0;
-  };
-  std::vector<AgentState> agents;
-  agents.reserve(static_cast<std::size_t>(k));
-  for (int a = 0; a < k; ++a) {
-    agents.push_back(AgentState{
-        strategy.make_program(AgentContext{a, k}),
-        trial_rng.child(static_cast<std::uint64_t>(a)), grid::kOrigin, 0, 0});
-  }
-
-  using Entry = std::pair<Time, int>;  // (absolute clock, agent)
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
-  for (int a = 0; a < k; ++a) {
-    const auto ua = static_cast<std::size_t>(a);
-    if (lifetimes[ua] <= 0) {
-      ++result.crashed;  // dead on arrival: never acts
-      continue;
-    }
-    queue.emplace(starts[ua], a);
-  }
-
-  Time best = kNeverTime;
-  int finder = -1;
-
-  while (!queue.empty()) {
-    const auto [abs_clock, a] = queue.top();
-    queue.pop();
-    const Time bound =
-        std::min(config.time_cap, best == kNeverTime ? best : best - 1);
-    if (abs_clock > bound) break;
-
-    const auto ua = static_cast<std::size_t>(a);
-    AgentState& agent = agents[ua];
-    if (++agent.segments > config.max_segments_per_agent) {
-      throw std::runtime_error(
-          "async engine: agent exceeded segment budget without terminating");
-    }
-    ++result.base.segments;
-
-    const Segment seg =
-        realize(agent.program->next(agent.rng), agent.pos, grid::kOrigin);
-    if (const auto hit = hit_offset(seg, treasure)) {
-      const Time when_active = util::sat_add(agent.elapsed, *hit);
-      // A hit only counts while the agent is still alive.
-      if (when_active <= lifetimes[ua]) {
-        const Time when_abs = util::sat_add(starts[ua], when_active);
-        if (when_abs <= config.time_cap &&
-            (when_abs < best || (when_abs == best && a < finder))) {
-          best = when_abs;
-          finder = a;
-        }
-      }
-    }
-    agent.elapsed = util::sat_add(agent.elapsed, duration(seg));
-    agent.pos = end_position(seg);
-    if (agent.elapsed >= lifetimes[ua]) {
-      ++result.crashed;  // halts mid-plan; position is wherever it died
-      continue;
-    }
-    queue.emplace(util::sat_add(starts[ua], agent.elapsed), a);
-  }
-
-  if (best != kNeverTime) {
-    result.base.found = true;
-    result.base.time = best;
-    result.base.finder = finder;
-    result.from_last_start = best > result.last_start ? best - result.last_start : 0;
-  } else {
-    result.base.found = false;
-    result.base.time = config.time_cap;
-    result.base.finder = -1;
-    result.from_last_start = config.time_cap;
-  }
-  return result;
+  return run_trial(strategy, k,
+                   draw_environment(k, {treasure}, schedule, crashes,
+                                    trial_rng),
+                   trial_rng, config);
 }
 
 }  // namespace ants::sim

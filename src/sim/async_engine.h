@@ -1,4 +1,4 @@
-// Asynchronous starts and fail-stop crashes.
+// Start schedules and fail-stop crash models.
 //
 // Section 2 of the paper makes two simplifying assumptions and argues both
 // away in one sentence each: agents start simultaneously ("can easily be
@@ -6,16 +6,22 @@
 // search") and never fail. This module makes those remarks executable so
 // experiment E9 can check them quantitatively:
 //
-//   * A StartSchedule assigns each agent a start delay; the engine reports
-//     the search time both from t0 (first possible start) and from the last
-//     start, so the paper's "count from the last start" reduction is a
-//     measurable claim rather than a modeling convention.
+//   * A StartSchedule assigns each agent a start delay; the executor
+//     reports the search time both from t0 (first possible start) and from
+//     the last start, so the paper's "count from the last start" reduction
+//     is a measurable claim rather than a modeling convention.
 //   * A CrashModel assigns each agent an active-time budget (lifetime);
 //     an agent that exhausts its lifetime halts in place and contributes
 //     nothing further (fail-stop — the agent does not "unvisit" anything).
 //     Crash robustness is the natural future-work axis of the paper: with
 //     Bernoulli dead-on-arrival failures of rate p the survivors are a
 //     Binomial(k, 1-p) crowd, so E[T] should track D + D^2/((1-p)k).
+//
+// Both policies are pure per-trial draws consumed by sim::draw_environment
+// (sim/trial.h), which executes them on EVERY strategy family — segment- and
+// lock-step-level alike — through the unified run_trial executor.
+// run_search_async below is the historical segment-level entry point, now a
+// thin wrapper over that executor.
 //
 // Determinism: delays and lifetimes are drawn from dedicated child streams
 // of the trial rng (tags kScheduleStream / kCrashStream), so enabling either
@@ -136,21 +142,15 @@ class FixedLifetime final : public CrashModel {
   Time lifetime_;
 };
 
-struct AsyncSearchResult {
-  SearchResult base;            ///< time is absolute (from t = 0)
-  Time last_start = 0;          ///< latest start delay in this trial
-  Time from_last_start = 0;     ///< max(0, base.time - last_start) if found
-  int crashed = 0;              ///< agents that exhausted their lifetime
-};
-
-/// Collaborative search with per-agent start delays and fail-stop crashes.
-/// With SyncStart and NoCrash this is exactly run_search (asserted by the
-/// equivalence tests).
-AsyncSearchResult run_search_async(const Strategy& strategy, int k,
-                                   grid::Point treasure,
-                                   const rng::Rng& trial_rng,
-                                   const StartSchedule& schedule,
-                                   const CrashModel& crashes,
-                                   const EngineConfig& config = {});
+/// Collaborative search with per-agent start delays and fail-stop crashes:
+/// draws the trial environment from the dedicated child streams and runs
+/// the unified executor. With SyncStart and NoCrash this is exactly
+/// run_search (asserted by the equivalence tests). The returned time is
+/// absolute (from t = 0).
+TrialResult run_search_async(const Strategy& strategy, int k,
+                             grid::Point treasure, const rng::Rng& trial_rng,
+                             const StartSchedule& schedule,
+                             const CrashModel& crashes,
+                             const EngineConfig& config = {});
 
 }  // namespace ants::sim

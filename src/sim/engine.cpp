@@ -1,11 +1,8 @@
 #include "sim/engine.h"
 
-#include <algorithm>
-#include <memory>
-#include <queue>
 #include <stdexcept>
-#include <vector>
 
+#include "sim/trial.h"
 #include "util/sat.h"
 
 namespace ants::sim {
@@ -69,90 +66,17 @@ Time single_agent_hit_time(AgentProgram& program, rng::Rng& rng,
 SearchResult run_search(const Strategy& strategy, int k, grid::Point treasure,
                         const rng::Rng& trial_rng, const EngineConfig& config) {
   if (k < 1) throw std::invalid_argument("run_search: need k >= 1");
-
+  // The base model is the unified executor under the trivial environment
+  // (simultaneous starts, immortal agents, one target); see sim/trial.h for
+  // the interleaved min-heap sweep this used to implement directly.
+  const TrialResult r =
+      run_trial(strategy, k, single_target_environment(treasure), trial_rng,
+                config);
   SearchResult result;
-
-  if (treasure == grid::kOrigin) {
-    result.found = true;
-    result.time = 0;
-    result.finder = 0;
-    return result;
-  }
-
-  // Agents are interleaved by simulation clock (smallest first) rather than
-  // processed to completion one at a time: with deterministic partitioned
-  // strategies (e.g. the sector sweep) only ONE agent ever reaches the
-  // treasure, so any agent processed before it under an infinite bound
-  // would never terminate. Interleaving guarantees the eventual finder sets
-  // the bound after simulating at most its own hit time, and every other
-  // agent stops as soon as its clock passes that bound.
-  struct AgentState {
-    std::unique_ptr<AgentProgram> program;
-    rng::Rng rng;
-    grid::Point pos = grid::kOrigin;
-    Time clock = 0;
-    std::int64_t segments = 0;
-  };
-  std::vector<AgentState> agents;
-  agents.reserve(static_cast<std::size_t>(k));
-  for (int a = 0; a < k; ++a) {
-    agents.push_back(AgentState{
-        strategy.make_program(AgentContext{a, k}),
-        trial_rng.child(static_cast<std::uint64_t>(a)),
-        grid::kOrigin, 0, 0});
-  }
-
-  // Min-heap of (clock, agent index); lower index wins ties so the outcome
-  // is deterministic and matches the brute-force reference order.
-  using Entry = std::pair<Time, int>;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
-  for (int a = 0; a < k; ++a) queue.emplace(0, a);
-
-  Time best = kNeverTime;
-  int finder = -1;
-
-  while (!queue.empty()) {
-    const auto [clock, a] = queue.top();
-    queue.pop();
-    // All other clocks are >= this one; once it exceeds the bound, no agent
-    // can improve the outcome.
-    const Time bound =
-        std::min(config.time_cap, best == kNeverTime ? best : best - 1);
-    if (clock > bound) break;
-
-    AgentState& agent = agents[static_cast<std::size_t>(a)];
-    if (++agent.segments > config.max_segments_per_agent) {
-      throw std::runtime_error(
-          "engine: agent exceeded segment budget without terminating");
-    }
-    ++result.segments;
-
-    const Segment seg =
-        realize(agent.program->next(agent.rng), agent.pos, grid::kOrigin);
-    if (const auto hit = hit_offset(seg, treasure)) {
-      const Time when = util::sat_add(agent.clock, *hit);
-      // Earliest hit wins; exact ties go to the lowest agent index, the
-      // same rule as the brute-force reference in the cross-check tests.
-      if (when <= config.time_cap &&
-          (when < best || (when == best && a < finder))) {
-        best = when;
-        finder = a;
-      }
-    }
-    agent.clock = util::sat_add(agent.clock, duration(seg));
-    agent.pos = end_position(seg);
-    queue.emplace(agent.clock, a);
-  }
-
-  if (best != kNeverTime) {
-    result.found = true;
-    result.time = best;
-    result.finder = finder;
-  } else {
-    result.found = false;
-    result.time = config.time_cap;
-    result.finder = -1;
-  }
+  result.time = r.time;
+  result.found = r.found;
+  result.finder = r.finder;
+  result.segments = r.segments;
   return result;
 }
 

@@ -1,13 +1,18 @@
-// The collaborative-search engine.
+// The collaborative-search engine (base model).
 //
 // Simulates k identical non-communicating agents, all starting at the source
 // (origin) at time 0, until the first one visits the treasure. Because
 // agents never interact, the run outcome is min over agents of each agent's
-// private first-hit time; the engine exploits this by processing agents one
-// at a time under a shrinking time bound (the best hit found so far, or the
-// cap), so the cost of a trial is the number of SEGMENTS realized within the
-// bound — polylogarithmic in D for the paper's algorithms — never the number
-// of grid steps.
+// private first-hit time; the executor exploits this by processing agents
+// under a shrinking time bound (the best hit found so far, or the cap), so
+// the cost of a trial is the number of SEGMENTS realized within the bound —
+// polylogarithmic in D for the paper's algorithms — never the number of
+// grid steps.
+//
+// run_search is the historical single-treasure entry point; since the
+// engine unification it is a thin wrapper over sim::run_trial (sim/trial.h)
+// under the trivial environment, and is test-pinned to the exact results it
+// produced as a standalone engine.
 //
 // Determinism: agent a of a trial draws from trial_rng.child(a), so results
 // are identical regardless of evaluation order or thread count.

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "sim/trial.h"
 #include "util/sat.h"
 
 namespace ants::sim {
@@ -23,6 +24,28 @@ MultiSearchResult run_search_multi(const Strategy& strategy, int k,
         "run_search_multi: collect-all requires a finite time_cap");
   }
 
+  // First-of-set is exactly the unified executor's race semantics; only
+  // collect-all (every target's first-visit time, no shrinking bound) needs
+  // the dedicated sweep below.
+  if (!collect_all) {
+    TrialEnvironment env;
+    env.targets = targets;
+    const TrialResult r = run_trial(strategy, k, env, trial_rng, config);
+    MultiSearchResult result;
+    result.first_time = r.time;
+    result.found = r.found;
+    result.finder = r.finder;
+    result.first_target = r.first_target;
+    result.target_times.assign(targets.size(), kNeverTime);
+    for (std::size_t ti = 0; ti < targets.size(); ++ti) {
+      if (targets[ti] == grid::kOrigin) result.target_times[ti] = 0;
+    }
+    if (r.found) {
+      result.target_times[static_cast<std::size_t>(r.first_target)] = r.time;
+    }
+    return result;
+  }
+
   MultiSearchResult result;
   result.target_times.assign(targets.size(), kNeverTime);
 
@@ -38,11 +61,10 @@ MultiSearchResult run_search_multi(const Strategy& strategy, int k,
       }
     }
   }
-  if (result.found && !collect_all) return result;
-
-  // Interleaved min-clock sweep as in run_search; the only differences are
-  // the per-segment loop over targets and, in collect-all mode, a bound
-  // that never shrinks below the cap.
+  // Interleaved min-clock sweep as in the unified executor; the difference
+  // is the per-target first-visit bookkeeping and a bound that never
+  // shrinks below the cap (every agent runs to the cap regardless of what
+  // has been found).
   struct AgentState {
     std::unique_ptr<AgentProgram> program;
     rng::Rng rng;
@@ -70,14 +92,7 @@ MultiSearchResult run_search_multi(const Strategy& strategy, int k,
   while (!queue.empty()) {
     const auto [clock, a] = queue.top();
     queue.pop();
-    // First-of-set: the race ends at the earliest hit. Collect-all: run
-    // every agent to the cap regardless of what has been found.
-    const Time bound =
-        collect_all
-            ? config.time_cap
-            : std::min(config.time_cap,
-                       best == kNeverTime ? best : best - 1);
-    if (clock > bound) break;
+    if (clock > config.time_cap) break;
 
     AgentState& agent = agents[static_cast<std::size_t>(a)];
     if (++agent.segments > config.max_segments_per_agent) {

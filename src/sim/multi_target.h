@@ -9,7 +9,10 @@
 //
 // Two modes:
 //   * first-of-set (collect_all = false): the run ends at the first visit
-//     of any target — the foraging race. O(#targets) per segment.
+//     of any target — the foraging race. O(#targets) per segment. This is
+//     the unified executor's native semantics (sim/trial.h), so this mode
+//     is a thin wrapper over run_trial — and the scenario layer's
+//     `targets=` axis exposes the same race as an ordinary sweep.
 //   * collect-all  (collect_all = true): agents run to the time cap and
 //     the first-visit time of EVERY target is recorded — the discovery
 //     schedule, from which nearest-first orderings are computed.

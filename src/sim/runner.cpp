@@ -25,30 +25,97 @@ RunStats make_run_stats(std::vector<double> times, std::int64_t found,
   return rs;
 }
 
-RunStats run_trials(const Strategy& strategy, int k, std::int64_t distance,
-                    const Placement& placement, const RunConfig& config) {
-  if (config.trials < 1) throw std::invalid_argument("run_trials: trials");
-  if (distance < 1) throw std::invalid_argument("run_trials: distance");
+AsyncRunStats run_env_trials(const TrialStrategy& strategy, int k,
+                             std::int64_t distance, const TargetDraw& targets,
+                             const StartSchedule& schedule,
+                             const CrashModel& crashes,
+                             const RunConfig& config) {
+  if (config.trials < 1) throw std::invalid_argument("run_env_trials: trials");
+  if (distance < 1) throw std::invalid_argument("run_env_trials: distance");
+  if (strategy.step != nullptr && config.time_cap == kNeverTime) {
+    throw std::invalid_argument(
+        "run_env_trials: step strategies require a finite time_cap");
+  }
 
-  std::vector<double> times(static_cast<std::size_t>(config.trials));
+  const auto n = static_cast<std::size_t>(config.trials);
+  std::vector<double> times(n);
+  std::vector<double> from_last(n);
+  std::vector<double> crashed(n);
+  std::vector<double> last_starts(n);
   std::atomic<std::int64_t> found{0};
+  std::atomic<std::int64_t> first_target_sum{0};
 
   EngineConfig engine_config;
   engine_config.time_cap = config.time_cap;
 
+  // Base-model runs (the run_trials / run_step_trials wrappers) take the
+  // executor's empty-starts/lifetimes fast path instead of drawing
+  // all-zero/immortal vectors every trial — the sync hot path must not pay
+  // two k-sized allocations per trial for axes it does not use.
+  const bool base_model = dynamic_cast<const SyncStart*>(&schedule) &&
+                          dynamic_cast<const NoCrash*>(&crashes);
+
   util::parallel_for(
-      static_cast<std::size_t>(config.trials),
+      n,
       [&](std::size_t trial) {
         rng::Rng trial_rng(rng::mix_seed(config.seed, trial));
-        const grid::Point treasure = placement(trial_rng, distance);
-        const SearchResult r =
-            run_search(strategy, k, treasure, trial_rng, engine_config);
+        TrialEnvironment env;
+        if (base_model) {
+          env.targets = targets(trial_rng, distance);
+        } else {
+          env = draw_environment(k, targets(trial_rng, distance), schedule,
+                                 crashes, trial_rng);
+        }
+        const TrialResult r =
+            run_trial(strategy, k, env, trial_rng, engine_config);
         times[trial] = static_cast<double>(r.time);
-        if (r.found) found.fetch_add(1, std::memory_order_relaxed);
+        from_last[trial] = static_cast<double>(r.from_last_start);
+        crashed[trial] = static_cast<double>(r.crashed);
+        last_starts[trial] = static_cast<double>(r.last_start);
+        if (r.found) {
+          found.fetch_add(1, std::memory_order_relaxed);
+          first_target_sum.fetch_add(r.first_target,
+                                     std::memory_order_relaxed);
+        }
       },
       config.threads);
 
-  return make_run_stats(std::move(times), found.load(), distance, k);
+  AsyncRunStats rs;
+  rs.base = make_run_stats(std::move(times), found.load(), distance, k);
+  rs.from_last_start = stats::Summary::from(from_last);
+  rs.mean_crashed = stats::Summary::from(crashed).mean;
+  rs.mean_last_start = stats::Summary::from(last_starts).mean;
+  rs.mean_first_target =
+      found.load() > 0 ? static_cast<double>(first_target_sum.load()) /
+                             static_cast<double>(found.load())
+                       : -1.0;
+  return rs;
+}
+
+RunStats run_trials(const Strategy& strategy, int k, std::int64_t distance,
+                    const Placement& placement, const RunConfig& config) {
+  if (config.trials < 1) throw std::invalid_argument("run_trials: trials");
+  if (distance < 1) throw std::invalid_argument("run_trials: distance");
+  TrialStrategy ts;
+  ts.segment = &strategy;
+  return run_env_trials(ts, k, distance, single_target(placement), SyncStart(),
+                        NoCrash(), config)
+      .base;
+}
+
+RunStats run_step_trials(const StepStrategy& strategy, int k,
+                         std::int64_t distance, const Placement& placement,
+                         const RunConfig& config) {
+  if (config.trials < 1) throw std::invalid_argument("run_step_trials: trials");
+  if (distance < 1) throw std::invalid_argument("run_step_trials: distance");
+  if (config.time_cap == kNeverTime) {
+    throw std::invalid_argument("run_step_trials: finite time_cap required");
+  }
+  TrialStrategy ts;
+  ts.step = &strategy;
+  return run_env_trials(ts, k, distance, single_target(placement), SyncStart(),
+                        NoCrash(), config)
+      .base;
 }
 
 AsyncRunStats run_async_trials(const Strategy& strategy, int k,
@@ -61,66 +128,10 @@ AsyncRunStats run_async_trials(const Strategy& strategy, int k,
     throw std::invalid_argument("run_async_trials: trials");
   }
   if (distance < 1) throw std::invalid_argument("run_async_trials: distance");
-
-  const auto n = static_cast<std::size_t>(config.trials);
-  std::vector<double> times(n);
-  std::vector<double> from_last(n);
-  std::vector<double> crashed(n);
-  std::vector<double> last_starts(n);
-  std::atomic<std::int64_t> found{0};
-
-  EngineConfig engine_config;
-  engine_config.time_cap = config.time_cap;
-
-  util::parallel_for(
-      n,
-      [&](std::size_t trial) {
-        rng::Rng trial_rng(rng::mix_seed(config.seed, trial));
-        const grid::Point treasure = placement(trial_rng, distance);
-        const AsyncSearchResult r = run_search_async(
-            strategy, k, treasure, trial_rng, schedule, crashes,
-            engine_config);
-        times[trial] = static_cast<double>(r.base.time);
-        from_last[trial] = static_cast<double>(r.from_last_start);
-        crashed[trial] = static_cast<double>(r.crashed);
-        last_starts[trial] = static_cast<double>(r.last_start);
-        if (r.base.found) found.fetch_add(1, std::memory_order_relaxed);
-      },
-      config.threads);
-
-  AsyncRunStats rs;
-  rs.base = make_run_stats(std::move(times), found.load(), distance, k);
-  rs.from_last_start = stats::Summary::from(from_last);
-  rs.mean_crashed = stats::Summary::from(crashed).mean;
-  rs.mean_last_start = stats::Summary::from(last_starts).mean;
-  return rs;
-}
-
-RunStats run_step_trials(const StepStrategy& strategy, int k,
-                         std::int64_t distance, const Placement& placement,
-                         const RunConfig& config) {
-  if (config.trials < 1) throw std::invalid_argument("run_step_trials: trials");
-  if (distance < 1) throw std::invalid_argument("run_step_trials: distance");
-  if (config.time_cap == kNeverTime) {
-    throw std::invalid_argument("run_step_trials: finite time_cap required");
-  }
-
-  std::vector<double> times(static_cast<std::size_t>(config.trials));
-  std::atomic<std::int64_t> found{0};
-
-  util::parallel_for(
-      static_cast<std::size_t>(config.trials),
-      [&](std::size_t trial) {
-        rng::Rng trial_rng(rng::mix_seed(config.seed, trial));
-        const grid::Point treasure = placement(trial_rng, distance);
-        const SearchResult r = run_step_search(strategy, k, treasure,
-                                               trial_rng, config.time_cap);
-        times[trial] = static_cast<double>(r.time);
-        if (r.found) found.fetch_add(1, std::memory_order_relaxed);
-      },
-      config.threads);
-
-  return make_run_stats(std::move(times), found.load(), distance, k);
+  TrialStrategy ts;
+  ts.segment = &strategy;
+  return run_env_trials(ts, k, distance, single_target(placement), schedule,
+                        crashes, config);
 }
 
 }  // namespace ants::sim

@@ -1,5 +1,11 @@
-// Monte-Carlo runner: repeats collaborative-search trials across threads and
+// Monte-Carlo runner: repeats environment-aware trials across threads and
 // aggregates the statistics the experiment tables need.
+//
+// Every public run_* entry point funnels through ONE driver
+// (run_env_trials), which draws the per-trial environment and executes the
+// unified sim::run_trial — so segment- and step-level strategies, start
+// schedules, crash models, and multi-target races all share a single
+// Monte-Carlo loop.
 //
 // Reproducibility contract: trial i of a run with master seed S uses
 // rng seed mix(S, i) for both placement and the engine, so a result is a
@@ -14,6 +20,7 @@
 #include "sim/engine.h"
 #include "sim/placement.h"
 #include "sim/step_engine.h"
+#include "sim/trial.h"
 #include "sim/types.h"
 #include "stats/summary.h"
 
@@ -36,33 +43,49 @@ struct RunStats {
   std::vector<double> times;    ///< raw per-trial times (censored)
 };
 
-/// Builds RunStats from raw per-trial times. Shared by run_trials and the
+/// Builds RunStats from raw per-trial times. Shared by the runner and the
 /// scenario sweep scheduler (which owns its own trial loop so it can
 /// schedule across sweep cells); both must aggregate identically.
 RunStats make_run_stats(std::vector<double> times, std::int64_t found,
                         std::int64_t distance, int k);
 
-/// Segment-level strategies (all paper algorithms + coordinated baselines).
-RunStats run_trials(const Strategy& strategy, int k, std::int64_t distance,
-                    const Placement& placement, const RunConfig& config);
-
-/// Step-level strategies (random-walk family). config.time_cap must be
-/// finite.
-RunStats run_step_trials(const StepStrategy& strategy, int k,
-                         std::int64_t distance, const Placement& placement,
-                         const RunConfig& config);
-
-/// Aggregates for asynchronous-start / crash-prone runs (experiment E9).
+/// Environment aggregates on top of the base stats (zero under the paper's
+/// base model, where every trial has zero delays, no crashes, and target 0
+/// wins every race).
 struct AsyncRunStats {
   RunStats base;                  ///< times measured from t = 0
   stats::Summary from_last_start; ///< times measured from the last start
   double mean_crashed = 0;        ///< mean number of crashed agents per trial
   double mean_last_start = 0;     ///< mean of the trial's latest start delay
+  /// Mean winning-target index over FOUND trials (-1 when nothing was ever
+  /// found); 0 for single-target runs.
+  double mean_first_target = -1;
 };
 
-/// Monte-Carlo wrapper around run_search_async; same reproducibility
-/// contract as run_trials (a result is a pure function of the arguments and
-/// config.seed, independent of thread count).
+/// The unified Monte-Carlo driver: `targets` draws each trial's target set
+/// (see sim::single_target for the classic one-treasure adversary),
+/// schedule/crashes realize the per-agent environment, and the strategy may
+/// be segment- or step-level. Step-level strategies require a finite
+/// config.time_cap.
+AsyncRunStats run_env_trials(const TrialStrategy& strategy, int k,
+                             std::int64_t distance, const TargetDraw& targets,
+                             const StartSchedule& schedule,
+                             const CrashModel& crashes,
+                             const RunConfig& config);
+
+/// Segment-level strategies (all paper algorithms + coordinated baselines)
+/// under the base model.
+RunStats run_trials(const Strategy& strategy, int k, std::int64_t distance,
+                    const Placement& placement, const RunConfig& config);
+
+/// Step-level strategies (random-walk family) under the base model.
+/// config.time_cap must be finite.
+RunStats run_step_trials(const StepStrategy& strategy, int k,
+                         std::int64_t distance, const Placement& placement,
+                         const RunConfig& config);
+
+/// Segment-level strategies under a start schedule / crash model
+/// (experiment E9); same reproducibility contract as run_trials.
 AsyncRunStats run_async_trials(const Strategy& strategy, int k,
                                std::int64_t distance,
                                const Placement& placement,

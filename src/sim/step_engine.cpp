@@ -1,8 +1,8 @@
 #include "sim/step_engine.h"
 
-#include <cassert>
 #include <stdexcept>
-#include <vector>
+
+#include "sim/trial.h"
 
 namespace ants::sim {
 
@@ -17,44 +17,20 @@ SearchResult run_step_search(const StepStrategy& strategy, int k,
     throw std::invalid_argument("run_step_search: finite time_cap required");
   }
 
+  EngineConfig config;
+  config.time_cap = time_cap;
+  const TrialResult r =
+      run_trial(strategy, k, single_target_environment(treasure), trial_rng,
+                config);
   SearchResult result;
-
-  if (treasure == grid::kOrigin) {
-    result.found = true;
-    result.time = 0;
-    result.finder = 0;
-    return result;
-  }
-
-  std::vector<std::unique_ptr<StepProgram>> programs;
-  std::vector<rng::Rng> rngs;
-  std::vector<grid::Point> pos(static_cast<std::size_t>(k), grid::kOrigin);
-  programs.reserve(static_cast<std::size_t>(k));
-  rngs.reserve(static_cast<std::size_t>(k));
-  for (int a = 0; a < k; ++a) {
-    programs.push_back(strategy.make_program(AgentContext{a, k}));
-    rngs.push_back(trial_rng.child(static_cast<std::uint64_t>(a)));
-  }
-
-  for (Time t = 1; t <= time_cap; ++t) {
-    for (int a = 0; a < k; ++a) {
-      const auto ia = static_cast<std::size_t>(a);
-      const grid::Point next = programs[ia]->step(rngs[ia], pos[ia]);
-      assert(grid::l1_dist(next, pos[ia]) <= 1);
-      pos[ia] = next;
-      if (next == treasure) {
-        result.found = true;
-        result.time = t;
-        result.finder = a;
-        result.segments = t * k;
-        return result;
-      }
-    }
-  }
-
-  result.found = false;
-  result.time = time_cap;
-  result.segments = time_cap * k;
+  result.time = r.time;
+  result.found = r.found;
+  result.finder = r.finder;
+  // Historical accounting: this entry point always charged full k-agent
+  // ticks (t * k), even for the tick the finder cut short. The unified
+  // executor counts steps actually taken; keep the legacy figure here so
+  // long-standing callers see unchanged numbers.
+  result.segments = (r.found ? r.time : time_cap) * k;
   return result;
 }
 

@@ -1,8 +1,13 @@
-// Lock-step engine for step-level strategies (random walks and their
-// relatives), which have no useful segment structure: all k agents advance
-// one edge per tick until some agent stands on the treasure or the cap is
-// reached. Cost is O(k * cap) — these baselines are only run at small D,
-// which is exactly the paper's point about random walks on Z^2.
+// Step-level strategy interface (random walks and their relatives), which
+// have no useful segment structure: all k agents advance one edge per tick
+// until some agent stands on the treasure or the cap is reached. Cost is
+// O(k * cap) — these baselines are only run at small D, which is exactly
+// the paper's point about random walks on Z^2.
+//
+// The lock-step execution loop lives in the unified executor (sim/trial.h),
+// which also gives these strategies start schedules, fail-stop crashes, and
+// multi-target races; run_step_search below is the historical
+// single-treasure entry point, now a thin wrapper over it.
 #pragma once
 
 #include <memory>

@@ -1,0 +1,317 @@
+#include "sim/trial.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <queue>
+#include <stdexcept>
+#include <utility>
+
+#include "util/sat.h"
+
+namespace ants::sim {
+
+namespace {
+
+/// Earliest entry of `starts` (lowest index wins ties); 0 when empty.
+std::size_t earliest_start_index(const std::vector<Time>& starts) {
+  if (starts.empty()) return 0;
+  return static_cast<std::size_t>(
+      std::min_element(starts.begin(), starts.end()) - starts.begin());
+}
+
+void validate_trial_args(const TrialStrategy& strategy, int k,
+                         const TrialEnvironment& env) {
+  if (strategy.segment == nullptr && strategy.step == nullptr) {
+    throw std::invalid_argument("run_trial: no strategy given");
+  }
+  if (strategy.segment != nullptr && strategy.step != nullptr) {
+    throw std::invalid_argument("run_trial: ambiguous strategy family");
+  }
+  if (k < 1) throw std::invalid_argument("run_trial: need k >= 1");
+  if (env.targets.empty()) {
+    throw std::invalid_argument("run_trial: need >= 1 target");
+  }
+  const auto uk = static_cast<std::size_t>(k);
+  if (!env.starts.empty() && env.starts.size() != uk) {
+    throw std::invalid_argument("run_trial: starts count != k");
+  }
+  if (!env.lifetimes.empty() && env.lifetimes.size() != uk) {
+    throw std::invalid_argument("run_trial: lifetimes count != k");
+  }
+}
+
+/// Fills the shared result fields for a target sitting on the source node:
+/// any agent that ever starts finds it the moment it wakes up, so the
+/// earliest starter (lowest index on ties) is the finder. Matches the
+/// historical engines exactly (run_search: t = 0, finder 0).
+bool resolve_origin_target(const TrialEnvironment& env, TrialResult* result) {
+  for (std::size_t ti = 0; ti < env.targets.size(); ++ti) {
+    if (env.targets[ti] != grid::kOrigin) continue;
+    const std::size_t first = earliest_start_index(env.starts);
+    result->found = true;
+    result->time = env.starts.empty() ? 0 : env.starts[first];
+    result->finder = static_cast<int>(first);
+    result->first_target = static_cast<int>(ti);
+    result->from_last_start = 0;
+    return true;
+  }
+  return false;
+}
+
+/// Segment backend: the interleaved min-heap sweep of the historical
+/// engines, generalized over starts/lifetimes/target sets. Agents are
+/// interleaved by ABSOLUTE clock (start + active time, smallest first)
+/// rather than processed to completion one at a time: with deterministic
+/// partitioned strategies (e.g. the sector sweep) only ONE agent ever
+/// reaches a target, so any agent processed before it under an infinite
+/// bound would never terminate. Interleaving guarantees the eventual finder
+/// sets the bound after simulating at most its own hit time, and every
+/// other agent stops as soon as its clock passes that bound.
+TrialResult run_segment_trial(const Strategy& strategy, int k,
+                              const TrialEnvironment& env,
+                              const rng::Rng& trial_rng,
+                              const EngineConfig& config) {
+  TrialResult result;
+  result.last_start = env.last_start();
+  if (resolve_origin_target(env, &result)) return result;
+
+  const auto start_of = [&](int a) {
+    return env.starts.empty() ? Time{0}
+                              : env.starts[static_cast<std::size_t>(a)];
+  };
+  const auto lifetime_of = [&](int a) {
+    return env.lifetimes.empty()
+               ? kNeverTime
+               : env.lifetimes[static_cast<std::size_t>(a)];
+  };
+
+  struct AgentState {
+    std::unique_ptr<AgentProgram> program;
+    rng::Rng rng;
+    grid::Point pos = grid::kOrigin;
+    Time elapsed = 0;  ///< active time in the agent's own program
+    std::int64_t segments = 0;
+  };
+  std::vector<AgentState> agents;
+  agents.reserve(static_cast<std::size_t>(k));
+  for (int a = 0; a < k; ++a) {
+    agents.push_back(AgentState{
+        strategy.make_program(AgentContext{a, k}),
+        trial_rng.child(static_cast<std::uint64_t>(a)), grid::kOrigin, 0, 0});
+  }
+
+  // Min-heap of (absolute clock, agent index); lower index wins ties so the
+  // outcome is deterministic and matches the brute-force reference order.
+  using Entry = std::pair<Time, int>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
+  for (int a = 0; a < k; ++a) {
+    if (lifetime_of(a) <= 0) {
+      ++result.crashed;  // dead on arrival: never acts
+      continue;
+    }
+    queue.emplace(start_of(a), a);
+  }
+
+  Time best = kNeverTime;
+  int finder = -1;
+  int first_target = -1;
+
+  while (!queue.empty()) {
+    const auto [abs_clock, a] = queue.top();
+    queue.pop();
+    // All other clocks are >= this one; once it exceeds the bound (the best
+    // hit so far, or the cap), no agent can improve the outcome.
+    const Time bound =
+        std::min(config.time_cap, best == kNeverTime ? best : best - 1);
+    if (abs_clock > bound) break;
+
+    AgentState& agent = agents[static_cast<std::size_t>(a)];
+    if (++agent.segments > config.max_segments_per_agent) {
+      throw std::runtime_error(
+          "run_trial: agent exceeded segment budget without terminating");
+    }
+    ++result.segments;
+
+    const Segment seg =
+        realize(agent.program->next(agent.rng), agent.pos, grid::kOrigin);
+    for (std::size_t ti = 0; ti < env.targets.size(); ++ti) {
+      const auto hit = hit_offset(seg, env.targets[ti]);
+      if (!hit) continue;
+      const Time when_active = util::sat_add(agent.elapsed, *hit);
+      // A hit only counts while the agent is still alive.
+      if (when_active > lifetime_of(a)) continue;
+      const Time when_abs = util::sat_add(start_of(a), when_active);
+      if (when_abs > config.time_cap) continue;
+      // Earliest hit wins; exact ties go to the lowest agent index, then to
+      // the lowest target index — the historical engines' rule.
+      if (when_abs < best || (when_abs == best && a < finder)) {
+        best = when_abs;
+        finder = a;
+        first_target = static_cast<int>(ti);
+      }
+    }
+    agent.elapsed = util::sat_add(agent.elapsed, duration(seg));
+    agent.pos = end_position(seg);
+    if (agent.elapsed >= lifetime_of(a)) {
+      ++result.crashed;  // halts mid-plan; position is wherever it died
+      continue;
+    }
+    queue.emplace(util::sat_add(start_of(a), agent.elapsed), a);
+  }
+
+  if (best != kNeverTime) {
+    result.found = true;
+    result.time = best;
+    result.finder = finder;
+    result.first_target = first_target;
+    result.from_last_start =
+        best > result.last_start ? best - result.last_start : 0;
+  } else {
+    result.found = false;
+    result.time = config.time_cap;
+    result.from_last_start = config.time_cap;
+  }
+  return result;
+}
+
+/// Lock-step backend: every alive, started agent advances one edge per
+/// tick. Under a sync/no-crash single-target environment this is
+/// tick-for-tick the historical run_step_search loop (agents move in index
+/// order within a tick, the first to stand on a target wins).
+TrialResult run_step_trial(const StepStrategy& strategy, int k,
+                           const TrialEnvironment& env,
+                           const rng::Rng& trial_rng,
+                           const EngineConfig& config) {
+  if (config.time_cap == kNeverTime) {
+    // Random-walk-style strategies have infinite expected hitting time on
+    // Z^2 (see the paper's related-work discussion); an uncapped run is a
+    // programming error.
+    throw std::invalid_argument(
+        "run_trial: step strategies require a finite time_cap");
+  }
+
+  TrialResult result;
+  result.last_start = env.last_start();
+  if (resolve_origin_target(env, &result)) return result;
+
+  const auto start_of = [&](int a) {
+    return env.starts.empty() ? Time{0}
+                              : env.starts[static_cast<std::size_t>(a)];
+  };
+  const auto lifetime_of = [&](int a) {
+    return env.lifetimes.empty()
+               ? kNeverTime
+               : env.lifetimes[static_cast<std::size_t>(a)];
+  };
+
+  std::vector<std::unique_ptr<StepProgram>> programs;
+  std::vector<rng::Rng> rngs;
+  std::vector<grid::Point> pos(static_cast<std::size_t>(k), grid::kOrigin);
+  std::vector<char> crashed(static_cast<std::size_t>(k), 0);
+  programs.reserve(static_cast<std::size_t>(k));
+  rngs.reserve(static_cast<std::size_t>(k));
+  for (int a = 0; a < k; ++a) {
+    programs.push_back(strategy.make_program(AgentContext{a, k}));
+    rngs.push_back(trial_rng.child(static_cast<std::uint64_t>(a)));
+    if (lifetime_of(a) <= 0) {
+      crashed[static_cast<std::size_t>(a)] = 1;  // dead on arrival
+      ++result.crashed;
+    }
+  }
+
+  for (Time t = 1; t <= config.time_cap; ++t) {
+    for (int a = 0; a < k; ++a) {
+      const auto ia = static_cast<std::size_t>(a);
+      if (crashed[ia]) continue;
+      if (t <= start_of(a)) continue;  // not yet started: waits at the source
+      const Time active = t - start_of(a);
+      if (active > lifetime_of(a)) {
+        crashed[ia] = 1;  // halts in place; does not "unvisit" anything
+        ++result.crashed;
+        continue;
+      }
+      const grid::Point next = programs[ia]->step(rngs[ia], pos[ia]);
+      assert(grid::l1_dist(next, pos[ia]) <= 1);
+      pos[ia] = next;
+      ++result.segments;
+      for (std::size_t ti = 0; ti < env.targets.size(); ++ti) {
+        if (next != env.targets[ti]) continue;
+        result.found = true;
+        result.time = t;
+        result.finder = a;
+        result.first_target = static_cast<int>(ti);
+        result.from_last_start =
+            t > result.last_start ? t - result.last_start : 0;
+        return result;
+      }
+    }
+  }
+
+  result.found = false;
+  result.time = config.time_cap;
+  result.from_last_start = config.time_cap;
+  return result;
+}
+
+}  // namespace
+
+Time TrialEnvironment::last_start() const noexcept {
+  if (starts.empty()) return 0;
+  return *std::max_element(starts.begin(), starts.end());
+}
+
+TrialEnvironment single_target_environment(grid::Point treasure) {
+  TrialEnvironment env;
+  env.targets = {treasure};
+  return env;
+}
+
+TrialEnvironment draw_environment(int k, std::vector<grid::Point> targets,
+                                  const StartSchedule& schedule,
+                                  const CrashModel& crashes,
+                                  const rng::Rng& trial_rng) {
+  if (k < 1) throw std::invalid_argument("draw_environment: need k >= 1");
+  TrialEnvironment env;
+  env.targets = std::move(targets);
+  rng::Rng sched_rng = trial_rng.child(kScheduleStream);
+  rng::Rng crash_rng = trial_rng.child(kCrashStream);
+  env.starts = schedule.draw(k, sched_rng);
+  env.lifetimes = crashes.draw_lifetimes(k, crash_rng);
+  return env;
+}
+
+TrialResult run_trial(const TrialStrategy& strategy, int k,
+                      const TrialEnvironment& env, const rng::Rng& trial_rng,
+                      const EngineConfig& config) {
+  validate_trial_args(strategy, k, env);
+  if (strategy.step != nullptr) {
+    return run_step_trial(*strategy.step, k, env, trial_rng, config);
+  }
+  return run_segment_trial(*strategy.segment, k, env, trial_rng, config);
+}
+
+TrialResult run_trial(const Strategy& strategy, int k,
+                      const TrialEnvironment& env, const rng::Rng& trial_rng,
+                      const EngineConfig& config) {
+  TrialStrategy s;
+  s.segment = &strategy;
+  return run_trial(s, k, env, trial_rng, config);
+}
+
+TrialResult run_trial(const StepStrategy& strategy, int k,
+                      const TrialEnvironment& env, const rng::Rng& trial_rng,
+                      const EngineConfig& config) {
+  TrialStrategy s;
+  s.step = &strategy;
+  return run_trial(s, k, env, trial_rng, config);
+}
+
+TargetDraw single_target(Placement placement) {
+  return [placement = std::move(placement)](rng::Rng& rng,
+                                            std::int64_t distance) {
+    return std::vector<grid::Point>{placement(rng, distance)};
+  };
+}
+
+}  // namespace ants::sim

@@ -1,0 +1,108 @@
+// The unified, environment-aware trial executor.
+//
+// The paper's base model — simultaneous starts, immortal agents, a single
+// treasure — is one point in an environment space this module makes
+// explicit. A TrialEnvironment is the fully realized environment of ONE
+// trial: the target set the agents race for, a start delay per agent, and a
+// fail-stop lifetime per agent. draw_environment() realizes it from the
+// declarative StartSchedule/CrashModel policies using dedicated child
+// streams of the trial rng (kScheduleStream / kCrashStream), so enabling an
+// environment axis never perturbs the agents' program randomness.
+//
+// run_trial() executes a trial under any environment with one of two
+// backends, picked by the strategy family:
+//
+//   * segment backend (sim::Strategy) — the interleaved min-heap sweep with
+//     the shrinking time bound (min over agents of the best hit so far),
+//     shared identically by the synchronous and asynchronous paths; cost is
+//     the number of realized segments, never grid steps.
+//   * lock-step backend (sim::StepStrategy) — all agents advance one edge
+//     per tick; not-yet-started agents wait at the source, agents whose
+//     active time exceeds their lifetime halt in place. Requires a finite
+//     time cap (random walks on Z^2 have infinite expected hitting time).
+//
+// Under a sync/no-crash single-target environment both backends reproduce
+// the historical run_search / run_step_search results exactly
+// (test-enforced byte-for-byte), so the legacy entry points are thin
+// wrappers over this executor.
+#pragma once
+
+#include <vector>
+
+#include "rng/rng.h"
+#include "sim/async_engine.h"
+#include "sim/engine.h"
+#include "sim/placement.h"
+#include "sim/program.h"
+#include "sim/step_engine.h"
+#include "sim/types.h"
+
+namespace ants::sim {
+
+/// Child-stream tags of the trial rng reserved for environment draws.
+/// Agent programs use child(a) with a in [0, k); these constants are far
+/// outside any realistic k and distinct from each other, so the stream
+/// families never collide.
+inline constexpr std::uint64_t kScheduleStream = 0x5C4ED11E00000001ULL;
+inline constexpr std::uint64_t kCrashStream = 0xC7A5400000000002ULL;
+
+/// The fully realized environment of one trial. Empty `starts` /
+/// `lifetimes` are the base model (everybody at t = 0, immortal) without
+/// paying two k-sized allocations on the synchronous hot path; non-empty
+/// vectors must have exactly k entries.
+struct TrialEnvironment {
+  std::vector<grid::Point> targets;  ///< >= 1 targets; first-of-set race
+  std::vector<Time> starts;          ///< per-agent start delays (empty = 0)
+  std::vector<Time> lifetimes;       ///< per-agent lifetimes (empty = never)
+
+  /// Latest start delay (0 for the base model).
+  Time last_start() const noexcept;
+};
+
+/// The base-model environment around a single treasure.
+TrialEnvironment single_target_environment(grid::Point treasure);
+
+/// Realizes one trial's environment: start delays and lifetimes drawn from
+/// the dedicated child streams of `trial_rng`, the target set taken as
+/// given (targets are placement draws, which consume the trial rng's main
+/// stream exactly as the single-treasure path always has).
+TrialEnvironment draw_environment(int k, std::vector<grid::Point> targets,
+                                  const StartSchedule& schedule,
+                                  const CrashModel& crashes,
+                                  const rng::Rng& trial_rng);
+
+/// A strategy for the unified executor: exactly one pointer set. The
+/// scenario sweep builds this from its registry entry, so every engine
+/// family funnels through the same run_trial call site.
+struct TrialStrategy {
+  const Strategy* segment = nullptr;
+  const StepStrategy* step = nullptr;
+};
+
+/// Runs one trial of `strategy` under `env`. Dispatches to the segment or
+/// lock-step backend; throws std::invalid_argument on k < 1, an empty
+/// target set, environment vectors of the wrong size, a null strategy, or
+/// a step strategy without a finite config.time_cap.
+TrialResult run_trial(const TrialStrategy& strategy, int k,
+                      const TrialEnvironment& env, const rng::Rng& trial_rng,
+                      const EngineConfig& config = {});
+
+/// Convenience overloads for direct engine-level use (tests, examples).
+TrialResult run_trial(const Strategy& strategy, int k,
+                      const TrialEnvironment& env, const rng::Rng& trial_rng,
+                      const EngineConfig& config = {});
+TrialResult run_trial(const StepStrategy& strategy, int k,
+                      const TrialEnvironment& env, const rng::Rng& trial_rng,
+                      const EngineConfig& config = {});
+
+/// Draws the per-trial target set given the adversary distance D — the
+/// multi-target analogue of sim::Placement, and the hook the scenario
+/// layer's `targets=` axis compiles into.
+using TargetDraw =
+    std::function<std::vector<grid::Point>(rng::Rng& rng,
+                                           std::int64_t distance)>;
+
+/// The classic adversary: one treasure per trial from `placement`.
+TargetDraw single_target(Placement placement);
+
+}  // namespace ants::sim

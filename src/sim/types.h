@@ -32,4 +32,21 @@ struct SearchResult {
   std::int64_t segments = 0;  ///< total segments realized (cost accounting)
 };
 
+/// Result of one environment-aware trial (the unified executor in
+/// sim/trial.h). Subsumes the former SearchResult/AsyncSearchResult pair:
+/// `time` is always absolute (from t = 0, the first possible start), the
+/// schedule/crash aggregates are zero under the paper's base model, and
+/// `first_target` identifies the winning target of a multi-target race
+/// (0 for the ordinary single-treasure hunt).
+struct TrialResult {
+  Time time = kNeverTime;     ///< absolute first-hit time (or the cap)
+  bool found = false;         ///< true iff some target was reached in time
+  int finder = -1;            ///< index of the first agent to reach one
+  int first_target = -1;      ///< index of the first-discovered target
+  std::int64_t segments = 0;  ///< segments realized / lock-steps taken
+  Time last_start = 0;        ///< latest start delay in the environment
+  Time from_last_start = 0;   ///< max(0, time - last_start) if found
+  int crashed = 0;            ///< agents that exhausted their lifetime
+};
+
 }  // namespace ants::sim

@@ -156,6 +156,68 @@ TEST(AsyncConformance, SweepCellMatchesRunAsyncTrials) {
   EXPECT_DOUBLE_EQ(results[0].mean_last_start, direct.mean_last_start);
 }
 
+// Step-level cells under schedule/crash equal the unified runner at the
+// cell seed — the engine-family gap the executor merge closed.
+TEST(AsyncConformance, StepAsyncCellMatchesRunEnvTrials) {
+  ScenarioSpec spec;
+  spec.strategies = {"random-walk"};
+  spec.ks = {3};
+  spec.distances = {2};
+  spec.schedule = "staggered(gap=4)";
+  spec.crash = "doa(p=0.25)";
+  spec.trials = 12;
+  spec.seed = 4242;
+  spec.time_cap = 5000;
+
+  const std::vector<CellResult> results = run_sweep(spec);
+  ASSERT_EQ(results.size(), 1u);
+
+  const BuiltStrategy built =
+      Registry::instance().make("random-walk", BuildContext{3});
+  sim::TrialStrategy strategy;
+  strategy.step = built.step.get();
+  sim::RunConfig config;
+  config.trials = spec.trials;
+  config.seed = results[0].cell.seed;
+  config.time_cap = spec.time_cap;
+  const auto schedule = make_schedule(spec.schedule);
+  const auto crashes = make_crash(spec.crash);
+  const sim::AsyncRunStats direct = sim::run_env_trials(
+      strategy, 3, 2, sim::single_target(sim::uniform_ring_placement()),
+      *schedule, *crashes, config);
+
+  EXPECT_EQ(results[0].stats.times, direct.base.times);
+  EXPECT_DOUBLE_EQ(results[0].from_last_start.mean,
+                   direct.from_last_start.mean);
+  EXPECT_DOUBLE_EQ(results[0].mean_crashed, direct.mean_crashed);
+  EXPECT_DOUBLE_EQ(results[0].mean_last_start, direct.mean_last_start);
+  // Some trials crash under doa(p=0.25), and the schedule is visible.
+  EXPECT_DOUBLE_EQ(results[0].mean_last_start, 8.0);  // (3-1)*gap
+}
+
+// Step-level async specs are thread-count independent like every other
+// combination.
+TEST(AsyncSweep, StepAsyncOutputIdenticalForOneAndManyThreads) {
+  ScenarioSpec spec;
+  spec.name = "step-async-test";
+  spec.strategies = {"random-walk", "known-k"};
+  spec.ks = {2, 4};
+  spec.distances = {2, 4};
+  spec.schedule = "staggered(gap=2)";
+  spec.crash = "doa(p=0.25)";
+  spec.trials = 10;
+  spec.seed = 0x57E9;
+  spec.time_cap = 20000;
+  spec.columns = {"strategy", "k", "D", "schedule", "crash", "success",
+                  "mean_time", "from_last_mean", "mean_crashed", "survivors"};
+  SweepOptions one_thread;
+  one_thread.threads = 1;
+  SweepOptions many_threads;
+  many_threads.threads = 7;
+  EXPECT_EQ(rendered_rows(spec, one_thread),
+            rendered_rows(spec, many_threads));
+}
+
 // Step-level cells equal sim::run_step_trials at the cell seed (the runner
 // the registry prescribes for that family).
 TEST(AsyncConformance, StepCellMatchesRunStepTrials) {
@@ -238,6 +300,102 @@ TEST(PlacementSweep, PinnedFractionBeatsOrMatchesAxisForPinnedTreasure) {
   const std::vector<CellResult> results = run_sweep(spec);
   ASSERT_EQ(results.size(), 2u);
   EXPECT_EQ(results[0].stats.times, results[1].stats.times);
+}
+
+// ---------------------------------------------------------------------------
+// Targets as a sweep axis.
+// ---------------------------------------------------------------------------
+
+ScenarioSpec targets_spec() {
+  ScenarioSpec spec;
+  spec.name = "targets-test";
+  spec.strategies = {"known-k"};
+  spec.ks = {4};
+  spec.distances = {8};
+  spec.targets = {"single", "pair(near=0.25)", "ring-set(n=3)"};
+  spec.trials = 12;
+  spec.seed = 0x7A36E7;
+  spec.time_cap = 200000;
+  spec.columns = {"strategy", "k", "D", "targets", "success", "mean_time",
+                  "first_target"};
+  return spec;
+}
+
+TEST(TargetsSweep, FlattenMakesTargetsTheInnermostAxis) {
+  ScenarioSpec spec = targets_spec();
+  spec.placements = {"axis", "ring"};
+  const std::vector<Cell> cells = flatten(spec);
+  ASSERT_EQ(cells.size(), 1u * 1u * 1u * 2u * 3u);
+  EXPECT_EQ(cells[0].placement_spec, "axis");
+  EXPECT_EQ(cells[0].targets_spec, "single");
+  EXPECT_EQ(cells[1].targets_spec, "pair(near=0.25)");
+  EXPECT_EQ(cells[2].targets_spec, "ring-set(n=3)");
+  EXPECT_EQ(cells[3].placement_spec, "ring");
+  // The target policy does not perturb the cell seed (paired instances)
+  // but does discriminate the cache hash.
+  EXPECT_EQ(cells[0].seed, cells[1].seed);
+  EXPECT_NE(cells[0].hash, cells[1].hash);
+}
+
+TEST(TargetsSweep, NearPatchWinsTheForagingRace) {
+  const std::vector<CellResult> results = run_sweep(targets_spec());
+  ASSERT_EQ(results.size(), 3u);
+  // single: every found trial "wins" with target 0.
+  EXPECT_DOUBLE_EQ(results[0].mean_first_target, 0.0);
+  // pair(near=0.25): the near patch (index 0) should win nearly always, so
+  // the mean index stays close to 0; the race also ends much earlier than
+  // the single hunt at distance D.
+  EXPECT_LT(results[1].mean_first_target, 0.3);
+  EXPECT_GE(results[1].mean_first_target, 0.0);
+  EXPECT_LT(results[1].stats.time.mean, results[0].stats.time.mean);
+  // ring-set(n=3): all targets at distance D; the mean winning index sits
+  // somewhere strictly inside [0, 2].
+  EXPECT_GE(results[2].mean_first_target, 0.0);
+  EXPECT_LE(results[2].mean_first_target, 2.0);
+}
+
+TEST(TargetsSweep, OutputIdenticalForOneAndManyThreads) {
+  const ScenarioSpec spec = targets_spec();
+  SweepOptions one_thread;
+  one_thread.threads = 1;
+  SweepOptions many_threads;
+  many_threads.threads = 7;
+  EXPECT_EQ(rendered_rows(spec, one_thread),
+            rendered_rows(spec, many_threads));
+}
+
+TEST(TargetsSweep, SingleTargetsLeaveBaseModelRowsUntouched) {
+  // targets=single must be byte-identical to a spec that never mentions
+  // targets at all (the default), for every column of the default set.
+  ScenarioSpec base;
+  base.strategies = {"known-k", "uniform(eps=0.5)"};
+  base.ks = {2, 4};
+  base.distances = {8};
+  base.trials = 10;
+  base.seed = 99;
+  ScenarioSpec with_field = base;
+  with_field.targets = {"single"};
+  EXPECT_EQ(rendered_rows(base, SweepOptions{}),
+            rendered_rows(with_field, SweepOptions{}));
+}
+
+TEST(TargetsSweep, CacheDiscriminatesTargetsField) {
+  ScenarioSpec spec = targets_spec();
+  SweepOptions opt;
+  opt.cache_dir = ::testing::TempDir() + "ants_targets_cache_test";
+  std::filesystem::remove_all(opt.cache_dir);
+
+  const auto cold_rows = rendered_rows(spec, opt);
+  const std::vector<CellResult> warm = run_sweep(spec, opt);
+  for (const CellResult& r : warm) EXPECT_TRUE(r.from_cache);
+  // mean_first_target round-trips the cache byte-for-byte.
+  EXPECT_EQ(rendered_rows(spec, opt), cold_rows);
+
+  ScenarioSpec changed = targets_spec();
+  changed.targets = {"pair(near=0.5)"};
+  for (const CellResult& r : run_sweep(changed, opt)) {
+    EXPECT_FALSE(r.from_cache);
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -71,5 +71,18 @@ TEST(Golden, PlacementSweepSpecReproducesByteForByte) {
   check_golden("placement_sweep", 5);
 }
 
+// Step-level strategies under schedule/crash — the engine-family gap the
+// unified executor closed — pinned next to the paper algorithms.
+TEST(Golden, StepAsyncSpecReproducesByteForByte) {
+  check_golden("step_async", 1);
+  check_golden("step_async", 5);
+}
+
+// The target set as a sweep axis (first-of-set races, first_target column).
+TEST(Golden, MultiTargetSpecReproducesByteForByte) {
+  check_golden("multi_target", 1);
+  check_golden("multi_target", 5);
+}
+
 }  // namespace
 }  // namespace ants::scenario

@@ -51,6 +51,23 @@ TEST(SpecParse, PlacementListIsASweepAxis) {
   EXPECT_FALSE(specs[0].is_async());
 }
 
+TEST(SpecParse, TargetsListIsASweepAxis) {
+  const auto specs = parse_spec_text(
+      "strategies = known-k\n"
+      "targets    = single, pair(near=0.5), ring-set(n=3)\n");
+  ASSERT_EQ(specs.size(), 1u);
+  EXPECT_EQ(specs[0].targets,
+            (std::vector<std::string>{"single", "pair(near=0.5)",
+                                      "ring-set(n=3)"}));
+  EXPECT_TRUE(specs[0].is_multi_target());
+  EXPECT_NO_THROW(specs[0].validate());
+
+  // The default is the classic single-treasure adversary.
+  ScenarioSpec plain;
+  EXPECT_EQ(plain.targets, (std::vector<std::string>{"single"}));
+  EXPECT_FALSE(plain.is_multi_target());
+}
+
 TEST(SpecParse, StrategyListSplitsAtTopLevelCommasOnly) {
   const auto specs = parse_spec_text(
       "strategies = levy(mu=2, loop=true, scan=32), known-k(k_belief=4)\n");
@@ -171,17 +188,56 @@ TEST(SpecValidate, RejectsBadSpecs) {
   bad_crash.crash = "doa(p=1.5)";
   EXPECT_THROW(bad_crash.validate(), std::invalid_argument);
 
-  // Schedule/crash variants run the async engine, which needs segment-level
-  // strategies.
+  // Schedule/crash variants apply to every grid strategy family through
+  // the unified executor; only the plane engine has no environment port.
   ScenarioSpec async_step;
   async_step.strategies = {"random-walk"};
   async_step.time_cap = 1000;
   async_step.schedule = "staggered(gap=4)";
-  EXPECT_THROW(async_step.validate(), std::invalid_argument);
-  async_step.schedule = "sync";
   EXPECT_NO_THROW(async_step.validate());
   async_step.crash = "doa(p=0.5)";
-  EXPECT_THROW(async_step.validate(), std::invalid_argument);
+  EXPECT_NO_THROW(async_step.validate());
+
+  ScenarioSpec async_plane;
+  async_plane.strategies = {"plane-known-k"};
+  async_plane.time_cap = 100000;
+  async_plane.schedule = "staggered(gap=4)";
+  EXPECT_THROW(async_plane.validate(), std::invalid_argument);
+  async_plane.schedule = "sync";
+  EXPECT_NO_THROW(async_plane.validate());
+  async_plane.crash = "doa(p=0.5)";
+  EXPECT_THROW(async_plane.validate(), std::invalid_argument);
+
+  // Target sets beyond "single" are an environment axis too: fine for grid
+  // strategies, rejected for plane-level ones.
+  ScenarioSpec multi_plane;
+  multi_plane.strategies = {"plane-known-k"};
+  multi_plane.time_cap = 100000;
+  multi_plane.targets = {"single", "pair(near=0.5)"};
+  EXPECT_THROW(multi_plane.validate(), std::invalid_argument);
+  multi_plane.strategies = {"known-k"};
+  EXPECT_NO_THROW(multi_plane.validate());
+
+  ScenarioSpec bad_targets;
+  bad_targets.strategies = {"uniform"};
+  bad_targets.targets = {"pair(near=1.5)"};
+  EXPECT_THROW(bad_targets.validate(), std::invalid_argument);
+  bad_targets.targets = {"ring-set(n=0)"};
+  EXPECT_THROW(bad_targets.validate(), std::invalid_argument);
+  bad_targets.targets = {"hexagon"};
+  EXPECT_THROW(bad_targets.validate(), std::invalid_argument);
+
+  // A fixed schedule's delay list must match every k in the grid.
+  ScenarioSpec fixed_sched;
+  fixed_sched.strategies = {"uniform"};
+  fixed_sched.ks = {3};
+  fixed_sched.schedule = "fixed(delays=0;5;10)";
+  EXPECT_NO_THROW(fixed_sched.validate());
+  fixed_sched.ks = {3, 4};
+  EXPECT_THROW(fixed_sched.validate(), std::invalid_argument);
+  fixed_sched.ks = {3};
+  fixed_sched.schedule = "fixed(delays=0;-5;10)";
+  EXPECT_THROW(fixed_sched.validate(), std::invalid_argument);
 
   // Plane-level strategies demand a finite cap (like step-level ones).
   ScenarioSpec uncapped_plane;

@@ -124,11 +124,11 @@ TEST(AsyncEngine, SyncNoCrashMatchesPlainEngineOnPaperStrategies) {
     for (std::uint64_t seed = 0; seed < 25; ++seed) {
       const rng::Rng trial(seed);
       const SearchResult plain = run_search(*s, 8, treasure, trial);
-      const AsyncSearchResult async =
+      const TrialResult async =
           run_search_async(*s, 8, treasure, trial, SyncStart(), NoCrash());
-      ASSERT_EQ(async.base.time, plain.time) << s->name() << " seed " << seed;
-      ASSERT_EQ(async.base.finder, plain.finder);
-      ASSERT_EQ(async.base.found, plain.found);
+      ASSERT_EQ(async.time, plain.time) << s->name() << " seed " << seed;
+      ASSERT_EQ(async.finder, plain.finder);
+      ASSERT_EQ(async.found, plain.found);
       ASSERT_EQ(async.from_last_start, plain.time);
       ASSERT_EQ(async.crashed, 0);
     }
@@ -140,9 +140,9 @@ TEST(AsyncEngine, TreasureAtSourceFoundAtFirstStart) {
   const rng::Rng trial(3);
   const auto r = run_search_async(s, 3, grid::kOrigin, trial,
                                   FixedStart({9, 4, 11}), NoCrash());
-  EXPECT_TRUE(r.base.found);
-  EXPECT_EQ(r.base.time, 4);  // earliest starter wakes up on the treasure
-  EXPECT_EQ(r.base.finder, 1);
+  EXPECT_TRUE(r.found);
+  EXPECT_EQ(r.time, 4);  // earliest starter wakes up on the treasure
+  EXPECT_EQ(r.finder, 1);
   EXPECT_EQ(r.last_start, 11);
   EXPECT_EQ(r.from_last_start, 0);
 }
@@ -158,8 +158,8 @@ TEST(AsyncEngine, DelayShiftsHitTimeExactly) {
   for (const Time delay : {0, 1, 17, 400}) {
     const auto r = run_search_async(s, 1, grid::Point{10, 0}, trial,
                                     FixedStart({delay}), NoCrash());
-    ASSERT_TRUE(r.base.found);
-    EXPECT_EQ(r.base.time, delay + 10);
+    ASSERT_TRUE(r.found);
+    EXPECT_EQ(r.time, delay + 10);
     EXPECT_EQ(r.from_last_start, 10);  // invariant in the agent's own frame
   }
 }
@@ -170,8 +170,8 @@ TEST(AsyncEngine, EarlierStarterWinsRace) {
   const rng::Rng trial(11);
   const auto r = run_search_async(s, 2, grid::Point{6, 0}, trial,
                                   FixedStart({3, 0}), NoCrash());
-  EXPECT_EQ(r.base.finder, 1);
-  EXPECT_EQ(r.base.time, 6);
+  EXPECT_EQ(r.finder, 1);
+  EXPECT_EQ(r.time, 6);
   EXPECT_EQ(r.last_start, 3);
   EXPECT_EQ(r.from_last_start, 3);
 }
@@ -185,8 +185,8 @@ TEST(AsyncEngine, FromLastStartNeverNegative) {
   const rng::Rng trial(13);
   const auto r = run_search_async(s, 2, grid::Point{2, 0}, trial,
                                   FixedStart({0, 50}), NoCrash());
-  EXPECT_TRUE(r.base.found);
-  EXPECT_EQ(r.base.time, 2);
+  EXPECT_TRUE(r.found);
+  EXPECT_EQ(r.time, 2);
   EXPECT_EQ(r.last_start, 50);
   EXPECT_EQ(r.from_last_start, 0);
 }
@@ -202,7 +202,7 @@ TEST(AsyncEngine, AgentCrashingBeforeHitDoesNotFind) {
   const auto r =
       run_search_async(s, 1, grid::Point{10, 0}, trial, SyncStart(),
                        FixedLifetime(9), {.time_cap = 10'000});
-  EXPECT_FALSE(r.base.found);
+  EXPECT_FALSE(r.found);
   EXPECT_EQ(r.crashed, 1);
 }
 
@@ -211,8 +211,8 @@ TEST(AsyncEngine, AgentHittingExactlyAtLifetimeCounts) {
   const rng::Rng trial(17);
   const auto r = run_search_async(s, 1, grid::Point{10, 0}, trial, SyncStart(),
                                   FixedLifetime(10));
-  EXPECT_TRUE(r.base.found);
-  EXPECT_EQ(r.base.time, 10);
+  EXPECT_TRUE(r.found);
+  EXPECT_EQ(r.time, 10);
 }
 
 TEST(AsyncEngine, DoaAgentsNeverAct) {
@@ -221,9 +221,9 @@ TEST(AsyncEngine, DoaAgentsNeverAct) {
   const rng::Rng trial(19);
   const auto r = run_search_async(s, 4, grid::Point{3, 0}, trial, SyncStart(),
                                   DoaCrash(1.0), {.time_cap = 1000});
-  EXPECT_FALSE(r.base.found);
+  EXPECT_FALSE(r.found);
   EXPECT_EQ(r.crashed, 4);
-  EXPECT_EQ(r.base.segments, 0);  // no dead agent pulled a segment
+  EXPECT_EQ(r.segments, 0);  // no dead agent pulled a segment
 }
 
 TEST(AsyncEngine, SurvivorStillFindsUnderPartialDoa) {
@@ -237,8 +237,8 @@ TEST(AsyncEngine, SurvivorStillFindsUnderPartialDoa) {
     const auto r = run_search_async(s, 6, grid::Point{4, 0}, trial,
                                     SyncStart(), DoaCrash(0.5),
                                     {.time_cap = 1000});
-    if (r.crashed > 0 && r.base.found) {
-      EXPECT_EQ(r.base.time, 4);
+    if (r.crashed > 0 && r.found) {
+      EXPECT_EQ(r.time, 4);
       saw_mixed = true;
     }
   }
@@ -252,9 +252,9 @@ TEST(AsyncEngine, CrashedCountIsDeterministicPerSeed) {
                                   DoaCrash(0.25), {.time_cap = 100'000});
   const auto b = run_search_async(s, 16, grid::Point{9, 9}, trial, SyncStart(),
                                   DoaCrash(0.25), {.time_cap = 100'000});
-  EXPECT_EQ(a.base.time, b.base.time);
+  EXPECT_EQ(a.time, b.time);
   EXPECT_EQ(a.crashed, b.crashed);
-  EXPECT_EQ(a.base.finder, b.base.finder);
+  EXPECT_EQ(a.finder, b.finder);
 }
 
 TEST(AsyncEngine, ScheduleStreamDoesNotPerturbAgentPrograms) {
@@ -266,11 +266,11 @@ TEST(AsyncEngine, ScheduleStreamDoesNotPerturbAgentPrograms) {
       run_search_async(s, 4, grid::Point{7, 3}, trial, SyncStart(), NoCrash());
   const auto shifted = run_search_async(s, 4, grid::Point{7, 3}, trial,
                                         FixedStart({5, 5, 5, 5}), NoCrash());
-  ASSERT_TRUE(sync.base.found);
-  ASSERT_TRUE(shifted.base.found);
-  EXPECT_EQ(shifted.base.time, sync.base.time + 5);
-  EXPECT_EQ(shifted.base.finder, sync.base.finder);
-  EXPECT_EQ(shifted.from_last_start, sync.base.time);
+  ASSERT_TRUE(sync.found);
+  ASSERT_TRUE(shifted.found);
+  EXPECT_EQ(shifted.time, sync.time + 5);
+  EXPECT_EQ(shifted.finder, sync.finder);
+  EXPECT_EQ(shifted.from_last_start, sync.time);
 }
 
 TEST(AsyncEngine, StaggeredStartFromLastStartMatchesSyncScale) {
@@ -287,9 +287,9 @@ TEST(AsyncEngine, StaggeredStartFromLastStartMatchesSyncScale) {
                                        NoCrash());
     const auto stag = run_search_async(s, 8, treasure, trial,
                                        StaggeredStart(1), NoCrash());
-    ASSERT_TRUE(sync.base.found);
-    ASSERT_TRUE(stag.base.found);
-    sync_total += static_cast<double>(sync.base.time);
+    ASSERT_TRUE(sync.found);
+    ASSERT_TRUE(stag.found);
+    sync_total += static_cast<double>(sync.time);
     async_total += static_cast<double>(stag.from_last_start);
   }
   // from_last_start can only be cheaper in expectation than a fresh

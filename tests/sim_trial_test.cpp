@@ -1,0 +1,602 @@
+// The unified environment-aware executor (sim/trial.h).
+//
+// The heart of this suite is byte-level conformance against REFERENCE
+// implementations of the three engines run_trial replaced: the pre-merge
+// run_step_trials lock-step loop and the pre-merge run_search_async
+// min-heap sweep are reimplemented here verbatim, and the unified executor
+// must reproduce them exactly across strategies, schedules, crash models,
+// and seeds. On top of that come the genuinely new semantics: schedules and
+// crashes for step-level strategies (waiting and halting agents) and
+// multi-target races under any environment.
+#include "sim/trial.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "baselines/random_walk.h"
+#include "core/harmonic.h"
+#include "core/known_k.h"
+#include "rng/splitmix64.h"
+#include "sim/multi_target.h"
+#include "sim/runner.h"
+#include "test_support.h"
+#include "util/sat.h"
+
+namespace ants::sim {
+namespace {
+
+using grid::Point;
+using testing::PerAgentScriptedStrategy;
+using testing::ScriptedStrategy;
+
+/// Deterministic stepper marching east forever.
+class EastStrategy final : public StepStrategy {
+ public:
+  std::string name() const override { return "east"; }
+  std::unique_ptr<StepProgram> make_program(AgentContext) const override {
+    class P final : public StepProgram {
+      Point step(rng::Rng&, Point current) override {
+        return current + Point{1, 0};
+      }
+    };
+    return std::make_unique<P>();
+  }
+};
+
+/// Agent i marches in direction i%4 (for multi-agent coverage tests).
+class FanOutStrategy final : public StepStrategy {
+ public:
+  std::string name() const override { return "fan"; }
+  std::unique_ptr<StepProgram> make_program(AgentContext ctx) const override {
+    class P final : public StepProgram {
+     public:
+      explicit P(int dir) : dir_(dir) {}
+      Point step(rng::Rng&, Point current) override {
+        return current + grid::kDirections[dir_];
+      }
+
+     private:
+      int dir_;
+    };
+    return std::make_unique<P>(ctx.agent_index % 4);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Reference implementations: the engines as they existed BEFORE the merge,
+// kept verbatim so the unified executor is pinned to their exact behavior.
+// ---------------------------------------------------------------------------
+
+/// The pre-merge run_step_search: all k agents advance one edge per tick,
+/// no environment support.
+SearchResult reference_step_search(const StepStrategy& strategy, int k,
+                                   Point treasure, const rng::Rng& trial_rng,
+                                   Time time_cap) {
+  SearchResult result;
+  if (treasure == grid::kOrigin) {
+    result.found = true;
+    result.time = 0;
+    result.finder = 0;
+    return result;
+  }
+  std::vector<std::unique_ptr<StepProgram>> programs;
+  std::vector<rng::Rng> rngs;
+  std::vector<Point> pos(static_cast<std::size_t>(k), grid::kOrigin);
+  for (int a = 0; a < k; ++a) {
+    programs.push_back(strategy.make_program(AgentContext{a, k}));
+    rngs.push_back(trial_rng.child(static_cast<std::uint64_t>(a)));
+  }
+  for (Time t = 1; t <= time_cap; ++t) {
+    for (int a = 0; a < k; ++a) {
+      const auto ia = static_cast<std::size_t>(a);
+      const Point next = programs[ia]->step(rngs[ia], pos[ia]);
+      pos[ia] = next;
+      if (next == treasure) {
+        result.found = true;
+        result.time = t;
+        result.finder = a;
+        return result;
+      }
+    }
+  }
+  result.found = false;
+  result.time = time_cap;
+  return result;
+}
+
+/// The pre-merge run_search_async: interleaved min-heap sweep with
+/// starts/lifetimes drawn from the dedicated child streams.
+TrialResult reference_async_search(const Strategy& strategy, int k,
+                                   Point treasure, const rng::Rng& trial_rng,
+                                   const StartSchedule& schedule,
+                                   const CrashModel& crashes,
+                                   const EngineConfig& config) {
+  rng::Rng sched_rng = trial_rng.child(kScheduleStream);
+  rng::Rng crash_rng = trial_rng.child(kCrashStream);
+  const std::vector<Time> starts = schedule.draw(k, sched_rng);
+  const std::vector<Time> lifetimes = crashes.draw_lifetimes(k, crash_rng);
+
+  TrialResult result;
+  result.last_start = *std::max_element(starts.begin(), starts.end());
+
+  if (treasure == grid::kOrigin) {
+    const auto first =
+        std::min_element(starts.begin(), starts.end()) - starts.begin();
+    result.found = true;
+    result.time = starts[static_cast<std::size_t>(first)];
+    result.finder = static_cast<int>(first);
+    result.first_target = 0;
+    result.from_last_start = 0;
+    return result;
+  }
+
+  struct AgentState {
+    std::unique_ptr<AgentProgram> program;
+    rng::Rng rng;
+    Point pos = grid::kOrigin;
+    Time elapsed = 0;
+  };
+  std::vector<AgentState> agents;
+  for (int a = 0; a < k; ++a) {
+    agents.push_back(AgentState{
+        strategy.make_program(AgentContext{a, k}),
+        trial_rng.child(static_cast<std::uint64_t>(a)), grid::kOrigin, 0});
+  }
+  using Entry = std::pair<Time, int>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
+  for (int a = 0; a < k; ++a) {
+    const auto ua = static_cast<std::size_t>(a);
+    if (lifetimes[ua] <= 0) {
+      ++result.crashed;
+      continue;
+    }
+    queue.emplace(starts[ua], a);
+  }
+  Time best = kNeverTime;
+  int finder = -1;
+  while (!queue.empty()) {
+    const auto [abs_clock, a] = queue.top();
+    queue.pop();
+    const Time bound =
+        std::min(config.time_cap, best == kNeverTime ? best : best - 1);
+    if (abs_clock > bound) break;
+    const auto ua = static_cast<std::size_t>(a);
+    AgentState& agent = agents[ua];
+    ++result.segments;
+    const Segment seg =
+        realize(agent.program->next(agent.rng), agent.pos, grid::kOrigin);
+    if (const auto hit = hit_offset(seg, treasure)) {
+      const Time when_active = util::sat_add(agent.elapsed, *hit);
+      if (when_active <= lifetimes[ua]) {
+        const Time when_abs = util::sat_add(starts[ua], when_active);
+        if (when_abs <= config.time_cap &&
+            (when_abs < best || (when_abs == best && a < finder))) {
+          best = when_abs;
+          finder = a;
+        }
+      }
+    }
+    agent.elapsed = util::sat_add(agent.elapsed, duration(seg));
+    agent.pos = end_position(seg);
+    if (agent.elapsed >= lifetimes[ua]) {
+      ++result.crashed;
+      continue;
+    }
+    queue.emplace(util::sat_add(starts[ua], agent.elapsed), a);
+  }
+  if (best != kNeverTime) {
+    result.found = true;
+    result.time = best;
+    result.finder = finder;
+    result.first_target = 0;
+    result.from_last_start =
+        best > result.last_start ? best - result.last_start : 0;
+  } else {
+    result.found = false;
+    result.time = config.time_cap;
+    result.from_last_start = config.time_cap;
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Conformance: the lock-step backend under sync/no-crash IS the old step
+// engine, trial for trial.
+// ---------------------------------------------------------------------------
+
+TEST(TrialConformance, StepBackendMatchesOldStepEngineByteForByte) {
+  const baselines::RandomWalkStrategy rw;
+  const EastStrategy east;
+  const FanOutStrategy fan;
+  const struct {
+    const StepStrategy* strategy;
+    Point treasure;
+  } cases[] = {
+      {&rw, {2, 1}}, {&rw, {1, 0}}, {&east, {25, 0}}, {&east, {5, 1}},
+      {&fan, {0, 12}},
+  };
+  for (const auto& c : cases) {
+    for (std::uint64_t seed = 0; seed < 25; ++seed) {
+      const rng::Rng trial(seed * 13 + 1);
+      const SearchResult ref =
+          reference_step_search(*c.strategy, 4, c.treasure, trial, 5000);
+      EngineConfig config;
+      config.time_cap = 5000;
+      const TrialResult r = run_trial(
+          *c.strategy, 4, single_target_environment(c.treasure), trial,
+          config);
+      ASSERT_EQ(r.found, ref.found) << c.strategy->name() << " " << seed;
+      ASSERT_EQ(r.time, ref.time) << c.strategy->name() << " " << seed;
+      ASSERT_EQ(r.finder, ref.finder) << c.strategy->name() << " " << seed;
+      EXPECT_EQ(r.crashed, 0);
+      EXPECT_EQ(r.last_start, 0);
+      if (r.found) {
+        EXPECT_EQ(r.first_target, 0);
+      }
+    }
+  }
+}
+
+// run_step_trials (the Monte-Carlo wrapper) must aggregate exactly what the
+// old per-trial loop produced: same per-trial seeds, same placements, same
+// times vector.
+TEST(TrialConformance, RunStepTrialsMatchesOldLoopByteForByte) {
+  const baselines::RandomWalkStrategy rw;
+  RunConfig config;
+  config.trials = 40;
+  config.seed = 0xBEEF;
+  config.time_cap = 3000;
+  const Placement placement = uniform_ring_placement();
+  const RunStats rs = run_step_trials(rw, 3, 2, placement, config);
+
+  ASSERT_EQ(rs.times.size(), 40u);
+  for (std::size_t trial = 0; trial < 40; ++trial) {
+    rng::Rng trial_rng(rng::mix_seed(config.seed, trial));
+    const Point treasure = placement(trial_rng, 2);
+    const SearchResult ref =
+        reference_step_search(rw, 3, treasure, trial_rng, config.time_cap);
+    ASSERT_EQ(rs.times[trial], static_cast<double>(ref.time)) << trial;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Conformance: the segment backend under any schedule/crash IS the old
+// async engine, field for field.
+// ---------------------------------------------------------------------------
+
+TEST(TrialConformance, SegmentBackendMatchesOldAsyncEngineByteForByte) {
+  const core::KnownKStrategy known(6);
+  const core::HarmonicStrategy harmonic(0.5);
+  const StaggeredStart staggered(3);
+  const UniformRandomStart uniform_start(64);
+  const SyncStart sync;
+  const DoaCrash doa(0.3);
+  const ExponentialLifetime exp_life(400.0);
+  const NoCrash none;
+
+  const Strategy* strategies[] = {&known, &harmonic};
+  const StartSchedule* schedules[] = {&sync, &staggered, &uniform_start};
+  const CrashModel* crashes[] = {&none, &doa, &exp_life};
+
+  EngineConfig config;
+  config.time_cap = 200'000;
+  for (const Strategy* s : strategies) {
+    for (const StartSchedule* sched : schedules) {
+      for (const CrashModel* crash : crashes) {
+        for (std::uint64_t seed = 0; seed < 8; ++seed) {
+          const rng::Rng trial(seed * 7 + 2);
+          const TrialResult ref = reference_async_search(
+              *s, 6, Point{9, -4}, trial, *sched, *crash, config);
+          const TrialResult r = run_trial(
+              *s, 6,
+              draw_environment(6, {Point{9, -4}}, *sched, *crash, trial),
+              trial, config);
+          ASSERT_EQ(r.found, ref.found)
+              << s->name() << " " << sched->name() << " " << crash->name()
+              << " " << seed;
+          ASSERT_EQ(r.time, ref.time);
+          ASSERT_EQ(r.finder, ref.finder);
+          ASSERT_EQ(r.first_target, ref.first_target);
+          ASSERT_EQ(r.segments, ref.segments);
+          ASSERT_EQ(r.last_start, ref.last_start);
+          ASSERT_EQ(r.from_last_start, ref.from_last_start);
+          ASSERT_EQ(r.crashed, ref.crashed);
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Environment drawing.
+// ---------------------------------------------------------------------------
+
+TEST(DrawEnvironment, UsesDedicatedStreamsDeterministically) {
+  const rng::Rng trial(42);
+  const UniformRandomStart schedule(100);
+  const ExponentialLifetime crashes(500.0);
+  const TrialEnvironment a =
+      draw_environment(8, {Point{3, 3}}, schedule, crashes, trial);
+  const TrialEnvironment b =
+      draw_environment(8, {Point{3, 3}}, schedule, crashes, trial);
+  EXPECT_EQ(a.starts, b.starts);
+  EXPECT_EQ(a.lifetimes, b.lifetimes);
+  ASSERT_EQ(a.targets.size(), 1u);
+
+  // Changing the crash model must not perturb the schedule stream and vice
+  // versa (independent child streams).
+  const NoCrash none;
+  const TrialEnvironment c =
+      draw_environment(8, {Point{3, 3}}, schedule, none, trial);
+  EXPECT_EQ(c.starts, a.starts);
+  const SyncStart sync;
+  const TrialEnvironment d =
+      draw_environment(8, {Point{3, 3}}, sync, crashes, trial);
+  EXPECT_EQ(d.lifetimes, a.lifetimes);
+}
+
+TEST(TrialEnvironmentShape, LastStartAndEmptyDefaults) {
+  TrialEnvironment env = single_target_environment(Point{4, 0});
+  EXPECT_EQ(env.last_start(), 0);
+  env.starts = {3, 11, 0};
+  EXPECT_EQ(env.last_start(), 11);
+}
+
+TEST(RunTrial, ValidatesArguments) {
+  const ScriptedStrategy s({GoTo{Point{1, 0}}});
+  const EastStrategy east;
+  const rng::Rng trial(1);
+  const TrialEnvironment env = single_target_environment(Point{1, 0});
+
+  EXPECT_THROW(run_trial(s, 0, env, trial), std::invalid_argument);
+  TrialEnvironment no_targets;
+  EXPECT_THROW(run_trial(s, 1, no_targets, trial), std::invalid_argument);
+  TrialEnvironment bad_starts = env;
+  bad_starts.starts = {0, 0};  // k = 1
+  EXPECT_THROW(run_trial(s, 1, bad_starts, trial), std::invalid_argument);
+  TrialEnvironment bad_lifetimes = env;
+  bad_lifetimes.lifetimes = {5, 5, 5};
+  EXPECT_THROW(run_trial(s, 1, bad_lifetimes, trial), std::invalid_argument);
+  // A step strategy demands a finite cap.
+  EXPECT_THROW(run_trial(east, 1, env, trial), std::invalid_argument);
+  // Exactly one family pointer must be set.
+  TrialStrategy empty;
+  EXPECT_THROW(run_trial(empty, 1, env, trial), std::invalid_argument);
+  TrialStrategy both;
+  both.segment = &s;
+  both.step = &east;
+  EXPECT_THROW(run_trial(both, 1, env, trial), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// New semantics: schedules and crashes for step-level strategies.
+// ---------------------------------------------------------------------------
+
+TEST(StepEnvironment, DelayedAgentWaitsAtTheSource) {
+  // One eastbound agent delayed by 3: the treasure at (5,0) is hit at
+  // t = 3 + 5, and measured from the last start the walk still costs 5.
+  const EastStrategy east;
+  const rng::Rng trial(7);
+  EngineConfig config;
+  config.time_cap = 1000;
+  TrialEnvironment env = single_target_environment(Point{5, 0});
+  env.starts = {3};
+  const TrialResult r = run_trial(east, 1, env, trial, config);
+  EXPECT_TRUE(r.found);
+  EXPECT_EQ(r.time, 8);
+  EXPECT_EQ(r.last_start, 3);
+  EXPECT_EQ(r.from_last_start, 5);
+}
+
+TEST(StepEnvironment, EarlierStarterWinsTheRace) {
+  // Both agents march east; agent 1 starts 4 ticks before agent 0.
+  const EastStrategy east;
+  const rng::Rng trial(8);
+  EngineConfig config;
+  config.time_cap = 1000;
+  TrialEnvironment env = single_target_environment(Point{6, 0});
+  env.starts = {4, 0};
+  const TrialResult r = run_trial(east, 2, env, trial, config);
+  EXPECT_TRUE(r.found);
+  EXPECT_EQ(r.finder, 1);
+  EXPECT_EQ(r.time, 6);
+  EXPECT_EQ(r.from_last_start, 2);
+}
+
+TEST(StepEnvironment, CrashedAgentHaltsInPlace) {
+  // Lifetime 4 < distance 5: the agent dies one step short and the trial
+  // censors at the cap.
+  const EastStrategy east;
+  const rng::Rng trial(9);
+  EngineConfig config;
+  config.time_cap = 50;
+  TrialEnvironment env = single_target_environment(Point{5, 0});
+  env.lifetimes = {4};
+  const TrialResult r = run_trial(east, 1, env, trial, config);
+  EXPECT_FALSE(r.found);
+  EXPECT_EQ(r.crashed, 1);
+  EXPECT_EQ(r.time, 50);
+  // Exactly 4 steps were taken before the halt.
+  EXPECT_EQ(r.segments, 4);
+}
+
+TEST(StepEnvironment, AgentHittingExactlyAtLifetimeCounts) {
+  const EastStrategy east;
+  const rng::Rng trial(10);
+  EngineConfig config;
+  config.time_cap = 50;
+  TrialEnvironment env = single_target_environment(Point{5, 0});
+  env.lifetimes = {5};
+  const TrialResult r = run_trial(east, 1, env, trial, config);
+  EXPECT_TRUE(r.found);
+  EXPECT_EQ(r.time, 5);
+  EXPECT_EQ(r.crashed, 0);
+}
+
+TEST(StepEnvironment, DoaAgentsNeverStep) {
+  const EastStrategy east;
+  const rng::Rng trial(11);
+  EngineConfig config;
+  config.time_cap = 20;
+  TrialEnvironment env = single_target_environment(Point{2, 0});
+  env.lifetimes = {0, 0};
+  const TrialResult r = run_trial(east, 2, env, trial, config);
+  EXPECT_FALSE(r.found);
+  EXPECT_EQ(r.crashed, 2);
+  EXPECT_EQ(r.segments, 0);
+}
+
+TEST(StepEnvironment, OriginTargetFoundAtEarliestStart) {
+  const EastStrategy east;
+  const rng::Rng trial(12);
+  EngineConfig config;
+  config.time_cap = 100;
+  TrialEnvironment env = single_target_environment(grid::kOrigin);
+  env.starts = {9, 4, 11};
+  const TrialResult r = run_trial(east, 3, env, trial, config);
+  EXPECT_TRUE(r.found);
+  EXPECT_EQ(r.time, 4);
+  EXPECT_EQ(r.finder, 1);
+  EXPECT_EQ(r.from_last_start, 0);
+}
+
+// ---------------------------------------------------------------------------
+// New semantics: multi-target races, both backends.
+// ---------------------------------------------------------------------------
+
+TEST(MultiTargetTrial, StepBackendNearTargetWins) {
+  const EastStrategy east;
+  const rng::Rng trial(13);
+  EngineConfig config;
+  config.time_cap = 100;
+  TrialEnvironment env;
+  env.targets = {Point{7, 0}, Point{3, 0}};
+  const TrialResult r = run_trial(east, 1, env, trial, config);
+  EXPECT_TRUE(r.found);
+  EXPECT_EQ(r.first_target, 1);
+  EXPECT_EQ(r.time, 3);
+}
+
+TEST(MultiTargetTrial, SegmentBackendMatchesFirstOfSetMultiEngine) {
+  const core::HarmonicStrategy s(0.5);
+  const std::vector<Point> targets{{6, 2}, {-9, 4}, {0, -12}};
+  EngineConfig config;
+  config.time_cap = 200'000;
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    const rng::Rng trial(seed * 3 + 1);
+    const MultiSearchResult multi =
+        run_search_multi(s, 6, targets, trial, config, false);
+    TrialEnvironment env;
+    env.targets = targets;
+    const TrialResult r = run_trial(s, 6, env, trial, config);
+    ASSERT_EQ(r.found, multi.found) << seed;
+    ASSERT_EQ(r.time, multi.first_time) << seed;
+    ASSERT_EQ(r.finder, multi.finder) << seed;
+    ASSERT_EQ(r.first_target, multi.first_target) << seed;
+  }
+}
+
+TEST(MultiTargetTrial, CrashCanForfeitTheNearPatch) {
+  // Agent 0 would reach the near patch at t = 3 but dies at t = 2; agent 1
+  // (delayed, immortal) reaches the far patch instead.
+  const PerAgentScriptedStrategy s({
+      {GoTo{Point{3, 0}}},   // agent 0: heads for the near patch
+      {GoTo{Point{0, 8}}},   // agent 1: heads for the far patch
+  });
+  const rng::Rng trial(14);
+  EngineConfig config;
+  config.time_cap = 1000;
+  TrialEnvironment env;
+  env.targets = {Point{3, 0}, Point{0, 8}};
+  env.starts = {0, 2};
+  env.lifetimes = {2, kNeverTime};
+  const TrialResult r = run_trial(s, 2, env, trial, config);
+  EXPECT_TRUE(r.found);
+  EXPECT_EQ(r.first_target, 1);
+  EXPECT_EQ(r.finder, 1);
+  EXPECT_EQ(r.time, 10);  // started at 2, walked 8
+  EXPECT_EQ(r.crashed, 1);
+}
+
+TEST(MultiTargetTrial, TieBreaksOnLowestTargetIndex) {
+  // Two targets at the SAME node: the lower index wins the tie.
+  const ScriptedStrategy s({GoTo{Point{4, 0}}});
+  const rng::Rng trial(15);
+  TrialEnvironment env;
+  env.targets = {Point{4, 0}, Point{4, 0}};
+  const TrialResult r = run_trial(s, 1, env, trial);
+  EXPECT_TRUE(r.found);
+  EXPECT_EQ(r.first_target, 0);
+}
+
+// ---------------------------------------------------------------------------
+// The unified Monte-Carlo driver.
+// ---------------------------------------------------------------------------
+
+TEST(RunEnvTrials, MeanFirstTargetSeesTheForagingPreference) {
+  // pair-style draw: near patch at distance 2, far patch at distance 16.
+  const core::HarmonicStrategy s(0.5);
+  TrialStrategy strategy;
+  strategy.segment = &s;
+  const Placement placement = uniform_ring_placement();
+  const TargetDraw pair = [&placement](rng::Rng& rng, std::int64_t d) {
+    return std::vector<Point>{placement(rng, 2), placement(rng, d)};
+  };
+  RunConfig config;
+  config.trials = 60;
+  config.seed = 0xF00D;
+  config.time_cap = 500'000;
+  const AsyncRunStats rs = run_env_trials(strategy, 8, 16, pair, SyncStart(),
+                                          NoCrash(), config);
+  EXPECT_GT(rs.base.success_rate, 0.9);
+  // The near patch (index 0) wins nearly every race.
+  EXPECT_LT(rs.mean_first_target, 0.2);
+  EXPECT_GE(rs.mean_first_target, 0.0);
+}
+
+TEST(RunEnvTrials, StepStrategyUnderScheduleAndCrash) {
+  const baselines::RandomWalkStrategy rw;
+  TrialStrategy strategy;
+  strategy.step = &rw;
+  RunConfig one;
+  one.trials = 24;
+  one.seed = 31;
+  one.time_cap = 4000;
+  one.threads = 1;
+  RunConfig many = one;
+  many.threads = 6;
+  const StaggeredStart schedule(5);
+  const DoaCrash crashes(0.25);
+  const AsyncRunStats a =
+      run_env_trials(strategy, 4, 1, single_target(uniform_ring_placement()),
+                     schedule, crashes, one);
+  const AsyncRunStats b =
+      run_env_trials(strategy, 4, 1, single_target(uniform_ring_placement()),
+                     schedule, crashes, many);
+  // Thread-count independence extends to the new family/environment combo.
+  EXPECT_EQ(a.base.times, b.base.times);
+  EXPECT_DOUBLE_EQ(a.mean_crashed, b.mean_crashed);
+  EXPECT_DOUBLE_EQ(a.from_last_start.mean, b.from_last_start.mean);
+  // k = 4 with staggered(gap=5): the last start is always 15.
+  EXPECT_DOUBLE_EQ(a.mean_last_start, 15.0);
+  EXPECT_GT(a.mean_crashed, 0.0);
+  EXPECT_LT(a.mean_crashed, 4.0);
+}
+
+TEST(RunEnvTrials, StepStrategyRequiresFiniteCap) {
+  const baselines::RandomWalkStrategy rw;
+  TrialStrategy strategy;
+  strategy.step = &rw;
+  RunConfig config;
+  config.trials = 2;
+  EXPECT_THROW(
+      run_env_trials(strategy, 1, 2, single_target(axis_placement()),
+                     SyncStart(), NoCrash(), config),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ants::sim

@@ -169,12 +169,12 @@ TEST_P(StrategyConformanceTest, AsyncSyncNoCrashMatchesPlainEngine) {
     const rng::Rng trial(seed);
     const sim::SearchResult plain =
         run_search(*strategy, 8, treasure, trial, config);
-    const sim::AsyncSearchResult async = run_search_async(
+    const sim::TrialResult async = run_search_async(
         *strategy, 8, treasure, trial, sim::SyncStart(), sim::NoCrash(),
         config);
-    ASSERT_EQ(async.base.found, plain.found) << seed;
-    ASSERT_EQ(async.base.time, plain.time) << seed;
-    ASSERT_EQ(async.base.finder, plain.finder) << seed;
+    ASSERT_EQ(async.found, plain.found) << seed;
+    ASSERT_EQ(async.time, plain.time) << seed;
+    ASSERT_EQ(async.finder, plain.finder) << seed;
   }
 }
 

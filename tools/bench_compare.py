@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Compare a Google Benchmark JSON run against a stored baseline.
+
+Usage:
+    bench_compare.py BASELINE.json CURRENT.json [--max-ratio R]
+
+Prints a per-benchmark table of baseline vs current real_time and the
+current/baseline ratio. Benchmarks present on only one side are listed but
+never fail the comparison. With --max-ratio R, exits non-zero if any shared
+benchmark got slower than R x its baseline — the hook for turning the CI
+smoke job into a hard regression gate once runner variance is
+characterized. Without it the comparison is informational (exit 0).
+
+Stdlib only; no third-party dependencies.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for bench in data.get("benchmarks", []):
+        # Aggregate reports (mean/median/stddev) would double-count; keep
+        # plain iterations only.
+        if bench.get("run_type", "iteration") != "iteration":
+            continue
+        out[bench["name"]] = {
+            "real_time": float(bench["real_time"]),
+            "time_unit": bench.get("time_unit", "ns"),
+        }
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--max-ratio",
+        type=float,
+        default=None,
+        help="fail (exit 1) if any shared benchmark exceeds this "
+        "current/baseline real_time ratio",
+    )
+    args = parser.parse_args()
+
+    baseline = load_benchmarks(args.baseline)
+    current = load_benchmarks(args.current)
+
+    shared = sorted(set(baseline) & set(current))
+    only_baseline = sorted(set(baseline) - set(current))
+    only_current = sorted(set(current) - set(baseline))
+
+    if not shared:
+        # Informational without --max-ratio: a wholesale rename of the
+        # benchmark set (baseline not yet regenerated) must not fail CI.
+        print("bench_compare: no shared benchmarks between the two runs")
+        for name in sorted(baseline):
+            print(f"{name}: in baseline only (removed or filtered out)")
+        for name in sorted(current):
+            print(f"{name}: new benchmark (no baseline yet)")
+        return 1 if args.max_ratio is not None else 0
+
+    name_w = max(len(n) for n in shared)
+    print(f"{'benchmark':<{name_w}}  {'baseline':>12}  {'current':>12}  ratio")
+    worst = None
+    for name in shared:
+        b = baseline[name]["real_time"]
+        c = current[name]["real_time"]
+        ratio = c / b if b > 0 else float("inf")
+        unit = current[name]["time_unit"]
+        flag = ""
+        if args.max_ratio is not None and ratio > args.max_ratio:
+            flag = "  REGRESSION"
+        print(
+            f"{name:<{name_w}}  {b:>10.1f}{unit}  {c:>10.1f}{unit}  "
+            f"{ratio:>5.2f}x{flag}"
+        )
+        if worst is None or ratio > worst[1]:
+            worst = (name, ratio)
+
+    for name in only_baseline:
+        print(f"{name}: in baseline only (removed or filtered out)")
+    for name in only_current:
+        print(f"{name}: new benchmark (no baseline yet)")
+
+    print(f"worst ratio: {worst[1]:.2f}x ({worst[0]})")
+    if args.max_ratio is not None and worst[1] > args.max_ratio:
+        print(
+            f"bench_compare: FAILED — worst ratio {worst[1]:.2f}x exceeds "
+            f"--max-ratio {args.max_ratio}"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,7 @@
 //   search_lab run --spec=FILE [output/scheduler flags]
 //   search_lab run --strategies='uniform(eps=0.5); known-k' --ks=1,4,16
 //                  --ds=16,32 --trials=100 [--seed=N] [--placement=ring,axis]
+//                  [--targets='single,pair(near=0.25)']
 //                  [--schedule=staggered(gap=4)] [--crash=doa(p=0.25)]
 //                  [--time-cap=T] [--columns=a,b,c] [output/scheduler flags]
 //       Runs every scenario in FILE (text or JSON-lines form, see
@@ -50,13 +51,22 @@ const char* engine_kind(const scenario::BuiltStrategy& built) {
   return "segment-level";
 }
 
+/// Which environment axes a strategy's engine family supports. The unified
+/// executor (sim/trial.h) gives every grid family the full environment;
+/// only the continuous-plane engine is placement-only.
+const char* engine_axes(const scenario::BuiltStrategy& built) {
+  if (built.is_plane()) return "placements";
+  return "placements, schedule, crash, targets";
+}
+
 int run_list() {
   const scenario::Registry& registry = scenario::Registry::instance();
   for (const std::string& name : registry.names()) {
     const scenario::StrategyEntry* entry = registry.find(name);
     const scenario::BuiltStrategy built =
         registry.make(name, scenario::BuildContext{1});
-    std::cout << name << " [" << engine_kind(built) << "]\n    "
+    std::cout << name << " [" << engine_kind(built)
+              << "; axes: " << engine_axes(built) << "]\n    "
               << entry->summary << "\n";
     print_params(entry->params);
     std::cout << "\n";
@@ -64,8 +74,10 @@ int run_list() {
   std::cout << registry.names().size() << " strategies registered.\n\n";
 
   const auto print_axis = [](const char* title, const char* spec_key,
+                             const char* applies,
                              const std::vector<scenario::EnvEntry>& entries) {
-    std::cout << "--- " << title << " (spec key: " << spec_key << ") ---\n";
+    std::cout << "--- " << title << " (spec key: " << spec_key
+              << "; applies to " << applies << ") ---\n";
     for (const scenario::EnvEntry& entry : entries) {
       std::cout << entry.name << "\n    " << entry.summary << "\n";
       print_params(entry.params);
@@ -73,11 +85,15 @@ int run_list() {
     std::cout << "\n";
   };
   print_axis("placements — sweepable axis", "placements",
-             scenario::placement_entries());
+             "every engine family", scenario::placement_entries());
   print_axis("start schedules — async variants", "schedule",
+             "segment- and step-level strategies",
              scenario::schedule_entries());
   print_axis("crash models — fail-stop variants", "crash",
-             scenario::crash_entries());
+             "segment- and step-level strategies", scenario::crash_entries());
+  print_axis("target sets — multi-treasure adversaries (sweepable axis)",
+             "targets", "segment- and step-level strategies",
+             scenario::target_entries());
   return 0;
 }
 
@@ -125,7 +141,11 @@ int run_specs(util::Cli& cli) {
       if (spec.placements.size() > 1) {
         std::cout << " x " << spec.placements.size() << " placements";
       }
+      if (spec.targets.size() > 1) {
+        std::cout << " x " << spec.targets.size() << " target sets";
+      }
       if (spec.is_async()) std::cout << " [async]";
+      if (spec.is_multi_target()) std::cout << " [multi-target]";
       std::cout << ", " << spec.trials << " trials/cell\n";
     }
     const std::vector<scenario::CellResult> results =
