@@ -17,6 +17,7 @@
 #include "core/harmonic.h"
 #include "core/known_k.h"
 #include "core/uniform.h"
+#include "plane/strategies.h"
 #include "sim/engine.h"
 #include "sim/trial.h"
 
@@ -164,6 +165,51 @@ void BM_UnifiedTrialStepAsync(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_UnifiedTrialStepAsync)->Arg(4)->Arg(16);
+
+// Plane backend under the base model through run_trial: must stay at
+// parity with the historical run_plane_search cost (it IS the same
+// min-clock sweep; the dispatch + environment adaptation is the only
+// difference).
+void BM_UnifiedTrialPlaneSync(benchmark::State& state) {
+  const auto k = static_cast<int>(state.range(0));
+  const std::int64_t d = state.range(1);
+  const ants::plane::PlaneKnownKStrategy strategy(k);
+  ants::sim::EngineConfig config;
+  config.time_cap = 1'000'000;
+  ants::sim::TrialEnvironment env;
+  env.plane_targets = {{static_cast<double>(d), 0.0}};
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    ants::rng::Rng trial(++seed);
+    const auto r = ants::sim::run_trial(strategy, k, env, trial, config);
+    benchmark::DoNotOptimize(r.time);
+  }
+}
+BENCHMARK(BM_UnifiedTrialPlaneSync)->Args({4, 16})->Args({16, 64});
+
+// Plane backend under the full environment: schedule/crash draws + the
+// continuous sweep with starts/lifetimes live and a near/far target pair.
+void BM_UnifiedTrialPlaneAsync(benchmark::State& state) {
+  const auto k = static_cast<int>(state.range(0));
+  const std::int64_t d = state.range(1);
+  const ants::plane::PlaneKnownKStrategy strategy(k);
+  const ants::sim::StaggeredStart schedule(2);
+  const ants::sim::DoaCrash crashes(0.25);
+  ants::sim::EngineConfig config;
+  config.time_cap = 1'000'000;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    ants::rng::Rng trial(++seed);
+    ants::sim::TrialEnvironment env;
+    env.plane_targets = {{static_cast<double>(d) / 4.0, 0.0},
+                         {static_cast<double>(d), 0.0}};
+    env = ants::sim::draw_environment(k, std::move(env), schedule, crashes,
+                                      trial);
+    const auto r = ants::sim::run_trial(strategy, k, env, trial, config);
+    benchmark::DoNotOptimize(r.time);
+  }
+}
+BENCHMARK(BM_UnifiedTrialPlaneAsync)->Args({4, 16})->Args({16, 64});
 
 }  // namespace
 

@@ -28,35 +28,85 @@ Move realize(const PlaneOp& op, Vec2 current, double pitch) {
   return std::visit(Visitor{current, pitch}, op);
 }
 
+/// Earliest entry of `starts` (lowest index wins ties); 0 when empty.
+std::size_t earliest_start_index(const std::vector<Time>& starts) {
+  if (starts.empty()) return 0;
+  return static_cast<std::size_t>(
+      std::min_element(starts.begin(), starts.end()) - starts.begin());
+}
+
+/// Fills the result for a target already inside the sight disc of home: any
+/// agent that ever starts sees it the moment it wakes up, so the earliest
+/// starter (lowest index on ties) is the finder. Matches the historical
+/// engine exactly (run_plane_search: t = 0, finder 0).
+bool resolve_home_target(const PlaneTrialEnvironment& env, double eps,
+                         PlaneTrialResult* result) {
+  for (std::size_t ti = 0; ti < env.targets.size(); ++ti) {
+    if (distance(env.targets[ti], kPlaneOrigin) > eps) continue;
+    const std::size_t first = earliest_start_index(env.starts);
+    result->found = true;
+    result->time = env.starts.empty() ? 0.0 : env.starts[first];
+    result->finder = static_cast<int>(first);
+    result->first_target = static_cast<int>(ti);
+    result->from_last_start = 0;
+    return true;
+  }
+  return false;
+}
+
 }  // namespace
 
-PlaneSearchResult run_plane_search(const PlaneStrategy& strategy, int k,
-                                   Vec2 treasure, const rng::Rng& trial_rng,
-                                   const PlaneEngineConfig& config) {
-  if (k < 1) throw std::invalid_argument("run_plane_search: need k >= 1");
+Time PlaneTrialEnvironment::last_start() const noexcept {
+  if (starts.empty()) return 0;
+  return *std::max_element(starts.begin(), starts.end());
+}
+
+PlaneTrialResult run_plane_trial(const PlaneStrategy& strategy, int k,
+                                 const PlaneTrialEnvironment& env,
+                                 const rng::Rng& trial_rng,
+                                 const PlaneEngineConfig& config) {
+  if (k < 1) throw std::invalid_argument("run_plane_trial: need k >= 1");
   if (!(config.sight_radius > 0)) {
-    throw std::invalid_argument("run_plane_search: sight_radius > 0");
+    throw std::invalid_argument("run_plane_trial: sight_radius > 0");
+  }
+  if (env.targets.empty()) {
+    throw std::invalid_argument("run_plane_trial: need >= 1 target");
+  }
+  const auto uk = static_cast<std::size_t>(k);
+  if (!env.starts.empty() && env.starts.size() != uk) {
+    throw std::invalid_argument("run_plane_trial: starts count != k");
+  }
+  if (!env.lifetimes.empty() && env.lifetimes.size() != uk) {
+    throw std::invalid_argument("run_plane_trial: lifetimes count != k");
   }
 
-  PlaneSearchResult result;
-  if (distance(treasure, kPlaneOrigin) <= config.sight_radius) {
-    result.found = true;
-    result.time = 0;
-    result.finder = 0;
-    return result;
-  }
+  PlaneTrialResult result;
+  result.last_start = env.last_start();
+  if (resolve_home_target(env, config.sight_radius, &result)) return result;
 
-  // Interleaved min-clock sweep, exactly as the grid engine (see
-  // sim/engine.cpp for why interleaving rather than agent-at-a-time).
+  const auto start_of = [&](int a) {
+    return env.starts.empty() ? Time{0}
+                              : env.starts[static_cast<std::size_t>(a)];
+  };
+  const auto lifetime_of = [&](int a) {
+    return env.lifetimes.empty()
+               ? kPlaneNever
+               : env.lifetimes[static_cast<std::size_t>(a)];
+  };
+
+  // Interleaved min-clock sweep, exactly as the grid executor (see
+  // sim/trial.cpp for why interleaving rather than agent-at-a-time). Agents
+  // are ordered by ABSOLUTE clock: start delay + active time in their own
+  // program.
   struct AgentState {
     std::unique_ptr<PlaneAgentProgram> program;
     rng::Rng rng;
     Vec2 pos = kPlaneOrigin;
-    Time clock = 0;
+    Time elapsed = 0;  ///< active time in the agent's own program
     std::int64_t segments = 0;
   };
   std::vector<AgentState> agents;
-  agents.reserve(static_cast<std::size_t>(k));
+  agents.reserve(uk);
   for (int a = 0; a < k; ++a) {
     agents.push_back(AgentState{strategy.make_program(a, k),
                                 trial_rng.child(static_cast<std::uint64_t>(a)),
@@ -65,16 +115,25 @@ PlaneSearchResult run_plane_search(const PlaneStrategy& strategy, int k,
 
   using Entry = std::pair<Time, int>;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
-  for (int a = 0; a < k; ++a) queue.emplace(0.0, a);
+  for (int a = 0; a < k; ++a) {
+    if (lifetime_of(a) <= 0) {
+      ++result.crashed;  // dead on arrival: never acts
+      continue;
+    }
+    queue.emplace(start_of(a), a);
+  }
 
   Time best = kPlaneNever;
   int finder = -1;
+  int first_target = -1;
 
   while (!queue.empty()) {
-    const auto [clock, a] = queue.top();
+    const auto [abs_clock, a] = queue.top();
     queue.pop();
+    // All other clocks are >= this one; once it reaches the bound (the best
+    // sighting so far, or the cap), no agent can improve the outcome.
     const Time bound = std::min(config.time_cap, best);
-    if (clock >= bound) break;
+    if (abs_clock >= bound) break;
 
     AgentState& agent = agents[static_cast<std::size_t>(a)];
     if (++agent.segments > config.max_segments_per_agent) {
@@ -86,28 +145,73 @@ PlaneSearchResult run_plane_search(const PlaneStrategy& strategy, int k,
     const Move move =
         realize(agent.program->next(agent.rng), agent.pos,
                 config.spiral_pitch);
-    if (const auto hit =
-            first_sighting(move, treasure, config.sight_radius)) {
-      const Time when = agent.clock + *hit;
-      if (when <= config.time_cap && when < best) {
-        best = when;
+    for (std::size_t ti = 0; ti < env.targets.size(); ++ti) {
+      const auto hit =
+          first_sighting(move, env.targets[ti], config.sight_radius);
+      if (!hit) continue;
+      const Time when_active = agent.elapsed + *hit;
+      // A sighting only counts while the agent is still alive.
+      if (when_active > lifetime_of(a)) continue;
+      const Time when_abs = start_of(a) + when_active;
+      if (when_abs > config.time_cap) continue;
+      // Earliest sighting wins; exact ties go to the lowest agent index,
+      // then to the lowest target index — the grid executor's rule.
+      if (when_abs < best || (when_abs == best && a < finder)) {
+        best = when_abs;
         finder = a;
+        first_target = static_cast<int>(ti);
       }
     }
-    agent.clock += move_duration(move);
+    const Time move_time = move_duration(move);
+    if (agent.elapsed + move_time >= lifetime_of(a)) {
+      // Fail-stop: the trajectory is truncated at the agent's active-time
+      // budget; it halts wherever the budget ran out, mid-move included.
+      // The race outcome never reads a dead agent's position — this keeps
+      // the agent state faithful for future instrumentation (trajectory
+      // dumps, visitation traces) at one move_position_at per crash.
+      agent.pos = move_position_at(move, lifetime_of(a) - agent.elapsed);
+      agent.elapsed = lifetime_of(a);
+      ++result.crashed;
+      continue;
+    }
+    agent.elapsed += move_time;
     agent.pos = move_end(move);
-    queue.emplace(agent.clock, a);
+    queue.emplace(start_of(a) + agent.elapsed, a);
   }
 
   if (best != kPlaneNever) {
     result.found = true;
     result.time = best;
     result.finder = finder;
+    result.first_target = first_target;
+    result.from_last_start =
+        best > result.last_start ? best - result.last_start : 0;
   } else {
     result.found = false;
     result.time = config.time_cap;
     result.finder = -1;
+    result.from_last_start = config.time_cap;
   }
+  return result;
+}
+
+PlaneSearchResult run_plane_search(const PlaneStrategy& strategy, int k,
+                                   Vec2 treasure, const rng::Rng& trial_rng,
+                                   const PlaneEngineConfig& config) {
+  if (k < 1) throw std::invalid_argument("run_plane_search: need k >= 1");
+  // The base model is the environment-aware executor under the trivial
+  // environment (simultaneous starts, immortal agents, one treasure); see
+  // run_plane_trial for the interleaved min-clock sweep this used to
+  // implement directly.
+  PlaneTrialEnvironment env;
+  env.targets = {treasure};
+  const PlaneTrialResult r =
+      run_plane_trial(strategy, k, env, trial_rng, config);
+  PlaneSearchResult result;
+  result.time = r.time;
+  result.found = r.found;
+  result.finder = r.finder;
+  result.segments = r.segments;
   return result;
 }
 

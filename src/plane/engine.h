@@ -9,8 +9,10 @@
 // reduction quantitatively.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "plane/segment.h"
 #include "rng/rng.h"
@@ -60,8 +62,52 @@ struct PlaneSearchResult {
 };
 
 /// One collaborative continuous search; agent a uses trial_rng.child(a).
+/// Thin wrapper over run_plane_trial under the base-model environment
+/// (simultaneous starts, immortal agents, one treasure).
 PlaneSearchResult run_plane_search(const PlaneStrategy& strategy, int k,
                                    Vec2 treasure, const rng::Rng& trial_rng,
                                    const PlaneEngineConfig& config = {});
+
+/// The fully realized environment of one continuous-plane trial — the
+/// plane-side mirror of sim::TrialEnvironment. Targets are sight discs of
+/// the engine's eps around each point; empty `starts` / `lifetimes` are the
+/// base model (everybody at t = 0, immortal) without paying two k-sized
+/// allocations on the synchronous hot path; non-empty vectors must have
+/// exactly k entries.
+struct PlaneTrialEnvironment {
+  std::vector<Vec2> targets;    ///< >= 1 target discs; first-of-set race
+  std::vector<Time> starts;     ///< per-agent start delays (empty = 0)
+  std::vector<Time> lifetimes;  ///< per-agent lifetimes (empty = never)
+
+  /// Latest start delay (0 for the base model).
+  Time last_start() const noexcept;
+};
+
+/// Result of one environment-aware plane trial; the plane-side mirror of
+/// sim::TrialResult (all times in continuous unit-speed units).
+struct PlaneTrialResult {
+  Time time = kPlaneNever;    ///< absolute first-sighting time (or the cap)
+  bool found = false;         ///< true iff some target was sighted in time
+  int finder = -1;            ///< index of the first agent to sight one
+  int first_target = -1;      ///< index of the first-sighted target
+  std::int64_t segments = 0;  ///< moves realized (cost accounting)
+  Time last_start = 0;        ///< latest start delay in the environment
+  Time from_last_start = 0;   ///< max(0, time - last_start) if found
+  int crashed = 0;            ///< agents that exhausted their lifetime
+};
+
+/// Runs one continuous trial of `strategy` under `env`: the interleaved
+/// min-clock sweep generalized over per-agent start delays (agents idle at
+/// home until their start time), fail-stop lifetimes (a trajectory is
+/// truncated at its active-time budget; sightings past it do not count),
+/// and first-of-set races over multiple sight discs. Under a sync/no-crash
+/// single-target environment this is exactly the historical
+/// run_plane_search (which is now a wrapper over it). Throws
+/// std::invalid_argument on k < 1, an empty target set, environment vectors
+/// of the wrong size, or a non-positive sight radius.
+PlaneTrialResult run_plane_trial(const PlaneStrategy& strategy, int k,
+                                 const PlaneTrialEnvironment& env,
+                                 const rng::Rng& trial_rng,
+                                 const PlaneEngineConfig& config = {});
 
 }  // namespace ants::plane

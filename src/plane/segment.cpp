@@ -144,6 +144,23 @@ Vec2 move_end(const Move& move) noexcept {
   return spiral_point_at(sp.center, a, theta);
 }
 
+Vec2 move_position_at(const Move& move, Time t) noexcept {
+  if (t <= 0) {
+    if (const auto* line = std::get_if<LineMove>(&move)) return line->from;
+    return std::get<SpiralMove>(move).center;
+  }
+  if (t >= move_duration(move)) return move_end(move);
+  if (const auto* line = std::get_if<LineMove>(&move)) {
+    const Vec2 d = line->to - line->from;
+    const double len = d.norm();
+    if (len == 0.0) return line->from;
+    return line->from + d * (t / len);
+  }
+  const auto& sp = std::get<SpiralMove>(move);
+  const double a = sp.pitch / kTwoPi;
+  return spiral_point_at(sp.center, a, spiral_theta_for_arc(a, t));
+}
+
 std::optional<Time> first_sighting(const Move& move, Vec2 target, double eps) {
   if (const auto* line = std::get_if<LineMove>(&move)) {
     return line_first_sighting(*line, target, eps);

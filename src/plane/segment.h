@@ -46,6 +46,12 @@ Time move_duration(const Move& move) noexcept;
 /// Position when the move completes.
 Vec2 move_end(const Move& move) noexcept;
 
+/// Position after traveling `t` arc-length units into the move (clamped to
+/// [0, duration]). Lets the environment-aware engine truncate a trajectory
+/// mid-move: an agent whose lifetime expires partway through a move halts at
+/// move_position_at(move, remaining_budget).
+Vec2 move_position_at(const Move& move, Time t) noexcept;
+
 /// Earliest time offset in [0, duration] at which the mover comes within
 /// `eps` of `target`, if any.
 std::optional<Time> first_sighting(const Move& move, Vec2 target, double eps);

@@ -242,37 +242,73 @@ std::unique_ptr<sim::CrashModel> make_crash(const std::string& text) {
   return std::make_unique<sim::FixedLifetime>(as_int(env, 0));
 }
 
-sim::TargetDraw make_targets(const std::string& text,
-                             const sim::Placement& placement) {
-  const ResolvedEnv env = resolve("targets", target_entries(), text);
+namespace {
+
+/// The target-set grammar, compiled once over a substrate-specific point
+/// draw: grid and plane sweeps share ONE copy of the pair/ring-set
+/// validation and radii, so the two substrates cannot drift apart — with
+/// "pair", both race a NEAR patch (target 0, the foraging preference) at
+/// max(1, round(near*D)) against a far one at D.
+template <typename Point>
+std::function<std::vector<Point>(rng::Rng&, std::int64_t)> compile_targets(
+    const ResolvedEnv& env,
+    std::function<Point(rng::Rng&, std::int64_t)> place) {
   const std::string& name = env.entry->name;
-  if (name == "single") return sim::single_target(placement);
+  if (name == "single") {
+    return [place = std::move(place)](rng::Rng& rng, std::int64_t distance) {
+      return std::vector<Point>{place(rng, distance)};
+    };
+  }
   if (name == "pair") {
     const double near = as_double(env, 0);
     if (!(near > 0) || near > 1) {
       bad("targets 'pair': near must be in (0, 1]");
     }
-    return [near, placement](rng::Rng& rng, std::int64_t distance) {
+    return [near, place = std::move(place)](rng::Rng& rng,
+                                            std::int64_t distance) {
       const auto near_d = std::max<std::int64_t>(
           1, std::llround(near * static_cast<double>(distance)));
-      // Target 0 is the NEAR patch, so first_target == 0 means the foraging
-      // preference held; both directions come from the placement policy.
-      std::vector<grid::Point> targets;
-      targets.push_back(placement(rng, near_d));
-      targets.push_back(placement(rng, distance));
+      std::vector<Point> targets;
+      targets.push_back(place(rng, near_d));
+      targets.push_back(place(rng, distance));
       return targets;
     };
   }
   const std::int64_t n = as_int(env, 0);
   if (n < 1) bad("targets 'ring-set': n must be >= 1");
-  return [n, placement](rng::Rng& rng, std::int64_t distance) {
-    std::vector<grid::Point> targets;
+  return [n, place = std::move(place)](rng::Rng& rng,
+                                       std::int64_t distance) {
+    std::vector<Point> targets;
     targets.reserve(static_cast<std::size_t>(n));
     for (std::int64_t i = 0; i < n; ++i) {
-      targets.push_back(placement(rng, distance));
+      targets.push_back(place(rng, distance));
     }
     return targets;
   };
+}
+
+}  // namespace
+
+sim::TargetDraw make_targets(const std::string& text,
+                             const sim::Placement& placement) {
+  const ResolvedEnv env = resolve("targets", target_entries(), text);
+  sim::TargetDraw draw;
+  draw.grid = compile_targets<grid::Point>(
+      env, [placement](rng::Rng& rng, std::int64_t d) {
+        return placement(rng, d);
+      });
+  return draw;
+}
+
+sim::TargetDraw make_plane_targets(
+    const std::string& text, const std::function<double(rng::Rng&)>& angle) {
+  const ResolvedEnv env = resolve("targets", target_entries(), text);
+  sim::TargetDraw draw;
+  draw.plane = compile_targets<plane::Vec2>(
+      env, [angle](rng::Rng& rng, std::int64_t d) {
+        return plane::unit(angle(rng)) * static_cast<double>(d);
+      });
+  return draw;
 }
 
 std::function<double(rng::Rng&)> make_plane_angle(const std::string& text) {

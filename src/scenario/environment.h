@@ -70,6 +70,15 @@ std::unique_ptr<sim::CrashModel> make_crash(const std::string& text);
 sim::TargetDraw make_targets(const std::string& text,
                              const sim::Placement& placement);
 
+/// The continuous-plane twin of make_targets: compiles the SAME target-set
+/// grammar against a plane angle policy (see make_plane_angle). Distances
+/// mirror the grid semantics exactly — "pair(near=f)" puts the near patch
+/// at max(1, round(f*D)) — so a paired grid-vs-plane sweep races targets at
+/// the same radii. "single" is exactly one angle draw, byte-identical to
+/// the classic plane path.
+sim::TargetDraw make_plane_targets(
+    const std::string& text, const std::function<double(rng::Rng&)>& angle);
+
 /// For a "fixed" schedule, the number of per-agent delays it carries
 /// (validation must match it against every k in the sweep grid); 0 for
 /// every other schedule.
@@ -82,10 +91,9 @@ std::size_t fixed_schedule_delay_count(const std::string& text);
 std::function<double(rng::Rng&)> make_plane_angle(const std::string& text);
 
 /// True when the schedule/crash/targets field is the paper's base model
-/// (synchronous starts, immortal agents, one treasure). Every cell runs the
-/// same unified executor either way; these predicates only gate which
-/// aggregate columns are meaningful and what the plane engine (which has no
-/// environment port) accepts.
+/// (synchronous starts, immortal agents, one treasure). Every cell — grid
+/// or plane — runs the same unified executor either way; these predicates
+/// only gate which aggregate columns are meaningful.
 bool is_sync_schedule(const std::string& text);
 bool is_no_crash(const std::string& text);
 bool is_single_targets(const std::string& text);

@@ -288,11 +288,12 @@ void ScenarioSpec::validate() const {
       }
     }
   }
-  const bool async = is_async();
-  const bool multi = is_multi_target();
   // Building each strategy (at the grid's first k) surfaces unknown names,
   // unknown/malformed parameters, and constructor range errors up front
-  // rather than mid-sweep.
+  // rather than mid-sweep. The unified executor gives EVERY strategy family
+  // — segment-, step-, and plane-level — the full environment (schedule,
+  // crash, targets), so no per-family axis rejections remain; only the
+  // finite-cap requirements below.
   const BuildContext ctx{static_cast<int>(ks.front())};
   for (const std::string& s : strategies) {
     const BuiltStrategy built = Registry::instance().make(s, ctx);
@@ -303,18 +304,6 @@ void ScenarioSpec::validate() const {
     if (built.is_plane() && time_cap == 0) {
       bad("scenario '" + name + "': plane-level strategy '" + s +
           "' requires a finite time_cap");
-    }
-    // The unified executor gives every grid strategy the full environment;
-    // only the continuous-plane engine has no port for these axes.
-    if (async && built.is_plane()) {
-      bad("scenario '" + name + "': plane-level strategy '" + s +
-          "' cannot run under schedule/crash variants (the plane engine "
-          "has no environment port)");
-    }
-    if (multi && built.is_plane()) {
-      bad("scenario '" + name + "': plane-level strategy '" + s +
-          "' cannot run multi-target specs (the plane engine has no "
-          "environment port)");
     }
   }
   for (const std::string& column : columns) {

@@ -7,7 +7,6 @@
 #include <sstream>
 #include <utility>
 
-#include "plane/strategies.h"
 #include "rng/splitmix64.h"
 #include "scenario/environment.h"
 #include "scenario/registry.h"
@@ -20,9 +19,12 @@ namespace ants::scenario {
 namespace {
 
 /// Bump when the cell execution or cache format changes in any way that
-/// invalidates previously cached aggregates. v3: the target set became a
-/// per-cell axis and mean_first_target joined the cache record.
-constexpr int kCellFormatVersion = 3;
+/// invalidates previously cached aggregates. v4: plane-level strategies run
+/// under the full environment (schedule/crash/targets) through the unified
+/// executor, so plane cells now hash and store the async/multi-target
+/// aggregates. v3: the target set became a per-cell axis and
+/// mean_first_target joined the cache record.
+constexpr int kCellFormatVersion = 4;
 
 std::uint64_t cell_hash(const ScenarioSpec& spec, const std::string& strategy,
                         std::int64_t k, std::int64_t distance,
@@ -152,10 +154,10 @@ std::vector<CellResult> run_sweep(const ScenarioSpec& spec,
 
   // Placement policies, target-set draws, schedule, and crash model are
   // stateless draws from the trial rng — one shared instance per spec is
-  // thread-safe. Target draws compose the placement policy with the cell's
-  // target-set spec, so they are compiled per (placement, targets) pair.
-  // The plane-side angle policy is compiled here too, not re-parsed per
-  // trial.
+  // thread-safe. Target draws compose the placement policy (grid points or
+  // plane angles) with the cell's target-set spec, so they are compiled per
+  // (placement, targets) pair and per substrate — a paired grid-vs-plane
+  // spec fills both sides of the same TargetDraw slot.
   const std::size_t n_targets = spec.targets.size();
   std::vector<sim::Placement> placements(spec.placements.size());
   std::vector<sim::TargetDraw> target_draws(spec.placements.size() *
@@ -164,21 +166,28 @@ std::vector<CellResult> run_sweep(const ScenarioSpec& spec,
       spec.placements.size());
   for (const std::size_t i : pending) {
     const Cell& cell = cells[i];
+    const std::size_t di = cell.placement_index * n_targets +
+                           cell.targets_index;
     if (built[i]->is_plane()) {
       if (!plane_angles[cell.placement_index]) {
         plane_angles[cell.placement_index] =
             make_plane_angle(cell.placement_spec);
+      }
+      if (!target_draws[di].plane) {
+        target_draws[di].plane =
+            make_plane_targets(cell.targets_spec,
+                               plane_angles[cell.placement_index])
+                .plane;
       }
       continue;
     }
     if (!placements[cell.placement_index]) {
       placements[cell.placement_index] = make_placement(cell.placement_spec);
     }
-    const std::size_t di = cell.placement_index * n_targets +
-                           cell.targets_index;
-    if (!target_draws[di]) {
-      target_draws[di] =
-          make_targets(cell.targets_spec, placements[cell.placement_index]);
+    if (!target_draws[di].grid) {
+      target_draws[di].grid =
+          make_targets(cell.targets_spec, placements[cell.placement_index])
+              .grid;
     }
   }
   const std::unique_ptr<sim::StartSchedule> schedule =
@@ -187,10 +196,6 @@ std::vector<CellResult> run_sweep(const ScenarioSpec& spec,
 
   sim::EngineConfig engine_config;
   engine_config.time_cap = spec.effective_time_cap();
-  plane::PlaneEngineConfig plane_config;
-  plane_config.time_cap = spec.time_cap == 0
-                              ? plane::kPlaneNever
-                              : static_cast<plane::Time>(spec.time_cap);
 
   std::vector<std::vector<double>> times(n_cells);
   std::vector<std::vector<double>> from_last(async ? n_cells : 0);
@@ -222,51 +227,44 @@ std::vector<CellResult> run_sweep(const ScenarioSpec& spec,
         const std::size_t trial = item % trials;
         const Cell& cell = cells[ci];
         rng::Rng trial_rng(rng::mix_seed(cell.seed, trial));
+        // THE executor call site: every cell — any strategy family (grid
+        // segment/step or continuous plane), any schedule/crash/targets
+        // combination — runs the unified sim::run_trial under its
+        // per-trial environment. Base-model specs take the executor's
+        // empty-starts/lifetimes fast path instead of drawing
+        // all-zero/immortal vectors every trial: the sync hot path must
+        // not pay for axes it does not use.
+        const sim::TargetDraw& draw =
+            target_draws[cell.placement_index * n_targets +
+                         cell.targets_index];
+        sim::TrialEnvironment env;
         if (built[ci]->is_plane()) {
-          const double angle = plane_angles[cell.placement_index](trial_rng);
-          const plane::Vec2 treasure =
-              plane::unit(angle) * static_cast<double>(cell.distance);
-          const plane::PlaneSearchResult r = plane::run_plane_search(
-              *built[ci]->plane, static_cast<int>(cell.k), treasure,
-              trial_rng, plane_config);
-          times[ci][trial] = r.time;
-          if (r.found) {
-            found[ci].fetch_add(1, std::memory_order_relaxed);
-            // The plane engine races a single treasure: target index 0.
-          }
+          env.plane_targets = draw.plane(trial_rng, cell.distance);
         } else {
-          // THE executor call site: every grid cell — any strategy family,
-          // any schedule/crash/targets combination — runs the unified
-          // sim::run_trial under its per-trial environment. Base-model
-          // specs take the executor's empty-starts/lifetimes fast path
-          // instead of drawing all-zero/immortal vectors every trial: the
-          // sync hot path must not pay for axes it does not use.
-          sim::TrialEnvironment env;
-          env.targets = target_draws[cell.placement_index * n_targets +
-                                     cell.targets_index](trial_rng,
-                                                         cell.distance);
-          if (async) {
-            env = sim::draw_environment(static_cast<int>(cell.k),
-                                        std::move(env.targets), *schedule,
-                                        *crashes, trial_rng);
-          }
-          sim::TrialStrategy strategy;
-          strategy.segment = built[ci]->segment.get();
-          strategy.step = built[ci]->step.get();
-          const sim::TrialResult r =
-              sim::run_trial(strategy, static_cast<int>(cell.k), env,
-                             trial_rng, engine_config);
-          times[ci][trial] = static_cast<double>(r.time);
-          if (async) {
-            from_last[ci][trial] = static_cast<double>(r.from_last_start);
-            crashed[ci][trial] = static_cast<double>(r.crashed);
-            last_starts[ci][trial] = static_cast<double>(r.last_start);
-          }
-          if (r.found) {
-            found[ci].fetch_add(1, std::memory_order_relaxed);
-            first_target_sum[ci].fetch_add(r.first_target,
-                                           std::memory_order_relaxed);
-          }
+          env.targets = draw.grid(trial_rng, cell.distance);
+        }
+        if (async) {
+          env = sim::draw_environment(static_cast<int>(cell.k),
+                                      std::move(env), *schedule, *crashes,
+                                      trial_rng);
+        }
+        sim::TrialStrategy strategy;
+        strategy.segment = built[ci]->segment.get();
+        strategy.step = built[ci]->step.get();
+        strategy.plane = built[ci]->plane.get();
+        const sim::TrialResult r =
+            sim::run_trial(strategy, static_cast<int>(cell.k), env,
+                           trial_rng, engine_config);
+        times[ci][trial] = r.time;
+        if (async) {
+          from_last[ci][trial] = r.from_last_start;
+          crashed[ci][trial] = static_cast<double>(r.crashed);
+          last_starts[ci][trial] = r.last_start;
+        }
+        if (r.found) {
+          found[ci].fetch_add(1, std::memory_order_relaxed);
+          first_target_sum[ci].fetch_add(r.first_target,
+                                         std::memory_order_relaxed);
         }
         if (remaining[ci].fetch_sub(1, std::memory_order_acq_rel) == 1) {
           report_cell(cell, "done");

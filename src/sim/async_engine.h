@@ -18,8 +18,10 @@
 //     Binomial(k, 1-p) crowd, so E[T] should track D + D^2/((1-p)k).
 //
 // Both policies are pure per-trial draws consumed by sim::draw_environment
-// (sim/trial.h), which executes them on EVERY strategy family — segment- and
-// lock-step-level alike — through the unified run_trial executor.
+// (sim/trial.h), which executes them on EVERY strategy family — segment-,
+// lock-step-, and continuous-plane-level alike — through the unified
+// run_trial executor (plane backends read the integer delays/lifetimes as
+// continuous time units).
 // run_search_async below is the historical segment-level entry point, now a
 // thin wrapper over that executor.
 //

@@ -73,7 +73,7 @@ SearchResult run_search(const Strategy& strategy, int k, grid::Point treasure,
       run_trial(strategy, k, single_target_environment(treasure), trial_rng,
                 config);
   SearchResult result;
-  result.time = r.time;
+  result.time = static_cast<Time>(r.time);
   result.found = r.found;
   result.finder = r.finder;
   result.segments = r.segments;

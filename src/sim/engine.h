@@ -32,6 +32,11 @@ struct EngineConfig {
   /// std::runtime_error if a single agent realizes this many segments
   /// without either hitting the treasure or exceeding the bound.
   std::int64_t max_segments_per_agent = 50'000'000;
+  /// Continuous-plane backend knobs (plane::PlaneEngineConfig mirrors);
+  /// ignored by the grid backends. time_cap == kNeverTime maps to
+  /// plane::kPlaneNever.
+  double sight_radius = 1.0;  ///< the paper's eps
+  double spiral_pitch = 1.0;  ///< <= 2 * sight_radius for gap-free coverage
 };
 
 /// Realizes an op into a concrete segment given the agent's position.

@@ -32,7 +32,7 @@ MultiSearchResult run_search_multi(const Strategy& strategy, int k,
     env.targets = targets;
     const TrialResult r = run_trial(strategy, k, env, trial_rng, config);
     MultiSearchResult result;
-    result.first_time = r.time;
+    result.first_time = static_cast<Time>(r.time);
     result.found = r.found;
     result.finder = r.finder;
     result.first_target = r.first_target;
@@ -41,7 +41,8 @@ MultiSearchResult run_search_multi(const Strategy& strategy, int k,
       if (targets[ti] == grid::kOrigin) result.target_times[ti] = 0;
     }
     if (r.found) {
-      result.target_times[static_cast<std::size_t>(r.first_target)] = r.time;
+      result.target_times[static_cast<std::size_t>(r.first_target)] =
+          static_cast<Time>(r.time);
     }
     return result;
   }

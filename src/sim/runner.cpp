@@ -32,9 +32,17 @@ AsyncRunStats run_env_trials(const TrialStrategy& strategy, int k,
                              const RunConfig& config) {
   if (config.trials < 1) throw std::invalid_argument("run_env_trials: trials");
   if (distance < 1) throw std::invalid_argument("run_env_trials: distance");
-  if (strategy.step != nullptr && config.time_cap == kNeverTime) {
+  if ((strategy.step != nullptr || strategy.plane != nullptr) &&
+      config.time_cap == kNeverTime) {
     throw std::invalid_argument(
-        "run_env_trials: step strategies require a finite time_cap");
+        "run_env_trials: step and plane strategies require a finite "
+        "time_cap");
+  }
+  const bool plane = strategy.plane != nullptr;
+  if (plane ? !targets.plane : !targets.grid) {
+    throw std::invalid_argument(
+        "run_env_trials: target draw does not cover the strategy's "
+        "substrate");
   }
 
   const auto n = static_cast<std::size_t>(config.trials);
@@ -60,18 +68,21 @@ AsyncRunStats run_env_trials(const TrialStrategy& strategy, int k,
       [&](std::size_t trial) {
         rng::Rng trial_rng(rng::mix_seed(config.seed, trial));
         TrialEnvironment env;
-        if (base_model) {
-          env.targets = targets(trial_rng, distance);
+        if (plane) {
+          env.plane_targets = targets.plane(trial_rng, distance);
         } else {
-          env = draw_environment(k, targets(trial_rng, distance), schedule,
-                                 crashes, trial_rng);
+          env.targets = targets.grid(trial_rng, distance);
+        }
+        if (!base_model) {
+          env = draw_environment(k, std::move(env), schedule, crashes,
+                                 trial_rng);
         }
         const TrialResult r =
             run_trial(strategy, k, env, trial_rng, engine_config);
-        times[trial] = static_cast<double>(r.time);
-        from_last[trial] = static_cast<double>(r.from_last_start);
+        times[trial] = r.time;
+        from_last[trial] = r.from_last_start;
         crashed[trial] = static_cast<double>(r.crashed);
-        last_starts[trial] = static_cast<double>(r.last_start);
+        last_starts[trial] = r.last_start;
         if (r.found) {
           found.fetch_add(1, std::memory_order_relaxed);
           first_target_sum.fetch_add(r.first_target,

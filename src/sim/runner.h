@@ -63,10 +63,11 @@ struct AsyncRunStats {
 };
 
 /// The unified Monte-Carlo driver: `targets` draws each trial's target set
-/// (see sim::single_target for the classic one-treasure adversary),
-/// schedule/crashes realize the per-agent environment, and the strategy may
-/// be segment- or step-level. Step-level strategies require a finite
-/// config.time_cap.
+/// (see sim::single_target / sim::single_plane_target for the classic
+/// one-treasure adversaries), schedule/crashes realize the per-agent
+/// environment, and the strategy may be segment-, step-, or plane-level.
+/// Step- and plane-level strategies require a finite config.time_cap, and
+/// the target draw must cover the strategy's substrate (grid vs plane).
 AsyncRunStats run_env_trials(const TrialStrategy& strategy, int k,
                              std::int64_t distance, const TargetDraw& targets,
                              const StartSchedule& schedule,

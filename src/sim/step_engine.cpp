@@ -23,14 +23,14 @@ SearchResult run_step_search(const StepStrategy& strategy, int k,
       run_trial(strategy, k, single_target_environment(treasure), trial_rng,
                 config);
   SearchResult result;
-  result.time = r.time;
+  result.time = static_cast<Time>(r.time);
   result.found = r.found;
   result.finder = r.finder;
   // Historical accounting: this entry point always charged full k-agent
   // ticks (t * k), even for the tick the finder cut short. The unified
   // executor counts steps actually taken; keep the legacy figure here so
   // long-standing callers see unchanged numbers.
-  result.segments = (r.found ? r.time : time_cap) * k;
+  result.segments = (r.found ? static_cast<Time>(r.time) : time_cap) * k;
   return result;
 }
 

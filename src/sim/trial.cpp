@@ -22,14 +22,20 @@ std::size_t earliest_start_index(const std::vector<Time>& starts) {
 
 void validate_trial_args(const TrialStrategy& strategy, int k,
                          const TrialEnvironment& env) {
-  if (strategy.segment == nullptr && strategy.step == nullptr) {
-    throw std::invalid_argument("run_trial: no strategy given");
-  }
-  if (strategy.segment != nullptr && strategy.step != nullptr) {
+  const int set = (strategy.segment != nullptr ? 1 : 0) +
+                  (strategy.step != nullptr ? 1 : 0) +
+                  (strategy.plane != nullptr ? 1 : 0);
+  if (set == 0) throw std::invalid_argument("run_trial: no strategy given");
+  if (set > 1) {
     throw std::invalid_argument("run_trial: ambiguous strategy family");
   }
   if (k < 1) throw std::invalid_argument("run_trial: need k >= 1");
-  if (env.targets.empty()) {
+  if (strategy.plane != nullptr) {
+    if (env.plane_targets.empty()) {
+      throw std::invalid_argument(
+          "run_trial: plane backend needs >= 1 plane target");
+    }
+  } else if (env.targets.empty()) {
     throw std::invalid_argument("run_trial: need >= 1 target");
   }
   const auto uk = static_cast<std::size_t>(k);
@@ -72,8 +78,9 @@ TrialResult run_segment_trial(const Strategy& strategy, int k,
                               const TrialEnvironment& env,
                               const rng::Rng& trial_rng,
                               const EngineConfig& config) {
+  const Time last_start = env.last_start();
   TrialResult result;
-  result.last_start = env.last_start();
+  result.last_start = static_cast<double>(last_start);
   if (resolve_origin_target(env, &result)) return result;
 
   const auto start_of = [&](int a) {
@@ -162,15 +169,15 @@ TrialResult run_segment_trial(const Strategy& strategy, int k,
 
   if (best != kNeverTime) {
     result.found = true;
-    result.time = best;
+    result.time = static_cast<double>(best);
     result.finder = finder;
     result.first_target = first_target;
     result.from_last_start =
-        best > result.last_start ? best - result.last_start : 0;
+        static_cast<double>(best > last_start ? best - last_start : 0);
   } else {
     result.found = false;
-    result.time = config.time_cap;
-    result.from_last_start = config.time_cap;
+    result.time = static_cast<double>(config.time_cap);
+    result.from_last_start = static_cast<double>(config.time_cap);
   }
   return result;
 }
@@ -191,8 +198,9 @@ TrialResult run_step_trial(const StepStrategy& strategy, int k,
         "run_trial: step strategies require a finite time_cap");
   }
 
+  const Time last_start = env.last_start();
   TrialResult result;
-  result.last_start = env.last_start();
+  result.last_start = static_cast<double>(last_start);
   if (resolve_origin_target(env, &result)) return result;
 
   const auto start_of = [&](int a) {
@@ -238,19 +246,60 @@ TrialResult run_step_trial(const StepStrategy& strategy, int k,
       for (std::size_t ti = 0; ti < env.targets.size(); ++ti) {
         if (next != env.targets[ti]) continue;
         result.found = true;
-        result.time = t;
+        result.time = static_cast<double>(t);
         result.finder = a;
         result.first_target = static_cast<int>(ti);
         result.from_last_start =
-            t > result.last_start ? t - result.last_start : 0;
+            static_cast<double>(t > last_start ? t - last_start : 0);
         return result;
       }
     }
   }
 
   result.found = false;
-  result.time = config.time_cap;
-  result.from_last_start = config.time_cap;
+  result.time = static_cast<double>(config.time_cap);
+  result.from_last_start = static_cast<double>(config.time_cap);
+  return result;
+}
+
+/// Plane backend: adapts the trial environment and engine config to the
+/// continuous executor (plane::run_plane_trial). Integer start delays and
+/// lifetimes read as continuous time units, so the same schedule/crash
+/// draws perturb both substrates identically; fractional sighting times
+/// come back through TrialResult's double fields untouched.
+TrialResult run_plane_backend_trial(const plane::PlaneStrategy& strategy,
+                                    int k, const TrialEnvironment& env,
+                                    const rng::Rng& trial_rng,
+                                    const EngineConfig& config) {
+  plane::PlaneTrialEnvironment plane_env;
+  plane_env.targets = env.plane_targets;
+  plane_env.starts.assign(env.starts.begin(), env.starts.end());
+  plane_env.lifetimes.reserve(env.lifetimes.size());
+  for (const Time life : env.lifetimes) {
+    plane_env.lifetimes.push_back(life == kNeverTime
+                                      ? plane::kPlaneNever
+                                      : static_cast<plane::Time>(life));
+  }
+
+  plane::PlaneEngineConfig plane_config;
+  plane_config.sight_radius = config.sight_radius;
+  plane_config.spiral_pitch = config.spiral_pitch;
+  plane_config.time_cap = config.time_cap == kNeverTime
+                              ? plane::kPlaneNever
+                              : static_cast<plane::Time>(config.time_cap);
+  plane_config.max_segments_per_agent = config.max_segments_per_agent;
+
+  const plane::PlaneTrialResult r =
+      plane::run_plane_trial(strategy, k, plane_env, trial_rng, plane_config);
+  TrialResult result;
+  result.time = r.time;
+  result.found = r.found;
+  result.finder = r.finder;
+  result.first_target = r.first_target;
+  result.segments = r.segments;
+  result.last_start = r.last_start;
+  result.from_last_start = r.from_last_start;
+  result.crashed = r.crashed;
   return result;
 }
 
@@ -271,9 +320,16 @@ TrialEnvironment draw_environment(int k, std::vector<grid::Point> targets,
                                   const StartSchedule& schedule,
                                   const CrashModel& crashes,
                                   const rng::Rng& trial_rng) {
-  if (k < 1) throw std::invalid_argument("draw_environment: need k >= 1");
   TrialEnvironment env;
   env.targets = std::move(targets);
+  return draw_environment(k, std::move(env), schedule, crashes, trial_rng);
+}
+
+TrialEnvironment draw_environment(int k, TrialEnvironment env,
+                                  const StartSchedule& schedule,
+                                  const CrashModel& crashes,
+                                  const rng::Rng& trial_rng) {
+  if (k < 1) throw std::invalid_argument("draw_environment: need k >= 1");
   rng::Rng sched_rng = trial_rng.child(kScheduleStream);
   rng::Rng crash_rng = trial_rng.child(kCrashStream);
   env.starts = schedule.draw(k, sched_rng);
@@ -285,6 +341,10 @@ TrialResult run_trial(const TrialStrategy& strategy, int k,
                       const TrialEnvironment& env, const rng::Rng& trial_rng,
                       const EngineConfig& config) {
   validate_trial_args(strategy, k, env);
+  if (strategy.plane != nullptr) {
+    return run_plane_backend_trial(*strategy.plane, k, env, trial_rng,
+                                   config);
+  }
   if (strategy.step != nullptr) {
     return run_step_trial(*strategy.step, k, env, trial_rng, config);
   }
@@ -307,11 +367,31 @@ TrialResult run_trial(const StepStrategy& strategy, int k,
   return run_trial(s, k, env, trial_rng, config);
 }
 
+TrialResult run_trial(const plane::PlaneStrategy& strategy, int k,
+                      const TrialEnvironment& env, const rng::Rng& trial_rng,
+                      const EngineConfig& config) {
+  TrialStrategy s;
+  s.plane = &strategy;
+  return run_trial(s, k, env, trial_rng, config);
+}
+
 TargetDraw single_target(Placement placement) {
-  return [placement = std::move(placement)](rng::Rng& rng,
-                                            std::int64_t distance) {
+  TargetDraw draw;
+  draw.grid = [placement = std::move(placement)](rng::Rng& rng,
+                                                 std::int64_t distance) {
     return std::vector<grid::Point>{placement(rng, distance)};
   };
+  return draw;
+}
+
+TargetDraw single_plane_target(std::function<double(rng::Rng&)> angle) {
+  TargetDraw draw;
+  draw.plane = [angle = std::move(angle)](rng::Rng& rng,
+                                          std::int64_t distance) {
+    return std::vector<plane::Vec2>{plane::unit(angle(rng)) *
+                                    static_cast<double>(distance)};
+  };
+  return draw;
 }
 
 }  // namespace ants::sim

@@ -9,7 +9,7 @@
 // streams of the trial rng (kScheduleStream / kCrashStream), so enabling an
 // environment axis never perturbs the agents' program randomness.
 //
-// run_trial() executes a trial under any environment with one of two
+// run_trial() executes a trial under any environment with one of three
 // backends, picked by the strategy family:
 //
 //   * segment backend (sim::Strategy) — the interleaved min-heap sweep with
@@ -20,15 +20,22 @@
 //     per tick; not-yet-started agents wait at the source, agents whose
 //     active time exceeds their lifetime halt in place. Requires a finite
 //     time cap (random walks on Z^2 have infinite expected hitting time).
+//   * plane backend (plane::PlaneStrategy) — the continuous model the grid
+//     discretizes: unit-speed trajectories on R^2, targets are sight discs
+//     (plane::run_plane_trial). The same StartSchedule/CrashModel draws
+//     apply — integer delays and lifetimes read as continuous time units —
+//     so a paired grid-vs-plane sweep perturbs both substrates identically.
 //
-// Under a sync/no-crash single-target environment both backends reproduce
-// the historical run_search / run_step_search results exactly
-// (test-enforced byte-for-byte), so the legacy entry points are thin
-// wrappers over this executor.
+// Under a sync/no-crash single-target environment all backends reproduce
+// the historical run_search / run_step_search / run_plane_search results
+// exactly (test-enforced byte-for-byte), so the legacy entry points are
+// thin wrappers over this executor.
 #pragma once
 
+#include <functional>
 #include <vector>
 
+#include "plane/engine.h"
 #include "rng/rng.h"
 #include "sim/async_engine.h"
 #include "sim/engine.h"
@@ -46,14 +53,17 @@ namespace ants::sim {
 inline constexpr std::uint64_t kScheduleStream = 0x5C4ED11E00000001ULL;
 inline constexpr std::uint64_t kCrashStream = 0xC7A5400000000002ULL;
 
-/// The fully realized environment of one trial. Empty `starts` /
-/// `lifetimes` are the base model (everybody at t = 0, immortal) without
-/// paying two k-sized allocations on the synchronous hot path; non-empty
-/// vectors must have exactly k entries.
+/// The fully realized environment of one trial. Exactly one target vector
+/// is populated — `targets` for the grid backends, `plane_targets` for the
+/// plane backend (continuous sight discs). Empty `starts` / `lifetimes` are
+/// the base model (everybody at t = 0, immortal) without paying two k-sized
+/// allocations on the synchronous hot path; non-empty vectors must have
+/// exactly k entries.
 struct TrialEnvironment {
-  std::vector<grid::Point> targets;  ///< >= 1 targets; first-of-set race
-  std::vector<Time> starts;          ///< per-agent start delays (empty = 0)
-  std::vector<Time> lifetimes;       ///< per-agent lifetimes (empty = never)
+  std::vector<grid::Point> targets;        ///< grid targets; first-of-set
+  std::vector<plane::Vec2> plane_targets;  ///< plane sight-disc centers
+  std::vector<Time> starts;      ///< per-agent start delays (empty = 0)
+  std::vector<Time> lifetimes;   ///< per-agent lifetimes (empty = never)
 
   /// Latest start delay (0 for the base model).
   Time last_start() const noexcept;
@@ -63,10 +73,16 @@ struct TrialEnvironment {
 TrialEnvironment single_target_environment(grid::Point treasure);
 
 /// Realizes one trial's environment: start delays and lifetimes drawn from
-/// the dedicated child streams of `trial_rng`, the target set taken as
+/// the dedicated child streams of `trial_rng`, the target set(s) taken as
 /// given (targets are placement draws, which consume the trial rng's main
-/// stream exactly as the single-treasure path always has).
+/// stream exactly as the single-treasure path always has). The overload
+/// taking a TrialEnvironment keeps whichever target vector is already
+/// populated — grid or plane — and fills only starts/lifetimes.
 TrialEnvironment draw_environment(int k, std::vector<grid::Point> targets,
+                                  const StartSchedule& schedule,
+                                  const CrashModel& crashes,
+                                  const rng::Rng& trial_rng);
+TrialEnvironment draw_environment(int k, TrialEnvironment env,
                                   const StartSchedule& schedule,
                                   const CrashModel& crashes,
                                   const rng::Rng& trial_rng);
@@ -77,12 +93,17 @@ TrialEnvironment draw_environment(int k, std::vector<grid::Point> targets,
 struct TrialStrategy {
   const Strategy* segment = nullptr;
   const StepStrategy* step = nullptr;
+  const plane::PlaneStrategy* plane = nullptr;
 };
 
-/// Runs one trial of `strategy` under `env`. Dispatches to the segment or
-/// lock-step backend; throws std::invalid_argument on k < 1, an empty
-/// target set, environment vectors of the wrong size, a null strategy, or
-/// a step strategy without a finite config.time_cap.
+/// Runs one trial of `strategy` under `env`. Dispatches to the segment,
+/// lock-step, or plane backend; throws std::invalid_argument on k < 1, an
+/// empty (or wrong-substrate) target set, environment vectors of the wrong
+/// size, a null strategy, or a step strategy without a finite
+/// config.time_cap. The plane backend reads config.sight_radius /
+/// config.spiral_pitch and maps config.time_cap == kNeverTime to
+/// plane::kPlaneNever; its times come back fractional, the grid backends'
+/// as exact integers (TrialResult times are doubles for exactly this).
 TrialResult run_trial(const TrialStrategy& strategy, int k,
                       const TrialEnvironment& env, const rng::Rng& trial_rng,
                       const EngineConfig& config = {});
@@ -94,15 +115,30 @@ TrialResult run_trial(const Strategy& strategy, int k,
 TrialResult run_trial(const StepStrategy& strategy, int k,
                       const TrialEnvironment& env, const rng::Rng& trial_rng,
                       const EngineConfig& config = {});
+TrialResult run_trial(const plane::PlaneStrategy& strategy, int k,
+                      const TrialEnvironment& env, const rng::Rng& trial_rng,
+                      const EngineConfig& config = {});
 
 /// Draws the per-trial target set given the adversary distance D — the
 /// multi-target analogue of sim::Placement, and the hook the scenario
-/// layer's `targets=` axis compiles into.
-using TargetDraw =
-    std::function<std::vector<grid::Point>(rng::Rng& rng,
-                                           std::int64_t distance)>;
+/// layer's `targets=` axis compiles into. Exactly one side is set,
+/// mirroring TrialStrategy: `grid` feeds the segment/lock-step backends,
+/// `plane` the continuous backend.
+struct TargetDraw {
+  std::function<std::vector<grid::Point>(rng::Rng& rng,
+                                         std::int64_t distance)>
+      grid;
+  std::function<std::vector<plane::Vec2>(rng::Rng& rng,
+                                         std::int64_t distance)>
+      plane;
+};
 
 /// The classic adversary: one treasure per trial from `placement`.
 TargetDraw single_target(Placement placement);
+
+/// The classic adversary on the plane: one treasure per trial at distance D
+/// in the direction drawn by `angle` (radians; e.g. rng.angle() for the
+/// uniform ring adversary).
+TargetDraw single_plane_target(std::function<double(rng::Rng&)> angle);
 
 }  // namespace ants::sim

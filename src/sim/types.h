@@ -38,14 +38,21 @@ struct SearchResult {
 /// schedule/crash aggregates are zero under the paper's base model, and
 /// `first_target` identifies the winning target of a multi-target race
 /// (0 for the ordinary single-treasure hunt).
+///
+/// Time fields are doubles because the executor serves BOTH substrates: the
+/// grid backends fill exact integer tick counts (every Time below 2^53 is
+/// representable, and the aggregation layer always consumed these as
+/// doubles), while the continuous-plane backend reports fractional
+/// unit-speed arrival times.
 struct TrialResult {
-  Time time = kNeverTime;     ///< absolute first-hit time (or the cap)
+  double time = static_cast<double>(kNeverTime);  ///< absolute first-hit
+                                                  ///< time (or the cap)
   bool found = false;         ///< true iff some target was reached in time
   int finder = -1;            ///< index of the first agent to reach one
   int first_target = -1;      ///< index of the first-discovered target
   std::int64_t segments = 0;  ///< segments realized / lock-steps taken
-  Time last_start = 0;        ///< latest start delay in the environment
-  Time from_last_start = 0;   ///< max(0, time - last_start) if found
+  double last_start = 0;      ///< latest start delay in the environment
+  double from_last_start = 0; ///< max(0, time - last_start) if found
   int crashed = 0;            ///< agents that exhausted their lifetime
 };
 

@@ -106,6 +106,36 @@ TEST(LineSighting, MatchesDenseSamplingOnRandomInstances) {
 // Archimedean spiral math.
 // ---------------------------------------------------------------------------
 
+TEST(MovePositionAt, LineInterpolatesAndClamps) {
+  const Move move = LineMove{{1, 1}, {1, 11}};
+  EXPECT_EQ(move_position_at(move, -3.0), (Vec2{1, 1}));
+  EXPECT_EQ(move_position_at(move, 0.0), (Vec2{1, 1}));
+  const Vec2 mid = move_position_at(move, 5.0);
+  EXPECT_NEAR(mid.x, 1.0, 1e-12);
+  EXPECT_NEAR(mid.y, 6.0, 1e-12);
+  EXPECT_EQ(move_position_at(move, 10.0), (Vec2{1, 11}));
+  EXPECT_EQ(move_position_at(move, 99.0), (Vec2{1, 11}));
+  // Degenerate zero-length move: every offset is the start point.
+  EXPECT_EQ(move_position_at(Move{LineMove{{2, 3}, {2, 3}}}, 1.0),
+            (Vec2{2, 3}));
+}
+
+TEST(MovePositionAt, SpiralTracksArcLengthAndEndsAtMoveEnd) {
+  const SpiralMove sp{{5, -2}, 2.0, 300.0};
+  const Move move{sp};
+  const double a = sp.pitch / (2.0 * 3.14159265358979323846);
+  for (const double s : {0.0, 1.0, 37.5, 150.0, 299.0}) {
+    const Vec2 p = move_position_at(move, s);
+    // The point sits on the spiral: its radius from the center is a*theta
+    // for the theta whose arc length is s.
+    const double theta = spiral_theta_for_arc(a, s);
+    EXPECT_NEAR(distance(p, sp.center), a * theta, 1e-8) << "s=" << s;
+    EXPECT_EQ(p, spiral_point_at(sp.center, a, theta));
+  }
+  EXPECT_EQ(move_position_at(move, sp.duration), move_end(move));
+  EXPECT_EQ(move_position_at(move, sp.duration + 50.0), move_end(move));
+}
+
 TEST(SpiralMath, ArcLengthMonotoneAndConvex) {
   const double a = 0.3;
   double prev = 0;

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/known_k.h"
+#include "plane/strategies.h"
 #include "scenario/environment.h"
 #include "scenario/sink.h"
 #include "scenario/sweep.h"
@@ -197,6 +198,69 @@ TEST(AsyncConformance, StepAsyncCellMatchesRunEnvTrials) {
 
 // Step-level async specs are thread-count independent like every other
 // combination.
+// Plane-level cells under schedule/crash/targets equal the unified runner
+// at the cell seed — the LAST engine-family gap, closed by the plane
+// backend of sim::run_trial.
+TEST(AsyncConformance, PlaneAsyncCellMatchesRunEnvTrials) {
+  ScenarioSpec spec;
+  spec.strategies = {"plane-known-k"};
+  spec.ks = {2};
+  spec.distances = {8};
+  spec.schedule = "staggered(gap=2)";
+  spec.crash = "doa(p=0.25)";
+  spec.targets = {"pair(near=0.25)"};
+  spec.trials = 12;
+  spec.seed = 424;
+  spec.time_cap = 100000;
+  const std::vector<CellResult> results = run_sweep(spec);
+  ASSERT_EQ(results.size(), 1u);
+
+  const plane::PlaneKnownKStrategy strategy(2);
+  sim::TrialStrategy ts;
+  ts.plane = &strategy;
+  sim::RunConfig config;
+  config.trials = spec.trials;
+  config.seed = results[0].cell.seed;
+  config.time_cap = spec.time_cap;
+  const auto schedule = make_schedule(spec.schedule);
+  const auto crashes = make_crash(spec.crash);
+  const sim::AsyncRunStats direct = sim::run_env_trials(
+      ts, 2, 8,
+      make_plane_targets(spec.targets[0], make_plane_angle("ring")),
+      *schedule, *crashes, config);
+
+  EXPECT_EQ(results[0].stats.times, direct.base.times);
+  EXPECT_DOUBLE_EQ(results[0].stats.time.mean, direct.base.time.mean);
+  EXPECT_DOUBLE_EQ(results[0].from_last_start.mean,
+                   direct.from_last_start.mean);
+  EXPECT_DOUBLE_EQ(results[0].mean_crashed, direct.mean_crashed);
+  EXPECT_DOUBLE_EQ(results[0].mean_last_start, direct.mean_last_start);
+  EXPECT_DOUBLE_EQ(results[0].mean_first_target, direct.mean_first_target);
+}
+
+// Crash-at-time-zero on the plane: every agent is dead on arrival in every
+// trial, and the rendered async columns must still be finite (no NaN from
+// a 0/0, no division by zero in the from_last aggregates).
+TEST(AsyncSweep, PlaneAllAgentsDeadRendersFiniteColumns) {
+  ScenarioSpec spec;
+  spec.name = "plane-all-dead";
+  spec.strategies = {"plane-known-k"};
+  spec.ks = {3};
+  spec.distances = {8};
+  spec.crash = "fixed-life(t=0)";
+  spec.trials = 6;
+  spec.seed = 11;
+  spec.time_cap = 5000;
+  spec.columns = {"success", "mean_time", "from_last_mean",
+                  "from_last_median", "mean_crashed", "survivors",
+                  "first_target"};
+  const std::vector<std::string> rows = rendered_rows(spec, SweepOptions{});
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1], "0.0000,5000,5000,5000,3,0,-1");
+  EXPECT_EQ(rows[1].find("nan"), std::string::npos);
+  EXPECT_EQ(rows[1].find("inf"), std::string::npos);
+}
+
 TEST(AsyncSweep, StepAsyncOutputIdenticalForOneAndManyThreads) {
   ScenarioSpec spec;
   spec.name = "step-async-test";

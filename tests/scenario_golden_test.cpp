@@ -84,5 +84,20 @@ TEST(Golden, MultiTargetSpecReproducesByteForByte) {
   check_golden("multi_target", 5);
 }
 
+// Continuous-plane cells under the base model. Pinned from the
+// pre-environment-port plane engine: the plane backend of the unified
+// executor must reproduce the zero-delay/no-crash path byte-for-byte.
+TEST(Golden, PlaneBaseSpecReproducesByteForByte) {
+  check_golden("plane_base", 1);
+  check_golden("plane_base", 5);
+}
+
+// Plane-level strategies under schedule/crash/multi-target — the last
+// engine-family environment gap, closed by the plane backend.
+TEST(Golden, PlaneAsyncSpecReproducesByteForByte) {
+  check_golden("plane_async", 1);
+  check_golden("plane_async", 5);
+}
+
 }  // namespace
 }  // namespace ants::scenario

@@ -542,7 +542,8 @@ TEST(RunEnvTrials, MeanFirstTargetSeesTheForagingPreference) {
   TrialStrategy strategy;
   strategy.segment = &s;
   const Placement placement = uniform_ring_placement();
-  const TargetDraw pair = [&placement](rng::Rng& rng, std::int64_t d) {
+  TargetDraw pair;
+  pair.grid = [&placement](rng::Rng& rng, std::int64_t d) {
     return std::vector<Point>{placement(rng, 2), placement(rng, d)};
   };
   RunConfig config;

@@ -52,10 +52,9 @@ const char* engine_kind(const scenario::BuiltStrategy& built) {
 }
 
 /// Which environment axes a strategy's engine family supports. The unified
-/// executor (sim/trial.h) gives every grid family the full environment;
-/// only the continuous-plane engine is placement-only.
-const char* engine_axes(const scenario::BuiltStrategy& built) {
-  if (built.is_plane()) return "placements";
+/// executor (sim/trial.h) gives EVERY family — segment-, step-, and
+/// plane-level — the full environment.
+const char* engine_axes(const scenario::BuiltStrategy&) {
   return "placements, schedule, crash, targets";
 }
 
@@ -87,13 +86,11 @@ int run_list() {
   print_axis("placements — sweepable axis", "placements",
              "every engine family", scenario::placement_entries());
   print_axis("start schedules — async variants", "schedule",
-             "segment- and step-level strategies",
-             scenario::schedule_entries());
+             "every engine family", scenario::schedule_entries());
   print_axis("crash models — fail-stop variants", "crash",
-             "segment- and step-level strategies", scenario::crash_entries());
+             "every engine family", scenario::crash_entries());
   print_axis("target sets — multi-treasure adversaries (sweepable axis)",
-             "targets", "segment- and step-level strategies",
-             scenario::target_entries());
+             "targets", "every engine family", scenario::target_entries());
   return 0;
 }
 
