@@ -1,0 +1,173 @@
+// Internal minimal JSON utilities shared by the scenario parsers and the
+// shard-artifact reader/writer (spec.cpp, sink.cpp). One flat object per
+// line, values limited to strings, numbers, booleans, and arrays of
+// strings/numbers — exactly what a flat ScenarioSpec or a shard-artifact
+// record needs. No external dependency, fails loudly. Not part of the
+// subsystem's public surface.
+#pragma once
+
+#include <cctype>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "scenario/text.h"
+
+namespace ants::scenario::detail {
+
+struct JsonValue {
+  enum class Kind { kString, kNumber, kBool, kArray } kind = Kind::kString;
+  std::string string;  ///< kString: text; kNumber: raw token
+  bool boolean = false;
+  std::vector<JsonValue> array;
+};
+
+class JsonLineParser {
+ public:
+  explicit JsonLineParser(const std::string& text) : s_(text) {}
+
+  std::vector<std::pair<std::string, JsonValue>> parse_object() {
+    std::vector<std::pair<std::string, JsonValue>> out;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      finish();
+      return out;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      out.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      const char ch = next();
+      if (ch == '}') break;
+      if (ch != ',') bad(where() + ": expected ',' or '}'");
+    }
+    finish();
+    return out;
+  }
+
+ private:
+  JsonValue parse_value() {
+    skip_ws();
+    JsonValue v;
+    const char ch = peek();
+    if (ch == '"') {
+      v.kind = JsonValue::Kind::kString;
+      v.string = parse_string();
+    } else if (ch == '[') {
+      ++pos_;
+      v.kind = JsonValue::Kind::kArray;
+      skip_ws();
+      if (peek() == ']') {
+        ++pos_;
+        return v;
+      }
+      for (;;) {
+        v.array.push_back(parse_value());
+        skip_ws();
+        const char c = next();
+        if (c == ']') break;
+        if (c != ',') bad(where() + ": expected ',' or ']'");
+      }
+    } else if (ch == 't' || ch == 'f') {
+      v.kind = JsonValue::Kind::kBool;
+      const std::string word = ch == 't' ? "true" : "false";
+      if (s_.compare(pos_, word.size(), word) != 0) {
+        bad(where() + ": bad literal");
+      }
+      pos_ += word.size();
+      v.boolean = ch == 't';
+    } else if (ch == '-' || std::isdigit(static_cast<unsigned char>(ch))) {
+      v.kind = JsonValue::Kind::kNumber;
+      const std::size_t start = pos_;
+      while (pos_ < s_.size() &&
+             (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+              s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+              s_[pos_] == 'e' || s_[pos_] == 'E')) {
+        ++pos_;
+      }
+      v.string = s_.substr(start, pos_ - start);
+    } else {
+      bad(where() + ": unsupported JSON value");
+    }
+    return v;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char ch = s_[pos_++];
+      if (ch == '\\') {
+        if (pos_ >= s_.size()) bad(where() + ": dangling escape");
+        const char esc = s_[pos_++];
+        switch (esc) {
+          case '"': ch = '"'; break;
+          case '\\': ch = '\\'; break;
+          case '/': ch = '/'; break;
+          case 'n': ch = '\n'; break;
+          case 't': ch = '\t'; break;
+          default: bad(where() + ": unsupported escape \\" + esc);
+        }
+      }
+      out += ch;
+    }
+    expect('"');
+    return out;
+  }
+
+  void finish() {
+    skip_ws();
+    if (pos_ != s_.size()) bad(where() + ": trailing characters");
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    if (pos_ >= s_.size()) bad(where() + ": unexpected end of line");
+    return s_[pos_];
+  }
+  char next() {
+    const char ch = peek();
+    ++pos_;
+    return ch;
+  }
+  void expect(char want) {
+    skip_ws();
+    if (next() != want) {
+      bad(where() + ": expected '" + std::string(1, want) + "'");
+    }
+  }
+  std::string where() const {
+    return "JSON line, column " + std::to_string(pos_ + 1);
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+/// The body of a JSON string literal for `text` (quotes not included). The
+/// escape set mirrors what JsonLineParser::parse_string accepts.
+inline std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char ch : text) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += ch;
+    }
+  }
+  return out;
+}
+
+}  // namespace ants::scenario::detail

@@ -1,13 +1,18 @@
 #include "scenario/sink.h"
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <map>
 #include <ostream>
 #include <stdexcept>
 
+#include "scenario/json.h"
 #include "scenario/registry.h"
 #include "sim/metrics.h"
 #include "util/format.h"
@@ -209,12 +214,7 @@ void JsonlSink::row(const std::vector<std::string>& cells) {
     if (numeric) {
       line += cells[i];
     } else {
-      line += '"';
-      for (const char ch : cells[i]) {
-        if (ch == '"' || ch == '\\') line += '\\';
-        line += ch;
-      }
-      line += '"';
+      line += '"' + detail::json_escape(cells[i]) + '"';
     }
   }
   line += "}";
@@ -248,7 +248,7 @@ void emit_results(const ScenarioSpec& spec,
   for (ResultSink* sink : sinks) sink->end();
 }
 
-// --- per-cell result cache -------------------------------------------------
+// --- per-cell result cache + shard artifacts -------------------------------
 
 namespace {
 
@@ -257,6 +257,111 @@ std::string cache_path(const std::string& dir, std::uint64_t hash) {
   std::snprintf(name, sizeof(name), "%016llx.cell",
                 static_cast<unsigned long long>(hash));
   return dir + "/" + name;
+}
+
+/// One serialized aggregate of a CellResult. The cache record (key=value
+/// lines) and the shard artifact (JSON) share this table, so the two
+/// formats can never drift apart field-by-field.
+struct AggField {
+  const char* name;
+  double (*get)(const CellResult&);
+  void (*set)(CellResult&, double);
+};
+
+constexpr AggField kAggFields[] = {
+    {"n",
+     [](const CellResult& r) { return static_cast<double>(r.stats.time.n); },
+     [](CellResult& r, double v) {
+       r.stats.time.n = static_cast<std::size_t>(v);
+     }},
+    {"distance",
+     [](const CellResult& r) {
+       return static_cast<double>(r.stats.distance);
+     },
+     [](CellResult& r, double v) {
+       r.stats.distance = static_cast<std::int64_t>(v);
+     }},
+    {"k",
+     [](const CellResult& r) { return static_cast<double>(r.stats.k); },
+     [](CellResult& r, double v) {
+       r.stats.k = static_cast<std::int64_t>(v);
+     }},
+    {"success_rate",
+     [](const CellResult& r) { return r.stats.success_rate; },
+     [](CellResult& r, double v) { r.stats.success_rate = v; }},
+    {"mean", [](const CellResult& r) { return r.stats.time.mean; },
+     [](CellResult& r, double v) { r.stats.time.mean = v; }},
+    {"stddev", [](const CellResult& r) { return r.stats.time.stddev; },
+     [](CellResult& r, double v) { r.stats.time.stddev = v; }},
+    {"std_error", [](const CellResult& r) { return r.stats.time.std_error; },
+     [](CellResult& r, double v) { r.stats.time.std_error = v; }},
+    {"min", [](const CellResult& r) { return r.stats.time.min; },
+     [](CellResult& r, double v) { r.stats.time.min = v; }},
+    {"max", [](const CellResult& r) { return r.stats.time.max; },
+     [](CellResult& r, double v) { r.stats.time.max = v; }},
+    {"median", [](const CellResult& r) { return r.stats.time.median; },
+     [](CellResult& r, double v) { r.stats.time.median = v; }},
+    {"q25", [](const CellResult& r) { return r.stats.time.q25; },
+     [](CellResult& r, double v) { r.stats.time.q25 = v; }},
+    {"q75", [](const CellResult& r) { return r.stats.time.q75; },
+     [](CellResult& r, double v) { r.stats.time.q75 = v; }},
+    {"q95", [](const CellResult& r) { return r.stats.time.q95; },
+     [](CellResult& r, double v) { r.stats.time.q95 = v; }},
+    {"phi_mean",
+     [](const CellResult& r) { return r.stats.mean_competitiveness; },
+     [](CellResult& r, double v) { r.stats.mean_competitiveness = v; }},
+    {"phi_median",
+     [](const CellResult& r) { return r.stats.median_competitiveness; },
+     [](CellResult& r, double v) { r.stats.median_competitiveness = v; }},
+    {"from_last_mean",
+     [](const CellResult& r) { return r.from_last_start.mean; },
+     [](CellResult& r, double v) { r.from_last_start.mean = v; }},
+    {"from_last_median",
+     [](const CellResult& r) { return r.from_last_start.median; },
+     [](CellResult& r, double v) { r.from_last_start.median = v; }},
+    {"mean_crashed", [](const CellResult& r) { return r.mean_crashed; },
+     [](CellResult& r, double v) { r.mean_crashed = v; }},
+    {"mean_last_start",
+     [](const CellResult& r) { return r.mean_last_start; },
+     [](CellResult& r, double v) { r.mean_last_start = v; }},
+    {"mean_first_target",
+     [](const CellResult& r) { return r.mean_first_target; },
+     [](CellResult& r, double v) { r.mean_first_target = v; }},
+};
+
+bool parse_double_exact(const std::string& text, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(text.c_str(), &end);
+  return !text.empty() && end == text.c_str() + text.size();
+}
+
+/// A temp-file name no other writer — thread or process — can collide on:
+/// racing stores of one entry each write their own temp and the renames
+/// serialize on the final path (POSIX rename replaces atomically).
+std::string unique_tmp_path(const std::string& path) {
+  static std::atomic<std::uint64_t> counter{0};
+  return path + ".tmp." + std::to_string(static_cast<long long>(::getpid())) +
+         "." + std::to_string(counter.fetch_add(1));
+}
+
+/// Write-then-rename publication shared by cache entries and shard
+/// artifacts: `fill` streams the content; a short write (e.g. disk full)
+/// removes the temp and throws instead of publishing.
+void atomic_write(const std::string& path,
+                  const std::function<void(std::ostream&)>& fill) {
+  const std::string tmp = unique_tmp_path(path);
+  {
+    std::ofstream out(tmp);
+    if (!out) throw std::runtime_error("cannot write file: " + tmp);
+    fill(out);
+    out.flush();
+    if (!out.good()) {
+      out.close();
+      std::filesystem::remove(tmp);
+      throw std::runtime_error("failed writing file: " + tmp);
+    }
+  }
+  std::filesystem::rename(tmp, path);
 }
 
 }  // namespace
@@ -274,84 +379,163 @@ bool cache_load(const std::string& dir, std::uint64_t hash,
     fields[line.substr(0, eq)] = line.substr(eq + 1);
   }
 
-  const auto get = [&](const char* key, double* out) {
-    const auto it = fields.find(key);
-    if (it == fields.end()) return false;
-    char* end = nullptr;
-    *out = std::strtod(it->second.c_str(), &end);
-    return !it->second.empty() && end == it->second.c_str() + it->second.size();
-  };
-
-  sim::RunStats rs;
-  stats::Summary from_last;
-  double n = 0, distance = 0, k = 0, mean_crashed = 0, mean_last_start = 0;
-  double mean_first_target = -1;
-  const bool ok =
-      get("n", &n) && get("distance", &distance) && get("k", &k) &&
-      get("success_rate", &rs.success_rate) && get("mean", &rs.time.mean) &&
-      get("stddev", &rs.time.stddev) && get("std_error", &rs.time.std_error) &&
-      get("min", &rs.time.min) && get("max", &rs.time.max) &&
-      get("median", &rs.time.median) && get("q25", &rs.time.q25) &&
-      get("q75", &rs.time.q75) && get("q95", &rs.time.q95) &&
-      get("phi_mean", &rs.mean_competitiveness) &&
-      get("phi_median", &rs.median_competitiveness) &&
-      get("from_last_mean", &from_last.mean) &&
-      get("from_last_median", &from_last.median) &&
-      get("mean_crashed", &mean_crashed) &&
-      get("mean_last_start", &mean_last_start) &&
-      get("mean_first_target", &mean_first_target);
-  if (!ok) return false;
-  rs.time.n = static_cast<std::size_t>(n);
-  rs.distance = static_cast<std::int64_t>(distance);
-  rs.k = static_cast<std::int64_t>(k);
-  result->stats = std::move(rs);
-  result->from_last_start = from_last;
-  result->mean_crashed = mean_crashed;
-  result->mean_last_start = mean_last_start;
-  result->mean_first_target = mean_first_target;
+  CellResult loaded;
+  for (const AggField& field : kAggFields) {
+    const auto it = fields.find(field.name);
+    double value = 0;
+    if (it == fields.end() || !parse_double_exact(it->second, &value)) {
+      return false;
+    }
+    field.set(loaded, value);
+  }
+  loaded.cell = std::move(result->cell);
+  *result = std::move(loaded);
   return true;
 }
 
 void cache_store(const std::string& dir, std::uint64_t hash,
                  const CellResult& result) {
-  const sim::RunStats& stats = result.stats;
   std::filesystem::create_directories(dir);
-  const std::string path = cache_path(dir, hash);
-  // Write-then-rename so a crashed run never leaves a torn entry behind.
-  const std::string tmp = path + ".tmp";
+  atomic_write(cache_path(dir, hash), [&](std::ostream& out) {
+    for (const AggField& field : kAggFields) {
+      out << field.name << "=" << fmt_exact(field.get(result)) << "\n";
+    }
+  });
+}
+
+// --- shard artifacts -------------------------------------------------------
+
+namespace {
+
+constexpr const char* kArtifactKind = "ants-shard-artifact";
+
+[[noreturn]] void bad_artifact(const std::string& path,
+                               const std::string& what) {
+  throw std::invalid_argument("shard artifact " + path + ": " + what);
+}
+
+/// The parsed fields of one artifact line as name -> raw scalar text.
+std::map<std::string, std::string> object_fields(const std::string& path,
+                                                 const std::string& line) {
+  std::map<std::string, std::string> out;
+  detail::JsonLineParser parser(line);
+  std::vector<std::pair<std::string, detail::JsonValue>> parsed;
+  try {
+    parsed = parser.parse_object();
+  } catch (const std::invalid_argument& e) {
+    bad_artifact(path, e.what());
+  }
+  for (auto& [key, value] : parsed) {
+    if (value.kind == detail::JsonValue::Kind::kArray) {
+      bad_artifact(path, "unexpected array value for '" + key + "'");
+    }
+    out[key] = value.kind == detail::JsonValue::Kind::kBool
+                   ? (value.boolean ? "1" : "0")
+                   : value.string;
+  }
+  return out;
+}
+
+std::string field_text(const std::string& path,
+                       const std::map<std::string, std::string>& fields,
+                       const char* key) {
+  const auto it = fields.find(key);
+  if (it == fields.end()) bad_artifact(path, "missing field '" + std::string(key) + "'");
+  return it->second;
+}
+
+double field_number(const std::string& path,
+                    const std::map<std::string, std::string>& fields,
+                    const char* key) {
+  double value = 0;
+  if (!parse_double_exact(field_text(path, fields, key), &value)) {
+    bad_artifact(path, "field '" + std::string(key) + "' is not a number");
+  }
+  return value;
+}
+
+}  // namespace
+
+void write_shard_artifact(const std::string& path, const ShardHeader& header,
+                          const std::vector<ShardEntry>& entries) {
+  atomic_write(path, [&](std::ostream& out) {
+    out << "{\"kind\":\"" << kArtifactKind << "\""
+        << ",\"format_version\":" << header.format_version
+        << ",\"spec_hash\":\"" << std::hex << header.spec_hash << std::dec
+        << "\",\"shard\":" << header.shard
+        << ",\"n_shards\":" << header.n_shards
+        << ",\"n_cells_total\":" << header.n_cells_total
+        << ",\"n_cells_shard\":" << entries.size() << ",\"spec\":\""
+        << detail::json_escape(header.spec_text) << "\"}\n";
+    for (const ShardEntry& entry : entries) {
+      out << "{\"cell_index\":" << entry.cell_index;
+      for (const AggField& field : kAggFields) {
+        out << ",\"" << field.name
+            << "\":" << fmt_exact(field.get(entry.result));
+      }
+      out << ",\"from_cache\":" << (entry.result.from_cache ? 1 : 0) << "}\n";
+    }
+  });
+}
+
+ShardHeader read_shard_artifact(const std::string& path,
+                                std::vector<ShardEntry>* entries) {
+  std::ifstream in(path);
+  if (!in) bad_artifact(path, "cannot open");
+
+  std::string line;
+  if (!std::getline(in, line)) bad_artifact(path, "empty file");
+  const auto head = object_fields(path, line);
+  if (field_text(path, head, "kind") != kArtifactKind) {
+    bad_artifact(path, "not a shard artifact (kind mismatch)");
+  }
+
+  ShardHeader header;
+  header.format_version =
+      static_cast<int>(field_number(path, head, "format_version"));
   {
-    std::ofstream out(tmp);
-    if (!out) throw std::runtime_error("cannot write cache entry: " + tmp);
-    out << "n=" << stats.time.n << "\n"
-        << "distance=" << stats.distance << "\n"
-        << "k=" << stats.k << "\n"
-        << "success_rate=" << fmt_exact(stats.success_rate) << "\n"
-        << "mean=" << fmt_exact(stats.time.mean) << "\n"
-        << "stddev=" << fmt_exact(stats.time.stddev) << "\n"
-        << "std_error=" << fmt_exact(stats.time.std_error) << "\n"
-        << "min=" << fmt_exact(stats.time.min) << "\n"
-        << "max=" << fmt_exact(stats.time.max) << "\n"
-        << "median=" << fmt_exact(stats.time.median) << "\n"
-        << "q25=" << fmt_exact(stats.time.q25) << "\n"
-        << "q75=" << fmt_exact(stats.time.q75) << "\n"
-        << "q95=" << fmt_exact(stats.time.q95) << "\n"
-        << "phi_mean=" << fmt_exact(stats.mean_competitiveness) << "\n"
-        << "phi_median=" << fmt_exact(stats.median_competitiveness) << "\n"
-        << "from_last_mean=" << fmt_exact(result.from_last_start.mean) << "\n"
-        << "from_last_median=" << fmt_exact(result.from_last_start.median)
-        << "\n"
-        << "mean_crashed=" << fmt_exact(result.mean_crashed) << "\n"
-        << "mean_last_start=" << fmt_exact(result.mean_last_start) << "\n"
-        << "mean_first_target=" << fmt_exact(result.mean_first_target)
-        << "\n";
-    out.flush();
-    if (!out.good()) {  // e.g. disk full: a short write must never publish
-      out.close();
-      std::filesystem::remove(tmp);
-      throw std::runtime_error("failed writing cache entry: " + tmp);
+    const std::string hex = field_text(path, head, "spec_hash");
+    char* end = nullptr;
+    header.spec_hash = std::strtoull(hex.c_str(), &end, 16);
+    if (hex.empty() || end != hex.c_str() + hex.size()) {
+      bad_artifact(path, "malformed spec_hash");
     }
   }
-  std::filesystem::rename(tmp, path);
+  header.spec_text = field_text(path, head, "spec");
+  header.shard = static_cast<std::size_t>(field_number(path, head, "shard"));
+  header.n_shards =
+      static_cast<std::size_t>(field_number(path, head, "n_shards"));
+  header.n_cells_total =
+      static_cast<std::size_t>(field_number(path, head, "n_cells_total"));
+  const auto n_cells_shard =
+      static_cast<std::size_t>(field_number(path, head, "n_cells_shard"));
+
+  if (entries == nullptr) return header;
+  entries->clear();
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    // Errors in a record name the line: a torn or hand-mangled artifact of
+    // thousands of cells must not need manual bisection.
+    const std::string where = path + ", line " + std::to_string(line_no);
+    const auto fields = object_fields(where, line);
+    ShardEntry entry;
+    entry.cell_index =
+        static_cast<std::size_t>(field_number(where, fields, "cell_index"));
+    for (const AggField& field : kAggFields) {
+      field.set(entry.result, field_number(where, fields, field.name));
+    }
+    entry.result.from_cache =
+        field_number(where, fields, "from_cache") != 0;
+    entries->push_back(std::move(entry));
+  }
+  if (entries->size() != n_cells_shard) {
+    bad_artifact(path, "truncated: header promises " +
+                           std::to_string(n_cells_shard) + " cells, found " +
+                           std::to_string(entries->size()));
+  }
+  return header;
 }
 
 }  // namespace ants::scenario

@@ -3,9 +3,14 @@
 // The sweep scheduler produces CellResults; this layer turns them into
 // rows — an aligned stdout table, a CSV file, a JSON-lines file, or any
 // combination — under a named-column model so a spec can choose exactly the
-// columns its table needs. Also home of the per-cell result cache: cell
-// aggregates keyed by the cell's spec hash, so re-running a spec recomputes
-// only the cells whose definition changed.
+// columns its table needs. Also home of the two persistence formats the
+// sharded pipeline rests on: the per-cell result cache (cell aggregates
+// keyed by the cell's spec hash, so re-running a spec — or resuming a
+// killed shard — recomputes only the cells whose definition changed) and
+// the shard-artifact reader/writer (the JSONL interchange format between
+// run_shard processes and merge_shards). Both serialize the same aggregate
+// field set with exact double round-tripping, which is what makes merged
+// shard output byte-identical to a single-process run.
 #pragma once
 
 #include <fstream>
@@ -96,8 +101,49 @@ void emit_results(const ScenarioSpec& spec,
 bool cache_load(const std::string& dir, std::uint64_t hash,
                 CellResult* result);
 
-/// Stores a cell's aggregates (creates `dir` if needed).
+/// Stores a cell's aggregates (creates `dir` if needed). Atomic against
+/// concurrent writers: the record lands in a uniquely named temp file
+/// (pid + per-process counter) and is renamed into place, so shard
+/// processes sharing one cache_dir can never observe a torn entry and
+/// racing stores of the same cell resolve to one complete record.
 void cache_store(const std::string& dir, std::uint64_t hash,
                  const CellResult& result);
+
+// --- shard artifacts -------------------------------------------------------
+//
+// A shard artifact is the interchange file between one run_shard process
+// and merge_shards: JSON lines, first a header object identifying the run
+// (format version, spec hash, the full canonical spec text, shard
+// coordinates, total cell count), then one flat aggregate record per
+// completed cell keyed by its index into flatten(spec). Doubles are
+// serialized with util::fmt_exact so aggregates round-trip bit-for-bit —
+// the byte-identity of merged vs single-process CSVs depends on it.
+
+struct ShardHeader {
+  int format_version = 0;       ///< scenario::cell_format_version() stamp
+  std::uint64_t spec_hash = 0;  ///< scenario::hash_spec of the plan's spec
+  std::string spec_text;        ///< canonical spec (parse_spec_text form)
+  std::size_t shard = 0;        ///< 1-based shard index
+  std::size_t n_shards = 0;
+  std::size_t n_cells_total = 0;  ///< cells in the WHOLE plan, not the shard
+};
+
+struct ShardEntry {
+  std::size_t cell_index = 0;  ///< into flatten(spec)
+  /// Aggregates only — result.cell is NOT serialized; merge_shards
+  /// reattaches it from the plan.
+  CellResult result;
+};
+
+/// Writes header + entries as a shard artifact. Atomic (unique temp file +
+/// rename), so a killed writer never publishes a partial artifact.
+void write_shard_artifact(const std::string& path, const ShardHeader& header,
+                          const std::vector<ShardEntry>& entries);
+
+/// Reads an artifact back; throws std::invalid_argument with the path and
+/// line on any malformed content. `entries` may be null to read the header
+/// alone.
+ShardHeader read_shard_artifact(const std::string& path,
+                                std::vector<ShardEntry>* entries);
 
 }  // namespace ants::scenario

@@ -4,13 +4,13 @@
 #include <iostream>
 #include <map>
 #include <mutex>
-#include <sstream>
 #include <utility>
 
 #include "rng/splitmix64.h"
 #include "scenario/environment.h"
 #include "scenario/registry.h"
 #include "scenario/sink.h"
+#include "scenario/text.h"
 #include "sim/trial.h"
 #include "util/thread_pool.h"
 
@@ -18,86 +18,15 @@ namespace ants::scenario {
 
 namespace {
 
-/// Bump when the cell execution or cache format changes in any way that
-/// invalidates previously cached aggregates. v4: plane-level strategies run
-/// under the full environment (schedule/crash/targets) through the unified
-/// executor, so plane cells now hash and store the async/multi-target
-/// aggregates. v3: the target set became a per-cell axis and
-/// mean_first_target joined the cache record.
-constexpr int kCellFormatVersion = 4;
-
-std::uint64_t cell_hash(const ScenarioSpec& spec, const std::string& strategy,
-                        std::int64_t k, std::int64_t distance,
-                        const std::string& placement,
-                        const std::string& targets,
-                        const std::string& schedule,
-                        const std::string& crash) {
-  std::ostringstream key;
-  key << "v" << kCellFormatVersion << "|" << strategy << "|k=" << k
-      << "|d=" << distance << "|placement=" << placement
-      << "|targets=" << targets << "|schedule=" << schedule
-      << "|crash=" << crash << "|trials=" << spec.trials
-      << "|seed=" << spec.seed << "|cap=" << spec.time_cap;
-  return hash_text(key.str());
-}
-
-}  // namespace
-
-std::vector<Cell> flatten(const ScenarioSpec& spec) {
-  spec.validate();
-  const std::string schedule = canonical_schedule_spec(spec.schedule);
-  const std::string crash = canonical_crash_spec(spec.crash);
-  std::vector<std::string> placements;
-  for (const std::string& p : spec.placements) {
-    placements.push_back(canonical_placement_spec(p));
-  }
-  std::vector<std::string> targets;
-  for (const std::string& t : spec.targets) {
-    targets.push_back(canonical_targets_spec(t));
-  }
-
-  std::vector<Cell> cells;
-  cells.reserve(spec.strategies.size() * spec.ks.size() *
-                spec.distances.size() * placements.size() * targets.size());
-  for (std::size_t si = 0; si < spec.strategies.size(); ++si) {
-    const StrategySpec parsed = parse_strategy_spec(spec.strategies[si]);
-    const std::string canonical = parsed.canonical();
-    for (const std::int64_t k : spec.ks) {
-      // The display name can depend on k ("$k" defaults), the distance,
-      // placement, and targets cannot — build once per (strategy, k).
-      const BuildContext ctx{static_cast<int>(k)};
-      const std::string display =
-          Registry::instance().make(parsed, ctx).display_name();
-      for (const std::int64_t d : spec.distances) {
-        for (std::size_t pi = 0; pi < placements.size(); ++pi) {
-          for (std::size_t ti = 0; ti < targets.size(); ++ti) {
-            Cell cell;
-            cell.strategy_index = si;
-            cell.strategy_spec = canonical;
-            cell.strategy_name = display;
-            cell.placement_index = pi;
-            cell.placement_spec = placements[pi];
-            cell.targets_index = ti;
-            cell.targets_spec = targets[ti];
-            cell.k = k;
-            cell.distance = d;
-            cell.seed = rng::mix_seed(
-                spec.seed, rng::mix_seed(static_cast<std::uint64_t>(k),
-                                         static_cast<std::uint64_t>(d)));
-            cell.hash = cell_hash(spec, canonical, k, d, placements[pi],
-                                  targets[ti], schedule, crash);
-            cells.push_back(std::move(cell));
-          }
-        }
-      }
-    }
-  }
-  return cells;
-}
-
-std::vector<CellResult> run_sweep(const ScenarioSpec& spec,
-                                  const SweepOptions& opt) {
-  const std::vector<Cell> cells = flatten(spec);
+/// Executes `cells` (any subset of a plan, in any order) and returns the
+/// parallel CellResult vector. The shared core of run_sweep (all cells) and
+/// run_shard (one shard's cells). `progress_prefix` is prepended to every
+/// progress line ("shard i/N " for sharded runs, empty otherwise); done/total
+/// counts are local to `cells`.
+std::vector<CellResult> run_cells(const ScenarioSpec& spec,
+                                  const std::vector<Cell>& cells,
+                                  const SweepOptions& opt,
+                                  const std::string& progress_prefix) {
   const auto n_cells = cells.size();
   const auto trials = static_cast<std::size_t>(spec.trials);
   const bool async = spec.is_async();
@@ -111,9 +40,10 @@ std::vector<CellResult> run_sweep(const ScenarioSpec& spec,
     // Count under the print lock so the [n/N] indices are monotone in the
     // output even when cells finish simultaneously.
     const std::lock_guard<std::mutex> lock(progress_mutex);
-    *progress_out << "progress: [" << ++completed << "/" << n_cells << "] "
-                  << spec.name << " " << cell.strategy_name
-                  << " k=" << cell.k << " D=" << cell.distance
+    *progress_out << "progress: " << progress_prefix << "[" << ++completed
+                  << "/" << n_cells << "] " << spec.name << " "
+                  << cell.strategy_name << " k=" << cell.k
+                  << " D=" << cell.distance
                   << " placement=" << cell.placement_spec << " " << how
                   << "\n";
   };
@@ -121,7 +51,9 @@ std::vector<CellResult> run_sweep(const ScenarioSpec& spec,
   std::vector<CellResult> results(n_cells);
   for (std::size_t i = 0; i < n_cells; ++i) results[i].cell = cells[i];
 
-  // Cache pass: cells whose aggregates are already on disk never re-run.
+  // Cache pass: cells whose aggregates are already on disk never re-run —
+  // also how a killed shard resumes, since finished cells persist as the
+  // sweep runs (see finalize_cell below).
   std::vector<std::size_t> pending;
   for (std::size_t i = 0; i < n_cells; ++i) {
     if (!opt.cache_dir.empty() &&
@@ -216,6 +148,31 @@ std::vector<CellResult> run_sweep(const ScenarioSpec& spec,
     remaining[i].store(static_cast<std::int64_t>(trials));
   }
 
+  // Runs on the scheduler thread that completes a cell's LAST trial: the
+  // cell's aggregates are final, so they publish to the result slot and the
+  // cache immediately. Persisting per cell mid-run (instead of once at the
+  // end) is what makes a killed shard resumable — every finished cell
+  // survives the kill, and the rerun's cache pass skips it.
+  const auto finalize_cell = [&](std::size_t i) {
+    results[i].stats =
+        sim::make_run_stats(std::move(times[i]), found[i].load(),
+                            cells[i].distance, static_cast<int>(cells[i].k));
+    if (async) {
+      results[i].from_last_start = stats::Summary::from(from_last[i]);
+      results[i].mean_crashed = stats::Summary::from(crashed[i]).mean;
+      results[i].mean_last_start = stats::Summary::from(last_starts[i]).mean;
+    }
+    results[i].mean_first_target =
+        found[i].load() > 0
+            ? static_cast<double>(first_target_sum[i].load()) /
+                  static_cast<double>(found[i].load())
+            : -1.0;
+    if (!opt.cache_dir.empty()) {
+      cache_store(opt.cache_dir, cells[i].hash, results[i]);
+    }
+    report_cell(cells[i], "done");
+  };
+
   // The flat work list is every trial of every pending cell — cells overlap
   // instead of serializing on per-cell barriers. The (cell, trial) mapping
   // is index arithmetic, not a materialized pair vector: huge sweeps must
@@ -267,30 +224,158 @@ std::vector<CellResult> run_sweep(const ScenarioSpec& spec,
                                          std::memory_order_relaxed);
         }
         if (remaining[ci].fetch_sub(1, std::memory_order_acq_rel) == 1) {
-          report_cell(cell, "done");
+          finalize_cell(ci);
         }
       },
       opt.threads);
 
-  for (const std::size_t i : pending) {
-    results[i].stats =
-        sim::make_run_stats(std::move(times[i]), found[i].load(),
-                            cells[i].distance, static_cast<int>(cells[i].k));
-    if (async) {
-      results[i].from_last_start = stats::Summary::from(from_last[i]);
-      results[i].mean_crashed = stats::Summary::from(crashed[i]).mean;
-      results[i].mean_last_start = stats::Summary::from(last_starts[i]).mean;
+  return results;
+}
+
+std::string shard_prefix(std::size_t shard, std::size_t n_shards) {
+  if (n_shards <= 1) return "";
+  return "shard " + std::to_string(shard) + "/" + std::to_string(n_shards) +
+         " ";
+}
+
+}  // namespace
+
+std::vector<CellResult> run_sweep(const ScenarioSpec& spec,
+                                  const SweepOptions& opt) {
+  // The 1/1 special case of the sharded pipeline: all cells, no prefix.
+  return run_cells(spec, flatten(spec), opt, "");
+}
+
+std::vector<CellResult> run_shard(const SweepPlan& plan, std::size_t shard,
+                                  std::size_t n_shards,
+                                  const SweepOptions& opt) {
+  const std::vector<std::size_t> indices =
+      shard_cell_indices(plan, shard, n_shards);
+  std::vector<Cell> cells;
+  cells.reserve(indices.size());
+  for (const std::size_t i : indices) cells.push_back(plan.cells[i]);
+  return run_cells(plan.spec, cells, opt, shard_prefix(shard, n_shards));
+}
+
+void write_shard(const std::string& path, const SweepPlan& plan,
+                 std::size_t shard, std::size_t n_shards,
+                 const std::vector<CellResult>& results) {
+  const std::vector<std::size_t> indices =
+      shard_cell_indices(plan, shard, n_shards);
+  if (results.size() != indices.size()) {
+    detail::bad("write_shard: " + std::to_string(results.size()) +
+                " results for a " + std::to_string(indices.size()) +
+                "-cell shard");
+  }
+  ShardHeader header;
+  header.format_version = cell_format_version();
+  header.spec_hash = plan.spec_hash;
+  header.spec_text = plan.spec.canonical();
+  header.shard = shard;
+  header.n_shards = n_shards;
+  header.n_cells_total = plan.cells.size();
+  std::vector<ShardEntry> entries(indices.size());
+  for (std::size_t j = 0; j < indices.size(); ++j) {
+    entries[j].cell_index = indices[j];
+    // Aggregates only: neither the raw per-trial times (a fresh cell
+    // carries trials doubles — copying them just to drop them would spike
+    // memory on big shards) nor the Cell (merge reattaches it from the
+    // plan) go to disk.
+    CellResult& slim = entries[j].result;
+    const CellResult& full = results[j];
+    slim.stats.time = full.stats.time;
+    slim.stats.success_rate = full.stats.success_rate;
+    slim.stats.mean_competitiveness = full.stats.mean_competitiveness;
+    slim.stats.median_competitiveness = full.stats.median_competitiveness;
+    slim.stats.distance = full.stats.distance;
+    slim.stats.k = full.stats.k;
+    slim.from_last_start = full.from_last_start;
+    slim.mean_crashed = full.mean_crashed;
+    slim.mean_last_start = full.mean_last_start;
+    slim.mean_first_target = full.mean_first_target;
+    slim.from_cache = full.from_cache;
+  }
+  write_shard_artifact(path, header, entries);
+}
+
+std::vector<CellResult> merge_shards(const SweepPlan& plan,
+                                     const std::vector<std::string>& paths) {
+  if (paths.empty()) detail::bad("merge_shards: no artifacts given");
+  const std::size_t n = plan.cells.size();
+  std::vector<CellResult> merged(n);
+  std::vector<bool> seen(n, false);
+
+  for (const std::string& path : paths) {
+    std::vector<ShardEntry> entries;
+    const ShardHeader header = read_shard_artifact(path, &entries);
+    if (header.format_version != cell_format_version()) {
+      detail::bad("shard artifact " + path + ": format version " +
+                  std::to_string(header.format_version) +
+                  " does not match this build's " +
+                  std::to_string(cell_format_version()) +
+                  " — regenerate the shard");
     }
-    results[i].mean_first_target =
-        found[i].load() > 0
-            ? static_cast<double>(first_target_sum[i].load()) /
-                  static_cast<double>(found[i].load())
-            : -1.0;
-    if (!opt.cache_dir.empty()) {
-      cache_store(opt.cache_dir, cells[i].hash, results[i]);
+    if (header.spec_hash != plan.spec_hash) {
+      detail::bad("shard artifact " + path +
+                  ": produced from a different spec (spec hash mismatch) — "
+                  "a merge may only combine shards of one identical spec");
+    }
+    if (header.n_cells_total != n) {
+      detail::bad("shard artifact " + path + ": plan has " +
+                  std::to_string(n) + " cells, artifact claims " +
+                  std::to_string(header.n_cells_total));
+    }
+    for (ShardEntry& entry : entries) {
+      if (entry.cell_index >= n) {
+        detail::bad("shard artifact " + path + ": cell index " +
+                    std::to_string(entry.cell_index) + " out of range");
+      }
+      if (seen[entry.cell_index]) {
+        detail::bad("merge_shards: duplicate cell " +
+                    std::to_string(entry.cell_index) + " (artifact " + path +
+                    " overlaps an earlier shard — was a shard merged "
+                    "twice?)");
+      }
+      seen[entry.cell_index] = true;
+      merged[entry.cell_index] = std::move(entry.result);
+      merged[entry.cell_index].cell = plan.cells[entry.cell_index];
     }
   }
-  return results;
+
+  std::size_t missing = 0;
+  std::size_t first_missing = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!seen[i]) {
+      if (missing == 0) first_missing = i;
+      ++missing;
+    }
+  }
+  if (missing > 0) {
+    detail::bad("merge_shards: " + std::to_string(missing) + " of " +
+                std::to_string(n) + " cells missing (first: cell " +
+                std::to_string(first_missing) +
+                ") — were all shards run and listed?");
+  }
+  return merged;
+}
+
+std::vector<CellResult> merge_shards(const std::vector<std::string>& paths,
+                                     ScenarioSpec* spec_out) {
+  if (paths.empty()) detail::bad("merge_shards: no artifacts given");
+  const ShardHeader header = read_shard_artifact(paths.front(), nullptr);
+  const std::vector<ScenarioSpec> specs = parse_spec_text(header.spec_text);
+  if (specs.size() != 1) {
+    detail::bad("shard artifact " + paths.front() +
+                ": embedded spec does not parse to exactly one scenario");
+  }
+  const SweepPlan plan = make_plan(specs.front());
+  if (plan.spec_hash != header.spec_hash) {
+    detail::bad("shard artifact " + paths.front() +
+                ": embedded spec re-hashes differently — artifact written "
+                "by an incompatible build");
+  }
+  if (spec_out != nullptr) *spec_out = specs.front();
+  return merge_shards(plan, paths);
 }
 
 }  // namespace ants::scenario

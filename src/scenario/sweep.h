@@ -1,6 +1,7 @@
-// Sweep scheduler: flattens a ScenarioSpec into (strategy, k, D, placement,
-// targets) cells and runs every trial of every cell through ONE
-// util::parallel_for.
+// Execute and merge layers of the sweep pipeline (the plan layer lives in
+// scenario/plan.h): every trial of every cell runs through ONE
+// util::parallel_for, and sharded runs reassemble into the canonical result
+// vector via self-describing artifacts.
 //
 // Scheduling across cells matters because per-cell parallelism (the
 // sim::run_trials path) serializes a sweep on one barrier per cell: a grid
@@ -26,8 +27,9 @@
 // treasure placements (paired instances, the E7 fairness requirement) and
 // placement/target policies are probed on the same trial randomness.
 // Results are therefore a pure function of (spec, seed), independent of
-// thread count and scheduling order, and each cell's stats equal the
-// matching sim::run_env_trials call at the cell's derived seed.
+// thread count, scheduling order, AND shard count: run_shard computes
+// exactly what run_sweep would for the same cells, so merge_shards over any
+// partition reproduces the single-process output byte-for-byte.
 #pragma once
 
 #include <cstdint>
@@ -35,25 +37,11 @@
 #include <string>
 #include <vector>
 
+#include "scenario/plan.h"
 #include "scenario/spec.h"
 #include "sim/runner.h"
 
 namespace ants::scenario {
-
-/// One unit of the flattened sweep.
-struct Cell {
-  std::size_t strategy_index = 0;   ///< into spec.strategies
-  std::string strategy_spec;        ///< canonical registry spec string
-  std::string strategy_name;        ///< display name of the built strategy
-  std::size_t placement_index = 0;  ///< into spec.placements
-  std::string placement_spec;       ///< canonical placement spec string
-  std::size_t targets_index = 0;    ///< into spec.targets
-  std::string targets_spec;         ///< canonical target-set spec string
-  std::int64_t k = 1;
-  std::int64_t distance = 1;
-  std::uint64_t seed = 0;  ///< derived cell seed (see header comment)
-  std::uint64_t hash = 0;  ///< cache key over the cell + run parameters
-};
 
 struct CellResult {
   Cell cell;
@@ -74,22 +62,52 @@ struct SweepOptions {
   unsigned threads = 0;   ///< scheduler thread count; 0 = hardware
   std::string cache_dir;  ///< non-empty enables the per-cell result cache
   /// Per-cell completion lines as the sweep runs. Diagnostics only: output
-  /// rows are unaffected (test-enforced).
+  /// rows are unaffected (test-enforced). Sharded runs prefix each line
+  /// with "shard i/N" and count done/total local to the shard.
   bool progress = false;
   std::ostream* progress_stream = nullptr;  ///< nullptr = std::cerr
 };
 
-/// The cells of a spec in deterministic order: strategies outermost, then
-/// ks, then distances, then placements, then targets — cell
-/// (si, ki, di, pi, ti) lands at index
-/// (((si * ks.size() + ki) * distances.size() + di) * placements.size() +
-/// pi) * targets.size() + ti. Validates the spec.
-std::vector<Cell> flatten(const ScenarioSpec& spec);
-
-/// Runs the whole sweep; the result vector parallels flatten(spec). Cached
+/// Runs the whole sweep in-process; the result vector parallels
+/// flatten(spec). The 1/1 special case of the sharded pipeline. Cached
 /// cells (when opt.cache_dir is set and holds a matching entry) carry
 /// aggregate stats only (stats.times is empty) and from_cache = true.
 std::vector<CellResult> run_sweep(const ScenarioSpec& spec,
                                   const SweepOptions& opt = {});
+
+/// Execute layer: runs ONLY the cells of shard `shard` (1-based) of an
+/// `n_shards`-way split; the result vector parallels
+/// shard_cell_indices(plan, shard, n_shards). Completed cells persist to
+/// opt.cache_dir as they finish, so a killed shard resumes by rerunning —
+/// only cells missing from the cache recompute. Throws on an out-of-range
+/// shard.
+std::vector<CellResult> run_shard(const SweepPlan& plan, std::size_t shard,
+                                  std::size_t n_shards,
+                                  const SweepOptions& opt = {});
+
+/// Writes a run_shard result set as a self-describing JSONL shard artifact
+/// (header line with format version, spec hash, canonical spec text, and
+/// shard coordinates; then one aggregate record per cell). Atomic: written
+/// to a temp file and renamed, so a killed process never publishes a torn
+/// artifact.
+void write_shard(const std::string& path, const SweepPlan& plan,
+                 std::size_t shard, std::size_t n_shards,
+                 const std::vector<CellResult>& results);
+
+/// Merge layer: reassembles shard artifacts into the canonical CellResult
+/// vector (parallel to plan.cells), ready for the sinks. Verifies every
+/// artifact against the plan — format version, spec hash, cell count — and
+/// throws std::invalid_argument on any incompatibility, duplicate cell, or
+/// missing cell. Merged results carry aggregates only (stats.times empty),
+/// exactly like cache hits; rendered rows are identical either way.
+std::vector<CellResult> merge_shards(const SweepPlan& plan,
+                                     const std::vector<std::string>& paths);
+
+/// Self-describing merge: derives the plan from the first artifact's
+/// embedded canonical spec (every other artifact must hash-match it) and
+/// returns the merged results; `spec_out` (if non-null) receives the spec
+/// for sink column selection.
+std::vector<CellResult> merge_shards(const std::vector<std::string>& paths,
+                                     ScenarioSpec* spec_out);
 
 }  // namespace ants::scenario

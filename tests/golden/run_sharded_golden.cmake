@@ -1,0 +1,81 @@
+# Runs a pinned golden spec as N separate `search_lab run --shard=i/N`
+# processes, merges the artifacts with `search_lab merge`, and byte-compares
+# the merged CSV against GOLDEN — the binary-level enforcement of the shard
+# pipeline's headline invariant (the library-level twin lives in
+# tests/scenario_shard_test.cpp).
+#
+# With -DRESUME=ON it additionally emulates a killed-and-resumed shard:
+# after all shards complete, half of the shared cell cache is deleted along
+# with shard 1's artifact, and shard 1 reruns — serving the surviving cells
+# from cache and recomputing the rest. The merge of the resumed artifact
+# must still match GOLDEN byte-for-byte.
+#
+#   cmake -DSEARCH_LAB=<bin> -DSPEC=<spec> -DGOLDEN=<csv> -DOUT_DIR=<dir>
+#         -DN_SHARDS=<n> [-DRESUME=ON] -P run_sharded_golden.cmake
+foreach(var SEARCH_LAB SPEC GOLDEN OUT_DIR N_SHARDS)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_sharded_golden.cmake: missing -D${var}=")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE ${OUT_DIR})
+file(MAKE_DIRECTORY ${OUT_DIR})
+set(cache_dir ${OUT_DIR}/cache)
+
+function(run_one_shard shard)
+  execute_process(
+    COMMAND ${SEARCH_LAB} run --spec=${SPEC}
+            --shard=${shard}/${N_SHARDS}
+            --shard-out=${OUT_DIR}/shard_${shard}.jsonl
+            --cache-dir=${cache_dir} --quiet
+    RESULT_VARIABLE run_result)
+  if(NOT run_result EQUAL 0)
+    message(FATAL_ERROR
+            "search_lab shard ${shard}/${N_SHARDS} failed (${run_result}) "
+            "on ${SPEC}")
+  endif()
+endfunction()
+
+set(artifacts "")
+foreach(shard RANGE 1 ${N_SHARDS})
+  run_one_shard(${shard})
+  list(APPEND artifacts ${OUT_DIR}/shard_${shard}.jsonl)
+endforeach()
+
+if(RESUME)
+  # Emulate a mid-run kill of shard 1: its artifact never landed and only
+  # part of its cells reached the cache. Deleting every other cache entry
+  # (cells of ALL shards — only shard 1 reruns, so its missing cells
+  # recompute and other shards' entries are simply unused) forces the rerun
+  # down both the cached and the recompute path.
+  file(REMOVE ${OUT_DIR}/shard_1.jsonl)
+  file(GLOB cache_entries ${cache_dir}/*.cell)
+  list(SORT cache_entries)
+  set(index 0)
+  foreach(entry ${cache_entries})
+    math(EXPR keep "${index} % 2")
+    if(keep EQUAL 0)
+      file(REMOVE ${entry})
+    endif()
+    math(EXPR index "${index} + 1")
+  endforeach()
+  run_one_shard(1)
+endif()
+
+execute_process(
+  COMMAND ${SEARCH_LAB} merge ${artifacts} --csv=${OUT_DIR}/merged.csv
+          --quiet
+  RESULT_VARIABLE merge_result)
+if(NOT merge_result EQUAL 0)
+  message(FATAL_ERROR "search_lab merge failed (${merge_result})")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT_DIR}/merged.csv ${GOLDEN}
+  RESULT_VARIABLE diff_result)
+if(NOT diff_result EQUAL 0)
+  message(FATAL_ERROR
+          "sharded golden mismatch: merge of ${N_SHARDS} shards differs "
+          "from ${GOLDEN} — the shard pipeline broke the byte-identity "
+          "contract (merged CSV and shard artifacts left in ${OUT_DIR})")
+endif()

@@ -1,0 +1,458 @@
+// The sharded sweep pipeline: plan-layer partitioning, shard execution,
+// artifact round-trips, merge verification, and resumability.
+//
+// Headline invariant (the acceptance bar of the sharded runner): for every
+// pinned golden spec, merging the artifacts of ANY shard count reproduces
+// the single-process run_sweep CSV byte-for-byte. Sharding changes where a
+// cell runs, never what it computes — cell seeds depend only on the spec.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "scenario/plan.h"
+#include "scenario/sink.h"
+#include "scenario/spec.h"
+#include "scenario/sweep.h"
+
+#ifndef ANTS_SOURCE_DIR
+#error "ANTS_SOURCE_DIR must point at the repository root"
+#endif
+
+namespace ants::scenario {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+ScenarioSpec golden_spec(const std::string& stem) {
+  const std::string dir = std::string(ANTS_SOURCE_DIR) + "/tests/golden/";
+  const std::vector<ScenarioSpec> specs = parse_spec_file(dir + stem +
+                                                          ".spec");
+  EXPECT_EQ(specs.size(), 1u);
+  return specs.front();
+}
+
+std::string golden_csv(const std::string& stem) {
+  return read_file(std::string(ANTS_SOURCE_DIR) + "/tests/golden/" + stem +
+                   ".golden.csv");
+}
+
+/// A scratch directory under the test temp dir, wiped on entry so stale
+/// artifacts from a previous run never leak into assertions.
+std::string scratch_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "ants_shard_" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// Renders results to CSV bytes through the same CsvSink path search_lab
+/// uses.
+std::string render_csv(const ScenarioSpec& spec,
+                       const std::vector<CellResult>& results,
+                       const std::string& path) {
+  {
+    CsvSink csv(path);
+    std::vector<ResultSink*> sinks = {&csv};
+    emit_results(spec, results, sinks);
+  }
+  return read_file(path);
+}
+
+/// Runs every shard of an N-way split, writes the artifacts, returns their
+/// paths.
+std::vector<std::string> run_all_shards(const SweepPlan& plan,
+                                        std::size_t n_shards,
+                                        const std::string& dir,
+                                        const SweepOptions& opt = {}) {
+  std::vector<std::string> paths;
+  for (std::size_t shard = 1; shard <= n_shards; ++shard) {
+    const std::vector<CellResult> results =
+        run_shard(plan, shard, n_shards, opt);
+    const std::string path =
+        dir + "/shard_" + std::to_string(shard) + ".jsonl";
+    write_shard(path, plan, shard, n_shards, results);
+    paths.push_back(path);
+  }
+  return paths;
+}
+
+// --- plan layer ------------------------------------------------------------
+
+TEST(SweepPlan, ShardPartitionIsDisjointAndComplete) {
+  const SweepPlan plan = make_plan(golden_spec("step_async"));
+  ASSERT_GT(plan.cells.size(), 0u);
+  for (const std::size_t n_shards : {1u, 3u, 5u, 7u, 100u}) {
+    std::vector<bool> owned(plan.cells.size(), false);
+    for (std::size_t shard = 1; shard <= n_shards; ++shard) {
+      for (const std::size_t i : shard_cell_indices(plan, shard, n_shards)) {
+        EXPECT_FALSE(owned[i]) << "cell " << i << " in two shards";
+        owned[i] = true;
+        EXPECT_EQ(shard_of_cell(i, n_shards), shard);
+      }
+    }
+    for (std::size_t i = 0; i < owned.size(); ++i) {
+      EXPECT_TRUE(owned[i]) << "cell " << i << " unowned at N=" << n_shards;
+    }
+  }
+}
+
+TEST(SweepPlan, ShardAssignmentIsAPureFunctionOfTheSpec) {
+  // Two independently built plans from the same parsed spec agree on every
+  // cell and every shard — the property that lets N processes partition
+  // without coordinating.
+  const SweepPlan a = make_plan(golden_spec("plane_base"));
+  const SweepPlan b = make_plan(golden_spec("plane_base"));
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  EXPECT_EQ(a.spec_hash, b.spec_hash);
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    EXPECT_EQ(a.cells[i].hash, b.cells[i].hash);
+    EXPECT_EQ(a.cells[i].seed, b.cells[i].seed);
+  }
+  EXPECT_EQ(shard_cell_indices(a, 2, 3), shard_cell_indices(b, 2, 3));
+}
+
+TEST(SweepPlan, SpecHashSeparatesSpecs) {
+  ScenarioSpec spec = golden_spec("step_async");
+  const std::uint64_t base = hash_spec(spec);
+  ScenarioSpec reparsed = parse_spec_text(spec.canonical()).front();
+  EXPECT_EQ(hash_spec(reparsed), base) << "canonical form must hash stably";
+  spec.seed += 1;
+  EXPECT_NE(hash_spec(spec), base);
+  spec.seed -= 1;
+  spec.trials += 1;
+  EXPECT_NE(hash_spec(spec), base);
+}
+
+TEST(SweepPlan, ShardIndicesRejectOutOfRangeShards) {
+  const SweepPlan plan = make_plan(golden_spec("step_async"));
+  EXPECT_THROW(shard_cell_indices(plan, 0, 3), std::invalid_argument);
+  EXPECT_THROW(shard_cell_indices(plan, 4, 3), std::invalid_argument);
+  EXPECT_THROW(shard_cell_indices(plan, 1, 0), std::invalid_argument);
+}
+
+// --- the headline invariant ------------------------------------------------
+
+void check_shard_union_identity(const std::string& stem) {
+  const ScenarioSpec spec = golden_spec(stem);
+  const std::string golden = golden_csv(stem);
+  const SweepPlan plan = make_plan(spec);
+
+  for (const std::size_t n_shards : {1u, 3u, 5u}) {
+    const std::string dir =
+        scratch_dir(stem + "_n" + std::to_string(n_shards));
+    const std::vector<std::string> paths =
+        run_all_shards(plan, n_shards, dir);
+    const std::vector<CellResult> merged = merge_shards(plan, paths);
+    EXPECT_EQ(render_csv(spec, merged, dir + "/merged.csv"), golden)
+        << stem << " diverged from its golden CSV at N=" << n_shards;
+  }
+}
+
+TEST(ShardMerge, StepAsyncShardUnionIsByteIdenticalToGolden) {
+  check_shard_union_identity("step_async");
+}
+
+TEST(ShardMerge, PlaneBaseShardUnionIsByteIdenticalToGolden) {
+  check_shard_union_identity("plane_base");
+}
+
+// And the remaining pinned specs — EVERY golden must survive sharding at
+// every tested shard count, not just the two headline ones.
+TEST(ShardMerge, AllOtherGoldenShardUnionsAreByteIdentical) {
+  for (const char* stem :
+       {"sync", "async_crash", "placement_sweep", "multi_target",
+        "plane_async"}) {
+    check_shard_union_identity(stem);
+  }
+}
+
+TEST(ShardMerge, SelfDescribingMergeRecoversTheSpec) {
+  const ScenarioSpec spec = golden_spec("step_async");
+  const SweepPlan plan = make_plan(spec);
+  const std::string dir = scratch_dir("selfdesc");
+  const std::vector<std::string> paths = run_all_shards(plan, 3, dir);
+
+  // No plan passed in: the merge reconstructs it from the embedded
+  // canonical spec and must render the same golden bytes.
+  ScenarioSpec recovered;
+  const std::vector<CellResult> merged = merge_shards(paths, &recovered);
+  EXPECT_EQ(recovered.canonical(), spec.canonical());
+  EXPECT_EQ(render_csv(recovered, merged, dir + "/merged.csv"),
+            golden_csv("step_async"));
+}
+
+TEST(ShardExec, RunShardMatchesTheMatchingRunSweepCells) {
+  const ScenarioSpec spec = golden_spec("step_async");
+  const SweepPlan plan = make_plan(spec);
+  const std::vector<CellResult> full = run_sweep(spec);
+
+  const std::vector<std::size_t> indices = shard_cell_indices(plan, 2, 3);
+  const std::vector<CellResult> shard = run_shard(plan, 2, 3);
+  ASSERT_EQ(shard.size(), indices.size());
+  for (std::size_t j = 0; j < indices.size(); ++j) {
+    const CellResult& a = full[indices[j]];
+    const CellResult& b = shard[j];
+    EXPECT_EQ(a.cell.hash, b.cell.hash);
+    EXPECT_EQ(a.stats.times, b.stats.times);
+    EXPECT_DOUBLE_EQ(a.stats.time.mean, b.stats.time.mean);
+    EXPECT_DOUBLE_EQ(a.from_last_start.mean, b.from_last_start.mean);
+    EXPECT_DOUBLE_EQ(a.mean_crashed, b.mean_crashed);
+  }
+}
+
+// --- artifact round-trip ---------------------------------------------------
+
+TEST(ShardArtifact, AggregatesRoundTripBitForBit) {
+  const ScenarioSpec spec = golden_spec("step_async");
+  const SweepPlan plan = make_plan(spec);
+  const std::string dir = scratch_dir("roundtrip");
+  const std::vector<CellResult> results = run_shard(plan, 1, 2);
+  const std::string path = dir + "/shard.jsonl";
+  write_shard(path, plan, 1, 2, results);
+
+  std::vector<ShardEntry> entries;
+  const ShardHeader header = read_shard_artifact(path, &entries);
+  EXPECT_EQ(header.format_version, cell_format_version());
+  EXPECT_EQ(header.spec_hash, plan.spec_hash);
+  EXPECT_EQ(header.shard, 1u);
+  EXPECT_EQ(header.n_shards, 2u);
+  EXPECT_EQ(header.n_cells_total, plan.cells.size());
+  ASSERT_EQ(entries.size(), results.size());
+  for (std::size_t j = 0; j < entries.size(); ++j) {
+    const CellResult& in = results[j];
+    const CellResult& out = entries[j].result;
+    // EXPECT_EQ, not EXPECT_DOUBLE_EQ: fmt_exact serialization must
+    // reproduce the identical bits, or merged CSVs could drift from the
+    // in-process run in the last printed digit.
+    EXPECT_EQ(in.stats.time.mean, out.stats.time.mean);
+    EXPECT_EQ(in.stats.time.std_error, out.stats.time.std_error);
+    EXPECT_EQ(in.stats.time.q95, out.stats.time.q95);
+    EXPECT_EQ(in.stats.success_rate, out.stats.success_rate);
+    EXPECT_EQ(in.stats.mean_competitiveness, out.stats.mean_competitiveness);
+    EXPECT_EQ(in.from_last_start.mean, out.from_last_start.mean);
+    EXPECT_EQ(in.mean_crashed, out.mean_crashed);
+    EXPECT_EQ(in.mean_last_start, out.mean_last_start);
+    EXPECT_EQ(in.mean_first_target, out.mean_first_target);
+    EXPECT_EQ(in.stats.time.n, out.stats.time.n);
+    EXPECT_TRUE(out.stats.times.empty()) << "per-trial times must not ship";
+  }
+}
+
+// --- merge verification ----------------------------------------------------
+
+TEST(ShardMerge, RejectsArtifactsFromADifferentSpec) {
+  ScenarioSpec spec = golden_spec("step_async");
+  const SweepPlan plan = make_plan(spec);
+  const std::string dir = scratch_dir("wrongspec");
+
+  ScenarioSpec other = spec;
+  other.seed += 1;  // same shape, different numbers — must not merge
+  const SweepPlan other_plan = make_plan(other);
+  const std::vector<std::string> paths = run_all_shards(other_plan, 3, dir);
+
+  EXPECT_THROW(merge_shards(plan, paths), std::invalid_argument);
+}
+
+TEST(ShardMerge, RejectsDuplicateCells) {
+  const SweepPlan plan = make_plan(golden_spec("step_async"));
+  const std::string dir = scratch_dir("dup");
+  const std::vector<std::string> paths = run_all_shards(plan, 3, dir);
+
+  std::vector<std::string> doubled = paths;
+  doubled.push_back(paths.front());  // shard 1 listed twice
+  EXPECT_THROW(merge_shards(plan, doubled), std::invalid_argument);
+}
+
+TEST(ShardMerge, RejectsMissingCells) {
+  const SweepPlan plan = make_plan(golden_spec("step_async"));
+  const std::string dir = scratch_dir("missing");
+  const std::vector<std::string> paths = run_all_shards(plan, 3, dir);
+
+  const std::vector<std::string> partial(paths.begin(), paths.end() - 1);
+  EXPECT_THROW(merge_shards(plan, partial), std::invalid_argument);
+}
+
+TEST(ShardMerge, RejectsTamperedFormatVersion) {
+  const SweepPlan plan = make_plan(golden_spec("step_async"));
+  const std::string dir = scratch_dir("stale");
+  const std::vector<std::string> paths = run_all_shards(plan, 1, dir);
+
+  // Simulate an artifact from an older build: patch the header version.
+  std::string content = read_file(paths.front());
+  const std::string want = "\"format_version\":" +
+                           std::to_string(cell_format_version());
+  const std::size_t at = content.find(want);
+  ASSERT_NE(at, std::string::npos);
+  content.replace(at, want.size(), "\"format_version\":1");
+  {
+    std::ofstream out(paths.front(), std::ios::binary | std::ios::trunc);
+    out << content;
+  }
+  EXPECT_THROW(merge_shards(plan, paths), std::invalid_argument);
+}
+
+TEST(ShardMerge, RejectsTruncatedArtifact) {
+  const SweepPlan plan = make_plan(golden_spec("step_async"));
+  const std::string dir = scratch_dir("truncated");
+  const std::vector<std::string> paths = run_all_shards(plan, 1, dir);
+
+  // Drop the last line: the header's n_cells_shard no longer matches, the
+  // torn file must be rejected, not half-merged.
+  const std::string content = read_file(paths.front());
+  const std::size_t cut = content.rfind('{');
+  ASSERT_NE(cut, std::string::npos);
+  {
+    std::ofstream out(paths.front(), std::ios::binary | std::ios::trunc);
+    out << content.substr(0, cut);
+  }
+  EXPECT_THROW(merge_shards(plan, paths), std::invalid_argument);
+}
+
+// --- resumability ----------------------------------------------------------
+
+TEST(ShardResume, KilledShardRerunRecomputesOnlyMissingCells) {
+  const ScenarioSpec spec = golden_spec("step_async");
+  const SweepPlan plan = make_plan(spec);
+  const std::string dir = scratch_dir("resume");
+  SweepOptions opt;
+  opt.cache_dir = dir + "/cache";
+
+  // Full shard pass populates the per-cell cache as cells complete.
+  const std::vector<std::size_t> indices = shard_cell_indices(plan, 1, 3);
+  const std::vector<CellResult> first = run_shard(plan, 1, 3, opt);
+  ASSERT_GE(indices.size(), 2u);
+
+  // Simulate a mid-shard kill: one cell's cache entry never landed.
+  char name[32];
+  std::snprintf(name, sizeof(name), "%016llx.cell",
+                static_cast<unsigned long long>(
+                    plan.cells[indices[1]].hash));
+  ASSERT_TRUE(std::filesystem::remove(opt.cache_dir + "/" + name));
+
+  // The rerun serves every surviving cell from cache and recomputes only
+  // the lost one — with identical aggregates either way.
+  const std::vector<CellResult> second = run_shard(plan, 1, 3, opt);
+  ASSERT_EQ(second.size(), first.size());
+  for (std::size_t j = 0; j < second.size(); ++j) {
+    EXPECT_EQ(second[j].from_cache, j != 1);
+    EXPECT_EQ(second[j].stats.time.mean, first[j].stats.time.mean);
+    EXPECT_EQ(second[j].stats.success_rate, first[j].stats.success_rate);
+  }
+
+  // And the artifact written by the resumed shard still merges to golden.
+  const std::string resumed = dir + "/resumed.jsonl";
+  write_shard(resumed, plan, 1, 3, second);
+  std::vector<std::string> paths = {resumed};
+  for (std::size_t shard = 2; shard <= 3; ++shard) {
+    const std::string path = dir + "/shard_" + std::to_string(shard) +
+                             ".jsonl";
+    write_shard(path, plan, shard, 3, run_shard(plan, shard, 3));
+    paths.push_back(path);
+  }
+  EXPECT_EQ(render_csv(spec, merge_shards(plan, paths), dir + "/merged.csv"),
+            golden_csv("step_async"));
+}
+
+// --- shard-aware progress --------------------------------------------------
+
+TEST(ShardProgress, LinesArePrefixedAndCountsAreShardLocal) {
+  const SweepPlan plan = make_plan(golden_spec("step_async"));
+  std::ostringstream progress;
+  SweepOptions opt;
+  opt.progress = true;
+  opt.progress_stream = &progress;
+
+  const std::vector<CellResult> with = run_shard(plan, 2, 3, opt);
+  const std::vector<CellResult> without = run_shard(plan, 2, 3);
+
+  const std::size_t shard_cells = shard_cell_indices(plan, 2, 3).size();
+  std::istringstream lines(progress.str());
+  std::string line;
+  std::size_t n_lines = 0;
+  while (std::getline(lines, line)) {
+    ++n_lines;
+    EXPECT_EQ(line.rfind("progress: shard 2/3 [", 0), 0u)
+        << "unprefixed progress line: " << line;
+  }
+  EXPECT_EQ(n_lines, shard_cells);
+  const std::string last = "[" + std::to_string(shard_cells) + "/" +
+                           std::to_string(shard_cells) + "]";
+  EXPECT_NE(progress.str().find(last), std::string::npos)
+      << "done/total must count the shard's cells, not the whole plan";
+
+  // Progress is diagnostics only: results identical with and without.
+  ASSERT_EQ(with.size(), without.size());
+  for (std::size_t j = 0; j < with.size(); ++j) {
+    EXPECT_EQ(with[j].stats.time.mean, without[j].stats.time.mean);
+  }
+}
+
+// --- cache atomicity -------------------------------------------------------
+
+TEST(CacheAtomicity, ConcurrentStoresOfOneCellNeverTear) {
+  // Shard processes sharing a cache_dir can race on a cell (e.g. the same
+  // spec launched twice). Writers use unique temp names + rename, so every
+  // load observes a complete record; a torn or interleaved file would fail
+  // cache_load's full-field parse.
+  const ScenarioSpec spec = golden_spec("step_async");
+  const std::vector<CellResult> seed_results = run_sweep(spec);
+  ASSERT_FALSE(seed_results.empty());
+  const CellResult& sample = seed_results.front();
+
+  const std::string dir = scratch_dir("atomic") + "/cache";
+  constexpr std::uint64_t kHash = 0xDEADBEEFCAFEF00DULL;
+  constexpr int kIterations = 200;
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 4; ++w) {
+    writers.emplace_back([&, w]() {
+      CellResult mine = sample;
+      // Distinguishable-but-valid payloads per writer: a reader must see
+      // one of them in full, never a mix.
+      mine.mean_last_start = w;
+      for (int i = 0; i < kIterations; ++i) cache_store(dir, kHash, mine);
+    });
+  }
+  // Wait for the first publication (the writers have just been spawned),
+  // then hammer loads concurrently with the ongoing stores.
+  {
+    CellResult first;
+    while (!cache_load(dir, kHash, &first)) std::this_thread::yield();
+  }
+  std::size_t loads = 0;
+  for (int i = 0; i < kIterations; ++i) {
+    CellResult loaded;
+    if (cache_load(dir, kHash, &loaded)) {
+      ++loads;
+      EXPECT_EQ(loaded.stats.time.mean, sample.stats.time.mean);
+      EXPECT_GE(loaded.mean_last_start, 0.0);
+      EXPECT_LT(loaded.mean_last_start, 4.0);
+    }
+  }
+  for (std::thread& t : writers) t.join();
+  EXPECT_GT(loads, 0u) << "reader never saw a published entry";
+
+  // No temp droppings left behind.
+  std::size_t files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    ++files;
+    EXPECT_EQ(entry.path().extension(), ".cell")
+        << "stray file: " << entry.path();
+  }
+  EXPECT_EQ(files, 1u);
+}
+
+}  // namespace
+}  // namespace ants::scenario

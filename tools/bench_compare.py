@@ -1,9 +1,9 @@
 #!/usr/bin/env python3
-"""Compare a Google Benchmark JSON run against a stored baseline.
+"""Compare Google Benchmark JSON runs against a stored baseline.
 
 Usage:
-    bench_compare.py BASELINE.json CURRENT.json [--max-ratio R]
-                     [--update-baseline]
+    bench_compare.py BASELINE.json CURRENT.json [CURRENT2.json ...]
+                     [--max-ratio R] [--update-baseline]
 
 Prints a per-benchmark table of baseline vs current real_time and the
 current/baseline ratio. When a run was made with --benchmark_repetitions=N,
@@ -11,6 +11,12 @@ each benchmark's repetitions are collapsed to their MEDIAN real_time before
 comparing — the variance-robust statistic the CI gate relies on (a single
 noisy repetition on a shared runner must not fail the job). Benchmarks
 present on only one side are listed but never fail the comparison.
+
+Multiple CURRENT files are pooled into one run before comparing (samples of
+a benchmark appearing in several files are medianed together), so one
+baseline store can span several harness binaries — e.g. micro_engine and
+micro_plane each write their own JSON and gate against the shared
+bench/baseline_engine.json.
 
 With --max-ratio R, exits non-zero if any shared benchmark's median got
 slower than R x its baseline — the CI benchmark-smoke job runs with
@@ -32,22 +38,29 @@ import statistics
 import sys
 
 
-def load_benchmarks(path):
-    """name -> {"real_time": median across repetitions, "time_unit": unit}."""
-    with open(path) as f:
-        data = json.load(f)
+def load_benchmarks(paths):
+    """name -> {"real_time": median across repetitions, "time_unit": unit}.
+
+    `paths` is one path or a list; samples from every file pool into the
+    same median, so a multi-binary run reads as one flat benchmark set.
+    """
+    if isinstance(paths, str):
+        paths = [paths]
     samples = {}
     units = {}
-    for bench in data.get("benchmarks", []):
-        # Aggregate reports (mean/median/stddev rows emitted alongside
-        # repetitions) would double-count; keep plain iterations only and
-        # aggregate ourselves so the statistic is the same with or without
-        # --benchmark_repetitions.
-        if bench.get("run_type", "iteration") != "iteration":
-            continue
-        name = bench["name"]
-        samples.setdefault(name, []).append(float(bench["real_time"]))
-        units[name] = bench.get("time_unit", "ns")
+    for path in paths:
+        with open(path) as f:
+            data = json.load(f)
+        for bench in data.get("benchmarks", []):
+            # Aggregate reports (mean/median/stddev rows emitted alongside
+            # repetitions) would double-count; keep plain iterations only and
+            # aggregate ourselves so the statistic is the same with or
+            # without --benchmark_repetitions.
+            if bench.get("run_type", "iteration") != "iteration":
+                continue
+            name = bench["name"]
+            samples.setdefault(name, []).append(float(bench["real_time"]))
+            units[name] = bench.get("time_unit", "ns")
     return {
         name: {
             "real_time": statistics.median(values),
@@ -58,7 +71,8 @@ def load_benchmarks(path):
 
 
 def write_baseline(path, current_path, current):
-    """Rewrites the baseline store from a run's medians."""
+    """Rewrites the baseline store from a run's medians (context taken from
+    the first current file)."""
     with open(current_path) as f:
         context = json.load(f).get("context", {})
     benchmarks = []
@@ -74,16 +88,13 @@ def write_baseline(path, current_path, current):
     with open(path, "w") as f:
         json.dump({"context": context, "benchmarks": benchmarks}, f, indent=2)
         f.write("\n")
-    print(
-        f"bench_compare: baseline {path} regenerated from {current_path} "
-        f"({len(benchmarks)} benchmarks)"
-    )
+    return len(benchmarks)
 
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
-    parser.add_argument("current")
+    parser.add_argument("current", nargs="+")
     parser.add_argument(
         "--max-ratio",
         type=float,
@@ -104,7 +115,11 @@ def main():
             print("bench_compare: current run has no benchmarks; refusing "
                   "to write an empty baseline")
             return 1
-        write_baseline(args.baseline, args.current, current)
+        n = write_baseline(args.baseline, args.current[0], current)
+        print(
+            f"bench_compare: baseline {args.baseline} regenerated from "
+            f"{', '.join(args.current)} ({n} benchmarks)"
+        )
         return 0
 
     baseline = load_benchmarks(args.baseline)

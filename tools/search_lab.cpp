@@ -13,18 +13,37 @@
 //       Runs every scenario in FILE (text or JSON-lines form, see
 //       docs/scenarios.md), or a single scenario assembled from flags.
 //
+//   search_lab run ... --shard=I/N --shard-out=FILE
+//       Runs only shard I of an N-way split of each scenario's cells
+//       (deterministic partition by cell index) and writes a
+//       self-describing JSONL shard artifact instead of CSV/JSONL rows.
+//       Launch one process per shard — on one machine or many — then
+//       reassemble with `search_lab merge`. With --cache-dir, a killed
+//       shard resumes: the rerun recomputes only cells missing from the
+//       cache.
+//
+//   search_lab merge ARTIFACT... [--csv=PATH] [--jsonl=PATH] [--quiet]
+//       Merges shard artifacts back into the canonical result table —
+//       byte-identical to what the unsharded run would have written
+//       (test-enforced). The spec travels inside the artifacts; merge
+//       refuses mismatched specs, duplicate cells, and missing cells.
+//
 // Output/scheduler flags:
 //   --csv=PATH       write rows as CSV (scenario i > 1 gets PATH.i)
 //   --jsonl=PATH     write rows as JSON lines (same suffix rule)
 //   --quiet          suppress the stdout table
 //   --threads=N      scheduler threads (0 = hardware concurrency)
 //   --cache-dir=DIR  per-cell result cache; re-runs recompute only changed
-//                    cells
-//   --progress       per-cell completion lines on stderr (rows unaffected)
+//                    cells (shards sharing one dir write atomically)
+//   --progress       per-cell completion lines on stderr (rows unaffected;
+//                    sharded runs prefix lines with "shard I/N")
 #include <cstdio>
 #include <exception>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "scenario/environment.h"
@@ -101,11 +120,56 @@ std::string indexed_path(const std::string& path, std::size_t index) {
   return path + "." + std::to_string(index + 1);
 }
 
+/// Parses "--shard=I/N" into 1-based (shard, n_shards); throws on junk.
+std::pair<std::size_t, std::size_t> parse_shard_arg(const std::string& arg) {
+  const std::size_t slash = arg.find('/');
+  std::size_t shard = 0, n_shards = 0;
+  try {
+    if (slash == std::string::npos) throw std::invalid_argument(arg);
+    std::size_t shard_end = 0, n_end = 0;
+    shard = std::stoull(arg.substr(0, slash), &shard_end);
+    const std::string n_text = arg.substr(slash + 1);
+    n_shards = std::stoull(n_text, &n_end);
+    if (shard_end != slash || n_end != n_text.size()) {
+      throw std::invalid_argument(arg);
+    }
+  } catch (const std::exception&) {
+    throw std::invalid_argument("--shard expects I/N (e.g. 2/3), got '" +
+                                arg + "'");
+  }
+  if (n_shards == 0 || shard == 0 || shard > n_shards) {
+    throw std::invalid_argument("--shard=" + arg +
+                                " outside 1/N..N/N");
+  }
+  return {shard, n_shards};
+}
+
 int run_specs(util::Cli& cli) {
   const std::string spec_path = cli.get_string("spec", "");
   const std::string csv_path = cli.get_string("csv", "");
   const std::string jsonl_path = cli.get_string("jsonl", "");
   const bool quiet = cli.get_bool("quiet", false);
+  const std::string shard_arg = cli.get_string("shard", "");
+  const std::string shard_out = cli.get_string("shard-out", "");
+
+  std::size_t shard = 0, n_shards = 0;
+  if (!shard_arg.empty()) {
+    std::tie(shard, n_shards) = parse_shard_arg(shard_arg);
+    if (shard_out.empty()) {
+      std::cerr << "error: --shard requires --shard-out=FILE (the artifact "
+                   "`search_lab merge` reassembles)\n";
+      return 2;
+    }
+    if (!csv_path.empty() || !jsonl_path.empty()) {
+      std::cerr << "error: --shard writes a shard artifact, not result "
+                   "rows; produce the merged CSV/JSONL via `search_lab "
+                   "merge`\n";
+      return 2;
+    }
+  } else if (!shard_out.empty()) {
+    std::cerr << "error: --shard-out only applies with --shard=I/N\n";
+    return 2;
+  }
 
   scenario::SweepOptions sweep_opt;
   sweep_opt.threads = static_cast<unsigned>(cli.get_int("threads", 0));
@@ -129,7 +193,8 @@ int run_specs(util::Cli& cli) {
 
   for (std::size_t i = 0; i < specs.size(); ++i) {
     const scenario::ScenarioSpec& spec = specs[i];
-    // run_sweep validates via flatten(); no separate validate() call here.
+    // run_sweep/run_shard validate via flatten(); no separate validate()
+    // call here.
     if (!quiet) {
       std::cout << "scenario '" << spec.name << "': "
                 << spec.strategies.size() << " strategies x "
@@ -145,6 +210,26 @@ int run_specs(util::Cli& cli) {
       if (spec.is_multi_target()) std::cout << " [multi-target]";
       std::cout << ", " << spec.trials << " trials/cell\n";
     }
+
+    if (n_shards > 0) {
+      // Execute layer only: run this shard's cells, publish the artifact.
+      const scenario::SweepPlan plan = scenario::make_plan(spec);
+      const std::vector<scenario::CellResult> results =
+          scenario::run_shard(plan, shard, n_shards, sweep_opt);
+      const std::string out_path = indexed_path(shard_out, i);
+      scenario::write_shard(out_path, plan, shard, n_shards, results);
+      if (!quiet) {
+        scenario::TableSink table(std::cout);
+        std::vector<scenario::ResultSink*> sinks = {&table};
+        emit_results(spec, results, sinks);
+        std::cout << "(shard " << shard << "/" << n_shards << ": "
+                  << results.size() << " of " << plan.cells.size()
+                  << " cells; artifact written to " << out_path << ")\n";
+        if (i + 1 < specs.size()) std::cout << "\n";
+      }
+      continue;
+    }
+
     const std::vector<scenario::CellResult> results =
         scenario::run_sweep(spec, sweep_opt);
 
@@ -184,19 +269,73 @@ int run_specs(util::Cli& cli) {
   return 0;
 }
 
+/// The merge layer as a subcommand: reassembles shard artifacts into the
+/// canonical table, identical to what the unsharded run would print/write.
+int run_merge(util::Cli& cli) {
+  const std::string csv_path = cli.get_string("csv", "");
+  const std::string jsonl_path = cli.get_string("jsonl", "");
+  const bool quiet = cli.get_bool("quiet", false);
+  cli.finish();
+
+  const std::vector<std::string> artifacts(cli.positional().begin() + 1,
+                                           cli.positional().end());
+  if (artifacts.empty()) {
+    std::cerr << "error: merge needs at least one shard artifact\n";
+    return 2;
+  }
+
+  scenario::ScenarioSpec spec;
+  const std::vector<scenario::CellResult> results =
+      scenario::merge_shards(artifacts, &spec);
+
+  std::vector<scenario::ResultSink*> sinks;
+  scenario::TableSink table(std::cout);
+  if (!quiet) sinks.push_back(&table);
+  std::unique_ptr<scenario::CsvSink> csv;
+  if (!csv_path.empty()) {
+    csv = std::make_unique<scenario::CsvSink>(csv_path);
+    sinks.push_back(csv.get());
+  }
+  std::unique_ptr<scenario::JsonlSink> jsonl;
+  if (!jsonl_path.empty()) {
+    jsonl = std::make_unique<scenario::JsonlSink>(jsonl_path);
+    sinks.push_back(jsonl.get());
+  }
+  emit_results(spec, results, sinks);
+
+  if (!quiet) {
+    std::cout << "(merged " << results.size() << " cells of scenario '"
+              << spec.name << "' from " << artifacts.size()
+              << " shard artifact" << (artifacts.size() == 1 ? "" : "s")
+              << ")\n";
+    if (!csv_path.empty()) {
+      std::cout << "(csv written to " << csv_path << ")\n";
+    }
+    if (!jsonl_path.empty()) {
+      std::cout << "(jsonl written to " << jsonl_path << ")\n";
+    }
+  }
+  return 0;
+}
+
 int usage() {
   std::cerr << "usage: search_lab list\n"
             << "       search_lab run --spec=FILE [flags]\n"
             << "       search_lab run --strategies='a; b(x=1)' --ks=... "
                "--ds=... [flags]\n"
+            << "       search_lab run ... --shard=I/N --shard-out=FILE\n"
+            << "       search_lab merge ARTIFACT... [--csv=PATH] "
+               "[--jsonl=PATH] [--quiet]\n"
             << "see docs/scenarios.md for the spec format and flag list\n";
   return 2;
 }
 
 int run(int argc, char** argv) {
   util::Cli cli(argc, argv);
-  if (cli.positional().size() != 1) return usage();
+  if (cli.positional().empty()) return usage();
   const std::string& command = cli.positional()[0];
+  if (command == "merge") return run_merge(cli);
+  if (cli.positional().size() != 1) return usage();
   if (command == "list") {
     cli.finish();
     return run_list();
