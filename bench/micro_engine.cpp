@@ -18,8 +18,10 @@
 #include "core/known_k.h"
 #include "core/uniform.h"
 #include "plane/strategies.h"
+#include "scenario/sweep.h"
 #include "sim/engine.h"
 #include "sim/trial.h"
+#include "telemetry/run_telemetry.h"
 
 namespace {
 
@@ -210,6 +212,51 @@ void BM_UnifiedTrialPlaneAsync(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_UnifiedTrialPlaneAsync)->Args({4, 16})->Args({16, 64});
+
+// --- sweep executor telemetry overhead --------------------------------------
+
+// The telemetry hooks' zero-cost-when-disabled contract (telemetry/metrics.h)
+// is pinned by this pair: Off runs the sweep executor with the null
+// telemetry pointer every hot-path hook guards on, On runs the identical
+// sweep with a live collector (metrics only — no event log or trace file,
+// so the pair isolates the hook cost from I/O). Off regressing past the
+// gate means disabled telemetry stopped being free; the two drifting far
+// apart means a hook landed somewhere hotter than once per trial.
+ants::scenario::ScenarioSpec sweep_bench_spec() {
+  ants::scenario::ScenarioSpec spec;
+  spec.name = "bench";
+  spec.strategies = {"known-k"};
+  spec.ks = {4};
+  spec.distances = {16};
+  spec.trials = 64;
+  spec.seed = 7;
+  return spec;
+}
+
+void BM_SweepTelemetryOff(benchmark::State& state) {
+  const ants::scenario::ScenarioSpec spec = sweep_bench_spec();
+  ants::scenario::SweepOptions opt;
+  opt.threads = 1;  // inline execution: no thread-spawn noise
+  for (auto _ : state) {
+    const auto results = ants::scenario::run_sweep(spec, opt);
+    benchmark::DoNotOptimize(results.data());
+  }
+}
+BENCHMARK(BM_SweepTelemetryOff);
+
+void BM_SweepTelemetryOn(benchmark::State& state) {
+  const ants::scenario::ScenarioSpec spec = sweep_bench_spec();
+  for (auto _ : state) {
+    ants::telemetry::RunTelemetry tel;
+    ants::scenario::SweepOptions opt;
+    opt.threads = 1;
+    opt.telemetry = &tel;
+    const auto results = ants::scenario::run_sweep(spec, opt);
+    tel.finish();
+    benchmark::DoNotOptimize(results.data());
+  }
+}
+BENCHMARK(BM_SweepTelemetryOn);
 
 }  // namespace
 

@@ -1,9 +1,10 @@
-// Internal minimal JSON utilities shared by the scenario parsers and the
-// shard-artifact reader/writer (spec.cpp, sink.cpp). One flat object per
-// line, values limited to strings, numbers, booleans, and arrays of
-// strings/numbers — exactly what a flat ScenarioSpec or a shard-artifact
-// record needs. No external dependency, fails loudly. Not part of the
-// subsystem's public surface.
+// Internal minimal JSON utilities shared by the scenario parsers, the
+// shard-artifact reader/writer (spec.cpp, sink.cpp), and the telemetry
+// serializers. One object per line; values may be strings, numbers,
+// booleans, arrays, or nested objects (nesting exists for the Chrome trace
+// format's args blocks — scenario and artifact records stay flat). No
+// external dependency, fails loudly. Not part of the subsystem's public
+// surface.
 #pragma once
 
 #include <cctype>
@@ -16,10 +17,17 @@
 namespace ants::scenario::detail {
 
 struct JsonValue {
-  enum class Kind { kString, kNumber, kBool, kArray } kind = Kind::kString;
+  enum class Kind {
+    kString,
+    kNumber,
+    kBool,
+    kArray,
+    kObject
+  } kind = Kind::kString;
   std::string string;  ///< kString: text; kNumber: raw token
   bool boolean = false;
   std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
 };
 
 class JsonLineParser {
@@ -27,12 +35,18 @@ class JsonLineParser {
   explicit JsonLineParser(const std::string& text) : s_(text) {}
 
   std::vector<std::pair<std::string, JsonValue>> parse_object() {
+    std::vector<std::pair<std::string, JsonValue>> out = parse_object_body();
+    finish();
+    return out;
+  }
+
+ private:
+  std::vector<std::pair<std::string, JsonValue>> parse_object_body() {
     std::vector<std::pair<std::string, JsonValue>> out;
     expect('{');
     skip_ws();
     if (peek() == '}') {
       ++pos_;
-      finish();
       return out;
     }
     for (;;) {
@@ -46,11 +60,9 @@ class JsonLineParser {
       if (ch == '}') break;
       if (ch != ',') bad(where() + ": expected ',' or '}'");
     }
-    finish();
     return out;
   }
 
- private:
   JsonValue parse_value() {
     skip_ws();
     JsonValue v;
@@ -58,6 +70,9 @@ class JsonLineParser {
     if (ch == '"') {
       v.kind = JsonValue::Kind::kString;
       v.string = parse_string();
+    } else if (ch == '{') {
+      v.kind = JsonValue::Kind::kObject;
+      v.object = parse_object_body();
     } else if (ch == '[') {
       ++pos_;
       v.kind = JsonValue::Kind::kArray;

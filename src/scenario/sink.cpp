@@ -426,8 +426,9 @@ std::map<std::string, std::string> object_fields(const std::string& path,
     bad_artifact(path, e.what());
   }
   for (auto& [key, value] : parsed) {
-    if (value.kind == detail::JsonValue::Kind::kArray) {
-      bad_artifact(path, "unexpected array value for '" + key + "'");
+    if (value.kind == detail::JsonValue::Kind::kArray ||
+        value.kind == detail::JsonValue::Kind::kObject) {
+      bad_artifact(path, "unexpected non-scalar value for '" + key + "'");
     }
     out[key] = value.kind == detail::JsonValue::Kind::kBool
                    ? (value.boolean ? "1" : "0")
@@ -456,8 +457,26 @@ double field_number(const std::string& path,
 
 }  // namespace
 
+namespace {
+
+/// The fixed prefix every embedded telemetry line starts with — how the
+/// reader recognizes it without a full parse (its cell_hist array would
+/// trip the scalar-only object_fields used for result records).
+constexpr const char* kMetricsLinePrefix = "{\"kind\":\"ants-run-metrics\"";
+
+bool is_metrics_line(const std::string& line) {
+  return line.rfind(kMetricsLinePrefix, 0) == 0;
+}
+
+}  // namespace
+
 void write_shard_artifact(const std::string& path, const ShardHeader& header,
-                          const std::vector<ShardEntry>& entries) {
+                          const std::vector<ShardEntry>& entries,
+                          const std::string* metrics_line) {
+  if (metrics_line != nullptr && !is_metrics_line(*metrics_line)) {
+    bad_artifact(path, "metrics line does not start with " +
+                           std::string(kMetricsLinePrefix));
+  }
   atomic_write(path, [&](std::ostream& out) {
     out << "{\"kind\":\"" << kArtifactKind << "\""
         << ",\"format_version\":" << header.format_version
@@ -467,6 +486,7 @@ void write_shard_artifact(const std::string& path, const ShardHeader& header,
         << ",\"n_cells_total\":" << header.n_cells_total
         << ",\"n_cells_shard\":" << entries.size() << ",\"spec\":\""
         << detail::json_escape(header.spec_text) << "\"}\n";
+    if (metrics_line != nullptr) out << *metrics_line << "\n";
     for (const ShardEntry& entry : entries) {
       out << "{\"cell_index\":" << entry.cell_index;
       for (const AggField& field : kAggFields) {
@@ -479,9 +499,11 @@ void write_shard_artifact(const std::string& path, const ShardHeader& header,
 }
 
 ShardHeader read_shard_artifact(const std::string& path,
-                                std::vector<ShardEntry>* entries) {
+                                std::vector<ShardEntry>* entries,
+                                std::string* metrics_line) {
   std::ifstream in(path);
   if (!in) bad_artifact(path, "cannot open");
+  if (metrics_line != nullptr) metrics_line->clear();
 
   std::string line;
   if (!std::getline(in, line)) bad_artifact(path, "empty file");
@@ -510,12 +532,20 @@ ShardHeader read_shard_artifact(const std::string& path,
   const auto n_cells_shard =
       static_cast<std::size_t>(field_number(path, head, "n_cells_shard"));
 
-  if (entries == nullptr) return header;
-  entries->clear();
+  if (entries == nullptr && metrics_line == nullptr) return header;
+  if (entries != nullptr) entries->clear();
   std::size_t line_no = 1;
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty()) continue;
+    if (is_metrics_line(line)) {
+      // The embedded telemetry record. Passed through verbatim — parsing
+      // (and version validation) is telemetry::metrics_from_json's job, and
+      // a reader that did not ask for it skips it entirely.
+      if (metrics_line != nullptr) *metrics_line = line;
+      continue;
+    }
+    if (entries == nullptr) continue;
     // Errors in a record name the line: a torn or hand-mangled artifact of
     // thousands of cells must not need manual bisection.
     const std::string where = path + ", line " + std::to_string(line_no);
@@ -530,7 +560,7 @@ ShardHeader read_shard_artifact(const std::string& path,
         field_number(where, fields, "from_cache") != 0;
     entries->push_back(std::move(entry));
   }
-  if (entries->size() != n_cells_shard) {
+  if (entries != nullptr && entries->size() != n_cells_shard) {
     bad_artifact(path, "truncated: header promises " +
                            std::to_string(n_cells_shard) + " cells, found " +
                            std::to_string(entries->size()));

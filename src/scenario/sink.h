@@ -137,13 +137,21 @@ struct ShardEntry {
 
 /// Writes header + entries as a shard artifact. Atomic (unique temp file +
 /// rename), so a killed writer never publishes a partial artifact.
+/// `metrics_line` (optional) is one extra self-describing JSON line —
+/// telemetry::metrics_to_json output — written right after the header; it
+/// carries the shard's run telemetry without touching the result records.
 void write_shard_artifact(const std::string& path, const ShardHeader& header,
-                          const std::vector<ShardEntry>& entries);
+                          const std::vector<ShardEntry>& entries,
+                          const std::string* metrics_line = nullptr);
 
 /// Reads an artifact back; throws std::invalid_argument with the path and
 /// line on any malformed content. `entries` may be null to read the header
-/// alone.
+/// alone. `metrics_line` (if non-null) receives the artifact's embedded
+/// telemetry line verbatim, or "" when the artifact carries none — metrics
+/// are optional by design, so artifacts from telemetry-free runs merge
+/// fine.
 ShardHeader read_shard_artifact(const std::string& path,
-                                std::vector<ShardEntry>* entries);
+                                std::vector<ShardEntry>* entries,
+                                std::string* metrics_line = nullptr);
 
 }  // namespace ants::scenario

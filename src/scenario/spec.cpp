@@ -44,6 +44,7 @@ std::string json_scalar_to_text(const std::string& context,
     case JsonValue::Kind::kBool:
       return v.boolean ? "true" : "false";
     case JsonValue::Kind::kArray:
+    case JsonValue::Kind::kObject:
       break;
   }
   bad(context + ": expected a scalar");

@@ -1,6 +1,8 @@
 #include "scenario/sweep.h"
 
+#include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <iostream>
 #include <map>
 #include <mutex>
@@ -12,6 +14,8 @@
 #include "scenario/sink.h"
 #include "scenario/text.h"
 #include "sim/trial.h"
+#include "telemetry/run_telemetry.h"
+#include "util/format.h"
 #include "util/thread_pool.h"
 
 namespace ants::scenario {
@@ -30,9 +34,11 @@ std::vector<CellResult> run_cells(const ScenarioSpec& spec,
   const auto n_cells = cells.size();
   const auto trials = static_cast<std::size_t>(spec.trials);
   const bool async = spec.is_async();
+  telemetry::RunTelemetry* tel = opt.telemetry;
 
   std::mutex progress_mutex;
   std::size_t completed = 0;
+  const std::int64_t run_t0_us = telemetry::now_us();
   std::ostream* progress_out =
       opt.progress_stream != nullptr ? opt.progress_stream : &std::cerr;
   const auto report_cell = [&](const Cell& cell, const char* how) {
@@ -40,16 +46,35 @@ std::vector<CellResult> run_cells(const ScenarioSpec& spec,
     // Count under the print lock so the [n/N] indices are monotone in the
     // output even when cells finish simultaneously.
     const std::lock_guard<std::mutex> lock(progress_mutex);
-    *progress_out << "progress: " << progress_prefix << "[" << ++completed
+    ++completed;
+    // Elapsed / rate / ETA ride at the END of the line: the prefix through
+    // the done|cached token is a stable contract (tests parse it), the tail
+    // is advisory. The ETA extrapolates the observed completion rate, which
+    // assumes the remaining cells cost like the finished ones.
+    const double elapsed_s =
+        static_cast<double>(telemetry::now_us() - run_t0_us) / 1e6;
+    const double rate =
+        static_cast<double>(completed) / std::max(elapsed_s, 1e-9);
+    const double eta_s = static_cast<double>(n_cells - completed) / rate;
+    char tail[96];
+    std::snprintf(tail, sizeof(tail),
+                  " elapsed=%.1fs rate=%.1f/s eta=%.1fs", elapsed_s, rate,
+                  eta_s);
+    *progress_out << "progress: " << progress_prefix << "[" << completed
                   << "/" << n_cells << "] " << spec.name << " "
                   << cell.strategy_name << " k=" << cell.k
                   << " D=" << cell.distance
                   << " placement=" << cell.placement_spec << " " << how
-                  << "\n";
+                  << tail << "\n";
   };
 
   std::vector<CellResult> results(n_cells);
   for (std::size_t i = 0; i < n_cells; ++i) results[i].cell = cells[i];
+
+  // Cells finished so far (cached or computed) — drives the telemetry
+  // heartbeat's done/total, which must not share the progress counter (that
+  // one only advances when progress printing is on).
+  std::atomic<std::uint64_t> cells_done{0};
 
   // Cache pass: cells whose aggregates are already on disk never re-run —
   // also how a killed shard resumes, since finished cells persist as the
@@ -60,7 +85,14 @@ std::vector<CellResult> run_cells(const ScenarioSpec& spec,
         cache_load(opt.cache_dir, cells[i].hash, &results[i])) {
       results[i].from_cache = true;
       report_cell(cells[i], "cached");
+      if (tel != nullptr) {
+        tel->record_cache_hit();
+        tel->cell_end(i, cells[i].strategy_name, cells[i].k,
+                      cells[i].distance, /*cached=*/true, /*duration_us=*/0,
+                      /*trials=*/0, cells_done.fetch_add(1) + 1, n_cells);
+      }
     } else {
+      if (tel != nullptr && !opt.cache_dir.empty()) tel->record_cache_miss();
       pending.push_back(i);
     }
   }
@@ -147,6 +179,15 @@ std::vector<CellResult> run_cells(const ScenarioSpec& spec,
   for (const std::size_t i : pending) {
     remaining[i].store(static_cast<std::int64_t>(trials));
   }
+  // Per-cell wall clock (telemetry only): the worker that runs a cell's
+  // FIRST trial CASes its start timestamp in (and emits cell_start); the
+  // worker that finishes its LAST trial reads it back for the duration.
+  // Cells overlap arbitrarily under the flat (cell, trial) schedule, so a
+  // cell's wall time spans concurrent work on other cells — it measures
+  // latency, not exclusive CPU.
+  std::vector<std::atomic<std::int64_t>> cell_start_us(tel != nullptr
+                                                           ? n_cells
+                                                           : 0);
 
   // Runs on the scheduler thread that completes a cell's LAST trial: the
   // cell's aggregates are final, so they publish to the result slot and the
@@ -171,7 +212,33 @@ std::vector<CellResult> run_cells(const ScenarioSpec& spec,
       cache_store(opt.cache_dir, cells[i].hash, results[i]);
     }
     report_cell(cells[i], "done");
+    if (tel != nullptr) {
+      const std::int64_t duration_us =
+          telemetry::now_us() -
+          cell_start_us[i].load(std::memory_order_relaxed);
+      tel->cell_end(i, cells[i].strategy_name, cells[i].k, cells[i].distance,
+                    /*cached=*/false, duration_us, trials,
+                    cells_done.fetch_add(1) + 1, n_cells);
+    }
   };
+
+  // Trace hookup: one track per scheduler worker, labelled spans named
+  // after the cell. Labels are prebuilt so the per-trial record is just a
+  // push/extend on the worker's own buffer.
+  telemetry::TraceCollector* trace = tel != nullptr ? tel->trace() : nullptr;
+  if (trace != nullptr) {
+    std::vector<std::string> labels(n_cells);
+    for (const std::size_t i : pending) {
+      labels[i] = cells[i].strategy_name + " k=" +
+                  std::to_string(cells[i].k) + " D=" +
+                  std::to_string(cells[i].distance);
+    }
+    trace->begin_workers(
+        util::parallel_workers(pending.size() * trials, opt.threads),
+        std::move(labels));
+  }
+  telemetry::RunTelemetry::PhaseScope execute_scope(
+      tel, telemetry::Phase::kExecute);
 
   // The flat work list is every trial of every pending cell — cells overlap
   // instead of serializing on per-cell barriers. The (cell, trial) mapping
@@ -179,10 +246,20 @@ std::vector<CellResult> run_cells(const ScenarioSpec& spec,
   // not pay O(cells * trials) memory before any work runs.
   util::parallel_for(
       pending.size() * trials,
-      [&](std::size_t item) {
+      [&](std::size_t item, unsigned worker) {
         const std::size_t ci = pending[item / trials];
         const std::size_t trial = item % trials;
         const Cell& cell = cells[ci];
+        const std::int64_t trial_t0 =
+            tel != nullptr ? telemetry::now_us() : 0;
+        if (tel != nullptr &&
+            cell_start_us[ci].load(std::memory_order_relaxed) == 0) {
+          std::int64_t expected = 0;
+          if (cell_start_us[ci].compare_exchange_strong(
+                  expected, trial_t0, std::memory_order_relaxed)) {
+            tel->cell_start(ci, cell.strategy_name, cell.k, cell.distance);
+          }
+        }
         rng::Rng trial_rng(rng::mix_seed(cell.seed, trial));
         // THE executor call site: every cell — any strategy family (grid
         // segment/step or continuous plane), any schedule/crash/targets
@@ -223,12 +300,16 @@ std::vector<CellResult> run_cells(const ScenarioSpec& spec,
           first_target_sum[ci].fetch_add(r.first_target,
                                          std::memory_order_relaxed);
         }
+        if (trace != nullptr) {
+          trace->record_trial(worker, ci, trial_t0, telemetry::now_us());
+        }
         if (remaining[ci].fetch_sub(1, std::memory_order_acq_rel) == 1) {
           finalize_cell(ci);
         }
       },
       opt.threads);
 
+  if (trace != nullptr) trace->end_workers();
   return results;
 }
 
@@ -242,24 +323,44 @@ std::string shard_prefix(std::size_t shard, std::size_t n_shards) {
 
 std::vector<CellResult> run_sweep(const ScenarioSpec& spec,
                                   const SweepOptions& opt) {
+  std::vector<Cell> cells;
+  {
+    const telemetry::RunTelemetry::PhaseScope plan_scope(
+        opt.telemetry, telemetry::Phase::kPlan);
+    cells = flatten(spec);
+  }
+  if (opt.telemetry != nullptr) {
+    opt.telemetry->begin_run(spec.name, cells.size(),
+                             static_cast<std::uint64_t>(spec.trials));
+  }
   // The 1/1 special case of the sharded pipeline: all cells, no prefix.
-  return run_cells(spec, flatten(spec), opt, "");
+  return run_cells(spec, cells, opt, "");
 }
 
 std::vector<CellResult> run_shard(const SweepPlan& plan, std::size_t shard,
                                   std::size_t n_shards,
                                   const SweepOptions& opt) {
-  const std::vector<std::size_t> indices =
-      shard_cell_indices(plan, shard, n_shards);
   std::vector<Cell> cells;
-  cells.reserve(indices.size());
-  for (const std::size_t i : indices) cells.push_back(plan.cells[i]);
+  {
+    const telemetry::RunTelemetry::PhaseScope plan_scope(
+        opt.telemetry, telemetry::Phase::kPlan);
+    const std::vector<std::size_t> indices =
+        shard_cell_indices(plan, shard, n_shards);
+    cells.reserve(indices.size());
+    for (const std::size_t i : indices) cells.push_back(plan.cells[i]);
+  }
+  if (opt.telemetry != nullptr) {
+    opt.telemetry->begin_run(plan.spec.name, cells.size(),
+                             static_cast<std::uint64_t>(plan.spec.trials),
+                             shard, n_shards);
+  }
   return run_cells(plan.spec, cells, opt, shard_prefix(shard, n_shards));
 }
 
 void write_shard(const std::string& path, const SweepPlan& plan,
                  std::size_t shard, std::size_t n_shards,
-                 const std::vector<CellResult>& results) {
+                 const std::vector<CellResult>& results,
+                 const telemetry::RunMetrics* metrics) {
   const std::vector<std::size_t> indices =
       shard_cell_indices(plan, shard, n_shards);
   if (results.size() != indices.size()) {
@@ -295,11 +396,18 @@ void write_shard(const std::string& path, const SweepPlan& plan,
     slim.mean_first_target = full.mean_first_target;
     slim.from_cache = full.from_cache;
   }
-  write_shard_artifact(path, header, entries);
+  if (metrics != nullptr) {
+    const std::string line = telemetry::metrics_to_json(
+        *metrics, plan.spec.name, shard, n_shards);
+    write_shard_artifact(path, header, entries, &line);
+  } else {
+    write_shard_artifact(path, header, entries);
+  }
 }
 
 std::vector<CellResult> merge_shards(const SweepPlan& plan,
-                                     const std::vector<std::string>& paths) {
+                                     const std::vector<std::string>& paths,
+                                     telemetry::RunMetrics* metrics_out) {
   if (paths.empty()) detail::bad("merge_shards: no artifacts given");
   const std::size_t n = plan.cells.size();
   std::vector<CellResult> merged(n);
@@ -307,7 +415,16 @@ std::vector<CellResult> merge_shards(const SweepPlan& plan,
 
   for (const std::string& path : paths) {
     std::vector<ShardEntry> entries;
-    const ShardHeader header = read_shard_artifact(path, &entries);
+    std::string metrics_line;
+    const ShardHeader header =
+        read_shard_artifact(path, &entries, &metrics_line);
+    if (metrics_out != nullptr && !metrics_line.empty()) {
+      // Exact re-aggregation: counter sums plus a bin-wise sketch merge, so
+      // the campaign-level quantiles equal a single process's. An artifact
+      // without a metrics line contributes nothing (telemetry-free shard).
+      metrics_out->merge(telemetry::metrics_from_json(metrics_line, nullptr,
+                                                      nullptr, nullptr));
+    }
     if (header.format_version != cell_format_version()) {
       detail::bad("shard artifact " + path + ": format version " +
                   std::to_string(header.format_version) +
@@ -360,7 +477,8 @@ std::vector<CellResult> merge_shards(const SweepPlan& plan,
 }
 
 std::vector<CellResult> merge_shards(const std::vector<std::string>& paths,
-                                     ScenarioSpec* spec_out) {
+                                     ScenarioSpec* spec_out,
+                                     telemetry::RunMetrics* metrics_out) {
   if (paths.empty()) detail::bad("merge_shards: no artifacts given");
   const ShardHeader header = read_shard_artifact(paths.front(), nullptr);
   const std::vector<ScenarioSpec> specs = parse_spec_text(header.spec_text);
@@ -375,7 +493,7 @@ std::vector<CellResult> merge_shards(const std::vector<std::string>& paths,
                 "by an incompatible build");
   }
   if (spec_out != nullptr) *spec_out = specs.front();
-  return merge_shards(plan, paths);
+  return merge_shards(plan, paths, metrics_out);
 }
 
 }  // namespace ants::scenario

@@ -41,6 +41,11 @@
 #include "scenario/spec.h"
 #include "sim/runner.h"
 
+namespace ants::telemetry {
+class RunTelemetry;
+struct RunMetrics;
+}  // namespace ants::telemetry
+
 namespace ants::scenario {
 
 struct CellResult {
@@ -63,9 +68,18 @@ struct SweepOptions {
   std::string cache_dir;  ///< non-empty enables the per-cell result cache
   /// Per-cell completion lines as the sweep runs. Diagnostics only: output
   /// rows are unaffected (test-enforced). Sharded runs prefix each line
-  /// with "shard i/N" and count done/total local to the shard.
+  /// with "shard i/N" and count done/total local to the shard. Each line
+  /// also carries elapsed wall time, the completion rate, and an ETA
+  /// extrapolated from the cells finished so far.
   bool progress = false;
   std::ostream* progress_stream = nullptr;  ///< nullptr = std::cerr
+  /// Observability sink (telemetry/run_telemetry.h), or nullptr for none.
+  /// Strictly observational: result rows, cache keys, and seeds are
+  /// untouched whether this is set or not (test-enforced against the golden
+  /// CSVs), and a null pointer costs one branch per hook. The sweep calls
+  /// begin_run and the per-cell hooks; finishing (run_end event, trace
+  /// file, metrics JSON) stays with the owner.
+  telemetry::RunTelemetry* telemetry = nullptr;
 };
 
 /// Runs the whole sweep in-process; the result vector parallels
@@ -89,10 +103,13 @@ std::vector<CellResult> run_shard(const SweepPlan& plan, std::size_t shard,
 /// (header line with format version, spec hash, canonical spec text, and
 /// shard coordinates; then one aggregate record per cell). Atomic: written
 /// to a temp file and renamed, so a killed process never publishes a torn
-/// artifact.
+/// artifact. When `metrics` is non-null the shard's RunMetrics ride along
+/// as one extra self-describing line, so merge_shards can aggregate
+/// campaign-level telemetry exactly; readers without telemetry ignore it.
 void write_shard(const std::string& path, const SweepPlan& plan,
                  std::size_t shard, std::size_t n_shards,
-                 const std::vector<CellResult>& results);
+                 const std::vector<CellResult>& results,
+                 const telemetry::RunMetrics* metrics = nullptr);
 
 /// Merge layer: reassembles shard artifacts into the canonical CellResult
 /// vector (parallel to plan.cells), ready for the sinks. Verifies every
@@ -100,14 +117,21 @@ void write_shard(const std::string& path, const SweepPlan& plan,
 /// throws std::invalid_argument on any incompatibility, duplicate cell, or
 /// missing cell. Merged results carry aggregates only (stats.times empty),
 /// exactly like cache hits; rendered rows are identical either way.
+/// `metrics_out` (if non-null) accumulates the per-shard metrics embedded
+/// in the artifacts — counter sums plus an exact bin-wise sketch merge, so
+/// the campaign-level record equals what one process would have counted.
 std::vector<CellResult> merge_shards(const SweepPlan& plan,
-                                     const std::vector<std::string>& paths);
+                                     const std::vector<std::string>& paths,
+                                     telemetry::RunMetrics* metrics_out =
+                                         nullptr);
 
 /// Self-describing merge: derives the plan from the first artifact's
 /// embedded canonical spec (every other artifact must hash-match it) and
 /// returns the merged results; `spec_out` (if non-null) receives the spec
 /// for sink column selection.
 std::vector<CellResult> merge_shards(const std::vector<std::string>& paths,
-                                     ScenarioSpec* spec_out);
+                                     ScenarioSpec* spec_out,
+                                     telemetry::RunMetrics* metrics_out =
+                                         nullptr);
 
 }  // namespace ants::scenario

@@ -5,6 +5,7 @@
 
 #include "rng/splitmix64.h"
 #include "sim/metrics.h"
+#include "telemetry/metrics.h"
 #include "util/thread_pool.h"
 
 namespace ants::sim {
@@ -66,6 +67,8 @@ AsyncRunStats run_env_trials(const TrialStrategy& strategy, int k,
   util::parallel_for(
       n,
       [&](std::size_t trial) {
+        const std::int64_t t0 =
+            config.trial_duration != nullptr ? telemetry::now_us() : 0;
         rng::Rng trial_rng(rng::mix_seed(config.seed, trial));
         TrialEnvironment env;
         if (plane) {
@@ -87,6 +90,11 @@ AsyncRunStats run_env_trials(const TrialStrategy& strategy, int k,
           found.fetch_add(1, std::memory_order_relaxed);
           first_target_sum.fetch_add(r.first_target,
                                      std::memory_order_relaxed);
+        }
+        if (config.trial_counter != nullptr) config.trial_counter->add();
+        if (config.trial_duration != nullptr) {
+          config.trial_duration->add_us(
+              static_cast<double>(telemetry::now_us() - t0));
         }
       },
       config.threads);

@@ -24,6 +24,11 @@
 #include "sim/types.h"
 #include "stats/summary.h"
 
+namespace ants::telemetry {
+class Counter;
+class DurationSketch;
+}  // namespace ants::telemetry
+
 namespace ants::sim {
 
 struct RunConfig {
@@ -31,6 +36,14 @@ struct RunConfig {
   std::uint64_t seed = 0x5EEDF00DULL;
   Time time_cap = kNeverTime;  ///< per-trial cap (censored if exceeded)
   unsigned threads = 0;        ///< 0 = hardware concurrency
+  /// Optional telemetry hooks (telemetry/metrics.h) for callers that drive
+  /// the runner directly (experiment binaries; the sweep scheduler has its
+  /// own loop and hooks). Strictly observational — results are unaffected
+  /// — and null hooks cost one branch per trial. trial_counter tallies
+  /// executed trials; trial_duration records each trial's wall
+  /// microseconds.
+  telemetry::Counter* trial_counter = nullptr;
+  telemetry::DurationSketch* trial_duration = nullptr;
 };
 
 struct RunStats {

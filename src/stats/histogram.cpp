@@ -30,6 +30,56 @@ void Histogram::add(double x) noexcept {
   ++counts_[bin];
 }
 
+void Histogram::add_count(std::size_t bin, std::uint64_t n) {
+  counts_.at(bin) += n;
+  total_ += n;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.lo_ != lo_ || other.hi_ != hi_ ||
+      other.counts_.size() != counts_.size()) {
+    throw std::invalid_argument(
+        "Histogram::merge: binning mismatch (merge requires identical "
+        "lo/hi/bins)");
+  }
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    counts_[b] += other.counts_[b];
+  }
+  total_ += other.total_;
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+}
+
+double Histogram::quantile(double p) const {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw std::invalid_argument("Histogram::quantile: p outside [0, 1]");
+  }
+  if (total_ == 0) return std::nan("");
+  // The rank is continuous in [0, total]; walk the cumulative counts and
+  // interpolate inside the bin that crosses it. p = 0 and p = 1 resolve to
+  // the edges of the first/last occupied bin.
+  const double rank = p * static_cast<double>(total_);
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) continue;
+    const double before = static_cast<double>(cum);
+    cum += counts_[b];
+    if (rank <= static_cast<double>(cum)) {
+      const double frac =
+          counts_[b] == 0
+              ? 0.0
+              : (rank - before) / static_cast<double>(counts_[b]);
+      return bin_lo(b) + width_ * std::min(1.0, std::max(0.0, frac));
+    }
+  }
+  // Numerically unreachable (rank <= total by construction); return the
+  // upper edge of the last occupied bin.
+  for (std::size_t b = counts_.size(); b-- > 0;) {
+    if (counts_[b] != 0) return bin_hi(b);
+  }
+  return std::nan("");
+}
+
 double Histogram::bin_lo(std::size_t bin) const {
   return lo_ + width_ * static_cast<double>(bin);
 }
@@ -39,10 +89,14 @@ double Histogram::bin_hi(std::size_t bin) const {
 }
 
 std::string Histogram::render(std::size_t max_width) const {
+  // An empty histogram used to render as a full wall of zero-count bins —
+  // indistinguishable at a glance from real all-zero data and useless in a
+  // report. Say so instead.
+  if (total_ == 0) return "(empty: 0 samples)\n";
   std::uint64_t peak = 1;
   for (const auto c : counts_) peak = std::max(peak, c);
   std::string out;
-  char label[64];
+  char label[96];
   for (std::size_t b = 0; b < counts_.size(); ++b) {
     std::snprintf(label, sizeof(label), "[%10.1f, %10.1f) %8llu ", bin_lo(b),
                   bin_hi(b), static_cast<unsigned long long>(counts_[b]));
@@ -52,6 +106,15 @@ std::string Histogram::render(std::size_t max_width) const {
         static_cast<double>(max_width));
     out.append(bar, '#');
     out += '\n';
+  }
+  // Saturated samples sit inside the edge bins' counts; the bin labels
+  // alone would misread them as in-range values.
+  if (underflow_ > 0 || overflow_ > 0) {
+    std::snprintf(label, sizeof(label),
+                  "(saturated: %llu below lo, %llu at/above hi)\n",
+                  static_cast<unsigned long long>(underflow_),
+                  static_cast<unsigned long long>(overflow_));
+    out += label;
   }
   return out;
 }

@@ -1,5 +1,6 @@
 // Fixed-bin histograms (linear or base-2 logarithmic) used by the
-// trajectory/visitation analyses and the distribution tests.
+// trajectory/visitation analyses, the distribution tests, and the run
+// telemetry's duration sketches (src/telemetry/metrics.h).
 #pragma once
 
 #include <cstddef>
@@ -17,15 +18,38 @@ class Histogram {
 
   void add(double x) noexcept;
 
+  /// Counts `n` samples directly into bin `bin` (used to rebuild a
+  /// serialized histogram, e.g. a telemetry sketch read back from a shard
+  /// artifact). Throws std::out_of_range on a bad bin index.
+  void add_count(std::size_t bin, std::uint64_t n);
+
+  /// Bin-wise sum of another histogram with the IDENTICAL binning (same lo,
+  /// hi, and bin count — throws std::invalid_argument otherwise). Exact:
+  /// merging shard sketches then asking for a quantile equals asking the
+  /// single-run sketch, which is what lets sharded sweeps aggregate
+  /// distributions without raw samples.
+  void merge(const Histogram& other);
+
   std::size_t bins() const noexcept { return counts_.size(); }
   std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
   std::uint64_t total() const noexcept { return total_; }
   std::uint64_t underflow() const noexcept { return underflow_; }
   std::uint64_t overflow() const noexcept { return overflow_; }
+  double lo() const noexcept { return lo_; }
+  double hi() const noexcept { return hi_; }
   double bin_lo(std::size_t bin) const;
   double bin_hi(std::size_t bin) const;
 
-  /// Plain-text rendering with proportional bars (for examples).
+  /// The p-quantile (p in [0, 1]) with linear interpolation inside the
+  /// winning bin. Resolution is one bin width; saturated out-of-range
+  /// samples read as their edge bin. Returns NaN for an empty histogram;
+  /// throws std::invalid_argument on p outside [0, 1].
+  double quantile(double p) const;
+
+  /// Plain-text rendering with proportional bars (for examples and
+  /// `search_lab report --hist`). An empty histogram renders as a single
+  /// "(empty)" line instead of a wall of zero-count bins; saturated
+  /// underflow/overflow counts are annotated when present.
   std::string render(std::size_t max_width = 50) const;
 
  private:

@@ -1,0 +1,74 @@
+// Structured JSONL event log: one flat JSON object per line, appended and
+// flushed as the run progresses so a tail -f (or the future campaign
+// daemon) watches a live run.
+//
+// Event kinds and their fields (every event also carries "event" and
+// "ts_ms", wall milliseconds since the Unix epoch):
+//
+//   run_start   scenario, cells, trials_per_cell, shard, n_shards
+//   cell_start  cell (plan index), name (strategy), k, D
+//   cell_end    cell, name, k, D, status ("computed"|"cached"),
+//               duration_ms (0 for cached), trials
+//   heartbeat   done, total, trials_executed — emitted at most once per
+//               heartbeat interval as cells finish, so a silent shard can
+//               be told apart from a stuck one by log mtime alone
+//   run_end     cells_computed, cells_cached, trials_executed, duration_ms
+//
+// The schema is append-only: consumers must ignore unknown fields and
+// unknown kinds (CI validates exactly this contract with a python
+// one-liner). Writing is mutex-serialized — events come from cell
+// completions, not trials, so the lock is cold.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ants::telemetry {
+
+/// Builder for one event line. Field order is preserved as written.
+class Event {
+ public:
+  explicit Event(std::string kind) : kind_(std::move(kind)) {}
+
+  Event& num(const std::string& name, std::int64_t value);
+  Event& num(const std::string& name, std::uint64_t value);
+  Event& num_ms(const std::string& name, double ms);  ///< fractional ms
+  Event& str(const std::string& name, const std::string& value);
+
+  /// The serialized line (no trailing newline); `ts_ms` is stamped by the
+  /// log at write time, so one Event can only be written once.
+  std::string render(std::int64_t ts_ms) const;
+
+  const std::string& kind() const { return kind_; }
+
+ private:
+  std::string kind_;
+  std::vector<std::pair<std::string, std::string>> fields_;  ///< raw JSON
+};
+
+/// Thread-safe JSONL writer. Opens the file eagerly (throws
+/// std::runtime_error on failure — a telemetry path that cannot be written
+/// is a configuration error, not something to drop silently) and flushes
+/// every line.
+class EventLog {
+ public:
+  explicit EventLog(const std::string& path);
+  /// Test/embedding constructor: events go to `os`, which must outlive the
+  /// log.
+  explicit EventLog(std::ostream& os);
+
+  void write(const Event& event);
+
+ private:
+  std::mutex mutex_;
+  std::unique_ptr<std::ofstream> owned_;
+  std::ostream* out_;
+};
+
+}  // namespace ants::telemetry

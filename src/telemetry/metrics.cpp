@@ -1,0 +1,239 @@
+#include "telemetry/metrics.h"
+
+#include <chrono>
+#include <cmath>
+
+#include "scenario/json.h"
+#include "util/format.h"
+
+namespace ants::telemetry {
+
+std::int64_t now_us() noexcept {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::int64_t wall_ms() noexcept {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+// --- DurationSketch --------------------------------------------------------
+
+DurationSketch::DurationSketch(const DurationSketch& other)
+    : hist_(kLog2Lo, kLog2Hi, kBins) {
+  const std::lock_guard<std::mutex> lock(other.mutex_);
+  hist_ = other.hist_;
+}
+
+DurationSketch& DurationSketch::operator=(const DurationSketch& other) {
+  if (this == &other) return *this;
+  stats::Histogram copy(kLog2Lo, kLog2Hi, kBins);
+  {
+    const std::lock_guard<std::mutex> lock(other.mutex_);
+    copy = other.hist_;
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  hist_ = copy;
+  return *this;
+}
+
+void DurationSketch::add_us(double us) {
+  // log2 of anything below 1 us would go negative; saturate at the first
+  // bin instead (the histogram's underflow handling does exactly that).
+  const double x = us < 1.0 ? kLog2Lo - 1.0 : std::log2(us);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  hist_.add(x);
+}
+
+double DurationSketch::quantile_us(double p) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const double log2_q = hist_.quantile(p);
+  return std::isnan(log2_q) ? log2_q : std::exp2(log2_q);
+}
+
+std::uint64_t DurationSketch::total() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return hist_.total();
+}
+
+void DurationSketch::merge(const DurationSketch& other) {
+  // Snapshot first so self-merge and lock order are non-issues.
+  const stats::Histogram theirs = other.log2_histogram();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  hist_.merge(theirs);
+}
+
+std::vector<std::pair<std::size_t, std::uint64_t>>
+DurationSketch::sparse_bins() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::size_t, std::uint64_t>> out;
+  for (std::size_t b = 0; b < hist_.bins(); ++b) {
+    if (hist_.count(b) > 0) out.emplace_back(b, hist_.count(b));
+  }
+  return out;
+}
+
+void DurationSketch::add_sparse_bins(
+    const std::vector<std::pair<std::size_t, std::uint64_t>>& bins) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [bin, count] : bins) hist_.add_count(bin, count);
+}
+
+stats::Histogram DurationSketch::log2_histogram() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return hist_;
+}
+
+// --- RunMetrics ------------------------------------------------------------
+
+double RunMetrics::trials_per_sec() const noexcept {
+  if (trials_executed == 0 || execute_us <= 0) return 0.0;
+  return static_cast<double>(trials_executed) /
+         (static_cast<double>(execute_us) / 1e6);
+}
+
+void RunMetrics::merge(const RunMetrics& other) {
+  cells_total += other.cells_total;
+  cells_computed += other.cells_computed;
+  cells_cached += other.cells_cached;
+  trials_executed += other.trials_executed;
+  cache_hits += other.cache_hits;
+  cache_misses += other.cache_misses;
+  plan_us += other.plan_us;
+  execute_us += other.execute_us;
+  merge_us += other.merge_us;
+  cell_duration.merge(other.cell_duration);
+}
+
+// --- JSON (de)serialization ------------------------------------------------
+
+namespace {
+
+constexpr const char* kMetricsKind = "ants-run-metrics";
+constexpr int kMetricsFormatVersion = 1;
+
+/// Milliseconds with microsecond math kept exact until the final render.
+std::string fmt_ms(std::int64_t us) {
+  return util::fmt_exact(static_cast<double>(us) / 1000.0);
+}
+
+/// NaN (empty sketch) must not leak into the JSON — emit 0 instead.
+std::string fmt_quantile_ms(const DurationSketch& sketch, double p) {
+  const double us = sketch.quantile_us(p);
+  return util::fmt_exact(std::isnan(us) ? 0.0 : us / 1000.0);
+}
+
+}  // namespace
+
+std::string metrics_to_json(const RunMetrics& metrics,
+                            const std::string& scenario, std::size_t shard,
+                            std::size_t n_shards) {
+  std::string out = "{";
+  out += "\"kind\":\"" + std::string(kMetricsKind) + "\"";
+  out += ",\"format_version\":" + std::to_string(kMetricsFormatVersion);
+  out += ",\"scenario\":\"" + scenario::detail::json_escape(scenario) + "\"";
+  out += ",\"shard\":" + std::to_string(shard);
+  out += ",\"n_shards\":" + std::to_string(n_shards);
+  out += ",\"cells_total\":" + std::to_string(metrics.cells_total);
+  out += ",\"cells_computed\":" + std::to_string(metrics.cells_computed);
+  out += ",\"cells_cached\":" + std::to_string(metrics.cells_cached);
+  out += ",\"trials_executed\":" + std::to_string(metrics.trials_executed);
+  out += ",\"cache_hits\":" + std::to_string(metrics.cache_hits);
+  out += ",\"cache_misses\":" + std::to_string(metrics.cache_misses);
+  out += ",\"plan_ms\":" + fmt_ms(metrics.plan_us);
+  out += ",\"execute_ms\":" + fmt_ms(metrics.execute_us);
+  out += ",\"merge_ms\":" + fmt_ms(metrics.merge_us);
+  out += ",\"trials_per_sec\":" + util::fmt_exact(metrics.trials_per_sec());
+  out += ",\"cell_p50_ms\":" + fmt_quantile_ms(metrics.cell_duration, 0.50);
+  out += ",\"cell_p90_ms\":" + fmt_quantile_ms(metrics.cell_duration, 0.90);
+  out += ",\"cell_p99_ms\":" + fmt_quantile_ms(metrics.cell_duration, 0.99);
+  // The sketch itself travels as flat (bin, count) pairs so a reader (or
+  // merge_shards) can re-aggregate exactly; the _ms quantiles above are
+  // derived convenience values.
+  out += ",\"cell_hist_bins\":" + std::to_string(DurationSketch::kBins);
+  out += ",\"cell_hist\":[";
+  bool first = true;
+  for (const auto& [bin, count] : metrics.cell_duration.sparse_bins()) {
+    if (!first) out += ",";
+    first = false;
+    out += std::to_string(bin) + "," + std::to_string(count);
+  }
+  out += "]}";
+  return out;
+}
+
+RunMetrics metrics_from_json(const std::string& line, std::string* scenario,
+                             std::size_t* shard, std::size_t* n_shards) {
+  namespace det = scenario::detail;
+  det::JsonLineParser parser(line);
+  const auto fields = parser.parse_object();
+  const auto find = [&](const char* key) -> const det::JsonValue* {
+    for (const auto& [name, value] : fields) {
+      if (name == key) return &value;
+    }
+    return nullptr;
+  };
+  const auto number = [&](const char* key) -> double {
+    const det::JsonValue* v = find(key);
+    if (v == nullptr || v->kind != det::JsonValue::Kind::kNumber) {
+      det::bad("run metrics: missing numeric field '" + std::string(key) +
+               "'");
+    }
+    return det::parse_double("run metrics", v->string);
+  };
+
+  const det::JsonValue* kind = find("kind");
+  if (kind == nullptr || kind->string != kMetricsKind) {
+    det::bad("run metrics: not a " + std::string(kMetricsKind) + " record");
+  }
+  if (static_cast<int>(number("format_version")) != kMetricsFormatVersion) {
+    det::bad("run metrics: unsupported format version");
+  }
+
+  RunMetrics m;
+  m.cells_total = static_cast<std::uint64_t>(number("cells_total"));
+  m.cells_computed = static_cast<std::uint64_t>(number("cells_computed"));
+  m.cells_cached = static_cast<std::uint64_t>(number("cells_cached"));
+  m.trials_executed = static_cast<std::uint64_t>(number("trials_executed"));
+  m.cache_hits = static_cast<std::uint64_t>(number("cache_hits"));
+  m.cache_misses = static_cast<std::uint64_t>(number("cache_misses"));
+  // llround, not truncation: us -> ms -> us crosses two float roundings, and
+  // truncating x.99999... would silently lose a microsecond.
+  m.plan_us = std::llround(number("plan_ms") * 1000.0);
+  m.execute_us = std::llround(number("execute_ms") * 1000.0);
+  m.merge_us = std::llround(number("merge_ms") * 1000.0);
+
+  if (static_cast<std::size_t>(number("cell_hist_bins")) !=
+      DurationSketch::kBins) {
+    det::bad("run metrics: incompatible sketch binning");
+  }
+  const det::JsonValue* hist = find("cell_hist");
+  if (hist == nullptr || hist->kind != det::JsonValue::Kind::kArray ||
+      hist->array.size() % 2 != 0) {
+    det::bad("run metrics: malformed cell_hist (expects bin,count pairs)");
+  }
+  std::vector<std::pair<std::size_t, std::uint64_t>> bins;
+  for (std::size_t i = 0; i + 1 < hist->array.size(); i += 2) {
+    bins.emplace_back(
+        static_cast<std::size_t>(
+            det::parse_double("cell_hist bin", hist->array[i].string)),
+        static_cast<std::uint64_t>(
+            det::parse_double("cell_hist count", hist->array[i + 1].string)));
+  }
+  m.cell_duration.add_sparse_bins(bins);
+
+  if (scenario != nullptr) {
+    const det::JsonValue* name = find("scenario");
+    *scenario = name != nullptr ? name->string : "";
+  }
+  if (shard != nullptr) *shard = static_cast<std::size_t>(number("shard"));
+  if (n_shards != nullptr) {
+    *n_shards = static_cast<std::size_t>(number("n_shards"));
+  }
+  return m;
+}
+
+}  // namespace ants::telemetry

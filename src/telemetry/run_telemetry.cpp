@@ -1,0 +1,157 @@
+#include "telemetry/run_telemetry.h"
+
+#include <utility>
+
+#include "util/format.h"
+
+namespace ants::telemetry {
+
+RunTelemetry::RunTelemetry(TelemetryConfig config)
+    : config_(std::move(config)) {
+  if (!config_.events_path.empty()) {
+    events_ = std::make_unique<EventLog>(config_.events_path);
+  }
+  if (!config_.trace_path.empty()) {
+    trace_ = std::make_unique<TraceCollector>();
+  }
+}
+
+RunTelemetry::RunTelemetry(TelemetryConfig config, std::ostream& events_os)
+    : config_(std::move(config)),
+      events_(std::make_unique<EventLog>(events_os)),
+      trace_(std::make_unique<TraceCollector>()) {}
+
+void RunTelemetry::begin_run(const std::string& scenario, std::uint64_t cells,
+                             std::uint64_t trials_per_cell, std::size_t shard,
+                             std::size_t n_shards) {
+  scenario_ = scenario;
+  cells_total_ = cells;
+  shard_ = shard;
+  n_shards_ = n_shards == 0 ? 1 : n_shards;
+  run_start_us_ = now_us();
+  last_heartbeat_ms_.store(wall_ms(), std::memory_order_relaxed);
+  if (events_) {
+    events_->write(Event("run_start")
+                       .str("scenario", scenario_)
+                       .num("cells", cells)
+                       .num("trials_per_cell", trials_per_cell)
+                       .num("shard", static_cast<std::uint64_t>(shard_))
+                       .num("n_shards", static_cast<std::uint64_t>(n_shards_)));
+  }
+}
+
+void RunTelemetry::cell_start(std::size_t cell, const std::string& name,
+                              std::int64_t k, std::int64_t distance) {
+  if (events_) {
+    events_->write(Event("cell_start")
+                       .num("cell", static_cast<std::uint64_t>(cell))
+                       .str("name", name)
+                       .num("k", k)
+                       .num("D", distance));
+  }
+}
+
+void RunTelemetry::cell_end(std::size_t cell, const std::string& name,
+                            std::int64_t k, std::int64_t distance, bool cached,
+                            std::int64_t duration_us, std::uint64_t trials,
+                            std::uint64_t done, std::uint64_t total) {
+  if (cached) {
+    metrics_.cells_cached.add();
+  } else {
+    metrics_.cells_computed.add();
+    metrics_.trials_executed.add(trials);
+    metrics_.cell_duration.add_us(static_cast<double>(duration_us));
+  }
+  if (!events_) return;
+  events_->write(Event("cell_end")
+                     .num("cell", static_cast<std::uint64_t>(cell))
+                     .str("name", name)
+                     .num("k", k)
+                     .num("D", distance)
+                     .str("status", cached ? "cached" : "computed")
+                     .num_ms("duration_ms",
+                             static_cast<double>(duration_us) / 1000.0)
+                     .num("trials", trials));
+
+  // Heartbeat, rate-limited by wall time. compare_exchange keeps exactly
+  // one of several concurrently finishing cells as the emitter.
+  const std::int64_t now = wall_ms();
+  std::int64_t last = last_heartbeat_ms_.load(std::memory_order_relaxed);
+  if (now - last < config_.heartbeat_interval_ms) return;
+  if (!last_heartbeat_ms_.compare_exchange_strong(last, now,
+                                                  std::memory_order_relaxed)) {
+    return;
+  }
+  events_->write(Event("heartbeat")
+                     .num("done", done)
+                     .num("total", total)
+                     .num("trials_executed", metrics_.trials_executed.value()));
+}
+
+void RunTelemetry::add_phase_us(Phase phase, std::int64_t us) {
+  switch (phase) {
+    case Phase::kPlan: metrics_.plan.add_us(us); break;
+    case Phase::kExecute: metrics_.execute.add_us(us); break;
+    case Phase::kMerge: metrics_.merge.add_us(us); break;
+  }
+}
+
+const char* RunTelemetry::phase_name(Phase phase) {
+  switch (phase) {
+    case Phase::kPlan: return "plan";
+    case Phase::kExecute: return "execute";
+    case Phase::kMerge: return "merge";
+  }
+  return "?";
+}
+
+void RunTelemetry::add_phase_span(Phase phase, std::int64_t start_us,
+                                  std::int64_t end_us) {
+  if (trace_) trace_->add_phase_span(phase_name(phase), start_us, end_us);
+}
+
+RunTelemetry::PhaseScope::~PhaseScope() {
+  if (telemetry_ == nullptr) return;
+  const std::int64_t end = now_us();
+  telemetry_->add_phase_us(phase_, end - start_us_);
+  telemetry_->add_phase_span(phase_, start_us_, end);
+}
+
+void RunTelemetry::finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (events_) {
+    const double duration_ms =
+        static_cast<double>(now_us() - run_start_us_) / 1000.0;
+    events_->write(
+        Event("run_end")
+            .num("cells_computed", metrics_.cells_computed.value())
+            .num("cells_cached", metrics_.cells_cached.value())
+            .num("trials_executed", metrics_.trials_executed.value())
+            .num_ms("duration_ms", duration_ms));
+  }
+  if (trace_ && !config_.trace_path.empty()) {
+    trace_->write(config_.trace_path);
+  }
+}
+
+RunMetrics RunTelemetry::snapshot() const {
+  RunMetrics m;
+  m.cells_total = cells_total_;
+  m.cells_computed = metrics_.cells_computed.value();
+  m.cells_cached = metrics_.cells_cached.value();
+  m.trials_executed = metrics_.trials_executed.value();
+  m.cache_hits = metrics_.cache_hits.value();
+  m.cache_misses = metrics_.cache_misses.value();
+  m.plan_us = metrics_.plan.value_us();
+  m.execute_us = metrics_.execute.value_us();
+  m.merge_us = metrics_.merge.value_us();
+  m.cell_duration = metrics_.cell_duration;
+  return m;
+}
+
+std::string RunTelemetry::metrics_json() const {
+  return metrics_to_json(snapshot(), scenario_, shard_, n_shards_);
+}
+
+}  // namespace ants::telemetry

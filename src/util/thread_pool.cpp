@@ -14,14 +14,22 @@ unsigned default_thread_count() {
   return hw == 0 ? 1 : hw;
 }
 
-void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+unsigned parallel_workers(std::size_t n, unsigned threads) {
+  if (n <= 1) return 1;
+  if (threads == 0) threads = default_thread_count();
+  return static_cast<unsigned>(std::max<std::size_t>(
+      std::min<std::size_t>(threads, n), 1));
+}
+
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t, unsigned)>& body,
                   unsigned threads) {
   // Trivial work runs inline before anything else is even computed: no
   // hardware_concurrency query, no thread spawn/join. Sweep schedulers call
   // this per cell, so the n <= 1 path must stay free.
   if (n == 0) return;
   if (n == 1) {
-    body(0);
+    body(0, 0);
     return;
   }
   if (threads == 0) threads = default_thread_count();
@@ -29,7 +37,7 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
       std::min<std::size_t>(threads, n));
 
   if (threads <= 1) {
-    for (std::size_t i = 0; i < n; ++i) body(i);
+    for (std::size_t i = 0; i < n; ++i) body(i, 0);
     return;
   }
 
@@ -40,12 +48,12 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
   // idle behind one unlucky chunk.
   std::atomic<std::size_t> next{0};
 
-  const auto worker = [&] {
+  const auto worker = [&](unsigned id) {
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
       try {
-        body(i);
+        body(i, id);
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
@@ -55,11 +63,18 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
 
   std::vector<std::thread> pool;
   pool.reserve(threads - 1);
-  for (unsigned t = 0; t + 1 < threads; ++t) pool.emplace_back(worker);
-  worker();
+  // The calling thread takes worker id 0; spawned workers take 1..threads-1.
+  for (unsigned t = 1; t < threads; ++t) pool.emplace_back(worker, t);
+  worker(0);
   for (auto& th : pool) th.join();
 
   if (first_error) std::rethrow_exception(first_error);
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  unsigned threads) {
+  parallel_for(
+      n, [&body](std::size_t i, unsigned) { body(i); }, threads);
 }
 
 }  // namespace ants::util

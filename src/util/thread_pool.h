@@ -20,6 +20,19 @@ namespace ants::util {
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
                   unsigned threads = 0);
 
+/// As above, but the body also receives the index of the worker running it
+/// (a dense id in [0, parallel_workers(n, threads))). The id identifies the
+/// OS thread for the duration of the call — telemetry uses it to attribute
+/// items to trace tracks without thread-local state. Inline execution
+/// (n <= 1 or one effective thread) reports worker 0.
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t, unsigned)>& body,
+                  unsigned threads = 0);
+
+/// The number of workers a parallel_for(n, ..., threads) call will use —
+/// for pre-sizing per-worker buffers.
+unsigned parallel_workers(std::size_t n, unsigned threads = 0);
+
 /// Hardware concurrency with a sane floor of 1.
 unsigned default_thread_count();
 

@@ -3,6 +3,12 @@
 # CMakeLists); keeps the binary-level path under the same regression pin as
 # the library-level scenario_golden_test.
 #
+# The run executes with the full telemetry surface enabled (metrics, event
+# log, Chrome trace written next to OUT), so every golden invocation also
+# enforces the strict-observation contract at the binary level: a telemetry
+# hook that perturbed a result row would break the byte-compare. CI uploads
+# the telemetry files as diffing artifacts.
+#
 #   cmake -DSEARCH_LAB=<bin> -DSPEC=<spec> -DGOLDEN=<csv> -DOUT=<csv>
 #         -P run_golden.cmake
 foreach(var SEARCH_LAB SPEC GOLDEN OUT)
@@ -13,6 +19,9 @@ endforeach()
 
 execute_process(
   COMMAND ${SEARCH_LAB} run --spec=${SPEC} --csv=${OUT} --quiet
+          --metrics-out=${OUT}.metrics.json
+          --events=${OUT}.events.jsonl
+          --trace=${OUT}.trace.json
   RESULT_VARIABLE run_result)
 if(NOT run_result EQUAL 0)
   message(FATAL_ERROR "search_lab failed (${run_result}) on ${SPEC}")

@@ -22,12 +22,19 @@ file(REMOVE_RECURSE ${OUT_DIR})
 file(MAKE_DIRECTORY ${OUT_DIR})
 set(cache_dir ${OUT_DIR}/cache)
 
+# Each shard also writes its telemetry (metrics + event log) next to its
+# artifact: the shard artifact embeds the metrics record, so the final
+# merge re-aggregates them, and CI uploads the per-shard files for
+# monitoring-pipeline debugging. Strictly observational — the byte-compare
+# below proves the merged CSV is unaffected.
 function(run_one_shard shard)
   execute_process(
     COMMAND ${SEARCH_LAB} run --spec=${SPEC}
             --shard=${shard}/${N_SHARDS}
             --shard-out=${OUT_DIR}/shard_${shard}.jsonl
             --cache-dir=${cache_dir} --quiet
+            --metrics-out=${OUT_DIR}/shard_${shard}.metrics.json
+            --events=${OUT_DIR}/shard_${shard}.events.jsonl
     RESULT_VARIABLE run_result)
   if(NOT run_result EQUAL 0)
     message(FATAL_ERROR
@@ -64,7 +71,7 @@ endif()
 
 execute_process(
   COMMAND ${SEARCH_LAB} merge ${artifacts} --csv=${OUT_DIR}/merged.csv
-          --quiet
+          --metrics-out=${OUT_DIR}/merged.metrics.json --quiet
   RESULT_VARIABLE merge_result)
 if(NOT merge_result EQUAL 0)
   message(FATAL_ERROR "search_lab merge failed (${merge_result})")

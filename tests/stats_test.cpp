@@ -146,6 +146,84 @@ TEST(Histogram, Validation) {
   EXPECT_THROW(Histogram(0, 1, 0), std::invalid_argument);
 }
 
+TEST(Histogram, EmptyRenderSaysEmptyAndQuantileIsNaN) {
+  const Histogram h(0, 10, 5);
+  EXPECT_EQ(h.render(), "(empty: 0 samples)\n");
+  EXPECT_TRUE(std::isnan(h.quantile(0.5)));
+}
+
+TEST(Histogram, RenderAnnotatesSaturation) {
+  Histogram h(0, 4, 2);
+  h.add(1);
+  h.add(-5);  // saturates into bin 0
+  h.add(99);  // saturates into bin 1
+  const std::string out = h.render(10);
+  EXPECT_NE(out.find("saturated: 1 below lo, 1 at/above hi"),
+            std::string::npos);
+}
+
+TEST(Histogram, QuantileInterpolatesWithinBins) {
+  // 100 samples spread uniformly over [0, 10): quantiles track p * 10 to
+  // within one bin width.
+  Histogram h(0, 10, 10);
+  for (int i = 0; i < 100; ++i) h.add(i / 10.0);
+  EXPECT_NEAR(h.quantile(0.5), 5.0, 1.0);
+  EXPECT_NEAR(h.quantile(0.9), 9.0, 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+  EXPECT_THROW(h.quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW(h.quantile(1.1), std::invalid_argument);
+}
+
+TEST(Histogram, QuantileOnPointMass) {
+  Histogram h(0, 10, 10);
+  for (int i = 0; i < 7; ++i) h.add(3.5);  // all in bin 3 = [3, 4)
+  EXPECT_GE(h.quantile(0.5), 3.0);
+  EXPECT_LE(h.quantile(0.5), 4.0);
+  EXPECT_GE(h.quantile(0.99), 3.0);
+  EXPECT_LE(h.quantile(0.99), 4.0);
+}
+
+TEST(Histogram, MergeIsExactBinwiseSum) {
+  Histogram a(0, 10, 5);
+  Histogram b(0, 10, 5);
+  Histogram all(0, 10, 5);
+  for (int i = 0; i < 40; ++i) {
+    const double x = (i * 7 % 11) - 0.5;  // exercises underflow too
+    ((i % 2 == 0) ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  ASSERT_EQ(a.total(), all.total());
+  for (std::size_t bin = 0; bin < all.bins(); ++bin) {
+    EXPECT_EQ(a.count(bin), all.count(bin)) << "bin " << bin;
+  }
+  EXPECT_EQ(a.underflow(), all.underflow());
+  EXPECT_EQ(a.overflow(), all.overflow());
+  EXPECT_EQ(a.quantile(0.5), all.quantile(0.5));
+
+  Histogram mismatched(0, 10, 4);
+  EXPECT_THROW(a.merge(mismatched), std::invalid_argument);
+  Histogram shifted(1, 11, 5);
+  EXPECT_THROW(a.merge(shifted), std::invalid_argument);
+}
+
+TEST(Histogram, AddCountRebuildsSerializedBins) {
+  Histogram h(0, 10, 5);
+  h.add(1);
+  h.add(5);
+  h.add(5.5);
+  Histogram rebuilt(0, 10, 5);
+  for (std::size_t b = 0; b < h.bins(); ++b) {
+    if (h.count(b) > 0) rebuilt.add_count(b, h.count(b));
+  }
+  EXPECT_EQ(rebuilt.total(), h.total());
+  EXPECT_EQ(rebuilt.count(0), h.count(0));
+  EXPECT_EQ(rebuilt.count(2), h.count(2));
+  EXPECT_EQ(rebuilt.quantile(0.5), h.quantile(0.5));
+  EXPECT_THROW(rebuilt.add_count(99, 1), std::out_of_range);
+}
+
 TEST(Log2Histogram, DyadicBuckets) {
   Log2Histogram h;
   h.add(0.5);  // bucket 0

@@ -23,10 +23,20 @@
 //       cache.
 //
 //   search_lab merge ARTIFACT... [--csv=PATH] [--jsonl=PATH] [--quiet]
+//             [--metrics-out=FILE]
 //       Merges shard artifacts back into the canonical result table —
 //       byte-identical to what the unsharded run would have written
 //       (test-enforced). The spec travels inside the artifacts; merge
 //       refuses mismatched specs, duplicate cells, and missing cells.
+//       --metrics-out aggregates the per-shard telemetry embedded in the
+//       artifacts (exact counter sums + bin-wise sketch merge) into one
+//       campaign-level metrics record.
+//
+//   search_lab report METRICS_FILE... [--hist]
+//       Renders metrics JSON files (from --metrics-out) as a human table:
+//       cells computed/cached, trials, cache hits, phase times, trials/sec,
+//       and cell-duration p50/p90/p99. --hist adds the cell-duration
+//       distribution as a text histogram.
 //
 // Output/scheduler flags:
 //   --csv=PATH       write rows as CSV (scenario i > 1 gets PATH.i)
@@ -36,9 +46,21 @@
 //   --cache-dir=DIR  per-cell result cache; re-runs recompute only changed
 //                    cells (shards sharing one dir write atomically)
 //   --progress       per-cell completion lines on stderr (rows unaffected;
-//                    sharded runs prefix lines with "shard I/N")
+//                    sharded runs prefix lines with "shard I/N"), with
+//                    elapsed/rate/ETA appended
+//
+// Telemetry flags (run; all strictly observational — result rows are
+// byte-identical with or without them, test-enforced):
+//   --metrics-out=FILE  one JSON line of run metrics (counters, phase
+//                       times, trials/sec, duration quantiles + sketch)
+//   --events=FILE       structured JSONL event log (run_start, cell_start,
+//                       cell_end, heartbeat, run_end), flushed per line
+//   --trace=FILE        Chrome trace-event JSON; load in chrome://tracing
+//                       or Perfetto to see per-worker cell execution
+//   (scenario i > 1 gets FILE.i, like --csv)
 #include <cstdio>
 #include <exception>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -51,6 +73,7 @@
 #include "scenario/sink.h"
 #include "scenario/spec.h"
 #include "scenario/sweep.h"
+#include "telemetry/run_telemetry.h"
 #include "util/cli.h"
 #include "util/table.h"
 
@@ -144,6 +167,14 @@ std::pair<std::size_t, std::size_t> parse_shard_arg(const std::string& arg) {
   return {shard, n_shards};
 }
 
+/// Writes one metrics JSON line to `path`.
+void write_metrics_file(const std::string& path,
+                        const telemetry::RunTelemetry& tel) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open metrics file: " + path);
+  os << tel.metrics_json() << "\n";
+}
+
 int run_specs(util::Cli& cli) {
   const std::string spec_path = cli.get_string("spec", "");
   const std::string csv_path = cli.get_string("csv", "");
@@ -151,6 +182,9 @@ int run_specs(util::Cli& cli) {
   const bool quiet = cli.get_bool("quiet", false);
   const std::string shard_arg = cli.get_string("shard", "");
   const std::string shard_out = cli.get_string("shard-out", "");
+  const std::string metrics_path = cli.get_string("metrics-out", "");
+  const std::string events_path = cli.get_string("events", "");
+  const std::string trace_path = cli.get_string("trace", "");
 
   std::size_t shard = 0, n_shards = 0;
   if (!shard_arg.empty()) {
@@ -211,13 +245,44 @@ int run_specs(util::Cli& cli) {
       std::cout << ", " << spec.trials << " trials/cell\n";
     }
 
+    // One telemetry object per scenario, mirroring the per-scenario output
+    // files: scenario i > 1 writes FILE.i like --csv does.
+    std::unique_ptr<telemetry::RunTelemetry> tel;
+    if (!metrics_path.empty() || !events_path.empty() ||
+        !trace_path.empty()) {
+      telemetry::TelemetryConfig config;
+      if (!events_path.empty()) {
+        config.events_path = indexed_path(events_path, i);
+      }
+      if (!trace_path.empty()) config.trace_path = indexed_path(trace_path, i);
+      tel = std::make_unique<telemetry::RunTelemetry>(config);
+    }
+    sweep_opt.telemetry = tel.get();
+
     if (n_shards > 0) {
       // Execute layer only: run this shard's cells, publish the artifact.
-      const scenario::SweepPlan plan = scenario::make_plan(spec);
+      scenario::SweepPlan plan;
+      {
+        const telemetry::RunTelemetry::PhaseScope plan_scope(
+            tel.get(), telemetry::Phase::kPlan);
+        plan = scenario::make_plan(spec);
+      }
       const std::vector<scenario::CellResult> results =
           scenario::run_shard(plan, shard, n_shards, sweep_opt);
       const std::string out_path = indexed_path(shard_out, i);
-      scenario::write_shard(out_path, plan, shard, n_shards, results);
+      if (tel != nullptr) {
+        tel->finish();
+        // The shard's telemetry rides inside the artifact so `merge` can
+        // aggregate the campaign exactly.
+        const telemetry::RunMetrics metrics = tel->snapshot();
+        scenario::write_shard(out_path, plan, shard, n_shards, results,
+                              &metrics);
+        if (!metrics_path.empty()) {
+          write_metrics_file(indexed_path(metrics_path, i), *tel);
+        }
+      } else {
+        scenario::write_shard(out_path, plan, shard, n_shards, results);
+      }
       if (!quiet) {
         scenario::TableSink table(std::cout);
         std::vector<scenario::ResultSink*> sinks = {&table};
@@ -232,6 +297,12 @@ int run_specs(util::Cli& cli) {
 
     const std::vector<scenario::CellResult> results =
         scenario::run_sweep(spec, sweep_opt);
+    if (tel != nullptr) {
+      tel->finish();
+      if (!metrics_path.empty()) {
+        write_metrics_file(indexed_path(metrics_path, i), *tel);
+      }
+    }
 
     std::vector<scenario::ResultSink*> sinks;
     scenario::TableSink table(std::cout);
@@ -263,6 +334,10 @@ int run_specs(util::Cli& cli) {
         std::cout << "(jsonl written to " << indexed_path(jsonl_path, i)
                   << ")\n";
       }
+      if (!metrics_path.empty()) {
+        std::cout << "(metrics written to " << indexed_path(metrics_path, i)
+                  << ")\n";
+      }
       if (i + 1 < specs.size()) std::cout << "\n";
     }
   }
@@ -274,6 +349,7 @@ int run_specs(util::Cli& cli) {
 int run_merge(util::Cli& cli) {
   const std::string csv_path = cli.get_string("csv", "");
   const std::string jsonl_path = cli.get_string("jsonl", "");
+  const std::string metrics_path = cli.get_string("metrics-out", "");
   const bool quiet = cli.get_bool("quiet", false);
   cli.finish();
 
@@ -285,8 +361,13 @@ int run_merge(util::Cli& cli) {
   }
 
   scenario::ScenarioSpec spec;
-  const std::vector<scenario::CellResult> results =
-      scenario::merge_shards(artifacts, &spec);
+  telemetry::RunMetrics metrics;
+  const std::int64_t merge_t0 = telemetry::now_us();
+  const std::vector<scenario::CellResult> results = scenario::merge_shards(
+      artifacts, &spec, metrics_path.empty() ? nullptr : &metrics);
+  // The campaign record = the shards' aggregated telemetry plus this
+  // process's own merge time on top of whatever the shards measured.
+  metrics.merge_us += telemetry::now_us() - merge_t0;
 
   std::vector<scenario::ResultSink*> sinks;
   scenario::TableSink table(std::cout);
@@ -303,6 +384,14 @@ int run_merge(util::Cli& cli) {
   }
   emit_results(spec, results, sinks);
 
+  if (!metrics_path.empty()) {
+    std::ofstream os(metrics_path);
+    if (!os) {
+      throw std::runtime_error("cannot open metrics file: " + metrics_path);
+    }
+    os << telemetry::metrics_to_json(metrics, spec.name, 0, 1) << "\n";
+  }
+
   if (!quiet) {
     std::cout << "(merged " << results.size() << " cells of scenario '"
               << spec.name << "' from " << artifacts.size()
@@ -314,6 +403,87 @@ int run_merge(util::Cli& cli) {
     if (!jsonl_path.empty()) {
       std::cout << "(jsonl written to " << jsonl_path << ")\n";
     }
+    if (!metrics_path.empty()) {
+      std::cout << "(metrics written to " << metrics_path << ")\n";
+    }
+  }
+  return 0;
+}
+
+/// Renders --metrics-out files as a human table (plus an optional duration
+/// histogram): the quick "what did that run cost" view without jq.
+int run_report(util::Cli& cli) {
+  const bool hist = cli.get_bool("hist", false);
+  cli.finish();
+
+  const std::vector<std::string> files(cli.positional().begin() + 1,
+                                       cli.positional().end());
+  if (files.empty()) {
+    std::cerr << "error: report needs at least one metrics JSON file "
+                 "(written by run/merge --metrics-out)\n";
+    return 2;
+  }
+
+  util::Table table({"scenario", "shard", "cells", "computed", "cached",
+                     "trials", "cache_hits", "plan_ms", "execute_ms",
+                     "merge_ms", "trials/s", "p50_ms", "p90_ms", "p99_ms"});
+  const auto fmt1 = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f", v);
+    return std::string(buf);
+  };
+  const auto fmt_quantile = [&](const telemetry::DurationSketch& sketch,
+                                double p) {
+    const double us = sketch.quantile_us(p);
+    return us != us ? std::string("-") : fmt1(us / 1000.0);
+  };
+
+  telemetry::RunMetrics combined;
+  for (const std::string& file : files) {
+    std::ifstream in(file);
+    if (!in) {
+      std::cerr << "error: cannot open " << file << "\n";
+      return 1;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      std::string scenario;
+      std::size_t shard = 0, n_shards = 1;
+      const telemetry::RunMetrics m =
+          telemetry::metrics_from_json(line, &scenario, &shard, &n_shards);
+      combined.merge(m);
+      table.add_row(
+          {scenario,
+           shard == 0 ? "-"
+                      : std::to_string(shard) + "/" +
+                            std::to_string(n_shards),
+           std::to_string(m.cells_total), std::to_string(m.cells_computed),
+           std::to_string(m.cells_cached), std::to_string(m.trials_executed),
+           std::to_string(m.cache_hits),
+           fmt1(static_cast<double>(m.plan_us) / 1000.0),
+           fmt1(static_cast<double>(m.execute_us) / 1000.0),
+           fmt1(static_cast<double>(m.merge_us) / 1000.0),
+           fmt1(m.trials_per_sec()), fmt_quantile(m.cell_duration, 0.50),
+           fmt_quantile(m.cell_duration, 0.90),
+           fmt_quantile(m.cell_duration, 0.99)});
+    }
+  }
+  table.print(std::cout);
+
+  if (hist) {
+    // The 512-bin sketch is built for exact merging, not for eyeballs;
+    // coarsen 16:1 before rendering so the distribution fits a screen.
+    constexpr std::size_t kCoarseBins = 32;
+    stats::Histogram coarse(telemetry::DurationSketch::kLog2Lo,
+                            telemetry::DurationSketch::kLog2Hi, kCoarseBins);
+    for (const auto& [bin, count] : combined.cell_duration.sparse_bins()) {
+      coarse.add_count(bin * kCoarseBins / telemetry::DurationSketch::kBins,
+                       count);
+    }
+    std::cout << "\ncell duration distribution (bin edges are "
+                 "log2(microseconds)):\n"
+              << coarse.render();
   }
   return 0;
 }
@@ -325,8 +495,10 @@ int usage() {
                "--ds=... [flags]\n"
             << "       search_lab run ... --shard=I/N --shard-out=FILE\n"
             << "       search_lab merge ARTIFACT... [--csv=PATH] "
-               "[--jsonl=PATH] [--quiet]\n"
-            << "see docs/scenarios.md for the spec format and flag list\n";
+               "[--jsonl=PATH] [--metrics-out=FILE] [--quiet]\n"
+            << "       search_lab report METRICS_FILE... [--hist]\n"
+            << "see docs/scenarios.md for the spec format and flag list,\n"
+            << "docs/observability.md for --metrics-out/--events/--trace\n";
   return 2;
 }
 
@@ -335,6 +507,7 @@ int run(int argc, char** argv) {
   if (cli.positional().empty()) return usage();
   const std::string& command = cli.positional()[0];
   if (command == "merge") return run_merge(cli);
+  if (command == "report") return run_report(cli);
   if (cli.positional().size() != 1) return usage();
   if (command == "list") {
     cli.finish();
