@@ -19,6 +19,7 @@
 #include "core/uniform.h"
 #include "plane/strategies.h"
 #include "scenario/sweep.h"
+#include "sim/batch/batch.h"
 #include "sim/engine.h"
 #include "sim/trial.h"
 #include "telemetry/run_telemetry.h"
@@ -212,6 +213,136 @@ void BM_UnifiedTrialPlaneAsync(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_UnifiedTrialPlaneAsync)->Args({4, 16})->Args({16, 64});
+
+// --- the batch executor -----------------------------------------------------
+
+// BM_Batched* mirror the BM_Unified* bodies exactly — same strategies, same
+// per-iteration environment draws, same seeds — with the run_trial call
+// replaced by a persistent BatchRunner (as the sweep and runner drivers use
+// it). The per-pair speedup is the tentpole's scoreboard:
+// tools/bench_compare.py --batched-speedup gates the median ratio in CI.
+
+void BM_BatchedTrialSync(benchmark::State& state) {
+  const auto k = static_cast<int>(state.range(0));
+  const std::int64_t d = state.range(1);
+  const ants::core::KnownKStrategy strategy(k);
+  ants::sim::TrialStrategy ts;
+  ts.segment = &strategy;
+  ants::sim::batch::BatchRunner runner(ts, k, {});
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    ants::rng::Rng trial(++seed);
+    const auto r =
+        runner.run_one(ants::sim::single_target_environment({d, 0}), trial);
+    benchmark::DoNotOptimize(r.time);
+  }
+}
+BENCHMARK(BM_BatchedTrialSync)->Args({16, 64})->Args({64, 256});
+
+void BM_BatchedTrialAsync(benchmark::State& state) {
+  const auto k = static_cast<int>(state.range(0));
+  const std::int64_t d = state.range(1);
+  const ants::core::KnownKStrategy strategy(k);
+  const ants::sim::StaggeredStart schedule(4);
+  const ants::sim::DoaCrash crashes(0.25);
+  ants::sim::TrialStrategy ts;
+  ts.segment = &strategy;
+  ants::sim::batch::BatchRunner runner(ts, k, {});
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    ants::rng::Rng trial(++seed);
+    const auto env = ants::sim::draw_environment(k, {{d, 0}}, schedule,
+                                                 crashes, trial);
+    const auto r = runner.run_one(env, trial);
+    benchmark::DoNotOptimize(r.time);
+  }
+}
+BENCHMARK(BM_BatchedTrialAsync)->Args({16, 64})->Args({64, 256});
+
+void BM_BatchedTrialMultiTarget(benchmark::State& state) {
+  const auto n_targets = state.range(0);
+  const ants::core::KnownKStrategy strategy(16);
+  ants::sim::TrialEnvironment env;
+  for (std::int64_t i = 0; i < n_targets; ++i) {
+    env.targets.push_back({64 - 2 * i, 2 * i});
+  }
+  ants::sim::TrialStrategy ts;
+  ts.segment = &strategy;
+  ants::sim::batch::BatchRunner runner(ts, 16, {});
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    ants::rng::Rng trial(++seed);
+    const auto r = runner.run_one(env, trial);
+    benchmark::DoNotOptimize(r.time);
+  }
+}
+BENCHMARK(BM_BatchedTrialMultiTarget)->Arg(2)->Arg(8);
+
+void BM_BatchedTrialStepAsync(benchmark::State& state) {
+  const auto k = static_cast<int>(state.range(0));
+  const ants::baselines::RandomWalkStrategy strategy;
+  const ants::sim::StaggeredStart schedule(2);
+  const ants::sim::FixedLifetime crashes(2000);
+  ants::sim::EngineConfig config;
+  config.time_cap = 4000;
+  ants::sim::TrialStrategy ts;
+  ts.step = &strategy;
+  ants::sim::batch::BatchRunner runner(ts, k, config);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    ants::rng::Rng trial(++seed);
+    const auto env = ants::sim::draw_environment(k, {{4, 0}}, schedule,
+                                                 crashes, trial);
+    const auto r = runner.run_one(env, trial);
+    benchmark::DoNotOptimize(r.time);
+  }
+}
+BENCHMARK(BM_BatchedTrialStepAsync)->Arg(4)->Arg(16);
+
+void BM_BatchedTrialPlaneSync(benchmark::State& state) {
+  const auto k = static_cast<int>(state.range(0));
+  const std::int64_t d = state.range(1);
+  const ants::plane::PlaneKnownKStrategy strategy(k);
+  ants::sim::EngineConfig config;
+  config.time_cap = 1'000'000;
+  ants::sim::TrialEnvironment env;
+  env.plane_targets = {{static_cast<double>(d), 0.0}};
+  ants::sim::TrialStrategy ts;
+  ts.plane = &strategy;
+  ants::sim::batch::BatchRunner runner(ts, k, config);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    ants::rng::Rng trial(++seed);
+    const auto r = runner.run_one(env, trial);
+    benchmark::DoNotOptimize(r.time);
+  }
+}
+BENCHMARK(BM_BatchedTrialPlaneSync)->Args({4, 16})->Args({16, 64});
+
+void BM_BatchedTrialPlaneAsync(benchmark::State& state) {
+  const auto k = static_cast<int>(state.range(0));
+  const std::int64_t d = state.range(1);
+  const ants::plane::PlaneKnownKStrategy strategy(k);
+  const ants::sim::StaggeredStart schedule(2);
+  const ants::sim::DoaCrash crashes(0.25);
+  ants::sim::EngineConfig config;
+  config.time_cap = 1'000'000;
+  ants::sim::TrialStrategy ts;
+  ts.plane = &strategy;
+  ants::sim::batch::BatchRunner runner(ts, k, config);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    ants::rng::Rng trial(++seed);
+    ants::sim::TrialEnvironment env;
+    env.plane_targets = {{static_cast<double>(d) / 4.0, 0.0},
+                         {static_cast<double>(d), 0.0}};
+    env = ants::sim::draw_environment(k, std::move(env), schedule, crashes,
+                                      trial);
+    const auto r = runner.run_one(env, trial);
+    benchmark::DoNotOptimize(r.time);
+  }
+}
+BENCHMARK(BM_BatchedTrialPlaneAsync)->Args({4, 16})->Args({16, 64});
 
 // --- sweep executor telemetry overhead --------------------------------------
 

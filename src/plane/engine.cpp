@@ -28,43 +28,12 @@ Move realize(const PlaneOp& op, Vec2 current, double pitch) {
   return std::visit(Visitor{current, pitch}, op);
 }
 
-/// Earliest entry of `starts` (lowest index wins ties); 0 when empty.
-std::size_t earliest_start_index(const std::vector<Time>& starts) {
-  if (starts.empty()) return 0;
-  return static_cast<std::size_t>(
-      std::min_element(starts.begin(), starts.end()) - starts.begin());
-}
-
-/// Fills the result for a target already inside the sight disc of home: any
-/// agent that ever starts sees it the moment it wakes up, so the earliest
-/// starter (lowest index on ties) is the finder. Matches the historical
-/// engine exactly (run_plane_search: t = 0, finder 0).
-bool resolve_home_target(const PlaneTrialEnvironment& env, double eps,
-                         PlaneTrialResult* result) {
-  for (std::size_t ti = 0; ti < env.targets.size(); ++ti) {
-    if (distance(env.targets[ti], kPlaneOrigin) > eps) continue;
-    const std::size_t first = earliest_start_index(env.starts);
-    result->found = true;
-    result->time = env.starts.empty() ? 0.0 : env.starts[first];
-    result->finder = static_cast<int>(first);
-    result->first_target = static_cast<int>(ti);
-    result->from_last_start = 0;
-    return true;
-  }
-  return false;
-}
-
 }  // namespace
 
-Time PlaneTrialEnvironment::last_start() const noexcept {
-  if (starts.empty()) return 0;
-  return *std::max_element(starts.begin(), starts.end());
-}
+namespace detail {
 
-PlaneTrialResult run_plane_trial(const PlaneStrategy& strategy, int k,
-                                 const PlaneTrialEnvironment& env,
-                                 const rng::Rng& trial_rng,
-                                 const PlaneEngineConfig& config) {
+void validate_plane_trial_args(int k, const PlaneTrialEnvironment& env,
+                               const PlaneEngineConfig& config) {
   if (k < 1) throw std::invalid_argument("run_plane_trial: need k >= 1");
   if (!(config.sight_radius > 0)) {
     throw std::invalid_argument("run_plane_trial: sight_radius > 0");
@@ -79,10 +48,66 @@ PlaneTrialResult run_plane_trial(const PlaneStrategy& strategy, int k,
   if (!env.lifetimes.empty() && env.lifetimes.size() != uk) {
     throw std::invalid_argument("run_plane_trial: lifetimes count != k");
   }
+}
+
+bool resolve_home_target(const PlaneTrialEnvironment& env, int k, double eps,
+                         Time time_cap, PlaneTrialResult* result) {
+  for (std::size_t ti = 0; ti < env.targets.size(); ++ti) {
+    if (distance(env.targets[ti], kPlaneOrigin) > eps) continue;
+    // Earliest ALIVE starter (lowest index on ties). A dead-on-arrival
+    // agent (lifetime <= 0) never acts, so it cannot be the finder — it
+    // crashes, exactly as the main sweep counts it.
+    int finder = -1;
+    Time first_start = 0;
+    for (int a = 0; a < k; ++a) {
+      const auto ia = static_cast<std::size_t>(a);
+      if (!env.lifetimes.empty() && env.lifetimes[ia] <= 0) {
+        ++result->crashed;  // dead on arrival: never acts
+        continue;
+      }
+      const Time start = env.starts.empty() ? Time{0} : env.starts[ia];
+      if (finder == -1 || start < first_start) {
+        finder = a;
+        first_start = start;
+      }
+    }
+    if (finder == -1 || first_start > time_cap) {
+      result->found = false;
+      result->time = time_cap;
+      result->finder = -1;
+      result->from_last_start = time_cap;
+      return true;
+    }
+    result->found = true;
+    result->time = first_start;
+    result->finder = finder;
+    result->first_target = static_cast<int>(ti);
+    result->from_last_start = 0;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace detail
+
+Time PlaneTrialEnvironment::last_start() const noexcept {
+  if (starts.empty()) return 0;
+  return *std::max_element(starts.begin(), starts.end());
+}
+
+PlaneTrialResult run_plane_trial(const PlaneStrategy& strategy, int k,
+                                 const PlaneTrialEnvironment& env,
+                                 const rng::Rng& trial_rng,
+                                 const PlaneEngineConfig& config) {
+  detail::validate_plane_trial_args(k, env, config);
+  const auto uk = static_cast<std::size_t>(k);
 
   PlaneTrialResult result;
   result.last_start = env.last_start();
-  if (resolve_home_target(env, config.sight_radius, &result)) return result;
+  if (detail::resolve_home_target(env, k, config.sight_radius,
+                                  config.time_cap, &result)) {
+    return result;
+  }
 
   const auto start_of = [&](int a) {
     return env.starts.empty() ? Time{0}

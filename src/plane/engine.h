@@ -110,4 +110,26 @@ PlaneTrialResult run_plane_trial(const PlaneStrategy& strategy, int k,
                                  const rng::Rng& trial_rng,
                                  const PlaneEngineConfig& config = {});
 
+namespace detail {
+
+/// Shared between the scalar executor and the batch kernels (sim/batch/):
+/// argument validation and the home-target special case must behave
+/// byte-identically on both paths, so they live in one place.
+
+/// Throws std::invalid_argument exactly as run_plane_trial documents.
+void validate_plane_trial_args(int k, const PlaneTrialEnvironment& env,
+                               const PlaneEngineConfig& config);
+
+/// Handles a target already inside the sight disc of home: every agent that
+/// ever starts sees it the moment it wakes up, so the earliest ALIVE
+/// starter (lowest index on ties) is the finder, provided its start is
+/// within `time_cap`. Dead-on-arrival agents (lifetime <= 0) never act —
+/// they cannot be credited with the find and they count into
+/// result->crashed, exactly as on the non-home path. Returns true iff a
+/// target was within eps of home (the result is then fully resolved).
+bool resolve_home_target(const PlaneTrialEnvironment& env, int k, double eps,
+                         Time time_cap, PlaneTrialResult* result);
+
+}  // namespace detail
+
 }  // namespace ants::plane

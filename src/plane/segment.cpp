@@ -5,10 +5,6 @@
 
 namespace ants::plane {
 
-namespace {
-
-constexpr double kTwoPi = 6.283185307179586476925286766559;
-
 std::optional<Time> line_first_sighting(const LineMove& line, Vec2 target,
                                         double eps) {
   const Vec2 d = line.to - line.from;
@@ -26,6 +22,8 @@ std::optional<Time> line_first_sighting(const LineMove& line, Vec2 target,
   if (t < 0 || t > len) return std::nullopt;
   return t;
 }
+
+namespace {
 
 /// Squared distance from `target` to the spiral point at angle theta.
 double spiral_dist2(Vec2 center, double a, double theta, Vec2 target) {
@@ -51,6 +49,8 @@ std::optional<Time> refine_entry(const SpiralMove& sp, double a, Vec2 target,
   return std::nullopt;  // sighted only past the budget
 }
 
+}  // namespace
+
 // First sighting on an Archimedean spiral. Sighting is only possible while
 // the coil radius a*theta is inside the annulus [d - eps, d + eps] — an
 // angular interval of width 2*eps/a (O(eps/pitch) coils). Two regimes:
@@ -68,15 +68,14 @@ std::optional<Time> refine_entry(const SpiralMove& sp, double a, Vec2 target,
 // be reported one coil late; the asymptotic claims this module supports are
 // insensitive to that, and the dense cross-check tests use a matching
 // tolerance.
-std::optional<Time> spiral_first_sighting(const SpiralMove& sp, Vec2 target,
-                                          double eps) {
+std::optional<Time> spiral_first_sighting_at(const SpiralMove& sp, Vec2 target,
+                                             double eps, double theta_end) {
   const double a = sp.pitch / kTwoPi;
   const Vec2 rel = target - sp.center;
   const double d = rel.norm();
   if (d <= eps) return 0.0;  // visible from the spiral's very first point
   if (sp.duration <= 0) return std::nullopt;
 
-  const double theta_end = spiral_theta_for_arc(a, sp.duration);
   const double theta_lo = std::max(0.0, (d - eps) / a);
   const double theta_hi = std::min(theta_end, (d + eps) / a);
   if (theta_lo > theta_hi) return std::nullopt;
@@ -125,6 +124,19 @@ std::optional<Time> spiral_first_sighting(const SpiralMove& sp, Vec2 target,
     return refine_entry(sp, a, target, eps2, lo, theta_min);
   }
   return std::nullopt;
+}
+
+namespace {
+
+/// Single-trial path: solves for theta_end itself.
+std::optional<Time> spiral_first_sighting(const SpiralMove& sp, Vec2 target,
+                                          double eps) {
+  const Vec2 rel = target - sp.center;
+  if (rel.norm() <= eps) return 0.0;  // visible from the very first point
+  if (sp.duration <= 0) return std::nullopt;
+  const double a = sp.pitch / kTwoPi;
+  return spiral_first_sighting_at(sp, target, eps,
+                                  spiral_theta_for_arc(a, sp.duration));
 }
 
 }  // namespace

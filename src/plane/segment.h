@@ -27,6 +27,12 @@ namespace ants::plane {
 
 using Time = double;
 
+/// 2*pi at the precision every spiral coefficient here is derived with
+/// (a = pitch / kTwoPi). Exposed so the batch kernels compute the exact same
+/// coefficient the scalar path does — a ULP of drift in `a` would break the
+/// byte-identity contract between the two executors.
+inline constexpr double kTwoPi = 6.283185307179586476925286766559;
+
 struct LineMove {
   Vec2 from;
   Vec2 to;
@@ -55,6 +61,21 @@ Vec2 move_position_at(const Move& move, Time t) noexcept;
 /// Earliest time offset in [0, duration] at which the mover comes within
 /// `eps` of `target`, if any.
 std::optional<Time> first_sighting(const Move& move, Vec2 target, double eps);
+
+/// The LineMove case of first_sighting, exposed so the batch kernels
+/// (sim/batch/) can re-check SIMD-prefiltered candidate targets with the
+/// byte-identical scalar arithmetic.
+std::optional<Time> line_first_sighting(const LineMove& line, Vec2 target,
+                                        double eps);
+
+/// The SpiralMove case of first_sighting with the final angle
+/// `theta_end = spiral_theta_for_arc(pitch / 2pi, duration)` supplied by
+/// the caller. The Newton solve behind theta_end dominates the spiral hit
+/// test, and the batch kernels evaluate one spiral against many targets —
+/// memoizing theta_end there and passing it here keeps results
+/// byte-identical while paying for the solve once per move.
+std::optional<Time> spiral_first_sighting_at(const SpiralMove& sp, Vec2 target,
+                                             double eps, double theta_end);
 
 // --- Archimedean spiral math (exposed for tests) ---------------------------
 

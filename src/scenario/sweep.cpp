@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <utility>
 
@@ -13,6 +14,7 @@
 #include "scenario/registry.h"
 #include "scenario/sink.h"
 #include "scenario/text.h"
+#include "sim/batch/batch.h"
 #include "sim/trial.h"
 #include "telemetry/run_telemetry.h"
 #include "util/format.h"
@@ -225,6 +227,17 @@ std::vector<CellResult> run_cells(const ScenarioSpec& spec,
   // Trace hookup: one track per scheduler worker, labelled spans named
   // after the cell. Labels are prebuilt so the per-trial record is just a
   // push/extend on the worker's own buffer.
+  // Work items are (cell, trial-block) pairs: kTrialBlock consecutive
+  // trials of one cell per item, so a worker amortizes one batch runner
+  // (SoA workspaces, SIMD kernels — sim/batch/) across the block while the
+  // scheduler stays granular enough for cells to overlap. The mapping is
+  // index arithmetic, not a materialized pair vector: huge sweeps must not
+  // pay O(cells * blocks) memory before any work runs.
+  const std::size_t blocks_per_cell =
+      (trials + sim::batch::kTrialBlock - 1) / sim::batch::kTrialBlock;
+  const std::size_t n_items = pending.size() * blocks_per_cell;
+  const unsigned n_workers = util::parallel_workers(n_items, opt.threads);
+
   telemetry::TraceCollector* trace = tel != nullptr ? tel->trace() : nullptr;
   if (trace != nullptr) {
     std::vector<std::string> labels(n_cells);
@@ -233,77 +246,99 @@ std::vector<CellResult> run_cells(const ScenarioSpec& spec,
                   std::to_string(cells[i].k) + " D=" +
                   std::to_string(cells[i].distance);
     }
-    trace->begin_workers(
-        util::parallel_workers(pending.size() * trials, opt.threads),
-        std::move(labels));
+    trace->begin_workers(n_workers, std::move(labels));
   }
   telemetry::RunTelemetry::PhaseScope execute_scope(
       tel, telemetry::Phase::kExecute);
 
-  // The flat work list is every trial of every pending cell — cells overlap
-  // instead of serializing on per-cell barriers. The (cell, trial) mapping
-  // is index arithmetic, not a materialized pair vector: huge sweeps must
-  // not pay O(cells * trials) memory before any work runs.
+  // Each worker keeps ONE batch runner, rebuilt only when it crosses to a
+  // cell with a different (strategy, k) pair; consecutive blocks of the
+  // same cell reuse its workspaces wholesale.
+  struct WorkerCache {
+    const void* strategy = nullptr;
+    std::int64_t k = -1;
+    std::unique_ptr<sim::batch::BatchRunner> runner;
+  };
+  std::vector<WorkerCache> runner_cache(n_workers);
+
   util::parallel_for(
-      pending.size() * trials,
+      n_items,
       [&](std::size_t item, unsigned worker) {
-        const std::size_t ci = pending[item / trials];
-        const std::size_t trial = item % trials;
+        const std::size_t ci = pending[item / blocks_per_cell];
+        const std::size_t block = item % blocks_per_cell;
+        const std::size_t trial_begin = block * sim::batch::kTrialBlock;
+        const std::size_t trial_end =
+            std::min(trials, trial_begin + sim::batch::kTrialBlock);
         const Cell& cell = cells[ci];
-        const std::int64_t trial_t0 =
-            tel != nullptr ? telemetry::now_us() : 0;
         if (tel != nullptr &&
             cell_start_us[ci].load(std::memory_order_relaxed) == 0) {
           std::int64_t expected = 0;
           if (cell_start_us[ci].compare_exchange_strong(
-                  expected, trial_t0, std::memory_order_relaxed)) {
+                  expected, telemetry::now_us(),
+                  std::memory_order_relaxed)) {
             tel->cell_start(ci, cell.strategy_name, cell.k, cell.distance);
           }
         }
-        rng::Rng trial_rng(rng::mix_seed(cell.seed, trial));
-        // THE executor call site: every cell — any strategy family (grid
-        // segment/step or continuous plane), any schedule/crash/targets
-        // combination — runs the unified sim::run_trial under its
-        // per-trial environment. Base-model specs take the executor's
-        // empty-starts/lifetimes fast path instead of drawing
-        // all-zero/immortal vectors every trial: the sync hot path must
-        // not pay for axes it does not use.
+
+        WorkerCache& cache = runner_cache[worker];
+        if (cache.strategy != built[ci] || cache.k != cell.k) {
+          sim::TrialStrategy strategy;
+          strategy.segment = built[ci]->segment.get();
+          strategy.step = built[ci]->step.get();
+          strategy.plane = built[ci]->plane.get();
+          cache.runner = std::make_unique<sim::batch::BatchRunner>(
+              strategy, static_cast<int>(cell.k), engine_config);
+          cache.strategy = built[ci];
+          cache.k = cell.k;
+        }
+
         const sim::TargetDraw& draw =
             target_draws[cell.placement_index * n_targets +
                          cell.targets_index];
-        sim::TrialEnvironment env;
-        if (built[ci]->is_plane()) {
-          env.plane_targets = draw.plane(trial_rng, cell.distance);
-        } else {
-          env.targets = draw.grid(trial_rng, cell.distance);
+        for (std::size_t trial = trial_begin; trial < trial_end; ++trial) {
+          const std::int64_t trial_t0 =
+              trace != nullptr ? telemetry::now_us() : 0;
+          rng::Rng trial_rng(rng::mix_seed(cell.seed, trial));
+          // THE executor call site: every cell — any strategy family (grid
+          // segment/step or continuous plane), any schedule/crash/targets
+          // combination — runs through the batch executor, which is
+          // byte-identical to sim::run_trial per trial (seed derivation is
+          // untouched; batching is an execution detail). Base-model specs
+          // take the executor's empty-starts/lifetimes fast path instead
+          // of drawing all-zero/immortal vectors every trial: the sync hot
+          // path must not pay for axes it does not use.
+          sim::TrialEnvironment env;
+          if (built[ci]->is_plane()) {
+            env.plane_targets = draw.plane(trial_rng, cell.distance);
+          } else {
+            env.targets = draw.grid(trial_rng, cell.distance);
+          }
+          if (async) {
+            env = sim::draw_environment(static_cast<int>(cell.k),
+                                        std::move(env), *schedule, *crashes,
+                                        trial_rng);
+          }
+          const sim::TrialResult r = cache.runner->run_one(env, trial_rng);
+          times[ci][trial] = r.time;
+          if (async) {
+            from_last[ci][trial] = r.from_last_start;
+            crashed[ci][trial] = static_cast<double>(r.crashed);
+            last_starts[ci][trial] = r.last_start;
+          }
+          if (r.found) {
+            found[ci].fetch_add(1, std::memory_order_relaxed);
+            first_target_sum[ci].fetch_add(r.first_target,
+                                           std::memory_order_relaxed);
+          }
+          if (trace != nullptr) {
+            trace->record_trial(worker, ci, trial_t0, telemetry::now_us());
+          }
         }
-        if (async) {
-          env = sim::draw_environment(static_cast<int>(cell.k),
-                                      std::move(env), *schedule, *crashes,
-                                      trial_rng);
-        }
-        sim::TrialStrategy strategy;
-        strategy.segment = built[ci]->segment.get();
-        strategy.step = built[ci]->step.get();
-        strategy.plane = built[ci]->plane.get();
-        const sim::TrialResult r =
-            sim::run_trial(strategy, static_cast<int>(cell.k), env,
-                           trial_rng, engine_config);
-        times[ci][trial] = r.time;
-        if (async) {
-          from_last[ci][trial] = r.from_last_start;
-          crashed[ci][trial] = static_cast<double>(r.crashed);
-          last_starts[ci][trial] = r.last_start;
-        }
-        if (r.found) {
-          found[ci].fetch_add(1, std::memory_order_relaxed);
-          first_target_sum[ci].fetch_add(r.first_target,
-                                         std::memory_order_relaxed);
-        }
-        if (trace != nullptr) {
-          trace->record_trial(worker, ci, trial_t0, telemetry::now_us());
-        }
-        if (remaining[ci].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+
+        const auto done =
+            static_cast<std::int64_t>(trial_end - trial_begin);
+        if (remaining[ci].fetch_sub(done, std::memory_order_acq_rel) ==
+            done) {
           finalize_cell(ci);
         }
       },

@@ -1,0 +1,636 @@
+#include "sim/batch/batch.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <optional>
+#include <stdexcept>
+
+#include "grid/spiral.h"
+#include "grid/staircase_path.h"
+#include "util/sat.h"
+
+namespace ants::sim::batch {
+
+namespace {
+
+// Tiny-scan argmin, lowest index on ties (strict < keeps the first). For a
+// handful of elements the SIMD kernels lose to this: the indirect call plus
+// horizontal reduction costs more than the scan itself (measured ~19ns vs
+// ~8ns at n=16 for the AVX2 kernel). The kernels take over for large scans,
+// where the vector width wins.
+template <typename T>
+inline std::size_t small_argmin(const T* v, std::size_t n) noexcept {
+  std::size_t bi = 0;
+  T bv = v[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    if (v[i] < bv) {
+      bv = v[i];
+      bi = i;
+    }
+  }
+  return bi;
+}
+
+/// Block size for the two-level min-clock advance. A flat argmin rescan is
+/// O(k) per segment pop and dominates large-k trials; keeping per-block
+/// minima cuts a pop to one block rescan + one block-minima scan + one
+/// winning-block scan. Picking the lowest block achieving the global min,
+/// then the lowest index inside it, reproduces the flat lowest-index argmin
+/// exactly, so pop order — and every result byte — is unchanged.
+inline constexpr std::size_t kMinBlock = 8;
+
+/// Flat scans up to this size skip the two-level structure entirely.
+inline constexpr std::size_t kFlatAdvance = 16;
+
+}  // namespace
+
+BatchRunner::BatchRunner(const TrialStrategy& strategy, int k,
+                         const EngineConfig& config)
+    : strategy_(strategy),
+      k_(k),
+      config_(config),
+      kernels_(&kernels_for(active_simd_level())) {
+  const int set = (strategy.segment != nullptr ? 1 : 0) +
+                  (strategy.step != nullptr ? 1 : 0) +
+                  (strategy.plane != nullptr ? 1 : 0);
+  if (set == 0) throw std::invalid_argument("BatchRunner: no strategy given");
+  if (set > 1) {
+    throw std::invalid_argument("BatchRunner: ambiguous strategy family");
+  }
+  if (k < 1) throw std::invalid_argument("BatchRunner: need k >= 1");
+}
+
+TrialResult BatchRunner::run_one(const TrialEnvironment& env,
+                                 const rng::Rng& trial_rng) {
+  kernels_ = &kernels_for(active_simd_level());
+  detail::validate_trial_args(strategy_, k_, env);
+  if (strategy_.plane != nullptr) return run_plane(env, trial_rng);
+  if (strategy_.step != nullptr) return run_step(env, trial_rng);
+  return run_segment(env, trial_rng);
+}
+
+// ---------------------------------------------------------------------------
+// Segment backend: the scalar executor's interleaved min-heap sweep (see
+// sim/trial.cpp) with the heap replaced by an argmin kernel over the SoA
+// clock array — removed agents park at kNeverTime, which never wins the scan
+// while a live clock remains — and the Segment variant flattened into direct
+// hit tests. A walk's targets are prefiltered by the endpoint bounding box
+// (a staircase is monotone, so it never leaves it), and the StaircasePath is
+// only constructed when some target survives the box.
+
+TrialResult BatchRunner::run_segment(const TrialEnvironment& env,
+                                     const rng::Rng& trial_rng) {
+  const Strategy& strategy = *strategy_.segment;
+  const int k = k_;
+  const auto uk = static_cast<std::size_t>(k);
+
+  const Time last_start = env.last_start();
+  TrialResult result;
+  result.last_start = static_cast<double>(last_start);
+  if (detail::resolve_origin_target(env, k, config_.time_cap, &result)) {
+    return result;
+  }
+
+  seg_programs_.clear();
+  rngs_.clear();
+  for (int a = 0; a < k; ++a) {
+    seg_programs_.push_back(strategy.make_program(AgentContext{a, k}));
+    rngs_.push_back(trial_rng.child(static_cast<std::uint64_t>(a)));
+  }
+  clock_.assign(uk, kNeverTime);
+  elapsed_.assign(uk, 0);
+  pos_x_.assign(uk, 0);
+  pos_y_.assign(uk, 0);
+  seg_count_.assign(uk, 0);
+  queued_.assign(uk, 0);
+  std::size_t n_queued = 0;
+  for (int a = 0; a < k; ++a) {
+    const auto ia = static_cast<std::size_t>(a);
+    const Time life = env.lifetimes.empty() ? kNeverTime : env.lifetimes[ia];
+    if (life <= 0) {
+      ++result.crashed;  // dead on arrival: never acts
+      continue;
+    }
+    clock_[ia] = env.starts.empty() ? Time{0} : env.starts[ia];
+    queued_[ia] = 1;
+    ++n_queued;
+  }
+
+  const std::size_t nt = env.targets.size();
+  tgt_x_.resize(nt);
+  tgt_y_.resize(nt);
+  for (std::size_t ti = 0; ti < nt; ++ti) {
+    tgt_x_[ti] = env.targets[ti].x;
+    tgt_y_[ti] = env.targets[ti].y;
+  }
+
+  // Two-level min-clock advance (see kMinBlock). Block scans are at most
+  // kMinBlock elements, so they use small_argmin; the block-minima scan uses
+  // the SIMD kernel once it is wide enough to amortize the call.
+  const bool two_level = uk > kFlatAdvance;
+  const std::size_t n_min_blocks = (uk + kMinBlock - 1) / kMinBlock;
+  const auto refresh_blockmin = [&](std::size_t b) {
+    const std::size_t base = b * kMinBlock;
+    const std::size_t len = std::min(kMinBlock, uk - base);
+    blockmin_[b] = clock_[base + small_argmin(clock_.data() + base, len)];
+  };
+  if (two_level) {
+    blockmin_.resize(n_min_blocks);
+    for (std::size_t b = 0; b < n_min_blocks; ++b) refresh_blockmin(b);
+  }
+  const auto argmin_clock = [&]() -> std::size_t {
+    if (!two_level) return small_argmin(clock_.data(), uk);
+    const std::size_t b =
+        n_min_blocks > 2 * kFlatAdvance
+            ? kernels_->argmin_i64(blockmin_.data(), n_min_blocks)
+            : small_argmin(blockmin_.data(), n_min_blocks);
+    const std::size_t base = b * kMinBlock;
+    const std::size_t len = std::min(kMinBlock, uk - base);
+    return base + small_argmin(clock_.data() + base, len);
+  };
+
+  Time best = kNeverTime;
+  int finder = -1;
+  int first_target = -1;
+
+  while (n_queued > 0) {
+    std::size_t ia = argmin_clock();
+    if (clock_[ia] == kNeverTime) {
+      // Every queued clock is at kNeverTime (a hand-built environment with
+      // such a start), so the argmin may have landed on a REMOVED agent's
+      // parking value. The heap would pop the lowest-index queued agent.
+      ia = 0;
+      while (queued_[ia] == 0) ++ia;
+    }
+    const Time abs_clock = clock_[ia];
+    const Time bound =
+        std::min(config_.time_cap, best == kNeverTime ? best : best - 1);
+    if (abs_clock > bound) break;
+
+    const int a = static_cast<int>(ia);
+    if (++seg_count_[ia] > config_.max_segments_per_agent) {
+      throw std::runtime_error(
+          "run_trial: agent exceeded segment budget without terminating");
+    }
+    ++result.segments;
+
+    const Time start = env.starts.empty() ? Time{0} : env.starts[ia];
+    const Time life = env.lifetimes.empty() ? kNeverTime : env.lifetimes[ia];
+    const grid::Point pos{pos_x_[ia], pos_y_[ia]};
+
+    const auto consider = [&](Time hit, std::size_t ti) {
+      const Time when_active = util::sat_add(elapsed_[ia], hit);
+      if (when_active > life) return;  // only counts while still alive
+      const Time when_abs = util::sat_add(start, when_active);
+      if (when_abs > config_.time_cap) return;
+      // Earliest hit wins; ties to the lowest agent, then lowest target.
+      if (when_abs < best || (when_abs == best && a < finder)) {
+        best = when_abs;
+        finder = a;
+        first_target = static_cast<int>(ti);
+      }
+    };
+
+    Time dur = 0;
+    grid::Point end = pos;
+    const auto scan_walk = [&](grid::Point from, grid::Point to) {
+      const std::int64_t xlo = std::min(from.x, to.x);
+      const std::int64_t xhi = std::max(from.x, to.x);
+      const std::int64_t ylo = std::min(from.y, to.y);
+      const std::int64_t yhi = std::max(from.y, to.y);
+      std::optional<grid::StaircasePath> path;
+      for (std::size_t ti = 0; ti < nt; ++ti) {
+        const grid::Point tgt{tgt_x_[ti], tgt_y_[ti]};
+        if (tgt.x < xlo || tgt.x > xhi || tgt.y < ylo || tgt.y > yhi) continue;
+        if (!path) path.emplace(from, to);
+        const auto hit = path->index_of(tgt);
+        if (hit) consider(*hit, ti);
+      }
+      dur = grid::l1_dist(from, to);
+      end = to;
+    };
+
+    const Op op = seg_programs_[ia]->next(rngs_[ia]);
+    if (const auto* go = std::get_if<GoTo>(&op)) {
+      scan_walk(pos, go->target);
+    } else if (std::get_if<ReturnToSource>(&op) != nullptr) {
+      scan_walk(pos, grid::kOrigin);
+    } else if (const auto* sp = std::get_if<SpiralFor>(&op)) {
+      for (std::size_t ti = 0; ti < nt; ++ti) {
+        const std::int64_t idx = grid::spiral_index(
+            grid::Point{tgt_x_[ti] - pos.x, tgt_y_[ti] - pos.y});
+        if (idx > sp->duration) continue;
+        consider(idx, ti);
+      }
+      dur = sp->duration;
+      end = pos + grid::spiral_point(sp->duration);
+    } else {
+      const auto& fp = std::get<FollowPath>(op);
+      for (std::size_t ti = 0; ti < nt; ++ti) {
+        const grid::Point tgt{tgt_x_[ti], tgt_y_[ti]};
+        std::optional<Time> hit;
+        if (pos == tgt) {
+          hit = 0;
+        } else {
+          for (std::size_t i = 0; i < fp.steps.size(); ++i) {
+            if (fp.steps[i] == tgt) {
+              hit = static_cast<Time>(i + 1);
+              break;
+            }
+          }
+        }
+        if (hit) consider(*hit, ti);
+      }
+      dur = static_cast<Time>(fp.steps.size());
+      end = fp.steps.empty() ? pos : fp.steps.back();
+    }
+
+    elapsed_[ia] = util::sat_add(elapsed_[ia], dur);
+    pos_x_[ia] = end.x;
+    pos_y_[ia] = end.y;
+    if (elapsed_[ia] >= life) {
+      ++result.crashed;  // halts mid-plan; position is wherever it died
+      clock_[ia] = kNeverTime;
+      queued_[ia] = 0;
+      --n_queued;
+    } else {
+      clock_[ia] = util::sat_add(start, elapsed_[ia]);
+    }
+    if (two_level) refresh_blockmin(ia / kMinBlock);
+  }
+
+  if (best != kNeverTime) {
+    result.found = true;
+    result.time = static_cast<double>(best);
+    result.finder = finder;
+    result.first_target = first_target;
+    result.from_last_start =
+        static_cast<double>(best > last_start ? best - last_start : 0);
+  } else {
+    result.found = false;
+    result.time = static_cast<double>(config_.time_cap);
+    result.from_last_start = static_cast<double>(config_.time_cap);
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Lock-step backend: tick-for-tick the scalar loop, with the per-tick
+// occupancy check (first target equal to the agent's new position) routed
+// through the find_point kernel — an in-order scan either way.
+
+TrialResult BatchRunner::run_step(const TrialEnvironment& env,
+                                  const rng::Rng& trial_rng) {
+  const StepStrategy& strategy = *strategy_.step;
+  const int k = k_;
+  const auto uk = static_cast<std::size_t>(k);
+
+  if (config_.time_cap == kNeverTime) {
+    throw std::invalid_argument(
+        "run_trial: step strategies require a finite time_cap");
+  }
+
+  const Time last_start = env.last_start();
+  TrialResult result;
+  result.last_start = static_cast<double>(last_start);
+  if (detail::resolve_origin_target(env, k, config_.time_cap, &result)) {
+    return result;
+  }
+
+  const auto start_of = [&](std::size_t ia) {
+    return env.starts.empty() ? Time{0} : env.starts[ia];
+  };
+  const auto lifetime_of = [&](std::size_t ia) {
+    return env.lifetimes.empty() ? kNeverTime : env.lifetimes[ia];
+  };
+
+  step_programs_.clear();
+  rngs_.clear();
+  pos_x_.assign(uk, 0);
+  pos_y_.assign(uk, 0);
+  crashed_.assign(uk, 0);
+  for (int a = 0; a < k; ++a) {
+    const auto ia = static_cast<std::size_t>(a);
+    step_programs_.push_back(strategy.make_program(AgentContext{a, k}));
+    rngs_.push_back(trial_rng.child(static_cast<std::uint64_t>(a)));
+    if (lifetime_of(ia) <= 0) {
+      crashed_[ia] = 1;  // dead on arrival
+      ++result.crashed;
+    }
+  }
+
+  const std::size_t nt = env.targets.size();
+  tgt_x_.resize(nt);
+  tgt_y_.resize(nt);
+  for (std::size_t ti = 0; ti < nt; ++ti) {
+    tgt_x_[ti] = env.targets[ti].x;
+    tgt_y_[ti] = env.targets[ti].y;
+  }
+
+  for (Time t = 1; t <= config_.time_cap; ++t) {
+    for (int a = 0; a < k; ++a) {
+      const auto ia = static_cast<std::size_t>(a);
+      if (crashed_[ia]) continue;
+      if (t <= start_of(ia)) continue;  // not yet started: waits at source
+      const Time active = t - start_of(ia);
+      if (active > lifetime_of(ia)) {
+        crashed_[ia] = 1;  // halts in place
+        ++result.crashed;
+        continue;
+      }
+      const grid::Point next =
+          step_programs_[ia]->step(rngs_[ia], grid::Point{pos_x_[ia],
+                                                          pos_y_[ia]});
+      assert(grid::l1_dist(next, grid::Point{pos_x_[ia], pos_y_[ia]}) <= 1);
+      pos_x_[ia] = next.x;
+      pos_y_[ia] = next.y;
+      ++result.segments;
+      // For a handful of targets the in-order scalar scan beats the kernel
+      // call; same first-match-in-order result either way.
+      std::size_t ti = kNpos;
+      if (nt < 8) {
+        for (std::size_t i = 0; i < nt; ++i) {
+          if (tgt_x_[i] == next.x && tgt_y_[i] == next.y) {
+            ti = i;
+            break;
+          }
+        }
+      } else {
+        ti = kernels_->find_point(tgt_x_.data(), tgt_y_.data(), nt, next.x,
+                                  next.y);
+      }
+      if (ti != kNpos) {
+        result.found = true;
+        result.time = static_cast<double>(t);
+        result.finder = a;
+        result.first_target = static_cast<int>(ti);
+        result.from_last_start =
+            static_cast<double>(t > last_start ? t - last_start : 0);
+        return result;
+      }
+    }
+  }
+
+  result.found = false;
+  result.time = static_cast<double>(config_.time_cap);
+  result.from_last_start = static_cast<double>(config_.time_cap);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Plane backend: the continuous min-clock sweep (plane/engine.cpp) with the
+// clock heap replaced by an argmin_f64 scan (removed agents park at
+// kPlaneNever, and the loop breaks on clock >= bound, so the parking value
+// terminates it exactly when the empty heap would), line sight tests
+// prefiltered by the line_candidates kernel (every candidate re-checked by
+// the scalar quadratic), and the per-move spiral Newton solve memoized.
+
+double BatchRunner::spiral_theta(double a, double s) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(s));
+  std::memcpy(&bits, &s, sizeof(bits));
+  const std::size_t slot =
+      static_cast<std::size_t>((bits * 0x9E3779B97F4A7C15ULL) >> 58);
+  ThetaMemoEntry& e = theta_memo_[slot];
+  if (e.valid && e.s_bits == bits) return e.theta;
+  e.s_bits = bits;
+  e.theta = plane::spiral_theta_for_arc(a, s);
+  e.valid = true;
+  return e.theta;
+}
+
+TrialResult BatchRunner::run_plane(const TrialEnvironment& env,
+                                   const rng::Rng& trial_rng) {
+  const plane::PlaneStrategy& strategy = *strategy_.plane;
+  const int k = k_;
+  const auto uk = static_cast<std::size_t>(k);
+
+  // Environment/config adaptation, exactly as the scalar backend bridge.
+  plane_env_.targets = env.plane_targets;
+  plane_env_.starts.assign(env.starts.begin(), env.starts.end());
+  plane_env_.lifetimes.clear();
+  plane_env_.lifetimes.reserve(env.lifetimes.size());
+  for (const Time life : env.lifetimes) {
+    plane_env_.lifetimes.push_back(life == kNeverTime
+                                       ? plane::kPlaneNever
+                                       : static_cast<plane::Time>(life));
+  }
+
+  plane::PlaneEngineConfig pconfig;
+  pconfig.sight_radius = config_.sight_radius;
+  pconfig.spiral_pitch = config_.spiral_pitch;
+  pconfig.time_cap = config_.time_cap == kNeverTime
+                         ? plane::kPlaneNever
+                         : static_cast<plane::Time>(config_.time_cap);
+  pconfig.max_segments_per_agent = config_.max_segments_per_agent;
+
+  plane::detail::validate_plane_trial_args(k, plane_env_, pconfig);
+  const double eps = pconfig.sight_radius;
+  const double a_coef = pconfig.spiral_pitch / plane::kTwoPi;
+
+  plane::PlaneTrialResult presult;
+  presult.last_start = plane_env_.last_start();
+  const bool resolved = plane::detail::resolve_home_target(
+      plane_env_, k, eps, pconfig.time_cap, &presult);
+  if (!resolved) {
+    const auto start_of = [&](std::size_t ia) {
+      return plane_env_.starts.empty() ? plane::Time{0}
+                                       : plane_env_.starts[ia];
+    };
+    const auto lifetime_of = [&](std::size_t ia) {
+      return plane_env_.lifetimes.empty() ? plane::kPlaneNever
+                                          : plane_env_.lifetimes[ia];
+    };
+
+    plane_programs_.clear();
+    rngs_.clear();
+    for (int a = 0; a < k; ++a) {
+      plane_programs_.push_back(strategy.make_program(a, k));
+      rngs_.push_back(trial_rng.child(static_cast<std::uint64_t>(a)));
+    }
+    pclock_.assign(uk, plane::kPlaneNever);
+    pelapsed_.assign(uk, 0.0);
+    ppos_x_.assign(uk, 0.0);
+    ppos_y_.assign(uk, 0.0);
+    seg_count_.assign(uk, 0);
+    for (int a = 0; a < k; ++a) {
+      const auto ia = static_cast<std::size_t>(a);
+      if (lifetime_of(ia) <= 0) {
+        ++presult.crashed;  // dead on arrival: never acts
+        continue;
+      }
+      pclock_[ia] = start_of(ia);
+    }
+
+    const std::size_t nt = plane_env_.targets.size();
+    ptgt_x_.resize(nt);
+    ptgt_y_.resize(nt);
+    for (std::size_t ti = 0; ti < nt; ++ti) {
+      ptgt_x_[ti] = plane_env_.targets[ti].x;
+      ptgt_y_[ti] = plane_env_.targets[ti].y;
+    }
+    cand_.resize(nt);
+
+    // Two-level min-clock advance, as in run_segment: identical pop order to
+    // the flat argmin_f64 rescan at O(k/8 + 16) per pop instead of O(k).
+    const bool two_level = uk > kFlatAdvance;
+    const std::size_t n_min_blocks = (uk + kMinBlock - 1) / kMinBlock;
+    const auto refresh_blockmin = [&](std::size_t b) {
+      const std::size_t base = b * kMinBlock;
+      const std::size_t len = std::min(kMinBlock, uk - base);
+      pblockmin_[b] = pclock_[base + small_argmin(pclock_.data() + base, len)];
+    };
+    if (two_level) {
+      pblockmin_.resize(n_min_blocks);
+      for (std::size_t b = 0; b < n_min_blocks; ++b) refresh_blockmin(b);
+    }
+    const auto argmin_clock = [&]() -> std::size_t {
+      if (!two_level) return small_argmin(pclock_.data(), uk);
+      const std::size_t b =
+          n_min_blocks > 2 * kFlatAdvance
+              ? kernels_->argmin_f64(pblockmin_.data(), n_min_blocks)
+              : small_argmin(pblockmin_.data(), n_min_blocks);
+      const std::size_t base = b * kMinBlock;
+      const std::size_t len = std::min(kMinBlock, uk - base);
+      return base + small_argmin(pclock_.data() + base, len);
+    };
+
+    plane::Time best = plane::kPlaneNever;
+    int finder = -1;
+    int first_target = -1;
+
+    for (;;) {
+      const std::size_t ia = argmin_clock();
+      const plane::Time abs_clock = pclock_[ia];
+      // All other clocks are >= this one; once it reaches the bound, no
+      // agent can improve the outcome. When every agent has been removed
+      // the argmin is the kPlaneNever parking value, which also trips this.
+      const plane::Time bound = std::min(pconfig.time_cap, best);
+      if (abs_clock >= bound) break;
+
+      const int a = static_cast<int>(ia);
+      if (++seg_count_[ia] > pconfig.max_segments_per_agent) {
+        throw std::runtime_error(
+            "plane engine: agent exceeded segment budget without "
+            "terminating");
+      }
+      ++presult.segments;
+
+      const plane::Time start = start_of(ia);
+      const plane::Time life = lifetime_of(ia);
+      const plane::Vec2 pos{ppos_x_[ia], ppos_y_[ia]};
+
+      const auto consider = [&](plane::Time hit, std::size_t ti) {
+        const plane::Time when_active = pelapsed_[ia] + hit;
+        if (when_active > life) return;  // only counts while still alive
+        const plane::Time when_abs = start + when_active;
+        if (when_abs > pconfig.time_cap) return;
+        if (when_abs < best || (when_abs == best && a < finder)) {
+          best = when_abs;
+          finder = a;
+          first_target = static_cast<int>(ti);
+        }
+      };
+
+      const plane::PlaneOp op = plane_programs_[ia]->next(rngs_[ia]);
+      plane::Time move_time = 0;
+      plane::Vec2 end = pos;
+      bool is_line = false;
+      plane::LineMove line{pos, pos};
+      plane::SpiralMove spiral{pos, pconfig.spiral_pitch, 0};
+
+      if (const auto* sw = std::get_if<plane::SpiralSweep>(&op)) {
+        spiral.duration = sw->duration;
+        const double theta_end = spiral_theta(a_coef, spiral.duration);
+        for (std::size_t ti = 0; ti < nt; ++ti) {
+          const auto hit = plane::spiral_first_sighting_at(
+              spiral, plane_env_.targets[ti], eps, theta_end);
+          if (hit) consider(*hit, ti);
+        }
+        move_time = spiral.duration;
+        end = plane::spiral_point_at(spiral.center, a_coef, theta_end);
+      } else {
+        is_line = true;
+        if (const auto* go = std::get_if<plane::GoToPoint>(&op)) {
+          line.to = go->target;
+        } else {
+          line.to = plane::kPlaneOrigin;  // ReturnHome
+        }
+        const plane::Vec2 d = line.to - line.from;
+        const double len = d.norm();
+        if (len == 0.0 || nt < 4) {
+          // Degenerate move (no direction to prefilter along) or too few
+          // targets for the prefilter kernel to pay for its call: the
+          // scalar test covers every target directly.
+          for (std::size_t ti = 0; ti < nt; ++ti) {
+            const auto hit =
+                plane::line_first_sighting(line, plane_env_.targets[ti], eps);
+            if (hit) consider(*hit, ti);
+          }
+        } else {
+          const double inv = 1.0 / len;
+          const std::size_t nc = kernels_->line_candidates(
+              ptgt_x_.data(), ptgt_y_.data(), nt, line.from.x, line.from.y,
+              d.x * inv, d.y * inv, eps, cand_.data());
+          for (std::size_t ci = 0; ci < nc; ++ci) {
+            const std::size_t ti = cand_[ci];
+            const auto hit =
+                plane::line_first_sighting(line, plane_env_.targets[ti], eps);
+            if (hit) consider(*hit, ti);
+          }
+        }
+        move_time = len;
+        end = line.to;
+      }
+
+      if (pelapsed_[ia] + move_time >= life) {
+        // Fail-stop: truncate the trajectory at the remaining budget (the
+        // rare path — build the Move variant and reuse the scalar clamp).
+        const plane::Move move =
+            is_line ? plane::Move{line} : plane::Move{spiral};
+        const plane::Vec2 died_at =
+            plane::move_position_at(move, life - pelapsed_[ia]);
+        ppos_x_[ia] = died_at.x;
+        ppos_y_[ia] = died_at.y;
+        pelapsed_[ia] = life;
+        ++presult.crashed;
+        pclock_[ia] = plane::kPlaneNever;
+      } else {
+        pelapsed_[ia] += move_time;
+        ppos_x_[ia] = end.x;
+        ppos_y_[ia] = end.y;
+        pclock_[ia] = start + pelapsed_[ia];
+      }
+      if (two_level) refresh_blockmin(ia / kMinBlock);
+    }
+
+    if (best != plane::kPlaneNever) {
+      presult.found = true;
+      presult.time = best;
+      presult.finder = finder;
+      presult.first_target = first_target;
+      presult.from_last_start =
+          best > presult.last_start ? best - presult.last_start : 0;
+    } else {
+      presult.found = false;
+      presult.time = pconfig.time_cap;
+      presult.finder = -1;
+      presult.from_last_start = pconfig.time_cap;
+    }
+  }
+
+  TrialResult result;
+  result.time = presult.time;
+  result.found = presult.found;
+  result.finder = presult.finder;
+  result.first_target = presult.first_target;
+  result.segments = presult.segments;
+  result.last_start = presult.last_start;
+  result.from_last_start = presult.from_last_start;
+  result.crashed = presult.crashed;
+  return result;
+}
+
+}  // namespace ants::sim::batch

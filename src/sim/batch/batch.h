@@ -1,0 +1,117 @@
+// The batch trial executor: struct-of-arrays state + SIMD kernels.
+//
+// A sweep cell runs hundreds of trials of ONE (strategy, k) pair under the
+// same engine config; the scalar executor (sim::run_trial) rebuilds its
+// per-agent state vectors, heap, and plane environment from scratch for
+// every trial. BatchRunner hoists that state into reusable contiguous
+// arrays — per-agent clocks, positions, elapsed times, lifetimes in SoA
+// layout, targets split into coordinate arrays — and drives the inner loops
+// (min-clock advance, lock-step occupancy checks, plane sight-disc tests)
+// through the runtime-dispatched kernels in kernels.h.
+//
+// Batching is strictly an execution detail. Per-trial seed derivation is
+// unchanged — agent a still draws from trial_rng.child(a), environments
+// from kScheduleStream/kCrashStream — and every kernel is result-identical
+// to the scalar loop it replaces (see kernels.h), so
+//
+//     BatchRunner(strategy, k, config).run_one(env, trial_rng)
+//       == run_trial(strategy, k, env, trial_rng, config)
+//
+// byte for byte, on every dispatch level (test- and CI-enforced against the
+// golden CSVs).
+//
+// A runner is single-threaded and reusable: construct one per worker per
+// (strategy, k) pair and feed it a block of trials. kTrialBlock is the
+// chunk size the parallel drivers (scenario sweep, sim::Runner) hand one
+// worker at a time — large enough to amortize runner reuse, small enough to
+// keep work-stealing granular.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "plane/engine.h"
+#include "sim/batch/kernels.h"
+#include "sim/trial.h"
+
+namespace ants::sim::batch {
+
+/// Trials per work item when a parallel driver chunks a cell into blocks.
+inline constexpr std::size_t kTrialBlock = 64;
+
+class BatchRunner {
+ public:
+  /// Binds the runner to one (strategy, k, config) cell. The strategy must
+  /// outlive the runner. Throws std::invalid_argument for the same argument
+  /// errors run_trial would report on its first trial (null/ambiguous
+  /// strategy, k < 1).
+  BatchRunner(const TrialStrategy& strategy, int k,
+              const EngineConfig& config = {});
+
+  /// Runs one trial, byte-identical to
+  /// run_trial(strategy, k, env, trial_rng, config).
+  TrialResult run_one(const TrialEnvironment& env, const rng::Rng& trial_rng);
+
+  /// The dispatch level the last/next run_one uses (re-read from
+  /// active_simd_level() at each call, so force_simd_level takes effect
+  /// between trials).
+  SimdLevel level() const noexcept { return kernels_->level; }
+
+ private:
+  TrialResult run_segment(const TrialEnvironment& env,
+                          const rng::Rng& trial_rng);
+  TrialResult run_step(const TrialEnvironment& env, const rng::Rng& trial_rng);
+  TrialResult run_plane(const TrialEnvironment& env,
+                        const rng::Rng& trial_rng);
+
+  /// spiral_theta_for_arc(a, s) through a small direct-mapped memo. The
+  /// Newton solve dominates the plane profile and strategies reuse a few
+  /// distinct durations (phase budgets) across agents and trials; keying on
+  /// the exact bit pattern of s returns bit-identical thetas. `a` is fixed
+  /// per runner (derived from config.spiral_pitch), so it is not keyed.
+  double spiral_theta(double a, double s);
+
+  TrialStrategy strategy_;
+  int k_;
+  EngineConfig config_;
+  const Kernels* kernels_;
+
+  // --- reusable workspaces (grown once, reused across trials) -------------
+  // Shared: per-agent rng streams, grid target SoA.
+  std::vector<rng::Rng> rngs_;
+  std::vector<std::int64_t> tgt_x_, tgt_y_;
+
+  // Segment backend.
+  std::vector<std::unique_ptr<AgentProgram>> seg_programs_;
+  std::vector<std::int64_t> clock_;    ///< abs clock; kNeverTime = removed
+  std::vector<std::int64_t> elapsed_;  ///< active time in own program
+  std::vector<std::int64_t> pos_x_, pos_y_;
+  std::vector<std::int64_t> seg_count_;
+  std::vector<char> queued_;  ///< mirrors heap membership (rare-path ties)
+  std::vector<std::int64_t> blockmin_;  ///< two-level argmin: per-block minima
+
+  // Lock-step backend.
+  std::vector<std::unique_ptr<StepProgram>> step_programs_;
+  std::vector<char> crashed_;
+
+  // Plane backend.
+  std::vector<std::unique_ptr<plane::PlaneAgentProgram>> plane_programs_;
+  plane::PlaneTrialEnvironment plane_env_;
+  std::vector<double> ptgt_x_, ptgt_y_;
+  std::vector<double> pclock_;    ///< abs clock; kPlaneNever = removed
+  std::vector<double> pelapsed_;
+  std::vector<double> ppos_x_, ppos_y_;
+  std::vector<double> pblockmin_;    ///< two-level argmin: per-block minima
+  std::vector<std::uint32_t> cand_;  ///< line_candidates output buffer
+
+  struct ThetaMemoEntry {
+    std::uint64_t s_bits = 0;
+    double theta = 0.0;
+    bool valid = false;
+  };
+  std::array<ThetaMemoEntry, 64> theta_memo_{};
+};
+
+}  // namespace ants::sim::batch

@@ -1,0 +1,285 @@
+#include "sim/batch/kernels.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define ANTS_BATCH_X86 1
+#include <immintrin.h>
+#endif
+
+namespace ants::sim::batch {
+
+namespace {
+
+// --- scalar ----------------------------------------------------------------
+
+std::size_t argmin_i64_scalar(const std::int64_t* v, std::size_t n) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (v[i] < v[best]) best = i;
+  }
+  return best;
+}
+
+std::size_t argmin_f64_scalar(const double* v, std::size_t n) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (v[i] < v[best]) best = i;
+  }
+  return best;
+}
+
+std::size_t find_point_scalar(const std::int64_t* xs, const std::int64_t* ys,
+                              std::size_t n, std::int64_t x, std::int64_t y) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (xs[i] == x && ys[i] == y) return i;
+  }
+  return kNpos;
+}
+
+std::size_t line_candidates_scalar(const double* tx, const double* ty,
+                                   std::size_t n, double fx, double fy,
+                                   double ux, double uy, double eps,
+                                   std::uint32_t* out) {
+  // Mirrors the head of plane::line_first_sighting operation for operation
+  // (w = from - target; |w|^2 vs eps^2; disc = (w.u)^2 - (|w|^2 - eps^2)),
+  // so the pass set is the exact set the scalar test would shortlist.
+  const double e2 = eps * eps;
+  std::size_t m = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double wx = fx - tx[i];
+    const double wy = fy - ty[i];
+    const double wn2 = wx * wx + wy * wy;
+    const double b = wx * ux + wy * uy;
+    const double disc = b * b - (wn2 - e2);
+    if (wn2 <= e2 || disc >= 0.0) out[m++] = static_cast<std::uint32_t>(i);
+  }
+  return m;
+}
+
+#if defined(ANTS_BATCH_X86)
+
+// --- SSE2 (x86-64 baseline) ------------------------------------------------
+//
+// SSE2 has no 64-bit integer compare, so argmin_i64 stays scalar at this
+// level; the f64 argmin, pair equality (via 32-bit halves), and the line
+// prefilter do vectorize two-wide.
+
+std::size_t argmin_f64_sse2(const double* v, std::size_t n) {
+  if (n < 4) return argmin_f64_scalar(v, n);
+  __m128d acc = _mm_loadu_pd(v);
+  std::size_t i = 2;
+  for (; i + 2 <= n; i += 2) acc = _mm_min_pd(acc, _mm_loadu_pd(v + i));
+  alignas(16) double lanes[2];
+  _mm_store_pd(lanes, acc);
+  double m = lanes[1] < lanes[0] ? lanes[1] : lanes[0];
+  for (; i < n; ++i) {
+    if (v[i] < m) m = v[i];
+  }
+  // The reduced minimum is (numerically) one of the elements, so locating
+  // its first occurrence reproduces the scalar lowest-index tie-break.
+  std::size_t j = 0;
+  while (v[j] != m) ++j;
+  return j;
+}
+
+std::size_t find_point_sse2(const std::int64_t* xs, const std::int64_t* ys,
+                            std::size_t n, std::int64_t x, std::int64_t y) {
+  const __m128i px = _mm_set1_epi64x(x);
+  const __m128i py = _mm_set1_epi64x(y);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i ex = _mm_cmpeq_epi32(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(xs + i)), px);
+    const __m128i ey = _mm_cmpeq_epi32(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(ys + i)), py);
+    const int mask = _mm_movemask_epi8(_mm_and_si128(ex, ey));
+    // A 64-bit lane matches iff both of its 32-bit halves compared equal.
+    if ((mask & 0xFF) == 0xFF) return i;
+    if ((mask >> 8) == 0xFF) return i + 1;
+  }
+  for (; i < n; ++i) {
+    if (xs[i] == x && ys[i] == y) return i;
+  }
+  return kNpos;
+}
+
+std::size_t line_candidates_sse2(const double* tx, const double* ty,
+                                 std::size_t n, double fx, double fy,
+                                 double ux, double uy, double eps,
+                                 std::uint32_t* out) {
+  const double e2 = eps * eps;
+  const __m128d vfx = _mm_set1_pd(fx);
+  const __m128d vfy = _mm_set1_pd(fy);
+  const __m128d vux = _mm_set1_pd(ux);
+  const __m128d vuy = _mm_set1_pd(uy);
+  const __m128d ve2 = _mm_set1_pd(e2);
+  const __m128d zero = _mm_setzero_pd();
+  std::size_t m = 0;
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    // Discrete mul/add/sub intrinsics: no FMA contraction, so every lane
+    // computes the identical IEEE value the scalar expression does.
+    const __m128d wx = _mm_sub_pd(vfx, _mm_loadu_pd(tx + i));
+    const __m128d wy = _mm_sub_pd(vfy, _mm_loadu_pd(ty + i));
+    const __m128d wn2 =
+        _mm_add_pd(_mm_mul_pd(wx, wx), _mm_mul_pd(wy, wy));
+    const __m128d b =
+        _mm_add_pd(_mm_mul_pd(wx, vux), _mm_mul_pd(wy, vuy));
+    const __m128d disc =
+        _mm_sub_pd(_mm_mul_pd(b, b), _mm_sub_pd(wn2, ve2));
+    const __m128d pass =
+        _mm_or_pd(_mm_cmple_pd(wn2, ve2), _mm_cmpge_pd(disc, zero));
+    const int mask = _mm_movemask_pd(pass);
+    if (mask & 1) out[m++] = static_cast<std::uint32_t>(i);
+    if (mask & 2) out[m++] = static_cast<std::uint32_t>(i + 1);
+  }
+  for (; i < n; ++i) {
+    const double wx = fx - tx[i];
+    const double wy = fy - ty[i];
+    const double wn2 = wx * wx + wy * wy;
+    const double b = wx * ux + wy * uy;
+    const double disc = b * b - (wn2 - e2);
+    if (wn2 <= e2 || disc >= 0.0) out[m++] = static_cast<std::uint32_t>(i);
+  }
+  return m;
+}
+
+// --- AVX2 (compiled per-function via target attribute) ---------------------
+
+__attribute__((target("avx2"))) std::size_t argmin_i64_avx2(
+    const std::int64_t* v, std::size_t n) {
+  if (n < 8) return argmin_i64_scalar(v, n);
+  __m256i acc = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v));
+  std::size_t i = 4;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i));
+    // No min_epi64 below AVX-512: compare-and-blend instead.
+    acc = _mm256_blendv_epi8(acc, x, _mm256_cmpgt_epi64(acc, x));
+  }
+  alignas(32) std::int64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  std::int64_t m = lanes[0];
+  for (int l = 1; l < 4; ++l) {
+    if (lanes[l] < m) m = lanes[l];
+  }
+  for (; i < n; ++i) {
+    if (v[i] < m) m = v[i];
+  }
+  std::size_t j = 0;
+  while (v[j] != m) ++j;
+  return j;
+}
+
+__attribute__((target("avx2"))) std::size_t argmin_f64_avx2(const double* v,
+                                                            std::size_t n) {
+  if (n < 8) return argmin_f64_scalar(v, n);
+  __m256d acc = _mm256_loadu_pd(v);
+  std::size_t i = 4;
+  for (; i + 4 <= n; i += 4) acc = _mm256_min_pd(acc, _mm256_loadu_pd(v + i));
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, acc);
+  double m = lanes[0];
+  for (int l = 1; l < 4; ++l) {
+    if (lanes[l] < m) m = lanes[l];
+  }
+  for (; i < n; ++i) {
+    if (v[i] < m) m = v[i];
+  }
+  std::size_t j = 0;
+  while (v[j] != m) ++j;
+  return j;
+}
+
+__attribute__((target("avx2"))) std::size_t find_point_avx2(
+    const std::int64_t* xs, const std::int64_t* ys, std::size_t n,
+    std::int64_t x, std::int64_t y) {
+  const __m256i px = _mm256_set1_epi64x(x);
+  const __m256i py = _mm256_set1_epi64x(y);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i ex = _mm256_cmpeq_epi64(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(xs + i)), px);
+    const __m256i ey = _mm256_cmpeq_epi64(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ys + i)), py);
+    const int mask =
+        _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_and_si256(ex, ey)));
+    if (mask != 0) return i + static_cast<std::size_t>(__builtin_ctz(mask));
+  }
+  for (; i < n; ++i) {
+    if (xs[i] == x && ys[i] == y) return i;
+  }
+  return kNpos;
+}
+
+__attribute__((target("avx2"))) std::size_t line_candidates_avx2(
+    const double* tx, const double* ty, std::size_t n, double fx, double fy,
+    double ux, double uy, double eps, std::uint32_t* out) {
+  const double e2 = eps * eps;
+  const __m256d vfx = _mm256_set1_pd(fx);
+  const __m256d vfy = _mm256_set1_pd(fy);
+  const __m256d vux = _mm256_set1_pd(ux);
+  const __m256d vuy = _mm256_set1_pd(uy);
+  const __m256d ve2 = _mm256_set1_pd(e2);
+  const __m256d zero = _mm256_setzero_pd();
+  std::size_t m = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d wx = _mm256_sub_pd(vfx, _mm256_loadu_pd(tx + i));
+    const __m256d wy = _mm256_sub_pd(vfy, _mm256_loadu_pd(ty + i));
+    const __m256d wn2 =
+        _mm256_add_pd(_mm256_mul_pd(wx, wx), _mm256_mul_pd(wy, wy));
+    const __m256d b =
+        _mm256_add_pd(_mm256_mul_pd(wx, vux), _mm256_mul_pd(wy, vuy));
+    const __m256d disc =
+        _mm256_sub_pd(_mm256_mul_pd(b, b), _mm256_sub_pd(wn2, ve2));
+    const __m256d pass = _mm256_or_pd(_mm256_cmp_pd(wn2, ve2, _CMP_LE_OQ),
+                                      _mm256_cmp_pd(disc, zero, _CMP_GE_OQ));
+    int mask = _mm256_movemask_pd(pass);
+    while (mask != 0) {
+      const int lane = __builtin_ctz(mask);
+      mask &= mask - 1;
+      out[m++] = static_cast<std::uint32_t>(i + static_cast<std::size_t>(lane));
+    }
+  }
+  for (; i < n; ++i) {
+    const double wx = fx - tx[i];
+    const double wy = fy - ty[i];
+    const double wn2 = wx * wx + wy * wy;
+    const double b = wx * ux + wy * uy;
+    const double disc = b * b - (wn2 - e2);
+    if (wn2 <= e2 || disc >= 0.0) out[m++] = static_cast<std::uint32_t>(i);
+  }
+  return m;
+}
+
+#endif  // ANTS_BATCH_X86
+
+}  // namespace
+
+const Kernels& kernels_for(SimdLevel level) noexcept {
+  static const Kernels scalar{SimdLevel::kScalar, argmin_i64_scalar,
+                              argmin_f64_scalar, find_point_scalar,
+                              line_candidates_scalar};
+#if defined(ANTS_BATCH_X86)
+  static const Kernels sse2{SimdLevel::kSse2, argmin_i64_scalar,
+                            argmin_f64_sse2, find_point_sse2,
+                            line_candidates_sse2};
+  static const Kernels avx2{SimdLevel::kAvx2, argmin_i64_avx2,
+                            argmin_f64_avx2, find_point_avx2,
+                            line_candidates_avx2};
+  switch (level) {
+    case SimdLevel::kAvx2:
+      return avx2;
+    case SimdLevel::kSse2:
+      return sse2;
+    case SimdLevel::kScalar:
+    default:
+      return scalar;
+  }
+#else
+  (void)level;
+  return scalar;
+#endif
+}
+
+}  // namespace ants::sim::batch

@@ -1,0 +1,61 @@
+// The vectorizable primitives of the batch trial executor, as a function
+// table selected by SIMD level (simd.h).
+//
+// Each kernel is a pure array operation over the batch runner's
+// struct-of-arrays state, with scalar/SSE2/AVX2 implementations that are
+// RESULT-identical by construction:
+//
+//   * argmin_* return the lowest index attaining the minimum — the
+//     vector variants reduce the minimum value first, then locate its first
+//     occurrence, so the heap's lowest-index tie-break is preserved bit for
+//     bit.
+//   * find_point returns the first index whose (x, y) pair equals the
+//     probe — exactly the lock-step backend's in-order occupancy scan.
+//   * line_candidates evaluates, per target, the same IEEE expression tree
+//     the scalar sight test (plane::line_first_sighting) starts with — no
+//     FMA contraction, same operation order — so the candidate set equals
+//     the set the scalar loop would shortlist; every candidate is then
+//     re-checked by the scalar test, making the prefilter byte-safe.
+//
+// Kernels never allocate and have no internal state; the dispatch level is
+// chosen per batch by the runner via kernels_for(active_simd_level()).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/batch/simd.h"
+
+namespace ants::sim::batch {
+
+inline constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+struct Kernels {
+  SimdLevel level = SimdLevel::kScalar;
+
+  /// Index of the minimum of v[0..n), lowest index on ties. n >= 1.
+  std::size_t (*argmin_i64)(const std::int64_t* v, std::size_t n);
+  std::size_t (*argmin_f64)(const double* v, std::size_t n);
+
+  /// First i with xs[i] == x && ys[i] == y, else kNpos.
+  std::size_t (*find_point)(const std::int64_t* xs, const std::int64_t* ys,
+                            std::size_t n, std::int64_t x, std::int64_t y);
+
+  /// Sight-disc prefilter for a unit-direction line move from (fx, fy):
+  /// writes the indices (ascending) of every target that could be sighted —
+  /// start inside the disc (|w|^2 <= eps^2) or nonnegative quadratic
+  /// discriminant ((w.u)^2 - (|w|^2 - eps^2) >= 0) — and returns the count.
+  /// `out` must have room for n entries. Callers re-check candidates with
+  /// plane::line_first_sighting (range test included there).
+  std::size_t (*line_candidates)(const double* tx, const double* ty,
+                                 std::size_t n, double fx, double fy,
+                                 double ux, double uy, double eps,
+                                 std::uint32_t* out);
+};
+
+/// The kernel table for `level` (clamping is the caller's concern; passing
+/// an unsupported level returns that level's table regardless — only tests
+/// that bypass active_simd_level() can do this, on hardware they control).
+const Kernels& kernels_for(SimdLevel level) noexcept;
+
+}  // namespace ants::sim::batch

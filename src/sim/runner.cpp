@@ -1,9 +1,12 @@
 #include "sim/runner.h"
 
+#include <algorithm>
 #include <atomic>
+#include <memory>
 #include <stdexcept>
 
 #include "rng/splitmix64.h"
+#include "sim/batch/batch.h"
 #include "sim/metrics.h"
 #include "telemetry/metrics.h"
 #include "util/thread_pool.h"
@@ -64,37 +67,54 @@ AsyncRunStats run_env_trials(const TrialStrategy& strategy, int k,
   const bool base_model = dynamic_cast<const SyncStart*>(&schedule) &&
                           dynamic_cast<const NoCrash*>(&crashes);
 
+  // Work items are blocks of kTrialBlock consecutive trials: each worker
+  // amortizes one batch runner (SoA workspaces, SIMD kernels — sim/batch/)
+  // across its blocks. Per-trial results are byte-identical to run_trial
+  // (seed derivation untouched; batching is an execution detail).
+  const std::size_t n_blocks =
+      (n + batch::kTrialBlock - 1) / batch::kTrialBlock;
+  std::vector<std::unique_ptr<batch::BatchRunner>> runners(
+      util::parallel_workers(n_blocks, config.threads));
+
   util::parallel_for(
-      n,
-      [&](std::size_t trial) {
-        const std::int64_t t0 =
-            config.trial_duration != nullptr ? telemetry::now_us() : 0;
-        rng::Rng trial_rng(rng::mix_seed(config.seed, trial));
-        TrialEnvironment env;
-        if (plane) {
-          env.plane_targets = targets.plane(trial_rng, distance);
-        } else {
-          env.targets = targets.grid(trial_rng, distance);
+      n_blocks,
+      [&](std::size_t block, unsigned worker) {
+        std::unique_ptr<batch::BatchRunner>& runner = runners[worker];
+        if (runner == nullptr) {
+          runner =
+              std::make_unique<batch::BatchRunner>(strategy, k, engine_config);
         }
-        if (!base_model) {
-          env = draw_environment(k, std::move(env), schedule, crashes,
-                                 trial_rng);
-        }
-        const TrialResult r =
-            run_trial(strategy, k, env, trial_rng, engine_config);
-        times[trial] = r.time;
-        from_last[trial] = r.from_last_start;
-        crashed[trial] = static_cast<double>(r.crashed);
-        last_starts[trial] = r.last_start;
-        if (r.found) {
-          found.fetch_add(1, std::memory_order_relaxed);
-          first_target_sum.fetch_add(r.first_target,
-                                     std::memory_order_relaxed);
-        }
-        if (config.trial_counter != nullptr) config.trial_counter->add();
-        if (config.trial_duration != nullptr) {
-          config.trial_duration->add_us(
-              static_cast<double>(telemetry::now_us() - t0));
+        const std::size_t begin = block * batch::kTrialBlock;
+        const std::size_t end = std::min(n, begin + batch::kTrialBlock);
+        for (std::size_t trial = begin; trial < end; ++trial) {
+          const std::int64_t t0 =
+              config.trial_duration != nullptr ? telemetry::now_us() : 0;
+          rng::Rng trial_rng(rng::mix_seed(config.seed, trial));
+          TrialEnvironment env;
+          if (plane) {
+            env.plane_targets = targets.plane(trial_rng, distance);
+          } else {
+            env.targets = targets.grid(trial_rng, distance);
+          }
+          if (!base_model) {
+            env = draw_environment(k, std::move(env), schedule, crashes,
+                                   trial_rng);
+          }
+          const TrialResult r = runner->run_one(env, trial_rng);
+          times[trial] = r.time;
+          from_last[trial] = r.from_last_start;
+          crashed[trial] = static_cast<double>(r.crashed);
+          last_starts[trial] = r.last_start;
+          if (r.found) {
+            found.fetch_add(1, std::memory_order_relaxed);
+            first_target_sum.fetch_add(r.first_target,
+                                       std::memory_order_relaxed);
+          }
+          if (config.trial_counter != nullptr) config.trial_counter->add();
+          if (config.trial_duration != nullptr) {
+            config.trial_duration->add_us(
+                static_cast<double>(telemetry::now_us() - t0));
+          }
         }
       },
       config.threads);

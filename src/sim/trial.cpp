@@ -11,14 +11,7 @@
 
 namespace ants::sim {
 
-namespace {
-
-/// Earliest entry of `starts` (lowest index wins ties); 0 when empty.
-std::size_t earliest_start_index(const std::vector<Time>& starts) {
-  if (starts.empty()) return 0;
-  return static_cast<std::size_t>(
-      std::min_element(starts.begin(), starts.end()) - starts.begin());
-}
+namespace detail {
 
 void validate_trial_args(const TrialStrategy& strategy, int k,
                          const TrialEnvironment& env) {
@@ -47,23 +40,53 @@ void validate_trial_args(const TrialStrategy& strategy, int k,
   }
 }
 
-/// Fills the shared result fields for a target sitting on the source node:
-/// any agent that ever starts finds it the moment it wakes up, so the
-/// earliest starter (lowest index on ties) is the finder. Matches the
-/// historical engines exactly (run_search: t = 0, finder 0).
-bool resolve_origin_target(const TrialEnvironment& env, TrialResult* result) {
+/// Fills the shared result fields for a target sitting on the source node
+/// (see trial.h). Matches the historical engines for the base model
+/// (run_search: t = 0, finder 0); under a crash model, dead-on-arrival
+/// agents are skipped as finder candidates and counted as crashed — a
+/// lifetime <= 0 agent never acts, so crediting it with the find (and
+/// leaving result->crashed at 0) made mean_crashed/survivors disagree with
+/// the non-origin path.
+bool resolve_origin_target(const TrialEnvironment& env, int k, Time time_cap,
+                           TrialResult* result) {
   for (std::size_t ti = 0; ti < env.targets.size(); ++ti) {
     if (env.targets[ti] != grid::kOrigin) continue;
-    const std::size_t first = earliest_start_index(env.starts);
+    int finder = -1;
+    Time first_start = 0;
+    for (int a = 0; a < k; ++a) {
+      const auto ia = static_cast<std::size_t>(a);
+      if (!env.lifetimes.empty() && env.lifetimes[ia] <= 0) {
+        ++result->crashed;  // dead on arrival: never acts
+        continue;
+      }
+      const Time start = env.starts.empty() ? Time{0} : env.starts[ia];
+      if (finder == -1 || start < first_start) {
+        finder = a;
+        first_start = start;
+      }
+    }
+    if (finder == -1 || first_start > time_cap) {
+      // Everybody dead on arrival (or the earliest survivor wakes up past
+      // the cap): nobody ever stands on the source target in time. Mirrors
+      // the sweep loops' not-found outcome.
+      result->found = false;
+      result->time = static_cast<double>(time_cap);
+      result->from_last_start = static_cast<double>(time_cap);
+      return true;
+    }
     result->found = true;
-    result->time = env.starts.empty() ? 0 : env.starts[first];
-    result->finder = static_cast<int>(first);
+    result->time = static_cast<double>(first_start);
+    result->finder = finder;
     result->first_target = static_cast<int>(ti);
     result->from_last_start = 0;
     return true;
   }
   return false;
 }
+
+}  // namespace detail
+
+namespace {
 
 /// Segment backend: the interleaved min-heap sweep of the historical
 /// engines, generalized over starts/lifetimes/target sets. Agents are
@@ -81,7 +104,9 @@ TrialResult run_segment_trial(const Strategy& strategy, int k,
   const Time last_start = env.last_start();
   TrialResult result;
   result.last_start = static_cast<double>(last_start);
-  if (resolve_origin_target(env, &result)) return result;
+  if (detail::resolve_origin_target(env, k, config.time_cap, &result)) {
+    return result;
+  }
 
   const auto start_of = [&](int a) {
     return env.starts.empty() ? Time{0}
@@ -201,7 +226,9 @@ TrialResult run_step_trial(const StepStrategy& strategy, int k,
   const Time last_start = env.last_start();
   TrialResult result;
   result.last_start = static_cast<double>(last_start);
-  if (resolve_origin_target(env, &result)) return result;
+  if (detail::resolve_origin_target(env, k, config.time_cap, &result)) {
+    return result;
+  }
 
   const auto start_of = [&](int a) {
     return env.starts.empty() ? Time{0}
@@ -340,7 +367,7 @@ TrialEnvironment draw_environment(int k, TrialEnvironment env,
 TrialResult run_trial(const TrialStrategy& strategy, int k,
                       const TrialEnvironment& env, const rng::Rng& trial_rng,
                       const EngineConfig& config) {
-  validate_trial_args(strategy, k, env);
+  detail::validate_trial_args(strategy, k, env);
   if (strategy.plane != nullptr) {
     return run_plane_backend_trial(*strategy.plane, k, env, trial_rng,
                                    config);

@@ -141,4 +141,26 @@ TargetDraw single_target(Placement placement);
 /// uniform ring adversary).
 TargetDraw single_plane_target(std::function<double(rng::Rng&)> angle);
 
+namespace detail {
+
+/// Shared between the scalar executor and the batch kernels (sim/batch/):
+/// argument validation and the origin-target special case must behave
+/// byte-identically on both paths, so they live in one place.
+
+/// Throws std::invalid_argument exactly as run_trial documents.
+void validate_trial_args(const TrialStrategy& strategy, int k,
+                         const TrialEnvironment& env);
+
+/// Handles a grid target sitting on the source node: every agent that ever
+/// starts finds it the moment it wakes up, so the earliest ALIVE starter
+/// (lowest index on ties) is the finder, provided its start is within
+/// `time_cap`. Dead-on-arrival agents (lifetime <= 0) never act — they
+/// cannot be credited with the find and they count into result->crashed,
+/// exactly as on the non-origin path. Returns true iff a target was at the
+/// origin (the result is then fully resolved).
+bool resolve_origin_target(const TrialEnvironment& env, int k, Time time_cap,
+                           TrialResult* result);
+
+}  // namespace detail
+
 }  // namespace ants::sim

@@ -119,7 +119,7 @@ std::string Histogram::render(std::size_t max_width) const {
   return out;
 }
 
-void Log2Histogram::add(double x) noexcept {
+void Log2Histogram::add(double x) {
   ++total_;
   std::size_t bucket = 0;
   if (x >= 1) {

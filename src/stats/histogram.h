@@ -23,6 +23,16 @@ class Histogram {
   /// artifact). Throws std::out_of_range on a bad bin index.
   void add_count(std::size_t bin, std::uint64_t n);
 
+  /// Restores saturation counters alongside add_count: a sparse (bin,
+  /// count) serialization lands clipped samples back in the edge bins, but
+  /// cannot know how many of them were out-of-range. Bumps only
+  /// underflow/overflow — never the bin counts or the total, which already
+  /// include these samples via add_count.
+  void add_saturation(std::uint64_t under, std::uint64_t over) noexcept {
+    underflow_ += under;
+    overflow_ += over;
+  }
+
   /// Bin-wise sum of another histogram with the IDENTICAL binning (same lo,
   /// hi, and bin count — throws std::invalid_argument otherwise). Exact:
   /// merging shard sketches then asking for a quantile equals asking the
@@ -64,7 +74,10 @@ class Histogram {
 /// values < 1. Natural for dyadic-annulus visitation accounting.
 class Log2Histogram {
  public:
-  void add(double x) noexcept;
+  /// Grows the bucket vector on demand, so allocation can throw — which is
+  /// why this is NOT noexcept (it used to be declared so, turning a rare
+  /// bad_alloc into std::terminate).
+  void add(double x);
 
   std::size_t max_bucket() const noexcept;
   std::uint64_t count(std::size_t bucket) const noexcept;

@@ -82,6 +82,16 @@ void DurationSketch::add_sparse_bins(
   for (const auto& [bin, count] : bins) hist_.add_count(bin, count);
 }
 
+std::pair<std::uint64_t, std::uint64_t> DurationSketch::saturation() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return {hist_.underflow(), hist_.overflow()};
+}
+
+void DurationSketch::add_saturation(std::uint64_t under, std::uint64_t over) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  hist_.add_saturation(under, over);
+}
+
 stats::Histogram DurationSketch::log2_histogram() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return hist_;
@@ -154,6 +164,12 @@ std::string metrics_to_json(const RunMetrics& metrics,
   // merge_shards) can re-aggregate exactly; the _ms quantiles above are
   // derived convenience values.
   out += ",\"cell_hist_bins\":" + std::to_string(DurationSketch::kBins);
+  // Saturation counters travel separately: the sparse bins land clipped
+  // samples in the edge bins, but a reader cannot tell in-range edge-bin
+  // samples from clipped ones without these.
+  const auto [hist_under, hist_over] = metrics.cell_duration.saturation();
+  out += ",\"cell_hist_under\":" + std::to_string(hist_under);
+  out += ",\"cell_hist_over\":" + std::to_string(hist_over);
   out += ",\"cell_hist\":[";
   bool first = true;
   for (const auto& [bin, count] : metrics.cell_duration.sparse_bins()) {
@@ -224,6 +240,17 @@ RunMetrics metrics_from_json(const std::string& line, std::string* scenario,
             det::parse_double("cell_hist count", hist->array[i + 1].string)));
   }
   m.cell_duration.add_sparse_bins(bins);
+  // Lenient read (default 0): records written before the saturation
+  // counters were serialized simply restore none — exactly the old
+  // behavior for old data.
+  const auto optional_count = [&](const char* key) -> std::uint64_t {
+    const det::JsonValue* v = find(key);
+    if (v == nullptr || v->kind != det::JsonValue::Kind::kNumber) return 0;
+    return static_cast<std::uint64_t>(det::parse_double("run metrics",
+                                                        v->string));
+  };
+  m.cell_duration.add_saturation(optional_count("cell_hist_under"),
+                                 optional_count("cell_hist_over"));
 
   if (scenario != nullptr) {
     const det::JsonValue* name = find("scenario");

@@ -114,6 +114,14 @@ class DurationSketch {
   void add_sparse_bins(
       const std::vector<std::pair<std::size_t, std::uint64_t>>& bins);
 
+  /// (underflow, overflow) saturation counters: samples clipped into the
+  /// edge bins. The sparse bins alone cannot reconstruct these — a reader
+  /// must carry them separately (metrics JSON: cell_hist_under/_over) and
+  /// restore them with add_saturation, or the rebuilt sketch silently
+  /// misreads clipped samples as in-range values.
+  std::pair<std::uint64_t, std::uint64_t> saturation() const;
+  void add_saturation(std::uint64_t under, std::uint64_t over);
+
   /// A copy of the underlying log2-domain histogram (for rendering).
   stats::Histogram log2_histogram() const;
 

@@ -47,14 +47,23 @@ void parallel_for(std::size_t n,
   // (heavy-tailed search times), so static partitioning would leave threads
   // idle behind one unlucky chunk.
   std::atomic<std::size_t> next{0};
+  // Cooperative cancellation: once any item throws, the run is failing and
+  // the rethrow below is inevitable — workers checking this flag in the
+  // claim loop stop promptly instead of draining every remaining item
+  // first (a failing multi-hour sweep must not run to completion before
+  // reporting the error). In-flight items still finish; only new claims
+  // stop.
+  std::atomic<bool> abort{false};
 
   const auto worker = [&](unsigned id) {
     for (;;) {
+      if (abort.load(std::memory_order_relaxed)) return;
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
       try {
         body(i, id);
       } catch (...) {
+        abort.store(true, std::memory_order_relaxed);
         const std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
       }

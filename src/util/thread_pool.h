@@ -1,10 +1,12 @@
-// Static-partition parallel_for used by the Monte-Carlo runner.
+// Dynamic-chunk parallel_for used by the Monte-Carlo runner.
 //
 // Trials are embarrassingly parallel and individually cheap-to-medium; a
 // work-stealing queue would be over-engineering. Each invocation spawns
-// (threads-1) workers plus the calling thread, splits [0, n) into contiguous
-// chunks, and joins. Determinism: the mapping from trial index to RNG seed is
-// fixed by the caller, so results are identical for any thread count.
+// (threads-1) workers plus the calling thread; workers claim indices from a
+// shared atomic counter (trial costs are heavy-tailed, so static chunks
+// would idle threads behind one unlucky slice) and everything joins before
+// return. Determinism: the mapping from trial index to RNG seed is fixed by
+// the caller, so results are identical for any thread count.
 #pragma once
 
 #include <cstddef>
@@ -15,8 +17,10 @@ namespace ants::util {
 /// Runs body(i) for every i in [0, n), using up to `threads` OS threads
 /// (0 = hardware concurrency). n <= 1 or an effective thread count of 1
 /// runs inline and spawns nothing. Exceptions thrown by `body` propagate to
-/// the caller (the first one captured wins; remaining work is still
-/// joined).
+/// the caller (the first one captured wins). A throw cancels cooperatively:
+/// workers stop claiming new items, in-flight items finish, and all threads
+/// are joined before the exception is rethrown — a failing multi-hour sweep
+/// surfaces its error promptly instead of draining the whole range.
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
                   unsigned threads = 0);
 

@@ -10,12 +10,22 @@
 # the telemetry files as diffing artifacts.
 #
 #   cmake -DSEARCH_LAB=<bin> -DSPEC=<spec> -DGOLDEN=<csv> -DOUT=<csv>
-#         -P run_golden.cmake
+#         [-DSIMD_LEVEL=scalar|sse2|avx2] -P run_golden.cmake
+#
+# SIMD_LEVEL, when given, is exported as ANTS_SIMD_LEVEL so the batch
+# executor's dispatch is pinned for the run: the golden CSVs must be
+# byte-identical on EVERY dispatch path, not just the one this machine
+# detects. Levels above the host's capability clamp down (see
+# sim/batch/kernels.cpp), so forcing avx2 is safe anywhere — on an
+# SSE2-only host it degenerates to a duplicate sse2 run, still a valid pin.
 foreach(var SEARCH_LAB SPEC GOLDEN OUT)
   if(NOT DEFINED ${var})
     message(FATAL_ERROR "run_golden.cmake: missing -D${var}=")
   endif()
 endforeach()
+if(DEFINED SIMD_LEVEL)
+  set(ENV{ANTS_SIMD_LEVEL} ${SIMD_LEVEL})
+endif()
 
 execute_process(
   COMMAND ${SEARCH_LAB} run --spec=${SPEC} --csv=${OUT} --quiet

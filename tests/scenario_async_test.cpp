@@ -18,11 +18,14 @@
 
 #include "core/known_k.h"
 #include "plane/strategies.h"
+#include "rng/splitmix64.h"
 #include "scenario/environment.h"
 #include "scenario/sink.h"
 #include "scenario/sweep.h"
 #include "sim/placement.h"
 #include "sim/runner.h"
+#include "sim/trial.h"
+#include "util/format.h"
 
 namespace ants::scenario {
 namespace {
@@ -259,6 +262,57 @@ TEST(AsyncSweep, PlaneAllAgentsDeadRendersFiniteColumns) {
   EXPECT_EQ(rows[1], "0.0000,5000,5000,5000,3,0,-1");
   EXPECT_EQ(rows[1].find("nan"), std::string::npos);
   EXPECT_EQ(rows[1].find("inf"), std::string::npos);
+}
+
+// The rendered mean_crashed/survivors columns match an independent scalar
+// recompute: replay the sweep's per-trial draw through sim::run_trial (the
+// scalar executor, NOT the batch runner the sweep routes through) and
+// format the aggregate the way the sink does. This pins the crash columns
+// end-to-end — cell seed derivation, environment draw, batch-vs-scalar
+// execution, and CSV formatting — under a DOA-heavy crash model where the
+// origin-target/DOA accounting is exercised hard.
+TEST(AsyncSweep, CrashColumnsMatchScalarRecomputeAtCsvLevel) {
+  ScenarioSpec spec;
+  spec.name = "crash-columns";
+  spec.strategies = {"known-k"};
+  spec.ks = {5};
+  spec.distances = {4};
+  spec.schedule = "staggered(gap=2)";
+  spec.crash = "doa(p=0.6)";
+  spec.trials = 16;
+  spec.seed = 0xC7A54;
+  spec.time_cap = 200000;
+  spec.columns = {"mean_crashed", "survivors"};
+
+  const std::vector<Cell> cells = flatten(spec);
+  ASSERT_EQ(cells.size(), 1u);
+
+  const core::KnownKStrategy strategy(5);
+  const auto schedule = make_schedule(spec.schedule);
+  const auto crashes = make_crash(spec.crash);
+  sim::EngineConfig config;
+  config.time_cap = spec.time_cap;
+  const sim::TargetDraw draw =
+      sim::single_target(sim::uniform_ring_placement());
+  double crashed_sum = 0.0;
+  for (std::size_t t = 0; t < static_cast<std::size_t>(spec.trials); ++t) {
+    rng::Rng trial_rng(rng::mix_seed(cells[0].seed, t));
+    sim::TrialEnvironment env;
+    env.targets = draw.grid(trial_rng, 4);
+    env = sim::draw_environment(5, std::move(env), *schedule, *crashes,
+                                trial_rng);
+    const sim::TrialResult r = sim::run_trial(strategy, 5, env, trial_rng,
+                                              config);
+    crashed_sum += static_cast<double>(r.crashed);
+  }
+  const double mean_crashed =
+      crashed_sum / static_cast<double>(spec.trials);
+  ASSERT_GT(mean_crashed, 0.0);  // the crash model actually bites
+
+  const std::vector<std::string> rows = rendered_rows(spec, SweepOptions{});
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1], util::fmt_compact(mean_crashed) + "," +
+                         util::fmt_compact(5.0 - mean_crashed));
 }
 
 TEST(AsyncSweep, StepAsyncOutputIdenticalForOneAndManyThreads) {

@@ -1,0 +1,417 @@
+// The batch trial executor (sim/batch/).
+//
+// The contract under test is byte-identity: for every strategy family,
+// environment shape, and SIMD dispatch level this machine supports,
+// BatchRunner::run_one must reproduce sim::run_trial EXACTLY — same doubles
+// bit for bit, same finder/target tie-breaks, same crash counts. The kernel
+// unit tests pin the three primitives' scalar-equivalence properties
+// (lowest-index argmin ties, in-order occupancy find, candidate supersets)
+// at every level, including the non-multiple-of-width tails.
+#include "sim/batch/batch.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/random_walk.h"
+#include "core/harmonic.h"
+#include "core/known_k.h"
+#include "plane/strategies.h"
+#include "rng/rng.h"
+#include "sim/batch/kernels.h"
+#include "sim/batch/simd.h"
+#include "sim/trial.h"
+#include "test_support.h"
+
+namespace ants::sim::batch {
+namespace {
+
+/// Every dispatch level this machine can actually run.
+std::vector<SimdLevel> testable_levels() {
+  std::vector<SimdLevel> levels = {SimdLevel::kScalar};
+  if (detected_simd_level() >= SimdLevel::kSse2) {
+    levels.push_back(SimdLevel::kSse2);
+  }
+  if (detected_simd_level() >= SimdLevel::kAvx2) {
+    levels.push_back(SimdLevel::kAvx2);
+  }
+  return levels;
+}
+
+/// Restores the active level when a test that forces levels exits.
+struct LevelGuard {
+  ~LevelGuard() { force_simd_level(detected_simd_level()); }
+};
+
+#define EXPECT_SAME_RESULT(expected, actual)                       \
+  do {                                                             \
+    EXPECT_EQ((expected).time, (actual).time);                     \
+    EXPECT_EQ((expected).found, (actual).found);                   \
+    EXPECT_EQ((expected).finder, (actual).finder);                 \
+    EXPECT_EQ((expected).first_target, (actual).first_target);     \
+    EXPECT_EQ((expected).segments, (actual).segments);             \
+    EXPECT_EQ((expected).last_start, (actual).last_start);         \
+    EXPECT_EQ((expected).from_last_start, (actual).from_last_start); \
+    EXPECT_EQ((expected).crashed, (actual).crashed);               \
+  } while (0)
+
+// --- kernel unit tests -----------------------------------------------------
+
+TEST(BatchKernels, ArgminI64MatchesScalarWithLowestIndexTies) {
+  rng::Rng rng(20260808);
+  const Kernels& scalar = kernels_for(SimdLevel::kScalar);
+  for (const SimdLevel level : testable_levels()) {
+    const Kernels& k = kernels_for(level);
+    for (std::size_t n = 1; n <= 40; ++n) {
+      for (int rep = 0; rep < 20; ++rep) {
+        std::vector<std::int64_t> v(n);
+        for (auto& x : v) {
+          // Few distinct values => plenty of exact ties.
+          x = rng.uniform_int(-2, 2);
+        }
+        EXPECT_EQ(scalar.argmin_i64(v.data(), n), k.argmin_i64(v.data(), n))
+            << simd_level_name(level) << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(BatchKernels, ArgminF64MatchesScalarWithLowestIndexTies) {
+  rng::Rng rng(99);
+  const Kernels& scalar = kernels_for(SimdLevel::kScalar);
+  for (const SimdLevel level : testable_levels()) {
+    const Kernels& k = kernels_for(level);
+    for (std::size_t n = 1; n <= 40; ++n) {
+      for (int rep = 0; rep < 20; ++rep) {
+        std::vector<double> v(n);
+        for (auto& x : v) x = static_cast<double>(rng.uniform_int(0, 3));
+        EXPECT_EQ(scalar.argmin_f64(v.data(), n), k.argmin_f64(v.data(), n))
+            << simd_level_name(level) << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(BatchKernels, ArgminHandlesSentinelArrays) {
+  const std::int64_t never = kNeverTime;
+  const std::vector<std::int64_t> all_never(11, never);
+  std::vector<std::int64_t> one_live(11, never);
+  one_live[7] = 42;
+  const std::vector<double> all_pnever(9, 1e300);
+  for (const SimdLevel level : testable_levels()) {
+    const Kernels& k = kernels_for(level);
+    EXPECT_EQ(k.argmin_i64(all_never.data(), all_never.size()), 0u);
+    EXPECT_EQ(k.argmin_i64(one_live.data(), one_live.size()), 7u);
+    EXPECT_EQ(k.argmin_f64(all_pnever.data(), all_pnever.size()), 0u);
+  }
+}
+
+TEST(BatchKernels, FindPointReturnsFirstMatchInOrder) {
+  rng::Rng rng(7);
+  const Kernels& scalar = kernels_for(SimdLevel::kScalar);
+  for (const SimdLevel level : testable_levels()) {
+    const Kernels& k = kernels_for(level);
+    for (std::size_t n = 1; n <= 24; ++n) {
+      for (int rep = 0; rep < 40; ++rep) {
+        std::vector<std::int64_t> xs(n), ys(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          xs[i] = rng.uniform_int(-1, 1);
+          ys[i] = rng.uniform_int(-1, 1);
+        }
+        const std::int64_t px = rng.uniform_int(-1, 1);
+        const std::int64_t py = rng.uniform_int(-1, 1);
+        EXPECT_EQ(scalar.find_point(xs.data(), ys.data(), n, px, py),
+                  k.find_point(xs.data(), ys.data(), n, px, py))
+            << simd_level_name(level) << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(BatchKernels, FindPointMissReturnsNpos) {
+  const std::vector<std::int64_t> xs = {1, 2, 3, 4, 5};
+  const std::vector<std::int64_t> ys = {1, 2, 3, 4, 5};
+  for (const SimdLevel level : testable_levels()) {
+    const Kernels& k = kernels_for(level);
+    EXPECT_EQ(k.find_point(xs.data(), ys.data(), xs.size(), 3, 4), kNpos);
+    EXPECT_EQ(k.find_point(xs.data(), ys.data(), xs.size(), 4, 4), 3u);
+  }
+}
+
+TEST(BatchKernels, LineCandidatesMatchScalarExactly) {
+  rng::Rng rng(1234);
+  const Kernels& scalar = kernels_for(SimdLevel::kScalar);
+  for (const SimdLevel level : testable_levels()) {
+    const Kernels& k = kernels_for(level);
+    for (std::size_t n = 1; n <= 21; ++n) {
+      for (int rep = 0; rep < 40; ++rep) {
+        std::vector<double> tx(n), ty(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          tx[i] = rng.uniform_real(-20.0, 20.0);
+          ty[i] = rng.uniform_real(-20.0, 20.0);
+        }
+        const double fx = rng.uniform_real(-5.0, 5.0);
+        const double fy = rng.uniform_real(-5.0, 5.0);
+        const double ang = rng.angle();
+        const double ux = std::cos(ang), uy = std::sin(ang);
+        const double eps = rng.uniform_real(0.5, 1.5);
+        std::vector<std::uint32_t> want(n), got(n);
+        const std::size_t nw =
+            scalar.line_candidates(tx.data(), ty.data(), n, fx, fy, ux, uy,
+                                   eps, want.data());
+        const std::size_t ng = k.line_candidates(tx.data(), ty.data(), n, fx,
+                                                 fy, ux, uy, eps, got.data());
+        ASSERT_EQ(nw, ng) << simd_level_name(level) << " n=" << n;
+        for (std::size_t i = 0; i < nw; ++i) {
+          EXPECT_EQ(want[i], got[i]) << simd_level_name(level) << " n=" << n;
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchKernels, LineCandidatesAreSupersetOfSightings) {
+  // Every target the scalar hit test sights must survive the prefilter.
+  rng::Rng rng(555);
+  for (const SimdLevel level : testable_levels()) {
+    const Kernels& k = kernels_for(level);
+    for (int rep = 0; rep < 200; ++rep) {
+      const plane::Vec2 from{rng.uniform_real(-5.0, 5.0),
+                             rng.uniform_real(-5.0, 5.0)};
+      const plane::Vec2 to{rng.uniform_real(-15.0, 15.0),
+                           rng.uniform_real(-15.0, 15.0)};
+      const plane::LineMove line{from, to};
+      const plane::Vec2 d = to - from;
+      const double len = d.norm();
+      if (len == 0.0) continue;
+      const double inv = 1.0 / len;
+      const std::size_t n = 9;
+      std::vector<double> tx(n), ty(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        tx[i] = rng.uniform_real(-15.0, 15.0);
+        ty[i] = rng.uniform_real(-15.0, 15.0);
+      }
+      std::vector<std::uint32_t> cand(n);
+      const std::size_t nc =
+          k.line_candidates(tx.data(), ty.data(), n, from.x, from.y,
+                            d.x * inv, d.y * inv, 1.0, cand.data());
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto hit =
+            plane::line_first_sighting(line, {tx[i], ty[i]}, 1.0);
+        if (!hit) continue;
+        bool present = false;
+        for (std::size_t c = 0; c < nc; ++c) present |= (cand[c] == i);
+        EXPECT_TRUE(present) << simd_level_name(level) << " target " << i;
+      }
+    }
+  }
+}
+
+// --- executor conformance --------------------------------------------------
+
+/// Runs `trials` trials of strategy/env-draw under both executors at every
+/// supported dispatch level and demands byte-identical results.
+void expect_conformance(const TrialStrategy& strategy, int k,
+                        const std::function<TrialEnvironment(const rng::Rng&)>&
+                            env_of_trial,
+                        const EngineConfig& config, int trials,
+                        std::uint64_t seed) {
+  LevelGuard guard;
+  for (const SimdLevel level : testable_levels()) {
+    force_simd_level(level);
+    BatchRunner runner(strategy, k, config);
+    ASSERT_EQ(runner.level(), level);
+    for (int t = 0; t < trials; ++t) {
+      const rng::Rng trial_rng(
+          rng::mix_seed(seed, static_cast<std::uint64_t>(t)));
+      const TrialEnvironment env = env_of_trial(trial_rng);
+      const TrialResult want = run_trial(strategy, k, env, trial_rng, config);
+      const TrialResult got = runner.run_one(env, trial_rng);
+      EXPECT_SAME_RESULT(want, got);
+      if (::testing::Test::HasFailure()) {
+        FAIL() << "diverged at level " << simd_level_name(level) << " trial "
+               << t;
+      }
+    }
+  }
+}
+
+TrialEnvironment base_env(std::vector<grid::Point> targets) {
+  TrialEnvironment env;
+  env.targets = std::move(targets);
+  return env;
+}
+
+TEST(BatchRunnerSegment, MatchesRunTrialAcrossEnvironmentsAndLevels) {
+  const core::KnownKStrategy known(5);
+  const core::HarmonicStrategy harmonic(0.3);
+  TrialStrategy sk;
+  sk.segment = &known;
+  TrialStrategy sh;
+  sh.segment = &harmonic;
+  EngineConfig config;
+  config.time_cap = 200'000;
+
+  const std::vector<grid::Point> targets = {{11, -5}, {-7, 3}};
+  const auto sync = [&](const rng::Rng&) { return base_env(targets); };
+  const auto drawn = [&](const rng::Rng& trial_rng) {
+    return draw_environment(5, targets, StaggeredStart(7),
+                            ExponentialLifetime(500.0), trial_rng);
+  };
+  const auto doa = [&](const rng::Rng& trial_rng) {
+    return draw_environment(5, targets, UniformRandomStart(20), DoaCrash(0.4),
+                            trial_rng);
+  };
+  expect_conformance(sk, 5, sync, config, 40, 101);
+  expect_conformance(sk, 5, drawn, config, 40, 102);
+  expect_conformance(sh, 5, drawn, config, 40, 103);
+  expect_conformance(sh, 5, doa, config, 40, 104);
+}
+
+TEST(BatchRunnerSegment, OriginTargetAndAllDoaEdgeCases) {
+  const core::KnownKStrategy known(3);
+  TrialStrategy s;
+  s.segment = &known;
+  EngineConfig config;
+  config.time_cap = 10'000;
+
+  // Origin in the target set, mixed DOA agents.
+  const auto origin_env = [&](const rng::Rng&) {
+    TrialEnvironment env = base_env({{5, 5}, grid::kOrigin});
+    env.starts = {4, 2, 9};
+    env.lifetimes = {0, 100, kNeverTime};
+    return env;
+  };
+  // Everybody dead on arrival.
+  const auto all_doa = [&](const rng::Rng&) {
+    TrialEnvironment env = base_env({{3, 1}});
+    env.lifetimes = {0, 0, 0};
+    return env;
+  };
+  expect_conformance(s, 3, origin_env, config, 8, 7);
+  expect_conformance(s, 3, all_doa, config, 8, 8);
+}
+
+TEST(BatchRunnerStep, MatchesRunTrialAcrossEnvironmentsAndLevels) {
+  const baselines::RandomWalkStrategy rw;
+  TrialStrategy s;
+  s.step = &rw;
+  EngineConfig config;
+  config.time_cap = 3'000;
+
+  const std::vector<grid::Point> targets = {{4, 0}, {0, -4}};
+  const auto sync = [&](const rng::Rng&) { return base_env(targets); };
+  const auto drawn = [&](const rng::Rng& trial_rng) {
+    return draw_environment(4, targets, StaggeredStart(2), FixedLifetime(800),
+                            trial_rng);
+  };
+  const auto doa = [&](const rng::Rng& trial_rng) {
+    return draw_environment(4, targets, SyncStart(), DoaCrash(0.5),
+                            trial_rng);
+  };
+  expect_conformance(s, 4, sync, config, 30, 201);
+  expect_conformance(s, 4, drawn, config, 30, 202);
+  expect_conformance(s, 4, doa, config, 30, 203);
+}
+
+TEST(BatchRunnerPlane, MatchesRunTrialAcrossEnvironmentsAndLevels) {
+  const plane::PlaneKnownKStrategy known(4);
+  const plane::PlaneHarmonicStrategy harmonic(0.3);
+  TrialStrategy sk;
+  sk.plane = &known;
+  TrialStrategy sh;
+  sh.plane = &harmonic;
+  EngineConfig config;
+  config.time_cap = 1'000'000;
+
+  const auto plane_env = [&](std::vector<plane::Vec2> targets) {
+    TrialEnvironment env;
+    env.plane_targets = std::move(targets);
+    return env;
+  };
+  const std::vector<plane::Vec2> targets = {{12.0, -3.0}, {-6.0, 8.0}};
+  const auto sync = [&](const rng::Rng&) { return plane_env(targets); };
+  const auto drawn = [&](const rng::Rng& trial_rng) {
+    return draw_environment(4, plane_env(targets), StaggeredStart(5),
+                            ExponentialLifetime(300.0), trial_rng);
+  };
+  const auto doa = [&](const rng::Rng& trial_rng) {
+    return draw_environment(4, plane_env(targets), UniformRandomStart(9),
+                            DoaCrash(0.4), trial_rng);
+  };
+  expect_conformance(sk, 4, sync, config, 25, 301);
+  expect_conformance(sk, 4, drawn, config, 25, 302);
+  expect_conformance(sh, 4, drawn, config, 25, 303);
+  expect_conformance(sh, 4, doa, config, 25, 304);
+}
+
+TEST(BatchRunnerPlane, HomeTargetAndAllDoaEdgeCases) {
+  const plane::PlaneKnownKStrategy known(3);
+  TrialStrategy s;
+  s.plane = &known;
+  EngineConfig config;
+  config.time_cap = 100'000;
+
+  // One target inside the home sight disc, one agent dead on arrival.
+  const auto home_env = [&](const rng::Rng&) {
+    TrialEnvironment env;
+    env.plane_targets = {{20.0, 0.0}, {0.3, -0.4}};
+    env.starts = {6, 1, 3};
+    env.lifetimes = {kNeverTime, 0, 500};
+    return env;
+  };
+  const auto all_doa = [&](const rng::Rng&) {
+    TrialEnvironment env;
+    env.plane_targets = {{9.0, 9.0}};
+    env.lifetimes = {0, 0, 0};
+    return env;
+  };
+  expect_conformance(s, 3, home_env, config, 6, 401);
+  expect_conformance(s, 3, all_doa, config, 6, 402);
+}
+
+TEST(BatchRunner, ReusedAcrossTrialsDoesNotLeakState) {
+  // One runner fed alternating environments must match fresh scalar runs —
+  // the workspaces are reused, the semantics must not be.
+  const core::HarmonicStrategy harmonic(0.5);
+  TrialStrategy s;
+  s.segment = &harmonic;
+  EngineConfig config;
+  config.time_cap = 100'000;
+  LevelGuard guard;
+  force_simd_level(detected_simd_level());
+  BatchRunner runner(s, 4, config);
+  for (int t = 0; t < 60; ++t) {
+    const rng::Rng trial_rng(rng::mix_seed(42, static_cast<std::uint64_t>(t)));
+    TrialEnvironment env = base_env({{9 + (t % 3), -2}});
+    if (t % 2 == 1) {
+      env = draw_environment(4, std::move(env.targets), StaggeredStart(3),
+                             ExponentialLifetime(200.0), trial_rng);
+    }
+    const TrialResult want = run_trial(s, 4, env, trial_rng, config);
+    const TrialResult got = runner.run_one(env, trial_rng);
+    EXPECT_SAME_RESULT(want, got);
+  }
+}
+
+TEST(BatchRunner, ConstructorRejectsBadArguments) {
+  const core::KnownKStrategy known(2);
+  TrialStrategy none;
+  EXPECT_THROW(BatchRunner(none, 2, {}), std::invalid_argument);
+  TrialStrategy s;
+  s.segment = &known;
+  EXPECT_THROW(BatchRunner(s, 0, {}), std::invalid_argument);
+}
+
+TEST(BatchSimd, EnvAndForceClampToDetected) {
+  LevelGuard guard;
+  force_simd_level(SimdLevel::kAvx2);
+  EXPECT_LE(static_cast<int>(active_simd_level()),
+            static_cast<int>(detected_simd_level()));
+  force_simd_level(SimdLevel::kScalar);
+  EXPECT_EQ(active_simd_level(), SimdLevel::kScalar);
+}
+
+}  // namespace
+}  // namespace ants::sim::batch

@@ -463,6 +463,54 @@ TEST(StepEnvironment, OriginTargetFoundAtEarliestStart) {
   EXPECT_EQ(r.from_last_start, 0);
 }
 
+// Dead-on-arrival agents must not be credited with an origin-target find:
+// a lifetime <= 0 agent never acts, so the earliest SURVIVOR is the finder
+// and the DOA agents count as crashed (keeping mean_crashed/survivors
+// consistent with the non-origin path).
+TEST(StepEnvironment, OriginTargetSkipsDoaAgentsAsFinder) {
+  const EastStrategy east;
+  const rng::Rng trial(13);
+  EngineConfig config;
+  config.time_cap = 100;
+  TrialEnvironment env = single_target_environment(grid::kOrigin);
+  env.starts = {1, 7, 2};
+  env.lifetimes = {0, 5, 0};  // agents 0 and 2 are DOA despite earlier starts
+  const TrialResult r = run_trial(east, 3, env, trial, config);
+  EXPECT_TRUE(r.found);
+  EXPECT_EQ(r.finder, 1);
+  EXPECT_EQ(r.time, 7);
+  EXPECT_EQ(r.crashed, 2);
+  EXPECT_EQ(r.from_last_start, 0);
+}
+
+TEST(StepEnvironment, OriginTargetAllDoaIsNotFound) {
+  const EastStrategy east;
+  const rng::Rng trial(14);
+  EngineConfig config;
+  config.time_cap = 50;
+  TrialEnvironment env = single_target_environment(grid::kOrigin);
+  env.lifetimes = {0, 0, 0};
+  const TrialResult r = run_trial(east, 3, env, trial, config);
+  EXPECT_FALSE(r.found);
+  EXPECT_EQ(r.crashed, 3);
+  EXPECT_EQ(r.time, 50);
+  EXPECT_EQ(r.from_last_start, 50);
+}
+
+TEST(StepEnvironment, OriginTargetSurvivorPastCapIsNotFound) {
+  const EastStrategy east;
+  const rng::Rng trial(15);
+  EngineConfig config;
+  config.time_cap = 10;
+  TrialEnvironment env = single_target_environment(grid::kOrigin);
+  env.starts = {3, 25};
+  env.lifetimes = {0, 9000};  // only survivor wakes up after the cap
+  const TrialResult r = run_trial(east, 2, env, trial, config);
+  EXPECT_FALSE(r.found);
+  EXPECT_EQ(r.crashed, 1);
+  EXPECT_EQ(r.time, 10);
+}
+
 // ---------------------------------------------------------------------------
 // New semantics: multi-target races, both backends.
 // ---------------------------------------------------------------------------

@@ -224,6 +224,52 @@ TEST(Histogram, AddCountRebuildsSerializedBins) {
   EXPECT_THROW(rebuilt.add_count(99, 1), std::out_of_range);
 }
 
+TEST(Histogram, AddSaturationRestoresClippedCounters) {
+  // Saturated samples land in the edge bins AND bump the under/overflow
+  // counters; a sparse (bin, count) serialization rebuilds the bins but not
+  // the counters. add_saturation closes the gap without double-counting.
+  Histogram h(0, 10, 5);
+  h.add(-3);  // clips into bin 0, underflow
+  h.add(-1);  // clips into bin 0, underflow
+  h.add(4);   // in-range
+  h.add(25);  // clips into bin 4, overflow
+  ASSERT_EQ(h.underflow(), 2u);
+  ASSERT_EQ(h.overflow(), 1u);
+
+  Histogram rebuilt(0, 10, 5);
+  for (std::size_t b = 0; b < h.bins(); ++b) {
+    if (h.count(b) > 0) rebuilt.add_count(b, h.count(b));
+  }
+  // Bins alone: totals match, saturation lost — the pre-fix behavior.
+  EXPECT_EQ(rebuilt.total(), h.total());
+  EXPECT_EQ(rebuilt.underflow(), 0u);
+  EXPECT_EQ(rebuilt.overflow(), 0u);
+
+  rebuilt.add_saturation(h.underflow(), h.overflow());
+  EXPECT_EQ(rebuilt.underflow(), h.underflow());
+  EXPECT_EQ(rebuilt.overflow(), h.overflow());
+  // No double-count: the clipped samples were already in the edge bins.
+  EXPECT_EQ(rebuilt.total(), h.total());
+  EXPECT_EQ(rebuilt.count(0), h.count(0));
+  EXPECT_EQ(rebuilt.count(4), h.count(4));
+  EXPECT_EQ(rebuilt.render(), h.render());
+  EXPECT_NE(rebuilt.render().find("(saturated:"), std::string::npos);
+}
+
+TEST(Histogram, MergeSumsSaturationCounters) {
+  Histogram a(0, 10, 5);
+  a.add(-1);
+  a.add(12);
+  Histogram b(0, 10, 5);
+  b.add(-2);
+  b.add(-4);
+  b.add(99);
+  a.merge(b);
+  EXPECT_EQ(a.underflow(), 3u);
+  EXPECT_EQ(a.overflow(), 2u);
+  EXPECT_EQ(a.total(), 5u);
+}
+
 TEST(Log2Histogram, DyadicBuckets) {
   Log2Histogram h;
   h.add(0.5);  // bucket 0

@@ -173,6 +173,56 @@ TEST(Telemetry, MetricsJsonRoundTrips) {
                std::invalid_argument);
 }
 
+TEST(Telemetry, SketchSaturationSurvivesJsonAndShardMerge) {
+  // Clipped samples: sub-microsecond durations underflow the log2 domain,
+  // absurdly long ones overflow it. Both land in the edge bins, so the
+  // sparse serialization alone rebuilds a sketch whose quantiles misread
+  // them as in-range — the saturation counters must round-trip too.
+  RunMetrics m;
+  m.cell_duration.add_us(0.25);   // underflow (log2 < 0)
+  m.cell_duration.add_us(0.5);    // underflow
+  m.cell_duration.add_us(2000.0); // in-range
+  m.cell_duration.add_us(3e12);   // overflow (> 2^40 us)
+  ASSERT_EQ(m.cell_duration.saturation(),
+            (std::pair<std::uint64_t, std::uint64_t>{2, 1}));
+
+  const std::string line = metrics_to_json(m, "demo", 0, 2);
+  const RunMetrics back = metrics_from_json(line, nullptr, nullptr, nullptr);
+  EXPECT_EQ(back.cell_duration.saturation(), m.cell_duration.saturation());
+  EXPECT_EQ(back.cell_duration.sparse_bins(), m.cell_duration.sparse_bins());
+  // The "(saturated: ...)" report line survives the round-trip.
+  EXPECT_NE(back.cell_duration.log2_histogram().render().find("(saturated:"),
+            std::string::npos);
+
+  // Shard re-aggregation: merging two round-tripped shards sums the
+  // counters exactly as one process would have counted them.
+  RunMetrics shard2;
+  shard2.cell_duration.add_us(0.1);  // underflow
+  shard2.cell_duration.add_us(5e12); // overflow
+  RunMetrics merged = metrics_from_json(metrics_to_json(m, "demo", 0, 2),
+                                        nullptr, nullptr, nullptr);
+  merged.merge(metrics_from_json(metrics_to_json(shard2, "demo", 1, 2),
+                                 nullptr, nullptr, nullptr));
+  EXPECT_EQ(merged.cell_duration.saturation(),
+            (std::pair<std::uint64_t, std::uint64_t>{3, 2}));
+
+  // Pre-fix records (no saturation keys) read back with zero counters
+  // instead of failing.
+  std::string legacy = metrics_to_json(m, "demo", 0, 2);
+  const auto strip = [&](const std::string& key) {
+    const std::size_t at = legacy.find(",\"" + key + "\":");
+    ASSERT_NE(at, std::string::npos);
+    const std::size_t end = legacy.find_first_of(",}", at + 1 + key.size() + 4);
+    legacy.erase(at, end - at);
+  };
+  strip("cell_hist_under");
+  strip("cell_hist_over");
+  const RunMetrics old = metrics_from_json(legacy, nullptr, nullptr, nullptr);
+  EXPECT_EQ(old.cell_duration.saturation(),
+            (std::pair<std::uint64_t, std::uint64_t>{0, 0}));
+  EXPECT_EQ(old.cell_duration.sparse_bins(), m.cell_duration.sparse_bins());
+}
+
 TEST(Telemetry, RunMetricsMergeSumsEverything) {
   RunMetrics a, b;
   a.cells_total = 3;

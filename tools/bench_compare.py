@@ -23,6 +23,15 @@ slower than R x its baseline — the CI benchmark-smoke job runs with
 --max-ratio 1.35 (see .github/workflows/ci.yml), chosen from the observed
 3-repetition median spread on shared runners.
 
+With --batched-speedup R, additionally pairs every BM_Batched* benchmark
+in the CURRENT run with its BM_Unified* twin (name substitution), prints
+the per-pair unified/batched median ratio, and exits non-zero if the
+MEDIAN of those ratios falls below R. The median — not the min — is the
+scoreboard: the batch executor's wins are concentrated where SIMD has
+leverage (plane sight tests, multi-target scans), while lock-step pairs
+are structurally near 1x because byte-identity pins the per-agent program
+and RNG work, so a min-gate would only measure the worst structural tie.
+
 With --update-baseline, BASELINE.json is REWRITTEN from CURRENT.json's
 medians (one synthetic iteration entry per benchmark, context preserved
 from the current run) and the comparison is skipped. This is the one
@@ -91,6 +100,58 @@ def write_baseline(path, current_path, current):
     return len(benchmarks)
 
 
+def batched_speedup_check(current, floor):
+    """Gates the batch executor against its scalar twins within one run.
+
+    Pairs BM_Batched<X> with BM_Unified<X> by name substitution and
+    requires the MEDIAN unified/batched real_time ratio to reach `floor`.
+    Returns a process exit code.
+    """
+    pairs = []
+    for name in sorted(current):
+        if "Batched" not in name:
+            continue
+        twin = name.replace("Batched", "Unified")
+        if twin not in current:
+            print(f"{name}: no {twin} twin in the current run (skipped)")
+            continue
+        unified = current[twin]["real_time"]
+        batched = current[name]["real_time"]
+        ratio = unified / batched if batched > 0 else float("inf")
+        pairs.append((name, unified, batched, ratio))
+    if not pairs:
+        print(
+            "bench_compare: --batched-speedup found no Batched/Unified "
+            "pairs in the current run"
+        )
+        return 1
+
+    name_w = max(len(name) for name, *_ in pairs)
+    print()
+    print(
+        f"{'batched benchmark':<{name_w}}  {'unified':>12}  {'batched':>12}"
+        "  speedup"
+    )
+    for name, unified, batched, ratio in pairs:
+        unit = current[name]["time_unit"]
+        print(
+            f"{name:<{name_w}}  {unified:>10.1f}{unit}  "
+            f"{batched:>10.1f}{unit}  {ratio:>6.2f}x"
+        )
+    med = statistics.median(ratio for *_, ratio in pairs)
+    print(
+        f"batched speedup: median {med:.2f}x over {len(pairs)} pairs "
+        f"(floor {floor:.2f}x)"
+    )
+    if med < floor:
+        print(
+            f"bench_compare: FAILED — median batched speedup {med:.2f}x is "
+            f"below --batched-speedup {floor}"
+        )
+        return 1
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
@@ -106,6 +167,14 @@ def main():
         "--update-baseline",
         action="store_true",
         help="rewrite BASELINE from CURRENT's medians instead of comparing",
+    )
+    parser.add_argument(
+        "--batched-speedup",
+        type=float,
+        default=None,
+        metavar="R",
+        help="fail (exit 1) unless the median BM_Unified*/BM_Batched* "
+        "real_time ratio in the current run is at least R",
     )
     args = parser.parse_args()
 
@@ -136,7 +205,10 @@ def main():
             print(f"{name}: in baseline only (removed or filtered out)")
         for name in sorted(current):
             print(f"{name}: new benchmark (no baseline yet)")
-        return 1 if args.max_ratio is not None else 0
+        rc = 1 if args.max_ratio is not None else 0
+        if args.batched_speedup is not None:
+            rc = max(rc, batched_speedup_check(current, args.batched_speedup))
+        return rc
 
     name_w = max(len(n) for n in shared)
     print(f"{'benchmark':<{name_w}}  {'baseline':>12}  {'current':>12}  ratio")
@@ -162,13 +234,16 @@ def main():
         print(f"{name}: new benchmark (no baseline yet)")
 
     print(f"worst ratio: {worst[1]:.2f}x ({worst[0]})")
+    rc = 0
     if args.max_ratio is not None and worst[1] > args.max_ratio:
         print(
             f"bench_compare: FAILED — worst ratio {worst[1]:.2f}x exceeds "
             f"--max-ratio {args.max_ratio}"
         )
-        return 1
-    return 0
+        rc = 1
+    if args.batched_speedup is not None:
+        rc = max(rc, batched_speedup_check(current, args.batched_speedup))
+    return rc
 
 
 if __name__ == "__main__":
