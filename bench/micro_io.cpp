@@ -1,0 +1,261 @@
+// Microbenchmarks for the sweep I/O fast paths: binary columnar shard
+// artifacts vs the JSONL interchange format, and the packed cell-cache
+// index vs per-hash cache files.
+//
+// The perf contract this harness makes gateable (tools/bench_compare.py
+// --pair-gate, run by the CI benchmark job):
+//
+//   merge throughput   BM_MergeJsonlShards / BM_MergeBinaryShards >= 3x
+//   warm-cache sweep   BM_WarmCacheFilesSweep / BM_WarmCachePackedSweep >= 2x
+//
+// both over a 10,000-cell synthetic spec — the scale where a campaign's
+// merge and warm-resume costs stop being noise. The aggregate values are
+// synthesized (bit-patterned through the shared field table), not computed:
+// these benchmarks time serialization, parsing, and lookup, never trials.
+#include <benchmark/benchmark.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "scenario/agg_fields.h"
+#include "scenario/artifact.h"
+#include "scenario/cache_pack.h"
+#include "scenario/plan.h"
+#include "scenario/sink.h"
+#include "scenario/sweep.h"
+
+namespace {
+
+namespace sc = ants::scenario;
+
+/// Scratch directory shared by every benchmark in this process; removed by
+/// the OS temp policy, unique per pid so concurrent runs never collide.
+const std::string& bench_dir() {
+  static const std::string dir = [] {
+    const std::string d =
+        (std::filesystem::temp_directory_path() /
+         ("ants_micro_io_" + std::to_string(::getpid())))
+            .string();
+    std::filesystem::create_directories(d);
+    return d;
+  }();
+  return dir;
+}
+
+/// The 10k-cell synthetic spec: 100 ks x 100 distances of one strategy.
+/// Nothing here ever runs a trial — the spec exists to give the plan layer
+/// a realistically sized cell grid with realistic hashes.
+const sc::SweepPlan& io_plan() {
+  static const sc::SweepPlan plan = [] {
+    sc::ScenarioSpec spec;
+    spec.name = "io-bench";
+    spec.strategies = {"known-k"};
+    for (std::int64_t k = 1; k <= 100; ++k) spec.ks.push_back(k);
+    for (std::int64_t d = 1; d <= 100; ++d) spec.distances.push_back(d);
+    spec.trials = 1;
+    spec.seed = 7;
+    return sc::make_plan(spec);
+  }();
+  return plan;
+}
+
+/// Deterministic synthetic aggregates, bit-patterned per (cell, field) so
+/// every column carries distinct non-trivial doubles.
+sc::CellResult synth_result(std::size_t cell_index) {
+  sc::CellResult result;
+  const ants::scenario::detail::AggField* fields =
+      ants::scenario::detail::agg_fields();
+  const std::size_t n = ants::scenario::detail::agg_field_count();
+  for (std::size_t f = 0; f < n; ++f) {
+    fields[f].set(result, 0.0625 + static_cast<double>(cell_index * n + f) *
+                              1.0009765625);
+  }
+  return result;
+}
+
+std::vector<sc::ShardEntry> synth_entries(
+    const std::vector<std::size_t>& indices) {
+  std::vector<sc::ShardEntry> entries(indices.size());
+  for (std::size_t j = 0; j < indices.size(); ++j) {
+    entries[j].cell_index = indices[j];
+    entries[j].result = synth_result(indices[j]);
+  }
+  return entries;
+}
+
+sc::ShardHeader shard_header(std::size_t shard, std::size_t n_shards) {
+  const sc::SweepPlan& plan = io_plan();
+  sc::ShardHeader header;
+  header.format_version = sc::cell_format_version();
+  header.spec_hash = plan.spec_hash;
+  header.spec_text = plan.spec.canonical();
+  header.shard = shard;
+  header.n_shards = n_shards;
+  header.n_cells_total = plan.cells.size();
+  return header;
+}
+
+constexpr std::size_t kShards = 3;
+
+/// Writes the 3-shard artifact set once per format; returns the paths.
+const std::vector<std::string>& shard_paths(sc::ArtifactFormat format) {
+  static const auto make = [](sc::ArtifactFormat fmt) {
+    const sc::SweepPlan& plan = io_plan();
+    const char* ext = fmt == sc::ArtifactFormat::kBinary ? ".bin" : ".jsonl";
+    std::vector<std::string> paths;
+    for (std::size_t s = 1; s <= kShards; ++s) {
+      const std::string path =
+          bench_dir() + "/shard_" + std::to_string(s) + ext;
+      const std::vector<sc::ShardEntry> entries =
+          synth_entries(sc::shard_cell_indices(plan, s, kShards));
+      if (fmt == sc::ArtifactFormat::kBinary) {
+        sc::write_binary_artifact(path, shard_header(s, kShards), entries);
+      } else {
+        sc::write_shard_artifact(path, shard_header(s, kShards), entries);
+      }
+      paths.push_back(path);
+    }
+    return paths;
+  };
+  static const std::vector<std::string> jsonl =
+      make(sc::ArtifactFormat::kJsonl);
+  static const std::vector<std::string> binary =
+      make(sc::ArtifactFormat::kBinary);
+  return format == sc::ArtifactFormat::kBinary ? binary : jsonl;
+}
+
+// --- artifact write / read -------------------------------------------------
+
+void BM_ArtifactWriteJsonl(benchmark::State& state) {
+  const sc::SweepPlan& plan = io_plan();
+  const std::vector<sc::ShardEntry> entries =
+      synth_entries(sc::shard_cell_indices(plan, 1, 1));
+  const sc::ShardHeader header = shard_header(1, 1);
+  const std::string path = bench_dir() + "/write_bench.jsonl";
+  for (auto _ : state) {
+    sc::write_shard_artifact(path, header, entries);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(entries.size()));
+}
+BENCHMARK(BM_ArtifactWriteJsonl)->Unit(benchmark::kMillisecond);
+
+void BM_ArtifactWriteBinary(benchmark::State& state) {
+  const sc::SweepPlan& plan = io_plan();
+  const std::vector<sc::ShardEntry> entries =
+      synth_entries(sc::shard_cell_indices(plan, 1, 1));
+  const sc::ShardHeader header = shard_header(1, 1);
+  const std::string path = bench_dir() + "/write_bench.bin";
+  for (auto _ : state) {
+    sc::write_binary_artifact(path, header, entries);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(entries.size()));
+}
+BENCHMARK(BM_ArtifactWriteBinary)->Unit(benchmark::kMillisecond);
+
+void BM_ArtifactReadJsonl(benchmark::State& state) {
+  const std::string& path = shard_paths(sc::ArtifactFormat::kJsonl).front();
+  for (auto _ : state) {
+    std::vector<sc::ShardEntry> entries;
+    const sc::ShardHeader header = sc::read_any_artifact(path, &entries);
+    benchmark::DoNotOptimize(header.spec_hash);
+    benchmark::DoNotOptimize(entries.data());
+  }
+}
+BENCHMARK(BM_ArtifactReadJsonl)->Unit(benchmark::kMillisecond);
+
+void BM_ArtifactReadBinary(benchmark::State& state) {
+  const std::string& path = shard_paths(sc::ArtifactFormat::kBinary).front();
+  for (auto _ : state) {
+    std::vector<sc::ShardEntry> entries;
+    const sc::ShardHeader header = sc::read_any_artifact(path, &entries);
+    benchmark::DoNotOptimize(header.spec_hash);
+    benchmark::DoNotOptimize(entries.data());
+  }
+}
+BENCHMARK(BM_ArtifactReadBinary)->Unit(benchmark::kMillisecond);
+
+// --- full merge: the pair-gated >= 3x contract -----------------------------
+
+void BM_MergeJsonlShards(benchmark::State& state) {
+  const sc::SweepPlan& plan = io_plan();
+  const std::vector<std::string>& paths =
+      shard_paths(sc::ArtifactFormat::kJsonl);
+  for (auto _ : state) {
+    const std::vector<sc::CellResult> merged = sc::merge_shards(plan, paths);
+    benchmark::DoNotOptimize(merged.data());
+  }
+  state.SetItemsProcessed(
+      state.iterations() * static_cast<std::int64_t>(plan.cells.size()));
+}
+BENCHMARK(BM_MergeJsonlShards)->Unit(benchmark::kMillisecond);
+
+void BM_MergeBinaryShards(benchmark::State& state) {
+  const sc::SweepPlan& plan = io_plan();
+  const std::vector<std::string>& paths =
+      shard_paths(sc::ArtifactFormat::kBinary);
+  for (auto _ : state) {
+    const std::vector<sc::CellResult> merged = sc::merge_shards(plan, paths);
+    benchmark::DoNotOptimize(merged.data());
+  }
+  state.SetItemsProcessed(
+      state.iterations() * static_cast<std::int64_t>(plan.cells.size()));
+}
+BENCHMARK(BM_MergeBinaryShards)->Unit(benchmark::kMillisecond);
+
+// --- warm-cache sweep: the pair-gated >= 2x contract -----------------------
+
+/// Seeds a cache_dir with every plan cell's synthetic aggregates via the
+/// public store path, once per process.
+const std::string& seeded_cache_dir(bool packed) {
+  static const auto seed = [](const std::string& name) {
+    const std::string dir = bench_dir() + "/" + name;
+    const sc::SweepPlan& plan = io_plan();
+    for (std::size_t i = 0; i < plan.cells.size(); ++i) {
+      sc::cache_store(dir, plan.cells[i].hash, synth_result(i));
+    }
+    return dir;
+  };
+  static const std::string files_dir = seed("cache_files");
+  static const std::string packed_dir = [&] {
+    const std::string dir = seed("cache_packed");
+    sc::pack_cache_dir(dir);
+    return dir;
+  }();
+  return packed ? packed_dir : files_dir;
+}
+
+/// One warm sweep pass: every cell hits the cache, zero trials execute —
+/// the iteration measures the cache front end (and result assembly) alone.
+void warm_sweep(benchmark::State& state, bool packed) {
+  const sc::SweepPlan& plan = io_plan();
+  sc::SweepOptions opt;
+  opt.threads = 1;
+  opt.cache_dir = seeded_cache_dir(packed);
+  for (auto _ : state) {
+    const std::vector<sc::CellResult> results =
+        sc::run_shard(plan, 1, 1, opt);
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(
+      state.iterations() * static_cast<std::int64_t>(plan.cells.size()));
+}
+
+void BM_WarmCacheFilesSweep(benchmark::State& state) {
+  warm_sweep(state, /*packed=*/false);
+}
+BENCHMARK(BM_WarmCacheFilesSweep)->Unit(benchmark::kMillisecond);
+
+void BM_WarmCachePackedSweep(benchmark::State& state) {
+  warm_sweep(state, /*packed=*/true);
+}
+BENCHMARK(BM_WarmCachePackedSweep)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,119 @@
+// Binary columnar shard artifacts: the zero-copy interchange format.
+//
+// The JSONL artifact (sink.h) is the debuggable, diff-able interchange
+// format; this is its fast twin. A binary artifact stores the same header
+// and the same per-cell aggregates, but as fixed-width column arrays — one
+// u64 cell_index column, one f64 column per entry of the shared aggregate
+// table (agg_fields.h), one u8 from_cache column — so a reader can mmap the
+// file and load any value with pointer arithmetic instead of parsing text.
+// Doubles are stored as raw IEEE-754 bit patterns, which makes the
+// round-trip exact by construction (the JSONL path gets the same guarantee
+// from util::fmt_exact); merged CSVs are byte-identical across formats.
+//
+// Layout (all integers little-endian; offsets 8-byte aligned):
+//
+//   [0]   magic            8 bytes  "ANTSHRD\x01"
+//   [8]   meta section:
+//           u32 format_version      scenario::cell_format_version() stamp
+//           u32 n_fields            agg_field_count() at write time
+//           u64 spec_hash
+//           u64 shard               1-based
+//           u64 n_shards
+//           u64 n_cells_total       cells in the whole plan
+//           u64 n_cells_shard       rows in this artifact
+//           u64 spec_text_size
+//           u64 metrics_size        0 = no telemetry line
+//           u64 names_size          agg_field_names_blob() size
+//           spec_text, metrics line, names blob (raw bytes, no terminators)
+//           u32 meta_crc            CRC-32 of every meta byte above
+//           zero padding to the next 8-byte boundary
+//   [..]  columns section:
+//           u64 cell_index[n_cells_shard]
+//           f64-bits agg[field][n_cells_shard]   one array per table entry,
+//                                                table order
+//           u8  from_cache[n_cells_shard]
+//           u32 columns_crc         CRC-32 of the whole columns section
+//
+// The two CRCs split corruption from incompatibility: a meta CRC or magic
+// failure means the file is damaged or not ours; a names-blob mismatch
+// against the running build's table means the artifact was written by an
+// incompatible build and must be regenerated. Truncation always lands in
+// the columns CRC (or an out-of-bounds section size), never in silently
+// short reads.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/sink.h"
+#include "util/mmap.h"
+
+namespace ants::scenario {
+
+// (ArtifactFormat, the writer-side format selector, lives in sweep.h next
+// to write_shard — readers never need it, the magic sniff decides.)
+
+/// True when the file starts with the binary artifact magic. A short or
+/// unreadable file is simply "not binary" (the JSONL reader will produce
+/// the real error).
+bool is_binary_artifact(const std::string& path);
+
+/// Writes header + entries in the binary columnar layout. Atomic
+/// (unique temp + rename) like its JSONL counterpart, so a killed writer
+/// never publishes a partial artifact. `metrics_line` mirrors
+/// write_shard_artifact's.
+void write_binary_artifact(const std::string& path, const ShardHeader& header,
+                           const std::vector<ShardEntry>& entries,
+                           const std::string* metrics_line = nullptr);
+
+/// Zero-copy reader over one mmap'ed binary artifact. Construction
+/// validates magic, both CRCs, section bounds, and the embedded aggregate
+/// field names against the running build's table, throwing
+/// std::invalid_argument ("shard artifact <path>: <what>") on any failure —
+/// after that, every accessor is a plain aligned-or-memcpy load.
+class BinaryArtifactReader {
+ public:
+  explicit BinaryArtifactReader(const std::string& path);
+
+  const ShardHeader& header() const noexcept { return header_; }
+  const std::string& metrics_line() const noexcept { return metrics_line_; }
+  std::size_t n_cells() const noexcept { return n_cells_; }
+
+  std::uint64_t cell_index(std::size_t i) const noexcept;
+  /// Value of aggregate-table column `field` (0-based, table order) for
+  /// row i, bit-exact as written.
+  double value(std::size_t field, std::size_t i) const noexcept;
+  bool from_cache(std::size_t i) const noexcept;
+
+  /// Materializes row i as a ShardEntry (result.cell left default; the
+  /// merge reattaches it from the plan, same as the JSONL path).
+  ShardEntry entry(std::size_t i) const;
+
+ private:
+  util::MappedFile map_;
+  ShardHeader header_;
+  std::string metrics_line_;
+  std::size_t n_cells_ = 0;
+  std::size_t n_fields_ = 0;
+  std::size_t columns_off_ = 0;  ///< byte offset of cell_index[0]
+};
+
+/// Reads either artifact format, dispatching on the magic sniff: the format
+/// is a property of the file, not a flag the caller must thread through.
+/// Same contract as read_shard_artifact (null `entries` reads the header
+/// alone; `metrics_line` gets "" when absent).
+ShardHeader read_any_artifact(const std::string& path,
+                              std::vector<ShardEntry>* entries,
+                              std::string* metrics_line = nullptr);
+
+namespace detail {
+
+/// CRC-32 (IEEE 802.3, reflected) over a byte range. Shared by the binary
+/// artifact sections and the cache-pack journal records.
+std::uint32_t crc32(const void* data, std::size_t size) noexcept;
+
+}  // namespace detail
+
+}  // namespace ants::scenario

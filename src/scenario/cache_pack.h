@@ -1,0 +1,98 @@
+// Packed cell-cache index: one journal file instead of one file per cell.
+//
+// The per-hash cache (sink.h) costs an open+read+parse per cell on every
+// warm lookup; at tens of thousands of cells the sweep's warm path is
+// dominated by filesystem metadata, not arithmetic. `cache pack` compacts
+// the per-hash files into a single append-only journal
+// (<cache_dir>/cache.pack) and run_cells loads it once into an in-memory
+// hash map — a warm sweep then pays one mmap plus hash lookups.
+//
+// Layout:
+//
+//   header:  magic "ANTSPCK\x01" (8 bytes)
+//            u32 format_version       scenario::cell_format_version()
+//            u32 n_fields             agg_field_count() at write time
+//            u64 names_size + names blob (agg_field_names_blob())
+//            u32 header_crc           CRC-32 of the bytes after the magic
+//   records: u32 record magic "PCK1"
+//            u64 cell hash
+//            f64-bits value[n_fields] (aggregate table order)
+//            u32 record_crc           CRC-32 of hash + values
+//
+// Every record is self-framed (magic + CRC), so concurrent appenders using
+// O_APPEND stay safe: a torn or interleaved tail fails its CRC and the
+// reader resynchronizes on the next record magic, counting what it skipped.
+// Duplicate hashes are legal — last record wins — which is what makes the
+// journal appendable without coordination. A header that does not match the
+// running build (version, field count, names) reads as "no pack": lookups
+// fall back to the per-hash files, and cell hashes embed the format version
+// anyway, so a stale pack can never serve a wrong value — only a useless
+// one.
+//
+// The killed-shard resume contract is unchanged: finalize_cell appends to
+// the journal (when a pack exists) or writes a per-hash file, both atomic,
+// so a rerun after SIGKILL reuses every completed cell.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "scenario/sweep.h"
+
+namespace ants::scenario {
+
+/// What pack_cache_dir did, for the CLI to report.
+struct PackStats {
+  std::size_t packed_cells = 0;    ///< distinct hashes in the new pack
+  std::size_t folded_files = 0;    ///< per-hash .cell files absorbed+removed
+  std::size_t corrupt_dropped = 0; ///< corrupt files/records discarded
+};
+
+/// Compacts `dir` in place: existing pack records (if any) plus every
+/// parseable *.cell file fold into a fresh cache.pack (written atomically),
+/// then the folded .cell files are removed. Corrupt .cell files and corrupt
+/// journal records are dropped and counted. Safe to run on a cache_dir that
+/// has neither — the result is an empty-but-valid pack.
+PackStats pack_cache_dir(const std::string& dir);
+
+/// The in-memory index over one cache.pack, loaded once per run_cells.
+/// Lookups and appends are thread-safe within the process; appends from
+/// concurrent shard processes are safe via O_APPEND + per-record framing.
+class PackedCacheIndex {
+ public:
+  /// Loads <dir>/cache.pack if present and compatible. Never throws on
+  /// journal content: an absent, incompatible, or unreadable pack leaves
+  /// present() false, and corrupt records are skipped and counted.
+  explicit PackedCacheIndex(const std::string& dir);
+  ~PackedCacheIndex();
+
+  PackedCacheIndex(const PackedCacheIndex&) = delete;
+  PackedCacheIndex& operator=(const PackedCacheIndex&) = delete;
+
+  /// True when a compatible pack was found — lookups and appends are live.
+  bool present() const noexcept { return present_; }
+  /// Distinct hashes in the index.
+  std::size_t size() const noexcept { return index_.size(); }
+  /// Torn or corrupt journal records skipped during load.
+  std::size_t corrupt_records() const noexcept { return corrupt_records_; }
+
+  /// On hit, loads the aggregates into `result` (which keeps its Cell),
+  /// mirroring cache_lookup's contract.
+  bool load(std::uint64_t hash, CellResult* result) const;
+
+  /// Appends one CRC-framed record to the journal (O_APPEND) and updates
+  /// the in-memory index. Throws std::runtime_error if the write fails.
+  void append(std::uint64_t hash, const CellResult& result);
+
+ private:
+  bool present_ = false;
+  int fd_ = -1;  ///< journal descriptor, O_APPEND, owned
+  std::size_t corrupt_records_ = 0;
+  std::unordered_map<std::uint64_t, std::vector<double>> index_;
+  mutable std::mutex mutex_;
+};
+
+}  // namespace ants::scenario

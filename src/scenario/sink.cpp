@@ -12,6 +12,7 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "scenario/agg_fields.h"
 #include "scenario/json.h"
 #include "scenario/registry.h"
 #include "sim/metrics.h"
@@ -259,14 +260,11 @@ std::string cache_path(const std::string& dir, std::uint64_t hash) {
   return dir + "/" + name;
 }
 
-/// One serialized aggregate of a CellResult. The cache record (key=value
-/// lines) and the shard artifact (JSON) share this table, so the two
+/// The one definition of the shared aggregate table (agg_fields.h): the
+/// cache record (key=value lines), the packed cache journal, and both
+/// shard-artifact formats (JSONL and binary columnar) all index it, so the
 /// formats can never drift apart field-by-field.
-struct AggField {
-  const char* name;
-  double (*get)(const CellResult&);
-  void (*set)(CellResult&, double);
-};
+using detail::AggField;
 
 constexpr AggField kAggFields[] = {
     {"n",
@@ -335,23 +333,38 @@ bool parse_double_exact(const std::string& text, double* out) {
   return !text.empty() && end == text.c_str() + text.size();
 }
 
-/// A temp-file name no other writer — thread or process — can collide on:
-/// racing stores of one entry each write their own temp and the renames
-/// serialize on the final path (POSIX rename replaces atomically).
+}  // namespace
+
+namespace detail {
+
+const AggField* agg_fields() noexcept { return kAggFields; }
+
+std::size_t agg_field_count() noexcept {
+  return sizeof(kAggFields) / sizeof(kAggFields[0]);
+}
+
+std::string agg_field_names_blob() {
+  std::string out;
+  for (const AggField& field : kAggFields) {
+    if (!out.empty()) out += '\n';
+    out += field.name;
+  }
+  return out;
+}
+
 std::string unique_tmp_path(const std::string& path) {
   static std::atomic<std::uint64_t> counter{0};
   return path + ".tmp." + std::to_string(static_cast<long long>(::getpid())) +
          "." + std::to_string(counter.fetch_add(1));
 }
 
-/// Write-then-rename publication shared by cache entries and shard
-/// artifacts: `fill` streams the content; a short write (e.g. disk full)
-/// removes the temp and throws instead of publishing.
 void atomic_write(const std::string& path,
-                  const std::function<void(std::ostream&)>& fill) {
+                  const std::function<void(std::ostream&)>& fill,
+                  bool binary) {
   const std::string tmp = unique_tmp_path(path);
   {
-    std::ofstream out(tmp);
+    std::ofstream out(tmp, binary ? std::ios::binary | std::ios::out
+                                  : std::ios::out);
     if (!out) throw std::runtime_error("cannot write file: " + tmp);
     fill(out);
     out.flush();
@@ -364,18 +377,18 @@ void atomic_write(const std::string& path,
   std::filesystem::rename(tmp, path);
 }
 
-}  // namespace
+}  // namespace detail
 
-bool cache_load(const std::string& dir, std::uint64_t hash,
-                CellResult* result) {
+CacheLookup cache_lookup(const std::string& dir, std::uint64_t hash,
+                         CellResult* result) {
   std::ifstream in(cache_path(dir, hash));
-  if (!in) return false;
+  if (!in) return CacheLookup::kMiss;
 
   std::map<std::string, std::string> fields;
   std::string line;
   while (std::getline(in, line)) {
     const std::size_t eq = line.find('=');
-    if (eq == std::string::npos) return false;
+    if (eq == std::string::npos) return CacheLookup::kCorrupt;
     fields[line.substr(0, eq)] = line.substr(eq + 1);
   }
 
@@ -384,19 +397,24 @@ bool cache_load(const std::string& dir, std::uint64_t hash,
     const auto it = fields.find(field.name);
     double value = 0;
     if (it == fields.end() || !parse_double_exact(it->second, &value)) {
-      return false;
+      return CacheLookup::kCorrupt;
     }
     field.set(loaded, value);
   }
   loaded.cell = std::move(result->cell);
   *result = std::move(loaded);
-  return true;
+  return CacheLookup::kHit;
+}
+
+bool cache_load(const std::string& dir, std::uint64_t hash,
+                CellResult* result) {
+  return cache_lookup(dir, hash, result) == CacheLookup::kHit;
 }
 
 void cache_store(const std::string& dir, std::uint64_t hash,
                  const CellResult& result) {
   std::filesystem::create_directories(dir);
-  atomic_write(cache_path(dir, hash), [&](std::ostream& out) {
+  detail::atomic_write(cache_path(dir, hash), [&](std::ostream& out) {
     for (const AggField& field : kAggFields) {
       out << field.name << "=" << fmt_exact(field.get(result)) << "\n";
     }
@@ -477,7 +495,7 @@ void write_shard_artifact(const std::string& path, const ShardHeader& header,
     bad_artifact(path, "metrics line does not start with " +
                            std::string(kMetricsLinePrefix));
   }
-  atomic_write(path, [&](std::ostream& out) {
+  detail::atomic_write(path, [&](std::ostream& out) {
     out << "{\"kind\":\"" << kArtifactKind << "\""
         << ",\"format_version\":" << header.format_version
         << ",\"spec_hash\":\"" << std::hex << header.spec_hash << std::dec

@@ -93,11 +93,22 @@ void emit_results(const ScenarioSpec& spec,
 
 // --- per-cell result cache -------------------------------------------------
 
-/// Loads cached aggregates for a cell hash into `result` (which keeps its
-/// Cell); false if absent or unreadable. Loaded stats carry aggregates only
+/// Outcome of a per-hash cache probe. kCorrupt means the entry FILE exists
+/// but does not parse (garbage bytes, a torn line, a missing field) — the
+/// sweep treats it exactly like a miss (recompute and overwrite, never
+/// abort) but telemetry counts it separately (cache_corrupt), because a
+/// corruption rate is an operational signal a plain miss is not.
+enum class CacheLookup { kMiss, kHit, kCorrupt };
+
+/// Probes the per-hash cache for a cell hash; on kHit the aggregates load
+/// into `result` (which keeps its Cell). Loaded stats carry aggregates only
 /// (stats.times stays empty); the environment extras (from_last_start
 /// mean/median, mean_crashed, mean_last_start, mean_first_target)
 /// round-trip.
+CacheLookup cache_lookup(const std::string& dir, std::uint64_t hash,
+                         CellResult* result);
+
+/// cache_lookup reduced to hit-or-not (corrupt reads as a miss).
 bool cache_load(const std::string& dir, std::uint64_t hash,
                 CellResult* result);
 

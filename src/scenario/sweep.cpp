@@ -10,6 +10,8 @@
 #include <utility>
 
 #include "rng/splitmix64.h"
+#include "scenario/artifact.h"
+#include "scenario/cache_pack.h"
 #include "scenario/environment.h"
 #include "scenario/registry.h"
 #include "scenario/sink.h"
@@ -78,13 +80,44 @@ std::vector<CellResult> run_cells(const ScenarioSpec& spec,
   // one only advances when progress printing is on).
   std::atomic<std::uint64_t> cells_done{0};
 
+  // Packed-index cache front end: when the cache_dir has been compacted
+  // (`search_lab cache pack`), warm lookups hit an in-memory map loaded
+  // once from the mmap'ed journal instead of an open+parse per cell. The
+  // per-hash files remain the fallback on index misses, so a packed and an
+  // unpacked cache_dir serve byte-identical results. Torn journal records
+  // skipped during the load surface as cache_corrupt telemetry — same
+  // signal as a corrupt per-hash file.
+  std::unique_ptr<PackedCacheIndex> pack;
+  if (!opt.cache_dir.empty()) {
+    pack = std::make_unique<PackedCacheIndex>(opt.cache_dir);
+    if (!pack->present()) pack.reset();
+    if (pack != nullptr && tel != nullptr && pack->corrupt_records() > 0) {
+      tel->record_cache_corrupt(pack->corrupt_records());
+    }
+  }
+
   // Cache pass: cells whose aggregates are already on disk never re-run —
   // also how a killed shard resumes, since finished cells persist as the
-  // sweep runs (see finalize_cell below).
+  // sweep runs (see finalize_cell below). A corrupt per-hash entry (torn
+  // bytes, missing field) reads as a miss — the cell recomputes and the
+  // overwrite heals the cache — but is counted separately: a corruption
+  // rate is an operational signal a plain miss is not.
   std::vector<std::size_t> pending;
   for (std::size_t i = 0; i < n_cells; ++i) {
-    if (!opt.cache_dir.empty() &&
-        cache_load(opt.cache_dir, cells[i].hash, &results[i])) {
+    bool hit = false;
+    if (!opt.cache_dir.empty()) {
+      if (pack != nullptr && pack->load(cells[i].hash, &results[i])) {
+        hit = true;
+      } else {
+        const CacheLookup lookup =
+            cache_lookup(opt.cache_dir, cells[i].hash, &results[i]);
+        hit = lookup == CacheLookup::kHit;
+        if (lookup == CacheLookup::kCorrupt && tel != nullptr) {
+          tel->record_cache_corrupt();
+        }
+      }
+    }
+    if (hit) {
       results[i].from_cache = true;
       report_cell(cells[i], "cached");
       if (tel != nullptr) {
@@ -211,7 +244,16 @@ std::vector<CellResult> run_cells(const ScenarioSpec& spec,
                   static_cast<double>(found[i].load())
             : -1.0;
     if (!opt.cache_dir.empty()) {
-      cache_store(opt.cache_dir, cells[i].hash, results[i]);
+      // Packed cache_dirs take the append-journal path (one O_APPEND write,
+      // CRC-framed, safe against concurrent shard processes); unpacked ones
+      // keep the per-hash temp+rename discipline. Either way the cell
+      // persists the moment it completes — the killed-shard resume
+      // contract.
+      if (pack != nullptr) {
+        pack->append(cells[i].hash, results[i]);
+      } else {
+        cache_store(opt.cache_dir, cells[i].hash, results[i]);
+      }
     }
     report_cell(cells[i], "done");
     if (tel != nullptr) {
@@ -395,7 +437,8 @@ std::vector<CellResult> run_shard(const SweepPlan& plan, std::size_t shard,
 void write_shard(const std::string& path, const SweepPlan& plan,
                  std::size_t shard, std::size_t n_shards,
                  const std::vector<CellResult>& results,
-                 const telemetry::RunMetrics* metrics) {
+                 const telemetry::RunMetrics* metrics,
+                 ArtifactFormat format) {
   const std::vector<std::size_t> indices =
       shard_cell_indices(plan, shard, n_shards);
   if (results.size() != indices.size()) {
@@ -431,12 +474,17 @@ void write_shard(const std::string& path, const SweepPlan& plan,
     slim.mean_first_target = full.mean_first_target;
     slim.from_cache = full.from_cache;
   }
+  std::string line;
+  const std::string* metrics_line = nullptr;
   if (metrics != nullptr) {
-    const std::string line = telemetry::metrics_to_json(
-        *metrics, plan.spec.name, shard, n_shards);
-    write_shard_artifact(path, header, entries, &line);
+    line = telemetry::metrics_to_json(*metrics, plan.spec.name, shard,
+                                      n_shards);
+    metrics_line = &line;
+  }
+  if (format == ArtifactFormat::kBinary) {
+    write_binary_artifact(path, header, entries, metrics_line);
   } else {
-    write_shard_artifact(path, header, entries);
+    write_shard_artifact(path, header, entries, metrics_line);
   }
 }
 
@@ -448,11 +496,31 @@ std::vector<CellResult> merge_shards(const SweepPlan& plan,
   std::vector<CellResult> merged(n);
   std::vector<bool> seen(n, false);
 
-  for (const std::string& path : paths) {
+  // Read phase runs one artifact per pool slot — I/O and parsing dominate a
+  // merge, and the artifacts are independent files. read_any_artifact
+  // dispatches per file on the magic sniff, so JSONL and binary shards mix
+  // freely in one merge. parallel_for propagates the first reader's
+  // exception, so a bad artifact still fails the merge with its own
+  // message.
+  struct LoadedShard {
+    ShardHeader header;
     std::vector<ShardEntry> entries;
     std::string metrics_line;
-    const ShardHeader header =
-        read_shard_artifact(path, &entries, &metrics_line);
+  };
+  std::vector<LoadedShard> shards(paths.size());
+  util::parallel_for(paths.size(), [&](std::size_t i) {
+    shards[i].header = read_any_artifact(paths[i], &shards[i].entries,
+                                         &shards[i].metrics_line);
+  });
+
+  // Validation and placement stay sequential in `paths` order: duplicate
+  // detection attributes the SECOND artifact to touch a cell, which must
+  // not depend on read-completion timing.
+  for (std::size_t pi = 0; pi < paths.size(); ++pi) {
+    const std::string& path = paths[pi];
+    const ShardHeader& header = shards[pi].header;
+    std::vector<ShardEntry>& entries = shards[pi].entries;
+    const std::string& metrics_line = shards[pi].metrics_line;
     if (metrics_out != nullptr && !metrics_line.empty()) {
       // Exact re-aggregation: counter sums plus a bin-wise sketch merge, so
       // the campaign-level quantiles equal a single process's. An artifact
@@ -515,7 +583,7 @@ std::vector<CellResult> merge_shards(const std::vector<std::string>& paths,
                                      ScenarioSpec* spec_out,
                                      telemetry::RunMetrics* metrics_out) {
   if (paths.empty()) detail::bad("merge_shards: no artifacts given");
-  const ShardHeader header = read_shard_artifact(paths.front(), nullptr);
+  const ShardHeader header = read_any_artifact(paths.front(), nullptr);
   const std::vector<ScenarioSpec> specs = parse_spec_text(header.spec_text);
   if (specs.size() != 1) {
     detail::bad("shard artifact " + paths.front() +

@@ -112,6 +112,7 @@ void RunMetrics::merge(const RunMetrics& other) {
   trials_executed += other.trials_executed;
   cache_hits += other.cache_hits;
   cache_misses += other.cache_misses;
+  cache_corrupt += other.cache_corrupt;
   plan_us += other.plan_us;
   execute_us += other.execute_us;
   merge_us += other.merge_us;
@@ -153,6 +154,7 @@ std::string metrics_to_json(const RunMetrics& metrics,
   out += ",\"trials_executed\":" + std::to_string(metrics.trials_executed);
   out += ",\"cache_hits\":" + std::to_string(metrics.cache_hits);
   out += ",\"cache_misses\":" + std::to_string(metrics.cache_misses);
+  out += ",\"cache_corrupt\":" + std::to_string(metrics.cache_corrupt);
   out += ",\"plan_ms\":" + fmt_ms(metrics.plan_us);
   out += ",\"execute_ms\":" + fmt_ms(metrics.execute_us);
   out += ",\"merge_ms\":" + fmt_ms(metrics.merge_us);
@@ -251,6 +253,9 @@ RunMetrics metrics_from_json(const std::string& line, std::string* scenario,
   };
   m.cell_duration.add_saturation(optional_count("cell_hist_under"),
                                  optional_count("cell_hist_over"));
+  // Same lenient treatment: cache_corrupt postdates the first metrics
+  // records, so its absence reads as zero.
+  m.cache_corrupt = optional_count("cache_corrupt");
 
   if (scenario != nullptr) {
     const det::JsonValue* name = find("scenario");

@@ -141,6 +141,11 @@ struct RunMetrics {
   std::uint64_t trials_executed = 0; ///< trials run (cached cells run none)
   std::uint64_t cache_hits = 0;      ///< cache lookups that hit
   std::uint64_t cache_misses = 0;    ///< cache lookups that missed
+  /// Cache entries that existed but failed to parse or verify (torn
+  /// per-hash file, journal record with a bad CRC). Each also counts as a
+  /// miss — the cell recomputes and the store heals the cache — but a
+  /// corruption rate is an operational signal a plain miss is not.
+  std::uint64_t cache_corrupt = 0;
   std::int64_t plan_us = 0;          ///< plan phase (flatten/make_plan) wall
   std::int64_t execute_us = 0;       ///< execute phase (trial loop) wall
   std::int64_t merge_us = 0;         ///< merge phase (merge_shards) wall

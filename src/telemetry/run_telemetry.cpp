@@ -143,6 +143,7 @@ RunMetrics RunTelemetry::snapshot() const {
   m.trials_executed = metrics_.trials_executed.value();
   m.cache_hits = metrics_.cache_hits.value();
   m.cache_misses = metrics_.cache_misses.value();
+  m.cache_corrupt = metrics_.cache_corrupt.value();
   m.plan_us = metrics_.plan.value_us();
   m.execute_us = metrics_.execute.value_us();
   m.merge_us = metrics_.merge.value_us();

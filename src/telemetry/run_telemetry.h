@@ -53,6 +53,12 @@ class RunTelemetry {
 
   void record_cache_hit() { metrics_.cache_hits.add(); }
   void record_cache_miss() { metrics_.cache_misses.add(); }
+  /// A cache entry existed but failed to parse/verify (treated as a miss by
+  /// the sweep; counted separately as an operational signal). `n` > 1
+  /// reports a batch — e.g. torn journal records skipped in one pack load.
+  void record_cache_corrupt(std::uint64_t n = 1) {
+    metrics_.cache_corrupt.add(n);
+  }
 
   /// First trial of a cell has started executing.
   void cell_start(std::size_t cell, const std::string& name, std::int64_t k,
@@ -109,6 +115,7 @@ class RunTelemetry {
     Counter trials_executed;
     Counter cache_hits;
     Counter cache_misses;
+    Counter cache_corrupt;
     Timer plan;
     Timer execute;
     Timer merge;

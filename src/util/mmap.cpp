@@ -1,0 +1,72 @@
+#include "util/mmap.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace ants::util {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& path, const char* what) {
+  throw std::runtime_error("mmap " + path + ": " + what + " (" +
+                           std::strerror(errno) + ")");
+}
+
+}  // namespace
+
+MappedFile::MappedFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) fail(path, "cannot open");
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail(path, "cannot stat");
+  }
+  size_ = static_cast<std::size_t>(st.st_size);
+  if (size_ > 0) {
+    void* map = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (map == MAP_FAILED) {
+      const int saved = errno;
+      ::close(fd);
+      errno = saved;
+      size_ = 0;
+      fail(path, "cannot map");
+    }
+    data_ = static_cast<const std::uint8_t*>(map);
+  }
+  // The mapping keeps the pages alive; the descriptor is not needed past
+  // mmap.
+  ::close(fd);
+}
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<std::uint8_t*>(data_), size_);
+  }
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) {
+      ::munmap(const_cast<std::uint8_t*>(data_), size_);
+    }
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+}  // namespace ants::util

@@ -4,23 +4,66 @@
 # pipeline's headline invariant (the library-level twin lives in
 # tests/scenario_shard_test.cpp).
 #
+# With -DFORMAT=binary every shard writes the binary columnar artifact
+# (artifact.h); -DFORMAT=mixed alternates binary and JSONL shards in ONE
+# merge — the byte-compare then proves the two encodings are
+# interchangeable at the process level, not just in-library. Default:
+# jsonl.
+#
 # With -DRESUME=ON it additionally emulates a killed-and-resumed shard:
 # after all shards complete, half of the shared cell cache is deleted along
 # with shard 1's artifact, and shard 1 reruns — serving the surviving cells
 # from cache and recomputing the rest. The merge of the resumed artifact
-# must still match GOLDEN byte-for-byte.
+# must still match GOLDEN byte-for-byte. Adding -DPACK=ON compacts the
+# surviving cache into the packed journal (`search_lab cache pack`) BEFORE
+# the rerun, so the resume is served through the PackedCacheIndex fast path
+# — the binary-level kill-and-resume-against-packed-cache gate.
+#
+# With -DCATALOG=ON the artifact set is additionally smoke-tested through
+# `search_lab catalog`: the listing must name every artifact with its
+# encoding, and the cell-mode CSV render must produce exactly the plan's
+# row count without a merge.
 #
 #   cmake -DSEARCH_LAB=<bin> -DSPEC=<spec> -DGOLDEN=<csv> -DOUT_DIR=<dir>
-#         -DN_SHARDS=<n> [-DRESUME=ON] -P run_sharded_golden.cmake
+#         -DN_SHARDS=<n> [-DFORMAT=jsonl|binary|mixed] [-DRESUME=ON]
+#         [-DPACK=ON] [-DCATALOG=ON] -P run_sharded_golden.cmake
 foreach(var SEARCH_LAB SPEC GOLDEN OUT_DIR N_SHARDS)
   if(NOT DEFINED ${var})
     message(FATAL_ERROR "run_sharded_golden.cmake: missing -D${var}=")
   endif()
 endforeach()
+if(NOT DEFINED FORMAT)
+  set(FORMAT jsonl)
+endif()
 
 file(REMOVE_RECURSE ${OUT_DIR})
 file(MAKE_DIRECTORY ${OUT_DIR})
 set(cache_dir ${OUT_DIR}/cache)
+
+# Per-shard encoding: uniform for jsonl/binary, alternating (odd shards
+# binary) for mixed.
+foreach(shard RANGE 1 ${N_SHARDS})
+  if(FORMAT STREQUAL "binary")
+    set(fmt_${shard} binary)
+  elseif(FORMAT STREQUAL "mixed")
+    math(EXPR odd "${shard} % 2")
+    if(odd EQUAL 1)
+      set(fmt_${shard} binary)
+    else()
+      set(fmt_${shard} jsonl)
+    endif()
+  elseif(FORMAT STREQUAL "jsonl")
+    set(fmt_${shard} jsonl)
+  else()
+    message(FATAL_ERROR "run_sharded_golden.cmake: FORMAT must be "
+            "jsonl, binary, or mixed (got '${FORMAT}')")
+  endif()
+  if(fmt_${shard} STREQUAL "binary")
+    set(ext_${shard} bin)
+  else()
+    set(ext_${shard} jsonl)
+  endif()
+endforeach()
 
 # Each shard also writes its telemetry (metrics + event log) next to its
 # artifact: the shard artifact embeds the metrics record, so the final
@@ -30,8 +73,8 @@ set(cache_dir ${OUT_DIR}/cache)
 function(run_one_shard shard)
   execute_process(
     COMMAND ${SEARCH_LAB} run --spec=${SPEC}
-            --shard=${shard}/${N_SHARDS}
-            --shard-out=${OUT_DIR}/shard_${shard}.jsonl
+            --shard=${shard}/${N_SHARDS} --format=${fmt_${shard}}
+            --shard-out=${OUT_DIR}/shard_${shard}.${ext_${shard}}
             --cache-dir=${cache_dir} --quiet
             --metrics-out=${OUT_DIR}/shard_${shard}.metrics.json
             --events=${OUT_DIR}/shard_${shard}.events.jsonl
@@ -46,7 +89,7 @@ endfunction()
 set(artifacts "")
 foreach(shard RANGE 1 ${N_SHARDS})
   run_one_shard(${shard})
-  list(APPEND artifacts ${OUT_DIR}/shard_${shard}.jsonl)
+  list(APPEND artifacts ${OUT_DIR}/shard_${shard}.${ext_${shard}})
 endforeach()
 
 if(RESUME)
@@ -55,7 +98,7 @@ if(RESUME)
   # (cells of ALL shards — only shard 1 reruns, so its missing cells
   # recompute and other shards' entries are simply unused) forces the rerun
   # down both the cached and the recompute path.
-  file(REMOVE ${OUT_DIR}/shard_1.jsonl)
+  file(REMOVE ${OUT_DIR}/shard_1.${ext_1})
   file(GLOB cache_entries ${cache_dir}/*.cell)
   list(SORT cache_entries)
   set(index 0)
@@ -66,7 +109,70 @@ if(RESUME)
     endif()
     math(EXPR index "${index} + 1")
   endforeach()
+  if(PACK)
+    # Compact the surviving cells into the packed journal first: the rerun
+    # must then resume THROUGH the PackedCacheIndex (cached cells served
+    # from the mmap'ed pack, recomputed ones appended to it) and still
+    # reproduce GOLDEN below.
+    execute_process(
+      COMMAND ${SEARCH_LAB} cache pack --cache-dir=${cache_dir}
+      RESULT_VARIABLE pack_result)
+    if(NOT pack_result EQUAL 0)
+      message(FATAL_ERROR "search_lab cache pack failed (${pack_result})")
+    endif()
+    file(GLOB leftover_cells ${cache_dir}/*.cell)
+    if(leftover_cells)
+      message(FATAL_ERROR
+              "cache pack left per-cell files behind: ${leftover_cells}")
+    endif()
+  endif()
   run_one_shard(1)
+endif()
+
+if(CATALOG)
+  # Listing mode: every artifact must appear with its encoding.
+  execute_process(
+    COMMAND ${SEARCH_LAB} catalog ${artifacts}
+    OUTPUT_VARIABLE catalog_listing
+    RESULT_VARIABLE catalog_result)
+  if(NOT catalog_result EQUAL 0)
+    message(FATAL_ERROR "search_lab catalog failed (${catalog_result})")
+  endif()
+  foreach(shard RANGE 1 ${N_SHARDS})
+    string(FIND "${catalog_listing}" "shard_${shard}.${ext_${shard}}" at)
+    if(at EQUAL -1)
+      message(FATAL_ERROR
+              "catalog listing is missing shard_${shard}.${ext_${shard}}:\n"
+              "${catalog_listing}")
+    endif()
+    string(FIND "${catalog_listing}" "${fmt_${shard}}" at)
+    if(at EQUAL -1)
+      message(FATAL_ERROR
+              "catalog listing does not name the ${fmt_${shard}} encoding:\n"
+              "${catalog_listing}")
+    endif()
+  endforeach()
+
+  # Cell mode: rendering every cell across the artifact set (no merge) must
+  # emit exactly the plan's cell count — header line + one row per cell of
+  # GOLDEN, whose row count is the plan's by construction.
+  execute_process(
+    COMMAND ${SEARCH_LAB} catalog ${artifacts}
+            --csv=${OUT_DIR}/catalog.csv --quiet
+    RESULT_VARIABLE catalog_csv_result)
+  if(NOT catalog_csv_result EQUAL 0)
+    message(FATAL_ERROR
+            "search_lab catalog --csv failed (${catalog_csv_result})")
+  endif()
+  file(STRINGS ${OUT_DIR}/catalog.csv catalog_lines)
+  list(LENGTH catalog_lines catalog_n)
+  file(STRINGS ${GOLDEN} golden_lines)
+  list(LENGTH golden_lines golden_n)
+  if(NOT catalog_n EQUAL golden_n)
+    message(FATAL_ERROR
+            "catalog cell render has ${catalog_n} lines, golden has "
+            "${golden_n} — the catalog dropped or duplicated cells")
+  endif()
 endif()
 
 execute_process(

@@ -1,0 +1,311 @@
+// Binary columnar shard artifacts (scenario/artifact.h): bit-exact
+// round-trips, format sniffing, CRC/truncation detection, and the headline
+// invariant extended across encodings — a merge over binary or mixed
+// binary+JSONL shards renders the SAME golden CSV bytes as the
+// single-process run, because both formats serialize the same aggregate
+// table with exact doubles.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "scenario/agg_fields.h"
+#include "scenario/artifact.h"
+#include "scenario/plan.h"
+#include "scenario/sink.h"
+#include "scenario/spec.h"
+#include "scenario/sweep.h"
+#include "telemetry/metrics.h"
+
+#ifndef ANTS_SOURCE_DIR
+#error "ANTS_SOURCE_DIR must point at the repository root"
+#endif
+
+namespace ants::scenario {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+}
+
+ScenarioSpec golden_spec(const std::string& stem) {
+  const std::string dir = std::string(ANTS_SOURCE_DIR) + "/tests/golden/";
+  const std::vector<ScenarioSpec> specs = parse_spec_file(dir + stem +
+                                                          ".spec");
+  EXPECT_EQ(specs.size(), 1u);
+  return specs.front();
+}
+
+std::string golden_csv(const std::string& stem) {
+  return read_file(std::string(ANTS_SOURCE_DIR) + "/tests/golden/" + stem +
+                   ".golden.csv");
+}
+
+std::string scratch_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "ants_artifact_" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::string render_csv(const ScenarioSpec& spec,
+                       const std::vector<CellResult>& results,
+                       const std::string& path) {
+  {
+    CsvSink csv(path);
+    std::vector<ResultSink*> sinks = {&csv};
+    emit_results(spec, results, sinks);
+  }
+  return read_file(path);
+}
+
+/// Runs every shard of an N-way split and writes each artifact in the
+/// format `formats[shard-1]` selects — the mixed-encoding generalization
+/// of the shard test's helper.
+std::vector<std::string> run_all_shards(
+    const SweepPlan& plan, const std::vector<ArtifactFormat>& formats,
+    const std::string& dir) {
+  const std::size_t n_shards = formats.size();
+  std::vector<std::string> paths;
+  for (std::size_t shard = 1; shard <= n_shards; ++shard) {
+    const std::vector<CellResult> results = run_shard(plan, shard, n_shards);
+    const bool binary = formats[shard - 1] == ArtifactFormat::kBinary;
+    const std::string path = dir + "/shard_" + std::to_string(shard) +
+                             (binary ? ".bin" : ".jsonl");
+    write_shard(path, plan, shard, n_shards, results, nullptr,
+                formats[shard - 1]);
+    paths.push_back(path);
+  }
+  return paths;
+}
+
+/// The message of the std::invalid_argument `fn` must throw.
+template <typename Fn>
+std::string error_message(Fn&& fn) {
+  try {
+    fn();
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected std::invalid_argument";
+  return "";
+}
+
+// --- round-trip ------------------------------------------------------------
+
+TEST(BinaryArtifact, AggregatesRoundTripBitForBit) {
+  const ScenarioSpec spec = golden_spec("step_async");
+  const SweepPlan plan = make_plan(spec);
+  const std::string dir = scratch_dir("roundtrip");
+  const std::vector<CellResult> results = run_shard(plan, 1, 2);
+  const std::string path = dir + "/shard.bin";
+  write_shard(path, plan, 1, 2, results, nullptr, ArtifactFormat::kBinary);
+  ASSERT_TRUE(is_binary_artifact(path));
+
+  // Once through the zero-copy reader directly...
+  BinaryArtifactReader reader(path);
+  EXPECT_EQ(reader.header().format_version, cell_format_version());
+  EXPECT_EQ(reader.header().spec_hash, plan.spec_hash);
+  EXPECT_EQ(reader.header().spec_text, plan.spec.canonical());
+  EXPECT_EQ(reader.header().shard, 1u);
+  EXPECT_EQ(reader.header().n_shards, 2u);
+  EXPECT_EQ(reader.header().n_cells_total, plan.cells.size());
+  ASSERT_EQ(reader.n_cells(), results.size());
+
+  // ...and once through the sniffing dispatcher: identical entries. The
+  // comparison walks the shared aggregate table, so every serialized field
+  // is checked with EXPECT_EQ — the IEEE bit patterns are stored raw, the
+  // round-trip must be exact, not merely close.
+  std::vector<ShardEntry> entries;
+  read_any_artifact(path, &entries);
+  ASSERT_EQ(entries.size(), results.size());
+  const detail::AggField* fields = detail::agg_fields();
+  const std::size_t n_fields = detail::agg_field_count();
+  const std::vector<std::size_t> indices = shard_cell_indices(plan, 1, 2);
+  for (std::size_t j = 0; j < entries.size(); ++j) {
+    EXPECT_EQ(entries[j].cell_index, indices[j]);
+    for (std::size_t f = 0; f < n_fields; ++f) {
+      EXPECT_EQ(fields[f].get(entries[j].result), fields[f].get(results[j]))
+          << "field " << fields[f].name << " of cell " << j;
+      EXPECT_EQ(reader.value(f, j), fields[f].get(results[j]))
+          << "reader column " << fields[f].name << " of cell " << j;
+    }
+    EXPECT_EQ(reader.cell_index(j), indices[j]);
+  }
+}
+
+TEST(BinaryArtifact, MetricsLineRidesAlong) {
+  const SweepPlan plan = make_plan(golden_spec("sync"));
+  const std::string dir = scratch_dir("metrics");
+  const std::vector<CellResult> results = run_shard(plan, 1, 1);
+
+  telemetry::RunMetrics metrics;
+  metrics.cells_total = results.size();
+  metrics.trials_executed = 1234;
+  metrics.cache_corrupt = 3;
+  const std::string path = dir + "/shard.bin";
+  write_shard(path, plan, 1, 1, results, &metrics, ArtifactFormat::kBinary);
+
+  std::string metrics_line;
+  read_any_artifact(path, nullptr, &metrics_line);
+  ASSERT_FALSE(metrics_line.empty());
+  const telemetry::RunMetrics back =
+      telemetry::metrics_from_json(metrics_line, nullptr, nullptr, nullptr);
+  EXPECT_EQ(back.cells_total, results.size());
+  EXPECT_EQ(back.trials_executed, 1234u);
+  EXPECT_EQ(back.cache_corrupt, 3u);
+
+  // An artifact without telemetry reads back an empty metrics line.
+  const std::string bare = dir + "/bare.bin";
+  write_shard(bare, plan, 1, 1, results, nullptr, ArtifactFormat::kBinary);
+  std::string none = "sentinel";
+  read_any_artifact(bare, nullptr, &none);
+  EXPECT_EQ(none, "");
+}
+
+TEST(BinaryArtifact, SniffDistinguishesFormats) {
+  const SweepPlan plan = make_plan(golden_spec("sync"));
+  const std::string dir = scratch_dir("sniff");
+  const std::vector<CellResult> results = run_shard(plan, 1, 1);
+  write_shard(dir + "/a.bin", plan, 1, 1, results, nullptr,
+              ArtifactFormat::kBinary);
+  write_shard(dir + "/a.jsonl", plan, 1, 1, results);
+
+  EXPECT_TRUE(is_binary_artifact(dir + "/a.bin"));
+  EXPECT_FALSE(is_binary_artifact(dir + "/a.jsonl"));
+  EXPECT_FALSE(is_binary_artifact(dir + "/does_not_exist"));
+  write_file(dir + "/short", "ANT");  // shorter than the magic
+  EXPECT_FALSE(is_binary_artifact(dir + "/short"));
+}
+
+// --- corruption and incompatibility ----------------------------------------
+
+TEST(BinaryArtifact, DetectsCorruptionWithDistinctMessages) {
+  const SweepPlan plan = make_plan(golden_spec("sync"));
+  const std::string dir = scratch_dir("corrupt");
+  const std::vector<CellResult> results = run_shard(plan, 1, 1);
+  const std::string path = dir + "/shard.bin";
+  write_shard(path, plan, 1, 1, results, nullptr, ArtifactFormat::kBinary);
+  const std::string pristine = read_file(path);
+  ASSERT_GT(pristine.size(), 64u);
+
+  // A flipped byte in the columns section: columns CRC.
+  std::string flipped = pristine;
+  flipped[pristine.size() - 16] ^= 0x40;
+  write_file(path, flipped);
+  EXPECT_NE(error_message([&] { BinaryArtifactReader r(path); })
+                .find("columns section CRC mismatch"),
+            std::string::npos);
+
+  // A flipped byte in the meta section (n_cells_total, which leaves the
+  // section sizes intact so only the checksum can catch it): meta CRC.
+  std::string meta_flipped = pristine;
+  meta_flipped[40] ^= 0x40;
+  write_file(path, meta_flipped);
+  EXPECT_NE(error_message([&] { BinaryArtifactReader r(path); })
+                .find("meta section CRC mismatch"),
+            std::string::npos);
+
+  // A truncated file: the columns section no longer fits.
+  write_file(path, pristine.substr(0, pristine.size() - 9));
+  EXPECT_NE(error_message([&] { BinaryArtifactReader r(path); })
+                .find("truncated"),
+            std::string::npos);
+
+  // Not a binary artifact at all (long enough to pass the prelude-size
+  // check, so the magic comparison is what rejects it).
+  write_file(path, "{\"kind\":\"ants-shard-artifact\"}" + std::string(96, ' '));
+  EXPECT_NE(error_message([&] { BinaryArtifactReader r(path); })
+                .find("bad magic"),
+            std::string::npos);
+
+  // Shorter than the fixed prelude: reported as truncation, not magic.
+  write_file(path, "junk");
+  EXPECT_NE(error_message([&] { BinaryArtifactReader r(path); })
+                .find("truncated (no header)"),
+            std::string::npos);
+}
+
+// --- the headline invariant, across encodings ------------------------------
+
+void check_binary_and_mixed_identity(const std::string& stem) {
+  const ScenarioSpec spec = golden_spec(stem);
+  const std::string golden = golden_csv(stem);
+  const SweepPlan plan = make_plan(spec);
+
+  // All-binary shards.
+  {
+    const std::string dir = scratch_dir(stem + "_allbin");
+    const std::vector<std::string> paths = run_all_shards(
+        plan,
+        {ArtifactFormat::kBinary, ArtifactFormat::kBinary,
+         ArtifactFormat::kBinary},
+        dir);
+    EXPECT_EQ(render_csv(spec, merge_shards(plan, paths), dir + "/m.csv"),
+              golden)
+        << stem << " all-binary merge diverged from golden";
+  }
+
+  // Mixed encodings in one merge: binary, JSONL, binary.
+  {
+    const std::string dir = scratch_dir(stem + "_mixed");
+    const std::vector<std::string> paths = run_all_shards(
+        plan,
+        {ArtifactFormat::kBinary, ArtifactFormat::kJsonl,
+         ArtifactFormat::kBinary},
+        dir);
+    EXPECT_EQ(render_csv(spec, merge_shards(plan, paths), dir + "/m.csv"),
+              golden)
+        << stem << " mixed-format merge diverged from golden";
+  }
+}
+
+TEST(BinaryArtifact, StepAsyncBinaryAndMixedMergesAreByteIdentical) {
+  check_binary_and_mixed_identity("step_async");
+}
+
+TEST(BinaryArtifact, PlaneBaseBinaryAndMixedMergesAreByteIdentical) {
+  check_binary_and_mixed_identity("plane_base");
+}
+
+TEST(BinaryArtifact, AllOtherGoldenBinaryAndMixedMergesAreByteIdentical) {
+  for (const char* stem :
+       {"sync", "async_crash", "placement_sweep", "multi_target",
+        "plane_async"}) {
+    check_binary_and_mixed_identity(stem);
+  }
+}
+
+TEST(BinaryArtifact, SelfDescribingMergeWorksFromABinaryFirstArtifact) {
+  const ScenarioSpec spec = golden_spec("step_async");
+  const SweepPlan plan = make_plan(spec);
+  const std::string dir = scratch_dir("selfdesc_bin");
+  const std::vector<std::string> paths = run_all_shards(
+      plan,
+      {ArtifactFormat::kBinary, ArtifactFormat::kJsonl,
+       ArtifactFormat::kJsonl},
+      dir);
+
+  // The plan is reconstructed from the BINARY artifact's embedded spec.
+  ScenarioSpec recovered;
+  const std::vector<CellResult> merged = merge_shards(paths, &recovered);
+  EXPECT_EQ(recovered.canonical(), spec.canonical());
+  EXPECT_EQ(render_csv(recovered, merged, dir + "/m.csv"),
+            golden_csv("step_async"));
+}
+
+}  // namespace
+}  // namespace ants::scenario

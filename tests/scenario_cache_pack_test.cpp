@@ -1,0 +1,324 @@
+// Packed cell-cache index (scenario/cache_pack.h) and the corrupt-cache
+// recovery contract (sink.h cache_lookup): packing a cache_dir must leave
+// warm sweeps byte-identical to the golden CSVs, the journal must survive
+// torn tails and concurrent-style appends, a killed shard must resume
+// against a packed cache, and a corrupt cache entry of EITHER kind must
+// read as a miss — recompute, heal, count in telemetry — never abort.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "scenario/cache_pack.h"
+#include "scenario/plan.h"
+#include "scenario/sink.h"
+#include "scenario/spec.h"
+#include "scenario/sweep.h"
+#include "telemetry/run_telemetry.h"
+
+#ifndef ANTS_SOURCE_DIR
+#error "ANTS_SOURCE_DIR must point at the repository root"
+#endif
+
+namespace ants::scenario {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+ScenarioSpec golden_spec(const std::string& stem) {
+  const std::string dir = std::string(ANTS_SOURCE_DIR) + "/tests/golden/";
+  const std::vector<ScenarioSpec> specs = parse_spec_file(dir + stem +
+                                                          ".spec");
+  EXPECT_EQ(specs.size(), 1u);
+  return specs.front();
+}
+
+std::string golden_csv(const std::string& stem) {
+  return read_file(std::string(ANTS_SOURCE_DIR) + "/tests/golden/" + stem +
+                   ".golden.csv");
+}
+
+std::string scratch_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "ants_pack_" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::string render_csv(const ScenarioSpec& spec,
+                       const std::vector<CellResult>& results,
+                       const std::string& path) {
+  {
+    CsvSink csv(path);
+    std::vector<ResultSink*> sinks = {&csv};
+    emit_results(spec, results, sinks);
+  }
+  return read_file(path);
+}
+
+std::vector<std::string> cell_files(const std::string& dir) {
+  std::vector<std::string> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".cell") {
+      files.push_back(entry.path().string());
+    }
+  }
+  return files;
+}
+
+std::size_t count_cached(const std::vector<CellResult>& results) {
+  std::size_t n = 0;
+  for (const CellResult& r : results) n += r.from_cache ? 1 : 0;
+  return n;
+}
+
+// --- pack + warm sweep: the byte-identity spine ------------------------------
+
+void check_packed_warm_identity(const std::string& stem) {
+  const ScenarioSpec spec = golden_spec(stem);
+  const std::string golden = golden_csv(stem);
+  const std::string dir = scratch_dir("warm_" + stem);
+
+  SweepOptions opt;
+  opt.cache_dir = dir;
+  const std::vector<CellResult> cold = run_sweep(spec, opt);
+  EXPECT_EQ(render_csv(spec, cold, dir + "/cold.csv"), golden)
+      << stem << " cold cached run diverged from golden";
+
+  const PackStats stats = pack_cache_dir(dir);
+  EXPECT_EQ(stats.packed_cells, cold.size());
+  EXPECT_EQ(stats.folded_files, cold.size());
+  EXPECT_EQ(stats.corrupt_dropped, 0u);
+  EXPECT_TRUE(cell_files(dir).empty())
+      << "pack must remove the folded per-hash files";
+  EXPECT_TRUE(std::filesystem::exists(dir + "/cache.pack"));
+
+  const std::vector<CellResult> warm = run_sweep(spec, opt);
+  EXPECT_EQ(count_cached(warm), warm.size())
+      << stem << ": every cell must be served from the packed index";
+  EXPECT_TRUE(cell_files(dir).empty())
+      << "a fully warm run must not grow per-hash files next to the pack";
+  EXPECT_EQ(render_csv(spec, warm, dir + "/warm.csv"), golden)
+      << stem << " packed warm run diverged from golden";
+}
+
+TEST(CachePack, StepAsyncPackedWarmRunIsByteIdentical) {
+  check_packed_warm_identity("step_async");
+}
+
+TEST(CachePack, PlaneBasePackedWarmRunIsByteIdentical) {
+  check_packed_warm_identity("plane_base");
+}
+
+TEST(CachePack, AllOtherGoldenPackedWarmRunsAreByteIdentical) {
+  for (const char* stem :
+       {"sync", "async_crash", "placement_sweep", "multi_target",
+        "plane_async"}) {
+    check_packed_warm_identity(stem);
+  }
+}
+
+// --- killed-shard resume against a packed cache ------------------------------
+
+TEST(CachePack, KilledShardResumesAgainstPackedCache) {
+  const ScenarioSpec spec = golden_spec("step_async");
+  const std::string golden = golden_csv("step_async");
+  const std::string dir = scratch_dir("resume");
+  SweepOptions opt;
+  opt.cache_dir = dir;
+
+  // A "killed" first attempt: full run, then half the per-hash files
+  // vanish (the kill analog — only some cells had been stored).
+  run_sweep(spec, opt);
+  std::vector<std::string> files = cell_files(dir);
+  ASSERT_GE(files.size(), 2u);
+  const std::size_t kept = files.size() / 2;
+  for (std::size_t i = kept; i < files.size(); ++i) {
+    std::filesystem::remove(files[i]);
+  }
+  const PackStats stats = pack_cache_dir(dir);
+  EXPECT_EQ(stats.packed_cells, kept);
+
+  // Resume: the surviving cells come from the packed index, the rest
+  // recompute and APPEND to the journal.
+  telemetry::RunTelemetry tel;
+  SweepOptions opt_tel = opt;
+  opt_tel.telemetry = &tel;
+  const std::vector<CellResult> resumed = run_sweep(spec, opt_tel);
+  EXPECT_EQ(count_cached(resumed), kept);
+  EXPECT_EQ(tel.snapshot().cache_hits, kept);
+  EXPECT_EQ(tel.snapshot().cache_corrupt, 0u);
+  EXPECT_TRUE(cell_files(dir).empty())
+      << "with a live pack, recomputed cells append to the journal "
+         "instead of writing per-hash files";
+  EXPECT_EQ(render_csv(spec, resumed, dir + "/resumed.csv"), golden);
+
+  // The appends landed durably: a third run is fully warm.
+  const std::vector<CellResult> warm = run_sweep(spec, opt);
+  EXPECT_EQ(count_cached(warm), warm.size());
+  EXPECT_EQ(render_csv(spec, warm, dir + "/warm.csv"), golden);
+}
+
+// --- journal robustness ------------------------------------------------------
+
+TEST(CachePack, TornJournalTailIsSkippedAndCounted) {
+  const ScenarioSpec spec = golden_spec("sync");
+  const std::string dir = scratch_dir("torn");
+  SweepOptions opt;
+  opt.cache_dir = dir;
+  const std::vector<CellResult> cold = run_sweep(spec, opt);
+  pack_cache_dir(dir);
+
+  // A write torn mid-record: garbage bytes at the journal tail.
+  {
+    std::ofstream out(dir + "/cache.pack",
+                      std::ios::binary | std::ios::app);
+    out << "PCK1torn-and-useless";
+  }
+  PackedCacheIndex index(dir);
+  EXPECT_TRUE(index.present());
+  EXPECT_EQ(index.size(), cold.size())
+      << "intact records before the tear must all survive";
+  EXPECT_GE(index.corrupt_records(), 1u);
+
+  // The sweep serves every cell despite the tear and reports the
+  // corruption through telemetry.
+  telemetry::RunTelemetry tel;
+  SweepOptions opt_tel = opt;
+  opt_tel.telemetry = &tel;
+  const std::vector<CellResult> warm = run_sweep(spec, opt_tel);
+  EXPECT_EQ(count_cached(warm), warm.size());
+  EXPECT_GE(tel.snapshot().cache_corrupt, 1u);
+  EXPECT_EQ(render_csv(spec, warm, dir + "/warm.csv"), golden_csv("sync"));
+}
+
+TEST(CachePack, IncompatiblePackHeaderReadsAsAbsent) {
+  const std::string dir = scratch_dir("badheader");
+  {
+    std::ofstream out(dir + "/cache.pack", std::ios::binary);
+    out << std::string(256, '\x5a');  // wrong magic, plausible length
+  }
+  PackedCacheIndex index(dir);
+  EXPECT_FALSE(index.present());
+  EXPECT_EQ(index.size(), 0u);
+
+  // run_cells falls back to the per-hash cache path untouched.
+  const ScenarioSpec spec = golden_spec("sync");
+  SweepOptions opt;
+  opt.cache_dir = dir;
+  const std::vector<CellResult> first = run_sweep(spec, opt);
+  EXPECT_EQ(count_cached(first), 0u);
+  const std::vector<CellResult> second = run_sweep(spec, opt);
+  EXPECT_EQ(count_cached(second), second.size());
+  EXPECT_EQ(render_csv(spec, second, dir + "/warm.csv"),
+            golden_csv("sync"));
+}
+
+TEST(CachePack, PackDropsCorruptCellFilesAndCounts) {
+  const ScenarioSpec spec = golden_spec("sync");
+  const std::string dir = scratch_dir("dropcorrupt");
+  SweepOptions opt;
+  opt.cache_dir = dir;
+  const std::vector<CellResult> cold = run_sweep(spec, opt);
+  std::vector<std::string> files = cell_files(dir);
+  ASSERT_GE(files.size(), 2u);
+  {
+    std::ofstream out(files.front(), std::ios::binary | std::ios::trunc);
+    out << "not a cache record at all";
+  }
+
+  const PackStats stats = pack_cache_dir(dir);
+  EXPECT_EQ(stats.packed_cells, cold.size() - 1);
+  EXPECT_EQ(stats.folded_files, cold.size() - 1);
+  EXPECT_EQ(stats.corrupt_dropped, 1u);
+  EXPECT_TRUE(cell_files(dir).empty())
+      << "corrupt per-hash files are removed, not left to rot";
+
+  // The dropped cell recomputes on the next run; everything else is warm.
+  const std::vector<CellResult> warm = run_sweep(spec, opt);
+  EXPECT_EQ(count_cached(warm), warm.size() - 1);
+  EXPECT_EQ(render_csv(spec, warm, dir + "/warm.csv"), golden_csv("sync"));
+}
+
+// --- corrupt per-hash entries: the recover-and-heal regression pin -----------
+
+TEST(CacheCorruption, CorruptCellFileReadsAsMissRecomputesAndHeals) {
+  const ScenarioSpec spec = golden_spec("sync");
+  const std::string golden = golden_csv("sync");
+  const std::string dir = scratch_dir("heal");
+  SweepOptions opt;
+  opt.cache_dir = dir;
+  run_sweep(spec, opt);
+  std::vector<std::string> files = cell_files(dir);
+  ASSERT_GE(files.size(), 2u);
+
+  // Truncate one entry and garbage another — both corruption shapes.
+  {
+    std::ofstream out(files[0], std::ios::binary | std::ios::trunc);
+  }
+  {
+    std::ofstream out(files[1], std::ios::binary | std::ios::trunc);
+    out << "time_mean=not-a-number\n";
+  }
+
+  // cache_lookup reports kCorrupt distinctly from a plain miss...
+  CellResult probe;
+  const SweepPlan plan = make_plan(spec);
+  std::size_t corrupt_probes = 0;
+  for (const Cell& cell : plan.cells) {
+    if (cache_lookup(dir, cell.hash, &probe) == CacheLookup::kCorrupt) {
+      ++corrupt_probes;
+    }
+  }
+  EXPECT_EQ(corrupt_probes, 2u);
+
+  // ...the sweep recomputes those cells (never aborts), counts them in
+  // cache_corrupt, and emits golden-identical output.
+  telemetry::RunTelemetry tel;
+  SweepOptions opt_tel = opt;
+  opt_tel.telemetry = &tel;
+  const std::vector<CellResult> healed = run_sweep(spec, opt_tel);
+  EXPECT_EQ(count_cached(healed), healed.size() - 2);
+  EXPECT_EQ(tel.snapshot().cache_corrupt, 2u);
+  EXPECT_EQ(render_csv(spec, healed, dir + "/healed.csv"), golden);
+
+  // The store overwrote the corrupt entries: next run is fully warm and
+  // corruption-free.
+  telemetry::RunTelemetry tel2;
+  opt_tel.telemetry = &tel2;
+  const std::vector<CellResult> warm = run_sweep(spec, opt_tel);
+  EXPECT_EQ(count_cached(warm), warm.size());
+  EXPECT_EQ(tel2.snapshot().cache_corrupt, 0u);
+  EXPECT_EQ(tel2.snapshot().cache_hits, warm.size());
+}
+
+TEST(CacheCorruption, CacheCorruptCounterRoundTripsThroughMetricsJson) {
+  telemetry::RunMetrics metrics;
+  metrics.cache_corrupt = 7;
+  metrics.cache_misses = 7;
+  const std::string line =
+      telemetry::metrics_to_json(metrics, "pin", 0, 0);
+  EXPECT_NE(line.find("\"cache_corrupt\":7"), std::string::npos);
+  const telemetry::RunMetrics back =
+      telemetry::metrics_from_json(line, nullptr, nullptr, nullptr);
+  EXPECT_EQ(back.cache_corrupt, 7u);
+
+  // Aggregation folds it like every other counter.
+  telemetry::RunMetrics sum;
+  sum.merge(metrics);
+  sum.merge(back);
+  EXPECT_EQ(sum.cache_corrupt, 14u);
+}
+
+}  // namespace
+}  // namespace ants::scenario

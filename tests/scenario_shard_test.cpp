@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "scenario/artifact.h"
 #include "scenario/plan.h"
 #include "scenario/sink.h"
 #include "scenario/spec.h"
@@ -318,6 +319,140 @@ TEST(ShardMerge, RejectsTruncatedArtifact) {
     out << content.substr(0, cut);
   }
   EXPECT_THROW(merge_shards(plan, paths), std::invalid_argument);
+}
+
+// --- merge verification across artifact encodings --------------------------
+//
+// The binary columnar format must be held to exactly the rejection rules
+// the JSONL format established, with messages distinct enough to act on.
+// Each test mixes encodings, because a real campaign can: old shards on
+// disk as JSONL, a rerun shard written binary.
+
+/// Runs one shard and writes it in the requested encoding.
+std::string write_one_shard(const SweepPlan& plan, std::size_t shard,
+                            std::size_t n_shards, const std::string& dir,
+                            ArtifactFormat format) {
+  const std::vector<CellResult> results = run_shard(plan, shard, n_shards);
+  const std::string path =
+      dir + "/shard_" + std::to_string(shard) +
+      (format == ArtifactFormat::kBinary ? ".bin" : ".jsonl");
+  write_shard(path, plan, shard, n_shards, results, nullptr, format);
+  return path;
+}
+
+/// The invalid_argument message `fn` must raise.
+template <typename Fn>
+std::string merge_error(Fn&& fn) {
+  try {
+    fn();
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected std::invalid_argument";
+  return "";
+}
+
+TEST(ShardMergeCrossFormat, RejectsBinaryShardOfADifferentSpec) {
+  ScenarioSpec spec = golden_spec("step_async");
+  const SweepPlan plan = make_plan(spec);
+  const std::string dir = scratch_dir("xf_wrongspec");
+
+  ScenarioSpec other = spec;
+  other.seed += 1;
+  const SweepPlan other_plan = make_plan(other);
+  std::vector<std::string> paths = {
+      write_one_shard(plan, 1, 3, dir, ArtifactFormat::kJsonl),
+      write_one_shard(plan, 2, 3, dir, ArtifactFormat::kJsonl),
+      write_one_shard(other_plan, 3, 3, dir, ArtifactFormat::kBinary),
+  };
+  const std::string what =
+      merge_error([&] { merge_shards(plan, paths); });
+  EXPECT_NE(what.find("spec hash mismatch"), std::string::npos) << what;
+}
+
+TEST(ShardMergeCrossFormat, RejectsStaleBinaryFormatVersion) {
+  const SweepPlan plan = make_plan(golden_spec("step_async"));
+  const std::string dir = scratch_dir("xf_stale");
+
+  // An artifact from an older build, crafted through the public writer so
+  // its CRCs are valid — only the version stamp is stale.
+  const std::vector<CellResult> results = run_shard(plan, 1, 1);
+  std::vector<ShardEntry> entries(results.size());
+  const std::vector<std::size_t> indices = shard_cell_indices(plan, 1, 1);
+  for (std::size_t j = 0; j < results.size(); ++j) {
+    entries[j].cell_index = indices[j];
+    entries[j].result = results[j];
+  }
+  ShardHeader header;
+  header.format_version = 1;  // predates every current cache/artifact key
+  header.spec_hash = plan.spec_hash;
+  header.spec_text = plan.spec.canonical();
+  header.shard = 1;
+  header.n_shards = 1;
+  header.n_cells_total = plan.cells.size();
+  const std::string path = dir + "/stale.bin";
+  write_binary_artifact(path, header, entries);
+
+  const std::string what =
+      merge_error([&] { merge_shards(plan, {path}); });
+  EXPECT_NE(what.find("format version 1"), std::string::npos) << what;
+  EXPECT_NE(what.find("regenerate"), std::string::npos) << what;
+}
+
+TEST(ShardMergeCrossFormat, RejectsDuplicateCellsAcrossEncodings) {
+  const SweepPlan plan = make_plan(golden_spec("step_async"));
+  const std::string dir = scratch_dir("xf_dup");
+  // Shard 1 appears twice: once JSONL, once binary — same cells, different
+  // bytes, so only cell-level bookkeeping can catch it.
+  const std::vector<std::string> paths = {
+      write_one_shard(plan, 1, 3, dir, ArtifactFormat::kJsonl),
+      write_one_shard(plan, 2, 3, dir, ArtifactFormat::kBinary),
+      write_one_shard(plan, 3, 3, dir, ArtifactFormat::kBinary),
+      write_one_shard(plan, 1, 3, dir, ArtifactFormat::kBinary),
+  };
+  const std::string what =
+      merge_error([&] { merge_shards(plan, paths); });
+  EXPECT_NE(what.find("duplicate cell"), std::string::npos) << what;
+}
+
+TEST(ShardMergeCrossFormat, RejectsMissingCellsWithBinaryShards) {
+  const SweepPlan plan = make_plan(golden_spec("step_async"));
+  const std::string dir = scratch_dir("xf_missing");
+  const std::vector<std::string> paths = {
+      write_one_shard(plan, 1, 3, dir, ArtifactFormat::kBinary),
+      write_one_shard(plan, 2, 3, dir, ArtifactFormat::kJsonl),
+      // shard 3 never ran
+  };
+  const std::string what =
+      merge_error([&] { merge_shards(plan, paths); });
+  EXPECT_NE(what.find("cells missing"), std::string::npos) << what;
+}
+
+TEST(ShardMergeCrossFormat, RejectsCorruptBinaryArtifactWithCrcMessage) {
+  const SweepPlan plan = make_plan(golden_spec("step_async"));
+  const std::string dir = scratch_dir("xf_crc");
+  const std::string path =
+      write_one_shard(plan, 1, 1, dir, ArtifactFormat::kBinary);
+
+  // Bit rot in the column data: the CRC must fail the merge with a message
+  // naming the damage, not silently merge a wrong double.
+  std::string content = read_file(path);
+  ASSERT_GT(content.size(), 32u);
+  content[content.size() - 24] ^= 0x01;
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << content;
+  }
+  const std::string what =
+      merge_error([&] { merge_shards(plan, {path}); });
+  EXPECT_NE(what.find("CRC mismatch"), std::string::npos) << what;
+
+  // A truncated binary artifact is likewise rejected up front.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << content.substr(0, content.size() / 2);
+  }
+  EXPECT_THROW(merge_shards(plan, {path}), std::invalid_argument);
 }
 
 // --- resumability ----------------------------------------------------------

@@ -23,14 +23,27 @@ slower than R x its baseline — the CI benchmark-smoke job runs with
 --max-ratio 1.35 (see .github/workflows/ci.yml), chosen from the observed
 3-repetition median spread on shared runners.
 
-With --batched-speedup R, additionally pairs every BM_Batched* benchmark
-in the CURRENT run with its BM_Unified* twin (name substitution), prints
-the per-pair unified/batched median ratio, and exits non-zero if the
-MEDIAN of those ratios falls below R. The median — not the min — is the
-scoreboard: the batch executor's wins are concentrated where SIMD has
-leverage (plane sight tests, multi-target scans), while lock-step pairs
-are structurally near 1x because byte-identity pins the per-agent program
-and RNG work, so a min-gate would only measure the worst structural tie.
+With --pair-gate SLOW:FAST:R (repeatable), pairs every benchmark in the
+CURRENT run whose name contains FAST with the twin obtained by
+substituting SLOW for FAST, prints the per-pair slow/fast median ratio,
+and exits non-zero if the MEDIAN of those ratios falls below R. This is
+how within-run speedup contracts gate: the absolute numbers drift with
+the runner, the ratio between two implementations measured in the same
+process does not. E.g. --pair-gate MergeJsonl:MergeBinary:3 requires the
+binary artifact merge to stay at least 3x faster than the JSONL merge.
+
+--batched-speedup R is the historical shorthand for
+--pair-gate Unified:Batched:R (kept for CI compatibility). The median —
+not the min — is the scoreboard in both spellings: a speedup's wins are
+usually concentrated (SIMD leverage, mmap leverage) while some pairs are
+structurally near 1x, so a min-gate would only measure the worst
+structural tie.
+
+With --spread-report FILE, additionally writes a JSON report of each
+current benchmark's repetition spread (n, min, median, max, max/min of
+real_time across repetitions and pooled files) — the CI benchmark job
+uploads it as an artifact so gate-threshold choices (--max-ratio, pair
+floors) can be audited against observed runner noise instead of guessed.
 
 With --update-baseline, BASELINE.json is REWRITTEN from CURRENT.json's
 medians (one synthetic iteration entry per benchmark, context preserved
@@ -47,11 +60,11 @@ import statistics
 import sys
 
 
-def load_benchmarks(paths):
-    """name -> {"real_time": median across repetitions, "time_unit": unit}.
+def load_samples(paths):
+    """name -> ([real_time samples], time_unit), pooled across files.
 
-    `paths` is one path or a list; samples from every file pool into the
-    same median, so a multi-binary run reads as one flat benchmark set.
+    `paths` is one path or a list; samples from every file pool together,
+    so a multi-binary run reads as one flat benchmark set.
     """
     if isinstance(paths, str):
         paths = [paths]
@@ -70,13 +83,41 @@ def load_benchmarks(paths):
             name = bench["name"]
             samples.setdefault(name, []).append(float(bench["real_time"]))
             units[name] = bench.get("time_unit", "ns")
+    return {name: (values, units[name]) for name, values in samples.items()}
+
+
+def load_benchmarks(paths):
+    """name -> {"real_time": median across repetitions, "time_unit": unit}."""
     return {
         name: {
             "real_time": statistics.median(values),
-            "time_unit": units[name],
+            "time_unit": unit,
         }
-        for name, values in samples.items()
+        for name, (values, unit) in load_samples(paths).items()
     }
+
+
+def write_spread_report(path, samples):
+    """Writes the per-benchmark repetition-spread JSON (see module doc)."""
+    report = []
+    for name in sorted(samples):
+        values, unit = samples[name]
+        lo, hi = min(values), max(values)
+        report.append(
+            {
+                "name": name,
+                "n": len(values),
+                "min": lo,
+                "median": statistics.median(values),
+                "max": hi,
+                "max_over_min": hi / lo if lo > 0 else float("inf"),
+                "time_unit": unit,
+            }
+        )
+    with open(path, "w") as f:
+        json.dump({"benchmarks": report}, f, indent=2)
+        f.write("\n")
+    return len(report)
 
 
 def write_baseline(path, current_path, current):
@@ -100,53 +141,68 @@ def write_baseline(path, current_path, current):
     return len(benchmarks)
 
 
-def batched_speedup_check(current, floor):
-    """Gates the batch executor against its scalar twins within one run.
+def parse_pair_gate(spec):
+    """Parses one SLOW:FAST:R argument into (slow_sub, fast_sub, floor)."""
+    parts = spec.split(":")
+    if len(parts) != 3 or not parts[0] or not parts[1]:
+        raise SystemExit(
+            f"bench_compare: --pair-gate expects SLOW:FAST:R, got '{spec}'"
+        )
+    try:
+        floor = float(parts[2])
+    except ValueError:
+        raise SystemExit(
+            f"bench_compare: --pair-gate floor '{parts[2]}' is not a number"
+        )
+    return parts[0], parts[1], floor
 
-    Pairs BM_Batched<X> with BM_Unified<X> by name substitution and
-    requires the MEDIAN unified/batched real_time ratio to reach `floor`.
-    Returns a process exit code.
+
+def pair_gate_check(current, slow_sub, fast_sub, floor):
+    """Gates a fast implementation against its slow twin within one run.
+
+    Pairs every benchmark whose name contains `fast_sub` with the twin
+    named by substituting `slow_sub`, and requires the MEDIAN slow/fast
+    real_time ratio to reach `floor`. Returns a process exit code.
     """
     pairs = []
     for name in sorted(current):
-        if "Batched" not in name:
+        if fast_sub not in name:
             continue
-        twin = name.replace("Batched", "Unified")
+        twin = name.replace(fast_sub, slow_sub)
         if twin not in current:
             print(f"{name}: no {twin} twin in the current run (skipped)")
             continue
-        unified = current[twin]["real_time"]
-        batched = current[name]["real_time"]
-        ratio = unified / batched if batched > 0 else float("inf")
-        pairs.append((name, unified, batched, ratio))
+        slow = current[twin]["real_time"]
+        fast = current[name]["real_time"]
+        ratio = slow / fast if fast > 0 else float("inf")
+        pairs.append((name, slow, fast, ratio))
     if not pairs:
         print(
-            "bench_compare: --batched-speedup found no Batched/Unified "
-            "pairs in the current run"
+            f"bench_compare: pair gate {slow_sub}:{fast_sub} found no pairs "
+            "in the current run"
         )
         return 1
 
     name_w = max(len(name) for name, *_ in pairs)
     print()
     print(
-        f"{'batched benchmark':<{name_w}}  {'unified':>12}  {'batched':>12}"
-        "  speedup"
+        f"{'fast benchmark':<{name_w}}  {'slow':>12}  {'fast':>12}  speedup"
     )
-    for name, unified, batched, ratio in pairs:
+    for name, slow, fast, ratio in pairs:
         unit = current[name]["time_unit"]
         print(
-            f"{name:<{name_w}}  {unified:>10.1f}{unit}  "
-            f"{batched:>10.1f}{unit}  {ratio:>6.2f}x"
+            f"{name:<{name_w}}  {slow:>10.1f}{unit}  "
+            f"{fast:>10.1f}{unit}  {ratio:>6.2f}x"
         )
     med = statistics.median(ratio for *_, ratio in pairs)
     print(
-        f"batched speedup: median {med:.2f}x over {len(pairs)} pairs "
-        f"(floor {floor:.2f}x)"
+        f"{slow_sub}/{fast_sub} speedup: median {med:.2f}x over "
+        f"{len(pairs)} pairs (floor {floor:.2f}x)"
     )
     if med < floor:
         print(
-            f"bench_compare: FAILED — median batched speedup {med:.2f}x is "
-            f"below --batched-speedup {floor}"
+            f"bench_compare: FAILED — median {slow_sub}/{fast_sub} speedup "
+            f"{med:.2f}x is below the {floor} floor"
         )
         return 1
     return 0
@@ -174,11 +230,41 @@ def main():
         default=None,
         metavar="R",
         help="fail (exit 1) unless the median BM_Unified*/BM_Batched* "
-        "real_time ratio in the current run is at least R",
+        "real_time ratio in the current run is at least R "
+        "(shorthand for --pair-gate Unified:Batched:R)",
+    )
+    parser.add_argument(
+        "--pair-gate",
+        action="append",
+        default=[],
+        metavar="SLOW:FAST:R",
+        help="fail (exit 1) unless the median slow/fast real_time ratio "
+        "over all name-substitution pairs reaches R; repeatable",
+    )
+    parser.add_argument(
+        "--spread-report",
+        default=None,
+        metavar="FILE",
+        help="write per-benchmark repetition spread (n/min/median/max) of "
+        "the current run as JSON",
     )
     args = parser.parse_args()
 
-    current = load_benchmarks(args.current)
+    pair_gates = [parse_pair_gate(spec) for spec in args.pair_gate]
+    if args.batched_speedup is not None:
+        pair_gates.append(("Unified", "Batched", args.batched_speedup))
+
+    current_samples = load_samples(args.current)
+    current = {
+        name: {"real_time": statistics.median(values), "time_unit": unit}
+        for name, (values, unit) in current_samples.items()
+    }
+    if args.spread_report is not None:
+        n = write_spread_report(args.spread_report, current_samples)
+        print(
+            f"bench_compare: spread report for {n} benchmarks written to "
+            f"{args.spread_report}"
+        )
     if args.update_baseline:
         if not current:
             print("bench_compare: current run has no benchmarks; refusing "
@@ -206,8 +292,8 @@ def main():
         for name in sorted(current):
             print(f"{name}: new benchmark (no baseline yet)")
         rc = 1 if args.max_ratio is not None else 0
-        if args.batched_speedup is not None:
-            rc = max(rc, batched_speedup_check(current, args.batched_speedup))
+        for slow_sub, fast_sub, floor in pair_gates:
+            rc = max(rc, pair_gate_check(current, slow_sub, fast_sub, floor))
         return rc
 
     name_w = max(len(n) for n in shared)
@@ -241,8 +327,8 @@ def main():
             f"--max-ratio {args.max_ratio}"
         )
         rc = 1
-    if args.batched_speedup is not None:
-        rc = max(rc, batched_speedup_check(current, args.batched_speedup))
+    for slow_sub, fast_sub, floor in pair_gates:
+        rc = max(rc, pair_gate_check(current, slow_sub, fast_sub, floor))
     return rc
 
 

@@ -13,24 +13,44 @@
 //       Runs every scenario in FILE (text or JSON-lines form, see
 //       docs/scenarios.md), or a single scenario assembled from flags.
 //
-//   search_lab run ... --shard=I/N --shard-out=FILE
+//   search_lab run ... --shard=I/N --shard-out=FILE [--format=jsonl|binary]
 //       Runs only shard I of an N-way split of each scenario's cells
 //       (deterministic partition by cell index) and writes a
-//       self-describing JSONL shard artifact instead of CSV/JSONL rows.
-//       Launch one process per shard — on one machine or many — then
-//       reassemble with `search_lab merge`. With --cache-dir, a killed
-//       shard resumes: the rerun recomputes only cells missing from the
-//       cache.
+//       self-describing shard artifact instead of CSV/JSONL rows —
+//       JSONL (default; diff-able) or binary columnar (mmap-able, the
+//       fast path for big campaigns). Launch one process per shard — on
+//       one machine or many — then reassemble with `search_lab merge`.
+//       With --cache-dir, a killed shard resumes: the rerun recomputes
+//       only cells missing from the cache.
 //
 //   search_lab merge ARTIFACT... [--csv=PATH] [--jsonl=PATH] [--quiet]
 //             [--metrics-out=FILE]
 //       Merges shard artifacts back into the canonical result table —
 //       byte-identical to what the unsharded run would have written
-//       (test-enforced). The spec travels inside the artifacts; merge
-//       refuses mismatched specs, duplicate cells, and missing cells.
-//       --metrics-out aggregates the per-shard telemetry embedded in the
-//       artifacts (exact counter sums + bin-wise sketch merge) into one
-//       campaign-level metrics record.
+//       (test-enforced). Artifacts are read in parallel and may mix JSONL
+//       and binary encodings freely (each file is sniffed). The spec
+//       travels inside the artifacts; merge refuses mismatched specs,
+//       duplicate cells, and missing cells. --metrics-out aggregates the
+//       per-shard telemetry embedded in the artifacts (exact counter sums
+//       + bin-wise sketch merge) into one campaign-level metrics record.
+//
+//   search_lab catalog ARTIFACT... [--columns=a,b,c] [--csv=PATH]
+//             [--strategy=SUBSTR] [--k=LIST] [--d=LIST] [--quiet]
+//       Inspects shard artifacts without merging. With no selection flags,
+//       lists one row per artifact (path, format, scenario, shard, cells,
+//       spec hash). With --columns/--csv/filters it switches to cell mode:
+//       renders the selected columns for every matching cell across ALL
+//       the artifacts — different specs may mix, no completeness required,
+//       nothing is validated against a plan beyond each artifact's own
+//       spec. The cheap "what do I have / pull these columns" tool for a
+//       directory of campaign shards.
+//
+//   search_lab cache pack --cache-dir=DIR
+//       Compacts DIR's per-cell cache files into one mmap-able journal
+//       (DIR/cache.pack). Subsequent runs load the pack once instead of
+//       opening one file per cell, and append completed cells to the
+//       journal; corrupt entries are dropped (and counted). Pack any time
+//       — between runs, between shards — the cache contract is unchanged.
 //
 //   search_lab report METRICS_FILE... [--hist]
 //       Renders metrics JSON files (from --metrics-out) as a human table:
@@ -58,16 +78,21 @@
 //   --trace=FILE        Chrome trace-event JSON; load in chrome://tracing
 //                       or Perfetto to see per-worker cell execution
 //   (scenario i > 1 gets FILE.i, like --csv)
+#include <algorithm>
 #include <cstdio>
 #include <exception>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <tuple>
 #include <utility>
 #include <vector>
 
+#include "scenario/artifact.h"
+#include "scenario/cache_pack.h"
 #include "scenario/environment.h"
 #include "scenario/registry.h"
 #include "scenario/sink.h"
@@ -182,6 +207,7 @@ int run_specs(util::Cli& cli) {
   const bool quiet = cli.get_bool("quiet", false);
   const std::string shard_arg = cli.get_string("shard", "");
   const std::string shard_out = cli.get_string("shard-out", "");
+  const std::string format_arg = cli.get_string("format", "");
   const std::string metrics_path = cli.get_string("metrics-out", "");
   const std::string events_path = cli.get_string("events", "");
   const std::string trace_path = cli.get_string("trace", "");
@@ -203,6 +229,22 @@ int run_specs(util::Cli& cli) {
   } else if (!shard_out.empty()) {
     std::cerr << "error: --shard-out only applies with --shard=I/N\n";
     return 2;
+  }
+
+  scenario::ArtifactFormat format = scenario::ArtifactFormat::kJsonl;
+  if (!format_arg.empty()) {
+    if (shard_arg.empty()) {
+      std::cerr << "error: --format selects the shard-artifact encoding and "
+                   "only applies with --shard=I/N\n";
+      return 2;
+    }
+    if (format_arg == "binary") {
+      format = scenario::ArtifactFormat::kBinary;
+    } else if (format_arg != "jsonl") {
+      std::cerr << "error: --format expects jsonl or binary, got '"
+                << format_arg << "'\n";
+      return 2;
+    }
   }
 
   scenario::SweepOptions sweep_opt;
@@ -276,12 +318,13 @@ int run_specs(util::Cli& cli) {
         // aggregate the campaign exactly.
         const telemetry::RunMetrics metrics = tel->snapshot();
         scenario::write_shard(out_path, plan, shard, n_shards, results,
-                              &metrics);
+                              &metrics, format);
         if (!metrics_path.empty()) {
           write_metrics_file(indexed_path(metrics_path, i), *tel);
         }
       } else {
-        scenario::write_shard(out_path, plan, shard, n_shards, results);
+        scenario::write_shard(out_path, plan, shard, n_shards, results,
+                              nullptr, format);
       }
       if (!quiet) {
         scenario::TableSink table(std::cout);
@@ -488,14 +531,207 @@ int run_report(util::Cli& cli) {
   return 0;
 }
 
+/// Catalog over many shard artifacts: list what exists, or pull selected
+/// columns for matching cells — across specs, without the merge layer's
+/// completeness checks. Each artifact is self-describing (embedded spec),
+/// so the catalog rebuilds just enough plan per DISTINCT spec to reattach
+/// cells to their coordinates; artifacts sharing a spec share the plan.
+int run_catalog(util::Cli& cli) {
+  const std::string columns_arg = cli.get_string("columns", "");
+  const std::string csv_path = cli.get_string("csv", "");
+  const std::string strategy_filter = cli.get_string("strategy", "");
+  const std::vector<std::int64_t> ks = cli.get_int_list("k", {});
+  const std::vector<std::int64_t> ds = cli.get_int_list("d", {});
+  const bool quiet = cli.get_bool("quiet", false);
+  cli.finish();
+
+  const std::vector<std::string> artifacts(cli.positional().begin() + 1,
+                                           cli.positional().end());
+  if (artifacts.empty()) {
+    std::cerr << "error: catalog needs at least one shard artifact\n";
+    return 2;
+  }
+
+  const bool cell_mode = !columns_arg.empty() || !csv_path.empty() ||
+                         !strategy_filter.empty() || !ks.empty() ||
+                         !ds.empty();
+
+  if (!cell_mode) {
+    // Listing mode: one row per artifact, header-level facts only.
+    util::Table table({"artifact", "format", "scenario", "shard", "cells",
+                       "spec_hash", "version"});
+    for (const std::string& path : artifacts) {
+      std::vector<scenario::ShardEntry> entries;
+      const scenario::ShardHeader header =
+          scenario::read_any_artifact(path, &entries);
+      const std::vector<scenario::ScenarioSpec> specs =
+          scenario::parse_spec_text(header.spec_text);
+      char hash_hex[24];
+      std::snprintf(hash_hex, sizeof(hash_hex), "%016llx",
+                    static_cast<unsigned long long>(header.spec_hash));
+      table.add_row({path,
+                     scenario::is_binary_artifact(path) ? "binary" : "jsonl",
+                     specs.size() == 1 ? specs.front().name : "?",
+                     std::to_string(header.shard) + "/" +
+                         std::to_string(header.n_shards),
+                     std::to_string(entries.size()) + "/" +
+                         std::to_string(header.n_cells_total),
+                     hash_hex, std::to_string(header.format_version)});
+    }
+    table.print(std::cout);
+    return 0;
+  }
+
+  std::vector<std::string> columns;
+  if (!columns_arg.empty()) {
+    std::size_t begin = 0;
+    while (begin <= columns_arg.size()) {
+      const std::size_t comma = columns_arg.find(',', begin);
+      const std::string name = columns_arg.substr(
+          begin, comma == std::string::npos ? std::string::npos
+                                            : comma - begin);
+      if (!name.empty()) {
+        if (!scenario::is_known_column(name)) {
+          std::cerr << "error: unknown column '" << name << "'\n";
+          return 2;
+        }
+        columns.push_back(name);
+      }
+      if (comma == std::string::npos) break;
+      begin = comma + 1;
+    }
+  }
+  if (columns.empty()) columns = scenario::default_columns();
+
+  const auto keep = [&](const scenario::Cell& cell) {
+    if (!strategy_filter.empty() &&
+        cell.strategy_name.find(strategy_filter) == std::string::npos) {
+      return false;
+    }
+    if (!ks.empty() &&
+        std::find(ks.begin(), ks.end(), cell.k) == ks.end()) {
+      return false;
+    }
+    if (!ds.empty() &&
+        std::find(ds.begin(), ds.end(), cell.distance) == ds.end()) {
+      return false;
+    }
+    return true;
+  };
+
+  std::vector<scenario::ResultSink*> sinks;
+  scenario::TableSink table(std::cout);
+  if (!quiet) sinks.push_back(&table);
+  std::unique_ptr<scenario::CsvSink> csv;
+  if (!csv_path.empty()) {
+    csv = std::make_unique<scenario::CsvSink>(csv_path);
+    sinks.push_back(csv.get());
+  }
+  for (scenario::ResultSink* sink : sinks) sink->begin(columns);
+
+  // Plans are cached per distinct spec hash: a 50-shard campaign of one
+  // spec flattens it once, not 50 times.
+  std::map<std::uint64_t, scenario::SweepPlan> plans;
+  std::size_t matched = 0;
+  for (const std::string& path : artifacts) {
+    std::vector<scenario::ShardEntry> entries;
+    const scenario::ShardHeader header =
+        scenario::read_any_artifact(path, &entries);
+    if (header.format_version != scenario::cell_format_version()) {
+      throw std::invalid_argument(
+          "shard artifact " + path + ": format version " +
+          std::to_string(header.format_version) +
+          " does not match this build's " +
+          std::to_string(scenario::cell_format_version()) +
+          " — cell coordinates would not line up");
+    }
+    auto it = plans.find(header.spec_hash);
+    if (it == plans.end()) {
+      const std::vector<scenario::ScenarioSpec> specs =
+          scenario::parse_spec_text(header.spec_text);
+      if (specs.size() != 1) {
+        throw std::invalid_argument(
+            "shard artifact " + path +
+            ": embedded spec does not parse to exactly one scenario");
+      }
+      it = plans.emplace(header.spec_hash,
+                         scenario::make_plan(specs.front())).first;
+      if (it->second.spec_hash != header.spec_hash) {
+        throw std::invalid_argument(
+            "shard artifact " + path +
+            ": embedded spec re-hashes differently — artifact written by "
+            "an incompatible build");
+      }
+    }
+    const scenario::SweepPlan& plan = it->second;
+    for (scenario::ShardEntry& entry : entries) {
+      if (entry.cell_index >= plan.cells.size()) {
+        throw std::invalid_argument(
+            "shard artifact " + path + ": cell index " +
+            std::to_string(entry.cell_index) + " out of range");
+      }
+      entry.result.cell = plan.cells[entry.cell_index];
+      if (!keep(entry.result.cell)) continue;
+      ++matched;
+      std::vector<std::string> cells_row;
+      cells_row.reserve(columns.size());
+      for (const std::string& column : columns) {
+        cells_row.push_back(
+            scenario::column_value(column, plan.spec, entry.result));
+      }
+      for (scenario::ResultSink* sink : sinks) sink->row(cells_row);
+    }
+  }
+  for (scenario::ResultSink* sink : sinks) sink->end();
+
+  if (!quiet) {
+    std::cout << "(" << matched << " cells from " << artifacts.size()
+              << " artifact" << (artifacts.size() == 1 ? "" : "s") << ", "
+              << plans.size() << " distinct spec"
+              << (plans.size() == 1 ? "" : "s") << ")\n";
+    if (!csv_path.empty()) {
+      std::cout << "(csv written to " << csv_path << ")\n";
+    }
+  }
+  return 0;
+}
+
+/// `search_lab cache pack`: compacts a cache_dir into the packed journal.
+int run_cache(util::Cli& cli) {
+  const std::string cache_dir = cli.get_string("cache-dir", "");
+  cli.finish();
+  if (cli.positional().size() != 2 || cli.positional()[1] != "pack") {
+    std::cerr << "usage: search_lab cache pack --cache-dir=DIR\n";
+    return 2;
+  }
+  if (cache_dir.empty()) {
+    std::cerr << "error: cache pack needs --cache-dir=DIR\n";
+    return 2;
+  }
+  const scenario::PackStats stats = scenario::pack_cache_dir(cache_dir);
+  std::cout << "packed " << stats.packed_cells << " cells into " << cache_dir
+            << "/cache.pack (" << stats.folded_files
+            << " per-cell files folded";
+  if (stats.corrupt_dropped > 0) {
+    std::cout << ", " << stats.corrupt_dropped << " corrupt entries dropped";
+  }
+  std::cout << ")\n";
+  return 0;
+}
+
 int usage() {
   std::cerr << "usage: search_lab list\n"
             << "       search_lab run --spec=FILE [flags]\n"
             << "       search_lab run --strategies='a; b(x=1)' --ks=... "
                "--ds=... [flags]\n"
-            << "       search_lab run ... --shard=I/N --shard-out=FILE\n"
+            << "       search_lab run ... --shard=I/N --shard-out=FILE "
+               "[--format=jsonl|binary]\n"
             << "       search_lab merge ARTIFACT... [--csv=PATH] "
                "[--jsonl=PATH] [--metrics-out=FILE] [--quiet]\n"
+            << "       search_lab catalog ARTIFACT... [--columns=a,b,c] "
+               "[--csv=PATH] [--strategy=SUBSTR] [--k=LIST] [--d=LIST] "
+               "[--quiet]\n"
+            << "       search_lab cache pack --cache-dir=DIR\n"
             << "       search_lab report METRICS_FILE... [--hist]\n"
             << "see docs/scenarios.md for the spec format and flag list,\n"
             << "docs/observability.md for --metrics-out/--events/--trace\n";
@@ -507,6 +743,8 @@ int run(int argc, char** argv) {
   if (cli.positional().empty()) return usage();
   const std::string& command = cli.positional()[0];
   if (command == "merge") return run_merge(cli);
+  if (command == "catalog") return run_catalog(cli);
+  if (command == "cache") return run_cache(cli);
   if (command == "report") return run_report(cli);
   if (cli.positional().size() != 1) return usage();
   if (command == "list") {
