@@ -79,8 +79,29 @@ struct PlaneTrialEnvironment {
   std::vector<Time> starts;     ///< per-agent start delays (empty = 0)
   std::vector<Time> lifetimes;  ///< per-agent lifetimes (empty = never)
 
+  /// Absolute appear/vanish times per target (empty = whole trial); a
+  /// sighting at absolute time T counts iff appear[ti] <= T < vanish[ti].
+  /// The plane-side mirror of sim::TrialEnvironment's target windows; when
+  /// engaged, the target set may legitimately be empty (a Poisson process
+  /// that spawned nothing) and the home-target special case is skipped
+  /// (detection on sighting only).
+  std::vector<double> target_appear;
+  std::vector<double> target_vanish;
+
+  /// Set by windowed target processes even when the realization spawned
+  /// ZERO targets (mirrors sim::TrialEnvironment::windowed).
+  bool windowed = false;
+
+  /// true: the trial runs until every spawned target is sighted (or the
+  /// cap); PlaneTrialResult::target_times records per-target times.
+  bool collect_all = false;
+
   /// Latest start delay (0 for the base model).
   Time last_start() const noexcept;
+
+  bool has_target_windows() const noexcept {
+    return windowed || !target_appear.empty() || !target_vanish.empty();
+  }
 };
 
 /// Result of one environment-aware plane trial; the plane-side mirror of
@@ -94,6 +115,12 @@ struct PlaneTrialResult {
   Time last_start = 0;        ///< latest start delay in the environment
   Time from_last_start = 0;   ///< max(0, time - last_start) if found
   int crashed = 0;            ///< agents that exhausted their lifetime
+
+  /// Collect-all mode only (empty otherwise): per spawned target, the
+  /// absolute sighting time or -1 if never sighted in its live window. In
+  /// this mode `time` is the time-to-ALL-sighted (censored at the cap) and
+  /// finder/first_target describe the earliest sighting.
+  std::vector<double> target_times;
 };
 
 /// Runs one continuous trial of `strategy` under `env`: the interleaved

@@ -128,6 +128,68 @@ std::optional<Time> spiral_first_sighting_at(const SpiralMove& sp, Vec2 target,
 
 namespace {
 
+/// spiral_first_sighting_at generalized to a start angle `theta_begin` (the
+/// appear-window variant). Kept as a SEPARATE copy of the annulus scan so
+/// the original — pinned byte-identical between the scalar and batch
+/// executors — is never perturbed. The caller has already established that
+/// the spiral point at theta_begin is OUTSIDE the sight disc, so every
+/// bisection anchor clamped to theta_begin is a valid outside point.
+std::optional<Time> spiral_first_sighting_windowed(const SpiralMove& sp,
+                                                   Vec2 target, double eps,
+                                                   double theta_begin,
+                                                   double theta_end) {
+  const double a = sp.pitch / kTwoPi;
+  const Vec2 rel = target - sp.center;
+  const double d = rel.norm();
+  const double theta_lo = std::max(theta_begin, std::max(0.0, (d - eps) / a));
+  const double theta_hi = std::min(theta_end, (d + eps) / a);
+  if (theta_lo > theta_hi) return std::nullopt;
+  const double eps2 = eps * eps;
+
+  if (d <= 50.0 * sp.pitch) {
+    const double dtheta = eps / (20.0 * std::max(d, eps));
+    double prev = theta_lo;
+    if (spiral_dist2(sp.center, a, prev, target) <= eps2) {
+      return spiral_arc_length(a, prev);
+    }
+    for (double theta = theta_lo + dtheta;; theta += dtheta) {
+      const double th = std::min(theta, theta_hi);
+      if (spiral_dist2(sp.center, a, th, target) <= eps2) {
+        return refine_entry(sp, a, target, eps2, prev, th);
+      }
+      prev = th;
+      if (th >= theta_hi) break;
+    }
+    return std::nullopt;
+  }
+
+  const double phi = std::atan2(rel.y, rel.x);
+  const double n_min = std::floor((theta_lo - phi) / kTwoPi) - 1.0;
+  const double n_max = std::ceil((theta_hi - phi) / kTwoPi) + 1.0;
+  for (double n = std::max(n_min, 0.0); n <= n_max; n += 1.0) {
+    const double theta_c = phi + n * kTwoPi;
+    const double lo =
+        std::max(theta_begin, std::max(0.0, theta_c - 0.5 * kTwoPi));
+    const double hi = std::min(theta_end, theta_c + 0.5 * kTwoPi);
+    if (lo >= hi) continue;
+    double a1 = lo, b1 = hi;
+    for (int it = 0; it < 100; ++it) {
+      const double m1 = a1 + (b1 - a1) / 3.0;
+      const double m2 = b1 - (b1 - a1) / 3.0;
+      if (spiral_dist2(sp.center, a, m1, target) <
+          spiral_dist2(sp.center, a, m2, target)) {
+        b1 = m2;
+      } else {
+        a1 = m1;
+      }
+    }
+    const double theta_min = 0.5 * (a1 + b1);
+    if (spiral_dist2(sp.center, a, theta_min, target) > eps2) continue;
+    return refine_entry(sp, a, target, eps2, lo, theta_min);
+  }
+  return std::nullopt;
+}
+
 /// Single-trial path: solves for theta_end itself.
 std::optional<Time> spiral_first_sighting(const SpiralMove& sp, Vec2 target,
                                           double eps) {
@@ -178,6 +240,31 @@ std::optional<Time> first_sighting(const Move& move, Vec2 target, double eps) {
     return line_first_sighting(*line, target, eps);
   }
   return spiral_first_sighting(std::get<SpiralMove>(move), target, eps);
+}
+
+std::optional<Time> first_sighting_from(const Move& move, Vec2 target,
+                                        double eps, Time from) {
+  if (from <= 0) return first_sighting(move, target, eps);
+  if (from >= move_duration(move)) return std::nullopt;
+  // Already inside the disc the instant the window opens.
+  if ((move_position_at(move, from) - target).norm2() <= eps * eps) {
+    return from;
+  }
+  if (const auto* line = std::get_if<LineMove>(&move)) {
+    // A line crosses the disc in at most one interval; since the position
+    // at `from` is outside, either the entry is still ahead (valid iff
+    // >= from) or the disc was exited before `from` (no re-entry).
+    const auto hit = line_first_sighting(*line, target, eps);
+    if (hit && *hit >= from) return hit;
+    return std::nullopt;
+  }
+  // A spiral may re-enter the disc on a later coil: scan the annulus window
+  // from the angle reached at arc length `from`.
+  const auto& sp = std::get<SpiralMove>(move);
+  const double a = sp.pitch / kTwoPi;
+  return spiral_first_sighting_windowed(
+      sp, target, eps, spiral_theta_for_arc(a, from),
+      spiral_theta_for_arc(a, sp.duration));
 }
 
 double spiral_arc_length(double a, double theta) noexcept {

@@ -62,6 +62,16 @@ Vec2 move_position_at(const Move& move, Time t) noexcept;
 /// `eps` of `target`, if any.
 std::optional<Time> first_sighting(const Move& move, Vec2 target, double eps);
 
+/// Earliest time offset in [from, duration] at which the mover is within
+/// `eps` of `target` — first_sighting constrained to start at offset `from`.
+/// If the mover is already inside the disc at `from`, the answer is `from`
+/// itself. Serves the appear-window check of dynamic target processes
+/// (sim/trial.h): a target that appears mid-move must not be credited with
+/// a sighting from before it existed — including a spiral that crossed the
+/// disc on an earlier coil and re-enters on a later one.
+std::optional<Time> first_sighting_from(const Move& move, Vec2 target,
+                                        double eps, Time from);
+
 /// The LineMove case of first_sighting, exposed so the batch kernels
 /// (sim/batch/) can re-check SIMD-prefiltered candidate targets with the
 /// byte-identical scalar arithmetic.

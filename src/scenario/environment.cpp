@@ -161,6 +161,38 @@ const std::vector<EnvEntry>& target_entries() {
        "n independent placement draws at distance D (patchy food on the "
        "ring)",
        {{"n", ParamType::kInt, "2", "number of targets, >= 1"}}},
+      {"poisson",
+       "targets appear at Poisson(rate) arrival times over (0, time_cap], "
+       "each an independent placement draw at distance D, and vanish after "
+       "an Exponential(life) lifetime (life=0 = immortal); requires a "
+       "finite time_cap",
+       {{"rate", ParamType::kDouble, "0.001", "arrival rate per tick, > 0"},
+        {"life", ParamType::kDouble, "0",
+         "mean target lifetime in ticks, >= 0 (0 = immortal)"}}},
+      {"drift",
+       "one mobile target: base position is a placement draw at distance D, "
+       "drifting at v cells/tick in the fixed heading angle (fraction of a "
+       "full turn)",
+       {{"v", ParamType::kDouble, "0.5", "drift speed in cells/tick, > 0"},
+        {"angle", ParamType::kDouble, "0",
+         "drift heading as a fraction of a full turn, in [0, 1)"}},
+       "grid step-level strategies only"},
+  };
+  return entries;
+}
+
+const std::vector<EnvEntry>& capture_entries() {
+  static const std::vector<EnvEntry> entries = {
+      {"instant",
+       "a find confirms the moment an agent reaches / sights a target (the "
+       "classic model)",
+       {}},
+      {"dwell",
+       "an agent must hold contact for t extra consecutive ticks before a "
+       "find confirms; grid contact is the L1-radius-1 disc around the "
+       "target, and leaving it (or the target vanishing) resets progress",
+       {{"t", ParamType::kInt, "1", "extra contact ticks required, >= 1"}},
+       "step-level strategies only"},
   };
   return entries;
 }
@@ -186,6 +218,12 @@ std::string canonical_crash_spec(const std::string& text) {
 std::string canonical_targets_spec(const std::string& text) {
   const std::string out = canonical("targets", target_entries(), text);
   (void)make_targets(out, sim::axis_placement());  // surfaces range errors
+  return out;
+}
+
+std::string canonical_capture_spec(const std::string& text) {
+  const std::string out = canonical("capture", capture_entries(), text);
+  (void)capture_dwell_ticks(out);  // surfaces range errors (t < 1)
   return out;
 }
 
@@ -244,19 +282,46 @@ std::unique_ptr<sim::CrashModel> make_crash(const std::string& text) {
 
 namespace {
 
-/// The target-set grammar, compiled once over a substrate-specific point
-/// draw: grid and plane sweeps share ONE copy of the pair/ring-set
-/// validation and radii, so the two substrates cannot drift apart — with
-/// "pair", both race a NEAR patch (target 0, the foraging preference) at
-/// max(1, round(near*D)) against a far one at D.
+/// Which TrialEnvironment vector a substrate's static draws land in.
 template <typename Point>
-std::function<std::vector<Point>(rng::Rng&, std::int64_t)> compile_targets(
-    const ResolvedEnv& env,
-    std::function<Point(rng::Rng&, std::int64_t)> place) {
+std::vector<Point>& target_vec(sim::TrialEnvironment& env);
+template <>
+std::vector<grid::Point>& target_vec<grid::Point>(sim::TrialEnvironment& env) {
+  return env.targets;
+}
+template <>
+std::vector<plane::Vec2>& target_vec<plane::Vec2>(sim::TrialEnvironment& env) {
+  return env.plane_targets;
+}
+
+/// Validates the shared poisson parameters and returns {rate, mean_life}.
+std::pair<double, double> poisson_params(const ResolvedEnv& env) {
+  const double rate = as_double(env, 0);
+  const double life = as_double(env, 1);
+  if (!(rate > 0)) bad("targets 'poisson': rate must be > 0");
+  if (life < 0) bad("targets 'poisson': life must be >= 0");
+  return {rate, life};
+}
+
+/// The STATIC arms of the target-process grammar (single / pair /
+/// ring-set), compiled once over a substrate-specific point draw: grid and
+/// plane sweeps share ONE copy of the pair/ring-set validation and radii,
+/// so the two substrates cannot drift apart — with "pair", both race a NEAR
+/// patch (target 0, the foraging preference) at max(1, round(near*D))
+/// against a far one at D. Static draws consume the trial rng's MAIN stream
+/// exactly as the historical one-shot draws did (byte-compat); the dynamic
+/// arms (poisson / drift) are dispatched in make_targets /
+/// make_plane_targets to the sim target-process factories instead.
+template <typename Point>
+std::function<void(rng::Rng&, std::int64_t, sim::Time,
+                   sim::TrialEnvironment*)>
+compile_static_targets(const ResolvedEnv& env,
+                       std::function<Point(rng::Rng&, std::int64_t)> place) {
   const std::string& name = env.entry->name;
   if (name == "single") {
-    return [place = std::move(place)](rng::Rng& rng, std::int64_t distance) {
-      return std::vector<Point>{place(rng, distance)};
+    return [place = std::move(place)](rng::Rng& rng, std::int64_t distance,
+                                      sim::Time, sim::TrialEnvironment* out) {
+      target_vec<Point>(*out).push_back(place(rng, distance));
     };
   }
   if (name == "pair") {
@@ -265,50 +330,87 @@ std::function<std::vector<Point>(rng::Rng&, std::int64_t)> compile_targets(
       bad("targets 'pair': near must be in (0, 1]");
     }
     return [near, place = std::move(place)](rng::Rng& rng,
-                                            std::int64_t distance) {
+                                            std::int64_t distance, sim::Time,
+                                            sim::TrialEnvironment* out) {
       const auto near_d = std::max<std::int64_t>(
           1, std::llround(near * static_cast<double>(distance)));
-      std::vector<Point> targets;
+      std::vector<Point>& targets = target_vec<Point>(*out);
       targets.push_back(place(rng, near_d));
       targets.push_back(place(rng, distance));
-      return targets;
     };
   }
   const std::int64_t n = as_int(env, 0);
   if (n < 1) bad("targets 'ring-set': n must be >= 1");
-  return [n, place = std::move(place)](rng::Rng& rng,
-                                       std::int64_t distance) {
-    std::vector<Point> targets;
+  return [n, place = std::move(place)](rng::Rng& rng, std::int64_t distance,
+                                       sim::Time,
+                                       sim::TrialEnvironment* out) {
+    std::vector<Point>& targets = target_vec<Point>(*out);
     targets.reserve(static_cast<std::size_t>(n));
     for (std::int64_t i = 0; i < n; ++i) {
       targets.push_back(place(rng, distance));
     }
-    return targets;
   };
+}
+
+/// Validates drift's parameters and returns {speed, angle_turns}.
+std::pair<double, double> drift_params(const ResolvedEnv& env) {
+  const double v = as_double(env, 0);
+  const double angle = as_double(env, 1);
+  if (!(v > 0)) bad("targets 'drift': v must be > 0");
+  if (angle < 0 || angle >= 1) {
+    bad("targets 'drift': angle must be in [0, 1)");
+  }
+  return {v, angle};
 }
 
 }  // namespace
 
-sim::TargetDraw make_targets(const std::string& text,
-                             const sim::Placement& placement) {
+sim::TargetProcess make_targets(const std::string& text,
+                                const sim::Placement& placement) {
   const ResolvedEnv env = resolve("targets", target_entries(), text);
-  sim::TargetDraw draw;
-  draw.grid = compile_targets<grid::Point>(
+  const std::string& name = env.entry->name;
+  if (name == "poisson") {
+    const auto [rate, life] = poisson_params(env);
+    return sim::poisson_targets(rate, life, placement);
+  }
+  if (name == "drift") {
+    const auto [v, angle] = drift_params(env);
+    return sim::drifting_target(v, angle, placement);
+  }
+  sim::TargetProcess process;
+  process.grid = compile_static_targets<grid::Point>(
       env, [placement](rng::Rng& rng, std::int64_t d) {
         return placement(rng, d);
       });
-  return draw;
+  return process;
 }
 
-sim::TargetDraw make_plane_targets(
+sim::TargetProcess make_plane_targets(
     const std::string& text, const std::function<double(rng::Rng&)>& angle) {
   const ResolvedEnv env = resolve("targets", target_entries(), text);
-  sim::TargetDraw draw;
-  draw.plane = compile_targets<plane::Vec2>(
+  const std::string& name = env.entry->name;
+  if (name == "poisson") {
+    const auto [rate, life] = poisson_params(env);
+    return sim::poisson_plane_targets(rate, life, angle);
+  }
+  if (name == "drift") {
+    bad("targets 'drift' requires grid step-level strategies (the plane "
+        "backend has no per-tick target position)");
+  }
+  sim::TargetProcess process;
+  process.plane = compile_static_targets<plane::Vec2>(
       env, [angle](rng::Rng& rng, std::int64_t d) {
         return plane::unit(angle(rng)) * static_cast<double>(d);
       });
-  return draw;
+  return process;
+}
+
+sim::Time capture_dwell_ticks(const std::string& text) {
+  const ResolvedEnv env = resolve("capture", capture_entries(), text);
+  if (env.entry->name == "instant") return 0;
+  const std::int64_t t = as_int(env, 0);
+  if (t < 1) bad("capture 'dwell': t must be >= 1");
+  return t;
 }
 
 std::function<double(rng::Rng&)> make_plane_angle(const std::string& text) {
@@ -338,6 +440,15 @@ bool is_no_crash(const std::string& text) {
 
 bool is_single_targets(const std::string& text) {
   return parse_strategy_spec(text).name == "single";
+}
+
+bool is_dynamic_targets(const std::string& text) {
+  const std::string name = parse_strategy_spec(text).name;
+  return name == "poisson" || name == "drift";
+}
+
+bool is_step_only_targets(const std::string& text) {
+  return parse_strategy_spec(text).name == "drift";
 }
 
 }  // namespace ants::scenario

@@ -42,12 +42,16 @@ struct EnvEntry {
   std::string name;
   std::string summary;
   std::vector<ParamSpec> params;
+  /// Engine-family applicability; empty = every engine family. Printed per
+  /// entry by `search_lab list` and enforced by spec validation.
+  std::string applies;
 };
 
 const std::vector<EnvEntry>& placement_entries();
 const std::vector<EnvEntry>& schedule_entries();
 const std::vector<EnvEntry>& crash_entries();
 const std::vector<EnvEntry>& target_entries();
+const std::vector<EnvEntry>& capture_entries();
 
 /// Parse + validate against the axis registry + re-serialize stably (sorted
 /// params, no spaces). Throws std::invalid_argument on unknown names,
@@ -57,27 +61,36 @@ std::string canonical_placement_spec(const std::string& text);
 std::string canonical_schedule_spec(const std::string& text);
 std::string canonical_crash_spec(const std::string& text);
 std::string canonical_targets_spec(const std::string& text);
+std::string canonical_capture_spec(const std::string& text);
 
 /// Factories. Accept raw or canonical spec text.
 sim::Placement make_placement(const std::string& text);
 std::unique_ptr<sim::StartSchedule> make_schedule(const std::string& text);
 std::unique_ptr<sim::CrashModel> make_crash(const std::string& text);
 
-/// Compiles a target-set spec against a placement policy: the policy picks
-/// each target's direction, the target spec picks how many targets and at
-/// which distances. "single" is exactly one placement draw — byte-identical
-/// to the classic single-treasure path.
-sim::TargetDraw make_targets(const std::string& text,
-                             const sim::Placement& placement);
+/// Compiles a target-process spec against a placement policy: the policy
+/// picks each target's direction, the target spec picks how many targets,
+/// at which distances, and over which live windows. "single" is exactly one
+/// placement draw — byte-identical to the classic single-treasure path —
+/// while "poisson(rate=;life=)" and "drift(v=;angle=)" realize dynamic
+/// processes from the dedicated target stream (sim::kTargetStream).
+sim::TargetProcess make_targets(const std::string& text,
+                                const sim::Placement& placement);
 
-/// The continuous-plane twin of make_targets: compiles the SAME target-set
-/// grammar against a plane angle policy (see make_plane_angle). Distances
-/// mirror the grid semantics exactly — "pair(near=f)" puts the near patch
-/// at max(1, round(f*D)) — so a paired grid-vs-plane sweep races targets at
-/// the same radii. "single" is exactly one angle draw, byte-identical to
-/// the classic plane path.
-sim::TargetDraw make_plane_targets(
+/// The continuous-plane twin of make_targets: compiles the SAME
+/// target-process grammar against a plane angle policy (see
+/// make_plane_angle). Distances mirror the grid semantics exactly —
+/// "pair(near=f)" puts the near patch at max(1, round(f*D)) — so a paired
+/// grid-vs-plane sweep races targets at the same radii. "single" is exactly
+/// one angle draw, byte-identical to the classic plane path. "drift" is
+/// grid/step-level only and throws here.
+sim::TargetProcess make_plane_targets(
     const std::string& text, const std::function<double(rng::Rng&)>& angle);
+
+/// Dwell ticks compiled from a capture spec: 0 for "instant", t for
+/// "dwell(t=)" (validated t >= 1). The sweep wires this into
+/// sim::TrialEnvironment::capture_dwell.
+sim::Time capture_dwell_ticks(const std::string& text);
 
 /// For a "fixed" schedule, the number of per-agent delays it carries
 /// (validation must match it against every k in the sweep grid); 0 for
@@ -97,5 +110,13 @@ std::function<double(rng::Rng&)> make_plane_angle(const std::string& text);
 bool is_sync_schedule(const std::string& text);
 bool is_no_crash(const std::string& text);
 bool is_single_targets(const std::string& text);
+
+/// True when the target-set spec realizes a DYNAMIC process (poisson or
+/// drift) — these need a finite time_cap horizon.
+bool is_dynamic_targets(const std::string& text);
+
+/// True when the target-set spec applies to step-level strategies only
+/// (drift: segment/plane backends have no per-tick target position).
+bool is_step_only_targets(const std::string& text);
 
 }  // namespace ants::scenario

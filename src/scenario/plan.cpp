@@ -12,24 +12,29 @@ namespace ants::scenario {
 
 namespace {
 
-/// v5: cache_store/artifact records gained the shard pipeline's exact
-/// double serialization and per-cell mid-run persistence. v4: plane-level
+/// v6: targets became a per-trial PROCESS (poisson/drift windows, dwell
+/// capture, collect-all) — capture/collect joined the cell key and the
+/// target-process aggregates joined the cache record. v5:
+/// cache_store/artifact records gained the shard pipeline's exact double
+/// serialization and per-cell mid-run persistence. v4: plane-level
 /// strategies run under the full environment (schedule/crash/targets)
 /// through the unified executor. v3: the target set became a per-cell axis
 /// and mean_first_target joined the cache record.
-constexpr int kCellFormatVersion = 5;
+constexpr int kCellFormatVersion = 6;
 
 std::uint64_t cell_hash(const ScenarioSpec& spec, const std::string& strategy,
                         std::int64_t k, std::int64_t distance,
                         const std::string& placement,
                         const std::string& targets,
                         const std::string& schedule,
-                        const std::string& crash) {
+                        const std::string& crash,
+                        const std::string& capture) {
   std::ostringstream key;
   key << "v" << kCellFormatVersion << "|" << strategy << "|k=" << k
       << "|d=" << distance << "|placement=" << placement
       << "|targets=" << targets << "|schedule=" << schedule
-      << "|crash=" << crash << "|trials=" << spec.trials
+      << "|crash=" << crash << "|capture=" << capture
+      << "|collect=" << spec.collect << "|trials=" << spec.trials
       << "|seed=" << spec.seed << "|cap=" << spec.time_cap;
   return hash_text(key.str());
 }
@@ -42,6 +47,7 @@ std::vector<Cell> flatten(const ScenarioSpec& spec) {
   spec.validate();
   const std::string schedule = canonical_schedule_spec(spec.schedule);
   const std::string crash = canonical_crash_spec(spec.crash);
+  const std::string capture = canonical_capture_spec(spec.capture);
   std::vector<std::string> placements;
   for (const std::string& p : spec.placements) {
     placements.push_back(canonical_placement_spec(p));
@@ -80,7 +86,7 @@ std::vector<Cell> flatten(const ScenarioSpec& spec) {
                 spec.seed, rng::mix_seed(static_cast<std::uint64_t>(k),
                                          static_cast<std::uint64_t>(d)));
             cell.hash = cell_hash(spec, canonical, k, d, placements[pi],
-                                  targets[ti], schedule, crash);
+                                  targets[ti], schedule, crash, capture);
             cells.push_back(std::move(cell));
           }
         }

@@ -148,6 +148,47 @@ const Column kColumns[] = {
      [](const ScenarioSpec&, const CellResult& r) {
        return fmt(r.mean_first_target);
      }},
+    {"capture",
+     [](const ScenarioSpec& spec, const CellResult&) {
+       return parse_strategy_spec(spec.capture).canonical();
+     }},
+    {"collect",
+     [](const ScenarioSpec& spec, const CellResult&) { return spec.collect; }},
+    {"targets_found",
+     [](const ScenarioSpec&, const CellResult& r) {
+       return fmt(r.mean_targets_found);
+     }},
+    {"targets_spawned",
+     [](const ScenarioSpec&, const CellResult& r) {
+       return fmt(r.mean_targets_spawned);
+     }},
+    {"found_before_vanish",
+     [](const ScenarioSpec&, const CellResult& r) {
+       return fmt(r.found_before_vanish);
+     }},
+    // Under collect=all the race runs to the last find, so the cell's time
+    // aggregate IS the time-to-all-found; surfacing it under its own name
+    // keeps collect-all specs self-describing. -1 under collect=first.
+    {"time_to_all",
+     [](const ScenarioSpec& spec, const CellResult& r) {
+       return spec.collect_all() ? fmt(r.stats.time.mean) : fmt(-1.0);
+     }},
+    {"target_time_0",
+     [](const ScenarioSpec&, const CellResult& r) {
+       return fmt(r.target_time_mean[0]);
+     }},
+    {"target_time_1",
+     [](const ScenarioSpec&, const CellResult& r) {
+       return fmt(r.target_time_mean[1]);
+     }},
+    {"target_time_2",
+     [](const ScenarioSpec&, const CellResult& r) {
+       return fmt(r.target_time_mean[2]);
+     }},
+    {"target_time_3",
+     [](const ScenarioSpec&, const CellResult& r) {
+       return fmt(r.target_time_mean[3]);
+     }},
     {"cached",
      [](const ScenarioSpec&, const CellResult& r) {
        return std::string(r.from_cache ? "1" : "0");
@@ -325,6 +366,29 @@ constexpr AggField kAggFields[] = {
     {"mean_first_target",
      [](const CellResult& r) { return r.mean_first_target; },
      [](CellResult& r, double v) { r.mean_first_target = v; }},
+    // Target-process aggregates (v6). New fields append at the END: the
+    // binary artifact's column order is this table's order.
+    {"mean_targets_found",
+     [](const CellResult& r) { return r.mean_targets_found; },
+     [](CellResult& r, double v) { r.mean_targets_found = v; }},
+    {"mean_targets_spawned",
+     [](const CellResult& r) { return r.mean_targets_spawned; },
+     [](CellResult& r, double v) { r.mean_targets_spawned = v; }},
+    {"found_before_vanish",
+     [](const CellResult& r) { return r.found_before_vanish; },
+     [](CellResult& r, double v) { r.found_before_vanish = v; }},
+    {"target_time_0",
+     [](const CellResult& r) { return r.target_time_mean[0]; },
+     [](CellResult& r, double v) { r.target_time_mean[0] = v; }},
+    {"target_time_1",
+     [](const CellResult& r) { return r.target_time_mean[1]; },
+     [](CellResult& r, double v) { r.target_time_mean[1] = v; }},
+    {"target_time_2",
+     [](const CellResult& r) { return r.target_time_mean[2]; },
+     [](CellResult& r, double v) { r.target_time_mean[2] = v; }},
+    {"target_time_3",
+     [](const CellResult& r) { return r.target_time_mean[3]; },
+     [](CellResult& r, double v) { r.target_time_mean[3] = v; }},
 };
 
 bool parse_double_exact(const std::string& text, double* out) {

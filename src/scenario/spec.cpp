@@ -75,6 +75,10 @@ void assign_field(ScenarioSpec& spec, const std::string& key,
     spec.schedule = value;
   } else if (key == "crash") {
     spec.crash = value;
+  } else if (key == "capture") {
+    spec.capture = value;
+  } else if (key == "collect") {
+    spec.collect = value;
   } else if (key == "trials") {
     spec.trials = to_int("trials", value);
   } else if (key == "seed") {
@@ -141,6 +145,24 @@ void ScenarioSpec::validate() const {
   for (const std::string& t : targets) (void)canonical_targets_spec(t);
   (void)canonical_schedule_spec(schedule);
   (void)canonical_crash_spec(crash);
+  (void)canonical_capture_spec(capture);
+  if (collect != "first" && collect != "all") {
+    bad("scenario '" + name + "': collect must be 'first' or 'all'");
+  }
+  // Dynamic target processes, dwell capture, and collect-all all need the
+  // trial horizon: arrivals are realized over (0, time_cap] and unfound
+  // targets censor at the cap.
+  if (is_dynamic() && time_cap == 0) {
+    bad("scenario '" + name +
+        "': dynamic targets / dwell capture / collect=all require a finite "
+        "time_cap");
+  }
+  const bool step_only_targets = [&] {
+    for (const std::string& t : targets) {
+      if (is_step_only_targets(t)) return true;
+    }
+    return false;
+  }();
   // A fixed schedule carries one delay per agent; every k in the grid must
   // match it, or FixedStart would throw mid-sweep.
   if (const std::size_t delays = fixed_schedule_delay_count(schedule);
@@ -169,6 +191,16 @@ void ScenarioSpec::validate() const {
     if (built.is_plane() && time_cap == 0) {
       bad("scenario '" + name + "': plane-level strategy '" + s +
           "' requires a finite time_cap");
+    }
+    // Per-tick target positions / contact dwell only exist on the lock-step
+    // backend, so these axes restrict the whole strategy list.
+    if (!built.is_step() && step_only_targets) {
+      bad("scenario '" + name + "': targets 'drift' requires step-level "
+          "strategies, but '" + s + "' is not");
+    }
+    if (!built.is_step() && capture_dwell() > 0) {
+      bad("scenario '" + name + "': capture 'dwell' requires step-level "
+          "strategies, but '" + s + "' is not");
     }
   }
   for (const std::string& column : columns) {
@@ -206,6 +238,8 @@ std::string ScenarioSpec::canonical() const {
       << "targets = " << join(t_texts) << "\n"
       << "schedule = " << parse_strategy_spec(schedule).canonical() << "\n"
       << "crash = " << parse_strategy_spec(crash).canonical() << "\n"
+      << "capture = " << parse_strategy_spec(capture).canonical() << "\n"
+      << "collect = " << collect << "\n"
       << "trials = " << trials << "\n"
       << "seed = " << seed << "\n"
       << "time_cap = " << time_cap << "\n";
@@ -222,6 +256,18 @@ bool ScenarioSpec::is_multi_target() const {
     if (!is_single_targets(t)) return true;
   }
   return false;
+}
+
+bool ScenarioSpec::is_dynamic() const {
+  if (capture_dwell() > 0 || collect_all()) return true;
+  for (const std::string& t : targets) {
+    if (is_dynamic_targets(t)) return true;
+  }
+  return false;
+}
+
+sim::Time ScenarioSpec::capture_dwell() const {
+  return capture_dwell_ticks(capture);
 }
 
 std::vector<ScenarioSpec> parse_spec_text(const std::string& text) {
@@ -299,6 +345,8 @@ ScenarioSpec spec_from_cli(util::Cli& cli) {
   }
   spec.schedule = cli.get_string("schedule", spec.schedule);
   spec.crash = cli.get_string("crash", spec.crash);
+  spec.capture = cli.get_string("capture", spec.capture);
+  spec.collect = cli.get_string("collect", spec.collect);
   spec.trials = cli.get_int("trials", spec.trials);
   // Parsed as uint64 like the spec-file forms — get_int would reject the
   // upper half of the seed space.

@@ -55,6 +55,13 @@ struct ScenarioSpec {
   /// Crash-model spec ("none", "doa(p=0.25)", ...). Applies to segment-
   /// and step-level strategies through the unified executor.
   std::string crash = "none";
+  /// Capture-policy spec ("instant", "dwell(t=2)"). Dwell capture requires
+  /// every strategy in the spec to be step-level.
+  std::string capture = "instant";
+  /// Collect mode: "first" (the race ends at the first find — classic) or
+  /// "all" (run until every spawned target is found or the cap; surfaces
+  /// the time_to_all and per-target discovery-time columns).
+  std::string collect = "first";
   std::int64_t trials = 100;
   std::uint64_t seed = 0xA27553ACULL;
   /// Per-trial cap; 0 = uncapped (sim::kNeverTime). Step-level strategies
@@ -76,6 +83,18 @@ struct ScenarioSpec {
   /// first_target column meaningfully.
   bool is_multi_target() const;
 
+  /// True when the spec engages any target-process feature beyond the
+  /// classic static model: a dynamic targets axis entry (poisson/drift),
+  /// dwell capture, or collect-all — such specs surface the
+  /// targets_found/targets_spawned/found_before_vanish columns.
+  bool is_dynamic() const;
+
+  /// Dwell ticks compiled from `capture` (0 = instant).
+  sim::Time capture_dwell() const;
+
+  /// True when collect == "all".
+  bool collect_all() const { return collect == "all"; }
+
   /// Throws std::invalid_argument on an unrunnable spec (empty strategy
   /// list, non-positive grids or trials, unknown placement or strategy,
   /// malformed strategy spec, unknown column).
@@ -93,8 +112,8 @@ std::vector<ScenarioSpec> parse_spec_file(const std::string& path);
 
 /// Builds one spec from CLI flags: --strategies (';'- or top-level-','
 /// separated), --ks, --ds, --trials, --seed, --placement (list), --targets
-/// (list), --schedule, --crash, --time-cap, --columns, --scenario-name.
-/// Flags not given keep the defaults above.
+/// (list), --schedule, --crash, --capture, --collect, --time-cap,
+/// --columns, --scenario-name. Flags not given keep the defaults above.
 ScenarioSpec spec_from_cli(util::Cli& cli);
 
 /// FNV-1a over `text` — the stable string hash the cell cache keys use.

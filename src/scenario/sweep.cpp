@@ -151,16 +151,16 @@ std::vector<CellResult> run_cells(const ScenarioSpec& spec,
     built[i] = &it->second;
   }
 
-  // Placement policies, target-set draws, schedule, and crash model are
+  // Placement policies, target processes, schedule, and crash model are
   // stateless draws from the trial rng — one shared instance per spec is
-  // thread-safe. Target draws compose the placement policy (grid points or
-  // plane angles) with the cell's target-set spec, so they are compiled per
-  // (placement, targets) pair and per substrate — a paired grid-vs-plane
-  // spec fills both sides of the same TargetDraw slot.
+  // thread-safe. Target processes compose the placement policy (grid points
+  // or plane angles) with the cell's target-process spec, so they are
+  // compiled per (placement, targets) pair and per substrate — a paired
+  // grid-vs-plane spec fills both sides of the same TargetProcess slot.
   const std::size_t n_targets = spec.targets.size();
   std::vector<sim::Placement> placements(spec.placements.size());
-  std::vector<sim::TargetDraw> target_draws(spec.placements.size() *
-                                            n_targets);
+  std::vector<sim::TargetProcess> target_processes(spec.placements.size() *
+                                                   n_targets);
   std::vector<std::function<double(rng::Rng&)>> plane_angles(
       spec.placements.size());
   for (const std::size_t i : pending) {
@@ -172,8 +172,8 @@ std::vector<CellResult> run_cells(const ScenarioSpec& spec,
         plane_angles[cell.placement_index] =
             make_plane_angle(cell.placement_spec);
       }
-      if (!target_draws[di].plane) {
-        target_draws[di].plane =
+      if (!target_processes[di].plane) {
+        target_processes[di].plane =
             make_plane_targets(cell.targets_spec,
                                plane_angles[cell.placement_index])
                 .plane;
@@ -183,8 +183,8 @@ std::vector<CellResult> run_cells(const ScenarioSpec& spec,
     if (!placements[cell.placement_index]) {
       placements[cell.placement_index] = make_placement(cell.placement_spec);
     }
-    if (!target_draws[di].grid) {
-      target_draws[di].grid =
+    if (!target_processes[di].grid) {
+      target_processes[di].grid =
           make_targets(cell.targets_spec, placements[cell.placement_index])
               .grid;
     }
@@ -196,10 +196,23 @@ std::vector<CellResult> run_cells(const ScenarioSpec& spec,
   sim::EngineConfig engine_config;
   engine_config.time_cap = spec.effective_time_cap();
 
+  // Target-process aggregates accumulate per trial into trial-indexed slots
+  // and are reduced in trial order in finalize_cell — atomic double sums
+  // would make the means depend on scheduling and break the thread-count
+  // byte-identity contract.
+  const bool dynamic = spec.is_dynamic();
+  const bool collect_all = spec.collect_all();
+  const sim::Time capture_dwell = spec.capture_dwell();
+  constexpr std::size_t kSlots = CellResult::kTargetTimeSlots;
+
   std::vector<std::vector<double>> times(n_cells);
   std::vector<std::vector<double>> from_last(async ? n_cells : 0);
   std::vector<std::vector<double>> crashed(async ? n_cells : 0);
   std::vector<std::vector<double>> last_starts(async ? n_cells : 0);
+  std::vector<std::vector<double>> spawned(dynamic ? n_cells : 0);
+  std::vector<std::vector<double>> found_count(dynamic ? n_cells : 0);
+  std::vector<std::vector<double>> fbv(dynamic ? n_cells : 0);
+  std::vector<std::vector<double>> slot_times(collect_all ? n_cells : 0);
   for (const std::size_t i : pending) {
     times[i].resize(trials);
     if (async) {
@@ -207,6 +220,12 @@ std::vector<CellResult> run_cells(const ScenarioSpec& spec,
       crashed[i].resize(trials);
       last_starts[i].resize(trials);
     }
+    if (dynamic) {
+      spawned[i].resize(trials);
+      found_count[i].resize(trials);
+      fbv[i].resize(trials);
+    }
+    if (collect_all) slot_times[i].assign(trials * kSlots, -1.0);
   }
   std::vector<std::atomic<std::int64_t>> found(n_cells);
   std::vector<std::atomic<std::int64_t>> first_target_sum(n_cells);
@@ -243,6 +262,31 @@ std::vector<CellResult> run_cells(const ScenarioSpec& spec,
             ? static_cast<double>(first_target_sum[i].load()) /
                   static_cast<double>(found[i].load())
             : -1.0;
+    if (dynamic) {
+      const auto mean_of = [](const std::vector<double>& v) {
+        double sum = 0;
+        for (const double x : v) sum += x;
+        return v.empty() ? -1.0 : sum / static_cast<double>(v.size());
+      };
+      results[i].mean_targets_spawned = mean_of(spawned[i]);
+      results[i].mean_targets_found = mean_of(found_count[i]);
+      results[i].found_before_vanish = mean_of(fbv[i]);
+    }
+    if (collect_all) {
+      for (std::size_t j = 0; j < kSlots; ++j) {
+        double sum = 0;
+        std::size_t n_found = 0;
+        for (std::size_t t = 0; t < trials; ++t) {
+          const double v = slot_times[i][t * kSlots + j];
+          if (v >= 0) {
+            sum += v;
+            ++n_found;
+          }
+        }
+        results[i].target_time_mean[j] =
+            n_found > 0 ? sum / static_cast<double>(n_found) : -1.0;
+      }
+    }
     if (!opt.cache_dir.empty()) {
       // Packed cache_dirs take the append-journal path (one O_APPEND write,
       // CRC-framed, safe against concurrent shard processes); unpacked ones
@@ -334,9 +378,9 @@ std::vector<CellResult> run_cells(const ScenarioSpec& spec,
           cache.k = cell.k;
         }
 
-        const sim::TargetDraw& draw =
-            target_draws[cell.placement_index * n_targets +
-                         cell.targets_index];
+        const sim::TargetProcess& process =
+            target_processes[cell.placement_index * n_targets +
+                             cell.targets_index];
         for (std::size_t trial = trial_begin; trial < trial_end; ++trial) {
           const std::int64_t trial_t0 =
               trace != nullptr ? telemetry::now_us() : 0;
@@ -351,15 +395,19 @@ std::vector<CellResult> run_cells(const ScenarioSpec& spec,
           // path must not pay for axes it does not use.
           sim::TrialEnvironment env;
           if (built[ci]->is_plane()) {
-            env.plane_targets = draw.plane(trial_rng, cell.distance);
+            process.plane(trial_rng, cell.distance, engine_config.time_cap,
+                          &env);
           } else {
-            env.targets = draw.grid(trial_rng, cell.distance);
+            process.grid(trial_rng, cell.distance, engine_config.time_cap,
+                         &env);
           }
           if (async) {
             env = sim::draw_environment(static_cast<int>(cell.k),
                                         std::move(env), *schedule, *crashes,
                                         trial_rng);
           }
+          env.capture_dwell = capture_dwell;
+          env.collect_all = collect_all;
           const sim::TrialResult r = cache.runner->run_one(env, trial_rng);
           times[ci][trial] = r.time;
           if (async) {
@@ -371,6 +419,24 @@ std::vector<CellResult> run_cells(const ScenarioSpec& spec,
             found[ci].fetch_add(1, std::memory_order_relaxed);
             first_target_sum[ci].fetch_add(r.first_target,
                                            std::memory_order_relaxed);
+          }
+          if (dynamic) {
+            const double nt = static_cast<double>(
+                built[ci]->is_plane() ? env.plane_targets.size()
+                                      : env.targets.size());
+            double nf = r.found ? 1.0 : 0.0;
+            if (collect_all) {
+              nf = 0;
+              for (const double tt : r.target_times) nf += tt >= 0 ? 1 : 0;
+              const std::size_t ns =
+                  std::min(kSlots, r.target_times.size());
+              for (std::size_t j = 0; j < ns; ++j) {
+                slot_times[ci][trial * kSlots + j] = r.target_times[j];
+              }
+            }
+            spawned[ci][trial] = nt;
+            found_count[ci][trial] = nf;
+            fbv[ci][trial] = nt > 0 ? nf / nt : 1.0;
           }
           if (trace != nullptr) {
             trace->record_trial(worker, ci, trial_t0, telemetry::now_us());
@@ -472,6 +538,12 @@ void write_shard(const std::string& path, const SweepPlan& plan,
     slim.mean_crashed = full.mean_crashed;
     slim.mean_last_start = full.mean_last_start;
     slim.mean_first_target = full.mean_first_target;
+    slim.mean_targets_found = full.mean_targets_found;
+    slim.mean_targets_spawned = full.mean_targets_spawned;
+    slim.found_before_vanish = full.found_before_vanish;
+    for (std::size_t j = 0; j < CellResult::kTargetTimeSlots; ++j) {
+      slim.target_time_mean[j] = full.target_time_mean[j];
+    }
     slim.from_cache = full.from_cache;
   }
   std::string line;

@@ -60,6 +60,19 @@ struct CellResult {
   /// Mean winning-target index over FOUND trials (-1 when nothing was
   /// found); 0 for single-target cells.
   double mean_first_target = -1;
+  /// Number of per-target discovery-time slots persisted per cell
+  /// (collect-all specs; targets beyond the first slots still count into
+  /// mean_targets_found, they just don't get an individual column).
+  static constexpr std::size_t kTargetTimeSlots = 4;
+  /// Target-process aggregates (-1 / inert for classic static specs):
+  /// mean targets spawned and found per trial, the mean per-trial fraction
+  /// of spawned targets found before they vanished (1 when a trial spawned
+  /// none), and — collect-all only — the mean discovery time of target slot
+  /// j over the trials where that slot was found (-1 when never found).
+  double mean_targets_found = -1;
+  double mean_targets_spawned = -1;
+  double found_before_vanish = -1;
+  double target_time_mean[kTargetTimeSlots] = {-1, -1, -1, -1};
   bool from_cache = false;
 };
 

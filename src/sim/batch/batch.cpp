@@ -66,6 +66,13 @@ TrialResult BatchRunner::run_one(const TrialEnvironment& env,
                                  const rng::Rng& trial_rng) {
   kernels_ = &kernels_for(active_simd_level());
   detail::validate_trial_args(strategy_, k_, env);
+  if (env.needs_scalar_targets()) {
+    // Dynamic target processes (appear/vanish windows, drift, dwell
+    // capture, collect-all) take the scalar executor — the SoA inner loops
+    // assume static always-live targets and a first-find race. run_one ≡
+    // run_trial holds trivially on this path.
+    return run_trial(strategy_, k_, env, trial_rng, config_);
+  }
   if (strategy_.plane != nullptr) return run_plane(env, trial_rng);
   if (strategy_.step != nullptr) return run_step(env, trial_rng);
   return run_segment(env, trial_rng);

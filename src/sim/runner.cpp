@@ -30,7 +30,8 @@ RunStats make_run_stats(std::vector<double> times, std::int64_t found,
 }
 
 AsyncRunStats run_env_trials(const TrialStrategy& strategy, int k,
-                             std::int64_t distance, const TargetDraw& targets,
+                             std::int64_t distance,
+                             const TargetProcess& targets,
                              const StartSchedule& schedule,
                              const CrashModel& crashes,
                              const RunConfig& config) {
@@ -45,7 +46,7 @@ AsyncRunStats run_env_trials(const TrialStrategy& strategy, int k,
   const bool plane = strategy.plane != nullptr;
   if (plane ? !targets.plane : !targets.grid) {
     throw std::invalid_argument(
-        "run_env_trials: target draw does not cover the strategy's "
+        "run_env_trials: target process does not cover the strategy's "
         "substrate");
   }
 
@@ -92,9 +93,9 @@ AsyncRunStats run_env_trials(const TrialStrategy& strategy, int k,
           rng::Rng trial_rng(rng::mix_seed(config.seed, trial));
           TrialEnvironment env;
           if (plane) {
-            env.plane_targets = targets.plane(trial_rng, distance);
+            targets.plane(trial_rng, distance, engine_config.time_cap, &env);
           } else {
-            env.targets = targets.grid(trial_rng, distance);
+            targets.grid(trial_rng, distance, engine_config.time_cap, &env);
           }
           if (!base_model) {
             env = draw_environment(k, std::move(env), schedule, crashes,

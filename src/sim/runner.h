@@ -75,14 +75,17 @@ struct AsyncRunStats {
   double mean_first_target = -1;
 };
 
-/// The unified Monte-Carlo driver: `targets` draws each trial's target set
-/// (see sim::single_target / sim::single_plane_target for the classic
-/// one-treasure adversaries), schedule/crashes realize the per-agent
-/// environment, and the strategy may be segment-, step-, or plane-level.
-/// Step- and plane-level strategies require a finite config.time_cap, and
-/// the target draw must cover the strategy's substrate (grid vs plane).
+/// The unified Monte-Carlo driver: `targets` realizes each trial's target
+/// state over the horizon config.time_cap (see sim::single_target /
+/// sim::single_plane_target for the classic one-treasure adversaries and
+/// sim::poisson_targets / sim::drifting_target for the dynamic processes),
+/// schedule/crashes realize the per-agent environment, and the strategy may
+/// be segment-, step-, or plane-level. Step- and plane-level strategies
+/// require a finite config.time_cap, and the target process must cover the
+/// strategy's substrate (grid vs plane).
 AsyncRunStats run_env_trials(const TrialStrategy& strategy, int k,
-                             std::int64_t distance, const TargetDraw& targets,
+                             std::int64_t distance,
+                             const TargetProcess& targets,
                              const StartSchedule& schedule,
                              const CrashModel& crashes,
                              const RunConfig& config);

@@ -65,4 +65,22 @@ std::optional<Time> hit_offset(const Segment& seg,
   return std::visit(HitVisitor{target}, seg);
 }
 
+std::optional<Time> hit_offset_from(const Segment& seg, grid::Point target,
+                                    Time from) noexcept {
+  if (from <= 0) return hit_offset(seg, target);
+  if (const auto* p = std::get_if<PathSegment>(&seg)) {
+    // Paths may revisit: scan for the first match at offset >= from
+    // (offset i + 1 is steps[i]; offset 0 is the start, already < from).
+    for (std::size_t i = static_cast<std::size_t>(from - 1);
+         i < p->steps.size(); ++i) {
+      if (p->steps[i] == target) return static_cast<Time>(i + 1);
+    }
+    return std::nullopt;
+  }
+  // Walks and spirals visit each node at most once.
+  const auto hit = hit_offset(seg, target);
+  if (hit && *hit >= from) return hit;
+  return std::nullopt;
+}
+
 }  // namespace ants::sim

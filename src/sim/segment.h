@@ -58,6 +58,15 @@ grid::Point end_position(const Segment& seg) noexcept;
 /// First offset (0-based, <= duration) at which `target` is visited.
 std::optional<Time> hit_offset(const Segment& seg, grid::Point target) noexcept;
 
+/// First offset >= `from` at which `target` is visited, or nullopt. Walk and
+/// spiral segments visit every node at most once, so this is their unique
+/// hit offset filtered against `from`; explicit paths may revisit and are
+/// scanned from `from`. Serves the appear-window check of dynamic target
+/// processes (sim/trial.h): a target appearing mid-segment must not be
+/// credited with a visit that happened before it existed.
+std::optional<Time> hit_offset_from(const Segment& seg, grid::Point target,
+                                    Time from) noexcept;
+
 /// Enumerates (position, offset) pairs for offsets in [0, min(duration,
 /// max_offset)], in visit order. Used by the brute-force cross-checks, the
 /// visitation recorder, and trajectory dumps; the analytic engine never

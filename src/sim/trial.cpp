@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <limits>
 #include <memory>
 #include <queue>
 #include <stdexcept>
@@ -23,13 +25,34 @@ void validate_trial_args(const TrialStrategy& strategy, int k,
     throw std::invalid_argument("run_trial: ambiguous strategy family");
   }
   if (k < 1) throw std::invalid_argument("run_trial: need k >= 1");
-  if (strategy.plane != nullptr) {
-    if (env.plane_targets.empty()) {
+  // A windowed process (Poisson arrivals) may legitimately realize ZERO
+  // targets in a trial; the static model still requires at least one.
+  const std::size_t n_targets = strategy.plane != nullptr
+                                    ? env.plane_targets.size()
+                                    : env.targets.size();
+  if (n_targets == 0 && !env.has_target_windows()) {
+    if (strategy.plane != nullptr) {
       throw std::invalid_argument(
           "run_trial: plane backend needs >= 1 plane target");
     }
-  } else if (env.targets.empty()) {
     throw std::invalid_argument("run_trial: need >= 1 target");
+  }
+  if (!env.target_appear.empty() && env.target_appear.size() != n_targets) {
+    throw std::invalid_argument("run_trial: target_appear count != targets");
+  }
+  if (!env.target_vanish.empty() && env.target_vanish.size() != n_targets) {
+    throw std::invalid_argument("run_trial: target_vanish count != targets");
+  }
+  if (!env.target_drift.empty() && env.target_drift.size() != n_targets) {
+    throw std::invalid_argument("run_trial: target_drift count != targets");
+  }
+  if ((env.has_target_drift() || env.capture_dwell > 0) &&
+      strategy.step == nullptr) {
+    // Segment/plane backends have no per-tick target position or contact
+    // history; drifting targets and dwell capture are lock-step features.
+    throw std::invalid_argument(
+        "run_trial: target drift / dwell capture require a step-level "
+        "strategy");
   }
   const auto uk = static_cast<std::size_t>(k);
   if (!env.starts.empty() && env.starts.size() != uk) {
@@ -88,6 +111,196 @@ bool resolve_origin_target(const TrialEnvironment& env, int k, Time time_cap,
 
 namespace {
 
+constexpr double kNeverVanish = std::numeric_limits<double>::infinity();
+
+double appear_of(const TrialEnvironment& env, std::size_t ti) {
+  return env.target_appear.empty() ? 0.0 : env.target_appear[ti];
+}
+
+double vanish_of(const TrialEnvironment& env, std::size_t ti) {
+  return env.target_vanish.empty() ? kNeverVanish : env.target_vanish[ti];
+}
+
+/// Smallest integer offset within `seg` (started at absolute time `base`)
+/// at which a hit can fall inside the target's appear window.
+Time window_from_offset(double appear, Time base) {
+  const double lo = appear - static_cast<double>(base);
+  if (lo <= 0) return 0;
+  return static_cast<Time>(std::ceil(lo));
+}
+
+/// Position of (possibly drifting) grid target `ti` at absolute tick `t`.
+grid::Point target_position_at(const TrialEnvironment& env, std::size_t ti,
+                               Time t) {
+  grid::Point p = env.targets[ti];
+  if (!env.target_drift.empty()) {
+    const TargetDrift& d = env.target_drift[ti];
+    p.x += std::llround(d.vx * static_cast<double>(t));
+    p.y += std::llround(d.vy * static_cast<double>(t));
+  }
+  return p;
+}
+
+/// Segment backend, generalized over appear/vanish windows and collect-all.
+/// A separate loop from the static path so the classic model stays
+/// byte-identical instruction-for-instruction; target detection is on
+/// ARRIVAL (no origin-target special case — see TrialEnvironment docs).
+/// Drift and dwell were rejected by validate_trial_args for this family.
+TrialResult run_segment_trial_dynamic(const Strategy& strategy, int k,
+                                      const TrialEnvironment& env,
+                                      const rng::Rng& trial_rng,
+                                      const EngineConfig& config) {
+  const Time last_start = env.last_start();
+  const std::size_t nt = env.targets.size();
+  const bool collect = env.collect_all;
+  TrialResult result;
+  result.last_start = static_cast<double>(last_start);
+  if (collect) result.target_times.assign(nt, -1.0);
+  if (collect && nt == 0) {
+    // Zero spawned targets: vacuously all found at t = 0; nobody acts.
+    result.found = true;
+    result.time = 0;
+    result.from_last_start = 0;
+    for (int a = 0; a < k; ++a) {
+      if (!env.lifetimes.empty() &&
+          env.lifetimes[static_cast<std::size_t>(a)] <= 0) {
+        ++result.crashed;
+      }
+    }
+    return result;
+  }
+
+  const auto start_of = [&](int a) {
+    return env.starts.empty() ? Time{0}
+                              : env.starts[static_cast<std::size_t>(a)];
+  };
+  const auto lifetime_of = [&](int a) {
+    return env.lifetimes.empty()
+               ? kNeverTime
+               : env.lifetimes[static_cast<std::size_t>(a)];
+  };
+
+  struct AgentState {
+    std::unique_ptr<AgentProgram> program;
+    rng::Rng rng;
+    grid::Point pos = grid::kOrigin;
+    Time elapsed = 0;
+    std::int64_t segments = 0;
+  };
+  std::vector<AgentState> agents;
+  agents.reserve(static_cast<std::size_t>(k));
+  for (int a = 0; a < k; ++a) {
+    agents.push_back(AgentState{
+        strategy.make_program(AgentContext{a, k}),
+        trial_rng.child(static_cast<std::uint64_t>(a)), grid::kOrigin, 0, 0});
+  }
+
+  using Entry = std::pair<Time, int>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
+  for (int a = 0; a < k; ++a) {
+    if (lifetime_of(a) <= 0) {
+      ++result.crashed;
+      continue;
+    }
+    queue.emplace(start_of(a), a);
+  }
+
+  // Per-target earliest hit; in collect-first mode only slot semantics
+  // differ (the race collapses to a single best across targets).
+  std::vector<Time> best_t(nt, kNeverTime);
+  std::vector<int> finder_t(nt, -1);
+  Time best_first = kNeverTime;  // collect-first race bound
+
+  while (!queue.empty()) {
+    const auto [abs_clock, a] = queue.top();
+    queue.pop();
+    // The bound below which a pop can still improve the outcome: in the
+    // first-find race it is the classic best - 1; in collect-all it is the
+    // loosest per-target bound (an unfound target keeps the cap open).
+    Time bound = config.time_cap;
+    if (!collect) {
+      bound = std::min(bound, best_first == kNeverTime ? best_first
+                                                       : best_first - 1);
+    } else {
+      Time loosest = 0;
+      for (std::size_t ti = 0; ti < nt; ++ti) {
+        loosest = std::max(loosest, best_t[ti] == kNeverTime
+                                        ? config.time_cap
+                                        : best_t[ti] - 1);
+      }
+      bound = std::min(bound, loosest);
+    }
+    if (abs_clock > bound) break;
+
+    AgentState& agent = agents[static_cast<std::size_t>(a)];
+    if (++agent.segments > config.max_segments_per_agent) {
+      throw std::runtime_error(
+          "run_trial: agent exceeded segment budget without terminating");
+    }
+    ++result.segments;
+
+    const Segment seg =
+        realize(agent.program->next(agent.rng), agent.pos, grid::kOrigin);
+    const Time base = util::sat_add(start_of(a), agent.elapsed);
+    for (std::size_t ti = 0; ti < nt; ++ti) {
+      const Time from = window_from_offset(appear_of(env, ti), base);
+      const auto hit = hit_offset_from(seg, env.targets[ti], from);
+      if (!hit) continue;
+      const Time when_active = util::sat_add(agent.elapsed, *hit);
+      if (when_active > lifetime_of(a)) continue;
+      const Time when_abs = util::sat_add(start_of(a), when_active);
+      if (when_abs > config.time_cap) continue;
+      // The first in-window visit at or past vanish means every later
+      // revisit is as well (the live window is one interval).
+      if (static_cast<double>(when_abs) >= vanish_of(env, ti)) continue;
+      if (when_abs < best_t[ti] ||
+          (when_abs == best_t[ti] && a < finder_t[ti])) {
+        best_t[ti] = when_abs;
+        finder_t[ti] = a;
+      }
+      if (when_abs < best_first) best_first = when_abs;
+    }
+    agent.elapsed = util::sat_add(agent.elapsed, duration(seg));
+    agent.pos = end_position(seg);
+    if (agent.elapsed >= lifetime_of(a)) {
+      ++result.crashed;
+      continue;
+    }
+    queue.emplace(util::sat_add(start_of(a), agent.elapsed), a);
+  }
+
+  // Earliest capture (ties: lowest agent, then lowest target) fills
+  // finder/first_target in both modes.
+  std::size_t n_found = 0;
+  Time t_all = 0;
+  Time first_time = kNeverTime;
+  for (std::size_t ti = 0; ti < nt; ++ti) {
+    if (best_t[ti] == kNeverTime) continue;
+    ++n_found;
+    t_all = std::max(t_all, best_t[ti]);
+    if (collect) result.target_times[ti] = static_cast<double>(best_t[ti]);
+    if (best_t[ti] < first_time ||
+        (best_t[ti] == first_time && finder_t[ti] < result.finder)) {
+      first_time = best_t[ti];
+      result.finder = finder_t[ti];
+      result.first_target = static_cast<int>(ti);
+    }
+  }
+  const bool all_found = collect ? n_found == nt : n_found > 0;
+  if (all_found && (collect || first_time != kNeverTime)) {
+    result.found = true;
+    result.time = static_cast<double>(collect ? t_all : first_time);
+    const Time done = collect ? t_all : first_time;
+    result.from_last_start =
+        static_cast<double>(done > last_start ? done - last_start : 0);
+  } else {
+    result.found = false;
+    result.time = static_cast<double>(config.time_cap);
+    result.from_last_start = static_cast<double>(config.time_cap);
+  }
+  return result;
+}
+
 /// Segment backend: the interleaved min-heap sweep of the historical
 /// engines, generalized over starts/lifetimes/target sets. Agents are
 /// interleaved by ABSOLUTE clock (start + active time, smallest first)
@@ -101,6 +314,9 @@ TrialResult run_segment_trial(const Strategy& strategy, int k,
                               const TrialEnvironment& env,
                               const rng::Rng& trial_rng,
                               const EngineConfig& config) {
+  if (env.has_target_windows() || env.collect_all) {
+    return run_segment_trial_dynamic(strategy, k, env, trial_rng, config);
+  }
   const Time last_start = env.last_start();
   TrialResult result;
   result.last_start = static_cast<double>(last_start);
@@ -207,6 +423,142 @@ TrialResult run_segment_trial(const Strategy& strategy, int k,
   return result;
 }
 
+/// Lock-step backend, generalized over appear/vanish windows, drifting
+/// targets, dwell capture, and collect-all. A separate loop from the static
+/// path so the classic model stays tick-for-tick identical. Contact under a
+/// dwell policy is the L1-radius-1 disc (see TrialEnvironment docs); a find
+/// confirms when an (agent, target) pair holds contact for capture_dwell + 1
+/// consecutive post-move ticks, and losing contact — moving out of the disc
+/// or the target vanishing — resets that pair's progress.
+TrialResult run_step_trial_dynamic(const StepStrategy& strategy, int k,
+                                   const TrialEnvironment& env,
+                                   const rng::Rng& trial_rng,
+                                   const EngineConfig& config) {
+  const Time last_start = env.last_start();
+  const std::size_t nt = env.targets.size();
+  const bool collect = env.collect_all;
+  const bool windows = env.has_target_windows();
+  const Time dwell = env.capture_dwell;
+  const auto uk = static_cast<std::size_t>(k);
+  TrialResult result;
+  result.last_start = static_cast<double>(last_start);
+  if (collect) result.target_times.assign(nt, -1.0);
+
+  const auto start_of = [&](int a) {
+    return env.starts.empty() ? Time{0}
+                              : env.starts[static_cast<std::size_t>(a)];
+  };
+  const auto lifetime_of = [&](int a) {
+    return env.lifetimes.empty()
+               ? kNeverTime
+               : env.lifetimes[static_cast<std::size_t>(a)];
+  };
+
+  std::vector<std::unique_ptr<StepProgram>> programs;
+  std::vector<rng::Rng> rngs;
+  std::vector<grid::Point> pos(uk, grid::kOrigin);
+  std::vector<char> crashed(uk, 0);
+  programs.reserve(uk);
+  rngs.reserve(uk);
+  for (int a = 0; a < k; ++a) {
+    programs.push_back(strategy.make_program(AgentContext{a, k}));
+    rngs.push_back(trial_rng.child(static_cast<std::uint64_t>(a)));
+    if (lifetime_of(a) <= 0) {
+      crashed[static_cast<std::size_t>(a)] = 1;
+      ++result.crashed;
+    }
+  }
+
+  if (collect && nt == 0) {
+    // Zero spawned targets: vacuously all found at t = 0; nobody acts.
+    result.found = true;
+    result.time = 0;
+    result.from_last_start = 0;
+    return result;
+  }
+
+  std::vector<char> target_found(nt, 0);
+  std::vector<Time> found_at(nt, 0);
+  // Consecutive-contact counters per (agent, target) pair, dwell mode only.
+  std::vector<Time> contact(dwell > 0 ? uk * nt : 0, 0);
+  std::size_t n_found = 0;
+  int first_finder = -1;
+  int first_ti = -1;
+  Time first_time = kNeverTime;
+
+  // nt == 0 (zero-spawn windowed process, first-of-set mode) still sweeps
+  // to the cap so crash/segment accounting matches the segment and plane
+  // backends, which run their heaps out naturally.
+  for (Time t = 1; t <= config.time_cap && (nt == 0 || n_found < nt); ++t) {
+    for (int a = 0; a < k; ++a) {
+      const auto ia = static_cast<std::size_t>(a);
+      if (crashed[ia]) continue;
+      if (t <= start_of(a)) continue;
+      const Time active = t - start_of(a);
+      if (active > lifetime_of(a)) {
+        crashed[ia] = 1;
+        ++result.crashed;
+        continue;
+      }
+      const grid::Point next = programs[ia]->step(rngs[ia], pos[ia]);
+      assert(grid::l1_dist(next, pos[ia]) <= 1);
+      pos[ia] = next;
+      ++result.segments;
+      for (std::size_t ti = 0; ti < nt; ++ti) {
+        if (target_found[ti]) continue;
+        const bool alive =
+            !windows || (appear_of(env, ti) <= static_cast<double>(t) &&
+                         static_cast<double>(t) < vanish_of(env, ti));
+        const grid::Point tp = target_position_at(env, ti, t);
+        if (dwell > 0) {
+          const bool in_disc = alive && grid::l1_dist(next, tp) <= 1;
+          Time& held = contact[ia * nt + ti];
+          held = in_disc ? held + 1 : 0;
+          if (held < dwell + 1) continue;
+        } else if (!alive || next != tp) {
+          continue;
+        }
+        target_found[ti] = 1;
+        found_at[ti] = t;
+        ++n_found;
+        if (first_ti < 0) {
+          first_time = t;
+          first_finder = a;
+          first_ti = static_cast<int>(ti);
+        }
+        if (collect) result.target_times[ti] = static_cast<double>(t);
+        if (!collect) {
+          result.found = true;
+          result.time = static_cast<double>(t);
+          result.finder = a;
+          result.first_target = static_cast<int>(ti);
+          result.from_last_start =
+              static_cast<double>(t > last_start ? t - last_start : 0);
+          return result;
+        }
+      }
+    }
+  }
+
+  result.finder = first_finder;
+  result.first_target = first_ti;
+  if (collect && n_found == nt) {
+    Time t_all = 0;
+    for (std::size_t ti = 0; ti < nt; ++ti) {
+      t_all = std::max(t_all, found_at[ti]);
+    }
+    result.found = true;
+    result.time = static_cast<double>(t_all);
+    result.from_last_start =
+        static_cast<double>(t_all > last_start ? t_all - last_start : 0);
+  } else {
+    result.found = false;
+    result.time = static_cast<double>(config.time_cap);
+    result.from_last_start = static_cast<double>(config.time_cap);
+  }
+  return result;
+}
+
 /// Lock-step backend: every alive, started agent advances one edge per
 /// tick. Under a sync/no-crash single-target environment this is
 /// tick-for-tick the historical run_step_search loop (agents move in index
@@ -221,6 +573,9 @@ TrialResult run_step_trial(const StepStrategy& strategy, int k,
     // programming error.
     throw std::invalid_argument(
         "run_trial: step strategies require a finite time_cap");
+  }
+  if (env.needs_scalar_targets()) {
+    return run_step_trial_dynamic(strategy, k, env, trial_rng, config);
   }
 
   const Time last_start = env.last_start();
@@ -307,6 +662,10 @@ TrialResult run_plane_backend_trial(const plane::PlaneStrategy& strategy,
                                       ? plane::kPlaneNever
                                       : static_cast<plane::Time>(life));
   }
+  plane_env.target_appear = env.target_appear;
+  plane_env.target_vanish = env.target_vanish;
+  plane_env.windowed = env.windowed;
+  plane_env.collect_all = env.collect_all;
 
   plane::PlaneEngineConfig plane_config;
   plane_config.sight_radius = config.sight_radius;
@@ -327,6 +686,7 @@ TrialResult run_plane_backend_trial(const plane::PlaneStrategy& strategy,
   result.last_start = r.last_start;
   result.from_last_start = r.from_last_start;
   result.crashed = r.crashed;
+  result.target_times = r.target_times;
   return result;
 }
 
@@ -402,23 +762,108 @@ TrialResult run_trial(const plane::PlaneStrategy& strategy, int k,
   return run_trial(s, k, env, trial_rng, config);
 }
 
-TargetDraw single_target(Placement placement) {
-  TargetDraw draw;
-  draw.grid = [placement = std::move(placement)](rng::Rng& rng,
-                                                 std::int64_t distance) {
-    return std::vector<grid::Point>{placement(rng, distance)};
+TargetProcess single_target(Placement placement) {
+  TargetProcess process;
+  process.grid = [placement = std::move(placement)](
+                     rng::Rng& rng, std::int64_t distance, Time /*time_cap*/,
+                     TrialEnvironment* env) {
+    env->targets.push_back(placement(rng, distance));
   };
-  return draw;
+  return process;
 }
 
-TargetDraw single_plane_target(std::function<double(rng::Rng&)> angle) {
-  TargetDraw draw;
-  draw.plane = [angle = std::move(angle)](rng::Rng& rng,
-                                          std::int64_t distance) {
-    return std::vector<plane::Vec2>{plane::unit(angle(rng)) *
-                                    static_cast<double>(distance)};
+TargetProcess single_plane_target(std::function<double(rng::Rng&)> angle) {
+  TargetProcess process;
+  process.plane = [angle = std::move(angle)](rng::Rng& rng,
+                                             std::int64_t distance,
+                                             Time /*time_cap*/,
+                                             TrialEnvironment* env) {
+    env->plane_targets.push_back(plane::unit(angle(rng)) *
+                                 static_cast<double>(distance));
   };
-  return draw;
+  return process;
+}
+
+namespace {
+
+/// Shared Poisson arrival/lifetime machinery: positions are appended by
+/// `spawn`, which must consume exactly one position draw per call. All
+/// randomness comes from the target stream; draw order per arrival is
+/// inter-arrival, position, lifetime.
+template <typename SpawnFn>
+void realize_poisson(double rate, double mean_life, Time time_cap,
+                     const rng::Rng& trial_rng, TrialEnvironment* env,
+                     SpawnFn&& spawn) {
+  if (time_cap == kNeverTime) {
+    throw std::invalid_argument(
+        "poisson targets: need a finite time_cap horizon");
+  }
+  env->windowed = true;  // zero arrivals is a legitimate realization
+  rng::Rng target_rng = trial_rng.child(kTargetStream);
+  const double horizon = static_cast<double>(time_cap);
+  double t = 0;
+  while (true) {
+    t += target_rng.exponential(rate);
+    if (!(t <= horizon)) break;
+    spawn(target_rng);
+    env->target_appear.push_back(t);
+    env->target_vanish.push_back(
+        mean_life > 0 ? t + target_rng.exponential(1.0 / mean_life)
+                      : kNeverVanish);
+  }
+}
+
+}  // namespace
+
+TargetProcess poisson_targets(double rate, double mean_life,
+                              Placement placement) {
+  if (!(rate > 0)) {
+    throw std::invalid_argument("poisson targets: need rate > 0");
+  }
+  TargetProcess process;
+  process.grid = [rate, mean_life, placement = std::move(placement)](
+                     rng::Rng& rng, std::int64_t distance, Time time_cap,
+                     TrialEnvironment* env) {
+    realize_poisson(rate, mean_life, time_cap, rng, env,
+                    [&](rng::Rng& target_rng) {
+                      env->targets.push_back(placement(target_rng, distance));
+                    });
+  };
+  return process;
+}
+
+TargetProcess poisson_plane_targets(double rate, double mean_life,
+                                    std::function<double(rng::Rng&)> angle) {
+  if (!(rate > 0)) {
+    throw std::invalid_argument("poisson targets: need rate > 0");
+  }
+  TargetProcess process;
+  process.plane = [rate, mean_life, angle = std::move(angle)](
+                      rng::Rng& rng, std::int64_t distance, Time time_cap,
+                      TrialEnvironment* env) {
+    realize_poisson(rate, mean_life, time_cap, rng, env,
+                    [&](rng::Rng& target_rng) {
+                      env->plane_targets.push_back(
+                          plane::unit(angle(target_rng)) *
+                          static_cast<double>(distance));
+                    });
+  };
+  return process;
+}
+
+TargetProcess drifting_target(double speed, double angle_turns,
+                              Placement placement) {
+  TargetProcess process;
+  process.grid = [speed, angle_turns, placement = std::move(placement)](
+                     rng::Rng& rng, std::int64_t distance, Time /*time_cap*/,
+                     TrialEnvironment* env) {
+    rng::Rng target_rng = rng.child(kTargetStream);
+    const double heading = plane::kTwoPi * angle_turns;
+    env->targets.push_back(placement(target_rng, distance));
+    env->target_drift.push_back(
+        TargetDrift{speed * std::cos(heading), speed * std::sin(heading)});
+  };
+  return process;
 }
 
 }  // namespace ants::sim

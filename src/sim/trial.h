@@ -52,6 +52,21 @@ namespace ants::sim {
 /// families never collide.
 inline constexpr std::uint64_t kScheduleStream = 0x5C4ED11E00000001ULL;
 inline constexpr std::uint64_t kCrashStream = 0xC7A5400000000002ULL;
+/// Target-process draws (Poisson arrivals/lifetimes, drift headings) use
+/// their own stream so enabling a dynamic target axis never perturbs the
+/// agents' program randomness or the schedule/crash draws. Static target
+/// processes keep drawing positions from the trial rng's MAIN stream,
+/// exactly as the one-shot draws always have (byte-compat).
+inline constexpr std::uint64_t kTargetStream = 0x7A26E7D800000003ULL;
+
+/// Per-target drift velocity in cells (grid) or distance units (plane) per
+/// time unit. A drifting grid target with base position `b` occupies
+/// b + (llround(vx * t), llround(vy * t)) at tick t (absolute trial time),
+/// so its position is O(1) to evaluate at any tick.
+struct TargetDrift {
+  double vx = 0;
+  double vy = 0;
+};
 
 /// The fully realized environment of one trial. Exactly one target vector
 /// is populated — `targets` for the grid backends, `plane_targets` for the
@@ -59,14 +74,66 @@ inline constexpr std::uint64_t kCrashStream = 0xC7A5400000000002ULL;
 /// the base model (everybody at t = 0, immortal) without paying two k-sized
 /// allocations on the synchronous hot path; non-empty vectors must have
 /// exactly k entries.
+///
+/// The target-process fields below default to the classic static model
+/// (every target present for the whole trial, instant capture, race ends at
+/// the first find); when any of them is engaged the executor takes a
+/// generalized scalar path. Dynamic/collect environments detect a target on
+/// ARRIVAL at it — the static-path origin-target special case (an agent
+/// waking up on a source treasure) does not apply, and the spec layer never
+/// places dynamic targets at the origin (distance >= 1).
 struct TrialEnvironment {
   std::vector<grid::Point> targets;        ///< grid targets; first-of-set
   std::vector<plane::Vec2> plane_targets;  ///< plane sight-disc centers
   std::vector<Time> starts;      ///< per-agent start delays (empty = 0)
   std::vector<Time> lifetimes;   ///< per-agent lifetimes (empty = never)
 
+  /// Absolute appear/vanish times, parallel to the populated target vector
+  /// (empty = every target lives over the whole trial). A hit at absolute
+  /// time T counts iff appear[ti] <= T < vanish[ti]. Doubles on both
+  /// substrates: grid hit times are exact integers below 2^53, so the
+  /// comparison stays exact there.
+  std::vector<double> target_appear;
+  std::vector<double> target_vanish;
+
+  /// Set by windowed target processes (Poisson arrivals) even when the
+  /// realization spawned ZERO targets, so an empty target vector stays a
+  /// legitimate (vacuous) trial instead of a validation error.
+  bool windowed = false;
+
+  /// Per-target drift velocities, parallel to `targets` (empty = static).
+  /// Step-level (lock-step) strategies only — segment/plane backends have
+  /// no per-tick target position and reject drifting targets.
+  std::vector<TargetDrift> target_drift;
+
+  /// Capture policy: extra ticks of CONTINUOUS contact required beyond the
+  /// first before a find confirms (0 = instant, the classic model). Contact
+  /// on the grid is the L1-radius-1 disc around the target (the step-level
+  /// analog of the plane sight disc; always-moving walkers could never hold
+  /// an exact node for consecutive ticks); leaving the disc or the target
+  /// vanishing resets the dwell progress. Step-level strategies only.
+  Time capture_dwell = 0;
+
+  /// false: the race ends at the first target found (classic).
+  /// true: the trial runs until every spawned target is found (or the time
+  /// cap); TrialResult::target_times records per-target discovery times and
+  /// TrialResult::time becomes the time-to-all-found.
+  bool collect_all = false;
+
   /// Latest start delay (0 for the base model).
   Time last_start() const noexcept;
+
+  bool has_target_windows() const noexcept {
+    return windowed || !target_appear.empty() || !target_vanish.empty();
+  }
+  bool has_target_drift() const noexcept { return !target_drift.empty(); }
+
+  /// True when the batch (SoA/SIMD) executor must delegate this trial to
+  /// the scalar run_trial path — any engaged target-process feature.
+  bool needs_scalar_targets() const noexcept {
+    return has_target_windows() || has_target_drift() || capture_dwell > 0 ||
+           collect_all;
+  }
 };
 
 /// The base-model environment around a single treasure.
@@ -98,9 +165,10 @@ struct TrialStrategy {
 
 /// Runs one trial of `strategy` under `env`. Dispatches to the segment,
 /// lock-step, or plane backend; throws std::invalid_argument on k < 1, an
-/// empty (or wrong-substrate) target set, environment vectors of the wrong
-/// size, a null strategy, or a step strategy without a finite
-/// config.time_cap. The plane backend reads config.sight_radius /
+/// empty (or wrong-substrate) target set — except that a windowed process
+/// may legitimately spawn zero targets — environment vectors of the wrong
+/// size, a null strategy, a step strategy without a finite config.time_cap,
+/// or target drift / dwell capture with a non-step strategy. The plane backend reads config.sight_radius /
 /// config.spiral_pitch and maps config.time_cap == kNeverTime to
 /// plane::kPlaneNever; its times come back fractional, the grid backends'
 /// as exact integers (TrialResult times are doubles for exactly this).
@@ -119,27 +187,57 @@ TrialResult run_trial(const plane::PlaneStrategy& strategy, int k,
                       const TrialEnvironment& env, const rng::Rng& trial_rng,
                       const EngineConfig& config = {});
 
-/// Draws the per-trial target set given the adversary distance D — the
-/// multi-target analogue of sim::Placement, and the hook the scenario
-/// layer's `targets=` axis compiles into. Exactly one side is set,
-/// mirroring TrialStrategy: `grid` feeds the segment/lock-step backends,
-/// `plane` the continuous backend.
-struct TargetDraw {
-  std::function<std::vector<grid::Point>(rng::Rng& rng,
-                                         std::int64_t distance)>
+/// Realizes the per-trial target state given the adversary distance D — the
+/// process generalization of the old one-shot TargetDraw, and the hook the
+/// scenario layer's `targets=` axis compiles into. A process owns target
+/// state over TIME: it fills the environment's target vector plus any
+/// appear/vanish windows and drift velocities for the trial's horizon
+/// `time_cap`. Exactly one side is set, mirroring TrialStrategy: `grid`
+/// feeds the segment/lock-step backends, `plane` the continuous backend.
+///
+/// Contract: static processes draw positions from `rng` (the trial rng's
+/// MAIN stream — byte-identical to the historical one-shot draws); dynamic
+/// processes draw EVERYTHING (inter-arrivals, positions, lifetimes,
+/// headings) from rng.child(kTargetStream), so turning a dynamic axis on
+/// never perturbs the agents' randomness.
+struct TargetProcess {
+  std::function<void(rng::Rng& rng, std::int64_t distance, Time time_cap,
+                     TrialEnvironment* env)>
       grid;
-  std::function<std::vector<plane::Vec2>(rng::Rng& rng,
-                                         std::int64_t distance)>
+  std::function<void(rng::Rng& rng, std::int64_t distance, Time time_cap,
+                     TrialEnvironment* env)>
       plane;
 };
 
-/// The classic adversary: one treasure per trial from `placement`.
-TargetDraw single_target(Placement placement);
+/// The classic adversary as the trivial process: one static treasure per
+/// trial from `placement`, present for the whole trial.
+TargetProcess single_target(Placement placement);
 
-/// The classic adversary on the plane: one treasure per trial at distance D
-/// in the direction drawn by `angle` (radians; e.g. rng.angle() for the
-/// uniform ring adversary).
-TargetDraw single_plane_target(std::function<double(rng::Rng&)> angle);
+/// The classic adversary on the plane: one static treasure per trial at
+/// distance D in the direction drawn by `angle` (radians; e.g. rng.angle()
+/// for the uniform ring adversary).
+TargetProcess single_plane_target(std::function<double(rng::Rng&)> angle);
+
+/// Poisson target process (grid): targets appear at the arrival times of a
+/// rate-`rate` Poisson process on (0, time_cap], each at an independent
+/// `placement` draw at distance D, and vanish after an Exponential lifetime
+/// of mean `mean_life` (0 = immortal). Draws from rng.child(kTargetStream);
+/// requires a finite time_cap. Per arrival the draw order is inter-arrival,
+/// position, lifetime.
+TargetProcess poisson_targets(double rate, double mean_life,
+                              Placement placement);
+
+/// Poisson target process on the plane: same arrival/lifetime machinery,
+/// positions at distance D in the direction drawn by `angle`.
+TargetProcess poisson_plane_targets(double rate, double mean_life,
+                                    std::function<double(rng::Rng&)> angle);
+
+/// Drifting target process (grid, step-level strategies only): one target
+/// whose base position is a `placement` draw at distance D (from the target
+/// stream) and which drifts at `speed` cells/tick in the fixed direction
+/// `angle_turns` (fraction of a full turn in [0, 1)).
+TargetProcess drifting_target(double speed, double angle_turns,
+                              Placement placement);
 
 namespace detail {
 

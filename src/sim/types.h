@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <vector>
 
 namespace ants::sim {
 
@@ -54,6 +55,14 @@ struct TrialResult {
   double last_start = 0;      ///< latest start delay in the environment
   double from_last_start = 0; ///< max(0, time - last_start) if found
   int crashed = 0;            ///< agents that exhausted their lifetime
+
+  /// Collect-all mode only (TrialEnvironment::collect_all; empty otherwise):
+  /// one entry per spawned target, the absolute discovery time or -1 if the
+  /// target was never found before the cap (or before it vanished). In this
+  /// mode `time` is the time-to-ALL-found (censored at the cap), `found`
+  /// means every spawned target was found, and finder/first_target describe
+  /// the EARLIEST capture.
+  std::vector<double> target_times;
 };
 
 }  // namespace ants::sim

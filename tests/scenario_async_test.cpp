@@ -292,13 +292,13 @@ TEST(AsyncSweep, CrashColumnsMatchScalarRecomputeAtCsvLevel) {
   const auto crashes = make_crash(spec.crash);
   sim::EngineConfig config;
   config.time_cap = spec.time_cap;
-  const sim::TargetDraw draw =
+  const sim::TargetProcess process =
       sim::single_target(sim::uniform_ring_placement());
   double crashed_sum = 0.0;
   for (std::size_t t = 0; t < static_cast<std::size_t>(spec.trials); ++t) {
     rng::Rng trial_rng(rng::mix_seed(cells[0].seed, t));
     sim::TrialEnvironment env;
-    env.targets = draw.grid(trial_rng, 4);
+    process.grid(trial_rng, 4, config.time_cap, &env);
     env = sim::draw_environment(5, std::move(env), *schedule, *crashes,
                                 trial_rng);
     const sim::TrialResult r = sim::run_trial(strategy, 5, env, trial_rng,

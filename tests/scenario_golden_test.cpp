@@ -99,5 +99,14 @@ TEST(Golden, PlaneAsyncSpecReproducesByteForByte) {
   check_golden("plane_async", 5);
 }
 
+// The target-process axes: Poisson arrival/lifetime windows, a drifting
+// target, dwell capture, and collect-all aggregation (time_to_all,
+// per-target discovery times, found_before_vanish) — pinned on the
+// step-level walkers, the one engine family supporting dwell and drift.
+TEST(Golden, StochasticTargetsSpecReproducesByteForByte) {
+  check_golden("stochastic_targets", 1);
+  check_golden("stochastic_targets", 5);
+}
+
 }  // namespace
 }  // namespace ants::scenario

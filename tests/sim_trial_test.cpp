@@ -590,9 +590,10 @@ TEST(RunEnvTrials, MeanFirstTargetSeesTheForagingPreference) {
   TrialStrategy strategy;
   strategy.segment = &s;
   const Placement placement = uniform_ring_placement();
-  TargetDraw pair;
-  pair.grid = [&placement](rng::Rng& rng, std::int64_t d) {
-    return std::vector<Point>{placement(rng, 2), placement(rng, d)};
+  TargetProcess pair;
+  pair.grid = [&placement](rng::Rng& rng, std::int64_t d, Time,
+                           TrialEnvironment* env) {
+    env->targets = {placement(rng, 2), placement(rng, d)};
   };
   RunConfig config;
   config.trials = 60;

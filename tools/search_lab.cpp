@@ -7,8 +7,9 @@
 //   search_lab run --spec=FILE [output/scheduler flags]
 //   search_lab run --strategies='uniform(eps=0.5); known-k' --ks=1,4,16
 //                  --ds=16,32 --trials=100 [--seed=N] [--placement=ring,axis]
-//                  [--targets='single,pair(near=0.25)']
+//                  [--targets='single,poisson(rate=0.01, life=500)']
 //                  [--schedule=staggered(gap=4)] [--crash=doa(p=0.25)]
+//                  [--capture=dwell(t=2)] [--collect=first|all]
 //                  [--time-cap=T] [--columns=a,b,c] [output/scheduler flags]
 //       Runs every scenario in FILE (text or JSON-lines form, see
 //       docs/scenarios.md), or a single scenario assembled from flags.
@@ -112,6 +113,20 @@ void print_params(const std::vector<scenario::ParamSpec>& params) {
   }
 }
 
+void print_env_entries(const std::vector<scenario::EnvEntry>& entries) {
+  for (const scenario::EnvEntry& entry : entries) {
+    std::cout << entry.name;
+    // Per-entry applicability: most entries run under every engine family
+    // (the axis header says so); the exceptions carry their restriction.
+    if (!entry.applies.empty()) {
+      std::cout << " [applies: " << entry.applies << "]";
+    }
+    std::cout << "\n    " << entry.summary << "\n";
+    print_params(entry.params);
+  }
+  std::cout << "\n";
+}
+
 const char* engine_kind(const scenario::BuiltStrategy& built) {
   if (built.is_step()) return "step-level";
   if (built.is_plane()) return "plane-level";
@@ -144,11 +159,7 @@ int run_list() {
                              const std::vector<scenario::EnvEntry>& entries) {
     std::cout << "--- " << title << " (spec key: " << spec_key
               << "; applies to " << applies << ") ---\n";
-    for (const scenario::EnvEntry& entry : entries) {
-      std::cout << entry.name << "\n    " << entry.summary << "\n";
-      print_params(entry.params);
-    }
-    std::cout << "\n";
+    print_env_entries(entries);
   };
   print_axis("placements — sweepable axis", "placements",
              "every engine family", scenario::placement_entries());
@@ -156,8 +167,19 @@ int run_list() {
              "every engine family", scenario::schedule_entries());
   print_axis("crash models — fail-stop variants", "crash",
              "every engine family", scenario::crash_entries());
-  print_axis("target sets — multi-treasure adversaries (sweepable axis)",
-             "targets", "every engine family", scenario::target_entries());
+  print_axis("target processes — static sets, Poisson arrivals, drifting "
+             "targets (sweepable axis)",
+             "targets", "every engine family unless noted",
+             scenario::target_entries());
+  print_axis("capture policies — how a find confirms", "capture",
+             "every engine family unless noted", scenario::capture_entries());
+  std::cout << "--- collect modes (spec key: collect) ---\n"
+            << "first\n    the race ends at the first find (the classic "
+               "model)\n"
+            << "all\n    the trial runs until every spawned target is found "
+               "or the time cap; surfaces time_to_all and the "
+               "target_time_0..3 per-slot discovery-time columns (requires "
+               "a finite time_cap)\n\n";
   return 0;
 }
 
@@ -284,6 +306,7 @@ int run_specs(util::Cli& cli) {
       }
       if (spec.is_async()) std::cout << " [async]";
       if (spec.is_multi_target()) std::cout << " [multi-target]";
+      if (spec.is_dynamic()) std::cout << " [dynamic-targets]";
       std::cout << ", " << spec.trials << " trials/cell\n";
     }
 
