@@ -21,6 +21,7 @@
 #include "scenario/sweep.h"
 #include "sim/batch/batch.h"
 #include "sim/engine.h"
+#include "sim/placement.h"
 #include "sim/trial.h"
 #include "telemetry/run_telemetry.h"
 
@@ -343,6 +344,111 @@ void BM_BatchedTrialPlaneAsync(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BatchedTrialPlaneAsync)->Args({4, 16})->Args({16, 64});
+
+// --- dynamic target processes ------------------------------------------------
+
+// Stochastic-target twins: Poisson arrival/lifetime windows with dwell
+// capture, and a drifting target under collect-all. These are the
+// environments the batch executor used to delegate wholesale to the scalar
+// path; the pairs pin the native SoA dynamic loops' speedup (the per-tick
+// liveness/drift hoisting is the win — the scalar loop recomputes both per
+// agent per target per tick).
+
+// Poisson windows + dwell on the lock-step backend.
+void BM_UnifiedTrialStochasticDwell(benchmark::State& state) {
+  const auto k = static_cast<int>(state.range(0));
+  const ants::baselines::RandomWalkStrategy strategy;
+  const ants::sim::TargetProcess process = ants::sim::poisson_targets(
+      0.02, 400.0, ants::sim::uniform_ring_placement());
+  ants::sim::EngineConfig config;
+  config.time_cap = 2000;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    ants::rng::Rng trial(++seed);
+    ants::sim::TrialEnvironment env;
+    {
+      ants::rng::Rng realize(trial.seed());
+      process.grid(realize, 8, config.time_cap, &env);
+    }
+    env.capture_dwell = 2;
+    const auto r = ants::sim::run_trial(strategy, k, env, trial, config);
+    benchmark::DoNotOptimize(r.time);
+  }
+}
+BENCHMARK(BM_UnifiedTrialStochasticDwell)->Arg(4)->Arg(16);
+
+void BM_BatchedTrialStochasticDwell(benchmark::State& state) {
+  const auto k = static_cast<int>(state.range(0));
+  const ants::baselines::RandomWalkStrategy strategy;
+  const ants::sim::TargetProcess process = ants::sim::poisson_targets(
+      0.02, 400.0, ants::sim::uniform_ring_placement());
+  ants::sim::EngineConfig config;
+  config.time_cap = 2000;
+  ants::sim::TrialStrategy ts;
+  ts.step = &strategy;
+  ants::sim::batch::BatchRunner runner(ts, k, config);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    ants::rng::Rng trial(++seed);
+    ants::sim::TrialEnvironment env;
+    {
+      ants::rng::Rng realize(trial.seed());
+      process.grid(realize, 8, config.time_cap, &env);
+    }
+    env.capture_dwell = 2;
+    const auto r = runner.run_one(env, trial);
+    benchmark::DoNotOptimize(r.time);
+  }
+}
+BENCHMARK(BM_BatchedTrialStochasticDwell)->Arg(4)->Arg(16);
+
+// Drifting target + collect-all on the lock-step backend.
+void BM_UnifiedTrialStochasticCollect(benchmark::State& state) {
+  const auto k = static_cast<int>(state.range(0));
+  const ants::baselines::RandomWalkStrategy strategy;
+  const ants::sim::TargetProcess process = ants::sim::drifting_target(
+      0.5, 0.125, ants::sim::uniform_ring_placement());
+  ants::sim::EngineConfig config;
+  config.time_cap = 2000;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    ants::rng::Rng trial(++seed);
+    ants::sim::TrialEnvironment env;
+    {
+      ants::rng::Rng realize(trial.seed());
+      process.grid(realize, 8, config.time_cap, &env);
+    }
+    env.collect_all = true;
+    const auto r = ants::sim::run_trial(strategy, k, env, trial, config);
+    benchmark::DoNotOptimize(r.time);
+  }
+}
+BENCHMARK(BM_UnifiedTrialStochasticCollect)->Arg(4)->Arg(16);
+
+void BM_BatchedTrialStochasticCollect(benchmark::State& state) {
+  const auto k = static_cast<int>(state.range(0));
+  const ants::baselines::RandomWalkStrategy strategy;
+  const ants::sim::TargetProcess process = ants::sim::drifting_target(
+      0.5, 0.125, ants::sim::uniform_ring_placement());
+  ants::sim::EngineConfig config;
+  config.time_cap = 2000;
+  ants::sim::TrialStrategy ts;
+  ts.step = &strategy;
+  ants::sim::batch::BatchRunner runner(ts, k, config);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    ants::rng::Rng trial(++seed);
+    ants::sim::TrialEnvironment env;
+    {
+      ants::rng::Rng realize(trial.seed());
+      process.grid(realize, 8, config.time_cap, &env);
+    }
+    env.collect_all = true;
+    const auto r = runner.run_one(env, trial);
+    benchmark::DoNotOptimize(r.time);
+  }
+}
+BENCHMARK(BM_BatchedTrialStochasticCollect)->Arg(4)->Arg(16);
 
 // --- sweep executor telemetry overhead --------------------------------------
 

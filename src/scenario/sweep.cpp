@@ -443,6 +443,13 @@ std::vector<CellResult> run_cells(const ScenarioSpec& spec,
           }
         }
 
+        // Drain the runner's delegation count once per block (plane dynamic
+        // cells are the only source — grid dynamic environments batch).
+        const std::uint64_t fallbacks = cache.runner->take_scalar_fallbacks();
+        if (tel != nullptr && fallbacks > 0) {
+          tel->record_batch_scalar_fallback(fallbacks);
+        }
+
         const auto done =
             static_cast<std::int64_t>(trial_end - trial_begin);
         if (remaining[ci].fetch_sub(done, std::memory_order_acq_rel) ==

@@ -66,14 +66,18 @@ TrialResult BatchRunner::run_one(const TrialEnvironment& env,
                                  const rng::Rng& trial_rng) {
   kernels_ = &kernels_for(active_simd_level());
   detail::validate_trial_args(strategy_, k_, env);
-  if (env.needs_scalar_targets()) {
-    // Dynamic target processes (appear/vanish windows, drift, dwell
-    // capture, collect-all) take the scalar executor — the SoA inner loops
-    // assume static always-live targets and a first-find race. run_one ≡
-    // run_trial holds trivially on this path.
-    return run_trial(strategy_, k_, env, trial_rng, config_);
+  if (strategy_.plane != nullptr) {
+    if (env.has_dynamic_targets()) {
+      // The one remaining delegation: plane windowed/collect cells. Their
+      // dynamic race lives inside plane::run_plane_trial's heap loop, where
+      // the quadratic sight tests dominate — rebuilding that loop here buys
+      // little. Counted (batch_scalar_fallback metric) so the delegation is
+      // observable instead of silent; run_one ≡ run_trial holds trivially.
+      ++scalar_fallbacks_;
+      return run_trial(strategy_, k_, env, trial_rng, config_);
+    }
+    return run_plane(env, trial_rng);
   }
-  if (strategy_.plane != nullptr) return run_plane(env, trial_rng);
   if (strategy_.step != nullptr) return run_step(env, trial_rng);
   return run_segment(env, trial_rng);
 }
@@ -92,6 +96,12 @@ TrialResult BatchRunner::run_segment(const TrialEnvironment& env,
   const Strategy& strategy = *strategy_.segment;
   const int k = k_;
   const auto uk = static_cast<std::size_t>(k);
+
+  if (env.has_target_windows() || env.collect_all) {
+    // Same routing predicate as the scalar run_segment_trial: drift and
+    // dwell were rejected by validate_trial_args for this family.
+    return run_segment_dynamic(env, trial_rng);
+  }
 
   const Time last_start = env.last_start();
   TrialResult result;
@@ -284,6 +294,267 @@ TrialResult BatchRunner::run_segment(const TrialEnvironment& env,
 }
 
 // ---------------------------------------------------------------------------
+// Segment backend, dynamic variant: the scalar run_segment_trial_dynamic
+// sweep (appear/vanish windows + collect-all; drift and dwell were rejected
+// by validate_trial_args for this family) over the same SoA state and
+// two-level argmin as the static path. The flattened op scans reproduce
+// hit_offset_from exactly: walks and spirals visit each node at most once,
+// so their unique hit counts iff its offset is not before the window's
+// first admissible offset; explicit paths rescan from that offset.
+
+TrialResult BatchRunner::run_segment_dynamic(const TrialEnvironment& env,
+                                             const rng::Rng& trial_rng) {
+  const Strategy& strategy = *strategy_.segment;
+  const int k = k_;
+  const auto uk = static_cast<std::size_t>(k);
+
+  const Time last_start = env.last_start();
+  const std::size_t nt = env.targets.size();
+  const bool collect = env.collect_all;
+  TrialResult result;
+  result.last_start = static_cast<double>(last_start);
+  if (collect) result.target_times.assign(nt, -1.0);
+  if (collect && nt == 0) {
+    // Zero spawned targets: vacuously all found at t = 0; nobody acts.
+    result.found = true;
+    result.time = 0;
+    result.from_last_start = 0;
+    for (int a = 0; a < k; ++a) {
+      if (!env.lifetimes.empty() &&
+          env.lifetimes[static_cast<std::size_t>(a)] <= 0) {
+        ++result.crashed;
+      }
+    }
+    return result;
+  }
+
+  seg_programs_.clear();
+  rngs_.clear();
+  for (int a = 0; a < k; ++a) {
+    seg_programs_.push_back(strategy.make_program(AgentContext{a, k}));
+    rngs_.push_back(trial_rng.child(static_cast<std::uint64_t>(a)));
+  }
+  clock_.assign(uk, kNeverTime);
+  elapsed_.assign(uk, 0);
+  pos_x_.assign(uk, 0);
+  pos_y_.assign(uk, 0);
+  seg_count_.assign(uk, 0);
+  queued_.assign(uk, 0);
+  std::size_t n_queued = 0;
+  for (int a = 0; a < k; ++a) {
+    const auto ia = static_cast<std::size_t>(a);
+    const Time life = env.lifetimes.empty() ? kNeverTime : env.lifetimes[ia];
+    if (life <= 0) {
+      ++result.crashed;  // dead on arrival: never acts
+      continue;
+    }
+    clock_[ia] = env.starts.empty() ? Time{0} : env.starts[ia];
+    queued_[ia] = 1;
+    ++n_queued;
+  }
+
+  tgt_x_.resize(nt);
+  tgt_y_.resize(nt);
+  app_.resize(nt);
+  van_.resize(nt);
+  for (std::size_t ti = 0; ti < nt; ++ti) {
+    tgt_x_[ti] = env.targets[ti].x;
+    tgt_y_[ti] = env.targets[ti].y;
+    app_[ti] = detail::appear_of(env, ti);
+    van_[ti] = detail::vanish_of(env, ti);
+  }
+  // Per-target earliest hit; in collect-first mode only slot semantics
+  // differ (the race collapses to a single best across targets).
+  best_t_.assign(nt, kNeverTime);
+  finder_t_.assign(nt, -1);
+  Time best_first = kNeverTime;  // collect-first race bound
+
+  const bool two_level = uk > kFlatAdvance;
+  const std::size_t n_min_blocks = (uk + kMinBlock - 1) / kMinBlock;
+  const auto refresh_blockmin = [&](std::size_t b) {
+    const std::size_t base = b * kMinBlock;
+    const std::size_t len = std::min(kMinBlock, uk - base);
+    blockmin_[b] = clock_[base + small_argmin(clock_.data() + base, len)];
+  };
+  if (two_level) {
+    blockmin_.resize(n_min_blocks);
+    for (std::size_t b = 0; b < n_min_blocks; ++b) refresh_blockmin(b);
+  }
+  const auto argmin_clock = [&]() -> std::size_t {
+    if (!two_level) return small_argmin(clock_.data(), uk);
+    const std::size_t b =
+        n_min_blocks > 2 * kFlatAdvance
+            ? kernels_->argmin_i64(blockmin_.data(), n_min_blocks)
+            : small_argmin(blockmin_.data(), n_min_blocks);
+    const std::size_t base = b * kMinBlock;
+    const std::size_t len = std::min(kMinBlock, uk - base);
+    return base + small_argmin(clock_.data() + base, len);
+  };
+
+  while (n_queued > 0) {
+    std::size_t ia = argmin_clock();
+    if (clock_[ia] == kNeverTime) {
+      // Every queued clock is at kNeverTime; the heap would pop the
+      // lowest-index queued agent (see run_segment).
+      ia = 0;
+      while (queued_[ia] == 0) ++ia;
+    }
+    const Time abs_clock = clock_[ia];
+    // The bound below which a pop can still improve the outcome: in the
+    // first-find race it is the classic best - 1; in collect-all it is the
+    // loosest per-target bound (an unfound target keeps the cap open).
+    Time bound = config_.time_cap;
+    if (!collect) {
+      bound = std::min(bound, best_first == kNeverTime ? best_first
+                                                       : best_first - 1);
+    } else {
+      Time loosest = 0;
+      for (std::size_t ti = 0; ti < nt; ++ti) {
+        loosest = std::max(loosest, best_t_[ti] == kNeverTime
+                                        ? config_.time_cap
+                                        : best_t_[ti] - 1);
+      }
+      bound = std::min(bound, loosest);
+    }
+    if (abs_clock > bound) break;
+
+    const int a = static_cast<int>(ia);
+    if (++seg_count_[ia] > config_.max_segments_per_agent) {
+      throw std::runtime_error(
+          "run_trial: agent exceeded segment budget without terminating");
+    }
+    ++result.segments;
+
+    const Time start = env.starts.empty() ? Time{0} : env.starts[ia];
+    const Time life = env.lifetimes.empty() ? kNeverTime : env.lifetimes[ia];
+    const grid::Point pos{pos_x_[ia], pos_y_[ia]};
+    const Time base = util::sat_add(start, elapsed_[ia]);
+
+    const auto consider = [&](Time hit, std::size_t ti) {
+      const Time when_active = util::sat_add(elapsed_[ia], hit);
+      if (when_active > life) return;  // only counts while still alive
+      const Time when_abs = util::sat_add(start, when_active);
+      if (when_abs > config_.time_cap) return;
+      // The first in-window visit at or past vanish means every later
+      // revisit is as well (the live window is one interval).
+      if (static_cast<double>(when_abs) >= van_[ti]) return;
+      if (when_abs < best_t_[ti] ||
+          (when_abs == best_t_[ti] && a < finder_t_[ti])) {
+        best_t_[ti] = when_abs;
+        finder_t_[ti] = a;
+      }
+      if (when_abs < best_first) best_first = when_abs;
+    };
+
+    Time dur = 0;
+    grid::Point end = pos;
+    const auto scan_walk = [&](grid::Point from_pt, grid::Point to) {
+      const std::int64_t xlo = std::min(from_pt.x, to.x);
+      const std::int64_t xhi = std::max(from_pt.x, to.x);
+      const std::int64_t ylo = std::min(from_pt.y, to.y);
+      const std::int64_t yhi = std::max(from_pt.y, to.y);
+      std::optional<grid::StaircasePath> path;
+      for (std::size_t ti = 0; ti < nt; ++ti) {
+        const grid::Point tgt{tgt_x_[ti], tgt_y_[ti]};
+        if (tgt.x < xlo || tgt.x > xhi || tgt.y < ylo || tgt.y > yhi) continue;
+        if (!path) path.emplace(from_pt, to);
+        const auto hit = path->index_of(tgt);
+        if (!hit) continue;
+        if (*hit < detail::window_from_offset(app_[ti], base)) continue;
+        consider(*hit, ti);
+      }
+      dur = grid::l1_dist(from_pt, to);
+      end = to;
+    };
+
+    const Op op = seg_programs_[ia]->next(rngs_[ia]);
+    if (const auto* go = std::get_if<GoTo>(&op)) {
+      scan_walk(pos, go->target);
+    } else if (std::get_if<ReturnToSource>(&op) != nullptr) {
+      scan_walk(pos, grid::kOrigin);
+    } else if (const auto* sp = std::get_if<SpiralFor>(&op)) {
+      for (std::size_t ti = 0; ti < nt; ++ti) {
+        const std::int64_t idx = grid::spiral_index(
+            grid::Point{tgt_x_[ti] - pos.x, tgt_y_[ti] - pos.y});
+        if (idx > sp->duration) continue;
+        if (idx < detail::window_from_offset(app_[ti], base)) continue;
+        consider(idx, ti);
+      }
+      dur = sp->duration;
+      end = pos + grid::spiral_point(sp->duration);
+    } else {
+      const auto& fp = std::get<FollowPath>(op);
+      for (std::size_t ti = 0; ti < nt; ++ti) {
+        const grid::Point tgt{tgt_x_[ti], tgt_y_[ti]};
+        const Time from = detail::window_from_offset(app_[ti], base);
+        std::optional<Time> hit;
+        if (from <= 0 && pos == tgt) {
+          hit = 0;
+        } else {
+          // Paths may revisit: first match at offset >= from (offset i + 1
+          // is steps[i]; offset 0 is the start, already < from when > 0).
+          for (std::size_t i =
+                   from <= 0 ? 0 : static_cast<std::size_t>(from - 1);
+               i < fp.steps.size(); ++i) {
+            if (fp.steps[i] == tgt) {
+              hit = static_cast<Time>(i + 1);
+              break;
+            }
+          }
+        }
+        if (hit) consider(*hit, ti);
+      }
+      dur = static_cast<Time>(fp.steps.size());
+      end = fp.steps.empty() ? pos : fp.steps.back();
+    }
+
+    elapsed_[ia] = util::sat_add(elapsed_[ia], dur);
+    pos_x_[ia] = end.x;
+    pos_y_[ia] = end.y;
+    if (elapsed_[ia] >= life) {
+      ++result.crashed;  // halts mid-plan; position is wherever it died
+      clock_[ia] = kNeverTime;
+      queued_[ia] = 0;
+      --n_queued;
+    } else {
+      clock_[ia] = util::sat_add(start, elapsed_[ia]);
+    }
+    if (two_level) refresh_blockmin(ia / kMinBlock);
+  }
+
+  // Earliest capture (ties: lowest agent, then lowest target) fills
+  // finder/first_target in both modes.
+  std::size_t n_found = 0;
+  Time t_all = 0;
+  Time first_time = kNeverTime;
+  for (std::size_t ti = 0; ti < nt; ++ti) {
+    if (best_t_[ti] == kNeverTime) continue;
+    ++n_found;
+    t_all = std::max(t_all, best_t_[ti]);
+    if (collect) result.target_times[ti] = static_cast<double>(best_t_[ti]);
+    if (best_t_[ti] < first_time ||
+        (best_t_[ti] == first_time && finder_t_[ti] < result.finder)) {
+      first_time = best_t_[ti];
+      result.finder = finder_t_[ti];
+      result.first_target = static_cast<int>(ti);
+    }
+  }
+  const bool all_found = collect ? n_found == nt : n_found > 0;
+  if (all_found && (collect || first_time != kNeverTime)) {
+    result.found = true;
+    result.time = static_cast<double>(collect ? t_all : first_time);
+    const Time done = collect ? t_all : first_time;
+    result.from_last_start =
+        static_cast<double>(done > last_start ? done - last_start : 0);
+  } else {
+    result.found = false;
+    result.time = static_cast<double>(config_.time_cap);
+    result.from_last_start = static_cast<double>(config_.time_cap);
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
 // Lock-step backend: tick-for-tick the scalar loop, with the per-tick
 // occupancy check (first target equal to the agent's new position) routed
 // through the find_point kernel — an in-order scan either way.
@@ -298,6 +569,7 @@ TrialResult BatchRunner::run_step(const TrialEnvironment& env,
     throw std::invalid_argument(
         "run_trial: step strategies require a finite time_cap");
   }
+  if (env.has_dynamic_targets()) return run_step_dynamic(env, trial_rng);
 
   const Time last_start = env.last_start();
   TrialResult result;
@@ -383,6 +655,259 @@ TrialResult BatchRunner::run_step(const TrialEnvironment& env,
   result.found = false;
   result.time = static_cast<double>(config_.time_cap);
   result.from_last_start = static_cast<double>(config_.time_cap);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Lock-step backend, dynamic variant: tick-for-tick the scalar
+// run_step_trial_dynamic. The per-target liveness test, drifted position,
+// and occupancy gate depend only on the tick — not the agent — so they are
+// evaluated ONCE per tick into the target SoA (window_gate /
+// drift_positions kernels) where the scalar loop recomputes them per
+// (agent, target) pair; each agent's post-move test then becomes one gated
+// occupancy scan (find_point_gated) or one dwell-contact advance
+// (dwell_advance) over contiguous arrays. Identical values either way —
+// this hoist plus the kernel scans are the batch path's speedup.
+
+TrialResult BatchRunner::run_step_dynamic(const TrialEnvironment& env,
+                                          const rng::Rng& trial_rng) {
+  const StepStrategy& strategy = *strategy_.step;
+  const int k = k_;
+  const auto uk = static_cast<std::size_t>(k);
+
+  const Time last_start = env.last_start();
+  const std::size_t nt = env.targets.size();
+  const bool collect = env.collect_all;
+  const bool windows = env.has_target_windows();
+  const bool drift = env.has_target_drift();
+  const Time dwell = env.capture_dwell;
+  TrialResult result;
+  result.last_start = static_cast<double>(last_start);
+  if (collect) result.target_times.assign(nt, -1.0);
+
+  const auto start_of = [&](std::size_t ia) {
+    return env.starts.empty() ? Time{0} : env.starts[ia];
+  };
+  const auto lifetime_of = [&](std::size_t ia) {
+    return env.lifetimes.empty() ? kNeverTime : env.lifetimes[ia];
+  };
+
+  step_programs_.clear();
+  rngs_.clear();
+  pos_x_.assign(uk, 0);
+  pos_y_.assign(uk, 0);
+  crashed_.assign(uk, 0);
+  for (int a = 0; a < k; ++a) {
+    const auto ia = static_cast<std::size_t>(a);
+    step_programs_.push_back(strategy.make_program(AgentContext{a, k}));
+    rngs_.push_back(trial_rng.child(static_cast<std::uint64_t>(a)));
+    if (lifetime_of(ia) <= 0) {
+      crashed_[ia] = 1;  // dead on arrival
+      ++result.crashed;
+    }
+  }
+
+  if (collect && nt == 0) {
+    // Zero spawned targets: vacuously all found at t = 0; nobody acts.
+    result.found = true;
+    result.time = 0;
+    result.from_last_start = 0;
+    return result;
+  }
+
+  tgt_x_.resize(nt);
+  tgt_y_.resize(nt);
+  for (std::size_t ti = 0; ti < nt; ++ti) {
+    tgt_x_[ti] = env.targets[ti].x;
+    tgt_y_[ti] = env.targets[ti].y;
+  }
+  if (windows) {
+    app_.resize(nt);
+    van_.resize(nt);
+    for (std::size_t ti = 0; ti < nt; ++ti) {
+      app_[ti] = detail::appear_of(env, ti);
+      van_[ti] = detail::vanish_of(env, ti);
+    }
+  }
+  if (drift) {
+    drift_vx_.resize(nt);
+    drift_vy_.resize(nt);
+    cur_tx_.resize(nt);
+    cur_ty_.resize(nt);
+    for (std::size_t ti = 0; ti < nt; ++ti) {
+      drift_vx_[ti] = env.target_drift[ti].vx;
+      drift_vy_[ti] = env.target_drift[ti].vy;
+    }
+  }
+  const std::int64_t* tx = drift ? cur_tx_.data() : tgt_x_.data();
+  const std::int64_t* ty = drift ? cur_ty_.data() : tgt_y_.data();
+  alive_.assign(nt, 1);
+  found_.assign(nt, 0);
+  found_at_.assign(nt, 0);
+  if (dwell > 0) {
+    held_.assign(uk * nt, 0);
+    confirm_.resize(nt);
+  } else {
+    gate_.resize(nt);
+  }
+
+  std::size_t n_found = 0;
+  int first_finder = -1;
+  int first_ti = -1;
+
+  // nt == 0 (zero-spawn windowed process, first-of-set mode) still sweeps
+  // to the cap so crash/segment accounting matches the segment and plane
+  // backends, which run their heaps out naturally.
+  for (Time t = 1; t <= config_.time_cap && (nt == 0 || n_found < nt); ++t) {
+    const double td = static_cast<double>(t);
+    if (drift) {
+      if (nt >= 8) {
+        kernels_->drift_positions(tgt_x_.data(), tgt_y_.data(),
+                                  drift_vx_.data(), drift_vy_.data(), nt, td,
+                                  cur_tx_.data(), cur_ty_.data());
+      } else {
+        for (std::size_t ti = 0; ti < nt; ++ti) {
+          cur_tx_[ti] = tgt_x_[ti] + std::llround(drift_vx_[ti] * td);
+          cur_ty_[ti] = tgt_y_[ti] + std::llround(drift_vy_[ti] * td);
+        }
+      }
+    }
+    if (windows) {
+      if (nt >= 8) {
+        kernels_->window_gate(app_.data(), van_.data(), nt, td,
+                              alive_.data());
+      } else {
+        for (std::size_t ti = 0; ti < nt; ++ti) {
+          alive_[ti] = (app_[ti] <= td && td < van_[ti]) ? 1 : 0;
+        }
+      }
+    }
+    if (dwell == 0) {
+      for (std::size_t ti = 0; ti < nt; ++ti) {
+        gate_[ti] = static_cast<char>(alive_[ti] != 0 && found_[ti] == 0);
+      }
+    }
+
+    for (int a = 0; a < k; ++a) {
+      const auto ia = static_cast<std::size_t>(a);
+      if (crashed_[ia]) continue;
+      if (t <= start_of(ia)) continue;  // not yet started: waits at source
+      const Time active = t - start_of(ia);
+      if (active > lifetime_of(ia)) {
+        crashed_[ia] = 1;  // halts in place
+        ++result.crashed;
+        continue;
+      }
+      const grid::Point next = step_programs_[ia]->step(
+          rngs_[ia], grid::Point{pos_x_[ia], pos_y_[ia]});
+      assert(grid::l1_dist(next, grid::Point{pos_x_[ia], pos_y_[ia]}) <= 1);
+      pos_x_[ia] = next.x;
+      pos_y_[ia] = next.y;
+      ++result.segments;
+
+      if (dwell > 0) {
+        std::int64_t* held = held_.data() + ia * nt;
+        std::size_t nc;
+        // For a handful of targets the inline scan beats the kernel call
+        // (same rationale and threshold as the static find_point path).
+        if (nt >= 8) {
+          nc = kernels_->dwell_advance(tx, ty, alive_.data(), found_.data(),
+                                       nt, next.x, next.y, held, dwell + 1,
+                                       confirm_.data());
+        } else {
+          nc = 0;
+          for (std::size_t ti = 0; ti < nt; ++ti) {
+            const std::int64_t dx = tx[ti] - next.x;
+            const std::int64_t dy = ty[ti] - next.y;
+            const std::int64_t l1 = (dx < 0 ? -dx : dx) + (dy < 0 ? -dy : dy);
+            const bool in_disc = alive_[ti] != 0 && l1 <= 1;
+            held[ti] = in_disc ? held[ti] + 1 : 0;
+            if (found_[ti] == 0 && held[ti] >= dwell + 1) {
+              confirm_[nc++] = static_cast<std::uint32_t>(ti);
+            }
+          }
+        }
+        for (std::size_t ci = 0; ci < nc; ++ci) {
+          const std::size_t ti = confirm_[ci];
+          found_[ti] = 1;
+          found_at_[ti] = t;
+          ++n_found;
+          if (first_ti < 0) {
+            first_finder = a;
+            first_ti = static_cast<int>(ti);
+          }
+          if (collect) {
+            result.target_times[ti] = static_cast<double>(t);
+            continue;
+          }
+          result.found = true;
+          result.time = static_cast<double>(t);
+          result.finder = a;
+          result.first_target = static_cast<int>(ti);
+          result.from_last_start =
+              static_cast<double>(t > last_start ? t - last_start : 0);
+          return result;
+        }
+      } else {
+        // One agent step can capture several co-located targets in collect
+        // mode (the scalar loop keeps scanning), so the gated scan resumes
+        // past each capture.
+        std::size_t lo = 0;
+        for (;;) {
+          std::size_t ti = kNpos;
+          if (nt - lo < 8) {
+            for (std::size_t i = lo; i < nt; ++i) {
+              if (gate_[i] != 0 && tx[i] == next.x && ty[i] == next.y) {
+                ti = i;
+                break;
+              }
+            }
+          } else {
+            const std::size_t rel = kernels_->find_point_gated(
+                tx + lo, ty + lo, gate_.data() + lo, nt - lo, next.x, next.y);
+            if (rel != kNpos) ti = lo + rel;
+          }
+          if (ti == kNpos) break;
+          found_[ti] = 1;
+          gate_[ti] = 0;
+          found_at_[ti] = t;
+          ++n_found;
+          if (first_ti < 0) {
+            first_finder = a;
+            first_ti = static_cast<int>(ti);
+          }
+          if (!collect) {
+            result.found = true;
+            result.time = static_cast<double>(t);
+            result.finder = a;
+            result.first_target = static_cast<int>(ti);
+            result.from_last_start =
+                static_cast<double>(t > last_start ? t - last_start : 0);
+            return result;
+          }
+          result.target_times[ti] = static_cast<double>(t);
+          lo = ti + 1;
+        }
+      }
+    }
+  }
+
+  result.finder = first_finder;
+  result.first_target = first_ti;
+  if (collect && n_found == nt) {
+    Time t_all = 0;
+    for (std::size_t ti = 0; ti < nt; ++ti) {
+      t_all = std::max(t_all, found_at_[ti]);
+    }
+    result.found = true;
+    result.time = static_cast<double>(t_all);
+    result.from_last_start =
+        static_cast<double>(t_all > last_start ? t_all - last_start : 0);
+  } else {
+    result.found = false;
+    result.time = static_cast<double>(config_.time_cap);
+    result.from_last_start = static_cast<double>(config_.time_cap);
+  }
   return result;
 }
 

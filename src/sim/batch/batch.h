@@ -54,6 +54,17 @@ class BatchRunner {
   /// run_trial(strategy, k, env, trial_rng, config).
   TrialResult run_one(const TrialEnvironment& env, const rng::Rng& trial_rng);
 
+  /// Trials run_one delegated to the scalar executor since the last call,
+  /// returned and reset. Grid backends never delegate; the one remaining
+  /// case is a plane strategy under a dynamic target process (see run_one).
+  /// Drained per block by the sweep driver into the batch_scalar_fallback
+  /// metric.
+  std::uint64_t take_scalar_fallbacks() noexcept {
+    const std::uint64_t n = scalar_fallbacks_;
+    scalar_fallbacks_ = 0;
+    return n;
+  }
+
   /// The dispatch level the last/next run_one uses (re-read from
   /// active_simd_level() at each call, so force_simd_level takes effect
   /// between trials).
@@ -65,6 +76,16 @@ class BatchRunner {
   TrialResult run_step(const TrialEnvironment& env, const rng::Rng& trial_rng);
   TrialResult run_plane(const TrialEnvironment& env,
                         const rng::Rng& trial_rng);
+
+  /// Dynamic-target variants (appear/vanish windows, drift, dwell capture,
+  /// collect-all), mirroring sim/trial.cpp's run_*_trial_dynamic loops over
+  /// the SoA workspaces with the per-tick target tests routed through the
+  /// window_gate / drift_positions / find_point_gated / dwell_advance
+  /// kernels.
+  TrialResult run_segment_dynamic(const TrialEnvironment& env,
+                                  const rng::Rng& trial_rng);
+  TrialResult run_step_dynamic(const TrialEnvironment& env,
+                               const rng::Rng& trial_rng);
 
   /// spiral_theta_for_arc(a, s) through a small direct-mapped memo. The
   /// Newton solve dominates the plane profile and strategies reuse a few
@@ -82,6 +103,19 @@ class BatchRunner {
   // Shared: per-agent rng streams, grid target SoA.
   std::vector<rng::Rng> rngs_;
   std::vector<std::int64_t> tgt_x_, tgt_y_;
+
+  // Dynamic target processes (per-trial target state, SoA).
+  std::vector<double> app_, van_;            ///< appear/vanish windows
+  std::vector<double> drift_vx_, drift_vy_;  ///< drift velocities
+  std::vector<std::int64_t> cur_tx_, cur_ty_;  ///< drifted positions @ tick
+  std::vector<char> alive_;     ///< window gate @ tick (appear <= t < vanish)
+  std::vector<char> found_;     ///< per-target found mask (collect-all)
+  std::vector<char> gate_;      ///< alive && !found, occupancy-scan gate
+  std::vector<std::int64_t> found_at_;  ///< per-target discovery tick
+  std::vector<std::int64_t> best_t_;    ///< segment: per-target earliest hit
+  std::vector<int> finder_t_;           ///< segment: per-target finder
+  std::vector<std::int64_t> held_;      ///< dwell contact clocks, uk * nt
+  std::vector<std::uint32_t> confirm_;  ///< dwell_advance output buffer
 
   // Segment backend.
   std::vector<std::unique_ptr<AgentProgram>> seg_programs_;
@@ -112,6 +146,8 @@ class BatchRunner {
     bool valid = false;
   };
   std::array<ThetaMemoEntry, 64> theta_memo_{};
+
+  std::uint64_t scalar_fallbacks_ = 0;
 };
 
 }  // namespace ants::sim::batch

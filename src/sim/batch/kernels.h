@@ -16,6 +16,13 @@
 //     FMA contraction, same operation order — so the candidate set equals
 //     the set the scalar loop would shortlist; every candidate is then
 //     re-checked by the scalar test, making the prefilter byte-safe.
+//   * the dynamic-target kernels (window_gate, find_point_gated,
+//     drift_positions, dwell_advance) compute exactly the per-target tests
+//     of the scalar dynamic loops (sim/trial.cpp run_*_trial_dynamic):
+//     drift_positions reproduces std::llround's half-away-from-zero
+//     rounding bit for bit (trunc + exact fraction + ±1 adjust), and the
+//     scan/advance kernels emit indices in ascending order so the scalar
+//     lowest-target-index tie-break is preserved.
 //
 // Kernels never allocate and have no internal state; the dispatch level is
 // chosen per batch by the runner via kernels_for(active_simd_level()).
@@ -51,6 +58,38 @@ struct Kernels {
                                  std::size_t n, double fx, double fy,
                                  double ux, double uy, double eps,
                                  std::uint32_t* out);
+
+  /// out[i] = 1 iff appear[i] <= t && t < vanish[i], else 0 — the scalar
+  /// dynamic loops' per-target liveness test over the whole target block.
+  void (*window_gate)(const double* appear, const double* vanish,
+                      std::size_t n, double t, char* out);
+
+  /// First i with gate[i] != 0 && xs[i] == x && ys[i] == y, else kNpos —
+  /// find_point restricted to targets whose gate byte is set (alive and not
+  /// yet found).
+  std::size_t (*find_point_gated)(const std::int64_t* xs,
+                                  const std::int64_t* ys, const char* gate,
+                                  std::size_t n, std::int64_t x,
+                                  std::int64_t y);
+
+  /// ox[i] = bx[i] + llround(vx[i] * t) (likewise oy) — drifted-target
+  /// positions at tick t. Vector variants match std::llround bit for bit.
+  void (*drift_positions)(const std::int64_t* bx, const std::int64_t* by,
+                          const double* vx, const double* vy, std::size_t n,
+                          double t, std::int64_t* ox, std::int64_t* oy);
+
+  /// Dwell-contact advance for one agent standing at (x, y): per target i,
+  /// held[i] <- held[i] + 1 when alive[i] && |tx[i]-x| + |ty[i]-y| <= 1,
+  /// else 0. Writes the indices (ascending) of every confirmable target
+  /// (found[i] == 0 && held[i] >= need) to `out`, returns the count. `out`
+  /// must have room for n entries. (held of already-found targets keeps
+  /// advancing where the scalar loop freezes it — unobservable, since
+  /// confirmation excludes them and nothing else reads held.)
+  std::size_t (*dwell_advance)(const std::int64_t* tx, const std::int64_t* ty,
+                               const char* alive, const char* found,
+                               std::size_t n, std::int64_t x, std::int64_t y,
+                               std::int64_t* held, std::int64_t need,
+                               std::uint32_t* out);
 };
 
 /// The kernel table for `level` (clamping is the caller's concern; passing

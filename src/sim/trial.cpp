@@ -107,31 +107,22 @@ bool resolve_origin_target(const TrialEnvironment& env, int k, Time time_cap,
   return false;
 }
 
-}  // namespace detail
-
-namespace {
-
-constexpr double kNeverVanish = std::numeric_limits<double>::infinity();
-
-double appear_of(const TrialEnvironment& env, std::size_t ti) {
+double appear_of(const TrialEnvironment& env, std::size_t ti) noexcept {
   return env.target_appear.empty() ? 0.0 : env.target_appear[ti];
 }
 
-double vanish_of(const TrialEnvironment& env, std::size_t ti) {
+double vanish_of(const TrialEnvironment& env, std::size_t ti) noexcept {
   return env.target_vanish.empty() ? kNeverVanish : env.target_vanish[ti];
 }
 
-/// Smallest integer offset within `seg` (started at absolute time `base`)
-/// at which a hit can fall inside the target's appear window.
-Time window_from_offset(double appear, Time base) {
+Time window_from_offset(double appear, Time base) noexcept {
   const double lo = appear - static_cast<double>(base);
   if (lo <= 0) return 0;
   return static_cast<Time>(std::ceil(lo));
 }
 
-/// Position of (possibly drifting) grid target `ti` at absolute tick `t`.
 grid::Point target_position_at(const TrialEnvironment& env, std::size_t ti,
-                               Time t) {
+                               Time t) noexcept {
   grid::Point p = env.targets[ti];
   if (!env.target_drift.empty()) {
     const TargetDrift& d = env.target_drift[ti];
@@ -140,6 +131,16 @@ grid::Point target_position_at(const TrialEnvironment& env, std::size_t ti,
   }
   return p;
 }
+
+}  // namespace detail
+
+namespace {
+
+using detail::appear_of;
+using detail::kNeverVanish;
+using detail::target_position_at;
+using detail::vanish_of;
+using detail::window_from_offset;
 
 /// Segment backend, generalized over appear/vanish windows and collect-all.
 /// A separate loop from the static path so the classic model stays
@@ -484,7 +485,6 @@ TrialResult run_step_trial_dynamic(const StepStrategy& strategy, int k,
   std::size_t n_found = 0;
   int first_finder = -1;
   int first_ti = -1;
-  Time first_time = kNeverTime;
 
   // nt == 0 (zero-spawn windowed process, first-of-set mode) still sweeps
   // to the cap so crash/segment accounting matches the segment and plane
@@ -522,7 +522,6 @@ TrialResult run_step_trial_dynamic(const StepStrategy& strategy, int k,
         found_at[ti] = t;
         ++n_found;
         if (first_ti < 0) {
-          first_time = t;
           first_finder = a;
           first_ti = static_cast<int>(ti);
         }
@@ -574,7 +573,7 @@ TrialResult run_step_trial(const StepStrategy& strategy, int k,
     throw std::invalid_argument(
         "run_trial: step strategies require a finite time_cap");
   }
-  if (env.needs_scalar_targets()) {
+  if (env.has_dynamic_targets()) {
     return run_step_trial_dynamic(strategy, k, env, trial_rng, config);
   }
 

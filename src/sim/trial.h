@@ -33,6 +33,7 @@
 #pragma once
 
 #include <functional>
+#include <limits>
 #include <vector>
 
 #include "plane/engine.h"
@@ -77,9 +78,9 @@ struct TargetDrift {
 ///
 /// The target-process fields below default to the classic static model
 /// (every target present for the whole trial, instant capture, race ends at
-/// the first find); when any of them is engaged the executor takes a
-/// generalized scalar path. Dynamic/collect environments detect a target on
-/// ARRIVAL at it — the static-path origin-target special case (an agent
+/// the first find); when any of them is engaged the executors take their
+/// generalized dynamic loops. Dynamic/collect environments detect a target
+/// on ARRIVAL at it — the static-path origin-target special case (an agent
 /// waking up on a source treasure) does not apply, and the spec layer never
 /// places dynamic targets at the origin (distance >= 1).
 struct TrialEnvironment {
@@ -128,9 +129,14 @@ struct TrialEnvironment {
   }
   bool has_target_drift() const noexcept { return !target_drift.empty(); }
 
-  /// True when the batch (SoA/SIMD) executor must delegate this trial to
-  /// the scalar run_trial path — any engaged target-process feature.
-  bool needs_scalar_targets() const noexcept {
+  /// True when any target-process feature is engaged: appear/vanish
+  /// windows, drift, dwell capture, or collect-all. Both executors route on
+  /// this — the scalar executor into run_*_trial_dynamic, the batch
+  /// executor (sim/batch/) into its dynamic SoA paths. It is NOT a
+  /// scalar-only marker: the batch executor runs every grid dynamic
+  /// environment natively; only plane windowed/collect cells still delegate
+  /// to the scalar path (documented and counted at BatchRunner::run_one).
+  bool has_dynamic_targets() const noexcept {
     return has_target_windows() || has_target_drift() || capture_dwell > 0 ||
            collect_all;
   }
@@ -258,6 +264,28 @@ void validate_trial_args(const TrialStrategy& strategy, int k,
 /// origin (the result is then fully resolved).
 bool resolve_origin_target(const TrialEnvironment& env, int k, Time time_cap,
                            TrialResult* result);
+
+/// Target-window and drift evaluation shared verbatim by the scalar dynamic
+/// loops and the batch executor's dynamic SoA paths: byte-identity between
+/// the two depends on there being exactly one definition of each.
+
+/// Vanish time of a target with no window: never.
+inline constexpr double kNeverVanish =
+    std::numeric_limits<double>::infinity();
+
+/// Appear/vanish of target `ti`, with the empty-vector defaults (appear at
+/// 0, never vanish) materialized.
+double appear_of(const TrialEnvironment& env, std::size_t ti) noexcept;
+double vanish_of(const TrialEnvironment& env, std::size_t ti) noexcept;
+
+/// Smallest integer offset within a segment started at absolute time `base`
+/// at which a hit can fall inside a target's appear window.
+Time window_from_offset(double appear, Time base) noexcept;
+
+/// Position of (possibly drifting) grid target `ti` at absolute tick `t`:
+/// base + (llround(vx * t), llround(vy * t)).
+grid::Point target_position_at(const TrialEnvironment& env, std::size_t ti,
+                               Time t) noexcept;
 
 }  // namespace detail
 

@@ -113,6 +113,7 @@ void RunMetrics::merge(const RunMetrics& other) {
   cache_hits += other.cache_hits;
   cache_misses += other.cache_misses;
   cache_corrupt += other.cache_corrupt;
+  batch_scalar_fallback += other.batch_scalar_fallback;
   plan_us += other.plan_us;
   execute_us += other.execute_us;
   merge_us += other.merge_us;
@@ -155,6 +156,8 @@ std::string metrics_to_json(const RunMetrics& metrics,
   out += ",\"cache_hits\":" + std::to_string(metrics.cache_hits);
   out += ",\"cache_misses\":" + std::to_string(metrics.cache_misses);
   out += ",\"cache_corrupt\":" + std::to_string(metrics.cache_corrupt);
+  out += ",\"batch_scalar_fallback\":" +
+         std::to_string(metrics.batch_scalar_fallback);
   out += ",\"plan_ms\":" + fmt_ms(metrics.plan_us);
   out += ",\"execute_ms\":" + fmt_ms(metrics.execute_us);
   out += ",\"merge_ms\":" + fmt_ms(metrics.merge_us);
@@ -253,9 +256,10 @@ RunMetrics metrics_from_json(const std::string& line, std::string* scenario,
   };
   m.cell_duration.add_saturation(optional_count("cell_hist_under"),
                                  optional_count("cell_hist_over"));
-  // Same lenient treatment: cache_corrupt postdates the first metrics
-  // records, so its absence reads as zero.
+  // Same lenient treatment: cache_corrupt and batch_scalar_fallback
+  // postdate the first metrics records, so their absence reads as zero.
   m.cache_corrupt = optional_count("cache_corrupt");
+  m.batch_scalar_fallback = optional_count("batch_scalar_fallback");
 
   if (scenario != nullptr) {
     const det::JsonValue* name = find("scenario");

@@ -144,6 +144,7 @@ RunMetrics RunTelemetry::snapshot() const {
   m.cache_hits = metrics_.cache_hits.value();
   m.cache_misses = metrics_.cache_misses.value();
   m.cache_corrupt = metrics_.cache_corrupt.value();
+  m.batch_scalar_fallback = metrics_.batch_scalar_fallback.value();
   m.plan_us = metrics_.plan.value_us();
   m.execute_us = metrics_.execute.value_us();
   m.merge_us = metrics_.merge.value_us();

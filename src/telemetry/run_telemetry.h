@@ -59,6 +59,13 @@ class RunTelemetry {
   void record_cache_corrupt(std::uint64_t n = 1) {
     metrics_.cache_corrupt.add(n);
   }
+  /// The batch executor delegated `n` trials to the scalar run_trial path
+  /// (plane strategies under a dynamic target process — the one remaining
+  /// fallback; grid cells never delegate). Drained per trial block by the
+  /// sweep from BatchRunner::take_scalar_fallbacks.
+  void record_batch_scalar_fallback(std::uint64_t n) {
+    metrics_.batch_scalar_fallback.add(n);
+  }
 
   /// First trial of a cell has started executing.
   void cell_start(std::size_t cell, const std::string& name, std::int64_t k,
@@ -116,6 +123,7 @@ class RunTelemetry {
     Counter cache_hits;
     Counter cache_misses;
     Counter cache_corrupt;
+    Counter batch_scalar_fallback;
     Timer plan;
     Timer execute;
     Timer merge;

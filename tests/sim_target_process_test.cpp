@@ -12,8 +12,10 @@
 //     errors, on every backend and in both collect modes;
 //   * dwell capture requires held contact and resets on leaving the disc or
 //     on the target vanishing mid-dwell;
-//   * the batch executor delegates every dynamic environment to the scalar
-//     path identically at every forced SIMD level;
+//   * the batch executor runs every grid dynamic environment natively in its
+//     SoA path, byte-identical to the scalar reference at every forced SIMD
+//     level and with zero scalar delegations; plane windowed/collect cells
+//     are the one remaining fallback, and each delegation is counted;
 //   * capture/collect are part of the scenario cell cache key, and the new
 //     target aggregates survive a cache round-trip.
 #include <gtest/gtest.h>
@@ -391,8 +393,11 @@ TEST(TargetProcess, CollectAllCensorsUnfoundTargets) {
 }
 
 // ---------------------------------------------------------------------------
-// Batch executor: dynamic environments delegate to the scalar path at every
-// forced SIMD level.
+// Batch executor: grid dynamic environments run natively in the batch SoA
+// path — byte-identical to the scalar reference at every forced SIMD level,
+// with the fallback counter pinned at zero so the tests fail if routing ever
+// regresses to delegation. Plane dynamic cells are the one remaining
+// (counted) delegation.
 // ---------------------------------------------------------------------------
 
 class SimdLevelGuard {
@@ -408,14 +413,14 @@ TEST(TargetProcess, BatchRunnerMatchesScalarOnDynamicEnvs) {
   using sim::batch::SimdLevel;
   const baselines::RandomWalkStrategy rw;
   const core::KnownKStrategy known(3);
-  const plane::PlaneKnownKStrategy plane_known(3);
 
-  // One dynamic environment per backend: Poisson windows + dwell on the
-  // step backend, windows + collect-all on segment, plane windows.
-  const sim::TargetProcess grid_poisson =
+  // Each seed realizes fresh environments from the trial seed, so sixteen
+  // seeds sweep zero-spawn, mid-trial appearance, vanish-before-found, and
+  // multi-target realizations across every dynamic axis pairing.
+  const sim::TargetProcess poisson =
       sim::poisson_targets(0.02, 300.0, sim::uniform_ring_placement());
-  const sim::TargetProcess plane_poisson = sim::poisson_plane_targets(
-      0.02, 300.0, [](rng::Rng& rng) { return rng.angle(); });
+  const sim::TargetProcess drift =
+      sim::drifting_target(0.5, 0.125, sim::uniform_ring_placement());
 
   EngineConfig config;
   config.time_cap = 400;
@@ -424,45 +429,78 @@ TEST(TargetProcess, BatchRunnerMatchesScalarOnDynamicEnvs) {
   for (const SimdLevel level :
        {SimdLevel::kScalar, SimdLevel::kSse2, SimdLevel::kAvx2}) {
     sim::batch::force_simd_level(level);
-    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    for (std::uint64_t seed = 1; seed <= 16; ++seed) {
       const rng::Rng trial_rng(rng::mix_seed(0xD15EA5E, seed));
-
-      TrialEnvironment step_env;
-      {
+      const auto realize = [&](const sim::TargetProcess& process) {
+        TrialEnvironment env;
         rng::Rng realize_rng(trial_rng.seed());
-        grid_poisson.grid(realize_rng, 3, config.time_cap, &step_env);
-      }
-      step_env.capture_dwell = 1;
-      sim::TrialStrategy step_s;
-      step_s.step = &rw;
-      sim::batch::BatchRunner step_runner(step_s, 2, config);
-      expect_same_result(step_runner.run_one(step_env, trial_rng),
-                         run_trial(rw, 2, step_env, trial_rng, config));
+        process.grid(realize_rng, 3, config.time_cap, &env);
+        return env;
+      };
 
-      TrialEnvironment seg_env;
-      {
-        rng::Rng realize_rng(trial_rng.seed());
-        grid_poisson.grid(realize_rng, 3, config.time_cap, &seg_env);
+      // Step backend: windows, drift, dwell, collect-all, and pairings.
+      std::vector<TrialEnvironment> step_envs;
+      step_envs.push_back(realize(poisson));
+      step_envs.push_back(realize(poisson));
+      step_envs.back().capture_dwell = 1;
+      step_envs.push_back(realize(poisson));
+      step_envs.back().collect_all = true;
+      step_envs.push_back(realize(drift));
+      step_envs.push_back(realize(drift));
+      step_envs.back().capture_dwell = 2;
+      step_envs.push_back(realize(drift));
+      step_envs.back().collect_all = true;
+      for (const TrialEnvironment& env : step_envs) {
+        sim::TrialStrategy s;
+        s.step = &rw;
+        sim::batch::BatchRunner runner(s, 2, config);
+        expect_same_result(runner.run_one(env, trial_rng),
+                           run_trial(rw, 2, env, trial_rng, config));
+        // The batch path must actually run: grid cells never delegate.
+        EXPECT_EQ(runner.take_scalar_fallbacks(), 0u);
       }
-      seg_env.collect_all = true;
-      sim::TrialStrategy seg_s;
-      seg_s.segment = &known;
-      sim::batch::BatchRunner seg_runner(seg_s, 3, config);
-      expect_same_result(seg_runner.run_one(seg_env, trial_rng),
-                         run_trial(known, 3, seg_env, trial_rng, config));
 
-      TrialEnvironment plane_env;
-      {
-        rng::Rng realize_rng(trial_rng.seed());
-        plane_poisson.plane(realize_rng, 3, config.time_cap, &plane_env);
+      // Segment backend: windows first-of-set and windows + collect-all.
+      for (const bool collect : {false, true}) {
+        TrialEnvironment env = realize(poisson);
+        env.collect_all = collect;
+        sim::TrialStrategy s;
+        s.segment = &known;
+        sim::batch::BatchRunner runner(s, 3, config);
+        expect_same_result(runner.run_one(env, trial_rng),
+                           run_trial(known, 3, env, trial_rng, config));
+        EXPECT_EQ(runner.take_scalar_fallbacks(), 0u);
       }
-      sim::TrialStrategy plane_s;
-      plane_s.plane = &plane_known;
-      sim::batch::BatchRunner plane_runner(plane_s, 2, config);
-      expect_same_result(plane_runner.run_one(plane_env, trial_rng),
-                         run_trial(plane_known, 2, plane_env, trial_rng,
-                                   config));
     }
+  }
+}
+
+TEST(TargetProcess, BatchRunnerCountsPlaneDynamicDelegation) {
+  using sim::batch::SimdLevel;
+  const plane::PlaneKnownKStrategy plane_known(3);
+  const sim::TargetProcess plane_poisson = sim::poisson_plane_targets(
+      0.02, 300.0, [](rng::Rng& rng) { return rng.angle(); });
+  EngineConfig config;
+  config.time_cap = 400;
+
+  SimdLevelGuard guard;
+  for (const SimdLevel level :
+       {SimdLevel::kScalar, SimdLevel::kSse2, SimdLevel::kAvx2}) {
+    sim::batch::force_simd_level(level);
+    sim::TrialStrategy s;
+    s.plane = &plane_known;
+    sim::batch::BatchRunner runner(s, 2, config);
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      const rng::Rng trial_rng(rng::mix_seed(0xFA11BAC, seed));
+      TrialEnvironment env;
+      rng::Rng realize_rng(trial_rng.seed());
+      plane_poisson.plane(realize_rng, 3, config.time_cap, &env);
+      expect_same_result(runner.run_one(env, trial_rng),
+                         run_trial(plane_known, 2, env, trial_rng, config));
+    }
+    // Each dynamic plane trial is a counted delegation; take drains.
+    EXPECT_EQ(runner.take_scalar_fallbacks(), 4u);
+    EXPECT_EQ(runner.take_scalar_fallbacks(), 0u);
   }
 }
 

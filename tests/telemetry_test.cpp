@@ -141,6 +141,7 @@ TEST(Telemetry, MetricsJsonRoundTrips) {
   m.trials_executed = 1800;
   m.cache_hits = 3;
   m.cache_misses = 9;
+  m.batch_scalar_fallback = 4;
   m.plan_us = 1234;
   m.execute_us = 567890;
   m.merge_us = 7;
@@ -161,6 +162,7 @@ TEST(Telemetry, MetricsJsonRoundTrips) {
   EXPECT_EQ(back.trials_executed, m.trials_executed);
   EXPECT_EQ(back.cache_hits, m.cache_hits);
   EXPECT_EQ(back.cache_misses, m.cache_misses);
+  EXPECT_EQ(back.batch_scalar_fallback, m.batch_scalar_fallback);
   EXPECT_EQ(back.plan_us, m.plan_us);
   EXPECT_EQ(back.execute_us, m.execute_us);
   EXPECT_EQ(back.merge_us, m.merge_us);
@@ -230,6 +232,7 @@ TEST(Telemetry, RunMetricsMergeSumsEverything) {
   a.cells_cached = 1;
   a.trials_executed = 200;
   a.cache_hits = 1;
+  a.batch_scalar_fallback = 2;
   a.plan_us = 10;
   a.execute_us = 100;
   a.cell_duration.add_us(1000.0);
@@ -237,6 +240,7 @@ TEST(Telemetry, RunMetricsMergeSumsEverything) {
   b.cells_computed = 5;
   b.trials_executed = 500;
   b.cache_misses = 5;
+  b.batch_scalar_fallback = 3;
   b.plan_us = 20;
   b.execute_us = 300;
   b.merge_us = 7;
@@ -249,6 +253,7 @@ TEST(Telemetry, RunMetricsMergeSumsEverything) {
   EXPECT_EQ(a.trials_executed, 700u);
   EXPECT_EQ(a.cache_hits, 1u);
   EXPECT_EQ(a.cache_misses, 5u);
+  EXPECT_EQ(a.batch_scalar_fallback, 5u);
   EXPECT_EQ(a.plan_us, 30);
   EXPECT_EQ(a.execute_us, 400);
   EXPECT_EQ(a.merge_us, 7);

@@ -39,6 +39,12 @@ usually concentrated (SIMD leverage, mmap leverage) while some pairs are
 structurally near 1x, so a min-gate would only measure the worst
 structural tie.
 
+With --pair-gate-min SLOW:FAST:R (repeatable), the same pairing machinery
+gates EVERY pair's slow/fast ratio individually: the worst pair — not the
+median — must reach R. Use it for pair families where each member carries
+its own contract (e.g. the stochastic-target twins, where every dynamic
+axis is expected to beat the scalar loop, not just the family median).
+
 With --spread-report FILE, additionally writes a JSON report of each
 current benchmark's repetition spread (n, min, median, max, max/min of
 real_time across repetitions and pooled files) — the CI benchmark job
@@ -157,12 +163,14 @@ def parse_pair_gate(spec):
     return parts[0], parts[1], floor
 
 
-def pair_gate_check(current, slow_sub, fast_sub, floor):
+def pair_gate_check(current, slow_sub, fast_sub, floor, aggregate="median"):
     """Gates a fast implementation against its slow twin within one run.
 
     Pairs every benchmark whose name contains `fast_sub` with the twin
-    named by substituting `slow_sub`, and requires the MEDIAN slow/fast
-    real_time ratio to reach `floor`. Returns a process exit code.
+    named by substituting `slow_sub`, and requires the aggregated
+    slow/fast real_time ratio to reach `floor` — the MEDIAN over pairs
+    by default, or the MINIMUM (every pair individually) when
+    `aggregate` is "min". Returns a process exit code.
     """
     pairs = []
     for name in sorted(current):
@@ -194,15 +202,18 @@ def pair_gate_check(current, slow_sub, fast_sub, floor):
             f"{name:<{name_w}}  {slow:>10.1f}{unit}  "
             f"{fast:>10.1f}{unit}  {ratio:>6.2f}x"
         )
-    med = statistics.median(ratio for *_, ratio in pairs)
+    if aggregate == "min":
+        stat = min(ratio for *_, ratio in pairs)
+    else:
+        stat = statistics.median(ratio for *_, ratio in pairs)
     print(
-        f"{slow_sub}/{fast_sub} speedup: median {med:.2f}x over "
+        f"{slow_sub}/{fast_sub} speedup: {aggregate} {stat:.2f}x over "
         f"{len(pairs)} pairs (floor {floor:.2f}x)"
     )
-    if med < floor:
+    if stat < floor:
         print(
-            f"bench_compare: FAILED — median {slow_sub}/{fast_sub} speedup "
-            f"{med:.2f}x is below the {floor} floor"
+            f"bench_compare: FAILED — {aggregate} {slow_sub}/{fast_sub} "
+            f"speedup {stat:.2f}x is below the {floor} floor"
         )
         return 1
     return 0
@@ -242,6 +253,15 @@ def main():
         "over all name-substitution pairs reaches R; repeatable",
     )
     parser.add_argument(
+        "--pair-gate-min",
+        action="append",
+        default=[],
+        metavar="SLOW:FAST:R",
+        help="like --pair-gate, but every individual pair's slow/fast "
+        "ratio must reach R (a per-pair floor rather than a median "
+        "gate); repeatable",
+    )
+    parser.add_argument(
         "--spread-report",
         default=None,
         metavar="FILE",
@@ -250,9 +270,15 @@ def main():
     )
     args = parser.parse_args()
 
-    pair_gates = [parse_pair_gate(spec) for spec in args.pair_gate]
+    pair_gates = [
+        (*parse_pair_gate(spec), "median") for spec in args.pair_gate
+    ]
     if args.batched_speedup is not None:
-        pair_gates.append(("Unified", "Batched", args.batched_speedup))
+        pair_gates.append(("Unified", "Batched", args.batched_speedup,
+                           "median"))
+    pair_gates.extend(
+        (*parse_pair_gate(spec), "min") for spec in args.pair_gate_min
+    )
 
     current_samples = load_samples(args.current)
     current = {
@@ -292,8 +318,9 @@ def main():
         for name in sorted(current):
             print(f"{name}: new benchmark (no baseline yet)")
         rc = 1 if args.max_ratio is not None else 0
-        for slow_sub, fast_sub, floor in pair_gates:
-            rc = max(rc, pair_gate_check(current, slow_sub, fast_sub, floor))
+        for slow_sub, fast_sub, floor, aggregate in pair_gates:
+            rc = max(rc, pair_gate_check(current, slow_sub, fast_sub, floor,
+                                         aggregate))
         return rc
 
     name_w = max(len(n) for n in shared)
@@ -327,8 +354,9 @@ def main():
             f"--max-ratio {args.max_ratio}"
         )
         rc = 1
-    for slow_sub, fast_sub, floor in pair_gates:
-        rc = max(rc, pair_gate_check(current, slow_sub, fast_sub, floor))
+    for slow_sub, fast_sub, floor, aggregate in pair_gates:
+        rc = max(rc, pair_gate_check(current, slow_sub, fast_sub, floor,
+                                     aggregate))
     return rc
 
 

@@ -179,7 +179,15 @@ int run_list() {
             << "all\n    the trial runs until every spawned target is found "
                "or the time cap; surfaces time_to_all and the "
                "target_time_0..3 per-slot discovery-time columns (requires "
-               "a finite time_cap)\n\n";
+               "a finite time_cap)\n\n"
+            << "Every axis above — including the dynamic target processes, "
+               "dwell capture, and\ncollect-all — executes through the "
+               "batched SoA/SIMD executor (src/sim/batch/,\n"
+               "scalar/SSE2/AVX2 dispatch). The one exception is plane "
+               "strategies under a\nwindowed or collect-all process, which "
+               "delegate per trial to the scalar executor\n(counted by the "
+               "batch_scalar_fallback metric; see docs/observability.md)."
+               "\n\n";
   return 0;
 }
 
